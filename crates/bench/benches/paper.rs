@@ -1,0 +1,77 @@
+//! Regenerates every table and figure of Jouppi & Wall (ASPLOS 1989).
+//!
+//! Running `cargo bench --bench paper` first prints the full set of
+//! regenerated tables/figures at the standard workload size — that printed
+//! output is the reproduction artifact recorded in EXPERIMENTS.md — and
+//! then Criterion-times each experiment driver at the small size so
+//! regressions in the simulation pipeline show up as timing changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use supersym::experiments as exp;
+use supersym::workloads::Size;
+
+/// Prints the full paper reproduction (standard size). Runs once.
+fn print_reproduction() {
+    let size = Size::Standard;
+    println!("==========================================================");
+    println!(" supersym: reproduction of Jouppi & Wall, ASPLOS 1989");
+    println!("==========================================================\n");
+    println!("{}", exp::fig1_1());
+    println!("{}", exp::fig2_diagrams());
+    println!("{}", exp::table2_1(size));
+    println!("{}", exp::fig4_1(size));
+    println!("{}", exp::fig4_2());
+    println!("{}", exp::fig4_3());
+    println!("{}", exp::fig4_4(size));
+    println!("{}", exp::fig4_5(size));
+    println!("{}", exp::fig4_6(size));
+    println!("{}", exp::fig4_7());
+    println!("{}", exp::fig4_8(size));
+    println!("{}", exp::table5_1(size));
+    println!("{}", exp::sec5_1());
+    println!("{}", exp::headline(size));
+    println!("{}", exp::ablation_class_conflicts(size));
+    println!("{}", exp::ablation_branch_prediction(size));
+    println!("{}", exp::grid_measurement(size));
+    println!("{}", exp::unrolling_icache(size));
+    println!("{}", exp::vector_equivalence());
+    println!("{}", exp::complexity_tax(size));
+    println!("{}", exp::limit_study(size));
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_reproduction();
+
+    // Cheap analytic experiments: time them directly.
+    let mut group = c.benchmark_group("analytic");
+    group.bench_function("fig1_1", |b| b.iter(|| black_box(exp::fig1_1())));
+    group.bench_function("fig4_2", |b| b.iter(|| black_box(exp::fig4_2())));
+    group.bench_function("fig4_3", |b| b.iter(|| black_box(exp::fig4_3())));
+    group.bench_function("fig4_7", |b| b.iter(|| black_box(exp::fig4_7())));
+    group.bench_function("sec5_1", |b| b.iter(|| black_box(exp::sec5_1())));
+    group.bench_function("fig2_diagrams", |b| {
+        b.iter(|| black_box(exp::fig2_diagrams()))
+    });
+    group.finish();
+
+    // Simulation-backed experiments: time representative drivers at the
+    // small size with few samples (each sample compiles and simulates the
+    // whole suite; the full set regenerates above and via reproduce_all).
+    let mut group = c.benchmark_group("experiments_small");
+    group.sample_size(10);
+    group.bench_function("table2_1", |b| {
+        b.iter(|| black_box(exp::table2_1(Size::Small)))
+    });
+    group.bench_function("fig4_6", |b| b.iter(|| black_box(exp::fig4_6(Size::Small))));
+    group.bench_function("headline", |b| {
+        b.iter(|| black_box(exp::headline(Size::Small)))
+    });
+    group.bench_function("vector_equivalence", |b| {
+        b.iter(|| black_box(exp::vector_equivalence()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

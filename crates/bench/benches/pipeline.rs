@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the supersym pipeline itself: front end,
+//! optimizer, code generator, scheduler, and the coupled
+//! functional+timing simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use supersym::machine::presets;
+use supersym::sim::{simulate, simulate_with_cache, CacheConfig, SimOptions};
+use supersym::workloads::{linpack, stan};
+use supersym::{compile, CompileOptions, OptLevel};
+
+fn bench_compile(c: &mut Criterion) {
+    let workload = linpack(16);
+    let machine = presets::multititan();
+    let mut group = c.benchmark_group("compile");
+    for level in [OptLevel::O0, OptLevel::O2, OptLevel::O4] {
+        group.bench_function(format!("linpack16_{level:?}"), |b| {
+            let options = CompileOptions::new(level, &machine);
+            b.iter(|| black_box(compile(&workload.source, &options).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let workload = linpack(16);
+    let machine = presets::multititan();
+    let program = compile(
+        &workload.source,
+        &CompileOptions::new(OptLevel::O4, &machine),
+    )
+    .unwrap();
+    let instructions = simulate(&program, &machine, SimOptions::default())
+        .unwrap()
+        .instructions();
+
+    let mut group = c.benchmark_group("simulate");
+    group.throughput(Throughput::Elements(instructions));
+    for machine in [
+        presets::base(),
+        presets::ideal_superscalar(4),
+        presets::superpipelined(4),
+        presets::cray1(),
+        presets::superscalar_with_class_conflicts(4),
+    ] {
+        group.bench_function(machine.name().replace([' ', '(', ')', ','], "_"), |b| {
+            b.iter(|| {
+                black_box(simulate(&program, &machine, SimOptions::default()).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let workload = stan(1);
+    let machine = presets::cray1();
+    // Unscheduled program as the scheduling input.
+    let unscheduled = compile(
+        &workload.source,
+        &CompileOptions::new(OptLevel::O0, &machine),
+    )
+    .unwrap();
+    c.bench_function("schedule_stan_for_cray1", |b| {
+        b.iter(|| {
+            let mut program = unscheduled.clone();
+            supersym::codegen::schedule_program(&mut program, &machine);
+            black_box(program)
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let workload = linpack(16);
+    let machine = presets::base();
+    let program = compile(
+        &workload.source,
+        &CompileOptions::new(OptLevel::O4, &machine),
+    )
+    .unwrap();
+    c.bench_function("simulate_with_cache_linpack16", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_with_cache(
+                    &program,
+                    &machine,
+                    SimOptions::default(),
+                    CacheConfig::small_direct(),
+                    CacheConfig::small_direct(),
+                )
+                .unwrap(),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_simulate,
+    bench_scheduler,
+    bench_cache
+);
+criterion_main!(benches);

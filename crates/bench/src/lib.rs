@@ -1,0 +1,12 @@
+//! # supersym-bench
+//!
+//! Bench harness for the supersym reproduction. The real content lives in
+//! `benches/`:
+//!
+//! * `benches/paper.rs` — regenerates **every table and figure** of the
+//!   paper at the standard workload size (the printed output is the
+//!   reproduction artifact; see EXPERIMENTS.md) and Criterion-times each
+//!   experiment driver at the small size.
+//! * `benches/pipeline.rs` — Criterion micro-benchmarks of the system
+//!   itself: compilation throughput, functional+timing simulation rate,
+//!   scheduling, and cache simulation.

@@ -1,0 +1,48 @@
+//! # supersym-codegen
+//!
+//! The back end of the supersym compiler: IR → MultiTitan-style machine
+//! code, plus the **pipeline instruction scheduler** — the machine-
+//! description-driven list scheduler at the heart of the paper's
+//! methodology (§3: "The compile-time pipeline instruction scheduler knows
+//! this and schedules the instructions in a basic block so that the
+//! resulting stall time will be minimized").
+//!
+//! * [`split_live_across_calls`] — legalization: establishes the invariant
+//!   that no virtual register is live across a call (values that must
+//!   survive go through compiler temporaries, as in the paper's compiler).
+//! * [`lower_program`] — instruction selection, temporary-register
+//!   assignment from the [`TempPool`](supersym_regalloc::TempPool)s (with
+//!   spilling when the pool runs dry), frame construction, the calling
+//!   convention, and memory-disambiguation tagging
+//!   ([`MemAlias`](supersym_isa::MemAlias)) that lets the scheduler overlap
+//!   carefully-unrolled loop bodies.
+//! * [`schedule_program`] — list scheduling of every straight-line region
+//!   against a [`MachineConfig`](supersym_machine::MachineConfig):
+//!   operation latencies, functional-unit multiplicity and issue latency,
+//!   and the issue-width limit all shape the chosen order.
+//!
+//! ## Example
+//!
+//! ```
+//! use supersym_machine::{presets, RegisterSplit};
+//!
+//! let ast = supersym_lang::parse(
+//!     "fn main() -> int { var a = 3; var b = 4; return a * b + 2; }",
+//! )?;
+//! supersym_lang::check(&ast)?;
+//! let mut ir = supersym_ir::lower(&ast)?;
+//! supersym_codegen::split_live_across_calls(&mut ir);
+//! let homes = supersym_regalloc::allocate(&ir, RegisterSplit::paper_default(), true);
+//! let mut program = supersym_codegen::lower_program(&ir, &homes);
+//! supersym_codegen::schedule_program(&mut program, &presets::ideal_superscalar(4));
+//! program.validate()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod lower;
+mod sched;
+mod split;
+
+pub use lower::lower_program;
+pub use sched::schedule_program;
+pub use split::{no_vreg_live_across_calls, split_live_across_calls};

@@ -1,0 +1,372 @@
+//! The pipeline instruction scheduler.
+//!
+//! List scheduling of straight-line regions against a machine description
+//! (§3): "The compile-time pipeline instruction scheduler knows this and
+//! schedules the instructions in a basic block so that the resulting stall
+//! time will be minimized" — and likewise for functional-unit issue
+//! latencies: "In either case, the pipeline instruction scheduler tries to
+//! minimize the resulting stall time."
+//!
+//! Regions are maximal runs of non-control instructions not crossed by any
+//! branch target. Within a region the scheduler builds the dependence DAG —
+//! register RAW/WAR/WAW plus memory edges filtered through
+//! [`MemAlias::may_conflict`] — and greedily issues ready instructions in
+//! critical-path order while simulating the machine's issue width, operation
+//! latencies and functional-unit reservations.
+
+use std::collections::HashSet;
+use supersym_isa::{Function, Instr, Program, Reg};
+use supersym_machine::MachineConfig;
+
+/// Schedules every function of the program for `config`.
+pub fn schedule_program(program: &mut Program, config: &MachineConfig) {
+    for func in program.functions_mut() {
+        schedule_function(func, config);
+    }
+}
+
+fn schedule_function(func: &mut Function, config: &MachineConfig) {
+    let boundaries: HashSet<usize> = func.label_targets().iter().copied().collect();
+    let len = func.instrs().len();
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    let mut pos = 0;
+    while pos < len {
+        let at_label = pos > start && boundaries.contains(&pos);
+        let control = func.instrs()[pos].is_control();
+        if at_label {
+            regions.push((start, pos));
+            start = pos;
+        }
+        if control {
+            regions.push((start, pos));
+            start = pos + 1;
+        }
+        pos += 1;
+    }
+    if start < len {
+        regions.push((start, len));
+    }
+    for (begin, end) in regions {
+        if end - begin >= 2 {
+            let scheduled = schedule_region(&func.instrs()[begin..end], config);
+            func.instrs_mut()[begin..end].clone_from_slice(&scheduled);
+        }
+    }
+}
+
+/// Schedules one region, returning the new instruction order.
+fn schedule_region(region: &[Instr], config: &MachineConfig) -> Vec<Instr> {
+    let n = region.len();
+    let latency =
+        |i: usize| -> u64 { u64::from(config.latency(region[i].class())) };
+
+    // Dependence edges (pred, succ, delay).
+    let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    let mut pred_count = vec![0_usize; n];
+    let add_edge = |from: usize, to: usize, delay: u64, succs: &mut Vec<Vec<(usize, u64)>>, pred_count: &mut Vec<usize>| {
+        succs[from].push((to, delay));
+        pred_count[to] += 1;
+    };
+
+    // Register dependences via last-writer / readers tracking.
+    const NUM_REGS: usize = Reg::DENSE_SPACE;
+    let mut last_writer: Vec<Option<usize>> = vec![None; NUM_REGS];
+    let mut readers_since_write: Vec<Vec<usize>> = vec![Vec::new(); NUM_REGS];
+    for (index, instr) in region.iter().enumerate() {
+        instr.uses().iter().for_each(|reg| {
+            let slot = reg.dense_index();
+            if let Some(writer) = last_writer[slot] {
+                add_edge(writer, index, latency(writer), &mut succs, &mut pred_count); // RAW
+            }
+            readers_since_write[slot].push(index);
+        });
+        if let Some(def) = instr.def() {
+            let slot = def.dense_index();
+            if let Some(writer) = last_writer[slot] {
+                add_edge(writer, index, latency(writer), &mut succs, &mut pred_count); // WAW
+            }
+            for &reader in &readers_since_write[slot] {
+                if reader != index {
+                    add_edge(reader, index, 0, &mut succs, &mut pred_count); // WAR
+                }
+            }
+            last_writer[slot] = Some(index);
+            readers_since_write[slot].clear();
+        }
+    }
+    // Memory dependences.
+    for i in 0..n {
+        let Some((alias_i, store_i)) = region[i].mem_ref() else {
+            continue;
+        };
+        for j in (i + 1)..n {
+            let Some((alias_j, store_j)) = region[j].mem_ref() else {
+                continue;
+            };
+            if !store_i && !store_j {
+                continue; // loads commute
+            }
+            if alias_i.may_conflict(alias_j) {
+                let delay = if store_i { latency(i) } else { 0 };
+                add_edge(i, j, delay, &mut succs, &mut pred_count);
+            }
+        }
+    }
+
+    // Critical-path heights.
+    let mut height = vec![0_u64; n];
+    for i in (0..n).rev() {
+        let tail = succs[i]
+            .iter()
+            .map(|&(j, delay)| delay + height[j])
+            .max()
+            .unwrap_or(0);
+        height[i] = latency(i).max(1) + tail;
+    }
+
+    // Greedy list scheduling with machine simulation.
+    let mut fu_slots: Vec<Vec<u64>> = config
+        .functional_units()
+        .iter()
+        .map(|fu| vec![0_u64; fu.multiplicity() as usize])
+        .collect();
+    let fu_issue: Vec<u64> = config
+        .functional_units()
+        .iter()
+        .map(|fu| u64::from(fu.issue_latency()))
+        .collect();
+    let width = config.issue_width();
+
+    let mut remaining_preds = pred_count;
+    let mut earliest = vec![0_u64; n];
+    let mut scheduled = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    let mut cycle = 0_u64;
+    let mut issued_in_cycle = 0_u32;
+
+    while order.len() < n {
+        // Candidates issueable this cycle.
+        let mut best: Option<usize> = None;
+        if issued_in_cycle < width {
+            for &i in &ready {
+                if scheduled[i] || earliest[i] > cycle {
+                    continue;
+                }
+                let fu = config.unit_of(region[i].class());
+                if !fu_slots[fu].iter().any(|&free| free <= cycle) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        (height[i], std::cmp::Reverse(i)) > (height[b], std::cmp::Reverse(b))
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        match best {
+            Some(i) => {
+                scheduled[i] = true;
+                issued_in_cycle += 1;
+                let fu = config.unit_of(region[i].class());
+                let slot = fu_slots[fu]
+                    .iter_mut()
+                    .find(|free| **free <= cycle)
+                    .expect("checked above");
+                *slot = cycle + fu_issue[fu];
+                for &(j, delay) in &succs[i] {
+                    earliest[j] = earliest[j].max(cycle + delay);
+                    remaining_preds[j] -= 1;
+                    if remaining_preds[j] == 0 {
+                        ready.push(j);
+                    }
+                }
+                order.push(i);
+                ready.retain(|&r| !scheduled[r]);
+            }
+            None => {
+                cycle += 1;
+                issued_in_cycle = 0;
+            }
+        }
+    }
+
+    order.into_iter().map(|i| region[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_isa::{AsmBuilder, IntReg, MemAlias, Operand};
+    use supersym_machine::presets;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    /// Two independent dependent-pairs interleaved badly:
+    /// a1 -> a2 and b1 -> b2 with a2 right after a1.
+    fn badly_ordered() -> Vec<Instr> {
+        vec![
+            Instr::Load {
+                dst: r(1),
+                base: IntReg::GP,
+                offset: 0,
+                alias: MemAlias::global(0).with_offset(0),
+            },
+            Instr::IntOp {
+                op: supersym_isa::IntOp::Add,
+                dst: r(2),
+                lhs: r(1),
+                rhs: Operand::Imm(1),
+            },
+            Instr::Load {
+                dst: r(3),
+                base: IntReg::GP,
+                offset: 1,
+                alias: MemAlias::global(0).with_offset(1),
+            },
+            Instr::IntOp {
+                op: supersym_isa::IntOp::Add,
+                dst: r(4),
+                lhs: r(3),
+                rhs: Operand::Imm(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn fills_load_delay_slots() {
+        // Loads take 2 cycles on the MultiTitan: the scheduler should hoist
+        // the second load into the first load's delay slot.
+        let region = badly_ordered();
+        let scheduled = schedule_region(&region, &presets::multititan());
+        // Both loads first.
+        assert!(matches!(scheduled[0], Instr::Load { .. }));
+        assert!(matches!(scheduled[1], Instr::Load { .. }));
+    }
+
+    #[test]
+    fn preserves_instruction_multiset() {
+        let region = badly_ordered();
+        let mut scheduled = schedule_region(&region, &presets::multititan());
+        assert_eq!(scheduled.len(), region.len());
+        for instr in &region {
+            let pos = scheduled
+                .iter()
+                .position(|s| s == instr)
+                .expect("instruction preserved");
+            scheduled.remove(pos);
+        }
+    }
+
+    #[test]
+    fn respects_raw_dependences() {
+        let region = badly_ordered();
+        for config in [presets::base(), presets::multititan(), presets::cray1()] {
+            let scheduled = schedule_region(&region, &config);
+            // add-of-r1 must come after load-of-r1.
+            let load1 = scheduled
+                .iter()
+                .position(|i| matches!(i, Instr::Load { dst, .. } if *dst == r(1)))
+                .unwrap();
+            let add1 = scheduled
+                .iter()
+                .position(
+                    |i| matches!(i, Instr::IntOp { dst, .. } if *dst == r(2)),
+                )
+                .unwrap();
+            assert!(load1 < add1);
+        }
+    }
+
+    #[test]
+    fn respects_memory_conflicts() {
+        // Store then load of the same (unknown) location must not swap.
+        let region = vec![
+            Instr::Store {
+                src: r(1),
+                base: r(2),
+                offset: 0,
+                alias: MemAlias::unknown(),
+            },
+            Instr::Load {
+                dst: r(3),
+                base: r(4),
+                offset: 0,
+                alias: MemAlias::unknown(),
+            },
+        ];
+        let scheduled = schedule_region(&region, &presets::multititan());
+        assert!(matches!(scheduled[0], Instr::Store { .. }));
+    }
+
+    #[test]
+    fn disambiguated_accesses_may_swap() {
+        // Store a[i+1]; load a[i]: provably disjoint; the load (feeding
+        // nothing) can move above the slow store when beneficial.
+        let store = Instr::Store {
+            src: r(1),
+            base: r(2),
+            offset: 0,
+            alias: MemAlias::global(0).with_base(7).with_offset(1),
+        };
+        let load = Instr::Load {
+            dst: r(3),
+            base: r(2),
+            offset: 0,
+            alias: MemAlias::global(0).with_base(7).with_offset(0),
+        };
+        let use_load = Instr::IntOp {
+            op: supersym_isa::IntOp::Add,
+            dst: r(4),
+            lhs: r(3),
+            rhs: Operand::Imm(1),
+        };
+        let region = vec![store.clone(), load.clone(), use_load.clone()];
+        let scheduled = schedule_region(&region, &presets::multititan());
+        // The load's chain (load + dependent add, height 3) outweighs the
+        // store: the load should be issued first.
+        assert_eq!(scheduled[0], load);
+    }
+
+    #[test]
+    fn war_not_reordered() {
+        // use r1 then redefine r1: redefinition must not move first.
+        let region = vec![
+            Instr::IntOp {
+                op: supersym_isa::IntOp::Add,
+                dst: r(2),
+                lhs: r(1),
+                rhs: Operand::Imm(0),
+            },
+            Instr::MovI { dst: r(1), imm: 5 },
+        ];
+        let scheduled = schedule_region(&region, &presets::ideal_superscalar(4));
+        assert!(matches!(scheduled[0], Instr::IntOp { .. }));
+    }
+
+    #[test]
+    fn schedule_program_keeps_validity() {
+        let mut asm = AsmBuilder::new("main");
+        let top = asm.new_label();
+        asm.movi(r(1), 8);
+        asm.bind(top);
+        asm.load(r(2), IntReg::GP, 0);
+        asm.add(r(3), r(2), 1.into());
+        asm.store(r(3), IntReg::GP, 0);
+        asm.sub(r(1), r(1), 1.into());
+        asm.cmp_gt(r(4), r(1), 0.into());
+        asm.br_true(r(4), top);
+        asm.halt();
+        let mut program = asm.finish_program();
+        schedule_program(&mut program, &presets::multititan());
+        program.validate().unwrap();
+        assert_eq!(program.static_size(), 8);
+    }
+}

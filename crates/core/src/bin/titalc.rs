@@ -1,0 +1,202 @@
+//! `titalc` — the supersym command-line driver.
+//!
+//! Compiles a Tital source file under a chosen machine description and
+//! optimization level, then (by default) simulates it and reports cycle
+//! counts, or disassembles the scheduled machine code.
+//!
+//! ```text
+//! titalc program.tital                      # compile + run on the base machine
+//! titalc -m superscalar:4 -O2 program.tital # degree-4 ideal superscalar, local opt
+//! titalc -m cray1 --dump program.tital      # show scheduled assembly
+//! titalc -m multititan --unroll careful:4 program.tital
+//! titalc --machines                         # list machine presets
+//! ```
+
+use std::process::ExitCode;
+use supersym::machine::{presets, MachineConfig};
+use supersym::opt::UnrollOptions;
+use supersym::sim::{simulate, simulate_with_cache, CacheConfig, SimOptions};
+use supersym::{compile, CompileOptions, OptLevel};
+
+struct Args {
+    source_path: Option<String>,
+    machine: String,
+    opt: OptLevel,
+    unroll: Option<UnrollOptions>,
+    dump: bool,
+    cache: bool,
+    list_machines: bool,
+}
+
+const USAGE: &str = "\
+titalc — compile and simulate Tital programs (supersym)
+
+USAGE:
+    titalc [OPTIONS] <FILE>
+
+OPTIONS:
+    -m, --machine <NAME>     machine preset (default: base); see --machines
+    -O<N>                    optimization level 0..4 (default: 4)
+        --unroll <KIND:N>    loop unrolling: naive:N or careful:N
+        --dump               print the scheduled assembly instead of running
+        --cache              also simulate 8KiB split I/D caches
+        --machines           list machine presets and exit
+    -h, --help               show this help
+";
+
+fn parse_machine(name: &str) -> Option<MachineConfig> {
+    if let Some(rest) = name.strip_prefix("superscalar:") {
+        return rest.parse().ok().map(presets::ideal_superscalar);
+    }
+    if let Some(rest) = name.strip_prefix("superpipelined:") {
+        return rest.parse().ok().map(presets::superpipelined);
+    }
+    if let Some(rest) = name.strip_prefix("conflicts:") {
+        return rest.parse().ok().map(presets::superscalar_with_class_conflicts);
+    }
+    if let Some(rest) = name.strip_prefix("ssp:") {
+        let (n, m) = rest.split_once(':')?;
+        return Some(presets::superpipelined_superscalar(
+            n.parse().ok()?,
+            m.parse().ok()?,
+        ));
+    }
+    match name {
+        "base" => Some(presets::base()),
+        "multititan" => Some(presets::multititan()),
+        "cray1" => Some(presets::cray1()),
+        "underpipelined" => Some(presets::underpipelined_half_issue()),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        source_path: None,
+        machine: "base".to_string(),
+        opt: OptLevel::O4,
+        unroll: None,
+        dump: false,
+        cache: false,
+        list_machines: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--machines" => args.list_machines = true,
+            "--dump" => args.dump = true,
+            "--cache" => args.cache = true,
+            "-m" | "--machine" => {
+                args.machine = iter.next().ok_or("missing machine name")?;
+            }
+            "--unroll" => {
+                let spec = iter.next().ok_or("missing unroll spec")?;
+                let (kind, factor) = spec
+                    .split_once(':')
+                    .ok_or("unroll spec must be kind:factor")?;
+                let factor: usize = factor.parse().map_err(|_| "bad unroll factor")?;
+                args.unroll = Some(match kind {
+                    "naive" => UnrollOptions::naive(factor),
+                    "careful" => UnrollOptions::careful(factor),
+                    other => return Err(format!("unknown unroll kind `{other}`")),
+                });
+            }
+            level if level.starts_with("-O") => {
+                args.opt = match &level[2..] {
+                    "0" => OptLevel::O0,
+                    "1" => OptLevel::O1,
+                    "2" => OptLevel::O2,
+                    "3" => OptLevel::O3,
+                    "4" | "" => OptLevel::O4,
+                    other => return Err(format!("unknown optimization level `{other}`")),
+                };
+            }
+            path if !path.starts_with('-') => args.source_path = Some(path.to_string()),
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list_machines {
+        println!("machine presets:");
+        println!("  base                  one instruction/cycle, unit latencies");
+        println!("  multititan            MultiTitan latency model (avg superpipelining 1.7)");
+        println!("  cray1                 CRAY-1 latency model (avg superpipelining 4.4)");
+        println!("  underpipelined        issues every other cycle");
+        println!("  superscalar:<n>       ideal degree-n superscalar");
+        println!("  superpipelined:<m>    degree-m superpipelined");
+        println!("  ssp:<n>:<m>           superpipelined superscalar");
+        println!("  conflicts:<n>         degree-n superscalar with shared functional units");
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = args.source_path else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(source) => source,
+        Err(error) => {
+            eprintln!("titalc: cannot read `{path}`: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(machine) = parse_machine(&args.machine) else {
+        eprintln!("titalc: unknown machine `{}` (try --machines)", args.machine);
+        return ExitCode::FAILURE;
+    };
+    let mut options = CompileOptions::new(args.opt, &machine);
+    if let Some(unroll) = args.unroll {
+        options = options.with_unroll(unroll);
+    }
+    let program = match compile(&source, &options) {
+        Ok(program) => program,
+        Err(error) => {
+            eprintln!("titalc: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.dump {
+        print!("{program}");
+        return ExitCode::SUCCESS;
+    }
+    let report = match simulate(&program, &machine, SimOptions::default()) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("titalc: runtime error: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("machine:        {}", machine.name());
+    println!("optimization:   {}", args.opt);
+    println!("static size:    {} instructions", program.static_size());
+    println!("dynamic count:  {} instructions", report.instructions());
+    println!("time:           {:.1} base cycles", report.base_cycles());
+    println!("rate:           {:.3} instructions/cycle", report.available_parallelism());
+    if args.cache {
+        let (_, caches) = simulate_with_cache(
+            &program,
+            &machine,
+            SimOptions::default(),
+            CacheConfig::small_direct(),
+            CacheConfig::small_direct(),
+        )
+        .expect("program already ran once");
+        println!(
+            "caches (8KiB):  I-miss {:.2}%  D-miss {:.2}%  ({:.4} misses/instr)",
+            caches.icache.miss_rate() * 100.0,
+            caches.dcache.miss_rate() * 100.0,
+            caches.misses_per_instruction
+        );
+    }
+    ExitCode::SUCCESS
+}

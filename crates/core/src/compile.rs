@@ -1,0 +1,339 @@
+//! The end-to-end compilation pipeline.
+
+use std::error::Error;
+use std::fmt;
+use supersym_isa::Program;
+use supersym_machine::{MachineConfig, RegisterSplit};
+use supersym_opt::UnrollOptions;
+
+/// The paper's Figure 4-8 optimization ladder. Each level includes all the
+/// previous ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// "the parallelism with no optimization at all".
+    O0,
+    /// + pipeline scheduling.
+    O1,
+    /// + intra-block optimizations.
+    O2,
+    /// + global optimizations.
+    O3,
+    /// + global register allocation.
+    O4,
+}
+
+impl OptLevel {
+    /// All levels in Figure 4-8 order.
+    pub const ALL: [OptLevel; 5] = [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::O4,
+    ];
+
+    /// Whether pipeline scheduling runs.
+    #[must_use]
+    pub fn scheduling(self) -> bool {
+        self >= OptLevel::O1
+    }
+
+    /// Whether intra-block optimizations run.
+    #[must_use]
+    pub fn local(self) -> bool {
+        self >= OptLevel::O2
+    }
+
+    /// Whether global optimizations run.
+    #[must_use]
+    pub fn global(self) -> bool {
+        self >= OptLevel::O3
+    }
+
+    /// Whether variables are promoted to home registers.
+    #[must_use]
+    pub fn global_regs(self) -> bool {
+        self >= OptLevel::O4
+    }
+
+    /// The Figure 4-8 x-axis label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "none",
+            OptLevel::O1 => "+scheduling",
+            OptLevel::O2 => "+local opt",
+            OptLevel::O3 => "+global opt",
+            OptLevel::O4 => "+global reg alloc",
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Options for [`compile`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Optimization level (Figure 4-8 ladder).
+    pub opt: OptLevel,
+    /// Source-level loop unrolling, if any (Figure 4-6).
+    pub unroll: Option<UnrollOptions>,
+    /// Rebalance associative chains (implied by careful unrolling; the
+    /// paper's reassociation requires "knowledge of operator associativity"
+    /// and changes FP rounding, so it is opt-in).
+    pub reassociate: bool,
+    /// Register-file split between temporaries and home registers.
+    pub split: RegisterSplit,
+    /// The machine the pipeline scheduler targets.
+    pub machine: MachineConfig,
+}
+
+impl CompileOptions {
+    /// Standard options: the given level, the paper's register split, no
+    /// unrolling, scheduling for `machine`.
+    #[must_use]
+    pub fn new(opt: OptLevel, machine: &MachineConfig) -> Self {
+        CompileOptions {
+            opt,
+            unroll: None,
+            reassociate: false,
+            split: machine.register_split(),
+            machine: machine.clone(),
+        }
+    }
+
+    /// Adds loop unrolling (careful unrolling also enables reassociation).
+    #[must_use]
+    pub fn with_unroll(mut self, unroll: UnrollOptions) -> Self {
+        self.reassociate |= unroll.careful;
+        self.unroll = Some(unroll);
+        self
+    }
+
+    /// Overrides the register split.
+    #[must_use]
+    pub fn with_split(mut self, split: RegisterSplit) -> Self {
+        self.split = split;
+        self
+    }
+}
+
+/// Errors from [`compile`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// Lexing, parsing or semantic-analysis failure.
+    Lang(supersym_lang::LangError),
+    /// Internal IR inconsistency (a compiler bug if it ever surfaces).
+    Ir(supersym_ir::IrError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lang(e) => write!(f, "front end: {e}"),
+            CompileError::Ir(e) => write!(f, "internal: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Lang(e) => Some(e),
+            CompileError::Ir(e) => Some(e),
+        }
+    }
+}
+
+impl From<supersym_lang::LangError> for CompileError {
+    fn from(e: supersym_lang::LangError) -> Self {
+        CompileError::Lang(e)
+    }
+}
+
+impl From<supersym_ir::IrError> for CompileError {
+    fn from(e: supersym_ir::IrError) -> Self {
+        CompileError::Ir(e)
+    }
+}
+
+/// Compiles Tital source text to a machine program under `options`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed source.
+pub fn compile(source: &str, options: &CompileOptions) -> Result<Program, CompileError> {
+    let ast = supersym_lang::parse(source)?;
+    supersym_lang::check(&ast)?;
+    compile_ast(ast, options)
+}
+
+/// Compiles an already-checked AST (used when the caller transforms the
+/// tree first).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if lowering fails (undefined names — cannot
+/// happen for checked modules).
+pub fn compile_ast(
+    mut ast: supersym_lang::ast::Module,
+    options: &CompileOptions,
+) -> Result<Program, CompileError> {
+    if let Some(unroll) = options.unroll {
+        supersym_opt::unroll_loops(&mut ast, unroll);
+    }
+    let mut ir = supersym_ir::lower(&ast)?;
+    debug_assert!(ir.validate().is_ok());
+    if options.opt.local() {
+        supersym_opt::run_local(&mut ir);
+    }
+    if options.opt.global() {
+        supersym_opt::run_global(&mut ir);
+    }
+    if options.reassociate {
+        supersym_opt::reassociate(&mut ir);
+        if options.opt.local() {
+            supersym_opt::run_local(&mut ir);
+        }
+    }
+    supersym_codegen::split_live_across_calls(&mut ir);
+    ir.validate()?;
+    let homes = supersym_regalloc::allocate(&ir, options.split, options.opt.global_regs());
+    let mut program = supersym_codegen::lower_program(&ir, &homes);
+    if options.opt.scheduling() {
+        supersym_codegen::schedule_program(&mut program, &options.machine);
+    }
+    debug_assert!(program.validate().is_ok());
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_machine::presets;
+    use supersym_sim::{simulate, SimOptions};
+
+    const PROGRAM: &str = "
+        global arr a[32];
+        global var checksum;
+        fn fill(int n) {
+            for (i = 0; i < n; i = i + 1) { a[i] = i * 3 + 1; }
+        }
+        fn sum(int n) -> int {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+            return s;
+        }
+        fn main() -> int {
+            fill(32);
+            checksum = sum(32);
+            return checksum;
+        }";
+
+    fn run(options: &CompileOptions) -> i64 {
+        let program = compile(PROGRAM, options).unwrap();
+        program.validate().unwrap();
+        let mut exec =
+            supersym_sim::Executor::new(&program, supersym_sim::ExecOptions::default()).unwrap();
+        exec.run().unwrap();
+        exec.int_reg(supersym_isa::IntReg::new(1).unwrap())
+    }
+
+    /// 32 terms of 3i+1: 3*(31*32/2) + 32 = 1520.
+    const EXPECTED: i64 = 1520;
+
+    #[test]
+    fn all_opt_levels_agree() {
+        let machine = presets::ideal_superscalar(4);
+        for level in OptLevel::ALL {
+            let result = run(&CompileOptions::new(level, &machine));
+            assert_eq!(result, EXPECTED, "wrong checksum at {level}");
+        }
+    }
+
+    #[test]
+    fn unrolling_preserves_semantics() {
+        let machine = presets::multititan();
+        for factor in [2, 3, 4, 10] {
+            for careful in [false, true] {
+                let options = CompileOptions::new(OptLevel::O4, &machine).with_unroll(
+                    UnrollOptions {
+                        factor,
+                        careful,
+                    },
+                );
+                assert_eq!(
+                    run(&options),
+                    EXPECTED,
+                    "factor {factor} careful {careful}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machines_do_not_change_results() {
+        for machine in [
+            presets::base(),
+            presets::superpipelined(4),
+            presets::cray1(),
+            presets::superscalar_with_class_conflicts(4),
+        ] {
+            let result = run(&CompileOptions::new(OptLevel::O4, &machine));
+            assert_eq!(result, EXPECTED, "machine {}", machine.name());
+        }
+    }
+
+    #[test]
+    fn optimization_reduces_work() {
+        let machine = presets::base();
+        let baseline = compile(PROGRAM, &CompileOptions::new(OptLevel::O0, &machine)).unwrap();
+        let optimized = compile(PROGRAM, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
+        let base_report = simulate(&baseline, &machine, SimOptions::default()).unwrap();
+        let opt_report = simulate(&optimized, &machine, SimOptions::default()).unwrap();
+        assert!(
+            opt_report.instructions() < base_report.instructions(),
+            "O4 {} vs O0 {}",
+            opt_report.instructions(),
+            base_report.instructions()
+        );
+    }
+
+    #[test]
+    fn scheduling_helps_on_latency_machine() {
+        let machine = presets::multititan();
+        let unscheduled = compile(PROGRAM, &CompileOptions::new(OptLevel::O0, &machine)).unwrap();
+        let scheduled = compile(PROGRAM, &CompileOptions::new(OptLevel::O1, &machine)).unwrap();
+        let a = simulate(&unscheduled, &machine, SimOptions::default()).unwrap();
+        let b = simulate(&scheduled, &machine, SimOptions::default()).unwrap();
+        // Same instruction stream, better order.
+        assert_eq!(a.instructions(), b.instructions());
+        assert!(b.base_cycles() <= a.base_cycles());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let machine = presets::base();
+        let err = compile("fn main() { x = 1; }", &CompileOptions::new(OptLevel::O0, &machine))
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Lang(_)));
+        assert!(err.to_string().contains("front end"));
+    }
+
+    #[test]
+    fn opt_level_ladder() {
+        assert!(!OptLevel::O0.scheduling());
+        assert!(OptLevel::O1.scheduling());
+        assert!(!OptLevel::O1.local());
+        assert!(OptLevel::O2.local());
+        assert!(!OptLevel::O2.global());
+        assert!(OptLevel::O3.global());
+        assert!(!OptLevel::O3.global_regs());
+        assert!(OptLevel::O4.global_regs());
+    }
+}

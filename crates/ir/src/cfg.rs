@@ -1,0 +1,290 @@
+//! Control-flow analyses: predecessors, reverse postorder, dominators,
+//! natural loops.
+
+use crate::func::{BlockId, Function};
+
+/// Predecessor lists, indexed by block.
+#[must_use]
+pub fn predecessors(func: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); func.blocks.len()];
+    for (index, block) in func.blocks.iter().enumerate() {
+        for succ in block.term.successors() {
+            preds[succ.index()].push(BlockId(index as u32));
+        }
+    }
+    preds
+}
+
+/// Reverse postorder over blocks reachable from the entry.
+#[must_use]
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let mut visited = vec![false; func.blocks.len()];
+    let mut postorder = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-successor).
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+    visited[0] = true;
+    while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+        let succs = func.blocks[block.index()].term.successors();
+        if *next < succs.len() {
+            let succ = succs[*next];
+            *next += 1;
+            if !visited[succ.index()] {
+                visited[succ.index()] = true;
+                stack.push((succ, 0));
+            }
+        } else {
+            postorder.push(block);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Immediate dominators, computed with the Cooper–Harvey–Kennedy iterative
+/// algorithm. `idom[entry] == entry`; unreachable blocks get `None`.
+#[must_use]
+pub fn dominators(func: &Function) -> Vec<Option<BlockId>> {
+    let rpo = reverse_postorder(func);
+    let mut rpo_index = vec![usize::MAX; func.blocks.len()];
+    for (order, &block) in rpo.iter().enumerate() {
+        rpo_index[block.index()] = order;
+    }
+    let preds = predecessors(func);
+    let mut idom: Vec<Option<BlockId>> = vec![None; func.blocks.len()];
+    idom[0] = Some(BlockId(0));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &block in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &pred in &preds[block.index()] {
+                if idom[pred.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => pred,
+                    Some(current) => intersect(pred, current, &idom, &rpo_index),
+                });
+            }
+            if let Some(new_idom) = new_idom {
+                if idom[block.index()] != Some(new_idom) {
+                    idom[block.index()] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block has an idom");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block has an idom");
+        }
+    }
+    a
+}
+
+/// Whether `a` dominates `b` under the given idom tree.
+#[must_use]
+pub fn dominates(a: BlockId, b: BlockId, idom: &[Option<BlockId>]) -> bool {
+    let mut current = b;
+    loop {
+        if current == a {
+            return true;
+        }
+        match idom[current.index()] {
+            Some(parent) if parent != current => current = parent,
+            _ => return false,
+        }
+    }
+}
+
+/// A natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header.
+    pub header: BlockId,
+    /// All blocks in the loop body (header included).
+    pub body: Vec<BlockId>,
+    /// The back-edge sources (latches).
+    pub latches: Vec<BlockId>,
+}
+
+/// Finds natural loops: for every back edge `latch -> header` where the
+/// header dominates the latch, collect the loop body. Back edges sharing a
+/// header are merged into one loop.
+#[must_use]
+pub fn natural_loops(func: &Function) -> Vec<Loop> {
+    let idom = dominators(func);
+    let preds = predecessors(func);
+    let mut loops: Vec<Loop> = Vec::new();
+    for (index, block) in func.blocks.iter().enumerate() {
+        let from = BlockId(index as u32);
+        if idom[index].is_none() {
+            continue; // unreachable
+        }
+        for target in block.term.successors() {
+            if dominates(target, from, &idom) {
+                // Back edge from -> target.
+                let loop_entry = loops.iter_mut().find(|l| l.header == target);
+                let looped = match loop_entry {
+                    Some(l) => {
+                        l.latches.push(from);
+                        l
+                    }
+                    None => {
+                        loops.push(Loop {
+                            header: target,
+                            body: vec![target],
+                            latches: vec![from],
+                        });
+                        loops.last_mut().expect("just pushed")
+                    }
+                };
+                // Walk predecessors back from the latch to the header.
+                let mut work = vec![from];
+                while let Some(b) = work.pop() {
+                    if looped.body.contains(&b) {
+                        continue;
+                    }
+                    looped.body.push(b);
+                    for &p in &preds[b.index()] {
+                        work.push(p);
+                    }
+                }
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, Function, Module};
+    use crate::inst::{Inst, Terminator, VReg};
+    use supersym_lang::ast::Ty;
+
+    /// Builds the classic diamond: 0 -> {1, 2} -> 3.
+    fn diamond() -> Function {
+        Function {
+            name: "f".into(),
+            vars: vec![],
+            ret: None,
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::ConstInt { dst: VReg(0), value: 1 }],
+                    term: Terminator::Branch {
+                        cond: VReg(0),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                Block::empty(Terminator::Jump(BlockId(3))),
+                Block::empty(Terminator::Jump(BlockId(3))),
+                Block::empty(Terminator::Return(None)),
+            ],
+            vreg_tys: vec![Ty::Int],
+        }
+    }
+
+    /// Entry -> header; header -> {body, exit}; body -> header.
+    fn simple_loop() -> Function {
+        Function {
+            name: "f".into(),
+            vars: vec![],
+            ret: None,
+            blocks: vec![
+                Block::empty(Terminator::Jump(BlockId(1))),
+                Block {
+                    insts: vec![Inst::ConstInt { dst: VReg(0), value: 1 }],
+                    term: Terminator::Branch {
+                        cond: VReg(0),
+                        then_bb: BlockId(2),
+                        else_bb: BlockId(3),
+                    },
+                },
+                Block::empty(Terminator::Jump(BlockId(1))),
+                Block::empty(Terminator::Return(None)),
+            ],
+            vreg_tys: vec![Ty::Int],
+        }
+    }
+
+    #[test]
+    fn diamond_preds() {
+        let func = diamond();
+        let preds = predecessors(&func);
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn diamond_rpo_starts_at_entry_ends_at_join() {
+        let func = diamond();
+        let rpo = reverse_postorder(&func);
+        assert_eq!(rpo.first(), Some(&BlockId(0)));
+        assert_eq!(rpo.last(), Some(&BlockId(3)));
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let func = diamond();
+        let idom = dominators(&func);
+        assert_eq!(idom[0], Some(BlockId(0)));
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+        // The join is dominated by the entry, not by either branch arm.
+        assert_eq!(idom[3], Some(BlockId(0)));
+        assert!(dominates(BlockId(0), BlockId(3), &idom));
+        assert!(!dominates(BlockId(1), BlockId(3), &idom));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let func = simple_loop();
+        let loops = natural_loops(&func);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        let mut body = l.body.clone();
+        body.sort();
+        assert_eq!(body, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut func = diamond();
+        func.blocks.push(Block::empty(Terminator::Return(None))); // orphan
+        let idom = dominators(&func);
+        assert_eq!(idom[4], None);
+    }
+
+    #[test]
+    fn diamond_has_no_loops() {
+        assert!(natural_loops(&diamond()).is_empty());
+    }
+
+    #[test]
+    fn validate_module_with_loop() {
+        let module = Module {
+            globals: vec![],
+            funcs: vec![simple_loop()],
+            entry: 0,
+        };
+        assert!(module.validate().is_ok());
+    }
+}

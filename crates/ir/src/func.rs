@@ -1,0 +1,424 @@
+//! IR containers: modules, functions, blocks.
+
+use crate::inst::{Inst, Terminator, VReg, VarRef};
+use supersym_lang::ast::Ty;
+use std::error::Error;
+use std::fmt;
+
+/// Identifies a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into the function's block list.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Identifies a global (scalar or array) within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Identifies a local variable (or parameter) within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalId(pub u32);
+
+/// Kind of a module global.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GlobalKind {
+    /// A scalar with an initial value (bit pattern per its type).
+    Scalar {
+        /// Initial value as written in the source (0 when omitted).
+        init: f64,
+    },
+    /// A fixed-size array.
+    Array {
+        /// Element count.
+        len: usize,
+    },
+}
+
+/// A module global.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalInfo {
+    /// Source name.
+    pub name: String,
+    /// Element/scalar type.
+    pub ty: Ty,
+    /// Scalar or array.
+    pub kind: GlobalKind,
+}
+
+/// A function-local variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarInfo {
+    /// Source name (compiler temps get synthetic names).
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Parameter position for parameters, `None` for plain locals.
+    pub param_index: Option<usize>,
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// A block holding only a terminator.
+    #[must_use]
+    pub fn empty(term: Terminator) -> Self {
+        Block {
+            insts: Vec::new(),
+            term,
+        }
+    }
+}
+
+/// An IR function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Locals (parameters first, in order).
+    pub vars: Vec<VarInfo>,
+    /// Return type.
+    pub ret: Option<Ty>,
+    /// Basic blocks; `BlockId(0)` is the entry.
+    pub blocks: Vec<Block>,
+    /// Types of vregs, indexed by [`VReg::0`].
+    pub vreg_tys: Vec<Ty>,
+}
+
+impl Function {
+    /// Allocates a fresh vreg of type `ty`.
+    pub fn new_vreg(&mut self, ty: Ty) -> VReg {
+        let vreg = VReg(self.vreg_tys.len() as u32);
+        self.vreg_tys.push(ty);
+        vreg
+    }
+
+    /// Allocates a fresh local variable, returning its id.
+    pub fn new_local(&mut self, name: impl Into<String>, ty: Ty) -> LocalId {
+        let id = LocalId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: name.into(),
+            ty,
+            param_index: None,
+        });
+        id
+    }
+
+    /// The type of a vreg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vreg is not from this function.
+    #[must_use]
+    pub fn vreg_ty(&self, vreg: VReg) -> Ty {
+        self.vreg_tys[vreg.0 as usize]
+    }
+
+    /// Number of parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.vars.iter().filter(|v| v.param_index.is_some()).count()
+    }
+
+    /// Total static instruction count (excluding terminators).
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A whole IR module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Globals (scalars and arrays).
+    pub globals: Vec<GlobalInfo>,
+    /// Functions; calls reference them by index.
+    pub funcs: Vec<Function>,
+    /// Index of `main`, the entry function.
+    pub entry: usize,
+}
+
+/// IR structural errors found by [`Module::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A vreg was used before (or without) being defined in its block.
+    UseBeforeDef {
+        /// Function name.
+        func: String,
+        /// Block.
+        block: BlockId,
+    },
+    /// A terminator targets a block that does not exist.
+    BadTarget {
+        /// Function name.
+        func: String,
+        /// The missing block.
+        target: BlockId,
+    },
+    /// A call references a function index out of range.
+    BadCallee {
+        /// Function name.
+        func: String,
+        /// The callee index.
+        callee: u32,
+    },
+    /// A variable reference is out of range.
+    BadVar {
+        /// Function name.
+        func: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UseBeforeDef { func, block } => {
+                write!(f, "vreg used before definition in `{func}` {block}")
+            }
+            IrError::BadTarget { func, target } => {
+                write!(f, "terminator in `{func}` targets missing {target}")
+            }
+            IrError::BadCallee { func, callee } => {
+                write!(f, "call in `{func}` to missing function #{callee}")
+            }
+            IrError::BadVar { func } => write!(f, "bad variable reference in `{func}`"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+impl Module {
+    /// Validates structural invariants: block-local vreg discipline (every
+    /// vreg used in a block is defined earlier *in that block*), terminator
+    /// targets exist, callees and variable references are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), IrError> {
+        for func in &self.funcs {
+            for (block_index, block) in func.blocks.iter().enumerate() {
+                let block_id = BlockId(block_index as u32);
+                let mut defined = vec![false; func.vreg_tys.len()];
+                let mut use_ok = true;
+                for inst in &block.insts {
+                    inst.for_each_use(|v| {
+                        if !defined[v.0 as usize] {
+                            use_ok = false;
+                        }
+                    });
+                    if !use_ok {
+                        return Err(IrError::UseBeforeDef {
+                            func: func.name.clone(),
+                            block: block_id,
+                        });
+                    }
+                    if let Inst::Call { callee, .. } = inst {
+                        if *callee as usize >= self.funcs.len() {
+                            return Err(IrError::BadCallee {
+                                func: func.name.clone(),
+                                callee: *callee,
+                            });
+                        }
+                    }
+                    let var = match inst {
+                        Inst::ReadVar { var, .. } | Inst::WriteVar { var, .. } => Some(*var),
+                        _ => None,
+                    };
+                    if let Some(var) = var {
+                        let ok = match var {
+                            VarRef::Global(g) => (g.0 as usize) < self.globals.len(),
+                            VarRef::Local(l) => (l.0 as usize) < func.vars.len(),
+                        };
+                        if !ok {
+                            return Err(IrError::BadVar {
+                                func: func.name.clone(),
+                            });
+                        }
+                    }
+                    if let Some(dst) = inst.dst() {
+                        defined[dst.0 as usize] = true;
+                    }
+                }
+                if let Some(used) = block.term.used_vreg() {
+                    if !defined[used.0 as usize] {
+                        return Err(IrError::UseBeforeDef {
+                            func: func.name.clone(),
+                            block: block_id,
+                        });
+                    }
+                }
+                for target in block.term.successors() {
+                    if target.index() >= func.blocks.len() {
+                        return Err(IrError::BadTarget {
+                            func: func.name.clone(),
+                            target,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds a function index by name.
+    #[must_use]
+    pub fn func_index(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::IntBinOp;
+
+    fn one_block_func(insts: Vec<Inst>, term: Terminator) -> Function {
+        let n_vregs = insts
+            .iter()
+            .filter_map(Inst::dst)
+            .map(|v| v.0 + 1)
+            .max()
+            .unwrap_or(0);
+        Function {
+            name: "f".into(),
+            vars: vec![],
+            ret: None,
+            blocks: vec![Block { insts, term }],
+            vreg_tys: vec![Ty::Int; n_vregs as usize],
+        }
+    }
+
+    #[test]
+    fn validate_ok() {
+        let func = one_block_func(
+            vec![
+                Inst::ConstInt { dst: VReg(0), value: 1 },
+                Inst::ConstInt { dst: VReg(1), value: 2 },
+                Inst::IntBin {
+                    op: IntBinOp::Add,
+                    dst: VReg(2),
+                    lhs: VReg(0),
+                    rhs: VReg(1),
+                },
+            ],
+            Terminator::Return(None),
+        );
+        let module = Module {
+            globals: vec![],
+            funcs: vec![func],
+            entry: 0,
+        };
+        assert!(module.validate().is_ok());
+    }
+
+    #[test]
+    fn use_before_def_caught() {
+        let func = one_block_func(
+            vec![Inst::IntBin {
+                op: IntBinOp::Add,
+                dst: VReg(1),
+                lhs: VReg(0),
+                rhs: VReg(0),
+            }],
+            Terminator::Return(None),
+        );
+        let module = Module {
+            globals: vec![],
+            funcs: vec![func],
+            entry: 0,
+        };
+        assert!(matches!(
+            module.validate(),
+            Err(IrError::UseBeforeDef { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_block_vreg_caught() {
+        // vreg defined in bb0, used in bb1: violates the discipline.
+        let mut func = one_block_func(
+            vec![Inst::ConstInt { dst: VReg(0), value: 1 }],
+            Terminator::Jump(BlockId(1)),
+        );
+        func.blocks.push(Block {
+            insts: vec![Inst::WriteVar {
+                var: VarRef::Local(LocalId(0)),
+                src: VReg(0),
+            }],
+            term: Terminator::Return(None),
+        });
+        func.vars.push(VarInfo {
+            name: "x".into(),
+            ty: Ty::Int,
+            param_index: None,
+        });
+        let module = Module {
+            globals: vec![],
+            funcs: vec![func],
+            entry: 0,
+        };
+        assert!(matches!(
+            module.validate(),
+            Err(IrError::UseBeforeDef { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_target_caught() {
+        let func = one_block_func(vec![], Terminator::Jump(BlockId(7)));
+        let module = Module {
+            globals: vec![],
+            funcs: vec![func],
+            entry: 0,
+        };
+        assert!(matches!(module.validate(), Err(IrError::BadTarget { .. })));
+    }
+
+    #[test]
+    fn bad_callee_caught() {
+        let func = one_block_func(
+            vec![Inst::Call {
+                dst: None,
+                callee: 9,
+                args: vec![],
+            }],
+            Terminator::Return(None),
+        );
+        let module = Module {
+            globals: vec![],
+            funcs: vec![func],
+            entry: 0,
+        };
+        assert!(matches!(module.validate(), Err(IrError::BadCallee { .. })));
+    }
+
+    #[test]
+    fn fresh_vregs_and_locals() {
+        let mut func = one_block_func(vec![], Terminator::Return(None));
+        let v = func.new_vreg(Ty::Float);
+        assert_eq!(func.vreg_ty(v), Ty::Float);
+        let l = func.new_local("t", Ty::Int);
+        assert_eq!(func.vars[l.0 as usize].name, "t");
+    }
+}

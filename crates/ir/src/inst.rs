@@ -1,0 +1,459 @@
+//! IR instructions and terminators.
+
+use crate::func::{BlockId, GlobalId, LocalId};
+use supersym_lang::ast::Ty;
+use std::fmt;
+
+/// A virtual register. Block-local by construction (see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A variable reference: a module global scalar or a function local
+/// (parameters are locals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VarRef {
+    /// A global scalar.
+    Global(GlobalId),
+    /// A function-local variable or parameter.
+    Local(LocalId),
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarRef::Global(g) => write!(f, "@g{}", g.0),
+            VarRef::Local(l) => write!(f, "@l{}", l.0),
+        }
+    }
+}
+
+/// Integer binary operations (comparisons yield 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Shift right (arithmetic).
+    Shr,
+    /// Comparison.
+    Cmp(CmpOp),
+}
+
+impl IntBinOp {
+    /// Whether the operation commutes.
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            IntBinOp::Add
+                | IntBinOp::Mul
+                | IntBinOp::And
+                | IntBinOp::Or
+                | IntBinOp::Xor
+                | IntBinOp::Cmp(CmpOp::Eq)
+                | IntBinOp::Cmp(CmpOp::Ne)
+        )
+    }
+}
+
+/// Comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// The predicate with operands swapped (`a < b` == `b > a`).
+    #[must_use]
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The negated predicate (`!(a < b)` == `a >= b`).
+    #[must_use]
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// Floating-point binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl FloatBinOp {
+    /// Whether the operation commutes (treating FP arithmetic as exact, as
+    /// the paper's reassociating unroller does).
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(self, FloatBinOp::Add | FloatBinOp::Mul)
+    }
+}
+
+/// The compiler's decomposition of an array index into
+/// *base expression + constant delta*, used for memory disambiguation.
+///
+/// Two accesses to the same array whose origins share the same `base`
+/// fingerprint — and whose base expressions' variables are unmodified in
+/// between — differ only by their deltas, so distinct deltas prove
+/// distinct addresses. This is the analysis behind the paper's careful
+/// unrolling (§4.4): after substituting `j -> j + k` into `a[row + j]`, all
+/// copies share the base `{row, j}` and carry deltas `0..factor`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexOrigin {
+    /// The index is a compile-time constant (e.g. `a[3]`).
+    Absolute(i64),
+    /// The index is `base-expression + delta`.
+    Relative {
+        /// Structural fingerprint of the (constant-stripped, canonically
+        /// ordered) base expression. Two origins with equal fingerprints
+        /// denote the same runtime base value as long as no variable in
+        /// the `vars` field has been written in between.
+        base: u64,
+        /// Variables the base expression reads (invalidation set).
+        vars: Vec<VarRef>,
+        /// Constant addend.
+        delta: i64,
+    },
+}
+
+/// A non-terminator IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst <- constant` (integer).
+    ConstInt {
+        /// Destination.
+        dst: VReg,
+        /// Value.
+        value: i64,
+    },
+    /// `dst <- constant` (float).
+    ConstFloat {
+        /// Destination.
+        dst: VReg,
+        /// Value.
+        value: f64,
+    },
+    /// Integer arithmetic `dst <- lhs op rhs`.
+    IntBin {
+        /// Operation.
+        op: IntBinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// Float arithmetic `dst <- lhs op rhs`.
+    FloatBin {
+        /// Operation.
+        op: FloatBinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// Float comparison `dst <- lhs op rhs` (integer 0/1 result).
+    FloatCmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Destination (integer-typed vreg).
+        dst: VReg,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// Conversion between `int` and `float`.
+    Cast {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: VReg,
+        /// Target type.
+        to: Ty,
+    },
+    /// `dst <- variable`.
+    ReadVar {
+        /// Destination.
+        dst: VReg,
+        /// Source variable.
+        var: VarRef,
+    },
+    /// `variable <- src`.
+    WriteVar {
+        /// Destination variable.
+        var: VarRef,
+        /// Source vreg.
+        src: VReg,
+    },
+    /// `dst <- arr[index]`.
+    ReadElem {
+        /// Destination.
+        dst: VReg,
+        /// The global array.
+        arr: GlobalId,
+        /// Index vreg (int).
+        index: VReg,
+        /// Index decomposition for memory disambiguation between unrolled
+        /// copies (§4.4).
+        origin: Option<IndexOrigin>,
+    },
+    /// `arr[index] <- src`.
+    WriteElem {
+        /// The global array.
+        arr: GlobalId,
+        /// Index vreg (int).
+        index: VReg,
+        /// Value vreg.
+        src: VReg,
+        /// Index decomposition, as on reads.
+        origin: Option<IndexOrigin>,
+    },
+    /// Function call. Ends a scheduling region; vregs do not live across it.
+    Call {
+        /// Result vreg for non-void callees.
+        dst: Option<VReg>,
+        /// Index of the callee in the module.
+        callee: u32,
+        /// Argument vregs.
+        args: Vec<VReg>,
+    },
+}
+
+impl Inst {
+    /// The vreg this instruction defines, if any.
+    #[must_use]
+    pub fn dst(&self) -> Option<VReg> {
+        match self {
+            Inst::ConstInt { dst, .. }
+            | Inst::ConstFloat { dst, .. }
+            | Inst::IntBin { dst, .. }
+            | Inst::FloatBin { dst, .. }
+            | Inst::FloatCmp { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::ReadVar { dst, .. }
+            | Inst::ReadElem { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::WriteVar { .. } | Inst::WriteElem { .. } => None,
+        }
+    }
+
+    /// Calls `f` for each vreg this instruction reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(VReg)) {
+        match self {
+            Inst::ConstInt { .. } | Inst::ConstFloat { .. } => {}
+            Inst::IntBin { lhs, rhs, .. }
+            | Inst::FloatBin { lhs, rhs, .. }
+            | Inst::FloatCmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Inst::Cast { src, .. } => f(*src),
+            Inst::ReadVar { .. } => {}
+            Inst::WriteVar { src, .. } => f(*src),
+            Inst::ReadElem { index, .. } => f(*index),
+            Inst::WriteElem { index, src, .. } => {
+                f(*index);
+                f(*src);
+            }
+            Inst::Call { args, .. } => {
+                for arg in args {
+                    f(*arg);
+                }
+            }
+        }
+    }
+
+    /// Whether the instruction is *pure*: removable when its result is
+    /// unused, and a candidate for CSE / code motion.
+    #[must_use]
+    pub fn is_pure(&self) -> bool {
+        match self {
+            Inst::ConstInt { .. }
+            | Inst::ConstFloat { .. }
+            | Inst::IntBin { .. }
+            | Inst::FloatBin { .. }
+            | Inst::FloatCmp { .. }
+            | Inst::Cast { .. }
+            | Inst::ReadVar { .. }
+            | Inst::ReadElem { .. } => true,
+            Inst::WriteVar { .. } | Inst::WriteElem { .. } | Inst::Call { .. } => false,
+        }
+    }
+
+    /// Whether the instruction has side effects on memory or variables
+    /// (stores and calls).
+    #[must_use]
+    pub fn is_side_effecting(&self) -> bool {
+        matches!(
+            self,
+            Inst::WriteVar { .. } | Inst::WriteElem { .. } | Inst::Call { .. }
+        )
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on an integer vreg (non-zero = then).
+    Branch {
+        /// Condition vreg.
+        cond: VReg,
+        /// Target when non-zero.
+        then_bb: BlockId,
+        /// Target when zero.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Return(Option<VReg>),
+}
+
+impl Terminator {
+    /// Successor blocks.
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+
+    /// The vreg the terminator reads, if any.
+    #[must_use]
+    pub fn used_vreg(&self) -> Option<VReg> {
+        match self {
+            Terminator::Branch { cond, .. } => Some(*cond),
+            Terminator::Return(v) => *v,
+            Terminator::Jump(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dst_and_uses() {
+        let inst = Inst::IntBin {
+            op: IntBinOp::Add,
+            dst: VReg(3),
+            lhs: VReg(1),
+            rhs: VReg(2),
+        };
+        assert_eq!(inst.dst(), Some(VReg(3)));
+        let mut uses = Vec::new();
+        inst.for_each_use(|v| uses.push(v));
+        assert_eq!(uses, vec![VReg(1), VReg(2)]);
+    }
+
+    #[test]
+    fn purity() {
+        assert!(Inst::ConstInt { dst: VReg(0), value: 1 }.is_pure());
+        assert!(!Inst::WriteVar {
+            var: VarRef::Local(LocalId(0)),
+            src: VReg(0)
+        }
+        .is_pure());
+        assert!(!Inst::Call {
+            dst: None,
+            callee: 0,
+            args: vec![]
+        }
+        .is_pure());
+    }
+
+    #[test]
+    fn cmp_transforms() {
+        assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.swapped(), CmpOp::Eq);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.swapped().swapped(), op);
+        }
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let branch = Terminator::Branch {
+            cond: VReg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(branch.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Return(None).successors(), vec![]);
+        assert_eq!(branch.used_vreg(), Some(VReg(0)));
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(IntBinOp::Add.is_commutative());
+        assert!(!IntBinOp::Sub.is_commutative());
+        assert!(IntBinOp::Cmp(CmpOp::Eq).is_commutative());
+        assert!(!IntBinOp::Cmp(CmpOp::Lt).is_commutative());
+        assert!(FloatBinOp::Mul.is_commutative());
+        assert!(!FloatBinOp::Div.is_commutative());
+    }
+}

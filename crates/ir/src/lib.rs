@@ -1,0 +1,44 @@
+//! # supersym-ir
+//!
+//! The intermediate representation of the supersym compiler: three-address
+//! code over *virtual registers* organized into a control-flow graph of
+//! basic blocks, plus the analyses the optimizer needs (predecessors,
+//! reverse postorder, dominators, natural loops, variable liveness).
+//!
+//! ## The temporaries discipline
+//!
+//! Virtual registers ([`VReg`]) are **block-local**: no vreg is live across
+//! a basic-block boundary or a call. All longer-lived values flow through
+//! *variables* ([`VarRef`]) with explicit [`Inst::ReadVar`] /
+//! [`Inst::WriteVar`]. This mirrors the paper's compiler, which "divides the
+//! register set into two disjoint parts ... one part as temporaries for
+//! short-term expressions ... the other part as home locations for local and
+//! global variables" (§3). Register allocation later decides which variables
+//! get home registers (the paper's *global register allocation*) and maps
+//! vregs onto the temporary registers.
+//!
+//! ## Example
+//!
+//! ```
+//! let module = supersym_lang::parse(
+//!     "fn main() -> int { var s = 0; for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }",
+//! )?;
+//! supersym_lang::check(&module)?;
+//! let ir = supersym_ir::lower(&module)?;
+//! assert_eq!(ir.funcs.len(), 1);
+//! ir.validate().expect("lowered IR is well-formed");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cfg;
+mod func;
+mod inst;
+mod liveness;
+mod lower;
+mod printer;
+
+pub use cfg::{dominates, dominators, natural_loops, predecessors, reverse_postorder, Loop};
+pub use func::{Block, BlockId, Function, GlobalId, GlobalInfo, GlobalKind, IrError, LocalId, Module, VarInfo};
+pub use inst::{CmpOp, FloatBinOp, IndexOrigin, Inst, IntBinOp, Terminator, VReg, VarRef};
+pub use liveness::{var_liveness, VarLiveness};
+pub use lower::lower;

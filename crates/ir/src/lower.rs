@@ -1,0 +1,831 @@
+//! AST → IR lowering.
+//!
+//! Expects a [`supersym_lang::check`]ed module. Lowering establishes the
+//! block-local vreg discipline: every statement's expression trees become
+//! straight-line TAC in the current block, with variables read/written
+//! through explicit `ReadVar`/`WriteVar`.
+
+use crate::func::{
+    Block, BlockId, Function, GlobalId, GlobalInfo, GlobalKind, Module, VarInfo,
+};
+use crate::inst::{CmpOp, FloatBinOp, Inst, IntBinOp, Terminator, VReg, VarRef};
+use supersym_lang::ast;
+use supersym_lang::ast::{BinOp, Expr, Stmt, Ty, UnOp};
+use supersym_lang::LangError;
+use std::collections::HashMap;
+
+/// Lowers a checked AST module into IR.
+///
+/// The entry function is `main` when present, else the first function.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] if the module references undefined names — this
+/// cannot happen for modules that passed [`supersym_lang::check`].
+pub fn lower(source: &ast::Module) -> Result<Module, LangError> {
+    let mut globals = Vec::new();
+    let mut global_ids = HashMap::new();
+    for g in &source.globals {
+        global_ids.insert(g.name.clone(), GlobalId(globals.len() as u32));
+        globals.push(GlobalInfo {
+            name: g.name.clone(),
+            ty: g.ty,
+            kind: match g.kind {
+                ast::GlobalKind::Scalar { init } => GlobalKind::Scalar {
+                    init: init.unwrap_or(0.0),
+                },
+                ast::GlobalKind::Array { len } => GlobalKind::Array { len },
+            },
+        });
+    }
+    let func_ids: HashMap<String, u32> = source
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i as u32))
+        .collect();
+    let func_rets: HashMap<String, Option<Ty>> = source
+        .funcs
+        .iter()
+        .map(|f| (f.name.clone(), f.ret))
+        .collect();
+
+    let mut funcs = Vec::new();
+    for f in &source.funcs {
+        let ctx = LowerCtx {
+            globals: &globals,
+            global_ids: &global_ids,
+            func_ids: &func_ids,
+            func_rets: &func_rets,
+        };
+        funcs.push(lower_function(&ctx, f)?);
+    }
+    let entry = source
+        .funcs
+        .iter()
+        .position(|f| f.name == "main")
+        .unwrap_or(0);
+    Ok(Module {
+        globals,
+        funcs,
+        entry,
+    })
+}
+
+struct LowerCtx<'a> {
+    globals: &'a [GlobalInfo],
+    global_ids: &'a HashMap<String, GlobalId>,
+    func_ids: &'a HashMap<String, u32>,
+    func_rets: &'a HashMap<String, Option<Ty>>,
+}
+
+struct FnLowerer<'a> {
+    ctx: &'a LowerCtx<'a>,
+    func: Function,
+    cur: BlockId,
+    scopes: Vec<HashMap<String, crate::func::LocalId>>,
+}
+
+fn undefined(name: &str) -> LangError {
+    LangError::Undefined {
+        name: name.to_string(),
+        line: 0,
+    }
+}
+
+fn lower_function(ctx: &LowerCtx<'_>, decl: &ast::FnDecl) -> Result<Function, LangError> {
+    let mut func = Function {
+        name: decl.name.clone(),
+        vars: Vec::new(),
+        ret: decl.ret,
+        blocks: vec![Block::empty(Terminator::Return(None))],
+        vreg_tys: Vec::new(),
+    };
+    let mut scopes = vec![HashMap::new()];
+    for (index, (name, ty)) in decl.params.iter().enumerate() {
+        let id = crate::func::LocalId(func.vars.len() as u32);
+        func.vars.push(VarInfo {
+            name: name.clone(),
+            ty: *ty,
+            param_index: Some(index),
+        });
+        scopes[0].insert(name.clone(), id);
+    }
+    let mut lowerer = FnLowerer {
+        ctx,
+        func,
+        cur: BlockId(0),
+        scopes,
+    };
+    lowerer.block(&decl.body)?;
+    // Fall-off-the-end return (void functions; checked functions returning a
+    // value always return explicitly on every live path or fall into this
+    // default, which returns garbage only for paths check() deemed dead).
+    lowerer.set_term(Terminator::Return(None));
+    Ok(lowerer.func)
+}
+
+impl FnLowerer<'_> {
+    fn emit(&mut self, inst: Inst) {
+        self.func.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func
+            .blocks
+            .push(Block::empty(Terminator::Return(None)));
+        id
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        self.func.blocks[self.cur.index()].term = term;
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarRef> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&id) = scope.get(name) {
+                return Some(VarRef::Local(id));
+            }
+        }
+        self.ctx
+            .global_ids
+            .get(name)
+            .filter(|g| matches!(self.ctx.globals[g.0 as usize].kind, GlobalKind::Scalar { .. }))
+            .map(|&g| VarRef::Global(g))
+    }
+
+    fn var_ty(&self, var: VarRef) -> Ty {
+        match var {
+            VarRef::Global(g) => self.ctx.globals[g.0 as usize].ty,
+            VarRef::Local(l) => self.func.vars[l.0 as usize].ty,
+        }
+    }
+
+    fn block(&mut self, block: &ast::Block) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        match stmt {
+            Stmt::Let { name, ty, init } => {
+                let (src, _) = self.expr(init)?;
+                let id = crate::func::LocalId(self.func.vars.len() as u32);
+                self.func.vars.push(VarInfo {
+                    name: name.clone(),
+                    ty: *ty,
+                    param_index: None,
+                });
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack is never empty")
+                    .insert(name.clone(), id);
+                self.emit(Inst::WriteVar {
+                    var: VarRef::Local(id),
+                    src,
+                });
+                Ok(())
+            }
+            Stmt::Assign { name, value } => {
+                let var = self.lookup(name).ok_or_else(|| undefined(name))?;
+                let (src, _) = self.expr(value)?;
+                self.emit(Inst::WriteVar { var, src });
+                Ok(())
+            }
+            Stmt::AssignElem { arr, index, value } => {
+                let arr_id = *self.ctx.global_ids.get(arr).ok_or_else(|| undefined(arr))?;
+                let origin = self.index_origin(index);
+                let (index, _) = self.expr(index)?;
+                let (src, _) = self.expr(value)?;
+                self.emit(Inst::WriteElem {
+                    arr: arr_id,
+                    index,
+                    src,
+                    origin,
+                });
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let (cond, _) = self.expr(cond)?;
+                let then_bb = self.new_block();
+                let join_bb = self.new_block();
+                let else_bb = if else_blk.is_some() {
+                    self.new_block()
+                } else {
+                    join_bb
+                };
+                self.set_term(Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                });
+                self.cur = then_bb;
+                self.block(then_blk)?;
+                self.set_term(Terminator::Jump(join_bb));
+                if let Some(else_blk) = else_blk {
+                    self.cur = else_bb;
+                    self.block(else_blk)?;
+                    self.set_term(Terminator::Jump(join_bb));
+                }
+                self.cur = join_bb;
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                self.set_term(Terminator::Jump(header));
+                self.cur = header;
+                let (cond, _) = self.expr(cond)?;
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.set_term(Terminator::Branch {
+                    cond,
+                    then_bb: body_bb,
+                    else_bb: exit_bb,
+                });
+                self.cur = body_bb;
+                self.block(body)?;
+                self.set_term(Terminator::Jump(header));
+                self.cur = exit_bb;
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // i = init
+                let (init_vreg, _) = self.expr(init)?;
+                let id = crate::func::LocalId(self.func.vars.len() as u32);
+                self.func.vars.push(VarInfo {
+                    name: var.clone(),
+                    ty: Ty::Int,
+                    param_index: None,
+                });
+                self.scopes.push(HashMap::new());
+                self.scopes
+                    .last_mut()
+                    .expect("just pushed")
+                    .insert(var.clone(), id);
+                self.emit(Inst::WriteVar {
+                    var: VarRef::Local(id),
+                    src: init_vreg,
+                });
+                // header: cond ? body : exit
+                let header = self.new_block();
+                self.set_term(Terminator::Jump(header));
+                self.cur = header;
+                let (cond, _) = self.expr(cond)?;
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.set_term(Terminator::Branch {
+                    cond,
+                    then_bb: body_bb,
+                    else_bb: exit_bb,
+                });
+                // body; i = i + step; jump header
+                self.cur = body_bb;
+                self.block(body)?;
+                let i_val = self.func.new_vreg(Ty::Int);
+                self.emit(Inst::ReadVar {
+                    dst: i_val,
+                    var: VarRef::Local(id),
+                });
+                let step_vreg = self.func.new_vreg(Ty::Int);
+                self.emit(Inst::ConstInt {
+                    dst: step_vreg,
+                    value: *step,
+                });
+                let next = self.func.new_vreg(Ty::Int);
+                self.emit(Inst::IntBin {
+                    op: IntBinOp::Add,
+                    dst: next,
+                    lhs: i_val,
+                    rhs: step_vreg,
+                });
+                self.emit(Inst::WriteVar {
+                    var: VarRef::Local(id),
+                    src: next,
+                });
+                self.set_term(Terminator::Jump(header));
+                self.scopes.pop();
+                self.cur = exit_bb;
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                let vreg = match value {
+                    Some(value) => Some(self.expr(value)?.0),
+                    None => None,
+                };
+                self.set_term(Terminator::Return(vreg));
+                // Anything after a return in the same source block is dead;
+                // keep lowering into a fresh unreachable block.
+                let dead = self.new_block();
+                self.cur = dead;
+                Ok(())
+            }
+            Stmt::ExprStmt(expr) => {
+                if let Expr::Call { name, args } = expr {
+                    self.lower_call(name, args, /* want_value = */ false)?;
+                } else {
+                    self.expr(expr)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Decomposes an index expression into *base + constant delta* for the
+    /// disambiguation annotation: the top-level additive chain is flattened,
+    /// integer-literal terms are summed into the delta, and the remaining
+    /// terms (canonically ordered) are fingerprinted as the base.
+    ///
+    /// Expressions containing calls are not annotated (the callee could
+    /// change the base's meaning between two uses); neither are those whose
+    /// base terms reference no variables we can track.
+    fn index_origin(&self, index: &Expr) -> Option<crate::inst::IndexOrigin> {
+        use crate::inst::IndexOrigin;
+        if index.contains_call() {
+            return None;
+        }
+        let mut delta = 0_i64;
+        let mut terms: Vec<(bool, &Expr)> = Vec::new(); // (negated, term)
+        flatten_additive(index, false, &mut delta, &mut terms);
+        if terms.is_empty() {
+            return Some(IndexOrigin::Absolute(delta));
+        }
+        // Collect the variables the base reads; all must resolve.
+        let mut vars: Vec<VarRef> = Vec::new();
+        for (_, term) in &terms {
+            if !self.collect_vars(term, &mut vars) {
+                return None;
+            }
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        // Canonical fingerprint: sorted (sign, structural-hash) pairs.
+        let mut prints: Vec<(bool, u64)> = terms
+            .iter()
+            .map(|&(neg, term)| (neg, fingerprint(term)))
+            .collect();
+        prints.sort_unstable();
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        prints.hash(&mut hasher);
+        Some(IndexOrigin::Relative {
+            base: hasher.finish(),
+            vars,
+            delta,
+        })
+    }
+
+    /// Accumulates the variables read by `expr` into `vars`; returns `false`
+    /// if any name fails to resolve (should not happen post-check).
+    fn collect_vars(&self, expr: &Expr, vars: &mut Vec<VarRef>) -> bool {
+        match expr {
+            Expr::IntLit(_) | Expr::FloatLit(_) => true,
+            Expr::Var(name) => match self.lookup(name) {
+                Some(var) => {
+                    vars.push(var);
+                    true
+                }
+                None => false,
+            },
+            // An array element in the base could change under stores we do
+            // not track: refuse the annotation.
+            Expr::Elem { .. } => false,
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => self.collect_vars(expr, vars),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.collect_vars(lhs, vars) && self.collect_vars(rhs, vars)
+            }
+            Expr::Call { .. } => false,
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        want_value: bool,
+    ) -> Result<Option<(VReg, Ty)>, LangError> {
+        let callee = *self.ctx.func_ids.get(name).ok_or_else(|| undefined(name))?;
+        let ret = *self.ctx.func_rets.get(name).ok_or_else(|| undefined(name))?;
+        let mut arg_vregs = Vec::with_capacity(args.len());
+        for arg in args {
+            arg_vregs.push(self.expr(arg)?.0);
+        }
+        let dst = match (want_value, ret) {
+            (_, Some(ty)) => Some((self.func.new_vreg(ty), ty)),
+            (false, None) => None,
+            (true, None) => return Err(undefined(name)), // checked earlier
+        };
+        self.emit(Inst::Call {
+            dst: dst.map(|(v, _)| v),
+            callee,
+            args: arg_vregs,
+        });
+        Ok(dst)
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<(VReg, Ty), LangError> {
+        match expr {
+            Expr::IntLit(value) => {
+                let dst = self.func.new_vreg(Ty::Int);
+                self.emit(Inst::ConstInt { dst, value: *value });
+                Ok((dst, Ty::Int))
+            }
+            Expr::FloatLit(value) => {
+                let dst = self.func.new_vreg(Ty::Float);
+                self.emit(Inst::ConstFloat { dst, value: *value });
+                Ok((dst, Ty::Float))
+            }
+            Expr::Var(name) => {
+                let var = self.lookup(name).ok_or_else(|| undefined(name))?;
+                let ty = self.var_ty(var);
+                let dst = self.func.new_vreg(ty);
+                self.emit(Inst::ReadVar { dst, var });
+                Ok((dst, ty))
+            }
+            Expr::Elem { arr, index } => {
+                let arr_id = *self.ctx.global_ids.get(arr).ok_or_else(|| undefined(arr))?;
+                let ty = self.ctx.globals[arr_id.0 as usize].ty;
+                let origin = self.index_origin(index);
+                let (index, _) = self.expr(index)?;
+                let dst = self.func.new_vreg(ty);
+                self.emit(Inst::ReadElem {
+                    dst,
+                    arr: arr_id,
+                    index,
+                    origin,
+                });
+                Ok((dst, ty))
+            }
+            Expr::Unary { op, expr } => {
+                let (operand, ty) = self.expr(expr)?;
+                match (op, ty) {
+                    (UnOp::Neg, Ty::Int) => {
+                        let zero = self.func.new_vreg(Ty::Int);
+                        self.emit(Inst::ConstInt { dst: zero, value: 0 });
+                        let dst = self.func.new_vreg(Ty::Int);
+                        self.emit(Inst::IntBin {
+                            op: IntBinOp::Sub,
+                            dst,
+                            lhs: zero,
+                            rhs: operand,
+                        });
+                        Ok((dst, Ty::Int))
+                    }
+                    (UnOp::Neg, Ty::Float) => {
+                        let zero = self.func.new_vreg(Ty::Float);
+                        self.emit(Inst::ConstFloat { dst: zero, value: 0.0 });
+                        let dst = self.func.new_vreg(Ty::Float);
+                        self.emit(Inst::FloatBin {
+                            op: FloatBinOp::Sub,
+                            dst,
+                            lhs: zero,
+                            rhs: operand,
+                        });
+                        Ok((dst, Ty::Float))
+                    }
+                    (UnOp::Not, _) => {
+                        let zero = self.func.new_vreg(Ty::Int);
+                        self.emit(Inst::ConstInt { dst: zero, value: 0 });
+                        let dst = self.func.new_vreg(Ty::Int);
+                        self.emit(Inst::IntBin {
+                            op: IntBinOp::Cmp(CmpOp::Eq),
+                            dst,
+                            lhs: operand,
+                            rhs: zero,
+                        });
+                        Ok((dst, Ty::Int))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (lhs, lhs_ty) = self.expr(lhs)?;
+                let (rhs, _) = self.expr(rhs)?;
+                match lhs_ty {
+                    Ty::Int => {
+                        let ir_op = int_bin_op(*op);
+                        let dst = self.func.new_vreg(Ty::Int);
+                        self.emit(Inst::IntBin {
+                            op: ir_op,
+                            dst,
+                            lhs,
+                            rhs,
+                        });
+                        Ok((dst, Ty::Int))
+                    }
+                    Ty::Float => {
+                        if let Some(cmp) = cmp_op(*op) {
+                            let dst = self.func.new_vreg(Ty::Int);
+                            self.emit(Inst::FloatCmp {
+                                op: cmp,
+                                dst,
+                                lhs,
+                                rhs,
+                            });
+                            Ok((dst, Ty::Int))
+                        } else {
+                            let ir_op = float_bin_op(*op);
+                            let dst = self.func.new_vreg(Ty::Float);
+                            self.emit(Inst::FloatBin {
+                                op: ir_op,
+                                dst,
+                                lhs,
+                                rhs,
+                            });
+                            Ok((dst, Ty::Float))
+                        }
+                    }
+                }
+            }
+            Expr::Call { name, args } => {
+                let result = self.lower_call(name, args, true)?;
+                Ok(result.expect("value-producing call"))
+            }
+            Expr::Cast { to, expr } => {
+                let (src, _) = self.expr(expr)?;
+                let dst = self.func.new_vreg(*to);
+                self.emit(Inst::Cast { dst, src, to: *to });
+                Ok((dst, *to))
+            }
+        }
+    }
+}
+
+/// Flattens a top-level `+`/`-` chain: literal terms are folded into
+/// `delta`, everything else is pushed onto `terms` with its sign.
+fn flatten_additive<'e>(
+    expr: &'e Expr,
+    negated: bool,
+    delta: &mut i64,
+    terms: &mut Vec<(bool, &'e Expr)>,
+) {
+    match expr {
+        Expr::IntLit(v) => {
+            *delta = delta.wrapping_add(if negated { -*v } else { *v });
+        }
+        Expr::Binary {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+        } => {
+            flatten_additive(lhs, negated, delta, terms);
+            flatten_additive(rhs, negated, delta, terms);
+        }
+        Expr::Binary {
+            op: BinOp::Sub,
+            lhs,
+            rhs,
+        } => {
+            flatten_additive(lhs, negated, delta, terms);
+            flatten_additive(rhs, !negated, delta, terms);
+        }
+        other => terms.push((negated, other)),
+    }
+}
+
+/// Structural fingerprint of an expression (stable across clones).
+fn fingerprint(expr: &Expr) -> u64 {
+    use std::hash::{Hash, Hasher};
+    fn walk<H: Hasher>(expr: &Expr, h: &mut H) {
+        match expr {
+            Expr::IntLit(v) => {
+                0_u8.hash(h);
+                v.hash(h);
+            }
+            Expr::FloatLit(v) => {
+                1_u8.hash(h);
+                v.to_bits().hash(h);
+            }
+            Expr::Var(name) => {
+                2_u8.hash(h);
+                name.hash(h);
+            }
+            Expr::Elem { arr, index } => {
+                3_u8.hash(h);
+                arr.hash(h);
+                walk(index, h);
+            }
+            Expr::Unary { op, expr } => {
+                4_u8.hash(h);
+                std::mem::discriminant(op).hash(h);
+                walk(expr, h);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                5_u8.hash(h);
+                std::mem::discriminant(op).hash(h);
+                walk(lhs, h);
+                walk(rhs, h);
+            }
+            Expr::Call { name, args } => {
+                6_u8.hash(h);
+                name.hash(h);
+                for arg in args {
+                    walk(arg, h);
+                }
+            }
+            Expr::Cast { to, expr } => {
+                7_u8.hash(h);
+                std::mem::discriminant(to).hash(h);
+                walk(expr, h);
+            }
+        }
+    }
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    walk(expr, &mut hasher);
+    hasher.finish()
+}
+
+fn cmp_op(op: BinOp) -> Option<CmpOp> {
+    match op {
+        BinOp::Eq => Some(CmpOp::Eq),
+        BinOp::Ne => Some(CmpOp::Ne),
+        BinOp::Lt => Some(CmpOp::Lt),
+        BinOp::Le => Some(CmpOp::Le),
+        BinOp::Gt => Some(CmpOp::Gt),
+        BinOp::Ge => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+fn int_bin_op(op: BinOp) -> IntBinOp {
+    if let Some(cmp) = cmp_op(op) {
+        return IntBinOp::Cmp(cmp);
+    }
+    match op {
+        BinOp::Add => IntBinOp::Add,
+        BinOp::Sub => IntBinOp::Sub,
+        BinOp::Mul => IntBinOp::Mul,
+        BinOp::Div => IntBinOp::Div,
+        BinOp::Rem => IntBinOp::Rem,
+        BinOp::And => IntBinOp::And,
+        BinOp::Or => IntBinOp::Or,
+        BinOp::Xor => IntBinOp::Xor,
+        BinOp::Shl => IntBinOp::Shl,
+        BinOp::Shr => IntBinOp::Shr,
+        _ => unreachable!("comparisons handled above"),
+    }
+}
+
+fn float_bin_op(op: BinOp) -> FloatBinOp {
+    match op {
+        BinOp::Add => FloatBinOp::Add,
+        BinOp::Sub => FloatBinOp::Sub,
+        BinOp::Mul => FloatBinOp::Mul,
+        BinOp::Div => FloatBinOp::Div,
+        _ => unreachable!("type checking rejects other float operators"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_src(src: &str) -> Module {
+        let ast = supersym_lang::parse(src).unwrap();
+        supersym_lang::check(&ast).unwrap();
+        let module = lower(&ast).unwrap();
+        module.validate().unwrap();
+        module
+    }
+
+    #[test]
+    fn lower_arithmetic() {
+        let m = lower_src("fn main() -> int { return 1 + 2 * 3; }");
+        let f = &m.funcs[0];
+        assert_eq!(f.blocks.len(), 2); // entry + dead block after return
+        assert!(matches!(
+            f.blocks[0].term,
+            Terminator::Return(Some(_))
+        ));
+        assert_eq!(f.inst_count(), 5); // 3 consts + mul + add
+    }
+
+    #[test]
+    fn lower_if_else_diamond() {
+        let m = lower_src("fn main(int x) { if (x > 0) { x = 1; } else { x = 2; } x = 3; }");
+        let f = &m.funcs[0];
+        // entry, then, join, else.
+        assert_eq!(f.blocks.len(), 4);
+        assert!(matches!(f.blocks[0].term, Terminator::Branch { .. }));
+    }
+
+    #[test]
+    fn lower_for_loop_shape() {
+        let m = lower_src("fn main() { for (i = 0; i < 4; i = i + 1) { } }");
+        let f = &m.funcs[0];
+        let loops = crate::cfg::natural_loops(f);
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn lower_while_loop_shape() {
+        let m = lower_src("fn main(int n) { while (n > 0) { n = n - 1; } }");
+        let loops = crate::cfg::natural_loops(&m.funcs[0]);
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn origin_annotations() {
+        let m = lower_src(
+            "global arr a[8];
+             fn main() { for (i = 0; i < 4; i = i + 1) { a[i + 1] = a[i]; } }",
+        );
+        let f = &m.funcs[0];
+        let mut read_origin = None;
+        let mut write_origin = None;
+        for block in &f.blocks {
+            for inst in &block.insts {
+                match inst {
+                    Inst::ReadElem { origin, .. } => read_origin = origin.clone(),
+                    Inst::WriteElem { origin, .. } => write_origin = origin.clone(),
+                    _ => {}
+                }
+            }
+        }
+        let crate::inst::IndexOrigin::Relative { base: rb, delta: rd, .. } =
+            read_origin.expect("read annotated")
+        else {
+            panic!("read origin should be relative")
+        };
+        let crate::inst::IndexOrigin::Relative { base: wb, delta: wd, .. } =
+            write_origin.expect("write annotated")
+        else {
+            panic!("write origin should be relative")
+        };
+        assert_eq!(rb, wb, "both index off the same base");
+        assert_eq!(rd, 0);
+        assert_eq!(wd, 1);
+    }
+
+    #[test]
+    fn void_and_value_calls() {
+        let m = lower_src(
+            "fn helper() { }
+             fn twice(int x) -> int { return x * 2; }
+             fn main() -> int { helper(); return twice(21); }",
+        );
+        let main = &m.funcs[2];
+        let calls: Vec<&Inst> = main.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .collect();
+        assert_eq!(calls.len(), 2);
+        assert!(matches!(calls[0], Inst::Call { dst: None, .. }));
+        assert!(matches!(calls[1], Inst::Call { dst: Some(_), .. }));
+    }
+
+    #[test]
+    fn entry_is_main() {
+        let m = lower_src("fn aux() { } fn main() { }");
+        assert_eq!(m.entry, 1);
+    }
+
+    #[test]
+    fn globals_carried_through() {
+        let m = lower_src("global var x = 5; global farr b[3]; fn main() { x = x + 1; }");
+        assert_eq!(m.globals.len(), 2);
+        assert!(matches!(m.globals[0].kind, GlobalKind::Scalar { init } if init == 5.0));
+        assert!(matches!(m.globals[1].kind, GlobalKind::Array { len: 3 }));
+    }
+
+    #[test]
+    fn float_compare_yields_int_vreg() {
+        let m = lower_src("fn main(float a, float b) -> int { return a < b; }");
+        let f = &m.funcs[0];
+        let cmp = f.blocks[0]
+            .insts
+            .iter()
+            .find_map(|i| match i {
+                Inst::FloatCmp { dst, .. } => Some(*dst),
+                _ => None,
+            })
+            .expect("has a float compare");
+        assert_eq!(f.vreg_ty(cmp), Ty::Int);
+    }
+
+    #[test]
+    fn unary_lowering() {
+        let m = lower_src("fn main(int x) -> int { return -x + !x; }");
+        assert!(m.funcs[0].inst_count() >= 5);
+    }
+
+    #[test]
+    fn statements_after_return_are_unreachable_but_valid() {
+        let m = lower_src("fn main() -> int { return 1; return 2; }");
+        assert!(m.validate().is_ok());
+    }
+}

@@ -1,0 +1,131 @@
+//! Human-readable IR printing (for debugging and golden tests).
+
+use crate::func::{Block, Function, Module};
+use crate::inst::{Inst, IntBinOp, Terminator};
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::ConstInt { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::ConstFloat { dst, value } => write!(f, "{dst} = fconst {value}"),
+            Inst::IntBin { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = {} {lhs}, {rhs}", int_op_name(*op))
+            }
+            Inst::FloatBin { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = f{:?} {lhs}, {rhs}", op)
+            }
+            Inst::FloatCmp { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = fcmp.{:?} {lhs}, {rhs}", op)
+            }
+            Inst::Cast { dst, src, to } => write!(f, "{dst} = cast.{to} {src}"),
+            Inst::ReadVar { dst, var } => write!(f, "{dst} = read {var}"),
+            Inst::WriteVar { var, src } => write!(f, "write {var}, {src}"),
+            Inst::ReadElem {
+                dst, arr, index, origin,
+            } => {
+                write!(f, "{dst} = elem @g{}[{index}]", arr.0)?;
+                if let Some(origin) = origin {
+                    write!(f, " !origin({origin:?})")?;
+                }
+                Ok(())
+            }
+            Inst::WriteElem {
+                arr, index, src, origin,
+            } => {
+                write!(f, "elem @g{}[{index}] = {src}", arr.0)?;
+                if let Some(origin) = origin {
+                    write!(f, " !origin({origin:?})")?;
+                }
+                Ok(())
+            }
+            Inst::Call { dst, callee, args } => {
+                if let Some(dst) = dst {
+                    write!(f, "{dst} = ")?;
+                }
+                write!(f, "call #{callee}(")?;
+                for (index, arg) in args.iter().enumerate() {
+                    if index > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn int_op_name(op: IntBinOp) -> String {
+    match op {
+        IntBinOp::Cmp(c) => format!("cmp.{c:?}").to_lowercase(),
+        other => format!("{other:?}").to_lowercase(),
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "branch {cond} ? {then_bb} : {else_bb}"),
+            Terminator::Return(Some(v)) => write!(f, "return {v}"),
+            Terminator::Return(None) => write!(f, "return"),
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for inst in &self.insts {
+            writeln!(f, "    {inst}")?;
+        }
+        writeln!(f, "    {}", self.term)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {} ({} vars)", self.name, self.vars.len())?;
+        for (index, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "  bb{index}:")?;
+            block.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (index, global) in self.globals.iter().enumerate() {
+            writeln!(f, "global @g{index} {} : {:?}", global.name, global.kind)?;
+        }
+        for func in &self.funcs {
+            func.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lower;
+
+    #[test]
+    fn printing_smoke() {
+        let ast = supersym_lang::parse(
+            "global arr a[4]; fn main() -> int { var s = 0; for (i = 0; i < 4; i = i + 1) { s = s + a[i]; } return s; }",
+        )
+        .unwrap();
+        supersym_lang::check(&ast).unwrap();
+        let module = lower(&ast).unwrap();
+        let text = module.to_string();
+        assert!(text.contains("fn main"));
+        assert!(text.contains("elem @g0"));
+        assert!(text.contains("branch"));
+        assert!(text.contains("!origin"));
+    }
+}

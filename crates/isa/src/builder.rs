@@ -1,0 +1,355 @@
+//! A small assembler for building functions by hand.
+//!
+//! Used by tests, examples, and the taxonomy experiments (the paper's Figure
+//! 1-1 code fragments and the Figure 4-2 startup-transient block are
+//! hand-assembled with this builder).
+
+use crate::instr::{FpCmpOp, FpOp, Instr, IntOp, MemAlias, Operand};
+use crate::program::{FuncId, Function, Label, Program};
+use crate::reg::{FpReg, IntReg};
+
+const UNBOUND: usize = usize::MAX;
+
+/// Incrementally assembles one [`Function`].
+///
+/// ```
+/// use supersym_isa::{AsmBuilder, IntReg};
+/// let mut asm = AsmBuilder::new("loop");
+/// let r1 = IntReg::new(1)?;
+/// let top = asm.new_label();
+/// asm.movi(r1, 10);
+/// asm.bind(top);
+/// asm.sub(r1, r1, 1.into());
+/// asm.cmp_gt(IntReg::AT, r1, 0.into());
+/// asm.br_true(IntReg::AT, top);
+/// asm.halt();
+/// let function = asm.finish();
+/// assert!(function.validate().is_ok());
+/// # Ok::<(), supersym_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsmBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: Vec<usize>,
+}
+
+impl AsmBuilder {
+    /// Starts assembling a function called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        AsmBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let slot = self.labels.len() as u32;
+        self.labels.push(UNBOUND);
+        Label::new(slot)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = label.slot() as usize;
+        assert_eq!(self.labels[slot], UNBOUND, "label bound twice");
+        self.labels[slot] = self.instrs.len();
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Emits an arbitrary integer ALU operation.
+    pub fn int_op(&mut self, op: IntOp, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.emit(Instr::IntOp { op, dst, lhs, rhs })
+    }
+
+    /// Emits `add dst, lhs, rhs`.
+    pub fn add(&mut self, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.int_op(IntOp::Add, dst, lhs, rhs)
+    }
+
+    /// Emits `sub dst, lhs, rhs`.
+    pub fn sub(&mut self, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.int_op(IntOp::Sub, dst, lhs, rhs)
+    }
+
+    /// Emits `mul dst, lhs, rhs`.
+    pub fn mul(&mut self, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.int_op(IntOp::Mul, dst, lhs, rhs)
+    }
+
+    /// Emits `and dst, lhs, rhs`.
+    pub fn and(&mut self, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.int_op(IntOp::And, dst, lhs, rhs)
+    }
+
+    /// Emits `or dst, lhs, rhs`.
+    pub fn or(&mut self, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.int_op(IntOp::Or, dst, lhs, rhs)
+    }
+
+    /// Emits `sll dst, lhs, rhs`.
+    pub fn sll(&mut self, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.int_op(IntOp::Sll, dst, lhs, rhs)
+    }
+
+    /// Emits `cmpgt dst, lhs, rhs`.
+    pub fn cmp_gt(&mut self, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.int_op(IntOp::CmpGt, dst, lhs, rhs)
+    }
+
+    /// Emits `cmplt dst, lhs, rhs`.
+    pub fn cmp_lt(&mut self, dst: IntReg, lhs: IntReg, rhs: Operand) -> &mut Self {
+        self.int_op(IntOp::CmpLt, dst, lhs, rhs)
+    }
+
+    /// Emits `movi dst, #imm`.
+    pub fn movi(&mut self, dst: IntReg, imm: i64) -> &mut Self {
+        self.emit(Instr::MovI { dst, imm })
+    }
+
+    /// Emits an FP operation `dst <- lhs op rhs`.
+    pub fn fp_op(&mut self, op: FpOp, dst: FpReg, lhs: FpReg, rhs: FpReg) -> &mut Self {
+        self.emit(Instr::FpOp { op, dst, lhs, rhs })
+    }
+
+    /// Emits `fadd dst, lhs, rhs`.
+    pub fn fadd(&mut self, dst: FpReg, lhs: FpReg, rhs: FpReg) -> &mut Self {
+        self.fp_op(FpOp::FAdd, dst, lhs, rhs)
+    }
+
+    /// Emits `fmul dst, lhs, rhs`.
+    pub fn fmul(&mut self, dst: FpReg, lhs: FpReg, rhs: FpReg) -> &mut Self {
+        self.fp_op(FpOp::FMul, dst, lhs, rhs)
+    }
+
+    /// Emits an FP comparison into an integer register.
+    pub fn fp_cmp(&mut self, op: FpCmpOp, dst: IntReg, lhs: FpReg, rhs: FpReg) -> &mut Self {
+        self.emit(Instr::FpCmp { op, dst, lhs, rhs })
+    }
+
+    /// Emits `movf dst, #imm`.
+    pub fn movf(&mut self, dst: FpReg, imm: f64) -> &mut Self {
+        self.emit(Instr::MovF { dst, imm })
+    }
+
+    /// Emits `ld dst, offset(base)` with an unknown alias annotation.
+    pub fn load(&mut self, dst: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Instr::Load {
+            dst,
+            base,
+            offset,
+            alias: MemAlias::unknown(),
+        })
+    }
+
+    /// Emits `ldf dst, offset(base)` with an unknown alias annotation.
+    pub fn loadf(&mut self, dst: FpReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Instr::LoadF {
+            dst,
+            base,
+            offset,
+            alias: MemAlias::unknown(),
+        })
+    }
+
+    /// Emits `st offset(base), src` with an unknown alias annotation.
+    pub fn store(&mut self, src: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Instr::Store {
+            src,
+            base,
+            offset,
+            alias: MemAlias::unknown(),
+        })
+    }
+
+    /// Emits `stf offset(base), src` with an unknown alias annotation.
+    pub fn storef(&mut self, src: FpReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Instr::StoreF {
+            src,
+            base,
+            offset,
+            alias: MemAlias::unknown(),
+        })
+    }
+
+    /// Emits `setvl src`.
+    pub fn setvl(&mut self, src: IntReg) -> &mut Self {
+        self.emit(Instr::SetVl { src })
+    }
+
+    /// Emits `vld dst, offset(base)` with an unknown alias annotation.
+    pub fn vload(&mut self, dst: crate::VecReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Instr::VLoad {
+            dst,
+            base,
+            offset,
+            alias: MemAlias::unknown(),
+        })
+    }
+
+    /// Emits `vst offset(base), src` with an unknown alias annotation.
+    pub fn vstore(&mut self, src: crate::VecReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Instr::VStore {
+            src,
+            base,
+            offset,
+            alias: MemAlias::unknown(),
+        })
+    }
+
+    /// Emits an elementwise vector operation.
+    pub fn vop(&mut self, op: FpOp, dst: crate::VecReg, lhs: crate::VecReg, rhs: crate::VecReg) -> &mut Self {
+        self.emit(Instr::VOp { op, dst, lhs, rhs })
+    }
+
+    /// Emits a vector-scalar operation.
+    pub fn vop_s(&mut self, op: FpOp, dst: crate::VecReg, lhs: crate::VecReg, scalar: FpReg) -> &mut Self {
+        self.emit(Instr::VOpS { op, dst, lhs, scalar })
+    }
+
+    /// Emits `bt cond, target` (branch when the condition is non-zero).
+    pub fn br_true(&mut self, cond: IntReg, target: Label) -> &mut Self {
+        self.emit(Instr::Br {
+            cond,
+            expect: true,
+            target,
+        })
+    }
+
+    /// Emits `bf cond, target` (branch when the condition is zero).
+    pub fn br_false(&mut self, cond: IntReg, target: Label) -> &mut Self {
+        self.emit(Instr::Br {
+            cond,
+            expect: false,
+            target,
+        })
+    }
+
+    /// Emits `jmp target`.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.emit(Instr::Jmp { target })
+    }
+
+    /// Emits `call target`.
+    pub fn call(&mut self, target: FuncId) -> &mut Self {
+        self.emit(Instr::Call { target })
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Instr::Ret)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any allocated label was never bound.
+    #[must_use]
+    pub fn finish(self) -> Function {
+        assert!(
+            self.labels.iter().all(|&t| t != UNBOUND),
+            "unbound label in function `{}`",
+            self.name
+        );
+        Function::new(self.name, self.instrs, self.labels)
+    }
+
+    /// Finishes the function and wraps it as a single-function program with
+    /// this function as the entry point.
+    #[must_use]
+    pub fn finish_program(self) -> Program {
+        let mut program = Program::new();
+        let id = program.add_function(self.finish());
+        program.set_entry(id);
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn build_straightline() {
+        let mut asm = AsmBuilder::new("f");
+        asm.movi(r(1), 5).add(r(2), r(1), Operand::Imm(1)).halt();
+        let program = asm.finish_program();
+        assert!(program.validate().is_ok());
+        assert_eq!(program.static_size(), 3);
+    }
+
+    #[test]
+    fn build_loop_labels_resolve() {
+        let mut asm = AsmBuilder::new("f");
+        let top = asm.new_label();
+        asm.movi(r(1), 3);
+        asm.bind(top);
+        asm.sub(r(1), r(1), Operand::Imm(1));
+        asm.cmp_gt(r(2), r(1), Operand::Imm(0));
+        asm.br_true(r(2), top);
+        asm.halt();
+        let function = asm.finish();
+        assert_eq!(function.resolve(top), 1);
+        assert!(function.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut asm = AsmBuilder::new("f");
+        let label = asm.new_label();
+        asm.jmp(label);
+        let _ = asm.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut asm = AsmBuilder::new("f");
+        let label = asm.new_label();
+        asm.bind(label);
+        asm.bind(label);
+    }
+
+    #[test]
+    fn builder_len() {
+        let mut asm = AsmBuilder::new("f");
+        assert!(asm.is_empty());
+        asm.halt();
+        assert_eq!(asm.len(), 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! The fourteen instruction classes.
+//!
+//! The paper (§3): "We therefore group the MultiTitan operations into fourteen
+//! classes, selected so that operations in a given class are likely to have
+//! identical pipeline behavior in any machine." Machine descriptions assign an
+//! operation latency to each class, and functional units are declared over
+//! sets of classes.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Number of instruction classes.
+pub const NUM_CLASSES: usize = 14;
+
+/// The instruction classes of the supersym ISA.
+///
+/// These mirror the paper's grouping: "integer add and subtract form one
+/// class, integer multiply forms another class, and single-word load forms a
+/// third class" (§3), extended to the full set of fourteen.
+///
+/// ```
+/// use supersym_isa::InstrClass;
+/// assert_eq!(InstrClass::ALL.len(), supersym_isa::NUM_CLASSES);
+/// assert_eq!(InstrClass::IntAdd.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
+pub enum InstrClass {
+    /// Bitwise logical operations (and, or, xor, nor).
+    Logical = 0,
+    /// Shift operations.
+    Shift = 1,
+    /// Integer add/subtract (also address arithmetic and register moves).
+    IntAdd = 2,
+    /// Integer multiply.
+    IntMul = 3,
+    /// Integer divide/remainder.
+    IntDiv = 4,
+    /// Integer comparisons producing a boolean register.
+    Compare = 5,
+    /// Single-word loads (integer or floating point).
+    Load = 6,
+    /// Single-word stores (integer or floating point).
+    Store = 7,
+    /// Conditional branches.
+    Branch = 8,
+    /// Unconditional jumps, calls, and returns.
+    Jump = 9,
+    /// Floating-point add/subtract (and FP compares, executed in the adder).
+    FpAdd = 10,
+    /// Floating-point multiply.
+    FpMul = 11,
+    /// Floating-point divide.
+    FpDiv = 12,
+    /// Floating-point converts and register moves.
+    FpCvt = 13,
+}
+
+impl InstrClass {
+    /// All fourteen classes, in index order.
+    pub const ALL: [InstrClass; NUM_CLASSES] = [
+        InstrClass::Logical,
+        InstrClass::Shift,
+        InstrClass::IntAdd,
+        InstrClass::IntMul,
+        InstrClass::IntDiv,
+        InstrClass::Compare,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Branch,
+        InstrClass::Jump,
+        InstrClass::FpAdd,
+        InstrClass::FpMul,
+        InstrClass::FpDiv,
+        InstrClass::FpCvt,
+    ];
+
+    /// Dense index of this class, `0..NUM_CLASSES`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Class from a dense index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<InstrClass> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// Short mnemonic used in reports and machine descriptions.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InstrClass::Logical => "logical",
+            InstrClass::Shift => "shift",
+            InstrClass::IntAdd => "add/sub",
+            InstrClass::IntMul => "intmul",
+            InstrClass::IntDiv => "intdiv",
+            InstrClass::Compare => "compare",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "branch",
+            InstrClass::Jump => "jump",
+            InstrClass::FpAdd => "fpadd",
+            InstrClass::FpMul => "fpmul",
+            InstrClass::FpDiv => "fpdiv",
+            InstrClass::FpCvt => "fpcvt",
+        }
+    }
+
+    /// Whether this class is a "simple operation" in the paper's sense
+    /// (§2: "Not included as simple operations are instructions which take an
+    /// order of magnitude more time and occur less frequently, such as
+    /// divide").
+    #[must_use]
+    pub fn is_simple(self) -> bool {
+        !matches!(self, InstrClass::IntDiv | InstrClass::FpDiv)
+    }
+
+    /// Whether instructions of this class transfer control.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(self, InstrClass::Branch | InstrClass::Jump)
+    }
+
+    /// Whether instructions of this class access memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A per-class table of values, indexable by [`InstrClass`].
+///
+/// This is the shape of latency tables, frequency tables and censuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClassTable<T>(pub(crate) [T; NUM_CLASSES]);
+
+impl<T> ClassTable<T> {
+    /// Builds a table from per-class values in [`InstrClass::ALL`] order.
+    #[must_use]
+    pub fn new(values: [T; NUM_CLASSES]) -> Self {
+        ClassTable(values)
+    }
+
+    /// Builds a table by evaluating `f` for each class.
+    #[must_use]
+    pub fn from_fn(mut f: impl FnMut(InstrClass) -> T) -> Self {
+        ClassTable(InstrClass::ALL.map(&mut f))
+    }
+
+    /// Iterates over `(class, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrClass, &T)> {
+        InstrClass::ALL.iter().copied().zip(self.0.iter())
+    }
+}
+
+impl<T: Copy + Default> Default for ClassTable<T> {
+    fn default() -> Self {
+        ClassTable([T::default(); NUM_CLASSES])
+    }
+}
+
+impl<T> Index<InstrClass> for ClassTable<T> {
+    type Output = T;
+    fn index(&self, class: InstrClass) -> &T {
+        &self.0[class.index()]
+    }
+}
+
+impl<T> IndexMut<InstrClass> for ClassTable<T> {
+    fn index_mut(&mut self, class: InstrClass) -> &mut T {
+        &mut self.0[class.index()]
+    }
+}
+
+/// A census of dynamically executed instructions by class.
+///
+/// Produced by the functional simulator; consumed by the *average degree of
+/// superpipelining* metric (paper Table 2-1).
+///
+/// ```
+/// use supersym_isa::{ClassCensus, InstrClass};
+/// let mut census = ClassCensus::new();
+/// census.record(InstrClass::Load);
+/// census.record(InstrClass::Load);
+/// census.record(InstrClass::IntAdd);
+/// assert_eq!(census.total(), 3);
+/// assert!((census.frequencies()[InstrClass::Load].fraction() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ClassCensus {
+    counts: ClassTable<u64>,
+    total: u64,
+}
+
+impl ClassCensus {
+    /// An empty census.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed instruction of `class`.
+    pub fn record(&mut self, class: InstrClass) {
+        self.counts[class] += 1;
+        self.total += 1;
+    }
+
+    /// Number of instructions recorded for `class`.
+    #[must_use]
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts[class]
+    }
+
+    /// Total number of instructions recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Merges another census into this one.
+    pub fn merge(&mut self, other: &ClassCensus) {
+        for class in InstrClass::ALL {
+            self.counts[class] += other.counts[class];
+        }
+        self.total += other.total;
+    }
+
+    /// Per-class dynamic frequencies. Returns all-zero fractions when the
+    /// census is empty.
+    #[must_use]
+    pub fn frequencies(&self) -> ClassTable<ClassFreq> {
+        let mut out = ClassTable::<ClassFreq>::default();
+        if self.total == 0 {
+            return out;
+        }
+        for class in InstrClass::ALL {
+            out[class] = ClassFreq::new(self.counts[class] as f64 / self.total as f64);
+        }
+        out
+    }
+}
+
+/// A dynamic frequency for one instruction class (a fraction in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassFreq(f64);
+
+impl ClassFreq {
+    /// Creates a frequency, clamping into `[0, 1]`.
+    #[must_use]
+    pub fn new(fraction: f64) -> Self {
+        ClassFreq(fraction.clamp(0.0, 1.0))
+    }
+
+    /// The fraction in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+}
+
+// ClassFreq is a plain fraction; hashing/eq by bits is intentional for tables.
+impl Eq for ClassFreq {}
+impl std::hash::Hash for ClassFreq {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for ClassFreq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_classes() {
+        assert_eq!(InstrClass::ALL.len(), 14);
+        for (i, class) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(InstrClass::from_index(i), Some(*class));
+        }
+        assert_eq!(InstrClass::from_index(14), None);
+    }
+
+    #[test]
+    fn simple_operations_exclude_divides() {
+        assert!(!InstrClass::IntDiv.is_simple());
+        assert!(!InstrClass::FpDiv.is_simple());
+        assert!(InstrClass::Load.is_simple());
+        assert!(InstrClass::FpMul.is_simple());
+        let n_simple = InstrClass::ALL.iter().filter(|c| c.is_simple()).count();
+        assert_eq!(n_simple, 12);
+    }
+
+    #[test]
+    fn control_and_memory_predicates() {
+        assert!(InstrClass::Branch.is_control());
+        assert!(InstrClass::Jump.is_control());
+        assert!(!InstrClass::Load.is_control());
+        assert!(InstrClass::Load.is_memory());
+        assert!(InstrClass::Store.is_memory());
+        assert!(!InstrClass::Branch.is_memory());
+    }
+
+    #[test]
+    fn census_frequencies_sum_to_one() {
+        let mut census = ClassCensus::new();
+        for (i, class) in InstrClass::ALL.iter().enumerate() {
+            for _ in 0..=i {
+                census.record(*class);
+            }
+        }
+        let freqs = census.frequencies();
+        let sum: f64 = InstrClass::ALL.iter().map(|c| freqs[*c].fraction()).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn census_merge() {
+        let mut a = ClassCensus::new();
+        a.record(InstrClass::Load);
+        let mut b = ClassCensus::new();
+        b.record(InstrClass::Store);
+        b.record(InstrClass::Load);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(InstrClass::Load), 2);
+        assert_eq!(a.count(InstrClass::Store), 1);
+    }
+
+    #[test]
+    fn empty_census_has_zero_frequencies() {
+        let census = ClassCensus::new();
+        let freqs = census.frequencies();
+        for class in InstrClass::ALL {
+            assert_eq!(freqs[class].fraction(), 0.0);
+        }
+    }
+
+    #[test]
+    fn class_freq_clamps() {
+        assert_eq!(ClassFreq::new(1.5).fraction(), 1.0);
+        assert_eq!(ClassFreq::new(-0.5).fraction(), 0.0);
+        assert_eq!(ClassFreq::new(0.25).to_string(), "25.0%");
+    }
+}

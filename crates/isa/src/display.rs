@@ -1,0 +1,148 @@
+//! Disassembly: `Display` implementations for instructions and programs.
+
+use crate::instr::{Instr, Operand};
+use crate::program::{Function, Program};
+use std::fmt;
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => r.fmt(f),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::IntOp { op, dst, lhs, rhs } => {
+                write!(f, "{} {dst}, {lhs}, {rhs}", op.mnemonic())
+            }
+            Instr::MovI { dst, imm } => write!(f, "movi {dst}, #{imm}"),
+            Instr::FpOp { op, dst, lhs, rhs } => {
+                write!(f, "{} {dst}, {lhs}, {rhs}", op.mnemonic())
+            }
+            Instr::FpCmp { op, dst, lhs, rhs } => {
+                write!(f, "{} {dst}, {lhs}, {rhs}", op.mnemonic())
+            }
+            Instr::MovF { dst, imm } => write!(f, "movf {dst}, #{imm}"),
+            Instr::FMov { dst, src } => write!(f, "fmov {dst}, {src}"),
+            Instr::IToF { dst, src } => write!(f, "itof {dst}, {src}"),
+            Instr::FToI { dst, src } => write!(f, "ftoi {dst}, {src}"),
+            Instr::Load { dst, base, offset, .. } => write!(f, "ld {dst}, {offset}({base})"),
+            Instr::LoadF { dst, base, offset, .. } => write!(f, "ldf {dst}, {offset}({base})"),
+            Instr::Store { src, base, offset, .. } => write!(f, "st {offset}({base}), {src}"),
+            Instr::StoreF { src, base, offset, .. } => write!(f, "stf {offset}({base}), {src}"),
+            Instr::SetVl { src } => write!(f, "setvl {src}"),
+            Instr::VLoad { dst, base, offset, .. } => write!(f, "vld {dst}, {offset}({base})"),
+            Instr::VStore { src, base, offset, .. } => write!(f, "vst {offset}({base}), {src}"),
+            Instr::VOp { op, dst, lhs, rhs } => {
+                write!(f, "v{} {dst}, {lhs}, {rhs}", op.mnemonic())
+            }
+            Instr::VOpS { op, dst, lhs, scalar } => {
+                write!(f, "v{}.s {dst}, {lhs}, {scalar}", op.mnemonic())
+            }
+            Instr::Br { cond, expect, target } => {
+                let mnemonic = if *expect { "bt" } else { "bf" };
+                write!(f, "{mnemonic} {cond}, {target}")
+            }
+            Instr::Jmp { target } => write!(f, "jmp {target}"),
+            Instr::Call { target } => write!(f, "call {target}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name())?;
+        for (index, instr) in self.instrs().iter().enumerate() {
+            for (slot, &target) in self.label_targets().iter().enumerate() {
+                if target == index {
+                    writeln!(f, "  L{slot}:")?;
+                }
+            }
+            writeln!(f, "    {index:4}  {instr}")?;
+        }
+        for (slot, &target) in self.label_targets().iter().enumerate() {
+            if target == self.instrs().len() {
+                writeln!(f, "  L{slot}: <end>")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for function in self.functions() {
+            function.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::instr::{FpOp, Instr, IntOp, MemAlias, Operand};
+    use crate::reg::{FpReg, IntReg};
+    use crate::program::Label;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn int_op_display() {
+        let add = Instr::IntOp {
+            op: IntOp::Add,
+            dst: r(3),
+            lhs: r(1),
+            rhs: Operand::Imm(7),
+        };
+        assert_eq!(add.to_string(), "add r3, r1, #7");
+    }
+
+    #[test]
+    fn memory_display() {
+        let ld = Instr::Load {
+            dst: r(2),
+            base: r(5),
+            offset: -4,
+            alias: MemAlias::unknown(),
+        };
+        assert_eq!(ld.to_string(), "ld r2, -4(r5)");
+        let st = Instr::Store {
+            src: r(2),
+            base: r(5),
+            offset: 8,
+            alias: MemAlias::unknown(),
+        };
+        assert_eq!(st.to_string(), "st 8(r5), r2");
+    }
+
+    #[test]
+    fn branch_display() {
+        let br = Instr::Br {
+            cond: r(1),
+            expect: false,
+            target: Label::new(3),
+        };
+        assert_eq!(br.to_string(), "bf r1, L3");
+    }
+
+    #[test]
+    fn fp_display() {
+        let f1 = FpReg::new(1).unwrap();
+        let f2 = FpReg::new(2).unwrap();
+        let mul = Instr::FpOp {
+            op: FpOp::FMul,
+            dst: f1,
+            lhs: f1,
+            rhs: f2,
+        };
+        assert_eq!(mul.to_string(), "fmul f1, f1, f2");
+    }
+}

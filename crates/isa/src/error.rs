@@ -1,0 +1,69 @@
+//! Error type for ISA construction and validation.
+
+use crate::program::{FuncId, Label};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating ISA entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register index exceeded the register-file size.
+    RegisterOutOfRange(u8),
+    /// A label points outside its function's instruction sequence.
+    DanglingLabel {
+        /// Function containing the label.
+        function: String,
+        /// The offending label.
+        label: Label,
+    },
+    /// A call names a function the program does not contain.
+    UnknownFunction(FuncId),
+    /// The program has no entry function.
+    MissingEntry,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::RegisterOutOfRange(index) => {
+                write!(f, "register index {index} out of range")
+            }
+            IsaError::DanglingLabel { function, label } => {
+                write!(f, "label {label} in function `{function}` is dangling")
+            }
+            IsaError::UnknownFunction(id) => write!(f, "unknown function {id}"),
+            IsaError::MissingEntry => write!(f, "program has no entry function"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            IsaError::RegisterOutOfRange(40).to_string(),
+            "register index 40 out of range"
+        );
+        assert_eq!(
+            IsaError::MissingEntry.to_string(),
+            "program has no entry function"
+        );
+        let e = IsaError::DanglingLabel {
+            function: "main".into(),
+            label: Label::new(2),
+        };
+        assert_eq!(e.to_string(), "label L2 in function `main` is dangling");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,856 @@
+//! Instruction definitions and dependence metadata.
+//!
+//! Every instruction knows its [`InstrClass`], its register definition and
+//! uses, and (for memory operations) a [`MemAlias`] disambiguation
+//! annotation. The scheduler and the timing simulator both consume exactly
+//! this metadata, so compile-time scheduling and run-time interlocks agree on
+//! one dependence model — the property the paper's system relies on ("The
+//! simulator executes the program according to the same specification", §3).
+
+use crate::class::InstrClass;
+use crate::program::{FuncId, Label};
+use crate::reg::{FpReg, IntReg, Reg};
+use crate::vector::VecReg;
+
+/// Second operand of an integer ALU operation: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(IntReg),
+    /// An immediate operand (the simulator places no width limit on it).
+    Imm(i64),
+}
+
+impl From<IntReg> for Operand {
+    fn from(r: IntReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(imm: i64) -> Self {
+        Operand::Imm(imm)
+    }
+}
+
+/// Integer ALU operations.
+///
+/// Comparison operations write `1` or `0` to an integer register, in the
+/// style of MIPS `slt`; conditional branches then test that register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    /// Addition. Class [`InstrClass::IntAdd`].
+    Add,
+    /// Subtraction. Class [`InstrClass::IntAdd`].
+    Sub,
+    /// Multiplication. Class [`InstrClass::IntMul`].
+    Mul,
+    /// Division (truncating; division by zero yields 0). Class [`InstrClass::IntDiv`].
+    Div,
+    /// Remainder (remainder by zero yields the dividend). Class [`InstrClass::IntDiv`].
+    Rem,
+    /// Bitwise and. Class [`InstrClass::Logical`].
+    And,
+    /// Bitwise or. Class [`InstrClass::Logical`].
+    Or,
+    /// Bitwise exclusive or. Class [`InstrClass::Logical`].
+    Xor,
+    /// Shift left logical (shift amount taken modulo 64). Class [`InstrClass::Shift`].
+    Sll,
+    /// Shift right logical. Class [`InstrClass::Shift`].
+    Srl,
+    /// Shift right arithmetic. Class [`InstrClass::Shift`].
+    Sra,
+    /// Set if equal. Class [`InstrClass::Compare`].
+    CmpEq,
+    /// Set if not equal. Class [`InstrClass::Compare`].
+    CmpNe,
+    /// Set if less than (signed). Class [`InstrClass::Compare`].
+    CmpLt,
+    /// Set if less or equal (signed). Class [`InstrClass::Compare`].
+    CmpLe,
+    /// Set if greater than (signed). Class [`InstrClass::Compare`].
+    CmpGt,
+    /// Set if greater or equal (signed). Class [`InstrClass::Compare`].
+    CmpGe,
+}
+
+impl IntOp {
+    /// The instruction class this operation issues to.
+    #[must_use]
+    pub fn class(self) -> InstrClass {
+        use IntOp::*;
+        match self {
+            Add | Sub => InstrClass::IntAdd,
+            Mul => InstrClass::IntMul,
+            Div | Rem => InstrClass::IntDiv,
+            And | Or | Xor => InstrClass::Logical,
+            Sll | Srl | Sra => InstrClass::Shift,
+            CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe => InstrClass::Compare,
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use IntOp::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            CmpEq => "cmpeq",
+            CmpNe => "cmpne",
+            CmpLt => "cmplt",
+            CmpLe => "cmple",
+            CmpGt => "cmpgt",
+            CmpGe => "cmpge",
+        }
+    }
+
+    /// Whether the operation is commutative (used by reassociation).
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        use IntOp::*;
+        matches!(self, Add | Mul | And | Or | Xor | CmpEq | CmpNe)
+    }
+}
+
+/// Floating-point arithmetic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// FP addition. Class [`InstrClass::FpAdd`].
+    FAdd,
+    /// FP subtraction. Class [`InstrClass::FpAdd`].
+    FSub,
+    /// FP multiplication. Class [`InstrClass::FpMul`].
+    FMul,
+    /// FP division. Class [`InstrClass::FpDiv`].
+    FDiv,
+}
+
+impl FpOp {
+    /// The instruction class this operation issues to.
+    #[must_use]
+    pub fn class(self) -> InstrClass {
+        match self {
+            FpOp::FAdd | FpOp::FSub => InstrClass::FpAdd,
+            FpOp::FMul => InstrClass::FpMul,
+            FpOp::FDiv => InstrClass::FpDiv,
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::FAdd => "fadd",
+            FpOp::FSub => "fsub",
+            FpOp::FMul => "fmul",
+            FpOp::FDiv => "fdiv",
+        }
+    }
+}
+
+/// Floating-point comparison operations (result is written to an integer
+/// register; executed in the FP adder, class [`InstrClass::FpAdd`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCmpOp {
+    /// Set if equal.
+    FEq,
+    /// Set if not equal.
+    FNe,
+    /// Set if less than.
+    FLt,
+    /// Set if less or equal.
+    FLe,
+    /// Set if greater than.
+    FGt,
+    /// Set if greater or equal.
+    FGe,
+}
+
+impl FpCmpOp {
+    /// Mnemonic used by the disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpCmpOp::FEq => "feq",
+            FpCmpOp::FNe => "fne",
+            FpCmpOp::FLt => "flt",
+            FpCmpOp::FLe => "fle",
+            FpCmpOp::FGt => "fgt",
+            FpCmpOp::FGe => "fge",
+        }
+    }
+}
+
+/// Memory region kind carried by [`MemAlias`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemRegion {
+    /// Global data (named arrays and scalars).
+    Global,
+    /// The runtime stack (locals, spills, frames).
+    Stack,
+    /// Statically unknown.
+    #[default]
+    Unknown,
+}
+
+/// The compiler's memory-disambiguation verdict for one load or store.
+///
+/// The paper's "careful unrolling" requires proving that "stores from early
+/// copies of the loop do not interfere with loads in later copies" (§4.4).
+/// The front end records what it knows — the region, the symbolic base object
+/// and, when the access has a compile-time-constant address within that
+/// object, the word offset — and [`MemAlias::may_conflict`] applies the
+/// conservative disjointness rules.
+///
+/// ```
+/// use supersym_isa::MemAlias;
+/// let a0 = MemAlias::global(7).with_offset(0);
+/// let a1 = MemAlias::global(7).with_offset(1);
+/// let b = MemAlias::global(8);
+/// assert!(!a0.may_conflict(&a1)); // same array, different constant slots
+/// assert!(!a0.may_conflict(&b));  // distinct global objects never overlap
+/// assert!(a0.may_conflict(&MemAlias::unknown()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemAlias {
+    region: MemRegion,
+    symbol: Option<u32>,
+    offset: Option<i64>,
+    base: Option<u32>,
+}
+
+impl MemAlias {
+    /// A reference about which nothing is known (conflicts with everything).
+    #[must_use]
+    pub fn unknown() -> Self {
+        Self::default()
+    }
+
+    /// A reference into the global object identified by `symbol`.
+    #[must_use]
+    pub fn global(symbol: u32) -> Self {
+        MemAlias {
+            region: MemRegion::Global,
+            symbol: Some(symbol),
+            offset: None,
+            base: None,
+        }
+    }
+
+    /// A reference into the stack slot area identified by `symbol`
+    /// (e.g. a distinct local array).
+    #[must_use]
+    pub fn stack(symbol: u32) -> Self {
+        MemAlias {
+            region: MemRegion::Stack,
+            symbol: Some(symbol),
+            offset: None,
+            base: None,
+        }
+    }
+
+    /// Attaches a compile-time-constant word offset within the base object.
+    ///
+    /// Without a base tag ([`Self::with_base`]), the offset is *absolute*
+    /// within the object (e.g. `A[3]`). With one, it is relative to the
+    /// tagged runtime index value (e.g. `A[i+3]`).
+    #[must_use]
+    pub fn with_offset(mut self, offset: i64) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Tags the reference's index as "runtime value number `base` plus the
+    /// constant offset". Two references into the same object whose tags
+    /// match compare by offset alone; this is how the compiler proves that
+    /// `A[i+1]` and `A[i+2]` are independent after careful unrolling (§4.4).
+    #[must_use]
+    pub fn with_base(mut self, base: u32) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// The region this reference falls in.
+    #[must_use]
+    pub fn region(self) -> MemRegion {
+        self.region
+    }
+
+    /// The symbolic base object, if known.
+    #[must_use]
+    pub fn symbol(self) -> Option<u32> {
+        self.symbol
+    }
+
+    /// The constant word offset within the base object, if known.
+    #[must_use]
+    pub fn offset(self) -> Option<i64> {
+        self.offset
+    }
+
+    /// Conservative may-alias test: `false` only when the two references are
+    /// *provably* disjoint.
+    ///
+    /// Disjointness holds when the references are in different known
+    /// regions, name different known base objects, or name the same object
+    /// at different constant offsets *from the same index base* (absolute
+    /// offsets count as sharing the "no base" base). Everything else may
+    /// conflict.
+    #[must_use]
+    pub fn may_conflict(&self, other: &MemAlias) -> bool {
+        use MemRegion::Unknown;
+        if self.region != Unknown && other.region != Unknown && self.region != other.region {
+            return false;
+        }
+        match (self.symbol, other.symbol) {
+            (Some(a), Some(b)) => {
+                if a != b {
+                    // Distinct named objects never overlap (same region or
+                    // cross-region): symbols are globally unique ids.
+                    false
+                } else if self.base == other.base {
+                    match (self.offset, other.offset) {
+                        (Some(x), Some(y)) => x == y,
+                        _ => true,
+                    }
+                } else {
+                    // Different (or one unknown) index bases: no relation
+                    // between the offsets is known.
+                    true
+                }
+            }
+            _ => true,
+        }
+    }
+}
+
+/// A machine instruction.
+///
+/// Offsets in loads and stores are in words (the machine is word-addressed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Integer ALU operation `dst <- lhs op rhs`.
+    IntOp {
+        /// Operation.
+        op: IntOp,
+        /// Destination register.
+        dst: IntReg,
+        /// First source register.
+        lhs: IntReg,
+        /// Second source (register or immediate).
+        rhs: Operand,
+    },
+    /// Load immediate `dst <- imm`. Class [`InstrClass::IntAdd`].
+    MovI {
+        /// Destination register.
+        dst: IntReg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// FP ALU operation `dst <- lhs op rhs`.
+    FpOp {
+        /// Operation.
+        op: FpOp,
+        /// Destination register.
+        dst: FpReg,
+        /// First source register.
+        lhs: FpReg,
+        /// Second source register.
+        rhs: FpReg,
+    },
+    /// FP comparison `dst <- lhs op rhs` (boolean into an integer register).
+    FpCmp {
+        /// Comparison.
+        op: FpCmpOp,
+        /// Destination (integer) register.
+        dst: IntReg,
+        /// First source register.
+        lhs: FpReg,
+        /// Second source register.
+        rhs: FpReg,
+    },
+    /// FP load immediate `dst <- imm`. Class [`InstrClass::FpCvt`].
+    MovF {
+        /// Destination register.
+        dst: FpReg,
+        /// Immediate value.
+        imm: f64,
+    },
+    /// FP register move `dst <- src`. Class [`InstrClass::FpCvt`].
+    FMov {
+        /// Destination register.
+        dst: FpReg,
+        /// Source register.
+        src: FpReg,
+    },
+    /// Convert integer to FP. Class [`InstrClass::FpCvt`].
+    IToF {
+        /// Destination register.
+        dst: FpReg,
+        /// Source register.
+        src: IntReg,
+    },
+    /// Convert FP to integer (truncating). Class [`InstrClass::FpCvt`].
+    FToI {
+        /// Destination register.
+        dst: IntReg,
+        /// Source register.
+        src: FpReg,
+    },
+    /// Integer load `dst <- mem[base + offset]`.
+    Load {
+        /// Destination register.
+        dst: IntReg,
+        /// Base address register.
+        base: IntReg,
+        /// Word offset.
+        offset: i64,
+        /// Disambiguation annotation.
+        alias: MemAlias,
+    },
+    /// FP load `dst <- mem[base + offset]`.
+    LoadF {
+        /// Destination register.
+        dst: FpReg,
+        /// Base address register.
+        base: IntReg,
+        /// Word offset.
+        offset: i64,
+        /// Disambiguation annotation.
+        alias: MemAlias,
+    },
+    /// Integer store `mem[base + offset] <- src`.
+    Store {
+        /// Value register.
+        src: IntReg,
+        /// Base address register.
+        base: IntReg,
+        /// Word offset.
+        offset: i64,
+        /// Disambiguation annotation.
+        alias: MemAlias,
+    },
+    /// FP store `mem[base + offset] <- src`.
+    StoreF {
+        /// Value register.
+        src: FpReg,
+        /// Base address register.
+        base: IntReg,
+        /// Word offset.
+        offset: i64,
+        /// Disambiguation annotation.
+        alias: MemAlias,
+    },
+    /// Sets the vector length register from an integer register (clamped
+    /// to `0..=MAX_VLEN` at execution). Class [`InstrClass::IntAdd`].
+    SetVl {
+        /// Source register holding the desired length.
+        src: IntReg,
+    },
+    /// Vector load: `dst[k] <- mem[base + offset + k]` for `k < vl`.
+    VLoad {
+        /// Destination vector register.
+        dst: VecReg,
+        /// Base address register.
+        base: IntReg,
+        /// Word offset.
+        offset: i64,
+        /// Disambiguation annotation (covers the whole accessed range).
+        alias: MemAlias,
+    },
+    /// Vector store: `mem[base + offset + k] <- src[k]` for `k < vl`.
+    VStore {
+        /// Source vector register.
+        src: VecReg,
+        /// Base address register.
+        base: IntReg,
+        /// Word offset.
+        offset: i64,
+        /// Disambiguation annotation.
+        alias: MemAlias,
+    },
+    /// Elementwise vector arithmetic `dst[k] <- lhs[k] op rhs[k]`.
+    VOp {
+        /// Operation.
+        op: FpOp,
+        /// Destination vector register.
+        dst: VecReg,
+        /// First source.
+        lhs: VecReg,
+        /// Second source.
+        rhs: VecReg,
+    },
+    /// Vector-scalar arithmetic `dst[k] <- lhs[k] op scalar`.
+    VOpS {
+        /// Operation.
+        op: FpOp,
+        /// Destination vector register.
+        dst: VecReg,
+        /// Vector source.
+        lhs: VecReg,
+        /// Scalar FP source.
+        scalar: FpReg,
+    },
+    /// Conditional branch: taken when `(cond != 0) == expect`.
+    Br {
+        /// Condition register.
+        cond: IntReg,
+        /// Branch when the condition is true (`expect = true`) or false.
+        expect: bool,
+        /// Target label within the same function.
+        target: Label,
+    },
+    /// Unconditional jump within the function.
+    Jmp {
+        /// Target label.
+        target: Label,
+    },
+    /// Function call. Arguments are passed in `r1..` / `f1..` by convention.
+    Call {
+        /// Callee.
+        target: FuncId,
+    },
+    /// Return from the current function.
+    Ret,
+    /// Stop the machine.
+    Halt,
+}
+
+/// Register uses of an instruction (at most three; zero-register uses are
+/// omitted because `r0` never carries a dependence).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uses {
+    regs: [Option<Reg>; 3],
+    len: u8,
+}
+
+impl Uses {
+    fn push(&mut self, reg: Reg) {
+        if !reg.is_zero() {
+            self.regs[self.len as usize] = Some(reg);
+            self.len += 1;
+        }
+    }
+
+    /// Iterates over the used registers.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs[..self.len as usize].iter().map(|r| r.unwrap())
+    }
+
+    /// Number of (non-zero) registers used.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no registers are used.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Instr {
+    /// The instruction class, which determines latency and functional unit.
+    #[must_use]
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::IntOp { op, .. } => op.class(),
+            Instr::MovI { .. } => InstrClass::IntAdd,
+            Instr::FpOp { op, .. } => op.class(),
+            Instr::FpCmp { .. } => InstrClass::FpAdd,
+            Instr::MovF { .. } | Instr::FMov { .. } | Instr::IToF { .. } | Instr::FToI { .. } => {
+                InstrClass::FpCvt
+            }
+            Instr::Load { .. } | Instr::LoadF { .. } | Instr::VLoad { .. } => InstrClass::Load,
+            Instr::Store { .. } | Instr::StoreF { .. } | Instr::VStore { .. } => InstrClass::Store,
+            Instr::SetVl { .. } => InstrClass::IntAdd,
+            Instr::VOp { op, .. } | Instr::VOpS { op, .. } => op.class(),
+            Instr::Br { .. } => InstrClass::Branch,
+            Instr::Jmp { .. } | Instr::Call { .. } | Instr::Ret | Instr::Halt => InstrClass::Jump,
+        }
+    }
+
+    /// The register this instruction defines, if any.
+    ///
+    /// Writes to the integer zero register are reported as `None` — they are
+    /// architecturally discarded and never carry a dependence.
+    #[must_use]
+    pub fn def(&self) -> Option<Reg> {
+        let def: Option<Reg> = match self {
+            Instr::IntOp { dst, .. }
+            | Instr::MovI { dst, .. }
+            | Instr::FpCmp { dst, .. }
+            | Instr::FToI { dst, .. }
+            | Instr::Load { dst, .. } => Some((*dst).into()),
+            Instr::FpOp { dst, .. }
+            | Instr::MovF { dst, .. }
+            | Instr::FMov { dst, .. }
+            | Instr::IToF { dst, .. }
+            | Instr::LoadF { dst, .. } => Some((*dst).into()),
+            Instr::VLoad { dst, .. } | Instr::VOp { dst, .. } | Instr::VOpS { dst, .. } => {
+                Some((*dst).into())
+            }
+            Instr::SetVl { .. } => Some(Reg::Vl),
+            Instr::Store { .. }
+            | Instr::StoreF { .. }
+            | Instr::VStore { .. }
+            | Instr::Br { .. }
+            | Instr::Jmp { .. }
+            | Instr::Call { .. }
+            | Instr::Ret
+            | Instr::Halt => None,
+        };
+        def.filter(|r| !r.is_zero())
+    }
+
+    /// The registers this instruction reads.
+    #[must_use]
+    pub fn uses(&self) -> Uses {
+        let mut uses = Uses::default();
+        match self {
+            Instr::IntOp { lhs, rhs, .. } => {
+                uses.push((*lhs).into());
+                if let Operand::Reg(r) = rhs {
+                    uses.push((*r).into());
+                }
+            }
+            Instr::MovI { .. } | Instr::MovF { .. } => {}
+            Instr::FpOp { lhs, rhs, .. } => {
+                uses.push((*lhs).into());
+                uses.push((*rhs).into());
+            }
+            Instr::FpCmp { lhs, rhs, .. } => {
+                uses.push((*lhs).into());
+                uses.push((*rhs).into());
+            }
+            Instr::FMov { src, .. } => uses.push((*src).into()),
+            Instr::IToF { src, .. } => uses.push((*src).into()),
+            Instr::FToI { src, .. } => uses.push((*src).into()),
+            Instr::Load { base, .. } | Instr::LoadF { base, .. } => uses.push((*base).into()),
+            Instr::Store { src, base, .. } => {
+                uses.push((*src).into());
+                uses.push((*base).into());
+            }
+            Instr::StoreF { src, base, .. } => {
+                uses.push((*src).into());
+                uses.push((*base).into());
+            }
+            Instr::SetVl { src } => uses.push((*src).into()),
+            Instr::VLoad { base, .. } => {
+                uses.push((*base).into());
+                uses.push(Reg::Vl);
+            }
+            Instr::VStore { src, base, .. } => {
+                uses.push((*src).into());
+                uses.push((*base).into());
+                uses.push(Reg::Vl);
+            }
+            Instr::VOp { lhs, rhs, .. } => {
+                uses.push((*lhs).into());
+                uses.push((*rhs).into());
+                uses.push(Reg::Vl);
+            }
+            Instr::VOpS { lhs, scalar, .. } => {
+                uses.push((*lhs).into());
+                uses.push((*scalar).into());
+                uses.push(Reg::Vl);
+            }
+            Instr::Br { cond, .. } => uses.push((*cond).into()),
+            Instr::Jmp { .. } | Instr::Call { .. } | Instr::Ret | Instr::Halt => {}
+        }
+        uses
+    }
+
+    /// The memory-disambiguation annotation, with `true` for stores.
+    #[must_use]
+    pub fn mem_ref(&self) -> Option<(&MemAlias, bool)> {
+        match self {
+            Instr::Load { alias, .. } | Instr::LoadF { alias, .. } | Instr::VLoad { alias, .. } => {
+                Some((alias, false))
+            }
+            Instr::Store { alias, .. }
+            | Instr::StoreF { alias, .. }
+            | Instr::VStore { alias, .. } => Some((alias, true)),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction may transfer control (branch, jump, call,
+    /// return, halt). Such instructions terminate scheduling regions.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        self.class().is_control()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::IntReg;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+    fn f(i: u8) -> FpReg {
+        FpReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn int_op_classes() {
+        assert_eq!(IntOp::Add.class(), InstrClass::IntAdd);
+        assert_eq!(IntOp::And.class(), InstrClass::Logical);
+        assert_eq!(IntOp::Sll.class(), InstrClass::Shift);
+        assert_eq!(IntOp::Mul.class(), InstrClass::IntMul);
+        assert_eq!(IntOp::Rem.class(), InstrClass::IntDiv);
+        assert_eq!(IntOp::CmpLt.class(), InstrClass::Compare);
+    }
+
+    #[test]
+    fn fp_op_classes() {
+        assert_eq!(FpOp::FAdd.class(), InstrClass::FpAdd);
+        assert_eq!(FpOp::FSub.class(), InstrClass::FpAdd);
+        assert_eq!(FpOp::FMul.class(), InstrClass::FpMul);
+        assert_eq!(FpOp::FDiv.class(), InstrClass::FpDiv);
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let add = Instr::IntOp {
+            op: IntOp::Add,
+            dst: r(3),
+            lhs: r(1),
+            rhs: Operand::Reg(r(2)),
+        };
+        assert_eq!(add.def(), Some(Reg::Int(r(3))));
+        let uses: Vec<Reg> = add.uses().iter().collect();
+        assert_eq!(uses, vec![Reg::Int(r(1)), Reg::Int(r(2))]);
+    }
+
+    #[test]
+    fn zero_register_never_a_dependence() {
+        let add = Instr::IntOp {
+            op: IntOp::Add,
+            dst: IntReg::ZERO,
+            lhs: IntReg::ZERO,
+            rhs: Operand::Imm(1),
+        };
+        assert_eq!(add.def(), None);
+        assert!(add.uses().is_empty());
+    }
+
+    #[test]
+    fn store_uses_value_and_base() {
+        let st = Instr::Store {
+            src: r(4),
+            base: r(5),
+            offset: 3,
+            alias: MemAlias::unknown(),
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses().len(), 2);
+        assert!(st.mem_ref().unwrap().1);
+    }
+
+    #[test]
+    fn fp_cmp_defines_int_reg() {
+        let cmp = Instr::FpCmp {
+            op: FpCmpOp::FLt,
+            dst: r(9),
+            lhs: f(1),
+            rhs: f(2),
+        };
+        assert_eq!(cmp.class(), InstrClass::FpAdd);
+        assert_eq!(cmp.def(), Some(Reg::Int(r(9))));
+    }
+
+    #[test]
+    fn control_instructions() {
+        let br = Instr::Br {
+            cond: r(1),
+            expect: true,
+            target: Label::new(0),
+        };
+        assert!(br.is_control());
+        assert!(Instr::Ret.is_control());
+        assert!(Instr::Halt.is_control());
+        assert!(!Instr::MovI { dst: r(1), imm: 0 }.is_control());
+    }
+
+    #[test]
+    fn alias_disjoint_regions() {
+        let g = MemAlias::global(1);
+        let s = MemAlias::stack(1);
+        assert!(!g.may_conflict(&s));
+        assert!(g.may_conflict(&MemAlias::unknown()));
+        assert!(MemAlias::unknown().may_conflict(&MemAlias::unknown()));
+    }
+
+    #[test]
+    fn alias_same_symbol_offsets() {
+        let a = MemAlias::global(3).with_offset(10);
+        let b = MemAlias::global(3).with_offset(10);
+        let c = MemAlias::global(3).with_offset(11);
+        let d = MemAlias::global(3); // unknown offset within same object
+        assert!(a.may_conflict(&b));
+        assert!(!a.may_conflict(&c));
+        assert!(a.may_conflict(&d));
+    }
+
+    #[test]
+    fn alias_distinct_symbols() {
+        let a = MemAlias::global(1).with_offset(0);
+        let b = MemAlias::global(2).with_offset(0);
+        assert!(!a.may_conflict(&b));
+        let s1 = MemAlias::stack(10);
+        let s2 = MemAlias::stack(11);
+        assert!(!s1.may_conflict(&s2));
+    }
+
+    #[test]
+    fn alias_base_tags() {
+        // A[i+1] vs A[i+2], same version of i: disjoint.
+        let a = MemAlias::global(9).with_base(5).with_offset(1);
+        let b = MemAlias::global(9).with_base(5).with_offset(2);
+        assert!(!a.may_conflict(&b));
+        // Same delta: may be the same word.
+        let c = MemAlias::global(9).with_base(5).with_offset(1);
+        assert!(a.may_conflict(&c));
+        // Different versions of the index (i changed in between): conflict.
+        let d = MemAlias::global(9).with_base(6).with_offset(2);
+        assert!(a.may_conflict(&d));
+        // Relative vs absolute: conflict.
+        let e = MemAlias::global(9).with_offset(2);
+        assert!(a.may_conflict(&e));
+    }
+
+    #[test]
+    fn alias_symmetry() {
+        let cases = [
+            MemAlias::unknown(),
+            MemAlias::global(1),
+            MemAlias::global(1).with_offset(4),
+            MemAlias::global(2).with_offset(4),
+            MemAlias::global(1).with_base(1).with_offset(4),
+            MemAlias::global(1).with_base(2).with_offset(4),
+            MemAlias::stack(1),
+            MemAlias::stack(1).with_offset(0),
+        ];
+        for a in &cases {
+            for b in &cases {
+                assert_eq!(a.may_conflict(b), b.may_conflict(a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # supersym-isa
+//!
+//! The target instruction set for the supersym system: a load/store RISC
+//! architecture closely modeled on the DECWRL MultiTitan, the machine used by
+//! Jouppi & Wall in *Available Instruction-Level Parallelism for Superscalar
+//! and Superpipelined Machines* (ASPLOS 1989).
+//!
+//! The ISA has:
+//!
+//! * 32 integer registers (`r0` is hardwired to zero) and 32 floating-point
+//!   registers, see [`IntReg`] / [`FpReg`];
+//! * word-addressed memory (one 64-bit word per address);
+//! * exactly **fourteen instruction classes** ([`InstrClass`]), "selected so
+//!   that operations in a given class are likely to have identical pipeline
+//!   behavior in any machine" (paper §3);
+//! * explicit def/use metadata on every instruction so schedulers and timing
+//!   simulators share one dependence model;
+//! * a memory-alias annotation ([`MemAlias`]) carrying the compiler's
+//!   disambiguation verdict down to the scheduler, which is what the paper's
+//!   "careful unrolling" needs (§4.4).
+//!
+//! ## Example
+//!
+//! ```
+//! use supersym_isa::{AsmBuilder, IntReg, Program};
+//!
+//! let mut asm = AsmBuilder::new("main");
+//! let r1 = IntReg::new(1)?;
+//! let r2 = IntReg::new(2)?;
+//! asm.movi(r1, 20);
+//! asm.movi(r2, 22);
+//! asm.add(r1, r1, r2.into());
+//! asm.halt();
+//! let program: Program = asm.finish_program();
+//! assert_eq!(program.functions().len(), 1);
+//! # Ok::<(), supersym_isa::IsaError>(())
+//! ```
+
+mod builder;
+mod class;
+mod display;
+mod error;
+mod instr;
+mod program;
+mod reg;
+mod vector;
+
+pub use builder::AsmBuilder;
+pub use class::{ClassCensus, ClassFreq, ClassTable, InstrClass, NUM_CLASSES};
+pub use error::IsaError;
+pub use instr::{FpCmpOp, FpOp, Instr, IntOp, MemAlias, MemRegion, Operand, Uses};
+pub use program::{FuncId, Function, Label, Program};
+pub use reg::{FpReg, IntReg, Reg, NUM_FP_REGS, NUM_INT_REGS};
+pub use vector::{VecReg, MAX_VLEN, NUM_VEC_REGS};

@@ -1,0 +1,387 @@
+//! Programs, functions and labels.
+//!
+//! A [`Program`] is a set of [`Function`]s plus a global data image. Control
+//! flow inside a function targets [`Label`]s, which resolve to instruction
+//! indices through the function's label table (so schedulers can reorder
+//! instructions and then re-pin labels without rewriting every branch).
+
+use crate::error::IsaError;
+use crate::instr::Instr;
+use std::fmt;
+
+/// An intra-function branch target.
+///
+/// A label is an index into the owning function's label table; the table maps
+/// it to an instruction index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(u32);
+
+impl Label {
+    /// Creates a label with the given table slot.
+    #[must_use]
+    pub fn new(slot: u32) -> Self {
+        Label(slot)
+    }
+
+    /// The label's slot in the function label table.
+    #[must_use]
+    pub fn slot(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Identifies a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id with the given index.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        FuncId(index)
+    }
+
+    /// The function's index in the program.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// A function: a name, an instruction sequence, and a label table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    name: String,
+    instrs: Vec<Instr>,
+    /// `label_targets[label.slot()]` is the instruction index the label
+    /// currently points at.
+    label_targets: Vec<usize>,
+}
+
+impl Function {
+    /// Creates a function from parts.
+    #[must_use]
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>, label_targets: Vec<usize>) -> Self {
+        Function {
+            name: name.into(),
+            instrs,
+            label_targets,
+        }
+    }
+
+    /// The function's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Mutable access for schedulers. Invariants are re-checked by
+    /// [`Program::validate`].
+    pub fn instrs_mut(&mut self) -> &mut Vec<Instr> {
+        &mut self.instrs
+    }
+
+    /// The label table.
+    #[must_use]
+    pub fn label_targets(&self) -> &[usize] {
+        &self.label_targets
+    }
+
+    /// Mutable label table, for schedulers that move label positions.
+    pub fn label_targets_mut(&mut self) -> &mut Vec<usize> {
+        &mut self.label_targets
+    }
+
+    /// Resolves a label to an instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not in this function's table; labels are only
+    /// meaningful within the function that created them.
+    #[must_use]
+    pub fn resolve(&self, label: Label) -> usize {
+        self.label_targets[label.slot() as usize]
+    }
+
+    /// Checks internal consistency: every label and branch target must point
+    /// at an instruction (or one past the end, meaning fall-off return).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::DanglingLabel`] for out-of-range targets.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        for (slot, &target) in self.label_targets.iter().enumerate() {
+            if target > self.instrs.len() {
+                return Err(IsaError::DanglingLabel {
+                    function: self.name.clone(),
+                    label: Label(slot as u32),
+                });
+            }
+        }
+        for instr in &self.instrs {
+            let target = match instr {
+                Instr::Br { target, .. } | Instr::Jmp { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(label) = target {
+                if (label.slot() as usize) >= self.label_targets.len() {
+                    return Err(IsaError::DanglingLabel {
+                        function: self.name.clone(),
+                        label,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A whole program: functions, an entry point, and a global data image.
+///
+/// Memory is word-addressed; the global image occupies addresses
+/// `0..globals_words()` and the stack grows down from the top of the
+/// simulated memory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    functions: Vec<Function>,
+    entry: Option<FuncId>,
+    globals_words: usize,
+    data: Vec<(usize, i64)>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, function: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(function);
+        id
+    }
+
+    /// All functions, indexable by [`FuncId::index`].
+    #[must_use]
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Mutable functions, for schedulers.
+    pub fn functions_mut(&mut self) -> &mut [Function] {
+        &mut self.functions
+    }
+
+    /// Looks up a function by id.
+    #[must_use]
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name() == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Sets the entry function.
+    pub fn set_entry(&mut self, entry: FuncId) {
+        self.entry = Some(entry);
+    }
+
+    /// The entry function, if set.
+    #[must_use]
+    pub fn entry(&self) -> Option<FuncId> {
+        self.entry
+    }
+
+    /// Reserves `words` of global data space; returns the base address.
+    pub fn alloc_globals(&mut self, words: usize) -> usize {
+        let base = self.globals_words;
+        self.globals_words += words;
+        base
+    }
+
+    /// Size of the global data region in words.
+    #[must_use]
+    pub fn globals_words(&self) -> usize {
+        self.globals_words
+    }
+
+    /// Records an initial value for a global word.
+    pub fn add_data(&mut self, addr: usize, value: i64) {
+        self.data.push((addr, value));
+    }
+
+    /// Initial data image as `(address, value)` pairs.
+    #[must_use]
+    pub fn data(&self) -> &[(usize, i64)] {
+        &self.data
+    }
+
+    /// Total static instruction count across all functions.
+    #[must_use]
+    pub fn static_size(&self) -> usize {
+        self.functions.iter().map(|f| f.instrs().len()).sum()
+    }
+
+    /// Validates the whole program: entry set, per-function label sanity,
+    /// and every `Call` target in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IsaError`] found.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        let entry = self.entry.ok_or(IsaError::MissingEntry)?;
+        if entry.index() >= self.functions.len() {
+            return Err(IsaError::UnknownFunction(entry));
+        }
+        for function in &self.functions {
+            function.validate()?;
+            for instr in function.instrs() {
+                if let Instr::Call { target } = instr {
+                    if target.index() >= self.functions.len() {
+                        return Err(IsaError::UnknownFunction(*target));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{IntOp, Operand};
+    use crate::reg::IntReg;
+
+    fn simple_function() -> Function {
+        let r1 = IntReg::new(1).unwrap();
+        Function::new(
+            "f",
+            vec![
+                Instr::MovI { dst: r1, imm: 1 },
+                Instr::IntOp {
+                    op: IntOp::Add,
+                    dst: r1,
+                    lhs: r1,
+                    rhs: Operand::Imm(2),
+                },
+                Instr::Halt,
+            ],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let mut program = Program::new();
+        let id = program.add_function(simple_function());
+        program.set_entry(id);
+        assert!(program.validate().is_ok());
+        assert_eq!(program.static_size(), 3);
+        assert_eq!(program.function(id).name(), "f");
+        assert_eq!(program.function_by_name("f").unwrap().0, id);
+        assert!(program.function_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn missing_entry_rejected() {
+        let mut program = Program::new();
+        program.add_function(simple_function());
+        assert!(matches!(program.validate(), Err(IsaError::MissingEntry)));
+    }
+
+    #[test]
+    fn dangling_label_rejected() {
+        let mut function = simple_function();
+        function.label_targets_mut()[0] = 99;
+        let mut program = Program::new();
+        let id = program.add_function(function);
+        program.set_entry(id);
+        assert!(matches!(
+            program.validate(),
+            Err(IsaError::DanglingLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn branch_to_unknown_label_rejected() {
+        let r1 = IntReg::new(1).unwrap();
+        let function = Function::new(
+            "g",
+            vec![Instr::Br {
+                cond: r1,
+                expect: true,
+                target: Label::new(5),
+            }],
+            vec![0],
+        );
+        let mut program = Program::new();
+        let id = program.add_function(function);
+        program.set_entry(id);
+        assert!(program.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_call_target_rejected() {
+        let function = Function::new(
+            "h",
+            vec![Instr::Call {
+                target: FuncId::new(7),
+            }],
+            vec![],
+        );
+        let mut program = Program::new();
+        let id = program.add_function(function);
+        program.set_entry(id);
+        assert!(matches!(
+            program.validate(),
+            Err(IsaError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn globals_allocation() {
+        let mut program = Program::new();
+        let a = program.alloc_globals(10);
+        let b = program.alloc_globals(5);
+        assert_eq!(a, 0);
+        assert_eq!(b, 10);
+        assert_eq!(program.globals_words(), 15);
+        program.add_data(3, 42);
+        assert_eq!(program.data(), &[(3, 42)]);
+    }
+
+    #[test]
+    fn label_one_past_end_allowed() {
+        let mut function = simple_function();
+        function.label_targets_mut()[0] = 3; // == len, fall-off
+        assert!(function.validate().is_ok());
+    }
+}

@@ -1,0 +1,250 @@
+//! Architectural registers.
+//!
+//! The machine has [`NUM_INT_REGS`] integer registers and [`NUM_FP_REGS`]
+//! floating-point registers. Integer register 0 is hardwired to zero, as on
+//! the MultiTitan (and most RISCs of the era).
+
+use crate::vector::{VecReg, NUM_VEC_REGS};
+use crate::IsaError;
+use std::fmt;
+
+/// Number of integer registers (`r0` is hardwired to zero).
+pub const NUM_INT_REGS: usize = 64;
+/// Number of floating-point registers.
+pub const NUM_FP_REGS: usize = 64;
+
+/// An integer register, `r0`..`r63`.
+///
+/// `r0` always reads as zero; writes to it are discarded.
+///
+/// ```
+/// use supersym_isa::IntReg;
+/// let sp = IntReg::SP;
+/// assert_eq!(sp.index(), 29);
+/// assert!(IntReg::new(64).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The hardwired-zero register.
+    pub const ZERO: IntReg = IntReg(0);
+    /// Stack pointer (by software convention).
+    pub const SP: IntReg = IntReg(29);
+    /// Global pointer: base address of the global data region (convention).
+    pub const GP: IntReg = IntReg(30);
+    /// Scratch register reserved for the code generator (convention).
+    pub const AT: IntReg = IntReg(31);
+
+    /// Creates an integer register from its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] if `index >= NUM_INT_REGS`.
+    pub fn new(index: u8) -> Result<Self, IsaError> {
+        if (index as usize) < NUM_INT_REGS {
+            Ok(IntReg(index))
+        } else {
+            Err(IsaError::RegisterOutOfRange(index))
+        }
+    }
+
+    /// Creates a register without bounds checking in release builds.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `index` is out of range.
+    #[must_use]
+    pub fn new_unchecked(index: u8) -> Self {
+        debug_assert!((index as usize) < NUM_INT_REGS);
+        IntReg(index)
+    }
+
+    /// The register's index, `0..NUM_INT_REGS`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register, `f0`..`f63`.
+///
+/// ```
+/// use supersym_isa::FpReg;
+/// assert_eq!(FpReg::new(7)?.index(), 7);
+/// # Ok::<(), supersym_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] if `index >= NUM_FP_REGS`.
+    pub fn new(index: u8) -> Result<Self, IsaError> {
+        if (index as usize) < NUM_FP_REGS {
+            Ok(FpReg(index))
+        } else {
+            Err(IsaError::RegisterOutOfRange(index))
+        }
+    }
+
+    /// Creates a register without bounds checking in release builds.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `index` is out of range.
+    #[must_use]
+    pub fn new_unchecked(index: u8) -> Self {
+        debug_assert!((index as usize) < NUM_FP_REGS);
+        FpReg(index)
+    }
+
+    /// The register's index, `0..NUM_FP_REGS`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Either register file's register, used in def/use metadata.
+///
+/// The integer and floating-point register files are disjoint; this sum type
+/// lets dependence analysis treat them uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// An integer register.
+    Int(IntReg),
+    /// A floating-point register.
+    Fp(FpReg),
+    /// A vector register.
+    Vec(VecReg),
+    /// The vector-length register (a single architectural register; the
+    /// dependence between `setvl` and vector operations flows through it).
+    Vl,
+}
+
+impl Reg {
+    /// A dense index over both register files: integer registers first.
+    ///
+    /// Useful for scoreboard arrays sized `NUM_INT_REGS + NUM_FP_REGS`.
+    #[must_use]
+    pub fn dense_index(self) -> usize {
+        match self {
+            Reg::Int(r) => r.index() as usize,
+            Reg::Fp(r) => NUM_INT_REGS + r.index() as usize,
+            Reg::Vec(r) => NUM_INT_REGS + NUM_FP_REGS + r.index() as usize,
+            Reg::Vl => NUM_INT_REGS + NUM_FP_REGS + NUM_VEC_REGS,
+        }
+    }
+
+    /// Size of the dense register index space (integer + FP + vector + VL).
+    pub const DENSE_SPACE: usize = NUM_INT_REGS + NUM_FP_REGS + NUM_VEC_REGS + 1;
+
+    /// Whether this is the integer zero register (never a real dependency).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        matches!(self, Reg::Int(r) if r.is_zero())
+    }
+}
+
+impl From<IntReg> for Reg {
+    fn from(r: IntReg) -> Self {
+        Reg::Int(r)
+    }
+}
+
+impl From<FpReg> for Reg {
+    fn from(r: FpReg) -> Self {
+        Reg::Fp(r)
+    }
+}
+
+impl From<VecReg> for Reg {
+    fn from(r: VecReg) -> Self {
+        Reg::Vec(r)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Int(r) => r.fmt(f),
+            Reg::Fp(r) => r.fmt(f),
+            Reg::Vec(r) => r.fmt(f),
+            Reg::Vl => f.write_str("vl"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_bounds() {
+        assert!(IntReg::new(0).is_ok());
+        assert!(IntReg::new(63).is_ok());
+        assert!(IntReg::new(64).is_err());
+    }
+
+    #[test]
+    fn fp_reg_bounds() {
+        assert!(FpReg::new(63).is_ok());
+        assert!(FpReg::new(64).is_err());
+        assert!(FpReg::new(255).is_err());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::SP.is_zero());
+        assert!(Reg::Int(IntReg::ZERO).is_zero());
+        assert!(!Reg::Fp(FpReg::new(0).unwrap()).is_zero());
+    }
+
+    #[test]
+    fn dense_index_disjoint() {
+        let i = Reg::Int(IntReg::new(5).unwrap());
+        let f = Reg::Fp(FpReg::new(5).unwrap());
+        assert_ne!(i.dense_index(), f.dense_index());
+        assert_eq!(f.dense_index(), NUM_INT_REGS + 5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(IntReg::SP.to_string(), "r29");
+        assert_eq!(FpReg::new(3).unwrap().to_string(), "f3");
+        assert_eq!(Reg::Int(IntReg::ZERO).to_string(), "r0");
+    }
+
+    #[test]
+    fn conventions_distinct() {
+        let set = [IntReg::ZERO, IntReg::SP, IntReg::GP, IntReg::AT];
+        for (i, a) in set.iter().enumerate() {
+            for b in &set[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Vector-unit extension (§2.6 of the paper).
+//!
+//! "Each of these machines could have an attached vector unit" — this
+//! module is that unit: eight vector registers of up to [`MAX_VLEN`]
+//! double-precision elements, a vector-length register, unit-stride memory
+//! operations, and chained element-per-cycle arithmetic. It exists to test
+//! §2.3's equivalence claim: "A superscalar machine can attain the same
+//! performance as a machine with vector hardware."
+
+use crate::IsaError;
+use std::fmt;
+
+/// Number of vector registers.
+pub const NUM_VEC_REGS: usize = 8;
+/// Maximum vector length (elements per vector register).
+pub const MAX_VLEN: usize = 64;
+
+/// A vector register, `v0`..`v7`.
+///
+/// ```
+/// use supersym_isa::VecReg;
+/// assert_eq!(VecReg::new(3)?.index(), 3);
+/// assert!(VecReg::new(8).is_err());
+/// # Ok::<(), supersym_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VecReg(u8);
+
+impl VecReg {
+    /// Creates a vector register from its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] if `index >= NUM_VEC_REGS`.
+    pub fn new(index: u8) -> Result<Self, IsaError> {
+        if (index as usize) < NUM_VEC_REGS {
+            Ok(VecReg(index))
+        } else {
+            Err(IsaError::RegisterOutOfRange(index))
+        }
+    }
+
+    /// Creates a register without bounds checking in release builds.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `index` is out of range.
+    #[must_use]
+    pub fn new_unchecked(index: u8) -> Self {
+        debug_assert!((index as usize) < NUM_VEC_REGS);
+        VecReg(index)
+    }
+
+    /// The register's index, `0..NUM_VEC_REGS`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for VecReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds() {
+        assert!(VecReg::new(0).is_ok());
+        assert!(VecReg::new(7).is_ok());
+        assert!(VecReg::new(8).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VecReg::new(5).unwrap().to_string(), "v5");
+    }
+}

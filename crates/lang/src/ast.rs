@@ -1,0 +1,403 @@
+//! Abstract syntax for Tital.
+//!
+//! The tree is deliberately plain data (public fields, C-spirit structs):
+//! the source-level loop unroller in `supersym-opt` rewrites it directly.
+
+use std::fmt;
+
+/// A scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE floating point.
+    Float,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => f.write_str("int"),
+            Ty::Float => f.write_str("float"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `&` (integers only)
+    And,
+    /// `|` (integers only)
+    Or,
+    /// `^` (integers only)
+    Xor,
+    /// `<<` (integers only)
+    Shl,
+    /// `>>` (integers only, arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// Whether this operator yields an `int` regardless of operand type.
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether this operator only accepts integer operands.
+    #[must_use]
+    pub fn is_int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (integers; yields 0/1).
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Variable reference (local, parameter or global scalar).
+    Var(String),
+    /// Global array element `arr[index]`.
+    Elem {
+        /// Array name.
+        arr: String,
+        /// Index expression (must be `int`).
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Type conversion: `itof(e)` or `ftoi(e)`.
+    Cast {
+        /// Target type.
+        to: Ty,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a binary expression.
+    #[must_use]
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Whether `name` occurs as a variable reference anywhere in the tree.
+    #[must_use]
+    pub fn references_var(&self, name: &str) -> bool {
+        match self {
+            Expr::IntLit(_) | Expr::FloatLit(_) => false,
+            Expr::Var(v) => v == name,
+            Expr::Elem { index, .. } => index.references_var(name),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr.references_var(name),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.references_var(name) || rhs.references_var(name)
+            }
+            Expr::Call { args, .. } => args.iter().any(|a| a.references_var(name)),
+        }
+    }
+
+    /// Whether the expression contains any function call.
+    #[must_use]
+    pub fn contains_call(&self) -> bool {
+        match self {
+            Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) => false,
+            Expr::Elem { index, .. } => index.contains_call(),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr.contains_call(),
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_call() || rhs.contains_call(),
+            Expr::Call { .. } => true,
+        }
+    }
+
+    /// Rewrites every reference to variable `name` with `replacement`,
+    /// returning the new tree. Used by the careful loop unroller to
+    /// substitute `i -> i + k`.
+    #[must_use]
+    pub fn substitute_var(&self, name: &str, replacement: &Expr) -> Expr {
+        match self {
+            Expr::IntLit(_) | Expr::FloatLit(_) => self.clone(),
+            Expr::Var(v) => {
+                if v == name {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Elem { arr, index } => Expr::Elem {
+                arr: arr.clone(),
+                index: Box::new(index.substitute_var(name, replacement)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.substitute_var(name, replacement)),
+            },
+            Expr::Cast { to, expr } => Expr::Cast {
+                to: *to,
+                expr: Box::new(expr.substitute_var(name, replacement)),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.substitute_var(name, replacement)),
+                rhs: Box::new(rhs.substitute_var(name, replacement)),
+            },
+            Expr::Call { name: callee, args } => Expr::Call {
+                name: callee.clone(),
+                args: args
+                    .iter()
+                    .map(|a| a.substitute_var(name, replacement))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `var x = e;` (int) or `fvar x = e;` (float).
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Initializer.
+        init: Expr,
+    },
+    /// Scalar assignment `x = e;`.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        value: Expr,
+    },
+    /// Array element assignment `a[i] = e;`.
+    AssignElem {
+        /// Array name.
+        arr: String,
+        /// Index (int).
+        index: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// Conditional.
+    If {
+        /// Condition (int; non-zero is true).
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// Counted loop `for (i = init; cond; i = i + step) body`, the canonical
+    /// form the unroller understands. `i` is implicitly a fresh local `int`.
+    For {
+        /// Induction variable name.
+        var: String,
+        /// Initial value.
+        init: Expr,
+        /// Continuation condition (usually `i < bound`).
+        cond: Expr,
+        /// Constant step added each iteration.
+        step: i64,
+        /// Body.
+        body: Block,
+    },
+    /// Return.
+    Return(Option<Expr>),
+    /// Expression evaluated for effect (a call).
+    ExprStmt(Expr),
+}
+
+/// A block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Kind of a global declaration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GlobalKind {
+    /// A scalar with an optional constant initializer.
+    Scalar {
+        /// Initial value (as a bit pattern appropriate to the type).
+        init: Option<f64>,
+    },
+    /// A fixed-size array.
+    Array {
+        /// Element count.
+        len: usize,
+    },
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Element/scalar type.
+    pub ty: Ty,
+    /// Scalar or array.
+    pub kind: GlobalKind,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Ty)>,
+    /// Return type, if any.
+    pub ret: Option<Ty>,
+    /// Body.
+    pub body: Block,
+}
+
+/// A whole module (one source file).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Global declarations, in order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function declarations, in order.
+    pub funcs: Vec<FnDecl>,
+}
+
+impl Module {
+    /// Finds a function by name.
+    #[must_use]
+    pub fn func(&self, name: &str) -> Option<&FnDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    #[must_use]
+    pub fn global(&self, name: &str) -> Option<&GlobalDecl> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_var() {
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::Var("i".into()),
+            Expr::Elem {
+                arr: "a".into(),
+                index: Box::new(Expr::Var("j".into())),
+            },
+        );
+        assert!(e.references_var("i"));
+        assert!(e.references_var("j"));
+        assert!(!e.references_var("a")); // array names are not variables
+        assert!(!e.references_var("k"));
+    }
+
+    #[test]
+    fn substitute_var() {
+        let e = Expr::binary(BinOp::Mul, Expr::Var("i".into()), Expr::IntLit(2));
+        let replacement = Expr::binary(BinOp::Add, Expr::Var("i".into()), Expr::IntLit(1));
+        let out = e.substitute_var("i", &replacement);
+        assert!(matches!(
+            out,
+            Expr::Binary { op: BinOp::Mul, ref lhs, .. }
+                if matches!(**lhs, Expr::Binary { op: BinOp::Add, .. })
+        ));
+    }
+
+    #[test]
+    fn contains_call() {
+        let call = Expr::Call {
+            name: "f".into(),
+            args: vec![],
+        };
+        let wrapped = Expr::binary(BinOp::Add, Expr::IntLit(1), call);
+        assert!(wrapped.contains_call());
+        assert!(!Expr::IntLit(1).contains_call());
+    }
+
+    #[test]
+    fn binop_predicates() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Shl.is_int_only());
+        assert!(!BinOp::Div.is_int_only());
+    }
+}

@@ -1,0 +1,111 @@
+//! Front-end error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the lexer, parser, or semantic checker.
+///
+/// Every variant carries the 1-based source line it was detected on.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// An unrecognized character in the source.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// Source line.
+        line: u32,
+    },
+    /// A malformed numeric literal.
+    BadNumber {
+        /// The offending text.
+        text: String,
+        /// Source line.
+        line: u32,
+    },
+    /// The parser found something other than what the grammar requires.
+    UnexpectedToken {
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: String,
+        /// Source line.
+        line: u32,
+    },
+    /// A name was used but never declared.
+    Undefined {
+        /// The name.
+        name: String,
+        /// Source line (0 when unavailable).
+        line: u32,
+    },
+    /// A name was declared twice in the same scope.
+    Redefined {
+        /// The name.
+        name: String,
+    },
+    /// Operand or assignment types do not match.
+    TypeMismatch {
+        /// Description of the context.
+        context: String,
+    },
+    /// A call passed the wrong number of arguments.
+    ArityMismatch {
+        /// Callee name.
+        name: String,
+        /// Expected count.
+        expected: usize,
+        /// Found count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::UnexpectedChar { ch, line } => {
+                write!(f, "line {line}: unexpected character {ch:?}")
+            }
+            LangError::BadNumber { text, line } => {
+                write!(f, "line {line}: malformed number `{text}`")
+            }
+            LangError::UnexpectedToken {
+                found,
+                expected,
+                line,
+            } => write!(f, "line {line}: expected {expected}, found {found}"),
+            LangError::Undefined { name, line } => {
+                write!(f, "line {line}: `{name}` is not defined")
+            }
+            LangError::Redefined { name } => write!(f, "`{name}` is defined twice"),
+            LangError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            LangError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(f, "call to `{name}` expects {expected} arguments, found {found}"),
+        }
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LangError::Undefined {
+            name: "x".into(),
+            line: 3,
+        };
+        assert_eq!(e.to_string(), "line 3: `x` is not defined");
+        let e = LangError::ArityMismatch {
+            name: "f".into(),
+            expected: 2,
+            found: 1,
+        };
+        assert_eq!(e.to_string(), "call to `f` expects 2 arguments, found 1");
+    }
+}

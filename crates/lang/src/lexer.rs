@@ -1,0 +1,242 @@
+//! The Tital lexer.
+
+use crate::error::LangError;
+use std::fmt;
+
+/// Kinds of token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// An identifier or keyword.
+    Ident(String),
+    /// A punctuation or operator token, stored as its source text.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Punct(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    // Two-character tokens first (maximal munch).
+    "==", "!=", "<=", ">=", "<<", ">>", "->", "&&", "||",
+    "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "/", "%", "<", ">", "=", "&", "|",
+    "^", "!",
+];
+
+/// Tokenizes Tital source text.
+///
+/// Comments run from `//` to end of line.
+///
+/// # Errors
+///
+/// Returns [`LangError::UnexpectedChar`] or [`LangError::BadNumber`].
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &source[start..i];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| LangError::BadNumber {
+                    text: text.to_string(),
+                    line,
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| LangError::BadNumber {
+                    text: text.to_string(),
+                    line,
+                })?)
+            };
+            tokens.push(Token { kind, line });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(source[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        let rest = &source[i..];
+        let mut matched = false;
+        for punct in PUNCTS {
+            if rest.starts_with(punct) {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(punct),
+                    line,
+                });
+                i += punct.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LangError::UnexpectedChar { ch: c, line });
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("foo = a1 + _b;"),
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::Punct("="),
+                TokenKind::Ident("a1".into()),
+                TokenKind::Punct("+"),
+                TokenKind::Ident("_b".into()),
+                TokenKind::Punct(";"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch() {
+        assert_eq!(
+            kinds("<= < << ->"),
+            vec![
+                TokenKind::Punct("<="),
+                TokenKind::Punct("<"),
+                TokenKind::Punct("<<"),
+                TokenKind::Punct("->"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let tokens = lex("a // comment\nb").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+    }
+
+    #[test]
+    fn unexpected_char() {
+        assert!(matches!(
+            lex("a @ b"),
+            Err(LangError::UnexpectedChar { ch: '@', line: 1 })
+        ));
+    }
+
+    #[test]
+    fn int_dot_not_followed_by_digit_is_not_float() {
+        // `1.` would be `1` then an unexpected `.`; we simply don't lex
+        // a trailing dot as part of the number.
+        assert!(lex("1.").is_err());
+    }
+
+    #[test]
+    fn big_integer_literal() {
+        assert_eq!(
+            kinds("9223372036854775807")[0],
+            TokenKind::Int(i64::MAX)
+        );
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

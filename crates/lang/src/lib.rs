@@ -1,0 +1,51 @@
+//! # supersym-lang
+//!
+//! The front end for **Tital**, the small imperative language the supersym
+//! benchmarks are written in. Tital stands in for the Modula-2 the paper's
+//! benchmarks used: two scalar types (`int` = 64-bit integer, `float` =
+//! 64-bit IEEE), global scalars and fixed-size global arrays, functions with
+//! parameters and recursion, `if`/`while`/`for` control flow.
+//!
+//! ```text
+//! global arr a[64];
+//! global var total = 0;
+//!
+//! fn sum(int n) -> int {
+//!     var s = 0;
+//!     for (i = 0; i < n; i = i + 1) {
+//!         s = s + a[i];
+//!     }
+//!     return s;
+//! }
+//!
+//! fn main() {
+//!     total = sum(64);
+//! }
+//! ```
+//!
+//! The crate provides the [`lex`]er, the [`parse`]r producing an [`ast`],
+//! and [`check`] — the semantic analysis that later pipeline stages
+//! (`supersym-ir` lowering, `supersym-opt` source-level unrolling) rely on.
+//!
+//! ## Example
+//!
+//! ```
+//! let source = "fn main() -> int { return 6 * 7; }";
+//! let module = supersym_lang::parse(source)?;
+//! supersym_lang::check(&module)?;
+//! assert_eq!(module.funcs.len(), 1);
+//! # Ok::<(), supersym_lang::LangError>(())
+//! ```
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod printer;
+mod sema;
+
+pub use error::LangError;
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::parse;
+pub use printer::{print_expr, print_module};
+pub use sema::check;

@@ -1,0 +1,267 @@
+//! Pretty-printing Tital ASTs back to (re-parseable) source text.
+//!
+//! Useful for inspecting what the loop unroller produced
+//! (`titalc`-style debugging) and for the parse/print round-trip property
+//! tests: `parse(print(ast)) == ast` up to operator-precedence
+//! re-parenthesization — the printer parenthesizes every binary expression,
+//! making the round trip exact.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a module as Tital source that parses back to an equivalent AST.
+#[must_use]
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for global in &module.globals {
+        match global.kind {
+            GlobalKind::Scalar { init } => {
+                let keyword = match global.ty {
+                    Ty::Int => "var",
+                    Ty::Float => "fvar",
+                };
+                match init {
+                    Some(value) => {
+                        let _ = writeln!(
+                            out,
+                            "global {keyword} {} = {};",
+                            global.name,
+                            print_scalar_init(global.ty, value)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "global {keyword} {};", global.name);
+                    }
+                }
+            }
+            GlobalKind::Array { len } => {
+                let keyword = match global.ty {
+                    Ty::Int => "arr",
+                    Ty::Float => "farr",
+                };
+                let _ = writeln!(out, "global {keyword} {}[{len}];", global.name);
+            }
+        }
+    }
+    for func in &module.funcs {
+        let params = func
+            .params
+            .iter()
+            .map(|(name, ty)| format!("{ty} {name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        match func.ret {
+            Some(ret) => {
+                let _ = writeln!(out, "fn {}({params}) -> {ret} {{", func.name);
+            }
+            None => {
+                let _ = writeln!(out, "fn {}({params}) {{", func.name);
+            }
+        }
+        print_block(&mut out, &func.body, 1);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn print_scalar_init(ty: Ty, value: f64) -> String {
+    match ty {
+        Ty::Int => format!("{}", value as i64),
+        Ty::Float => print_float(value),
+    }
+}
+
+fn print_float(value: f64) -> String {
+    // Negative literals print as unary negation inside expressions; global
+    // initializers accept a leading minus directly.
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:?}")
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, block: &Block, depth: usize) {
+    for stmt in &block.stmts {
+        print_stmt(out, stmt, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::Let { name, ty, init } => {
+            let keyword = match ty {
+                Ty::Int => "var",
+                Ty::Float => "fvar",
+            };
+            let _ = writeln!(out, "{keyword} {name} = {};", print_expr(init));
+        }
+        Stmt::Assign { name, value } => {
+            let _ = writeln!(out, "{name} = {};", print_expr(value));
+        }
+        Stmt::AssignElem { arr, index, value } => {
+            let _ = writeln!(out, "{arr}[{}] = {};", print_expr(index), print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_block(out, then_blk, depth + 1);
+            indent(out, depth);
+            match else_blk {
+                Some(else_blk) => {
+                    out.push_str("} else {\n");
+                    print_block(out, else_blk, depth + 1);
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+                None => out.push_str("}\n"),
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            print_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let update = if *step >= 0 {
+                format!("{var} = {var} + {step}")
+            } else {
+                format!("{var} = {var} - {}", -step)
+            };
+            let _ = writeln!(
+                out,
+                "for ({var} = {}; {}; {update}) {{",
+                print_expr(init),
+                print_expr(cond)
+            );
+            print_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Return(Some(value)) => {
+            let _ = writeln!(out, "return {};", print_expr(value));
+        }
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::ExprStmt(expr) => {
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+    }
+}
+
+fn bin_op_text(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+    }
+}
+
+/// Renders an expression (fully parenthesized).
+#[must_use]
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::IntLit(v) => {
+            if *v < 0 {
+                format!("(-{})", v.unsigned_abs())
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::FloatLit(v) => {
+            if *v < 0.0 {
+                format!("(-{})", print_float(-v))
+            } else {
+                print_float(*v)
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Elem { arr, index } => format!("{arr}[{}]", print_expr(index)),
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => format!("(-{})", print_expr(expr)),
+            UnOp::Not => format!("(!{})", print_expr(expr)),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), bin_op_text(*op), print_expr(rhs))
+        }
+        Expr::Call { name, args } => {
+            let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({args})")
+        }
+        Expr::Cast { to, expr } => match to {
+            Ty::Float => format!("itof({})", print_expr(expr)),
+            Ty::Int => format!("ftoi({})", print_expr(expr)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let source = "
+            global arr a[8];
+            global fvar total = -2.5;
+            fn sum(int n) -> int {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + a[i] * 2; }
+                if (s > 10) { s = s - 1; } else { s = 0 - s; }
+                while (s % 2 == 0) { s = s / 2; }
+                return s;
+            }
+            fn main() { total = itof(sum(8)); }";
+        let first = parse(source).unwrap();
+        let printed = print_module(&first);
+        let second = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reprinted = print_module(&second);
+        assert_eq!(printed, reprinted, "printing is a fixed point");
+    }
+
+    #[test]
+    fn negative_step_for_loop() {
+        let source = "fn f() { for (i = 9; i > 0; i = i - 3) { } }";
+        let module = parse(source).unwrap();
+        let printed = print_module(&module);
+        assert!(printed.contains("i = i - 3"));
+        parse(&printed).unwrap();
+    }
+
+    #[test]
+    fn negative_literals_parenthesized() {
+        let expr = Expr::binary(BinOp::Mul, Expr::IntLit(-3), Expr::FloatLit(0.0));
+        let text = print_expr(&expr);
+        assert!(text.contains("(-3)"));
+    }
+}

@@ -1,0 +1,601 @@
+//! The machine description: latencies, functional units, issue limits.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use supersym_isa::{ClassTable, InstrClass, NUM_CLASSES};
+
+/// A functional unit: a set of instruction classes served by `multiplicity`
+/// identical units, each unable to accept a new instruction for
+/// `issue_latency` machine cycles after accepting one.
+///
+/// Paper §3: "suppose we want to issue an instruction associated with a
+/// functional unit with issue latency 3 and multiplicity 2. This means that
+/// there are two units we might use to issue the instruction. If both are
+/// busy then the machine will stall until one is idle."
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FunctionalUnit {
+    name: String,
+    classes: Vec<InstrClass>,
+    multiplicity: u32,
+    issue_latency: u32,
+}
+
+impl FunctionalUnit {
+    /// Creates a functional unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplicity` or `issue_latency` is zero, or `classes` is
+    /// empty — such a unit is meaningless.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        classes: impl Into<Vec<InstrClass>>,
+        multiplicity: u32,
+        issue_latency: u32,
+    ) -> Self {
+        let classes = classes.into();
+        assert!(multiplicity > 0, "functional unit multiplicity must be > 0");
+        assert!(issue_latency > 0, "functional unit issue latency must be > 0");
+        assert!(!classes.is_empty(), "functional unit must serve some class");
+        FunctionalUnit {
+            name: name.into(),
+            classes,
+            multiplicity,
+            issue_latency,
+        }
+    }
+
+    /// The unit's name (for reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction classes this unit serves.
+    #[must_use]
+    pub fn classes(&self) -> &[InstrClass] {
+        &self.classes
+    }
+
+    /// Number of identical copies of the unit.
+    #[must_use]
+    pub fn multiplicity(&self) -> u32 {
+        self.multiplicity
+    }
+
+    /// Cycles between successive issues to the same copy.
+    #[must_use]
+    pub fn issue_latency(&self) -> u32 {
+        self.issue_latency
+    }
+}
+
+/// How the register file is divided between expression temporaries and
+/// globally-allocated variables.
+///
+/// Paper §3: "Our compiler divides the register set into two disjoint parts.
+/// It uses one part as temporaries for short-term expressions ... the other
+/// part as home locations for local and global variables." The paper's main
+/// configuration is 16 temporaries + 26 globals (§4.4); Figure 4-6 notes the
+/// forty-temporary variant used for the unrolling study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegisterSplit {
+    /// Integer registers usable as expression temporaries.
+    pub int_temps: u8,
+    /// Integer registers usable as variable home locations.
+    pub int_globals: u8,
+    /// FP registers usable as expression temporaries.
+    pub fp_temps: u8,
+    /// FP registers usable as variable home locations.
+    pub fp_globals: u8,
+}
+
+impl RegisterSplit {
+    /// The paper's main configuration: "we used 16 registers for expression
+    /// temporaries and 26 for global register allocation" (§4.4), per
+    /// register file.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        RegisterSplit {
+            int_temps: 16,
+            int_globals: 26,
+            fp_temps: 16,
+            fp_globals: 26,
+        }
+    }
+
+    /// The split used in the unrolling study, which was limited by "only
+    /// forty temporary registers" (§4.4): twenty per file.
+    #[must_use]
+    pub fn unrolling_study() -> Self {
+        RegisterSplit {
+            int_temps: 20,
+            int_globals: 26,
+            fp_temps: 20,
+            fp_globals: 26,
+        }
+    }
+}
+
+impl Default for RegisterSplit {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Errors in machine-description construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// An instruction class is not served by any functional unit.
+    UncoveredClass(InstrClass),
+    /// An instruction class is served by more than one functional unit.
+    DoublyCoveredClass(InstrClass),
+    /// A latency of zero was specified (results can never be ready before
+    /// the next cycle).
+    ZeroLatency(InstrClass),
+    /// Issue width of zero.
+    ZeroIssueWidth,
+    /// Superpipelining degree of zero.
+    ZeroPipeDegree,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::UncoveredClass(c) => {
+                write!(f, "instruction class `{c}` has no functional unit")
+            }
+            MachineError::DoublyCoveredClass(c) => {
+                write!(f, "instruction class `{c}` is served by multiple functional units")
+            }
+            MachineError::ZeroLatency(c) => {
+                write!(f, "instruction class `{c}` has zero operation latency")
+            }
+            MachineError::ZeroIssueWidth => write!(f, "issue width must be at least 1"),
+            MachineError::ZeroPipeDegree => write!(f, "pipelining degree must be at least 1"),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+/// A complete machine description.
+///
+/// Create one through [`MachineConfig::builder`] or a preset in
+/// [`crate::presets`]. All latencies are in *machine cycles*; a machine
+/// cycle is `1 / pipe_degree` of a base-machine cycle, so results are
+/// compared across machines in base cycles via [`MachineConfig::base_cycles`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    name: String,
+    issue_width: u32,
+    pipe_degree: u32,
+    latencies: ClassTable<u32>,
+    fus: Vec<FunctionalUnit>,
+    /// Derived: class index -> functional unit index.
+    fu_of_class: [usize; NUM_CLASSES],
+    perfect_branch_prediction: bool,
+    taken_branch_breaks_issue: bool,
+    register_split: RegisterSplit,
+}
+
+impl MachineConfig {
+    /// Starts building a machine description.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> MachineConfigBuilder {
+        MachineConfigBuilder::new(name)
+    }
+
+    /// The machine's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum instructions issued per machine cycle (paper §3: "Superscalar
+    /// machines may have an upper limit on the number of instructions that
+    /// may be issued in the same cycle").
+    #[must_use]
+    pub fn issue_width(&self) -> u32 {
+        self.issue_width
+    }
+
+    /// Superpipelining degree *m*: the machine cycle is `1/m` of the base
+    /// machine cycle.
+    #[must_use]
+    pub fn pipe_degree(&self) -> u32 {
+        self.pipe_degree
+    }
+
+    /// Operation latency of `class`, in machine cycles.
+    #[must_use]
+    pub fn latency(&self, class: InstrClass) -> u32 {
+        self.latencies[class]
+    }
+
+    /// The full latency table.
+    #[must_use]
+    pub fn latencies(&self) -> &ClassTable<u32> {
+        &self.latencies
+    }
+
+    /// The functional units.
+    #[must_use]
+    pub fn functional_units(&self) -> &[FunctionalUnit] {
+        &self.fus
+    }
+
+    /// Index (into [`Self::functional_units`]) of the unit serving `class`.
+    #[must_use]
+    pub fn unit_of(&self, class: InstrClass) -> usize {
+        self.fu_of_class[class.index()]
+    }
+
+    /// Whether branches are predicted perfectly (the paper's default
+    /// assumption: control latency is ignored, §2.1).
+    #[must_use]
+    pub fn perfect_branch_prediction(&self) -> bool {
+        self.perfect_branch_prediction
+    }
+
+    /// Whether a taken branch ends the issue group for the cycle (real
+    /// superscalars cannot issue past a taken branch; the paper's ideal
+    /// machines can). Off for ideal machines.
+    #[must_use]
+    pub fn taken_branch_breaks_issue(&self) -> bool {
+        self.taken_branch_breaks_issue
+    }
+
+    /// The register-file split used by register allocation.
+    #[must_use]
+    pub fn register_split(&self) -> RegisterSplit {
+        self.register_split
+    }
+
+    /// Converts machine cycles to base-machine cycles.
+    #[must_use]
+    pub fn base_cycles(&self, machine_cycles: u64) -> f64 {
+        machine_cycles as f64 / self.pipe_degree as f64
+    }
+
+    /// The instruction-level parallelism required to fully utilize the
+    /// machine: `n * m` (paper §2.5: "Instruction-level parallelism required
+    /// to fully utilize = n*m").
+    #[must_use]
+    pub fn required_parallelism(&self) -> u32 {
+        self.issue_width * self.pipe_degree
+    }
+
+    /// Returns a copy with every operation latency set to one machine cycle.
+    ///
+    /// This is the transformation behind the paper's Figure 4-4 comparison
+    /// ("instruction issue methods have been compared for the CRAY-1 assuming
+    /// all functional units have 1 cycle latency").
+    #[must_use]
+    pub fn with_unit_latencies(&self) -> MachineConfig {
+        let mut config = self.clone();
+        config.name = format!("{} (unit latencies)", self.name);
+        config.latencies = ClassTable::from_fn(|_| 1);
+        config
+    }
+
+    /// Returns a copy with a different issue width.
+    #[must_use]
+    pub fn with_issue_width(&self, width: u32) -> MachineConfig {
+        assert!(width > 0, "issue width must be at least 1");
+        let mut config = self.clone();
+        config.issue_width = width;
+        // Widen per-class units so the width limit, not class conflicts,
+        // is what is being varied — matching the paper's ideal-issue sweeps.
+        for fu in &mut config.fus {
+            fu.multiplicity = fu.multiplicity.max(width);
+        }
+        config
+    }
+
+    /// Returns a copy with a different register split.
+    #[must_use]
+    pub fn with_register_split(&self, split: RegisterSplit) -> MachineConfig {
+        let mut config = self.clone();
+        config.register_split = split;
+        config
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: issue width {}, pipelining degree {}",
+            self.name, self.issue_width, self.pipe_degree
+        )?;
+        writeln!(f, "  latencies:")?;
+        for (class, latency) in self.latencies.iter() {
+            writeln!(f, "    {class:10} {latency}")?;
+        }
+        writeln!(f, "  functional units:")?;
+        for fu in &self.fus {
+            writeln!(
+                f,
+                "    {} x{} (issue latency {}): {:?}",
+                fu.name(),
+                fu.multiplicity(),
+                fu.issue_latency(),
+                fu.classes().iter().map(|c| c.mnemonic()).collect::<Vec<_>>()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`MachineConfig`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    name: String,
+    issue_width: u32,
+    pipe_degree: u32,
+    latencies: ClassTable<u32>,
+    fus: Vec<FunctionalUnit>,
+    perfect_branch_prediction: bool,
+    taken_branch_breaks_issue: bool,
+    register_split: RegisterSplit,
+}
+
+impl MachineConfigBuilder {
+    /// Starts a builder with base-machine defaults: issue width 1, degree 1,
+    /// all latencies 1, perfect branch prediction, no functional units yet.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineConfigBuilder {
+            name: name.into(),
+            issue_width: 1,
+            pipe_degree: 1,
+            latencies: ClassTable::from_fn(|_| 1),
+            fus: Vec::new(),
+            perfect_branch_prediction: true,
+            taken_branch_breaks_issue: false,
+            register_split: RegisterSplit::default(),
+        }
+    }
+
+    /// Sets the issue width.
+    pub fn issue_width(&mut self, width: u32) -> &mut Self {
+        self.issue_width = width;
+        self
+    }
+
+    /// Sets the superpipelining degree.
+    pub fn pipe_degree(&mut self, degree: u32) -> &mut Self {
+        self.pipe_degree = degree;
+        self
+    }
+
+    /// Sets the operation latency of one class (machine cycles).
+    pub fn latency(&mut self, class: InstrClass, cycles: u32) -> &mut Self {
+        self.latencies[class] = cycles;
+        self
+    }
+
+    /// Sets all operation latencies at once.
+    pub fn latencies(&mut self, table: ClassTable<u32>) -> &mut Self {
+        self.latencies = table;
+        self
+    }
+
+    /// Scales every latency by `factor` (used to express superpipelining:
+    /// "given the same implementation technology it must take m cycles in
+    /// the superpipelined machine", §2.4).
+    pub fn scale_latencies(&mut self, factor: u32) -> &mut Self {
+        self.latencies = ClassTable::from_fn(|c| self.latencies[c] * factor);
+        self
+    }
+
+    /// Adds a functional unit.
+    pub fn functional_unit(&mut self, fu: FunctionalUnit) -> &mut Self {
+        self.fus.push(fu);
+        self
+    }
+
+    /// Sets whether branch prediction is perfect.
+    pub fn perfect_branch_prediction(&mut self, value: bool) -> &mut Self {
+        self.perfect_branch_prediction = value;
+        self
+    }
+
+    /// Sets whether a taken branch ends the cycle's issue group.
+    pub fn taken_branch_breaks_issue(&mut self, value: bool) -> &mut Self {
+        self.taken_branch_breaks_issue = value;
+        self
+    }
+
+    /// Sets the register split.
+    pub fn register_split(&mut self, split: RegisterSplit) -> &mut Self {
+        self.register_split = split;
+        self
+    }
+
+    /// Finishes the description.
+    ///
+    /// If no functional unit was declared, one fully-pipelined universal
+    /// unit per class is synthesized with multiplicity equal to the issue
+    /// width — i.e. no class conflicts, the paper's "ideal" machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] if a class is uncovered or doubly covered,
+    /// any latency is zero, or the issue width / pipelining degree is zero.
+    pub fn build(&self) -> Result<MachineConfig, MachineError> {
+        if self.issue_width == 0 {
+            return Err(MachineError::ZeroIssueWidth);
+        }
+        if self.pipe_degree == 0 {
+            return Err(MachineError::ZeroPipeDegree);
+        }
+        for class in InstrClass::ALL {
+            if self.latencies[class] == 0 {
+                return Err(MachineError::ZeroLatency(class));
+            }
+        }
+        let mut fus = self.fus.clone();
+        if fus.is_empty() {
+            for class in InstrClass::ALL {
+                fus.push(FunctionalUnit::new(
+                    class.mnemonic(),
+                    vec![class],
+                    self.issue_width,
+                    1,
+                ));
+            }
+        }
+        let mut fu_of_class = [usize::MAX; NUM_CLASSES];
+        for (index, fu) in fus.iter().enumerate() {
+            for &class in fu.classes() {
+                if fu_of_class[class.index()] != usize::MAX {
+                    return Err(MachineError::DoublyCoveredClass(class));
+                }
+                fu_of_class[class.index()] = index;
+            }
+        }
+        for class in InstrClass::ALL {
+            if fu_of_class[class.index()] == usize::MAX {
+                return Err(MachineError::UncoveredClass(class));
+            }
+        }
+        Ok(MachineConfig {
+            name: self.name.clone(),
+            issue_width: self.issue_width,
+            pipe_degree: self.pipe_degree,
+            latencies: self.latencies,
+            fus,
+            fu_of_class,
+            perfect_branch_prediction: self.perfect_branch_prediction,
+            taken_branch_breaks_issue: self.taken_branch_breaks_issue,
+            register_split: self.register_split,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_synthesizes_units() {
+        let config = MachineConfig::builder("test").build().unwrap();
+        assert_eq!(config.functional_units().len(), NUM_CLASSES);
+        for class in InstrClass::ALL {
+            let fu = &config.functional_units()[config.unit_of(class)];
+            assert!(fu.classes().contains(&class));
+        }
+    }
+
+    #[test]
+    fn zero_issue_width_rejected() {
+        let err = MachineConfig::builder("test")
+            .issue_width(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, MachineError::ZeroIssueWidth);
+    }
+
+    #[test]
+    fn zero_latency_rejected() {
+        let err = MachineConfig::builder("test")
+            .latency(InstrClass::Load, 0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, MachineError::ZeroLatency(InstrClass::Load));
+    }
+
+    #[test]
+    fn doubly_covered_class_rejected() {
+        let err = MachineConfig::builder("test")
+            .functional_unit(FunctionalUnit::new("a", vec![InstrClass::Load], 1, 1))
+            .functional_unit(FunctionalUnit::new("b", vec![InstrClass::Load], 1, 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, MachineError::DoublyCoveredClass(InstrClass::Load));
+    }
+
+    #[test]
+    fn uncovered_class_rejected() {
+        let err = MachineConfig::builder("test")
+            .functional_unit(FunctionalUnit::new("a", vec![InstrClass::Load], 1, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MachineError::UncoveredClass(_)));
+    }
+
+    #[test]
+    fn base_cycles_conversion() {
+        let config = MachineConfig::builder("sp4").pipe_degree(4).build().unwrap();
+        assert_eq!(config.base_cycles(8), 2.0);
+    }
+
+    #[test]
+    fn required_parallelism_is_product() {
+        let config = MachineConfig::builder("ssp")
+            .issue_width(2)
+            .pipe_degree(3)
+            .build()
+            .unwrap();
+        assert_eq!(config.required_parallelism(), 6);
+    }
+
+    #[test]
+    fn unit_latencies_transform() {
+        let config = MachineConfig::builder("m")
+            .latency(InstrClass::Load, 11)
+            .build()
+            .unwrap();
+        let unit = config.with_unit_latencies();
+        assert_eq!(unit.latency(InstrClass::Load), 1);
+        assert!(unit.name().contains("unit latencies"));
+    }
+
+    #[test]
+    fn with_issue_width_widens_units() {
+        let config = MachineConfig::builder("m").build().unwrap();
+        let wide = config.with_issue_width(4);
+        assert_eq!(wide.issue_width(), 4);
+        for fu in wide.functional_units() {
+            assert!(fu.multiplicity() >= 4);
+        }
+    }
+
+    #[test]
+    fn scale_latencies() {
+        let config = MachineConfig::builder("m")
+            .latency(InstrClass::Load, 2)
+            .scale_latencies(3)
+            .build()
+            .unwrap();
+        assert_eq!(config.latency(InstrClass::Load), 6);
+        assert_eq!(config.latency(InstrClass::IntAdd), 3);
+    }
+
+    #[test]
+    fn machine_config_is_serde() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<MachineConfig>();
+        assert_serde::<FunctionalUnit>();
+        assert_serde::<RegisterSplit>();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplicity must be > 0")]
+    fn zero_multiplicity_panics() {
+        let _ = FunctionalUnit::new("bad", vec![InstrClass::Load], 0, 1);
+    }
+
+    #[test]
+    fn display_contains_units() {
+        let config = MachineConfig::builder("m").build().unwrap();
+        let text = config.to_string();
+        assert!(text.contains("issue width 1"));
+        assert!(text.contains("load"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The *average degree of superpipelining* metric (Table 2-1) and the
+//! utilization-requirement grid (Figure 4-3).
+
+use crate::config::MachineConfig;
+use supersym_isa::{ClassCensus, ClassFreq, ClassTable, InstrClass};
+
+/// The paper's Table 2-1 instruction-class frequency breakdown:
+/// logical 10%, shift 10%, add/sub 20%, load 20%, store 15%, branch 15%,
+/// FP 10% (assigned to the FP-add class; the table has a single FP row).
+#[must_use]
+pub fn paper_frequencies() -> ClassTable<ClassFreq> {
+    ClassTable::from_fn(|class| {
+        let fraction = match class {
+            InstrClass::Logical | InstrClass::Shift => 0.10,
+            InstrClass::IntAdd | InstrClass::Load => 0.20,
+            InstrClass::Store | InstrClass::Branch => 0.15,
+            InstrClass::FpAdd => 0.10,
+            _ => 0.0,
+        };
+        ClassFreq::new(fraction)
+    })
+}
+
+/// Computes the **average degree of superpipelining** (§2.7): the
+/// frequency-weighted mean operation latency,
+/// `sum over classes of frequency * latency`.
+///
+/// "If we multiply the latency of each instruction class by the frequency we
+/// observe for that instruction class when we perform our benchmark set, we
+/// get the average degree of superpipelining."
+///
+/// ```
+/// use supersym_machine::{average_degree_of_superpipelining, paper_frequencies, presets};
+///
+/// let multititan = average_degree_of_superpipelining(
+///     presets::multititan().latencies(),
+///     &paper_frequencies(),
+/// );
+/// assert!((multititan - 1.7).abs() < 1e-9); // Table 2-1
+///
+/// let cray1 = average_degree_of_superpipelining(
+///     presets::cray1().latencies(),
+///     &paper_frequencies(),
+/// );
+/// assert!((cray1 - 4.4).abs() < 1e-9); // Table 2-1
+/// ```
+#[must_use]
+pub fn average_degree_of_superpipelining(
+    latencies: &ClassTable<u32>,
+    frequencies: &ClassTable<ClassFreq>,
+) -> f64 {
+    InstrClass::ALL
+        .iter()
+        .map(|&class| frequencies[class].fraction() * f64::from(latencies[class]))
+        .sum()
+}
+
+/// Convenience: the metric computed from a measured dynamic [`ClassCensus`]
+/// instead of a fixed frequency table.
+#[must_use]
+pub fn average_degree_from_census(latencies: &ClassTable<u32>, census: &ClassCensus) -> f64 {
+    average_degree_of_superpipelining(latencies, &census.frequencies())
+}
+
+/// One cell of the Figure 4-3 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UtilizationCell {
+    /// Instructions issued per cycle (superscalar degree, X axis).
+    pub issue_width: u32,
+    /// Cycles per operation (superpipelining degree, Y axis).
+    pub pipe_degree: u32,
+    /// Instruction-level parallelism required for full utilization (`n*m`).
+    pub required_parallelism: u32,
+}
+
+/// The Figure 4-3 grid: "the X dimension is the degree of superscalar
+/// machine, and the Y dimension is the degree of superpipelining"; each cell
+/// holds the parallelism required for full utilization.
+///
+/// Cells are returned row-major, `pipe_degree` = 1..=`max_m` (outer),
+/// `issue_width` = 1..=`max_n` (inner).
+#[must_use]
+pub fn utilization_grid(max_n: u32, max_m: u32) -> Vec<UtilizationCell> {
+    let mut cells = Vec::with_capacity((max_n * max_m) as usize);
+    for m in 1..=max_m {
+        for n in 1..=max_n {
+            cells.push(UtilizationCell {
+                issue_width: n,
+                pipe_degree: m,
+                required_parallelism: n * m,
+            });
+        }
+    }
+    cells
+}
+
+/// Places a machine on the Figure 4-3 superpipelining axis: its average
+/// degree of superpipelining under the given frequency mix, measured in the
+/// machine's own cycles (the paper marks the CRAY-1 at 4.4 this way).
+#[must_use]
+pub fn superpipelining_axis_position(
+    config: &MachineConfig,
+    frequencies: &ClassTable<ClassFreq>,
+) -> f64 {
+    average_degree_of_superpipelining(config.latencies(), frequencies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn paper_frequencies_sum_to_one() {
+        let freqs = paper_frequencies();
+        let sum: f64 = InstrClass::ALL.iter().map(|&c| freqs[c].fraction()).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_2_1_multititan() {
+        let metric = average_degree_of_superpipelining(
+            presets::multititan().latencies(),
+            &paper_frequencies(),
+        );
+        assert!((metric - 1.7).abs() < 1e-9, "got {metric}");
+    }
+
+    #[test]
+    fn table_2_1_cray1() {
+        let metric =
+            average_degree_of_superpipelining(presets::cray1().latencies(), &paper_frequencies());
+        assert!((metric - 4.4).abs() < 1e-9, "got {metric}");
+    }
+
+    #[test]
+    fn base_machine_degree_is_one() {
+        let metric =
+            average_degree_of_superpipelining(presets::base().latencies(), &paper_frequencies());
+        assert!((metric - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn census_variant_matches_table_variant() {
+        // A census with the paper's exact proportions (out of 100).
+        let mut census = ClassCensus::new();
+        let counts = [
+            (InstrClass::Logical, 10),
+            (InstrClass::Shift, 10),
+            (InstrClass::IntAdd, 20),
+            (InstrClass::Load, 20),
+            (InstrClass::Store, 15),
+            (InstrClass::Branch, 15),
+            (InstrClass::FpAdd, 10),
+        ];
+        for (class, n) in counts {
+            for _ in 0..n {
+                census.record(class);
+            }
+        }
+        let metric = average_degree_from_census(presets::multititan().latencies(), &census);
+        assert!((metric - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_shape_and_values() {
+        let grid = utilization_grid(5, 5);
+        assert_eq!(grid.len(), 25);
+        assert_eq!(grid[0].required_parallelism, 1);
+        let cell_2_2 = grid
+            .iter()
+            .find(|c| c.issue_width == 2 && c.pipe_degree == 2)
+            .unwrap();
+        // §4.2: "a superpipelined superscalar machine of only degree (2,2)
+        // would require an instruction-level parallelism of 4".
+        assert_eq!(cell_2_2.required_parallelism, 4);
+        let corner = grid.last().unwrap();
+        assert_eq!(corner.required_parallelism, 25);
+    }
+
+    #[test]
+    fn axis_position_of_superpipelined_machine_is_its_degree() {
+        let sp2 = presets::superpipelined(2);
+        let pos = superpipelining_axis_position(&sp2, &paper_frequencies());
+        assert!((pos - 2.0).abs() < 1e-12);
+        let cray = superpipelining_axis_position(&presets::cray1(), &paper_frequencies());
+        assert!((cray - 4.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,71 @@
+//! # supersym-opt
+//!
+//! The optimizer of the supersym compiler, organized to match the paper's
+//! Figure 4-8 optimization levels:
+//!
+//! * **intra-block (local) optimizations** — [`local_value_numbering`]
+//!   (constant folding, algebraic simplification, common-subexpression
+//!   elimination, copy propagation, store-to-load forwarding within a
+//!   block) and [`dead_code_elimination`];
+//! * **global optimizations** — [`loop_invariant_code_motion`] and
+//!   [`dead_store_elimination`] (liveness-driven);
+//! * **loop unrolling** — [`unroll_loops`], at the source (AST) level, in
+//!   the paper's two flavors (§4.4): *naive* ("simply duplicating the loop
+//!   body inside the loop") and *careful* (renamed reduction accumulators,
+//!   reassociation, and index expressions that let the scheduler prove
+//!   unrolled copies independent);
+//! * **reassociation** — [`reassociate`], balancing long chains of
+//!   associative operations ("we reassociate long strings of additions or
+//!   multiplications to maximize the parallelism").
+//!
+//! Pipeline instruction scheduling itself lives in `supersym-codegen`; the
+//! paper treats it as a separate lever and so do we.
+//!
+//! ## Example
+//!
+//! ```
+//! let ast = supersym_lang::parse(
+//!     "fn main() -> int { var x = 2 + 3; return x * 1; }",
+//! )?;
+//! supersym_lang::check(&ast)?;
+//! let mut ir = supersym_ir::lower(&ast)?;
+//! let before = ir.funcs[0].inst_count();
+//! supersym_opt::local_value_numbering(&mut ir);
+//! supersym_opt::dead_code_elimination(&mut ir);
+//! assert!(ir.funcs[0].inst_count() < before);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod dce;
+mod licm;
+mod lvn;
+mod reassoc;
+mod unroll;
+
+pub use dce::{dead_code_elimination, dead_store_elimination};
+pub use licm::loop_invariant_code_motion;
+pub use lvn::{local_value_numbering, strength_reduce};
+pub use reassoc::reassociate;
+pub use unroll::{unroll_loops, UnrollOptions};
+
+use supersym_ir::Module;
+
+/// Runs the paper's "intra-block optimizations" to a fixed point (bounded).
+pub fn run_local(module: &mut Module) {
+    for _ in 0..4 {
+        let changed = local_value_numbering(module)
+            | strength_reduce(module)
+            | dead_code_elimination(module);
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Runs the paper's "global optimizations" (assumes local already ran), then
+/// re-runs local cleanup.
+pub fn run_global(module: &mut Module) {
+    loop_invariant_code_motion(module);
+    dead_store_elimination(module);
+    run_local(module);
+}

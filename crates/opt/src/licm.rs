@@ -1,0 +1,327 @@
+//! Loop-invariant code motion.
+//!
+//! The paper's example of a global optimization (§4.4): "to move invariant
+//! code out of a loop, we just remove a large computation and replace it
+//! with a reference to a single temporary. We also insert a large
+//! computation before the loop."
+//!
+//! Invariant expression trees are moved to a preheader; their results are
+//! stored into fresh compiler temporaries (locals) and re-read inside the
+//! loop — preserving the block-local vreg discipline. A batch is hoisted
+//! from a block only when it shrinks the loop body (moved count must exceed
+//! the re-read instructions introduced), so single constants feeding loop
+//! arithmetic are left alone.
+
+use std::collections::HashSet;
+use supersym_ir::{
+    natural_loops, Block, BlockId, Inst, Module, Terminator, VReg, VarRef,
+};
+
+/// Runs LICM to a bounded fixed point. Returns `true` if anything moved.
+pub fn loop_invariant_code_motion(module: &mut Module) -> bool {
+    let mut changed = false;
+    for func_index in 0..module.funcs.len() {
+        for _ in 0..4 {
+            if !licm_function(module, func_index) {
+                break;
+            }
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn licm_function(module: &mut Module, func_index: usize) -> bool {
+    let loops = natural_loops(&module.funcs[func_index]);
+    let mut changed = false;
+    for l in loops {
+        if l.header == BlockId(0) {
+            continue; // cannot place a preheader before the entry
+        }
+        changed |= hoist_loop(module, func_index, &l.header, &l.body);
+    }
+    changed
+}
+
+fn hoist_loop(
+    module: &mut Module,
+    func_index: usize,
+    header: &BlockId,
+    body: &[BlockId],
+) -> bool {
+    let body_set: HashSet<BlockId> = body.iter().copied().collect();
+    // Loop facts.
+    let mut vars_written: HashSet<VarRef> = HashSet::new();
+    let mut has_call = false;
+    {
+        let func = &module.funcs[func_index];
+        for &block_id in body {
+            for inst in &func.blocks[block_id.index()].insts {
+                match inst {
+                    Inst::WriteVar { var, .. } => {
+                        vars_written.insert(*var);
+                    }
+                    Inst::Call { .. } => has_call = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let is_invariant_read = |var: &VarRef| -> bool {
+        !vars_written.contains(var) && (matches!(var, VarRef::Local(_)) || !has_call)
+    };
+
+    // Plan hoists per block.
+    struct Plan {
+        block: BlockId,
+        moved: Vec<usize>,
+        external: Vec<VReg>,
+    }
+    let mut plans: Vec<Plan> = Vec::new();
+    {
+        let func = &module.funcs[func_index];
+        for &block_id in body {
+            let block = &func.blocks[block_id.index()];
+            let mut invariant: HashSet<VReg> = HashSet::new();
+            let mut moved: Vec<usize> = Vec::new();
+            let mut nontrivial = false;
+            for (index, inst) in block.insts.iter().enumerate() {
+                let inv = match inst {
+                    Inst::ConstInt { .. } | Inst::ConstFloat { .. } => true,
+                    Inst::ReadVar { var, .. } => is_invariant_read(var),
+                    Inst::IntBin { lhs, rhs, .. }
+                    | Inst::FloatBin { lhs, rhs, .. }
+                    | Inst::FloatCmp { lhs, rhs, .. } => {
+                        invariant.contains(lhs) && invariant.contains(rhs)
+                    }
+                    Inst::Cast { src, .. } => invariant.contains(src),
+                    _ => false,
+                };
+                if inv {
+                    if matches!(
+                        inst,
+                        Inst::IntBin { .. }
+                            | Inst::FloatBin { .. }
+                            | Inst::FloatCmp { .. }
+                            | Inst::Cast { .. }
+                    ) {
+                        nontrivial = true;
+                    }
+                    invariant.insert(inst.dst().expect("invariant insts are pure"));
+                    moved.push(index);
+                }
+            }
+            if moved.is_empty() || !nontrivial {
+                continue;
+            }
+            // Externally-used moved results need a temporary + re-read.
+            let moved_set: HashSet<usize> = moved.iter().copied().collect();
+            let mut external: Vec<VReg> = Vec::new();
+            let mut seen: HashSet<VReg> = HashSet::new();
+            for (index, inst) in block.insts.iter().enumerate() {
+                if moved_set.contains(&index) {
+                    continue;
+                }
+                inst.for_each_use(|v| {
+                    if invariant.contains(&v) && seen.insert(v) {
+                        external.push(v);
+                    }
+                });
+            }
+            if let Some(v) = block.term.used_vreg() {
+                if invariant.contains(&v) && seen.insert(v) {
+                    external.push(v);
+                }
+            }
+            // Profitability: the loop body must shrink.
+            if moved.len() < external.len() + 2 {
+                continue;
+            }
+            plans.push(Plan {
+                block: block_id,
+                moved,
+                external,
+            });
+        }
+    }
+    if plans.is_empty() {
+        return false;
+    }
+
+    // Create the preheader.
+    let preheader = {
+        let func = &mut module.funcs[func_index];
+        let preheader = BlockId(func.blocks.len() as u32);
+        func.blocks.push(Block::empty(Terminator::Jump(*header)));
+        for (index, block) in func.blocks.iter_mut().enumerate() {
+            let from = BlockId(index as u32);
+            if from == preheader || body_set.contains(&from) {
+                continue;
+            }
+            match &mut block.term {
+                Terminator::Jump(b) if b == header => *b = preheader,
+                Terminator::Branch { then_bb, else_bb, .. } => {
+                    if then_bb == header {
+                        *then_bb = preheader;
+                    }
+                    if else_bb == header {
+                        *else_bb = preheader;
+                    }
+                }
+                _ => {}
+            }
+        }
+        preheader
+    };
+
+    // Execute the plans.
+    for plan in plans {
+        let func = &mut module.funcs[func_index];
+        let moved_set: HashSet<usize> = plan.moved.iter().copied().collect();
+        let block = &mut func.blocks[plan.block.index()];
+        let mut hoisted: Vec<Inst> = Vec::with_capacity(plan.moved.len());
+        let mut remaining: Vec<Inst> = Vec::with_capacity(block.insts.len() - plan.moved.len());
+        for (index, inst) in block.insts.drain(..).enumerate() {
+            if moved_set.contains(&index) {
+                hoisted.push(inst);
+            } else {
+                remaining.push(inst);
+            }
+        }
+        block.insts = remaining;
+        // Temporaries for externally-used results.
+        let mut reread: Vec<Inst> = Vec::new();
+        let mut stores: Vec<Inst> = Vec::new();
+        for &vreg in &plan.external {
+            let ty = func.vreg_ty(vreg);
+            let tmp = func.new_local(format!("$licm{}", vreg.0), ty);
+            stores.push(Inst::WriteVar {
+                var: VarRef::Local(tmp),
+                src: vreg,
+            });
+            reread.push(Inst::ReadVar {
+                dst: vreg,
+                var: VarRef::Local(tmp),
+            });
+        }
+        let block = &mut func.blocks[plan.block.index()];
+        for (index, inst) in reread.into_iter().enumerate() {
+            block.insts.insert(index, inst);
+        }
+        let pre = &mut func.blocks[preheader.index()];
+        pre.insts.extend(hoisted);
+        pre.insts.extend(stores);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dead_code_elimination, local_value_numbering};
+
+    fn prepare(src: &str) -> Module {
+        let ast = supersym_lang::parse(src).unwrap();
+        supersym_lang::check(&ast).unwrap();
+        let mut m = supersym_ir::lower(&ast).unwrap();
+        local_value_numbering(&mut m);
+        dead_code_elimination(&mut m);
+        m
+    }
+
+    /// Sum of instructions inside loop bodies.
+    fn loop_inst_count(module: &Module) -> usize {
+        let func = &module.funcs[module.entry];
+        natural_loops(func)
+            .iter()
+            .flat_map(|l| &l.body)
+            .map(|b| func.blocks[b.index()].insts.len())
+            .sum()
+    }
+
+    #[test]
+    fn hoists_invariant_expression() {
+        let src = "global var a; global var b; global arr out[64];
+             fn main() {
+                 for (i = 0; i < 64; i = i + 1) {
+                     out[i] = a * 3 + b * 5 + a * b;
+                 }
+             }";
+        let mut module = prepare(src);
+        let before = loop_inst_count(&module);
+        assert!(loop_invariant_code_motion(&mut module));
+        local_value_numbering(&mut module);
+        dead_code_elimination(&mut module);
+        module.validate().unwrap();
+        let after = loop_inst_count(&module);
+        assert!(after < before, "loop body should shrink: {before} -> {after}");
+    }
+
+    #[test]
+    fn does_not_hoist_variant_code() {
+        let src = "global arr out[64];
+             fn main() {
+                 for (i = 0; i < 64; i = i + 1) { out[i] = i * 2; }
+             }";
+        let mut module = prepare(src);
+        let before = loop_inst_count(&module);
+        loop_invariant_code_motion(&mut module);
+        module.validate().unwrap();
+        // i * 2 depends on i: nothing to hoist; body unchanged (no
+        // profitable batch).
+        assert_eq!(loop_inst_count(&module), before);
+    }
+
+    #[test]
+    fn call_in_loop_blocks_global_hoisting() {
+        let src = "global var g;
+             fn bump() { g = g + 1; }
+             fn main() -> int {
+                 var s = 0;
+                 for (i = 0; i < 8; i = i + 1) { s = s + g * 7 + g * 11; bump(); }
+                 return s;
+             }";
+        let mut module = prepare(src);
+        let before = loop_inst_count(&module);
+        loop_invariant_code_motion(&mut module);
+        module.validate().unwrap();
+        assert_eq!(
+            loop_inst_count(&module),
+            before,
+            "g changes across calls; nothing may move"
+        );
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        // Execute before/after through the full pipeline lives in
+        // integration tests; here we just validate IR structure.
+        let src = "global var a = 3;
+             fn main() -> int {
+                 var s = 0;
+                 for (i = 0; i < 10; i = i + 1) { s = s + a * a + a * 2; }
+                 return s;
+             }";
+        let mut module = prepare(src);
+        loop_invariant_code_motion(&mut module);
+        local_value_numbering(&mut module);
+        dead_code_elimination(&mut module);
+        module.validate().unwrap();
+    }
+
+    #[test]
+    fn nested_loops_hoist_outward() {
+        let src = "global var a; global var b; global arr out[16];
+             fn main() {
+                 for (i = 0; i < 4; i = i + 1) {
+                     for (j = 0; j < 4; j = j + 1) {
+                         out[i * 4 + j] = a * b + a * 7 + b * 9;
+                     }
+                 }
+             }";
+        let mut module = prepare(src);
+        assert!(loop_invariant_code_motion(&mut module));
+        module.validate().unwrap();
+    }
+}

@@ -1,0 +1,412 @@
+//! Cache simulation and the §5.1 cache-miss cost model.
+//!
+//! "Cache performance is becoming increasingly important, and it can have a
+//! dramatic effect on speedups obtained from parallel instruction execution"
+//! (§5.1). The paper's Table 5-1 is an analytic model ([`MissCostRow`]); the
+//! [`Cache`]/[`CacheSystem`] simulator supplies measured miss ratios so the
+//! same analysis can be run against our benchmarks.
+
+use std::fmt;
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total number of lines.
+    pub lines: usize,
+    /// Words per line (the machine is word-addressed).
+    pub words_per_line: usize,
+    /// Set associativity (1 = direct mapped).
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// A small direct-mapped cache: 256 lines of 4 words (8 KiB with 8-byte
+    /// words) — mid-1980s workstation scale, per the paper's era.
+    #[must_use]
+    pub fn small_direct() -> Self {
+        CacheConfig {
+            lines: 256,
+            words_per_line: 4,
+            associativity: 1,
+        }
+    }
+
+    /// A larger two-way cache (64 KiB).
+    #[must_use]
+    pub fn large_two_way() -> Self {
+        CacheConfig {
+            lines: 2048,
+            words_per_line: 4,
+            associativity: 2,
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses among them.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]` (zero for an unused cache).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%)",
+            self.accesses,
+            self.misses,
+            self.miss_rate() * 100.0
+        )
+    }
+}
+
+/// A set-associative cache with LRU replacement.
+///
+/// ```
+/// use supersym_sim::{Cache, CacheConfig};
+/// let mut cache = Cache::new(CacheConfig { lines: 2, words_per_line: 1, associativity: 1 });
+/// assert!(!cache.access(0)); // cold miss
+/// assert!(cache.access(0));  // hit
+/// assert!(!cache.access(2)); // conflict-maps to set 0, evicts
+/// assert!(!cache.access(0)); // miss again
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: tags in LRU order (front = most recent).
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero lines/words/ways or
+    /// associativity not dividing the line count).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.lines > 0 && config.words_per_line > 0 && config.associativity > 0);
+        assert!(
+            config.lines % config.associativity == 0,
+            "associativity must divide line count"
+        );
+        let n_sets = config.lines / config.associativity;
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.associativity); n_sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses a word address; returns `true` on hit. Misses fill the line.
+    pub fn access(&mut self, word_addr: u64) -> bool {
+        let line = word_addr / self.config.words_per_line as u64;
+        let n_sets = self.sets.len() as u64;
+        let set_index = (line % n_sets) as usize;
+        let tag = line / n_sets;
+        let set = &mut self.sets[set_index];
+        self.stats.accesses += 1;
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            self.stats.misses += 1;
+            if set.len() == self.config.associativity {
+                set.pop();
+            }
+            set.insert(0, tag);
+            false
+        }
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// A split instruction/data cache pair.
+#[derive(Debug, Clone)]
+pub struct CacheSystem {
+    icache: Cache,
+    dcache: Cache,
+}
+
+impl CacheSystem {
+    /// Creates a split I/D cache system.
+    #[must_use]
+    pub fn new(icache: CacheConfig, dcache: CacheConfig) -> Self {
+        CacheSystem {
+            icache: Cache::new(icache),
+            dcache: Cache::new(dcache),
+        }
+    }
+
+    /// Records an instruction fetch; returns `true` on hit.
+    pub fn fetch(&mut self, instr_addr: u64) -> bool {
+        self.icache.access(instr_addr)
+    }
+
+    /// Records a data access; returns `true` on hit.
+    pub fn data(&mut self, word_addr: u64) -> bool {
+        self.dcache.access(word_addr)
+    }
+
+    /// Instruction-cache counters.
+    #[must_use]
+    pub fn icache_stats(&self) -> CacheStats {
+        self.icache.stats()
+    }
+
+    /// Data-cache counters.
+    #[must_use]
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.stats()
+    }
+
+    /// Total misses per executed instruction, given the executed count.
+    #[must_use]
+    pub fn misses_per_instruction(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        (self.icache.stats().misses + self.dcache.stats().misses) as f64 / instructions as f64
+    }
+}
+
+/// One row of the paper's Table 5-1: the cost of a cache miss on a machine
+/// described by its CPI, cycle time and memory access time.
+///
+/// ```
+/// use supersym_sim::MissCostRow;
+/// // Table 5-1, WRL Titan row: 1.4 cpi, 45ns cycle, 540ns memory.
+/// let titan = MissCostRow::new("WRL Titan", 1.4, 45.0, 540.0);
+/// assert_eq!(titan.miss_cost_cycles(), 12.0);
+/// assert!((titan.miss_cost_instructions() - 8.57).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissCostRow {
+    machine: String,
+    cycles_per_instr: f64,
+    cycle_ns: f64,
+    mem_ns: f64,
+}
+
+impl MissCostRow {
+    /// Creates a row from machine parameters.
+    #[must_use]
+    pub fn new(machine: impl Into<String>, cycles_per_instr: f64, cycle_ns: f64, mem_ns: f64) -> Self {
+        MissCostRow {
+            machine: machine.into(),
+            cycles_per_instr,
+            cycle_ns,
+            mem_ns,
+        }
+    }
+
+    /// The machine's name.
+    #[must_use]
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cycles_per_instr(&self) -> f64 {
+        self.cycles_per_instr
+    }
+
+    /// Cycle time in nanoseconds.
+    #[must_use]
+    pub fn cycle_ns(&self) -> f64 {
+        self.cycle_ns
+    }
+
+    /// Main-memory access time in nanoseconds.
+    #[must_use]
+    pub fn mem_ns(&self) -> f64 {
+        self.mem_ns
+    }
+
+    /// Miss cost in cycles: memory time over cycle time.
+    #[must_use]
+    pub fn miss_cost_cycles(&self) -> f64 {
+        self.mem_ns / self.cycle_ns
+    }
+
+    /// Miss cost in *instruction times*: the metric the paper uses to show
+    /// the trend ("a cache miss on a VAX 11/780 only costs 60% of the
+    /// average instruction execution ... the WRL Titan ... almost ten
+    /// instruction times").
+    #[must_use]
+    pub fn miss_cost_instructions(&self) -> f64 {
+        self.miss_cost_cycles() / self.cycles_per_instr
+    }
+
+    /// The paper's three Table 5-1 rows.
+    #[must_use]
+    pub fn table_5_1() -> Vec<MissCostRow> {
+        vec![
+            MissCostRow::new("VAX 11/780", 10.0, 200.0, 1200.0),
+            MissCostRow::new("WRL Titan", 1.4, 45.0, 540.0),
+            MissCostRow::new("hypothetical superscalar", 0.5, 5.0, 350.0),
+        ]
+    }
+}
+
+/// The §5.1 dilution argument: speedup from multi-issue when cache-miss CPI
+/// is present. Returns `(speedup_without_misses, speedup_with_misses)`.
+///
+/// "Consider a 2.0cpi machine, where 1.0cpi is from issuing one instruction
+/// per cycle, and 1.0cpi is cache miss burden. Now assume the machine is
+/// given the capability to issue three instructions per cycle, to get a net
+/// decrease down to 0.5cpi for issuing instructions ... the overall
+/// performance improvement will be from 1/2.0cpi to 1/1.5cpi, or 33%."
+#[must_use]
+pub fn issue_speedup_with_miss_burden(
+    issue_cpi_before: f64,
+    issue_cpi_after: f64,
+    miss_cpi: f64,
+) -> (f64, f64) {
+    let without = issue_cpi_before / issue_cpi_after;
+    let with = (issue_cpi_before + miss_cpi) / (issue_cpi_after + miss_cpi);
+    (without, with)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut cache = Cache::new(CacheConfig {
+            lines: 4,
+            words_per_line: 1,
+            associativity: 1,
+        });
+        assert!(!cache.access(0));
+        assert!(!cache.access(4)); // same set, evicts 0
+        assert!(!cache.access(0)); // thrash
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn two_way_avoids_simple_conflict() {
+        let mut cache = Cache::new(CacheConfig {
+            lines: 4,
+            words_per_line: 1,
+            associativity: 2,
+        });
+        assert!(!cache.access(0));
+        assert!(!cache.access(2)); // same set (2 sets), second way
+        assert!(cache.access(0)); // still resident
+        assert!(cache.access(2));
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut cache = Cache::new(CacheConfig {
+            lines: 2,
+            words_per_line: 1,
+            associativity: 2,
+        });
+        cache.access(0);
+        cache.access(2);
+        cache.access(0); // 0 is MRU
+        cache.access(4); // evicts LRU = 2
+        assert!(cache.access(0));
+        assert!(!cache.access(2));
+    }
+
+    #[test]
+    fn line_granularity() {
+        let mut cache = Cache::new(CacheConfig {
+            lines: 4,
+            words_per_line: 4,
+            associativity: 1,
+        });
+        assert!(!cache.access(0));
+        assert!(cache.access(1)); // same line
+        assert!(cache.access(3));
+        assert!(!cache.access(4)); // next line
+    }
+
+    #[test]
+    fn sequential_scan_miss_rate() {
+        let mut cache = Cache::new(CacheConfig::small_direct());
+        for addr in 0..4096_u64 {
+            cache.access(addr);
+        }
+        let rate = cache.stats().miss_rate();
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}"); // one miss per 4-word line
+    }
+
+    #[test]
+    fn table_5_1_values() {
+        let rows = MissCostRow::table_5_1();
+        // VAX 11/780: miss costs 6 cycles = 0.6 instruction times.
+        assert_eq!(rows[0].miss_cost_cycles(), 6.0);
+        assert!((rows[0].miss_cost_instructions() - 0.6).abs() < 1e-12);
+        // Titan: 12 cycles, ~8.6 instructions.
+        assert_eq!(rows[1].miss_cost_cycles(), 12.0);
+        assert!((rows[1].miss_cost_instructions() - 8.571).abs() < 0.01);
+        // Future superscalar: 70 cycles, 140 instructions.
+        assert_eq!(rows[2].miss_cost_cycles(), 70.0);
+        assert_eq!(rows[2].miss_cost_instructions(), 140.0);
+    }
+
+    #[test]
+    fn section_5_1_dilution() {
+        let (without, with) = issue_speedup_with_miss_burden(1.0, 0.5, 1.0);
+        assert!((without - 2.0).abs() < 1e-12); // 100% improvement
+        assert!((with - 4.0 / 3.0).abs() < 1e-12); // 33% improvement
+    }
+
+    #[test]
+    fn cache_system_split_counters() {
+        let mut system = CacheSystem::new(CacheConfig::small_direct(), CacheConfig::small_direct());
+        system.fetch(0);
+        system.fetch(0);
+        system.data(100);
+        assert_eq!(system.icache_stats().accesses, 2);
+        assert_eq!(system.icache_stats().misses, 1);
+        assert_eq!(system.dcache_stats().misses, 1);
+        assert!((system.misses_per_instruction(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity must divide")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            lines: 3,
+            words_per_line: 1,
+            associativity: 2,
+        });
+    }
+}

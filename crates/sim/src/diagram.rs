@@ -1,0 +1,185 @@
+//! ASCII pipeline diagrams (the paper's Figures 2-1 through 2-8).
+//!
+//! Diagrams are rendered from the actual [`TimingModel`], not drawn by hand:
+//! a stream of independent single-cycle instructions is issued into the
+//! machine description and each instruction's fetch/decode/execute/writeback
+//! occupancy is plotted against time in base cycles.
+
+use crate::exec::{ControlEvent, StepInfo};
+use crate::timing::TimingModel;
+use supersym_isa::{FuncId, InstrClass, IntReg, Reg};
+use supersym_machine::MachineConfig;
+
+/// Renders the execution of `n` independent instructions on `config` as an
+/// ASCII pipeline diagram.
+///
+/// Each row is one instruction. `F` is fetch, `D` decode, `E` the execute
+/// pipestage(s) (cross-hatched in the paper's figures), `W` writeback. One
+/// character column is one *machine* cycle; the axis below the diagram marks
+/// base-cycle boundaries.
+///
+/// ```
+/// use supersym_machine::presets;
+/// use supersym_sim::diagram::pipeline_diagram;
+/// let text = pipeline_diagram(&presets::base(), 4);
+/// assert!(text.contains('E'));
+/// ```
+#[must_use]
+pub fn pipeline_diagram(config: &MachineConfig, n: usize) -> String {
+    let mut timing = TimingModel::new(config, 16);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let dst = IntReg::new_unchecked((i % 24) as u8 + 1);
+        let info = StepInfo {
+            func: FuncId::new(0),
+            pc: i,
+            class: InstrClass::IntAdd,
+            uses: Default::default(),
+            def: Some(Reg::Int(dst)),
+            mem: None,
+            vlen: 0,
+            control: ControlEvent::None,
+        };
+        let record = timing.issue(&info);
+        rows.push((record.issue, record.complete));
+    }
+    render_rows(config, &rows, "instr")
+}
+
+/// Renders a vector instruction stream (Figure 2-8), measured through the
+/// timing model: each vector instruction issues once and then performs one
+/// element operation per cycle on its functional unit; a dependent chain of
+/// vector operations overlaps (chaining).
+#[must_use]
+pub fn vector_diagram(vector_length: u32, n: usize) -> String {
+    use supersym_isa::VecReg;
+    let config = supersym_machine::presets::base();
+    let mut timing = TimingModel::new(&config, 256);
+    let mut rows = Vec::with_capacity(n);
+    let uses = |k: usize| {
+        // Build a Uses set by synthesizing a real instruction.
+        let instr = supersym_isa::Instr::VOp {
+            op: supersym_isa::FpOp::FAdd,
+            dst: VecReg::new_unchecked((k % 4) as u8 + 1),
+            lhs: VecReg::new_unchecked((k % 4) as u8),
+            rhs: VecReg::new_unchecked((k % 4) as u8),
+        };
+        (instr.uses(), instr.def())
+    };
+    for i in 0..n {
+        let (u, d) = uses(i);
+        let info = StepInfo {
+            func: FuncId::new(0),
+            pc: i,
+            class: InstrClass::FpAdd,
+            uses: u,
+            def: d,
+            mem: None,
+            vlen: vector_length,
+            control: ControlEvent::None,
+        };
+        let record = timing.issue(&info);
+        rows.push((record.issue, record.drain));
+    }
+    render_rows(&config, &rows, "vinstr")
+}
+
+fn render_rows(config: &MachineConfig, rows: &[(u64, u64)], label: &str) -> String {
+    // Fetch/decode occupy the two machine cycles before issue; shift
+    // everything so the first fetch lands at column 0.
+    let lead = 2_u64;
+    let max_col = rows
+        .iter()
+        .map(|&(_, complete)| complete + 1)
+        .max()
+        .unwrap_or(0)
+        + lead;
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", config.name()));
+    for (index, &(issue, complete)) in rows.iter().enumerate() {
+        let mut line = vec![b' '; (max_col + lead) as usize];
+        let fetch = issue + lead - 2;
+        let decode = issue + lead - 1;
+        line[fetch as usize] = b'F';
+        line[decode as usize] = b'D';
+        for cycle in issue..complete {
+            line[(cycle + lead) as usize] = b'E';
+        }
+        line[(complete + lead) as usize] = b'W';
+        out.push_str(&format!(
+            "{label}{index:<3} {}\n",
+            String::from_utf8_lossy(&line).trim_end()
+        ));
+    }
+    // Base-cycle axis: a tick every `pipe_degree` machine cycles.
+    let degree = u64::from(config.pipe_degree());
+    let mut axis = String::new();
+    for col in 0..(max_col + lead) {
+        axis.push(if col % degree == 0 { '|' } else { '.' });
+    }
+    out.push_str(&format!("{:8} {axis}\n", "base t"));
+    out.push_str(&format!(
+        "{:8} (one column = 1/{degree} base cycle)\n",
+        ""
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_machine::presets;
+
+    #[test]
+    fn base_machine_diagonal() {
+        let text = pipeline_diagram(&presets::base(), 3);
+        // Three instruction rows plus header and axis.
+        let rows: Vec<&str> = text.lines().filter(|l| l.starts_with("instr")).collect();
+        assert_eq!(rows.len(), 3);
+        // Each row has exactly one execute slot on the base machine.
+        for row in rows {
+            assert_eq!(row.matches('E').count(), 1);
+        }
+    }
+
+    #[test]
+    fn superscalar_shares_columns() {
+        let text = pipeline_diagram(&presets::ideal_superscalar(3), 3);
+        let rows: Vec<&str> = text.lines().filter(|l| l.starts_with("instr")).collect();
+        // All three issue in the same cycle: E in the same column.
+        let positions: Vec<usize> = rows.iter().map(|r| r.find('E').unwrap()).collect();
+        assert_eq!(positions[0], positions[1]);
+        assert_eq!(positions[1], positions[2]);
+    }
+
+    #[test]
+    fn superpipelined_stretches_execute() {
+        let text = pipeline_diagram(&presets::superpipelined(3), 2);
+        let rows: Vec<&str> = text.lines().filter(|l| l.starts_with("instr")).collect();
+        // Execute occupies three machine cycles.
+        assert_eq!(rows[0].matches('E').count(), 3);
+        // Issue is staggered by one machine cycle.
+        assert_eq!(
+            rows[1].find('E').unwrap(),
+            rows[0].find('E').unwrap() + 1
+        );
+    }
+
+    #[test]
+    fn vector_diagram_has_long_strings() {
+        let text = vector_diagram(8, 2);
+        let rows: Vec<&str> = text.lines().filter(|l| l.starts_with("vinstr")).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].matches('E').count() >= 8);
+    }
+
+    #[test]
+    fn underpipelined_issue_every_other_cycle() {
+        let text = pipeline_diagram(&presets::underpipelined_half_issue(), 2);
+        let rows: Vec<&str> = text.lines().filter(|l| l.starts_with("instr")).collect();
+        assert_eq!(
+            rows[1].find('E').unwrap(),
+            rows[0].find('E').unwrap() + 2
+        );
+    }
+}

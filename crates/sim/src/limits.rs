@@ -1,0 +1,307 @@
+//! Oracle ILP-limit analysis, after the studies the paper builds on.
+//!
+//! §4.2 opens: "Studies dating from the late 1960's and early 1970's
+//! [14, 15] and continuing today have observed average instruction-level
+//! parallelism of around 2 for code without loop unrolling." Those studies
+//! (Tjaden & Flynn 1970; Riseman & Foster 1972) measured *limits*: how fast
+//! could a trace execute with unlimited functional units and single-cycle
+//! operations, constrained only by true dependences — and, in Riseman &
+//! Foster's famous result, how conditional jumps inhibit that parallelism
+//! (≈2 with branches as barriers, over 50 with unlimited speculation).
+//!
+//! [`DataflowLimit`] replays a dynamic instruction stream under that oracle
+//! model: every instruction takes one cycle, registers are renamed (WAW and
+//! WAR vanish), issue width is unbounded. Options control whether
+//! conditional branches act as barriers and whether store→load dependences
+//! through memory are honored.
+
+use crate::exec::{ControlEvent, StepInfo};
+use supersym_isa::{InstrClass, Reg};
+
+/// Which constraints the oracle honors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitOptions {
+    /// Conditional branches are barriers: no later instruction may execute
+    /// before the branch resolves (Riseman & Foster's "conditional jumps"
+    /// regime). With `false`, control is perfectly speculated.
+    pub branch_barriers: bool,
+    /// Loads wait for the store that produced their value (true dependences
+    /// through memory). With `false`, memory is perfectly disambiguated
+    /// *and renamed*.
+    pub memory_dependences: bool,
+}
+
+impl LimitOptions {
+    /// The Riseman/Foster-style limit: real control, real memory flow.
+    #[must_use]
+    pub fn with_branch_barriers() -> Self {
+        LimitOptions {
+            branch_barriers: true,
+            memory_dependences: true,
+        }
+    }
+
+    /// Perfect branch speculation, true memory dependences only — the
+    /// upper bound the paper's contemporaries chased.
+    #[must_use]
+    pub fn speculative() -> Self {
+        LimitOptions {
+            branch_barriers: false,
+            memory_dependences: true,
+        }
+    }
+
+    /// Pure register dataflow.
+    #[must_use]
+    pub fn dataflow_only() -> Self {
+        LimitOptions {
+            branch_barriers: false,
+            memory_dependences: false,
+        }
+    }
+}
+
+/// The oracle analyzer. Feed it the same [`StepInfo`] stream an
+/// [`Executor`](crate::Executor) produces.
+///
+/// ```
+/// use supersym_sim::{DataflowLimit, LimitOptions};
+/// let limit = DataflowLimit::new(LimitOptions::speculative(), 64);
+/// assert_eq!(limit.instructions(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataflowLimit {
+    options: LimitOptions,
+    /// Cycle at which each register's current value was produced.
+    reg_time: [u64; Reg::DENSE_SPACE],
+    /// Cycle at which each memory word's current value was stored.
+    mem_time: Vec<u64>,
+    /// Cycle of the latest controlling branch.
+    control_time: u64,
+    /// Critical-path height of the trace so far.
+    height: u64,
+    instructions: u64,
+}
+
+impl DataflowLimit {
+    /// Creates an analyzer able to track `memory_words` of memory.
+    #[must_use]
+    pub fn new(options: LimitOptions, memory_words: usize) -> Self {
+        DataflowLimit {
+            options,
+            reg_time: [0; Reg::DENSE_SPACE],
+            mem_time: vec![0; memory_words],
+            control_time: 0,
+            height: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Observes one executed instruction; returns the cycle the oracle
+    /// executes it in.
+    pub fn observe(&mut self, info: &StepInfo) -> u64 {
+        // One cycle after every producer.
+        let mut t = 0_u64;
+        for reg in info.uses.iter() {
+            t = t.max(self.reg_time[reg.dense_index()]);
+        }
+        if self.options.branch_barriers {
+            t = t.max(self.control_time);
+        }
+        let span = info.vlen.max(1) as usize;
+        if self.options.memory_dependences {
+            if let Some((addr, _)) = info.mem {
+                for a in addr..(addr + span).min(self.mem_time.len()) {
+                    t = t.max(self.mem_time[a]);
+                }
+            }
+        }
+        let exec_at = t + 1;
+        if let Some(def) = info.def {
+            self.reg_time[def.dense_index()] = exec_at;
+        }
+        if let Some((addr, true)) = info.mem {
+            if self.options.memory_dependences {
+                for a in addr..(addr + span).min(self.mem_time.len()) {
+                    self.mem_time[a] = exec_at;
+                }
+            }
+        }
+        if self.options.branch_barriers {
+            let is_conditional = info.class == InstrClass::Branch;
+            let transfers = matches!(
+                info.control,
+                ControlEvent::Jump | ControlEvent::Call | ControlEvent::Return
+            );
+            if is_conditional || transfers {
+                self.control_time = self.control_time.max(exec_at);
+            }
+        }
+        self.height = self.height.max(exec_at);
+        self.instructions += 1;
+        exec_at
+    }
+
+    /// Instructions observed.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Critical-path height of the observed trace, in cycles.
+    #[must_use]
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// The limit parallelism: instructions over critical-path height.
+    #[must_use]
+    pub fn parallelism(&self) -> f64 {
+        if self.height == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.height as f64
+        }
+    }
+}
+
+/// Convenience: runs a program functionally and measures its oracle limit.
+///
+/// # Errors
+///
+/// Propagates execution errors.
+pub fn measure_limit(
+    program: &supersym_isa::Program,
+    options: LimitOptions,
+    exec_options: crate::ExecOptions,
+) -> Result<DataflowLimit, crate::SimError> {
+    let mut exec = crate::Executor::new(program, exec_options)?;
+    let mut limit = DataflowLimit::new(options, exec_options.memory_words);
+    while let Some(info) = exec.step()? {
+        limit.observe(&info);
+    }
+    Ok(limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecOptions;
+    use supersym_isa::{AsmBuilder, IntReg};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    fn options_small() -> ExecOptions {
+        ExecOptions {
+            memory_words: 1024,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn serial_chain_has_limit_one() {
+        let mut asm = AsmBuilder::new("main");
+        asm.movi(r(1), 0);
+        for _ in 0..20 {
+            asm.add(r(1), r(1), 1.into());
+        }
+        asm.halt();
+        let program = asm.finish_program();
+        let limit =
+            measure_limit(&program, LimitOptions::dataflow_only(), options_small()).unwrap();
+        // 22 instructions, 21 on the critical path (movi + 20 adds).
+        assert!(limit.parallelism() < 1.2, "{}", limit.parallelism());
+    }
+
+    #[test]
+    fn renaming_removes_waw() {
+        // Repeatedly writing r1 from r0 is fully parallel under renaming.
+        let mut asm = AsmBuilder::new("main");
+        for i in 0..20 {
+            asm.add(r(1), IntReg::ZERO, (i as i64).into());
+        }
+        asm.halt();
+        let program = asm.finish_program();
+        let limit =
+            measure_limit(&program, LimitOptions::dataflow_only(), options_small()).unwrap();
+        assert!(limit.parallelism() > 15.0, "{}", limit.parallelism());
+    }
+
+    #[test]
+    fn branch_barriers_inhibit() {
+        // A loop of independent work: barriers serialize iterations.
+        let mut asm = AsmBuilder::new("main");
+        let top = asm.new_label();
+        asm.movi(r(1), 30);
+        asm.bind(top);
+        asm.add(r(2), IntReg::ZERO, 5.into());
+        asm.add(r(3), IntReg::ZERO, 6.into());
+        asm.add(r(4), IntReg::ZERO, 7.into());
+        asm.sub(r(1), r(1), 1.into());
+        asm.cmp_gt(r(5), r(1), 0.into());
+        asm.br_true(r(5), top);
+        asm.halt();
+        let program = asm.finish_program();
+        let barriers =
+            measure_limit(&program, LimitOptions::with_branch_barriers(), options_small())
+                .unwrap();
+        let speculative =
+            measure_limit(&program, LimitOptions::speculative(), options_small()).unwrap();
+        assert!(
+            speculative.parallelism() > 1.5 * barriers.parallelism(),
+            "speculative {} vs barriers {}",
+            speculative.parallelism(),
+            barriers.parallelism()
+        );
+    }
+
+    #[test]
+    fn memory_flow_respected() {
+        // store then load of the same word: true dependence.
+        let mut asm = AsmBuilder::new("main");
+        asm.movi(r(1), 9);
+        asm.store(r(1), IntReg::GP, 0);
+        asm.load(r(2), IntReg::GP, 0);
+        asm.add(r(3), r(2), 1.into());
+        asm.halt();
+        let program = asm.finish_program();
+        let with_mem =
+            measure_limit(&program, LimitOptions::speculative(), options_small()).unwrap();
+        let without_mem =
+            measure_limit(&program, LimitOptions::dataflow_only(), options_small()).unwrap();
+        // Chain: movi -> store -> load -> add = height 4 with memory flow;
+        // without it the load floats to cycle 1 (height 3: movi->store and
+        // load->add in parallel... load at 1, add at 2, store at 2).
+        assert!(with_mem.height() > without_mem.height());
+    }
+
+    #[test]
+    fn oracle_never_slower_than_real_machine() {
+        use supersym_machine::presets;
+        let mut asm = AsmBuilder::new("main");
+        let top = asm.new_label();
+        asm.movi(r(1), 40);
+        asm.bind(top);
+        asm.load(r(2), IntReg::GP, 0);
+        asm.add(r(3), r(2), 3.into());
+        asm.store(r(3), IntReg::GP, 0);
+        asm.sub(r(1), r(1), 1.into());
+        asm.cmp_gt(r(4), r(1), 0.into());
+        asm.br_true(r(4), top);
+        asm.halt();
+        let program = asm.finish_program();
+        let oracle =
+            measure_limit(&program, LimitOptions::speculative(), options_small()).unwrap();
+        let report = crate::simulate(
+            &program,
+            &presets::ideal_superscalar(8),
+            crate::SimOptions {
+                exec: options_small(),
+            },
+        )
+        .unwrap();
+        assert!(oracle.parallelism() >= report.available_parallelism() - 1e-9);
+    }
+}

@@ -1,0 +1,239 @@
+//! Coupled functional + timing simulation and its report.
+
+use crate::cache::{CacheConfig, CacheStats, CacheSystem};
+use crate::error::SimError;
+use crate::exec::{ExecOptions, Executor};
+use crate::timing::TimingModel;
+use supersym_isa::{ClassCensus, Program};
+use supersym_machine::MachineConfig;
+
+/// Options for [`simulate`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Functional-execution options.
+    pub exec: ExecOptions,
+}
+
+/// The result of simulating a program on a machine.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    machine: String,
+    instructions: u64,
+    machine_cycles: u64,
+    base_cycles: f64,
+    census: ClassCensus,
+}
+
+impl SimReport {
+    /// The machine's name.
+    #[must_use]
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    /// Dynamic instruction count.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Elapsed machine cycles.
+    #[must_use]
+    pub fn machine_cycles(&self) -> u64 {
+        self.machine_cycles
+    }
+
+    /// Elapsed time in base-machine cycles.
+    #[must_use]
+    pub fn base_cycles(&self) -> f64 {
+        self.base_cycles
+    }
+
+    /// Dynamic instruction census by class.
+    #[must_use]
+    pub fn census(&self) -> &ClassCensus {
+        &self.census
+    }
+
+    /// Instructions per base cycle. On an ideal machine of unlimited width
+    /// and unit latencies this is the paper's *available instruction-level
+    /// parallelism*; on real machines it is the sustained execution rate.
+    #[must_use]
+    pub fn available_parallelism(&self) -> f64 {
+        if self.base_cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.base_cycles
+        }
+    }
+
+    /// Speedup of `self` relative to `baseline` (same program assumed).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        baseline.base_cycles / self.base_cycles
+    }
+}
+
+/// Runs a program on a machine description.
+///
+/// Functional execution and timing run in lockstep: each architecturally
+/// executed instruction is issued into the pipeline model of `config`.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from execution.
+pub fn simulate(
+    program: &Program,
+    config: &MachineConfig,
+    options: SimOptions,
+) -> Result<SimReport, SimError> {
+    let mut exec = Executor::new(program, options.exec)?;
+    let mut timing = TimingModel::new(config, options.exec.memory_words);
+    while let Some(info) = exec.step()? {
+        timing.issue(&info);
+    }
+    Ok(SimReport {
+        machine: config.name().to_string(),
+        instructions: timing.instructions(),
+        machine_cycles: timing.machine_cycles(),
+        base_cycles: timing.base_cycles(),
+        census: *exec.census(),
+    })
+}
+
+/// Cache behaviour observed during a [`simulate_with_cache`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheReport {
+    /// Instruction-cache counters.
+    pub icache: CacheStats,
+    /// Data-cache counters.
+    pub dcache: CacheStats,
+    /// Total misses per executed instruction.
+    pub misses_per_instruction: f64,
+}
+
+impl CacheReport {
+    /// Effective cycles per instruction once each miss costs
+    /// `miss_penalty_cycles`: `base_cpi + misses/instr * penalty` (§5.1).
+    #[must_use]
+    pub fn effective_cpi(&self, base_cpi: f64, miss_penalty_cycles: f64) -> f64 {
+        base_cpi + self.misses_per_instruction * miss_penalty_cycles
+    }
+}
+
+/// Runs a program while also driving a split I/D cache system.
+///
+/// Instruction addresses place each function at a base address equal to the
+/// cumulative instruction count of the functions before it (one word per
+/// instruction); data addresses are the words actually touched.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from execution.
+pub fn simulate_with_cache(
+    program: &Program,
+    config: &MachineConfig,
+    options: SimOptions,
+    icache: CacheConfig,
+    dcache: CacheConfig,
+) -> Result<(SimReport, CacheReport), SimError> {
+    // Function base addresses for I-fetch simulation.
+    let mut bases = Vec::with_capacity(program.functions().len());
+    let mut next = 0_u64;
+    for function in program.functions() {
+        bases.push(next);
+        next += function.instrs().len() as u64;
+    }
+
+    let mut exec = Executor::new(program, options.exec)?;
+    let mut timing = TimingModel::new(config, options.exec.memory_words);
+    let mut caches = CacheSystem::new(icache, dcache);
+    while let Some(info) = exec.step()? {
+        timing.issue(&info);
+        caches.fetch(bases[info.func.index()] + info.pc as u64);
+        if let Some((addr, _)) = info.mem {
+            caches.data(addr as u64);
+        }
+    }
+    let report = SimReport {
+        machine: config.name().to_string(),
+        instructions: timing.instructions(),
+        machine_cycles: timing.machine_cycles(),
+        base_cycles: timing.base_cycles(),
+        census: *exec.census(),
+    };
+    let cache_report = CacheReport {
+        icache: caches.icache_stats(),
+        dcache: caches.dcache_stats(),
+        misses_per_instruction: caches.misses_per_instruction(report.instructions),
+    };
+    Ok((report, cache_report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_isa::{AsmBuilder, IntReg};
+    use supersym_machine::presets;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    fn tiny_loop(iters: i64) -> Program {
+        let mut asm = AsmBuilder::new("main");
+        let top = asm.new_label();
+        asm.movi(r(1), iters);
+        asm.movi(r(3), 0);
+        asm.bind(top);
+        asm.add(r(3), r(3), 2.into());
+        asm.sub(r(1), r(1), 1.into());
+        asm.cmp_gt(r(2), r(1), 0.into());
+        asm.br_true(r(2), top);
+        asm.halt();
+        asm.finish_program()
+    }
+
+    #[test]
+    fn report_basic_invariants() {
+        let program = tiny_loop(50);
+        let report = simulate(&program, &presets::base(), SimOptions::default()).unwrap();
+        assert!(report.instructions() > 150);
+        assert!(report.base_cycles() >= report.instructions() as f64);
+        assert!(report.available_parallelism() <= 1.0);
+        assert_eq!(report.machine(), "base");
+    }
+
+    #[test]
+    fn superscalar_speedup_on_loop() {
+        let program = tiny_loop(100);
+        let base = simulate(&program, &presets::base(), SimOptions::default()).unwrap();
+        let ss4 = simulate(
+            &program,
+            &presets::ideal_superscalar(4),
+            SimOptions::default(),
+        )
+        .unwrap();
+        let speedup = ss4.speedup_over(&base);
+        assert!(speedup > 1.2, "speedup {speedup}");
+        assert!(speedup < 4.0);
+    }
+
+    #[test]
+    fn cache_simulation_counts_fetches() {
+        let program = tiny_loop(100);
+        let (report, caches) = simulate_with_cache(
+            &program,
+            &presets::base(),
+            SimOptions::default(),
+            CacheConfig::small_direct(),
+            CacheConfig::small_direct(),
+        )
+        .unwrap();
+        assert_eq!(caches.icache.accesses, report.instructions());
+        // A tiny loop fits in the I-cache: nearly all hits.
+        assert!(caches.icache.miss_rate() < 0.05);
+        let cpi = caches.effective_cpi(1.0, 10.0);
+        assert!(cpi >= 1.0 && cpi < 2.0);
+    }
+}

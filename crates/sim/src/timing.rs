@@ -1,0 +1,485 @@
+//! The parameterizable pipeline timing model.
+//!
+//! Models an in-order machine described by a
+//! [`MachineConfig`](supersym_machine::MachineConfig):
+//!
+//! * **In-order issue**, at most `issue_width` instructions per machine
+//!   cycle. The paper considers only in-order machines ("We will not
+//!   consider superscalar machines or any other machines that issue
+//!   instructions out of order", §2.3.2).
+//! * **RAW interlocks**: an instruction cannot issue until the operation
+//!   latency of each producer has elapsed (§3: "If an instruction requires
+//!   the result of a previous instruction, the machine will stall unless the
+//!   operation latency of the previous instruction has elapsed").
+//! * **Conservative WAW interlocks**: a writer waits for the previous write
+//!   of the same register to complete. There is no renaming, so register
+//!   reuse is a real dependence — this is what makes the compiler's
+//!   temporary-register supply matter (§3: "using the same temporary
+//!   register for two different values ... introduces an artificial
+//!   dependency"). WAR is free because operands are read at issue.
+//! * **Functional-unit reservation**: each instruction class belongs to one
+//!   functional unit with a `multiplicity` and an `issue_latency` (§3).
+//! * **Store-to-load interlocks** on actual word addresses.
+//! * **Control**: with perfect branch prediction (the paper's default),
+//!   taken branches cost nothing; otherwise the next instruction waits for
+//!   the transfer to complete. Machines may also declare that a taken
+//!   branch ends the cycle's issue group.
+//!
+//! Because issue is serialized at one instruction per machine cycle on a
+//! superpipelined machine, the larger startup transient of superpipelined
+//! machines (Figure 4-2) *emerges* from this model rather than being
+//! hard-coded.
+
+use crate::exec::{ControlEvent, StepInfo};
+use supersym_machine::MachineConfig;
+use supersym_isa::{InstrClass, Reg, NUM_CLASSES};
+
+const NUM_REGS: usize = Reg::DENSE_SPACE;
+
+/// Issue/completion times for one dynamic instruction, in machine cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueRecord {
+    /// Machine cycle the instruction issued in.
+    pub issue: u64,
+    /// Machine cycle its (first) result became available — the chaining
+    /// point for vector instructions.
+    pub complete: u64,
+    /// Machine cycle the instruction fully drained (equals `complete` for
+    /// scalar instructions; `complete + vlen - 1` for vector ones).
+    pub drain: u64,
+}
+
+/// The pipeline timing model. Feed it the [`StepInfo`] stream produced by an
+/// [`Executor`](crate::Executor).
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    width: u32,
+    pipe_degree: u32,
+    perfect_branch_prediction: bool,
+    taken_branch_breaks_issue: bool,
+    latency: [u64; NUM_CLASSES],
+    fu_of: [usize; NUM_CLASSES],
+    fu_issue_latency: Vec<u64>,
+    fu_slots: Vec<Vec<u64>>,
+    reg_ready: [u64; NUM_REGS],
+    mem_ready: Vec<u64>,
+    cur_cycle: u64,
+    issued_in_cycle: u32,
+    control_stall_until: u64,
+    last_completion: u64,
+    instructions: u64,
+}
+
+impl TimingModel {
+    /// Creates a timing model for `config`, able to track store-to-load
+    /// interlocks across `memory_words` of memory.
+    #[must_use]
+    pub fn new(config: &MachineConfig, memory_words: usize) -> Self {
+        let latency = std::array::from_fn(|i| {
+            u64::from(config.latency(InstrClass::from_index(i).expect("dense class index")))
+        });
+        let fu_of = std::array::from_fn(|i| {
+            config.unit_of(InstrClass::from_index(i).expect("dense class index"))
+        });
+        let fu_issue_latency = config
+            .functional_units()
+            .iter()
+            .map(|fu| u64::from(fu.issue_latency()))
+            .collect();
+        let fu_slots = config
+            .functional_units()
+            .iter()
+            .map(|fu| vec![0_u64; fu.multiplicity() as usize])
+            .collect();
+        TimingModel {
+            width: config.issue_width(),
+            pipe_degree: config.pipe_degree(),
+            perfect_branch_prediction: config.perfect_branch_prediction(),
+            taken_branch_breaks_issue: config.taken_branch_breaks_issue(),
+            latency,
+            fu_of,
+            fu_issue_latency,
+            fu_slots,
+            reg_ready: [0; NUM_REGS],
+            mem_ready: vec![0; memory_words],
+            cur_cycle: 0,
+            issued_in_cycle: 0,
+            control_stall_until: 0,
+            last_completion: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Issues one dynamic instruction, returning its issue and completion
+    /// cycles (in machine cycles).
+    pub fn issue(&mut self, info: &StepInfo) -> IssueRecord {
+        let class_index = info.class.index();
+
+        // In-order issue: never before the previous instruction's cycle, nor
+        // before an outstanding control transfer allows fetch to resume.
+        let mut t = self.cur_cycle.max(self.control_stall_until);
+
+        // RAW: all operands ready.
+        for reg in info.uses.iter() {
+            t = t.max(self.reg_ready[reg.dense_index()]);
+        }
+        // Conservative WAW: previous write to the destination completed.
+        if let Some(def) = info.def {
+            t = t.max(self.reg_ready[def.dense_index()]);
+        }
+        // Store-to-load (and store-to-store) interlocks on the actual words.
+        if let Some((addr, _)) = info.mem {
+            let span = (info.vlen.max(1)) as usize;
+            for a in addr..(addr + span).min(self.mem_ready.len()) {
+                t = t.max(self.mem_ready[a]);
+            }
+        }
+
+        // Vector instructions occupy their functional unit for one cycle
+        // per element (the paper's Figure 2-8 strings of E's) and chain:
+        // dependent vector operations may start as soon as the first
+        // element emerges, i.e. after the class's operation latency.
+        let vector_occupancy = u64::from(info.vlen).saturating_sub(1);
+
+        // Functional unit: the earliest-free copy.
+        let fu = self.fu_of[class_index];
+        let (slot_index, slot_free) = self.fu_slots[fu]
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(_, free)| free)
+            .expect("functional units have multiplicity >= 1");
+        t = t.max(slot_free);
+
+        // Issue-width limit for the chosen cycle.
+        if t == self.cur_cycle && self.issued_in_cycle >= self.width {
+            t += 1;
+        }
+
+        // Commit the issue.
+        if t > self.cur_cycle {
+            self.cur_cycle = t;
+            self.issued_in_cycle = 1;
+        } else {
+            self.issued_in_cycle += 1;
+        }
+        self.fu_slots[fu][slot_index] = t + self.fu_issue_latency[fu].max(1 + vector_occupancy);
+
+        // Chain point: when the first result element is available. For
+        // scalar instructions this is also the completion time.
+        let complete = t + self.latency[class_index];
+        let drain = complete + vector_occupancy;
+        if let Some(def) = info.def {
+            // Vector results chain (consumers are vector instructions that
+            // also proceed element-by-element); scalar results are ready at
+            // completion.
+            let ready = if matches!(def, Reg::Vec(_)) {
+                complete
+            } else {
+                drain
+            };
+            self.reg_ready[def.dense_index()] = ready;
+        }
+        if let Some((addr, is_store)) = info.mem {
+            let span = (info.vlen.max(1)) as usize;
+            if is_store {
+                for a in addr..(addr + span).min(self.mem_ready.len()) {
+                    self.mem_ready[a] = drain;
+                }
+            }
+        }
+        self.last_completion = self.last_completion.max(drain);
+
+        // Control transfers.
+        let transfers = match info.control {
+            ControlEvent::Branch { taken } => taken,
+            ControlEvent::Jump | ControlEvent::Call | ControlEvent::Return => true,
+            ControlEvent::None | ControlEvent::Halt => false,
+        };
+        if transfers {
+            if !self.perfect_branch_prediction {
+                self.control_stall_until = self.control_stall_until.max(complete);
+            }
+            if self.taken_branch_breaks_issue {
+                self.control_stall_until = self.control_stall_until.max(t + 1);
+            }
+        }
+
+        self.instructions += 1;
+        IssueRecord {
+            issue: t,
+            complete,
+            drain,
+        }
+    }
+
+    /// Dynamic instructions issued so far.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total elapsed machine cycles (time of the last completion).
+    #[must_use]
+    pub fn machine_cycles(&self) -> u64 {
+        self.last_completion
+    }
+
+    /// Total elapsed time in base-machine cycles (machine cycles divided by
+    /// the superpipelining degree).
+    #[must_use]
+    pub fn base_cycles(&self) -> f64 {
+        self.last_completion as f64 / f64::from(self.pipe_degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecOptions, Executor};
+    use supersym_isa::{AsmBuilder, IntReg};
+    use supersym_machine::presets;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    fn run(program: &supersym_isa::Program, config: &MachineConfig) -> (u64, f64) {
+        let options = ExecOptions {
+            memory_words: 1024,
+            ..Default::default()
+        };
+        let mut exec = Executor::new(program, options).unwrap();
+        let mut timing = TimingModel::new(config, options.memory_words);
+        while let Some(info) = exec.step().unwrap() {
+            timing.issue(&info);
+        }
+        (timing.instructions(), timing.base_cycles())
+    }
+
+    fn independent_adds(n: usize) -> supersym_isa::Program {
+        let mut asm = AsmBuilder::new("main");
+        for i in 0..n {
+            // Distinct destination and source registers: fully parallel.
+            asm.add(r((i % 8) as u8 + 1), IntReg::ZERO, (i as i64).into());
+        }
+        asm.halt();
+        asm.finish_program()
+    }
+
+    fn dependent_chain(n: usize) -> supersym_isa::Program {
+        let mut asm = AsmBuilder::new("main");
+        asm.movi(r(1), 0);
+        for _ in 0..n {
+            asm.add(r(1), r(1), 1.into());
+        }
+        asm.halt();
+        asm.finish_program()
+    }
+
+    #[test]
+    fn base_machine_one_per_cycle() {
+        let program = independent_adds(10);
+        let (instrs, cycles) = run(&program, &presets::base());
+        // 11 instructions, one per cycle, each completing a cycle later.
+        assert_eq!(instrs, 11);
+        assert!((cycles - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superscalar_overlaps_independent_work() {
+        let program = independent_adds(24);
+        let (_, base_cycles) = run(&program, &presets::base());
+        let (_, ss3_cycles) = run(&program, &presets::ideal_superscalar(3));
+        let speedup = base_cycles / ss3_cycles;
+        assert!(speedup > 2.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn dependent_chain_gains_nothing() {
+        let program = dependent_chain(30);
+        let (_, base_cycles) = run(&program, &presets::base());
+        let (_, ss8_cycles) = run(&program, &presets::ideal_superscalar(8));
+        // The serial chain cannot speed up (small constant slack allowed).
+        assert!((base_cycles - ss8_cycles).abs() < 2.0);
+    }
+
+    #[test]
+    fn superpipelined_equals_superscalar_steady_state() {
+        // §2.7: machines of equal degree have basically the same performance.
+        let program = independent_adds(200);
+        let (_, ss) = run(&program, &presets::ideal_superscalar(4));
+        let (_, sp) = run(&program, &presets::superpipelined(4));
+        let ratio = sp / ss;
+        assert!(ratio > 0.99 && ratio < 1.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn superpipelined_startup_transient() {
+        // Figure 4-2: a basic block of six independent instructions. The
+        // degree-3 superscalar issues the last at t1; the superpipelined
+        // machine takes 1/3 base cycle per issue and falls behind.
+        fn burst(config: &MachineConfig, n: usize) -> f64 {
+            let mut timing = TimingModel::new(config, 16);
+            for i in 0..n {
+                let info = StepInfo {
+                    func: supersym_isa::FuncId::new(0),
+                    pc: i,
+                    class: InstrClass::IntAdd,
+                    uses: Default::default(),
+                    def: Some(supersym_isa::Reg::Int(r(i as u8 + 1))),
+                    mem: None,
+                    vlen: 0,
+                    control: ControlEvent::None,
+                };
+                timing.issue(&info);
+            }
+            timing.base_cycles()
+        }
+        use crate::exec::{ControlEvent, StepInfo};
+        let ss = burst(&presets::ideal_superscalar(3), 6);
+        let sp = burst(&presets::superpipelined(3), 6);
+        assert!(sp > ss, "superpipelined {sp} should trail superscalar {ss}");
+        // And the gap shrinks as the degree rises (supersymmetry, Fig 4-1).
+        let ss8 = burst(&presets::ideal_superscalar(8), 6);
+        let sp8 = burst(&presets::superpipelined(8), 6);
+        assert!((sp8 - ss8) < (sp - ss) + 1e-9);
+    }
+
+    #[test]
+    fn class_conflicts_stall() {
+        // All loads: the conflict machine has one memory port.
+        let mut asm = AsmBuilder::new("main");
+        for i in 0..12 {
+            asm.load(r((i % 4) as u8 + 1), IntReg::GP, i);
+        }
+        asm.halt();
+        let program = asm.finish_program();
+        let (_, ideal) = run(&program, &presets::ideal_superscalar(4));
+        let (_, conflict) = run(&program, &presets::superscalar_with_class_conflicts(4));
+        assert!(
+            conflict > ideal * 2.0,
+            "conflict {conflict} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn waw_reuse_serializes() {
+        // Writing the same register repeatedly is an artificial dependence.
+        let mut asm = AsmBuilder::new("main");
+        for i in 0..16 {
+            asm.add(r(1), IntReg::ZERO, (i as i64).into());
+        }
+        asm.halt();
+        let program = asm.finish_program();
+        let (_, reuse) = run(&program, &presets::ideal_superscalar(4));
+        let spread = independent_adds(16);
+        let (_, parallel) = run(&spread, &presets::ideal_superscalar(4));
+        assert!(reuse > parallel, "reuse {reuse} vs parallel {parallel}");
+    }
+
+    #[test]
+    fn store_load_interlock() {
+        let mut asm = AsmBuilder::new("main");
+        asm.movi(r(1), 7);
+        asm.store(r(1), IntReg::GP, 0);
+        asm.load(r(2), IntReg::GP, 0);
+        asm.halt();
+        let program = asm.finish_program();
+        // Make stores slow; the dependent load must wait.
+        let slow_store = MachineConfig::builder("slow-store")
+            .latency(InstrClass::Store, 5)
+            .build()
+            .unwrap();
+        let (_, slow) = run(&program, &slow_store);
+        let (_, fast) = run(&program, &presets::base());
+        assert!(slow > fast + 3.0, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn imperfect_prediction_costs_taken_branches() {
+        let mut asm = AsmBuilder::new("main");
+        let top = asm.new_label();
+        asm.movi(r(1), 20);
+        asm.bind(top);
+        asm.sub(r(1), r(1), 1.into());
+        asm.cmp_gt(r(2), r(1), 0.into());
+        asm.br_true(r(2), top);
+        asm.halt();
+        let program = asm.finish_program();
+        let perfect = presets::base();
+        let imperfect = MachineConfig::builder("no-prediction")
+            .perfect_branch_prediction(false)
+            .latency(InstrClass::Branch, 3)
+            .build()
+            .unwrap();
+        let (_, a) = run(&program, &perfect);
+        let (_, b) = run(&program, &imperfect);
+        assert!(b > a + 19.0, "imperfect {b} vs perfect {a}");
+    }
+
+    #[test]
+    fn underpipelined_half_issue_rate() {
+        let program = independent_adds(20);
+        let (_, base) = run(&program, &presets::base());
+        let (_, half) = run(&program, &presets::underpipelined_half_issue());
+        assert!(half > base * 1.7, "half {half} base {base}");
+    }
+
+    #[test]
+    fn vector_occupancy_and_chaining() {
+        use crate::exec::{ControlEvent, StepInfo};
+        use supersym_isa::{FpOp, Instr, VecReg};
+        let config = presets::base();
+        let mut timing = TimingModel::new(&config, 256);
+        let vinstr = |dst: u8, lhs: u8| Instr::VOp {
+            op: FpOp::FAdd,
+            dst: VecReg::new_unchecked(dst),
+            lhs: VecReg::new_unchecked(lhs),
+            rhs: VecReg::new_unchecked(lhs),
+        };
+        let info = |instr: &Instr, pc: usize| StepInfo {
+            func: supersym_isa::FuncId::new(0),
+            pc,
+            class: instr.class(),
+            uses: instr.uses(),
+            def: instr.def(),
+            mem: None,
+            vlen: 16,
+            control: ControlEvent::None,
+        };
+        // The paper's §2.3 example: a vector load chained into a vector
+        // add. The units differ, so the add starts at the load's chain
+        // point rather than after its full drain.
+        let vld = Instr::VLoad {
+            dst: VecReg::new_unchecked(1),
+            base: supersym_isa::IntReg::GP,
+            offset: 0,
+            alias: supersym_isa::MemAlias::unknown(),
+        };
+        let mut ld_info = info(&vld, 0);
+        ld_info.mem = Some((0, false));
+        let first = timing.issue(&ld_info);
+        // Drains one element per cycle after the chain point.
+        assert_eq!(first.drain, first.complete + 15);
+        let b = vinstr(2, 1);
+        let second = timing.issue(&info(&b, 1));
+        assert!(second.issue <= first.complete, "no chaining: {second:?}");
+        // Two vector ops on the SAME functional unit serialize on its
+        // element-per-cycle occupancy.
+        let c = vinstr(5, 4);
+        let third = timing.issue(&info(&c, 2));
+        assert!(
+            third.issue >= second.issue + 16,
+            "functional unit not reserved: {third:?}"
+        );
+    }
+
+    #[test]
+    fn issue_width_limits_per_cycle() {
+        let program = independent_adds(64);
+        let (_, w2) = run(&program, &presets::ideal_superscalar(2));
+        let (_, w4) = run(&program, &presets::ideal_superscalar(4));
+        assert!(w2 > w4 * 1.5, "w2 {w2} w4 {w4}");
+    }
+}

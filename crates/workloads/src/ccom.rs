@@ -1,0 +1,252 @@
+//! `ccom`: a compiler-shaped workload.
+//!
+//! Substitutes for the paper's own C compiler compiling itself. The program
+//! generates a synthetic source text (assignment statements over one-letter
+//! identifiers with digits, numbers, parenthesized arithmetic), then runs a
+//! real compiler front half over it: a character-level lexer, a hashed
+//! symbol table, a recursive-descent expression parser, and a stack-machine
+//! code emitter. The profile — short branchy loops, table lookups,
+//! recursion, almost no exploitable parallelism — is what made compilers the
+//! paper's canonical "slightly parallel" workload (ILP ≈ 2).
+
+use crate::Workload;
+
+/// Builds the benchmark; `stmts` controls how many synthetic statements are
+/// compiled.
+#[must_use]
+pub fn ccom(stmts: usize) -> Workload {
+    let srclen = stmts * 24 + 64;
+    let maxtok = srclen;
+    let source = format!(
+        r#"
+// ccom: lex + parse + emit over a generated source text.
+// Character codes: 0 end, 1..26 letters, 27..36 digits ('0'..'9'),
+// 40 '=' 41 '+' 42 '-' 43 '*' 44 '/' 45 '(' 46 ')' 47 ';' 48 ' '.
+global arr src[{srclen}];
+global var srclen;
+global arr tkind[{maxtok}];   // 1 ident, 2 number, 3..9 punctuation
+global arr tval[{maxtok}];
+global var ntok;
+global arr hashkey[128];      // symbol table (open addressing)
+global arr hashval[128];
+global var nsym;
+global arr code[{codelen}];   // emitted stack-machine ops
+global var ncode;
+global var pos;               // parser cursor
+global var seed = 99;
+
+fn rnd(int limit) -> int {{
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    return seed % limit;
+}}
+
+fn putc(int c) {{
+    src[srclen] = c;
+    srclen = srclen + 1;
+}}
+
+// Random identifier: letter (+ optional digit).
+fn gen_ident() {{
+    putc(1 + rnd(26));
+    if (rnd(2) == 0) {{ putc(27 + rnd(10)); }}
+}}
+
+fn gen_number() {{
+    putc(27 + rnd(10));
+    if (rnd(3) == 0) {{ putc(27 + rnd(10)); }}
+}}
+
+// expr := atom (op atom)*, parenthesized occasionally.
+fn gen_atom(int depth) {{
+    if (depth > 0) {{
+        if (rnd(4) == 0) {{
+            putc(45);
+            gen_expr(depth - 1);
+            putc(46);
+            return;
+        }}
+    }}
+    if (rnd(2) == 0) {{ gen_ident(); }} else {{ gen_number(); }}
+}}
+
+fn gen_expr(int depth) {{
+    gen_atom(depth);
+    var ops = rnd(3);
+    for (i = 0; i < ops; i = i + 1) {{
+        putc(41 + rnd(4));
+        gen_atom(depth);
+    }}
+}}
+
+fn gen_source(int n) {{
+    srclen = 0;
+    for (s = 0; s < n; s = s + 1) {{
+        gen_ident();
+        putc(40);
+        gen_expr(2);
+        putc(47);
+        putc(48);
+    }}
+    putc(0);
+}}
+
+// --- symbol table: open-addressing hash ---
+fn sym_lookup(int key) -> int {{
+    var h = (key * 31) & 127;
+    var probes = 0;
+    while (probes < 128) {{
+        if (hashkey[h] == key) {{ return hashval[h]; }}
+        if (hashkey[h] == 0) {{
+            hashkey[h] = key;
+            nsym = nsym + 1;
+            hashval[h] = nsym;
+            return nsym;
+        }}
+        h = (h + 1) & 127;
+        probes = probes + 1;
+    }}
+    return 0;
+}}
+
+// --- lexer ---
+fn lex() {{
+    ntok = 0;
+    var i = 0;
+    while (src[i] != 0) {{
+        var c = src[i];
+        if (c >= 1 && c <= 26) {{
+            // Identifier: letter then digits, packed into a key.
+            var key = c;
+            i = i + 1;
+            while (src[i] >= 27 && src[i] <= 36) {{
+                key = key * 37 + src[i];
+                i = i + 1;
+            }}
+            tkind[ntok] = 1;
+            tval[ntok] = sym_lookup(key);
+            ntok = ntok + 1;
+        }} else {{
+            if (c >= 27 && c <= 36) {{
+                var value = 0;
+                while (src[i] >= 27 && src[i] <= 36) {{
+                    value = value * 10 + (src[i] - 27);
+                    i = i + 1;
+                }}
+                tkind[ntok] = 2;
+                tval[ntok] = value;
+                ntok = ntok + 1;
+            }} else {{
+                if (c != 48) {{
+                    tkind[ntok] = c - 37;   // '=' 3, '+' 4, '-' 5, '*' 6, '/' 7, '(' 8, ')' 9, ';' 10
+                    tval[ntok] = 0;
+                    ntok = ntok + 1;
+                }}
+                i = i + 1;
+            }}
+        }}
+    }}
+    tkind[ntok] = 0;
+}}
+
+// --- emitter ---
+fn emit(int op, int value) {{
+    code[ncode] = op * 65536 + value;
+    ncode = ncode + 1;
+}}
+
+// --- recursive-descent parser: factor/term/expr ---
+fn factor() {{
+    if (tkind[pos] == 1) {{
+        emit(1, tval[pos]);    // load var
+        pos = pos + 1;
+        return;
+    }}
+    if (tkind[pos] == 2) {{
+        emit(2, tval[pos]);    // push const
+        pos = pos + 1;
+        return;
+    }}
+    if (tkind[pos] == 8) {{
+        pos = pos + 1;         // '('
+        expr();
+        pos = pos + 1;         // ')'
+        return;
+    }}
+    pos = pos + 1;             // error recovery
+}}
+
+fn term() {{
+    factor();
+    while (tkind[pos] == 6 || tkind[pos] == 7) {{
+        var op = tkind[pos];
+        pos = pos + 1;
+        factor();
+        emit(op, 0);
+    }}
+}}
+
+fn expr() {{
+    term();
+    while (tkind[pos] == 4 || tkind[pos] == 5) {{
+        var op = tkind[pos];
+        pos = pos + 1;
+        term();
+        emit(op, 0);
+    }}
+}}
+
+fn stmt() {{
+    var target = tval[pos];
+    pos = pos + 1;             // ident
+    pos = pos + 1;             // '='
+    expr();
+    emit(3, target);           // store
+    if (tkind[pos] == 10) {{ pos = pos + 1; }}
+}}
+
+fn parse() {{
+    pos = 0;
+    ncode = 0;
+    while (tkind[pos] != 0) {{
+        stmt();
+    }}
+}}
+
+fn main() -> int {{
+    for (i = 0; i < 128; i = i + 1) {{ hashkey[i] = 0; }}
+    nsym = 0;
+    gen_source({stmts});
+    lex();
+    parse();
+    // Checksum over the emitted code.
+    var check = nsym * 10000 + ncode;
+    for (i = 0; i < ncode; i = i + 1) {{
+        check = (check * 31 + code[i]) & 268435455;
+    }}
+    return check;
+}}
+"#,
+        srclen = srclen,
+        maxtok = maxtok,
+        codelen = srclen,
+        stmts = stmts,
+    );
+    Workload {
+        name: "ccom",
+        description: "compiler front half: lexer, hashed symbol table, recursive-descent parser, emitter (paper: their C compiler)",
+        source,
+        fp_sensitive: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_checks() {
+        let w = ccom(4);
+        let ast = supersym_lang::parse(&w.source).unwrap();
+        supersym_lang::check(&ast).unwrap();
+    }
+}

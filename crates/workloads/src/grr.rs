@@ -1,0 +1,170 @@
+//! `grr`: a PC-board router.
+//!
+//! Substitutes for the paper's `grr` ("A PC board router"). Implements the
+//! classic Lee maze-routing algorithm: each net is routed by a
+//! breadth-first wavefront expansion over a grid with obstacles, followed by
+//! a backtrace that commits the path (which then becomes an obstacle for
+//! later nets — congestion, as on a real board). Integer, queue-driven, and
+//! full of data-dependent branches.
+
+use crate::Workload;
+
+/// Builds the benchmark: an `n`×`n` grid and `nets` two-pin nets.
+#[must_use]
+pub fn grr(n: usize, nets: usize) -> Workload {
+    assert!(n >= 8, "grid too small to route");
+    let cells = n * n;
+    let source = format!(
+        r#"
+// grr: Lee-algorithm maze router.
+global arr grid[{cells}];     // 0 free, 1 obstacle/committed
+global arr dist[{cells}];     // wavefront distances (-1 unreached)
+global arr queue[{qlen}];     // BFS queue of cell indices
+global var qhead; global var qtail;
+global var seed = 7;
+global var routed; global var total_len; global var failures;
+
+fn rnd(int limit) -> int {{
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    return seed % limit;
+}}
+
+fn setup() {{
+    for (i = 0; i < {cells}; i = i + 1) {{
+        grid[i] = 0;
+    }}
+    // Sprinkle obstacles (about 15%), keeping the border clear.
+    for (i = 0; i < {obstacles}; i = i + 1) {{
+        var r = 1 + rnd({nm2});
+        var c = 1 + rnd({nm2});
+        grid[r * {n} + c] = 1;
+    }}
+}}
+
+fn push(int cell, int d) {{
+    dist[cell] = d;
+    queue[qtail] = cell;
+    qtail = qtail + 1;
+}}
+
+// Expands the wavefront from src until dst is reached. Returns the path
+// length, or 0-1 when unroutable.
+fn wavefront(int src, int dst) -> int {{
+    for (i = 0; i < {cells}; i = i + 1) {{ dist[i] = 0 - 1; }}
+    qhead = 0;
+    qtail = 0;
+    push(src, 0);
+    while (qhead < qtail) {{
+        var cell = queue[qhead];
+        qhead = qhead + 1;
+        if (cell == dst) {{ return dist[cell]; }}
+        var d = dist[cell] + 1;
+        var row = cell / {n};
+        var col = cell % {n};
+        if (col > 0) {{
+            if (grid[cell - 1] == 0 && dist[cell - 1] < 0) {{ push(cell - 1, d); }}
+        }}
+        if (col < {nm1}) {{
+            if (grid[cell + 1] == 0 && dist[cell + 1] < 0) {{ push(cell + 1, d); }}
+        }}
+        if (row > 0) {{
+            if (grid[cell - {n}] == 0 && dist[cell - {n}] < 0) {{ push(cell - {n}, d); }}
+        }}
+        if (row < {nm1}) {{
+            if (grid[cell + {n}] == 0 && dist[cell + {n}] < 0) {{ push(cell + {n}, d); }}
+        }}
+    }}
+    return 0 - 1;
+}}
+
+// Walks back from dst to src along decreasing distances, committing cells.
+// (Bounds are checked with nested ifs: `&&` does not short-circuit.)
+fn backtrace(int src, int dst) {{
+    var cell = dst;
+    while (cell != src) {{
+        grid[cell] = 1;
+        var d = dist[cell];
+        var row = cell / {n};
+        var col = cell % {n};
+        var next = 0 - 1;
+        if (col > 0) {{
+            if (dist[cell - 1] == d - 1) {{ next = cell - 1; }}
+        }}
+        if (next < 0) {{
+            if (col < {nm1}) {{
+                if (dist[cell + 1] == d - 1) {{ next = cell + 1; }}
+            }}
+        }}
+        if (next < 0) {{
+            if (row > 0) {{
+                if (dist[cell - {n}] == d - 1) {{ next = cell - {n}; }}
+            }}
+        }}
+        if (next < 0) {{
+            if (row < {nm1}) {{
+                if (dist[cell + {n}] == d - 1) {{ next = cell + {n}; }}
+            }}
+        }}
+        if (next < 0) {{ next = src; }}
+        cell = next;
+    }}
+}}
+
+fn free_cell() -> int {{
+    var cell = rnd({cells});
+    while (grid[cell] == 1) {{
+        cell = (cell + 17) % {cells};
+    }}
+    return cell;
+}}
+
+fn main() -> int {{
+    setup();
+    routed = 0;
+    total_len = 0;
+    failures = 0;
+    for (net = 0; net < {nets}; net = net + 1) {{
+        var src = free_cell();
+        var dst = free_cell();
+        if (src != dst) {{
+            var len = wavefront(src, dst);
+            if (len > 0) {{
+                backtrace(src, dst);
+                grid[src] = 1;
+                routed = routed + 1;
+                total_len = total_len + len;
+            }} else {{
+                failures = failures + 1;
+            }}
+        }}
+    }}
+    return routed * 1000000 + total_len * 100 + failures;
+}}
+"#,
+        n = n,
+        nm1 = n - 1,
+        nm2 = n - 2,
+        cells = cells,
+        qlen = cells + 4,
+        obstacles = cells * 15 / 100,
+        nets = nets,
+    );
+    Workload {
+        name: "grr",
+        description: "Lee-algorithm maze router with congestion (paper: grr, a PC board router)",
+        source,
+        fp_sensitive: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_checks() {
+        let w = grr(10, 2);
+        let ast = supersym_lang::parse(&w.source).unwrap();
+        supersym_lang::check(&ast).unwrap();
+    }
+}

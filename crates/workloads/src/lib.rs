@@ -1,0 +1,112 @@
+//! # supersym-workloads
+//!
+//! The benchmark suite of the Jouppi/Wall study, ported to Tital. The
+//! paper's eight benchmarks (§3) were Modula-2/C programs whose sources are
+//! not available; each is replaced here by a program exercising the same
+//! code shape (the substitutions are documented per module and in
+//! DESIGN.md):
+//!
+//! | paper | here | character |
+//! |---|---|---|
+//! | `ccom` (their C compiler) | [`ccom`] lexer + recursive-descent compiler over synthetic source | branchy integer, irregular |
+//! | `grr` (PC board router) | [`grr`] Lee-algorithm wavefront router | queues, grids, data-dependent branches |
+//! | `linpack` | [`linpack`] DAXPY Gaussian elimination | FP, unrollable inner loop |
+//! | `livermore` | [`livermore`] the first 14 Livermore loops | FP kernels incl. recurrences |
+//! | `met` (Metronome) | [`met`] gate-level timing verifier | DAG propagation |
+//! | `stan` (Stanford suite) | [`stan`] perm/towers/queens/intmm/bubble/quick/sieve | mixed, recursion |
+//! | `whet` (Whetstones) | [`whet`] Whetstone modules, polynomial transcendentals | serial FP chains |
+//! | `yacc` | [`yacc`] table-driven SLR parser interpreter | table lookups + branches |
+//!
+//! Every program's `main` returns an integer checksum so the test suite can
+//! prove optimizations semantics-preserving.
+//!
+//! ## Example
+//!
+//! ```
+//! use supersym_workloads::{suite, Size};
+//! let workloads = suite(Size::Small);
+//! assert_eq!(workloads.len(), 8);
+//! for w in &workloads {
+//!     // Every benchmark parses and type checks.
+//!     let ast = supersym_lang::parse(&w.source)?;
+//!     supersym_lang::check(&ast)?;
+//! }
+//! # Ok::<(), supersym_lang::LangError>(())
+//! ```
+
+mod ccom;
+mod grr;
+mod linpack;
+mod livermore;
+mod met;
+mod stan;
+mod whet;
+mod yacc;
+
+pub use ccom::ccom;
+pub use grr::grr;
+pub use linpack::linpack;
+pub use livermore::livermore;
+pub use met::met;
+pub use stan::stan;
+pub use whet::whet;
+pub use yacc::yacc;
+
+/// A benchmark: a Tital program plus metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (the paper's benchmark name).
+    pub name: &'static str,
+    /// What the program does and what it substitutes for.
+    pub description: &'static str,
+    /// Tital source text.
+    pub source: String,
+    /// Whether the checksum is sensitive to FP reassociation (careful
+    /// unrolling may change it within a small tolerance).
+    pub fp_sensitive: bool,
+}
+
+/// Problem-size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// Quick sizes for unit tests and debug builds.
+    Small,
+    /// The sizes used by the experiment harness.
+    Standard,
+}
+
+/// The full eight-benchmark suite at the given size.
+#[must_use]
+pub fn suite(size: Size) -> Vec<Workload> {
+    match size {
+        Size::Small => vec![
+            ccom(6),
+            grr(12, 4),
+            linpack(12),
+            livermore(40, 2),
+            met(120, 2),
+            stan(1),
+            whet(2),
+            yacc(40),
+        ],
+        Size::Standard => vec![
+            ccom(60),
+            grr(24, 12),
+            linpack(32),
+            livermore(100, 10),
+            met(600, 10),
+            stan(2),
+            whet(12),
+            yacc(400),
+        ],
+    }
+}
+
+/// The two numeric benchmarks used in the unrolling study (Figure 4-6).
+#[must_use]
+pub fn numeric_suite(size: Size) -> Vec<Workload> {
+    match size {
+        Size::Small => vec![linpack(12), livermore(40, 2)],
+        Size::Standard => vec![linpack(32), livermore(100, 10)],
+    }
+}

@@ -1,0 +1,124 @@
+//! `met`: a board-level timing verifier.
+//!
+//! Substitutes for the paper's Metronome. Builds a random gate-level DAG
+//! (each gate has two fan-ins from earlier gates, with per-edge delays),
+//! then runs the classic static-timing passes: forward arrival-time
+//! propagation (`arrival = max(in1 + d1, in2 + d2)`), backward
+//! required-time propagation, slack computation, and critical-path
+//! counting. Graph-walking integer code with max/min chains — the paper's
+//! "event-driven simulator" shape.
+
+use crate::Workload;
+
+/// Builds the benchmark: `gates` gates re-verified `passes` times (with
+/// delay perturbation between passes, as an incremental verifier would see).
+#[must_use]
+pub fn met(gates: usize, passes: usize) -> Workload {
+    assert!(gates >= 16, "need a few gates");
+    let source = format!(
+        r#"
+// met: static timing verification over a random DAG.
+global arr in1[{gates}];
+global arr in2[{gates}];
+global arr d1[{gates}];
+global arr d2[{gates}];
+global arr arrival[{gates}];
+global arr required[{gates}];
+global arr slack[{gates}];
+global var seed = 3;
+global var critical; global var worst;
+
+fn rnd(int limit) -> int {{
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    return seed % limit;
+}}
+
+fn build() {{
+    // Gates 0..7 are primary inputs (self-loops with zero delay).
+    for (g = 0; g < 8; g = g + 1) {{
+        in1[g] = g; in2[g] = g; d1[g] = 0; d2[g] = 0;
+    }}
+    for (g = 8; g < {gates}; g = g + 1) {{
+        in1[g] = rnd(g);
+        in2[g] = rnd(g);
+        d1[g] = 1 + rnd(9);
+        d2[g] = 1 + rnd(9);
+    }}
+}}
+
+fn forward() {{
+    for (g = 0; g < 8; g = g + 1) {{ arrival[g] = 0; }}
+    for (g = 8; g < {gates}; g = g + 1) {{
+        var a = arrival[in1[g]] + d1[g];
+        var b = arrival[in2[g]] + d2[g];
+        if (a > b) {{ arrival[g] = a; }} else {{ arrival[g] = b; }}
+    }}
+    worst = 0;
+    for (g = 0; g < {gates}; g = g + 1) {{
+        if (arrival[g] > worst) {{ worst = arrival[g]; }}
+    }}
+}}
+
+fn backward() {{
+    for (g = 0; g < {gates}; g = g + 1) {{ required[g] = worst; }}
+    for (g = {gm1}; g >= 8; g = g - 1) {{
+        var r1 = required[g] - d1[g];
+        var r2 = required[g] - d2[g];
+        if (r1 < required[in1[g]]) {{ required[in1[g]] = r1; }}
+        if (r2 < required[in2[g]]) {{ required[in2[g]] = r2; }}
+    }}
+}}
+
+fn slacks() {{
+    critical = 0;
+    for (g = 0; g < {gates}; g = g + 1) {{
+        slack[g] = required[g] - arrival[g];
+        if (slack[g] <= 0) {{ critical = critical + 1; }}
+    }}
+}}
+
+fn perturb() {{
+    // An engineering change: adjust a handful of delays.
+    for (i = 0; i < 8; i = i + 1) {{
+        var g = 8 + rnd({gm8});
+        d1[g] = 1 + rnd(9);
+    }}
+}}
+
+fn main() -> int {{
+    build();
+    var check = 0;
+    for (p = 0; p < {passes}; p = p + 1) {{
+        forward();
+        backward();
+        slacks();
+        check = check + worst * 1000 + critical;
+        perturb();
+    }}
+    return check;
+}}
+"#,
+        gates = gates,
+        gm1 = gates - 1,
+        gm8 = gates - 8,
+        passes = passes,
+    );
+    Workload {
+        name: "met",
+        description: "static timing verifier: arrival/required/slack over a gate DAG (paper: Metronome)",
+        source,
+        fp_sensitive: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_checks() {
+        let w = met(32, 1);
+        let ast = supersym_lang::parse(&w.source).unwrap();
+        supersym_lang::check(&ast).unwrap();
+    }
+}

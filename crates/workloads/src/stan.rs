@@ -1,0 +1,222 @@
+//! `stan`: the Stanford (Hennessy) benchmark collection.
+//!
+//! Substitutes for the paper's "collection of Hennessy benchmarks from
+//! Stanford (including puzzle, tower, queens, etc.)": recursive
+//! permutations, towers of Hanoi, the eight-queens search, integer matrix
+//! multiply, bubble sort, recursive quicksort and the sieve of
+//! Eratosthenes — the same composition of recursion-heavy, branchy and
+//! array-walking integer code.
+
+use crate::Workload;
+
+/// Builds the benchmark; `reps` scales how many times the collection runs.
+#[must_use]
+pub fn stan(reps: usize) -> Workload {
+    let source = format!(
+        r#"
+// The Stanford collection.
+global arr permarray[12];
+global var permcount;
+global var movecount;
+global arr queenrow[9];
+global arr queencol[9];        // column occupied flags
+global arr queendiag1[17];
+global arr queendiag2[17];
+global var solutions;
+global arr ima[64];            // 8x8 integer matrices
+global arr imb[64];
+global arr imr[64];
+global arr sortbuf[256];
+global var seed = 42;
+global arr flags[1024];
+
+fn rnd() -> int {{
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    return seed;
+}}
+
+// --- perm: recursive permutation generation (Heap-ish swap scheme) ---
+fn swap(int i, int k) {{
+    var tmp = permarray[i];
+    permarray[i] = permarray[k];
+    permarray[k] = tmp;
+}}
+
+fn permute(int n) {{
+    permcount = permcount + 1;
+    if (n > 1) {{
+        permute(n - 1);
+        for (k = 0; k < n - 1; k = k + 1) {{
+            swap(n - 1, k);
+            permute(n - 1);
+            swap(n - 1, k);
+        }}
+    }}
+}}
+
+fn perm() -> int {{
+    for (i = 0; i < 7; i = i + 1) {{ permarray[i] = i; }}
+    permcount = 0;
+    permute(6);
+    return permcount;
+}}
+
+// --- towers of Hanoi ---
+fn hanoi(int n, int from, int to, int via) {{
+    if (n > 0) {{
+        hanoi(n - 1, from, via, to);
+        movecount = movecount + 1;
+        hanoi(n - 1, via, to, from);
+    }}
+}}
+
+fn towers() -> int {{
+    movecount = 0;
+    hanoi(10, 0, 2, 1);
+    return movecount;
+}}
+
+// --- eight queens ---
+fn place(int row) {{
+    if (row == 8) {{
+        solutions = solutions + 1;
+        return;
+    }}
+    for (c = 0; c < 8; c = c + 1) {{
+        if (queencol[c] == 0) {{
+            if (queendiag1[row + c] == 0) {{
+                if (queendiag2[row - c + 8] == 0) {{
+                    queencol[c] = 1;
+                    queendiag1[row + c] = 1;
+                    queendiag2[row - c + 8] = 1;
+                    queenrow[row] = c;
+                    place(row + 1);
+                    queencol[c] = 0;
+                    queendiag1[row + c] = 0;
+                    queendiag2[row - c + 8] = 0;
+                }}
+            }}
+        }}
+    }}
+}}
+
+fn queens() -> int {{
+    solutions = 0;
+    for (i = 0; i < 9; i = i + 1) {{ queencol[i] = 0; }}
+    for (i = 0; i < 17; i = i + 1) {{ queendiag1[i] = 0; queendiag2[i] = 0; }}
+    place(0);
+    return solutions;
+}}
+
+// --- integer matrix multiply (8x8) ---
+fn intmm() -> int {{
+    for (i = 0; i < 64; i = i + 1) {{
+        ima[i] = rnd() % 16;
+        imb[i] = rnd() % 16;
+    }}
+    for (i = 0; i < 8; i = i + 1) {{
+        for (j = 0; j < 8; j = j + 1) {{
+            var s = 0;
+            for (k = 0; k < 8; k = k + 1) {{
+                s = s + ima[i * 8 + k] * imb[k * 8 + j];
+            }}
+            imr[i * 8 + j] = s;
+        }}
+    }}
+    return imr[27];
+}}
+
+// --- bubble sort ---
+fn bubble() -> int {{
+    for (i = 0; i < 128; i = i + 1) {{ sortbuf[i] = rnd() % 1000; }}
+    for (i = 0; i < 127; i = i + 1) {{
+        for (k = 0; k < 127 - i; k = k + 1) {{
+            if (sortbuf[k] > sortbuf[k + 1]) {{
+                var tmp = sortbuf[k];
+                sortbuf[k] = sortbuf[k + 1];
+                sortbuf[k + 1] = tmp;
+            }}
+        }}
+    }}
+    return sortbuf[64];
+}}
+
+// --- recursive quicksort ---
+fn quicksort(int lo, int hi) {{
+    if (lo >= hi) {{ return; }}
+    var pivot = sortbuf[(lo + hi) / 2];
+    var i = lo;
+    var k = hi;
+    while (i <= k) {{
+        while (sortbuf[i] < pivot) {{ i = i + 1; }}
+        while (sortbuf[k] > pivot) {{ k = k - 1; }}
+        if (i <= k) {{
+            var tmp = sortbuf[i];
+            sortbuf[i] = sortbuf[k];
+            sortbuf[k] = tmp;
+            i = i + 1;
+            k = k - 1;
+        }}
+    }}
+    quicksort(lo, k);
+    quicksort(i, hi);
+}}
+
+fn quick() -> int {{
+    for (i = 0; i < 256; i = i + 1) {{ sortbuf[i] = rnd() % 10000; }}
+    quicksort(0, 255);
+    return sortbuf[128];
+}}
+
+// --- sieve of Eratosthenes ---
+fn sieve() -> int {{
+    for (i = 0; i < 1024; i = i + 1) {{ flags[i] = 1; }}
+    var count = 0;
+    for (i = 2; i < 1024; i = i + 1) {{
+        if (flags[i] == 1) {{
+            count = count + 1;
+            var k = i + i;
+            while (k < 1024) {{
+                flags[k] = 0;
+                k = k + i;
+            }}
+        }}
+    }}
+    return count;
+}}
+
+fn main() -> int {{
+    var check = 0;
+    for (rep = 0; rep < {reps}; rep = rep + 1) {{
+        check = check + perm();
+        check = check + towers();
+        check = check + queens();
+        check = check + intmm();
+        check = check + bubble();
+        check = check + quick();
+        check = check + sieve();
+    }}
+    return check;
+}}
+"#,
+        reps = reps,
+    );
+    Workload {
+        name: "stan",
+        description: "Stanford collection: perm, towers, queens, intmm, bubble, quick, sieve (paper: Hennessy benchmarks)",
+        source,
+        fp_sensitive: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_checks() {
+        let w = stan(1);
+        let ast = supersym_lang::parse(&w.source).unwrap();
+        supersym_lang::check(&ast).unwrap();
+    }
+}

@@ -1,0 +1,201 @@
+//! `whet`: the Whetstone benchmark's module structure.
+//!
+//! Substitutes for the paper's Whetstones. The classic modules are kept
+//! (simple identifiers, array elements, conditional jumps, integer
+//! arithmetic, "trig" and "standard" function modules, procedure calls);
+//! the transcendental library functions are replaced by short polynomial
+//! approximations — our ISA, like the MultiTitan's FP units, has no
+//! transcendental hardware, and the paper's point is the *serial FP chains*
+//! these modules produce, which polynomials preserve.
+
+use crate::Workload;
+
+/// Builds the benchmark; `loops` scales every module's iteration count.
+#[must_use]
+pub fn whet(loops: usize) -> Workload {
+    let n1 = 40 * loops;
+    let n2 = 30 * loops;
+    let n4 = 80 * loops;
+    let n6 = 90 * loops;
+    let n7 = 30 * loops;
+    let n8 = 40 * loops;
+    let n10 = 60 * loops;
+    let n11 = 30 * loops;
+    let source = format!(
+        r#"
+// Whetstone modules with polynomial transcendentals.
+global fvar x1; global fvar x2; global fvar x3; global fvar x4;
+global fvar tt; global fvar t2;
+global farr e1[4];
+global var j;
+
+// Odd polynomial approximating sin on [-1, 1].
+fn psin(float a) -> float {{
+    fvar s = a * a;
+    return a * (1.0 - s * (0.16666 - s * (0.00833 - s * 0.000198)));
+}}
+
+// Even polynomial approximating cos on [-1, 1].
+fn pcos(float a) -> float {{
+    fvar s = a * a;
+    return 1.0 - s * (0.5 - s * (0.041666 - s * 0.001388));
+}}
+
+// Polynomial approximating atan on [-1, 1].
+fn patan(float a) -> float {{
+    fvar s = a * a;
+    return a * (1.0 - s * (0.33333 - s * (0.2 - s * 0.142857)));
+}}
+
+// exp(a) for a in [-1, 0]: truncated series.
+fn pexp(float a) -> float {{
+    return 1.0 + a * (1.0 + a * (0.5 + a * (0.16666 + a * 0.041666)));
+}}
+
+// log(1 + a) for a in [0, 1]: truncated series.
+fn plog(float a) -> float {{
+    return a * (1.0 - a * (0.5 - a * (0.33333 - a * 0.25)));
+}}
+
+fn psqrt(float a) -> float {{
+    // Three Newton steps from a decent seed.
+    fvar g = a * 0.5 + 0.35;
+    g = 0.5 * (g + a / g);
+    g = 0.5 * (g + a / g);
+    g = 0.5 * (g + a / g);
+    return g;
+}}
+
+// Module 8's procedure.
+fn p3(float px, float py) -> float {{
+    fvar xl = tt * (px + py);
+    fvar yl = tt * (xl + py);
+    return (xl + yl) / t2;
+}}
+
+// Module 1: simple identifiers.
+fn m1() {{
+    x1 = 1.0; x2 = -1.0; x3 = -1.0; x4 = -1.0;
+    for (i = 0; i < {n1}; i = i + 1) {{
+        x1 = (x1 + x2 + x3 - x4) * tt;
+        x2 = (x1 + x2 - x3 + x4) * tt;
+        x3 = (x1 - x2 + x3 + x4) * tt;
+        x4 = (0.0 - x1 + x2 + x3 + x4) * tt;
+    }}
+}}
+
+// Module 2: array elements.
+fn m2() {{
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 0; i < {n2}; i = i + 1) {{
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * tt;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * tt;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * tt;
+        e1[3] = (0.0 - e1[0] + e1[1] + e1[2] + e1[3]) * tt;
+    }}
+}}
+
+// Module 4: conditional jumps.
+fn m4() {{
+    j = 1;
+    for (i = 0; i < {n4}; i = i + 1) {{
+        if (j == 1) {{ j = 2; }} else {{ j = 3; }}
+        if (j > 2) {{ j = 0; }} else {{ j = 1; }}
+        if (j < 1) {{ j = 1; }} else {{ j = 0; }}
+    }}
+}}
+
+// Module 6: integer arithmetic.
+fn m6() -> int {{
+    var jj = 1;
+    var k = 2;
+    var l = 3;
+    for (i = 0; i < {n6}; i = i + 1) {{
+        jj = jj * (k - jj) * (l - k);
+        k = l * k - (l - jj) * k;
+        l = (l - k) * (k + jj);
+        e1[(l - 2) & 3] = itof(jj + k + l);
+        e1[(k - 2) & 3] = itof(jj * k * l);
+    }}
+    return jj + k + l;
+}}
+
+// Module 7: "trig" functions.
+fn m7() {{
+    x1 = 0.5; x2 = 0.5;
+    for (i = 0; i < {n7}; i = i + 1) {{
+        x1 = tt * patan(t2 * psin(x1) * pcos(x1) / (pcos(x1 + x2) + pcos(x1 - x2) + 1.0));
+        x2 = tt * patan(t2 * psin(x2) * pcos(x2) / (pcos(x1 + x2) + pcos(x1 - x2) + 1.0));
+    }}
+}}
+
+// Module 8: procedure calls.
+fn m8() {{
+    x1 = 1.0; x2 = 1.0; x3 = 1.0;
+    for (i = 0; i < {n8}; i = i + 1) {{
+        x3 = p3(x1, x2);
+    }}
+}}
+
+// Module 10: integer arithmetic.
+fn m10() -> int {{
+    var jj = 2;
+    var k = 3;
+    for (i = 0; i < {n10}; i = i + 1) {{
+        jj = jj + k;
+        k = jj + k;
+        jj = k - jj;
+        k = k - jj - jj;
+    }}
+    return jj + k;
+}}
+
+// Module 11: "standard" functions.
+fn m11() {{
+    x1 = 0.75;
+    for (i = 0; i < {n11}; i = i + 1) {{
+        x1 = psqrt(pexp(plog(x1) / t2));
+    }}
+}}
+
+fn main() -> int {{
+    tt = 0.499975;
+    t2 = 2.0;
+    var check = 0;
+    m1();
+    check = check + ftoi(x4 * 100000.0);
+    m2();
+    check = check + ftoi(e1[3] * 100000.0);
+    m4();
+    check = check + j;
+    check = check + m6();
+    m7();
+    check = check + ftoi(x2 * 100000.0);
+    m8();
+    check = check + ftoi(x3 * 100000.0);
+    check = check + m10();
+    m11();
+    check = check + ftoi(x1 * 100000.0);
+    return check;
+}}
+"#,
+    );
+    Workload {
+        name: "whet",
+        description: "Whetstone module mix with polynomial transcendentals (paper: Whetstones)",
+        source,
+        fp_sensitive: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_checks() {
+        let w = whet(1);
+        let ast = supersym_lang::parse(&w.source).unwrap();
+        supersym_lang::check(&ast).unwrap();
+    }
+}

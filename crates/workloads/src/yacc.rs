@@ -1,0 +1,215 @@
+//! `yacc`: a table-driven LR parser interpreter.
+//!
+//! Substitutes for the paper's run of the Unix parser generator. What
+//! dominates a yacc-built program's execution — and what gave the paper its
+//! lowest ILP figure (1.6) — is the LR automaton's interpreter loop:
+//! table-indexed fetches, a state stack, and unpredictable
+//! shift/reduce branches. This program embeds the canonical SLR(1) tables
+//! for the dragon-book expression grammar
+//! (`E -> E + T | T; T -> T * F | F; F -> ( E ) | id`) and parses a stream
+//! of generated expressions.
+
+use crate::Workload;
+
+/// Terminal codes: id 0, + 1, * 2, ( 3, ) 4, $ 5.
+/// ACTION encoding: 0 error, 100+s shift to s, 200+r reduce by rule r,
+/// 300 accept.
+const ACTION: [[i32; 6]; 12] = [
+    [105, 0, 0, 104, 0, 0],       // 0
+    [0, 106, 0, 0, 0, 300],       // 1
+    [0, 202, 107, 0, 202, 202],   // 2
+    [0, 204, 204, 0, 204, 204],   // 3
+    [105, 0, 0, 104, 0, 0],       // 4
+    [0, 206, 206, 0, 206, 206],   // 5
+    [105, 0, 0, 104, 0, 0],       // 6
+    [105, 0, 0, 104, 0, 0],       // 7
+    [0, 106, 0, 0, 111, 0],       // 8
+    [0, 201, 107, 0, 201, 201],   // 9
+    [0, 203, 203, 0, 203, 203],   // 10
+    [0, 205, 205, 0, 205, 205],   // 11
+];
+
+/// GOTO\[state\]\[nonterminal\]: E 0, T 1, F 2 (0 = none).
+const GOTO: [[i32; 3]; 12] = [
+    [1, 2, 3],
+    [0, 0, 0],
+    [0, 0, 0],
+    [0, 0, 0],
+    [8, 2, 3],
+    [0, 0, 0],
+    [0, 0, 0],
+    [0, 9, 3],
+    [0, 10, 0],
+    [0, 0, 0],
+    [0, 0, 0],
+    [0, 0, 0],
+];
+
+/// Rule metadata: (rhs length, lhs nonterminal index).
+const RULES: [(i32, i32); 7] = [
+    (0, 0),
+    (3, 0), // E -> E + T
+    (1, 0), // E -> T
+    (3, 1), // T -> T * F
+    (1, 1), // T -> F
+    (3, 2), // F -> ( E )
+    (1, 2), // F -> id
+];
+
+/// Builds the benchmark: `exprs` generated expressions are parsed.
+#[must_use]
+pub fn yacc(exprs: usize) -> Workload {
+    // Emit the table-initialization statements from the Rust constants.
+    let mut init = String::new();
+    for (s, row) in ACTION.iter().enumerate() {
+        for (t, &a) in row.iter().enumerate() {
+            if a != 0 {
+                init.push_str(&format!("    action[{}] = {};\n", s * 6 + t, a));
+            }
+        }
+    }
+    for (s, row) in GOTO.iter().enumerate() {
+        for (nt, &g) in row.iter().enumerate() {
+            if g != 0 {
+                init.push_str(&format!("    goto_tab[{}] = {};\n", s * 3 + nt, g));
+            }
+        }
+    }
+    for (r, &(len, lhs)) in RULES.iter().enumerate() {
+        init.push_str(&format!(
+            "    rule_len[{r}] = {len};\n    rule_lhs[{r}] = {lhs};\n"
+        ));
+    }
+
+    let toklen = exprs * 32 + 16;
+    let source = format!(
+        r#"
+// yacc: SLR(1) parser interpreter for E -> E + T | T; T -> T * F | F;
+// F -> ( E ) | id. Terminals: id 0, + 1, * 2, ( 3, ) 4, $ 5.
+global arr action[72];        // 12 states x 6 terminals
+global arr goto_tab[36];      // 12 states x 3 nonterminals
+global arr rule_len[7];
+global arr rule_lhs[7];
+global arr tokens[{toklen}];
+global var ntokens;
+global arr stack[256];        // state stack
+global var seed = 11;
+global var reduces; global var shifts; global var errors;
+
+fn rnd(int limit) -> int {{
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    return seed % limit;
+}}
+
+fn tables() {{
+{init}}}
+
+fn put(int t) {{
+    tokens[ntokens] = t;
+    ntokens = ntokens + 1;
+}}
+
+// Generates a valid expression: atom ((+|*) atom)*, atoms occasionally
+// parenthesized subexpressions.
+fn gen_atom(int depth) {{
+    var paren = 0;
+    if (depth > 0) {{
+        if (rnd(4) == 0) {{ paren = 1; }}
+    }}
+    if (paren == 1) {{
+        put(3);
+        gen_expr(depth - 1);
+        put(4);
+    }} else {{
+        put(0);
+    }}
+}}
+
+fn gen_expr(int depth) {{
+    gen_atom(depth);
+    var more = rnd(4);
+    for (i = 0; i < more; i = i + 1) {{
+        put(1 + rnd(2));
+        gen_atom(depth);
+    }}
+}}
+
+// The LR interpreter loop: parses tokens[from..] until accept; returns the
+// index just past the consumed input.
+fn parse(int from) -> int {{
+    var sp = 0;
+    stack[0] = 0;
+    var pos = from;
+    var running = 1;
+    while (running == 1) {{
+        var state = stack[sp];
+        var tok = tokens[pos];
+        var act = action[state * 6 + tok];
+        if (act >= 300) {{
+            running = 0;                 // accept
+        }} else {{
+            if (act >= 200) {{
+                var rule = act - 200;     // reduce
+                sp = sp - rule_len[rule];
+                var top = stack[sp];
+                stack[sp + 1] = goto_tab[top * 3 + rule_lhs[rule]];
+                sp = sp + 1;
+                reduces = reduces + 1;
+            }} else {{
+                if (act >= 100) {{
+                    sp = sp + 1;          // shift
+                    stack[sp] = act - 100;
+                    pos = pos + 1;
+                    shifts = shifts + 1;
+                }} else {{
+                    errors = errors + 1;  // skip bad token
+                    pos = pos + 1;
+                    running = 0;
+                }}
+            }}
+        }}
+    }}
+    return pos + 1;
+}}
+
+fn main() -> int {{
+    tables();
+    reduces = 0; shifts = 0; errors = 0;
+    var check = 0;
+    for (e = 0; e < {exprs}; e = e + 1) {{
+        ntokens = 0;
+        gen_expr(3);
+        put(5);                           // $
+        // Parse each stream several times: the automaton loop, not the
+        // stream generator, is what dominates a yacc-built parser.
+        for (t = 0; t < 4; t = t + 1) {{
+            var consumed = parse(0);
+            check = check + consumed;
+        }}
+    }}
+    return check * 1000 + reduces % 1000 + errors * 1000000;
+}}
+"#,
+        toklen = toklen,
+        init = init,
+        exprs = exprs,
+    );
+    Workload {
+        name: "yacc",
+        description: "SLR(1) parser interpreter over generated expressions (paper: the Unix parser generator)",
+        source,
+        fp_sensitive: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_checks() {
+        let w = yacc(3);
+        let ast = supersym_lang::parse(&w.source).unwrap();
+        supersym_lang::check(&ast).unwrap();
+    }
+}

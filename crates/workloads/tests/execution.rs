@@ -1,0 +1,143 @@
+//! End-to-end execution of the benchmark suite: every workload must run to
+//! completion, produce a deterministic checksum, and produce the *same*
+//! checksum at every optimization level and on every machine (optimizations
+//! are semantics-preserving; machines differ only in timing).
+
+use supersym::{compile, CompileOptions, OptLevel};
+use supersym::machine::presets;
+use supersym::opt::UnrollOptions;
+use supersym_sim::{ExecOptions, Executor};
+use supersym_workloads::{suite, Size};
+
+fn checksum(program: &supersym_isa::Program) -> i64 {
+    let mut exec = Executor::new(program, ExecOptions::default()).expect("program valid");
+    exec.run().expect("runs to completion");
+    exec.int_reg(supersym_isa::IntReg::new(1).unwrap())
+}
+
+#[test]
+fn all_workloads_run_and_agree_across_opt_levels() {
+    let machine = presets::multititan();
+    for workload in suite(Size::Small) {
+        let reference = checksum(
+            &compile(&workload.source, &CompileOptions::new(OptLevel::O0, &machine))
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", workload.name)),
+        );
+        for level in OptLevel::ALL {
+            let program =
+                compile(&workload.source, &CompileOptions::new(level, &machine)).unwrap();
+            let result = checksum(&program);
+            assert_eq!(
+                result, reference,
+                "{} at {level} diverged from O0",
+                workload.name
+            );
+        }
+    }
+}
+
+#[test]
+fn machines_do_not_change_semantics() {
+    let compile_machine = presets::multititan();
+    for workload in suite(Size::Small) {
+        let program = compile(
+            &workload.source,
+            &CompileOptions::new(OptLevel::O4, &compile_machine),
+        )
+        .unwrap();
+        let reference = checksum(&program);
+        // Scheduling FOR a different machine must not change results either.
+        for machine in [
+            presets::base(),
+            presets::ideal_superscalar(8),
+            presets::superpipelined(4),
+            presets::cray1(),
+        ] {
+            let program =
+                compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
+            assert_eq!(
+                checksum(&program),
+                reference,
+                "{} scheduled for {} diverged",
+                workload.name,
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_unrolling_preserves_semantics_exactly() {
+    // Naive unrolling never reassociates: results must match exactly,
+    // including for FP workloads.
+    let machine = presets::multititan();
+    for workload in suite(Size::Small) {
+        let reference = checksum(
+            &compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap(),
+        );
+        for factor in [2, 4] {
+            let options = CompileOptions::new(OptLevel::O4, &machine)
+                .with_unroll(UnrollOptions::naive(factor));
+            let result = checksum(&compile(&workload.source, &options).unwrap());
+            assert_eq!(
+                result, reference,
+                "{} naively unrolled x{factor} diverged",
+                workload.name
+            );
+        }
+    }
+}
+
+#[test]
+fn careful_unrolling_preserves_semantics_within_fp_tolerance() {
+    let machine = presets::multititan();
+    for workload in suite(Size::Small) {
+        let reference = checksum(
+            &compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap(),
+        );
+        for factor in [2, 4, 10] {
+            let options = CompileOptions::new(OptLevel::O4, &machine)
+                .with_unroll(UnrollOptions::careful(factor));
+            let result = checksum(&compile(&workload.source, &options).unwrap());
+            if workload.fp_sensitive {
+                // Checksums are scaled sums; reassociation may change the
+                // last few digits.
+                let tolerance = (reference.abs() / 1000).max(50);
+                assert!(
+                    (result - reference).abs() <= tolerance,
+                    "{} carefully unrolled x{factor}: {result} vs {reference}",
+                    workload.name
+                );
+            } else {
+                assert_eq!(
+                    result, reference,
+                    "{} carefully unrolled x{factor} diverged",
+                    workload.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workload_dynamic_sizes_reasonable() {
+    let machine = presets::base();
+    for workload in suite(Size::Small) {
+        let program =
+            compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
+        let mut exec = Executor::new(&program, ExecOptions::default()).unwrap();
+        exec.run().unwrap();
+        let steps = exec.steps();
+        assert!(
+            steps > 5_000,
+            "{} too small to be meaningful: {steps} instructions",
+            workload.name
+        );
+        assert!(
+            steps < 20_000_000,
+            "{} too large for the small size: {steps} instructions",
+            workload.name
+        );
+        println!("{:10} {:>10} dynamic instructions", workload.name, steps);
+    }
+}

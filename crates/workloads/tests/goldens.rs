@@ -1,0 +1,63 @@
+//! Golden checksums: the benchmark suite's results are part of its
+//! contract. Any change to a workload source, the compiler, or the
+//! executor that alters these values is a semantic change and must be
+//! deliberate.
+
+use supersym::machine::presets;
+use supersym::sim::{ExecOptions, Executor};
+use supersym::{compile, CompileOptions, OptLevel};
+use supersym_workloads::{suite, Size};
+
+fn checksum(source: &str) -> i64 {
+    let machine = presets::base();
+    let program = compile(source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
+    let mut exec = Executor::new(&program, ExecOptions::default()).unwrap();
+    exec.run().unwrap();
+    exec.int_reg(supersym_isa::IntReg::new(1).unwrap())
+}
+
+const SMALL_GOLDENS: [(&str, i64); 8] = [
+    ("ccom", 13_514_383),
+    ("grr", 4_004_600),
+    ("linpack", 891),
+    ("livermore", 1_369),
+    ("met", 134_024),
+    ("stan", 7_685),
+    ("whet", -10_584),
+    ("yacc", 160_828_656),
+];
+
+const STANDARD_GOLDENS: [(&str, i64); 8] = [
+    ("ccom", 106_644_460),
+    ("grr", 6_010_906),
+    ("linpack", 1_044),
+    ("livermore", 10_362),
+    ("met", 1_175_210),
+    ("stan", 15_947),
+    ("whet", -5_196),
+    ("yacc", 1_608_028_416),
+];
+
+#[test]
+fn small_suite_checksums() {
+    for (workload, (name, expected)) in suite(Size::Small).iter().zip(SMALL_GOLDENS) {
+        assert_eq!(workload.name, name, "suite order changed");
+        assert_eq!(
+            checksum(&workload.source),
+            expected,
+            "{name} checksum drifted"
+        );
+    }
+}
+
+#[test]
+fn standard_suite_checksums() {
+    for (workload, (name, expected)) in suite(Size::Standard).iter().zip(STANDARD_GOLDENS) {
+        assert_eq!(workload.name, name, "suite order changed");
+        assert_eq!(
+            checksum(&workload.source),
+            expected,
+            "{name} checksum drifted"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! The ablations the paper leaves to future work: class conflicts
+//! (§2.3.2), the perfect-branch-prediction assumption (§2.1), and a
+//! measured companion to the Figure 4-3 utilization grid.
+//!
+//! ```text
+//! cargo run --release -p supersym --example ablations
+//! ```
+
+use supersym::experiments;
+use supersym::workloads::Size;
+
+fn main() {
+    let size = Size::Small;
+    println!("{}", experiments::ablation_class_conflicts(size));
+    println!("{}", experiments::ablation_branch_prediction(size));
+    println!("{}", experiments::grid_measurement(size));
+    println!("{}", experiments::unrolling_icache(size));
+}

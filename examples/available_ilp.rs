@@ -1,0 +1,12 @@
+//! Prints the headline available-parallelism table and key figures.
+
+use supersym::experiments;
+use supersym::workloads::Size;
+
+fn main() {
+    let size = Size::Small;
+    println!("{}", experiments::headline(size));
+    println!("{}", experiments::fig4_1(size));
+    println!("{}", experiments::fig4_5(size));
+    println!("{}", experiments::fig4_8(size));
+}

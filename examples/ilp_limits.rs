@@ -1,0 +1,15 @@
+//! The ILP limit study: our in-order measurements beside the two oracle
+//! regimes of the limit literature the paper builds on (Tjaden & Flynn
+//! 1970; Riseman & Foster 1972).
+//!
+//! ```text
+//! cargo run --release -p supersym --example ilp_limits
+//! ```
+
+use supersym::experiments;
+use supersym::workloads::Size;
+
+fn main() {
+    println!("{}", experiments::limit_study(Size::Small));
+    println!("{}", experiments::complexity_tax(Size::Small));
+}

@@ -1,0 +1,65 @@
+//! Quickstart: compile a Tital program, run it on several machines, and
+//! compare cycle counts.
+//!
+//! ```text
+//! cargo run --release -p supersym --example quickstart
+//! ```
+
+use supersym::machine::presets;
+use supersym::sim::{simulate, SimOptions};
+use supersym::{compile, CompileOptions, OptLevel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small program in Tital, the benchmark language: dot product plus a
+    // branchy scan.
+    let source = "
+        global farr x[256];
+        global farr y[256];
+        global var bigcount;
+
+        fn main() -> int {
+            for (i = 0; i < 256; i = i + 1) {
+                x[i] = itof(i) * 0.5;
+                y[i] = itof(256 - i);
+            }
+            fvar dot = 0.0;
+            for (i = 0; i < 256; i = i + 1) {
+                dot = dot + x[i] * y[i];
+            }
+            bigcount = 0;
+            for (i = 0; i < 256; i = i + 1) {
+                if (x[i] * y[i] > 4000.0) { bigcount = bigcount + 1; }
+            }
+            return ftoi(dot) + bigcount;
+        }";
+
+    println!("{:22} {:>12} {:>12} {:>8} {:>9}", "machine", "instructions", "base cycles", "IPC", "speedup");
+    let base = {
+        let machine = presets::base();
+        let program = compile(source, &CompileOptions::new(OptLevel::O4, &machine))?;
+        simulate(&program, &machine, SimOptions::default())?
+    };
+    for machine in [
+        presets::base(),
+        presets::multititan(),
+        presets::cray1(),
+        presets::ideal_superscalar(2),
+        presets::ideal_superscalar(4),
+        presets::superpipelined(4),
+        presets::superscalar_with_class_conflicts(4),
+    ] {
+        // The compiler schedules code for the machine it will run on, just
+        // as the paper's system did.
+        let program = compile(source, &CompileOptions::new(OptLevel::O4, &machine))?;
+        let report = simulate(&program, &machine, SimOptions::default())?;
+        println!(
+            "{:22} {:>12} {:>12.0} {:>8.2} {:>8.2}x",
+            machine.name(),
+            report.instructions(),
+            report.base_cycles(),
+            report.available_parallelism(),
+            report.speedup_over(&base),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p supersym --example reproduce_all           # standard size
+//! cargo run --release -p supersym --example reproduce_all -- small  # quick pass
+//! ```
+
+use supersym::experiments as exp;
+use supersym::workloads::Size;
+
+fn main() {
+    let size = if std::env::args().any(|a| a == "small") {
+        Size::Small
+    } else {
+        Size::Standard
+    };
+    println!("==========================================================");
+    println!(" supersym: reproduction of Jouppi & Wall, ASPLOS 1989");
+    println!(" workload size: {size:?}");
+    println!("==========================================================\n");
+    println!("{}", exp::fig1_1());
+    println!("{}", exp::fig2_diagrams());
+    println!("{}", exp::table2_1(size));
+    println!("{}", exp::fig4_1(size));
+    println!("{}", exp::fig4_2());
+    println!("{}", exp::fig4_3());
+    println!("{}", exp::fig4_4(size));
+    println!("{}", exp::fig4_5(size));
+    println!("{}", exp::fig4_6(size));
+    println!("{}", exp::fig4_7());
+    println!("{}", exp::fig4_8(size));
+    println!("{}", exp::table5_1(size));
+    println!("{}", exp::sec5_1());
+    println!("{}", exp::headline(size));
+    println!("{}", exp::ablation_class_conflicts(size));
+    println!("{}", exp::ablation_branch_prediction(size));
+    println!("{}", exp::grid_measurement(size));
+    println!("{}", exp::unrolling_icache(size));
+    println!("{}", exp::vector_equivalence());
+    println!("{}", exp::complexity_tax(size));
+    println!("{}", exp::limit_study(size));
+}

@@ -1,0 +1,17 @@
+//! The Section 2 machine taxonomy, drawn live from the timing model:
+//! base, underpipelined, superscalar, VLIW, superpipelined, superpipelined
+//! superscalar, and vector execution (Figures 2-1 through 2-8), plus the
+//! Figure 4-2 startup-transient comparison and the Figure 4-3 utilization
+//! grid.
+//!
+//! ```text
+//! cargo run --release -p supersym --example taxonomy
+//! ```
+
+use supersym::experiments;
+
+fn main() {
+    println!("{}", experiments::fig2_diagrams());
+    println!("{}", experiments::fig4_2());
+    println!("{}", experiments::fig4_3());
+}

@@ -1,0 +1,178 @@
+//! Shape tests: the qualitative claims of the paper, asserted against our
+//! measurements (small workload sizes; the full-size numbers live in
+//! EXPERIMENTS.md and regenerate via `cargo bench --bench paper`).
+
+use supersym::experiments::run_workload;
+use supersym::machine::presets;
+use supersym::opt::UnrollOptions;
+use supersym::workloads::{ccom, linpack, livermore, suite, yacc, Size};
+use supersym::OptLevel;
+
+/// §2.7 + Figure 4-1: a superscalar and superpipelined machine of equal
+/// degree have basically the same performance, with the superscalar ahead
+/// by a startup transient.
+#[test]
+fn supersymmetry_on_one_benchmark() {
+    let workload = ccom(6);
+    let base = run_workload(&workload, OptLevel::O4, &presets::base(), None, None);
+    let mut last_ss = 0.0;
+    for degree in [2, 4, 8] {
+        let ss = run_workload(
+            &workload,
+            OptLevel::O4,
+            &presets::ideal_superscalar(degree),
+            None,
+            None,
+        )
+        .speedup_over(&base);
+        let sp = run_workload(
+            &workload,
+            OptLevel::O4,
+            &presets::superpipelined(degree),
+            None,
+            None,
+        )
+        .speedup_over(&base);
+        assert!(ss >= sp, "superpipelined beat superscalar at degree {degree}");
+        assert!(
+            sp >= ss * 0.80,
+            "superpipelined too far behind at degree {degree}: {sp} vs {ss}"
+        );
+        assert!(ss >= last_ss, "speedup not monotone in degree");
+        last_ss = ss;
+    }
+}
+
+/// §4.2 + Figure 4-4: with actual latencies the CRAY-1 benefits very
+/// little from parallel issue; with unit latencies the (misleading)
+/// benefit is large.
+#[test]
+fn cray1_benefits_little_from_multi_issue() {
+    let workload = yacc(20);
+    let cray = presets::cray1();
+    let unit = cray.with_unit_latencies();
+    let real_1 = run_workload(&workload, OptLevel::O4, &cray.with_issue_width(1), None, None);
+    let real_4 = run_workload(&workload, OptLevel::O4, &cray.with_issue_width(4), None, None);
+    let unit_1 = run_workload(&workload, OptLevel::O4, &unit.with_issue_width(1), None, None);
+    let unit_4 = run_workload(&workload, OptLevel::O4, &unit.with_issue_width(4), None, None);
+    let real_gain = real_4.speedup_over(&real_1) - 1.0;
+    let unit_gain = unit_4.speedup_over(&unit_1) - 1.0;
+    assert!(
+        unit_gain > 3.0 * real_gain,
+        "unit-latency gain {unit_gain:.2} should dwarf real gain {real_gain:.2}"
+    );
+    assert!(real_gain < 0.30, "real CRAY-1 gain too large: {real_gain:.2}");
+}
+
+/// §4.3 + Figure 4-5: the available parallelism of every benchmark sits in
+/// a narrow band around two ("the ceiling is still quite low").
+#[test]
+fn ilp_ceiling_is_low() {
+    let machine = presets::ideal_superscalar(8);
+    for workload in suite(Size::Small) {
+        let report = run_workload(&workload, OptLevel::O4, &machine, None, None);
+        let ilp = report.available_parallelism();
+        assert!(
+            (1.3..4.0).contains(&ilp),
+            "{} parallelism {ilp:.2} outside the expected band",
+            workload.name
+        );
+    }
+}
+
+/// §4.4 + Figure 4-6: careful unrolling beats naive unrolling on numeric
+/// code, and the gap grows with the unroll factor.
+#[test]
+fn careful_unrolling_beats_naive() {
+    let machine = presets::ideal_superscalar(8);
+    for workload in [linpack(16), livermore(40, 1)] {
+        let naive = run_workload(
+            &workload,
+            OptLevel::O4,
+            &machine,
+            Some(UnrollOptions::naive(4)),
+            None,
+        )
+        .available_parallelism();
+        let careful = run_workload(
+            &workload,
+            OptLevel::O4,
+            &machine,
+            Some(UnrollOptions::careful(4)),
+            None,
+        )
+        .available_parallelism();
+        assert!(
+            careful > naive * 0.98,
+            "{}: careful {careful:.2} vs naive {naive:.2}",
+            workload.name
+        );
+    }
+}
+
+/// §4.4 + Figure 4-8: pipeline scheduling reliably increases available
+/// parallelism; classical optimization changes it much less.
+#[test]
+fn scheduling_is_the_reliable_lever() {
+    let machine = presets::ideal_superscalar(8);
+    for workload in [ccom(6), yacc(20), livermore(40, 1)] {
+        let none = run_workload(&workload, OptLevel::O0, &machine, None, None)
+            .available_parallelism();
+        let sched = run_workload(&workload, OptLevel::O1, &machine, None, None)
+            .available_parallelism();
+        assert!(
+            sched >= none * 1.05,
+            "{}: scheduling gained only {none:.2} -> {sched:.2}",
+            workload.name
+        );
+    }
+}
+
+/// §6: "many machines already exploit most of the parallelism available in
+/// non-numeric code" — on the MultiTitan (average degree of
+/// superpipelining 1.7), adding issue width gains little on ccom.
+#[test]
+fn multititan_near_parallelism_limit_on_nonnumeric_code() {
+    let workload = ccom(6);
+    let single = presets::multititan();
+    let dual = single.with_issue_width(2);
+    let single_report = run_workload(&workload, OptLevel::O4, &single, None, None);
+    let dual_report = run_workload(&workload, OptLevel::O4, &dual, None, None);
+    let gain = dual_report.speedup_over(&single_report) - 1.0;
+    assert!(
+        gain < 0.45,
+        "dual-issue MultiTitan gained {gain:.2}, more than the latency argument allows"
+    );
+}
+
+/// §4.2's opening claim, via the oracle limit analyzer: with conditional
+/// branches as barriers (the [14, 15] regime) non-numeric code shows about
+/// two instructions of parallelism, and perfect speculation exposes an
+/// order of magnitude more.
+#[test]
+fn limit_study_matches_cited_literature() {
+    use supersym::experiments::limit_study;
+    use supersym::workloads::Size;
+    let study = limit_study(Size::Small);
+    for (name, _, barriers, speculative) in &study.rows {
+        assert!(
+            (1.2..6.0).contains(barriers),
+            "{name}: branch-barrier limit {barriers:.2} outside the literature's band"
+        );
+        // whet's serial polynomial chains keep even the speculative limit
+        // low; everywhere else the gap is large.
+        assert!(
+            *speculative > 1.8 * barriers,
+            "{name}: speculation ({speculative:.1}) should dwarf barriers ({barriers:.2})"
+        );
+    }
+    // Non-numeric codes sit around two.
+    let nonnumeric: Vec<f64> = study
+        .rows
+        .iter()
+        .filter(|(name, ..)| ["ccom", "yacc", "stan", "grr", "met"].contains(&name.as_str()))
+        .map(|&(_, _, barriers, _)| barriers)
+        .collect();
+    let mean = nonnumeric.iter().sum::<f64>() / nonnumeric.len() as f64;
+    assert!((1.4..2.8).contains(&mean), "non-numeric mean {mean:.2}");
+}

@@ -1,0 +1,629 @@
+//! Property-based tests: randomly generated Tital programs must behave
+//! identically at every optimization level, under unrolling, and on every
+//! machine; and the timing model must satisfy its structural invariants on
+//! arbitrary instruction streams.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use supersym::lang::ast::{BinOp, Block, Expr, FnDecl, GlobalDecl, GlobalKind, Module, Stmt, Ty};
+use supersym::machine::presets;
+use supersym::opt::UnrollOptions;
+use supersym::sim::{ExecOptions, Executor, SimOptions};
+use supersym::{compile_ast, CompileOptions, OptLevel};
+
+// ---------------------------------------------------------------------------
+// Random-program generator
+// ---------------------------------------------------------------------------
+
+/// Generates a random — but always well-defined — Tital program. Array
+/// indices are masked into range, integer division/remainder and shifts
+/// are total by language definition, and only integer arithmetic feeds the
+/// checksum, so every generated program has one deterministic result at
+/// every optimization level.
+struct Gen {
+    rng: StdRng,
+    /// Integer scalar variables in scope (globals g0..g3).
+    depth_budget: u32,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            depth_budget: 300,
+        }
+    }
+
+    fn var(&mut self) -> String {
+        format!("g{}", self.rng.random_range(0..4_u32))
+    }
+
+    fn arr(&mut self) -> String {
+        if self.rng.random_bool(0.5) {
+            "a".to_string()
+        } else {
+            "b".to_string()
+        }
+    }
+
+    fn expr(&mut self, depth: u32) -> Expr {
+        self.depth_budget = self.depth_budget.saturating_sub(1);
+        if depth == 0 || self.depth_budget == 0 {
+            return match self.rng.random_range(0..3) {
+                0 => Expr::IntLit(self.rng.random_range(-30..30)),
+                1 => Expr::Var(self.var()),
+                _ => Expr::Elem {
+                    arr: self.arr(),
+                    index: Box::new(self.masked_index(0)),
+                },
+            };
+        }
+        match self.rng.random_range(0..8) {
+            0 => Expr::IntLit(self.rng.random_range(-100..100)),
+            1 => Expr::Var(self.var()),
+            2 => Expr::Elem {
+                arr: self.arr(),
+                index: Box::new(self.masked_index(depth - 1)),
+            },
+            _ => {
+                let op = *[
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Rem,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Lt,
+                    BinOp::Eq,
+                ]
+                .get(self.rng.random_range(0..10))
+                .unwrap();
+                Expr::binary(op, self.expr(depth - 1), self.expr(depth - 1))
+            }
+        }
+    }
+
+    /// An index expression guaranteed to land in `0..16`.
+    fn masked_index(&mut self, depth: u32) -> Expr {
+        Expr::binary(BinOp::And, self.expr(depth), Expr::IntLit(15))
+    }
+
+    fn stmt(&mut self, depth: u32) -> Stmt {
+        self.depth_budget = self.depth_budget.saturating_sub(1);
+        let choice = if depth == 0 || self.depth_budget == 0 {
+            self.rng.random_range(0..2)
+        } else {
+            self.rng.random_range(0..5)
+        };
+        match choice {
+            0 => Stmt::Assign {
+                name: self.var(),
+                value: self.expr(2),
+            },
+            1 => Stmt::AssignElem {
+                arr: self.arr(),
+                index: self.masked_index(1),
+                value: self.expr(2),
+            },
+            2 => Stmt::If {
+                cond: self.expr(2),
+                then_blk: self.block(depth - 1),
+                else_blk: if self.rng.random_bool(0.5) {
+                    Some(self.block(depth - 1))
+                } else {
+                    None
+                },
+            },
+            3 => {
+                // A counted loop in canonical form so the unroller sees it.
+                let trips = self.rng.random_range(1..9_i64);
+                let var = format!("i{}", self.rng.random_range(0..100_u32));
+                Stmt::For {
+                    cond: Expr::binary(BinOp::Lt, Expr::Var(var.clone()), Expr::IntLit(trips)),
+                    var,
+                    init: Expr::IntLit(0),
+                    step: 1,
+                    body: self.block(depth - 1),
+                }
+            }
+            _ => Stmt::Assign {
+                name: self.var(),
+                value: self.expr(3),
+            },
+        }
+    }
+
+    fn block(&mut self, depth: u32) -> Block {
+        let n = self.rng.random_range(1..4);
+        Block {
+            stmts: (0..n).map(|_| self.stmt(depth)).collect(),
+        }
+    }
+
+    fn module(&mut self) -> Module {
+        let mut body = self.block(3);
+        // Checksum over everything observable.
+        let mut sum = Expr::Var("g0".into());
+        for name in ["g1", "g2", "g3"] {
+            sum = Expr::binary(BinOp::Add, sum, Expr::Var(name.into()));
+        }
+        for arr in ["a", "b"] {
+            for k in 0..16 {
+                sum = Expr::binary(
+                    BinOp::Add,
+                    sum,
+                    Expr::binary(
+                        BinOp::Mul,
+                        Expr::Elem {
+                            arr: arr.into(),
+                            index: Box::new(Expr::IntLit(k)),
+                        },
+                        Expr::IntLit(k + 1),
+                    ),
+                );
+            }
+        }
+        body.stmts.push(Stmt::Return(Some(sum)));
+        Module {
+            globals: vec![
+                GlobalDecl {
+                    name: "a".into(),
+                    ty: Ty::Int,
+                    kind: GlobalKind::Array { len: 16 },
+                },
+                GlobalDecl {
+                    name: "b".into(),
+                    ty: Ty::Int,
+                    kind: GlobalKind::Array { len: 16 },
+                },
+                GlobalDecl {
+                    name: "g0".into(),
+                    ty: Ty::Int,
+                    kind: GlobalKind::Scalar { init: Some(3.0) },
+                },
+                GlobalDecl {
+                    name: "g1".into(),
+                    ty: Ty::Int,
+                    kind: GlobalKind::Scalar { init: Some(-7.0) },
+                },
+                GlobalDecl {
+                    name: "g2".into(),
+                    ty: Ty::Int,
+                    kind: GlobalKind::Scalar { init: None },
+                },
+                GlobalDecl {
+                    name: "g3".into(),
+                    ty: Ty::Int,
+                    kind: GlobalKind::Scalar { init: Some(1.0) },
+                },
+            ],
+            funcs: vec![FnDecl {
+                name: "main".into(),
+                params: vec![],
+                ret: Some(Ty::Int),
+                body,
+            }],
+        }
+    }
+}
+
+fn run(ast: Module, options: &CompileOptions) -> i64 {
+    let program = compile_ast(ast, options).expect("generated programs compile");
+    program.validate().expect("generated programs are valid");
+    let mut exec = Executor::new(
+        &program,
+        ExecOptions {
+            max_steps: 5_000_000,
+            ..ExecOptions::default()
+        },
+    )
+    .expect("program loads");
+    exec.run().expect("generated programs terminate");
+    exec.int_reg(supersym::isa::IntReg::new(1).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Optimization levels never change results.
+    #[test]
+    fn opt_levels_preserve_semantics(seed in any::<u64>()) {
+        let ast = Gen::new(seed).module();
+        supersym::lang::check(&ast).expect("generated programs type check");
+        let machine = presets::multititan();
+        let reference = run(ast.clone(), &CompileOptions::new(OptLevel::O0, &machine));
+        for level in OptLevel::ALL {
+            let result = run(ast.clone(), &CompileOptions::new(level, &machine));
+            prop_assert_eq!(result, reference, "level {} diverged", level);
+        }
+    }
+
+    /// Scheduling for any machine never changes results.
+    #[test]
+    fn machines_preserve_semantics(seed in any::<u64>()) {
+        let ast = Gen::new(seed).module();
+        supersym::lang::check(&ast).expect("generated programs type check");
+        let reference = run(
+            ast.clone(),
+            &CompileOptions::new(OptLevel::O4, &presets::base()),
+        );
+        for machine in [
+            presets::cray1(),
+            presets::ideal_superscalar(8),
+            presets::superpipelined(4),
+            presets::superscalar_with_class_conflicts(2),
+        ] {
+            let result = run(ast.clone(), &CompileOptions::new(OptLevel::O4, &machine));
+            prop_assert_eq!(result, reference, "machine {} diverged", machine.name());
+        }
+    }
+
+    /// Loop unrolling (both flavors, several factors) never changes the
+    /// results of integer programs.
+    #[test]
+    fn unrolling_preserves_semantics(seed in any::<u64>()) {
+        let ast = Gen::new(seed).module();
+        supersym::lang::check(&ast).expect("generated programs type check");
+        let machine = presets::multititan();
+        let reference = run(ast.clone(), &CompileOptions::new(OptLevel::O4, &machine));
+        for unroll in [
+            UnrollOptions::naive(2),
+            UnrollOptions::naive(5),
+            UnrollOptions::careful(2),
+            UnrollOptions::careful(5),
+        ] {
+            let options = CompileOptions::new(OptLevel::O4, &machine).with_unroll(unroll);
+            let result = run(ast.clone(), &options);
+            prop_assert_eq!(result, reference, "{:?} diverged", unroll);
+        }
+    }
+
+    /// Timing-model invariants on arbitrary instruction streams: issue
+    /// times never decrease, completions respect latencies, and no cycle
+    /// issues more than the machine width.
+    #[test]
+    fn timing_model_invariants(
+        seed in any::<u64>(),
+        width in 1u32..6,
+        degree in 1u32..5,
+    ) {
+        use supersym::sim::{ControlEvent, StepInfo, TimingModel};
+        use supersym::isa::{FpReg, InstrClass, IntReg, Reg};
+        let machine = presets::superpipelined_superscalar(width, degree);
+        let mut timing = TimingModel::new(&machine, 64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut last_issue = 0_u64;
+        let mut issued_at: std::collections::HashMap<u64, u32> = Default::default();
+        for pc in 0..200_usize {
+            let class = InstrClass::ALL[rng.random_range(0..supersym::isa::NUM_CLASSES)];
+            let def = if class.is_memory() || class.is_control() {
+                None
+            } else if class.index() >= InstrClass::FpAdd.index() {
+                Some(Reg::Fp(FpReg::new_unchecked(rng.random_range(1..16))))
+            } else {
+                Some(Reg::Int(IntReg::new_unchecked(rng.random_range(1..16))))
+            };
+            let mem = class.is_memory().then(|| (rng.random_range(0..64_usize), class == InstrClass::Store));
+            let control = if class == InstrClass::Branch {
+                ControlEvent::Branch { taken: rng.random_bool(0.5) }
+            } else {
+                ControlEvent::None
+            };
+            let info = StepInfo {
+                func: supersym::isa::FuncId::new(0),
+                pc,
+                class,
+                uses: Default::default(),
+                def,
+                mem,
+                vlen: 0,
+                control,
+            };
+            let record = timing.issue(&info);
+            prop_assert!(record.issue >= last_issue, "issue went backwards");
+            prop_assert!(
+                record.complete >= record.issue + u64::from(machine.latency(class)),
+                "completion violates latency"
+            );
+            let count = issued_at.entry(record.issue).or_insert(0);
+            *count += 1;
+            prop_assert!(*count <= width, "cycle {} over width", record.issue);
+            last_issue = record.issue;
+        }
+        prop_assert_eq!(timing.instructions(), 200);
+    }
+
+    /// The cache never reports more misses than accesses, and a repeated
+    /// access pattern has a lower miss rate than its first pass.
+    #[test]
+    fn cache_invariants(seed in any::<u64>(), ways in 1usize..4) {
+        use supersym::sim::{Cache, CacheConfig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cache = Cache::new(CacheConfig {
+            lines: 16 * ways,
+            words_per_line: 4,
+            associativity: ways,
+        });
+        let pattern: Vec<u64> = (0..256).map(|_| rng.random_range(0..4096)).collect();
+        for &addr in &pattern {
+            cache.access(addr);
+        }
+        let first = cache.stats();
+        prop_assert!(first.misses <= first.accesses);
+        for &addr in &pattern {
+            cache.access(addr);
+        }
+        let second = cache.stats();
+        let second_pass_misses = second.misses - first.misses;
+        prop_assert!(second_pass_misses <= first.misses);
+    }
+
+    /// Printing an AST and re-parsing it yields a semantically identical
+    /// program (the printer is a fixed point of print-parse-print), even
+    /// after the loop unroller has rewritten the tree.
+    #[test]
+    fn print_parse_roundtrip(seed in any::<u64>()) {
+        let ast = Gen::new(seed).module();
+        let printed = supersym::lang::print_module(&ast);
+        let reparsed = supersym::lang::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}
+{printed}"));
+        let reprinted = supersym::lang::print_module(&reparsed);
+        prop_assert_eq!(&printed, &reprinted);
+        // And the reparsed tree runs to the same checksum.
+        supersym::lang::check(&reparsed).expect("printed programs type check");
+        let machine = presets::base();
+        let a = run(ast, &CompileOptions::new(OptLevel::O2, &machine));
+        let b = run(reparsed, &CompileOptions::new(OptLevel::O2, &machine));
+        prop_assert_eq!(a, b);
+        // Unrolled trees print and reparse too.
+        let mut unrolled = Gen::new(seed).module();
+        supersym::opt::unroll_loops(&mut unrolled, UnrollOptions::careful(3));
+        let printed = supersym::lang::print_module(&unrolled);
+        supersym::lang::parse(&printed)
+            .unwrap_or_else(|e| panic!("unrolled program failed to parse: {e}
+{printed}"));
+    }
+
+    /// Simulating the same program twice is deterministic.
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>()) {
+        let ast = Gen::new(seed).module();
+        supersym::lang::check(&ast).expect("generated programs type check");
+        let machine = presets::cray1();
+        let program = compile_ast(ast, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
+        let a = supersym::sim::simulate(&program, &machine, SimOptions::default()).unwrap();
+        let b = supersym::sim::simulate(&program, &machine, SimOptions::default()).unwrap();
+        prop_assert_eq!(a.machine_cycles(), b.machine_cycles());
+        prop_assert_eq!(a.instructions(), b.instructions());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IR-level and assembly-level properties
+// ---------------------------------------------------------------------------
+
+/// Builds a random single-block IR function over scalars, an array and
+/// straight-line arithmetic (every operation total, indices masked), plus
+/// the module around it.
+fn random_ir_module(seed: u64) -> supersym::ir::Module {
+    use supersym::ir::{
+        Block, Function, GlobalId, GlobalInfo, GlobalKind, Inst, IntBinOp, Module, Terminator,
+        VReg, VarRef,
+    };
+    use supersym::lang::ast::Ty;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut func = Function {
+        name: "main".into(),
+        vars: Vec::new(),
+        ret: Some(Ty::Int),
+        blocks: Vec::new(),
+        vreg_tys: Vec::new(),
+    };
+    for k in 0..4 {
+        func.new_local(format!("l{k}"), Ty::Int);
+    }
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut defined: Vec<VReg> = Vec::new();
+    // Seed a few constants.
+    for _ in 0..4 {
+        let dst = func.new_vreg(Ty::Int);
+        insts.push(Inst::ConstInt {
+            dst,
+            value: rng.random_range(-50..50),
+        });
+        defined.push(dst);
+    }
+    let n = rng.random_range(10..60);
+    for _ in 0..n {
+        match rng.random_range(0..10) {
+            0 => {
+                let dst = func.new_vreg(Ty::Int);
+                insts.push(Inst::ConstInt {
+                    dst,
+                    value: rng.random_range(-100..100),
+                });
+                defined.push(dst);
+            }
+            1 | 2 => {
+                let dst = func.new_vreg(Ty::Int);
+                let var = if rng.random_bool(0.5) {
+                    VarRef::Local(supersym::ir::LocalId(rng.random_range(0..4)))
+                } else {
+                    VarRef::Global(GlobalId(rng.random_range(0..2)))
+                };
+                insts.push(Inst::ReadVar { dst, var });
+                defined.push(dst);
+            }
+            3 => {
+                let var = if rng.random_bool(0.5) {
+                    VarRef::Local(supersym::ir::LocalId(rng.random_range(0..4)))
+                } else {
+                    VarRef::Global(GlobalId(rng.random_range(0..2)))
+                };
+                let src = defined[rng.random_range(0..defined.len())];
+                insts.push(Inst::WriteVar { var, src });
+            }
+            4 => {
+                // Masked array read: index = some_vreg & 15.
+                let raw = defined[rng.random_range(0..defined.len())];
+                let mask = func.new_vreg(Ty::Int);
+                insts.push(Inst::ConstInt { dst: mask, value: 15 });
+                let index = func.new_vreg(Ty::Int);
+                insts.push(Inst::IntBin {
+                    op: IntBinOp::And,
+                    dst: index,
+                    lhs: raw,
+                    rhs: mask,
+                });
+                let dst = func.new_vreg(Ty::Int);
+                insts.push(Inst::ReadElem {
+                    dst,
+                    arr: GlobalId(2),
+                    index,
+                    origin: None,
+                });
+                defined.push(dst);
+            }
+            5 => {
+                let raw = defined[rng.random_range(0..defined.len())];
+                let mask = func.new_vreg(Ty::Int);
+                insts.push(Inst::ConstInt { dst: mask, value: 15 });
+                let index = func.new_vreg(Ty::Int);
+                insts.push(Inst::IntBin {
+                    op: IntBinOp::And,
+                    dst: index,
+                    lhs: raw,
+                    rhs: mask,
+                });
+                let src = defined[rng.random_range(0..defined.len())];
+                insts.push(Inst::WriteElem {
+                    arr: GlobalId(2),
+                    index,
+                    src,
+                    origin: None,
+                });
+            }
+            _ => {
+                let ops = [
+                    IntBinOp::Add,
+                    IntBinOp::Sub,
+                    IntBinOp::Mul,
+                    IntBinOp::Div,
+                    IntBinOp::Rem,
+                    IntBinOp::And,
+                    IntBinOp::Or,
+                    IntBinOp::Xor,
+                    IntBinOp::Shl,
+                    IntBinOp::Shr,
+                    IntBinOp::Cmp(supersym::ir::CmpOp::Lt),
+                ];
+                let op = ops[rng.random_range(0..ops.len())];
+                let lhs = defined[rng.random_range(0..defined.len())];
+                let rhs = defined[rng.random_range(0..defined.len())];
+                let dst = func.new_vreg(Ty::Int);
+                insts.push(Inst::IntBin { op, dst, lhs, rhs });
+                defined.push(dst);
+            }
+        }
+    }
+    let ret = defined[defined.len() - 1];
+    func.blocks.push(Block {
+        insts,
+        term: Terminator::Return(Some(ret)),
+    });
+    Module {
+        globals: vec![
+            GlobalInfo {
+                name: "g0".into(),
+                ty: Ty::Int,
+                kind: GlobalKind::Scalar { init: 11.0 },
+            },
+            GlobalInfo {
+                name: "g1".into(),
+                ty: Ty::Int,
+                kind: GlobalKind::Scalar { init: -4.0 },
+            },
+            GlobalInfo {
+                name: "arr".into(),
+                ty: Ty::Int,
+                kind: GlobalKind::Array { len: 16 },
+            },
+        ],
+        funcs: vec![func],
+        entry: 0,
+    }
+}
+
+/// Runs an IR module through regalloc/codegen/exec; returns the result
+/// register and the final global-region memory image.
+fn run_ir(module: &supersym::ir::Module, schedule_for: Option<&supersym::machine::MachineConfig>) -> (i64, Vec<i64>) {
+    use supersym::machine::RegisterSplit;
+    let mut module = module.clone();
+    supersym::codegen::split_live_across_calls(&mut module);
+    module.validate().expect("random IR is valid");
+    let homes = supersym::regalloc::allocate(&module, RegisterSplit::paper_default(), false);
+    let mut program = supersym::codegen::lower_program(&module, &homes);
+    if let Some(machine) = schedule_for {
+        supersym::codegen::schedule_program(&mut program, machine);
+    }
+    program.validate().expect("lowered program is valid");
+    let mut exec = Executor::new(&program, ExecOptions::default()).expect("loads");
+    exec.run().expect("random IR programs terminate");
+    let result = exec.int_reg(supersym::isa::IntReg::new(1).unwrap());
+    let globals: Vec<i64> = (0..program.globals_words())
+        .map(|a| exec.memory_word(a))
+        .collect();
+    (result, globals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Local value numbering + DCE + dead-store elimination preserve the
+    /// observable behaviour of arbitrary straight-line IR.
+    #[test]
+    fn lvn_preserves_ir_semantics(seed in any::<u64>()) {
+        let original = random_ir_module(seed);
+        let mut optimized = original.clone();
+        supersym::opt::run_local(&mut optimized);
+        supersym::opt::dead_store_elimination(&mut optimized);
+        optimized.validate().expect("optimized IR is valid");
+        let a = run_ir(&original, None);
+        let b = run_ir(&optimized, None);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The list scheduler never changes observable behaviour, for any
+    /// machine it schedules toward.
+    #[test]
+    fn scheduling_preserves_ir_semantics(seed in any::<u64>()) {
+        let module = random_ir_module(seed);
+        let reference = run_ir(&module, None);
+        for machine in [
+            presets::base(),
+            presets::multititan(),
+            presets::cray1(),
+            presets::ideal_superscalar(8),
+        ] {
+            let scheduled = run_ir(&module, Some(&machine));
+            prop_assert_eq!(&scheduled, &reference, "diverged for {}", machine.name());
+        }
+    }
+
+    /// LICM + the full global pipeline preserve semantics too (the random
+    /// block has no loops, so this checks the passes are no-ops or safe).
+    #[test]
+    fn global_passes_safe_on_straightline_ir(seed in any::<u64>()) {
+        let original = random_ir_module(seed);
+        let mut optimized = original.clone();
+        supersym::opt::run_local(&mut optimized);
+        supersym::opt::run_global(&mut optimized);
+        let a = run_ir(&original, None);
+        let b = run_ir(&optimized, None);
+        prop_assert_eq!(a, b);
+    }
+}
