@@ -3,11 +3,13 @@
 //! Running `cargo bench --bench paper` first prints the full set of
 //! regenerated tables/figures at the standard workload size — that printed
 //! output is the reproduction artifact recorded in EXPERIMENTS.md — and
-//! then Criterion-times each experiment driver at the small size so
-//! regressions in the simulation pipeline show up as timing changes.
+//! then times each experiment driver at the small size so regressions in
+//! the simulation pipeline show up as timing changes. The harness is a
+//! plain `main` over `std::time::Instant` (the container builds offline,
+//! so no criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use supersym::experiments as exp;
 use supersym::workloads::Size;
 
@@ -40,38 +42,55 @@ fn print_reproduction() {
     println!("{}", exp::limit_study(size));
 }
 
-fn bench_figures(c: &mut Criterion) {
-    print_reproduction();
-
-    // Cheap analytic experiments: time them directly.
-    let mut group = c.benchmark_group("analytic");
-    group.bench_function("fig1_1", |b| b.iter(|| black_box(exp::fig1_1())));
-    group.bench_function("fig4_2", |b| b.iter(|| black_box(exp::fig4_2())));
-    group.bench_function("fig4_3", |b| b.iter(|| black_box(exp::fig4_3())));
-    group.bench_function("fig4_7", |b| b.iter(|| black_box(exp::fig4_7())));
-    group.bench_function("sec5_1", |b| b.iter(|| black_box(exp::sec5_1())));
-    group.bench_function("fig2_diagrams", |b| {
-        b.iter(|| black_box(exp::fig2_diagrams()))
-    });
-    group.finish();
-
-    // Simulation-backed experiments: time representative drivers at the
-    // small size with few samples (each sample compiles and simulates the
-    // whole suite; the full set regenerates above and via reproduce_all).
-    let mut group = c.benchmark_group("experiments_small");
-    group.sample_size(10);
-    group.bench_function("table2_1", |b| {
-        b.iter(|| black_box(exp::table2_1(Size::Small)))
-    });
-    group.bench_function("fig4_6", |b| b.iter(|| black_box(exp::fig4_6(Size::Small))));
-    group.bench_function("headline", |b| {
-        b.iter(|| black_box(exp::headline(Size::Small)))
-    });
-    group.bench_function("vector_equivalence", |b| {
-        b.iter(|| black_box(exp::vector_equivalence()))
-    });
-    group.finish();
+/// Times `f` over `iters` runs and prints mean wall-clock per run.
+fn time(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warm-up run so first-touch costs don't pollute the mean.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean = start.elapsed() / iters;
+    println!("{name:40} {mean:>12.2?}/iter  ({iters} iters)");
 }
 
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);
+fn main() {
+    print_reproduction();
+
+    println!("--- analytic experiments ---");
+    time("fig1_1", 20, || {
+        black_box(exp::fig1_1());
+    });
+    time("fig4_2", 20, || {
+        black_box(exp::fig4_2());
+    });
+    time("fig4_3", 20, || {
+        black_box(exp::fig4_3());
+    });
+    time("fig4_7", 20, || {
+        black_box(exp::fig4_7());
+    });
+    time("sec5_1", 20, || {
+        black_box(exp::sec5_1());
+    });
+    time("fig2_diagrams", 20, || {
+        black_box(exp::fig2_diagrams());
+    });
+
+    // Simulation-backed experiments: representative drivers at the small
+    // size with few samples (each sample compiles and simulates the whole
+    // suite; the full set regenerates above and via reproduce_all).
+    println!("--- simulation-backed experiments (small size) ---");
+    time("table2_1", 3, || {
+        black_box(exp::table2_1(Size::Small));
+    });
+    time("fig4_6", 3, || {
+        black_box(exp::fig4_6(Size::Small));
+    });
+    time("headline", 3, || {
+        black_box(exp::headline(Size::Small));
+    });
+    time("vector_equivalence", 3, || {
+        black_box(exp::vector_equivalence());
+    });
+}

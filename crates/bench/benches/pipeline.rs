@@ -1,28 +1,38 @@
 //! Micro-benchmarks of the supersym pipeline itself: front end,
 //! optimizer, code generator, scheduler, and the coupled
-//! functional+timing simulator.
+//! functional+timing simulator. Plain `main` over `std::time::Instant`
+//! (the container builds offline, so no criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 use supersym::machine::presets;
 use supersym::sim::{simulate, simulate_with_cache, CacheConfig, SimOptions};
 use supersym::workloads::{linpack, stan};
 use supersym::{compile, CompileOptions, OptLevel};
 
-fn bench_compile(c: &mut Criterion) {
-    let workload = linpack(16);
-    let machine = presets::multititan();
-    let mut group = c.benchmark_group("compile");
-    for level in [OptLevel::O0, OptLevel::O2, OptLevel::O4] {
-        group.bench_function(format!("linpack16_{level:?}"), |b| {
-            let options = CompileOptions::new(level, &machine);
-            b.iter(|| black_box(compile(&workload.source, &options).unwrap()));
-        });
+/// Times `f` over `iters` runs and prints mean wall-clock per run.
+fn time(name: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    group.finish();
+    let mean = start.elapsed() / iters;
+    println!("{name:40} {mean:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_simulate(c: &mut Criterion) {
+fn bench_compile() {
+    let workload = linpack(16);
+    let machine = presets::multititan();
+    for level in [OptLevel::O0, OptLevel::O2, OptLevel::O4] {
+        let options = CompileOptions::new(level, &machine);
+        time(&format!("compile/linpack16_{level:?}"), 10, || {
+            black_box(compile(&workload.source, &options).unwrap());
+        });
+    }
+}
+
+fn bench_simulate() {
     let workload = linpack(16);
     let machine = presets::multititan();
     let program = compile(
@@ -33,9 +43,8 @@ fn bench_simulate(c: &mut Criterion) {
     let instructions = simulate(&program, &machine, SimOptions::default())
         .unwrap()
         .instructions();
+    println!("simulate: {instructions} instructions per iteration");
 
-    let mut group = c.benchmark_group("simulate");
-    group.throughput(Throughput::Elements(instructions));
     for machine in [
         presets::base(),
         presets::ideal_superscalar(4),
@@ -43,16 +52,14 @@ fn bench_simulate(c: &mut Criterion) {
         presets::cray1(),
         presets::superscalar_with_class_conflicts(4),
     ] {
-        group.bench_function(machine.name().replace([' ', '(', ')', ','], "_"), |b| {
-            b.iter(|| {
-                black_box(simulate(&program, &machine, SimOptions::default()).unwrap())
-            });
+        let name = machine.name().replace([' ', '(', ')', ','], "_");
+        time(&format!("simulate/{name}"), 10, || {
+            black_box(simulate(&program, &machine, SimOptions::default()).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler() {
     let workload = stan(1);
     let machine = presets::cray1();
     // Unscheduled program as the scheduling input.
@@ -61,16 +68,14 @@ fn bench_scheduler(c: &mut Criterion) {
         &CompileOptions::new(OptLevel::O0, &machine),
     )
     .unwrap();
-    c.bench_function("schedule_stan_for_cray1", |b| {
-        b.iter(|| {
-            let mut program = unscheduled.clone();
-            supersym::codegen::schedule_program(&mut program, &machine);
-            black_box(program)
-        });
+    time("schedule_stan_for_cray1", 20, || {
+        let mut program = unscheduled.clone();
+        supersym::codegen::schedule_program(&mut program, &machine);
+        black_box(program);
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let workload = linpack(16);
     let machine = presets::base();
     let program = compile(
@@ -78,27 +83,23 @@ fn bench_cache(c: &mut Criterion) {
         &CompileOptions::new(OptLevel::O4, &machine),
     )
     .unwrap();
-    c.bench_function("simulate_with_cache_linpack16", |b| {
-        b.iter(|| {
-            black_box(
-                simulate_with_cache(
-                    &program,
-                    &machine,
-                    SimOptions::default(),
-                    CacheConfig::small_direct(),
-                    CacheConfig::small_direct(),
-                )
-                .unwrap(),
+    time("simulate_with_cache_linpack16", 5, || {
+        black_box(
+            simulate_with_cache(
+                &program,
+                &machine,
+                SimOptions::default(),
+                CacheConfig::small_direct(),
+                CacheConfig::small_direct(),
             )
-        });
+            .unwrap(),
+        );
     });
 }
 
-criterion_group!(
-    benches,
-    bench_compile,
-    bench_simulate,
-    bench_scheduler,
-    bench_cache
-);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_simulate();
+    bench_scheduler();
+    bench_cache();
+}

@@ -558,7 +558,10 @@ impl<'a> FnLower<'a> {
             }
             Inst::ConstFloat { dst, value } => {
                 let r = self.def_fp(*dst, &[]);
-                self.emit(Instr::MovF { dst: r, imm: *value });
+                self.emit(Instr::MovF {
+                    dst: r,
+                    imm: *value,
+                });
                 self.release_if_dead(*dst);
             }
             Inst::IntBin { op, dst, lhs, rhs } => {
@@ -702,7 +705,10 @@ impl<'a> FnLower<'a> {
                 match self.homes.home(self.func_index, *var) {
                     Home::IntReg(home) => {
                         if let Some(&Loc::Imm(value)) = self.locs.get(src) {
-                            self.emit(Instr::MovI { dst: home, imm: value });
+                            self.emit(Instr::MovI {
+                                dst: home,
+                                imm: value,
+                            });
                         } else if retarget_ok && self.try_retarget_int(*src, home) {
                             // Defining instruction now writes the home.
                         } else {
@@ -1244,8 +1250,14 @@ mod tests {
             false,
         );
         let main = program.function_by_name("main").unwrap().1;
-        assert!(main.instrs().iter().any(|i| matches!(i, Instr::Load { .. })));
-        assert!(main.instrs().iter().any(|i| matches!(i, Instr::Store { .. })));
+        assert!(main
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::Load { .. })));
+        assert!(main
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::Store { .. })));
         // Initial value in the data image instead of a MovI 42.
         assert!(program.data().iter().any(|&(_, v)| v == 42));
     }
@@ -1260,10 +1272,14 @@ mod tests {
         let main = program.function_by_name("main").unwrap().1;
         // Array sits after the scalar (base 1); the constant index 3 folds
         // into a GP-relative store at offset 4.
-        assert!(main
-            .instrs()
-            .iter()
-            .any(|i| matches!(i, Instr::Store { offset: 4, base: IntReg::GP, .. })));
+        assert!(main.instrs().iter().any(|i| matches!(
+            i,
+            Instr::Store {
+                offset: 4,
+                base: IntReg::GP,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1374,8 +1390,14 @@ mod tests {
             true,
         );
         let main = program.function_by_name("main").unwrap().1;
-        assert!(main.instrs().iter().any(|i| matches!(i, Instr::FpOp { .. })));
-        assert!(main.instrs().iter().any(|i| matches!(i, Instr::LoadF { .. })));
+        assert!(main
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::FpOp { .. })));
+        assert!(main
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::LoadF { .. })));
     }
 }
 
@@ -1461,10 +1483,14 @@ mod peephole_tests {
         );
         assert_eq!(result, 9);
         let main = program.function_by_name("main").unwrap().1;
-        assert!(main
-            .instrs()
-            .iter()
-            .any(|i| matches!(i, Instr::Store { base: IntReg::GP, offset: 2, .. })));
+        assert!(main.instrs().iter().any(|i| matches!(
+            i,
+            Instr::Store {
+                base: IntReg::GP,
+                offset: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1483,7 +1509,10 @@ mod peephole_tests {
             .iter()
             .filter(|i| matches!(i, Instr::FMov { .. }))
             .count();
-        assert_eq!(fmovs, 0, "FP accumulator should be updated in place:\n{main}");
+        assert_eq!(
+            fmovs, 0,
+            "FP accumulator should be updated in place:\n{main}"
+        );
     }
 
     #[test]

@@ -58,13 +58,16 @@ fn schedule_function(func: &mut Function, config: &MachineConfig) {
 /// Schedules one region, returning the new instruction order.
 fn schedule_region(region: &[Instr], config: &MachineConfig) -> Vec<Instr> {
     let n = region.len();
-    let latency =
-        |i: usize| -> u64 { u64::from(config.latency(region[i].class())) };
+    let latency = |i: usize| -> u64 { u64::from(config.latency(region[i].class())) };
 
     // Dependence edges (pred, succ, delay).
     let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
     let mut pred_count = vec![0_usize; n];
-    let add_edge = |from: usize, to: usize, delay: u64, succs: &mut Vec<Vec<(usize, u64)>>, pred_count: &mut Vec<usize>| {
+    let add_edge = |from: usize,
+                    to: usize,
+                    delay: u64,
+                    succs: &mut Vec<Vec<(usize, u64)>>,
+                    pred_count: &mut Vec<usize>| {
         succs[from].push((to, delay));
         pred_count[to] += 1;
     };
@@ -77,14 +80,16 @@ fn schedule_region(region: &[Instr], config: &MachineConfig) -> Vec<Instr> {
         instr.uses().iter().for_each(|reg| {
             let slot = reg.dense_index();
             if let Some(writer) = last_writer[slot] {
-                add_edge(writer, index, latency(writer), &mut succs, &mut pred_count); // RAW
+                add_edge(writer, index, latency(writer), &mut succs, &mut pred_count);
+                // RAW
             }
             readers_since_write[slot].push(index);
         });
         if let Some(def) = instr.def() {
             let slot = def.dense_index();
             if let Some(writer) = last_writer[slot] {
-                add_edge(writer, index, latency(writer), &mut succs, &mut pred_count); // WAW
+                add_edge(writer, index, latency(writer), &mut succs, &mut pred_count);
+                // WAW
             }
             for &reader in &readers_since_write[slot] {
                 if reader != index {
@@ -100,8 +105,8 @@ fn schedule_region(region: &[Instr], config: &MachineConfig) -> Vec<Instr> {
         let Some((alias_i, store_i)) = region[i].mem_ref() else {
             continue;
         };
-        for j in (i + 1)..n {
-            let Some((alias_j, store_j)) = region[j].mem_ref() else {
+        for (j, other) in region.iter().enumerate().skip(i + 1) {
+            let Some((alias_j, store_j)) = other.mem_ref() else {
                 continue;
             };
             if !store_i && !store_j {
@@ -277,9 +282,7 @@ mod tests {
                 .unwrap();
             let add1 = scheduled
                 .iter()
-                .position(
-                    |i| matches!(i, Instr::IntOp { dst, .. } if *dst == r(2)),
-                )
+                .position(|i| matches!(i, Instr::IntOp { dst, .. } if *dst == r(2)))
                 .unwrap();
             assert!(load1 < add1);
         }

@@ -9,23 +9,29 @@
 //! titalc -m superscalar:4 -O2 program.tital # degree-4 ideal superscalar, local opt
 //! titalc -m cray1 --dump program.tital      # show scheduled assembly
 //! titalc -m multititan --unroll careful:4 program.tital
+//! titalc --verify program.tital             # verify the compiler's own output
+//! titalc lint machine.machine               # lint a machine description
+//! titalc lint program.s                     # lint an assembly program
 //! titalc --machines                         # list machine presets
 //! ```
 
 use std::process::ExitCode;
-use supersym::machine::{presets, MachineConfig};
+use supersym::machine::{parse_machine_spec, presets, MachineConfig};
 use supersym::opt::UnrollOptions;
 use supersym::sim::{simulate, simulate_with_cache, CacheConfig, SimOptions};
+use supersym::verify::{error_count, lint_program};
 use supersym::{compile, CompileOptions, OptLevel};
 
 struct Args {
     source_path: Option<String>,
-    machine: String,
+    machine: Option<String>,
     opt: OptLevel,
     unroll: Option<UnrollOptions>,
     dump: bool,
     cache: bool,
     list_machines: bool,
+    lint: bool,
+    verify: bool,
 }
 
 const USAGE: &str = "\
@@ -33,6 +39,7 @@ titalc — compile and simulate Tital programs (supersym)
 
 USAGE:
     titalc [OPTIONS] <FILE>
+    titalc lint [OPTIONS] <FILE>
 
 OPTIONS:
     -m, --machine <NAME>     machine preset (default: base); see --machines
@@ -40,8 +47,15 @@ OPTIONS:
         --unroll <KIND:N>    loop unrolling: naive:N or careful:N
         --dump               print the scheduled assembly instead of running
         --cache              also simulate 8KiB split I/D caches
+        --verify             run the static verifier on the compiled output
         --machines           list machine presets and exit
     -h, --help               show this help
+
+LINT:
+    `titalc lint` statically checks a file and exits nonzero on errors.
+    Files ending in `.machine` are parsed as machine descriptions; anything
+    else is parsed as assembly and checked with the program lint (pass
+    -m to also check register-split conformance).
 ";
 
 fn parse_machine(name: &str) -> Option<MachineConfig> {
@@ -52,7 +66,10 @@ fn parse_machine(name: &str) -> Option<MachineConfig> {
         return rest.parse().ok().map(presets::superpipelined);
     }
     if let Some(rest) = name.strip_prefix("conflicts:") {
-        return rest.parse().ok().map(presets::superscalar_with_class_conflicts);
+        return rest
+            .parse()
+            .ok()
+            .map(presets::superscalar_with_class_conflicts);
     }
     if let Some(rest) = name.strip_prefix("ssp:") {
         let (n, m) = rest.split_once(':')?;
@@ -73,22 +90,29 @@ fn parse_machine(name: &str) -> Option<MachineConfig> {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         source_path: None,
-        machine: "base".to_string(),
+        machine: None,
         opt: OptLevel::O4,
         unroll: None,
         dump: false,
         cache: false,
         list_machines: false,
+        lint: false,
+        verify: false,
     };
-    let mut iter = std::env::args().skip(1);
+    let mut iter = std::env::args().skip(1).peekable();
+    if iter.peek().map(String::as_str) == Some("lint") {
+        args.lint = true;
+        iter.next();
+    }
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "-h" | "--help" => return Err(USAGE.to_string()),
             "--machines" => args.list_machines = true,
             "--dump" => args.dump = true,
             "--cache" => args.cache = true,
+            "--verify" => args.verify = true,
             "-m" | "--machine" => {
-                args.machine = iter.next().ok_or("missing machine name")?;
+                args.machine = Some(iter.next().ok_or("missing machine name")?);
             }
             "--unroll" => {
                 let spec = iter.next().ok_or("missing unroll spec")?;
@@ -117,6 +141,50 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// `titalc lint`: statically check a machine description (`.machine`) or an
+/// assembly program (anything else), printing every diagnostic. Exits
+/// nonzero when the file cannot be parsed or any diagnostic is an error.
+fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
+    let diagnostics = if path.ends_with(".machine") {
+        match parse_machine_spec(source) {
+            Ok(spec) => spec.diagnose(),
+            Err(error) => {
+                eprintln!("titalc: {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let program = match supersym::isa::parse_program(source) {
+            Ok(program) => program,
+            Err(error) => {
+                eprintln!("titalc: {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let machine = match machine_name {
+            Some(name) => match parse_machine(name) {
+                Some(machine) => Some(machine),
+                None => {
+                    eprintln!("titalc: unknown machine `{name}` (try --machines)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        lint_program(&program, machine.as_ref())
+    };
+    for diagnostic in &diagnostics {
+        println!("{diagnostic}");
+    }
+    let errors = error_count(&diagnostics);
+    if errors > 0 {
+        eprintln!("titalc: {path}: {errors} error(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -150,11 +218,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(machine) = parse_machine(&args.machine) else {
-        eprintln!("titalc: unknown machine `{}` (try --machines)", args.machine);
+    if args.lint {
+        return run_lint(&path, &source, args.machine.as_deref());
+    }
+    let machine_name = args.machine.as_deref().unwrap_or("base");
+    let Some(machine) = parse_machine(machine_name) else {
+        eprintln!("titalc: unknown machine `{machine_name}` (try --machines)");
         return ExitCode::FAILURE;
     };
     let mut options = CompileOptions::new(args.opt, &machine);
+    if args.verify {
+        options = options.with_verify(true);
+    }
     if let Some(unroll) = args.unroll {
         options = options.with_unroll(unroll);
     }
@@ -181,7 +256,10 @@ fn main() -> ExitCode {
     println!("static size:    {} instructions", program.static_size());
     println!("dynamic count:  {} instructions", report.instructions());
     println!("time:           {:.1} base cycles", report.base_cycles());
-    println!("rate:           {:.3} instructions/cycle", report.available_parallelism());
+    println!(
+        "rate:           {:.3} instructions/cycle",
+        report.available_parallelism()
+    );
     if args.cache {
         let (_, caches) = simulate_with_cache(
             &program,

@@ -2,7 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
-use supersym_isa::Program;
+use supersym_isa::{Diagnostic, Program};
 use supersym_machine::{MachineConfig, RegisterSplit};
 use supersym_opt::UnrollOptions;
 
@@ -90,6 +90,12 @@ pub struct CompileOptions {
     pub split: RegisterSplit,
     /// The machine the pipeline scheduler targets.
     pub machine: MachineConfig,
+    /// Run the `supersym-verify` static checks on the output: machine-
+    /// description lint before compiling, schedule-legality check after
+    /// scheduling, and program lint on the final code. Defaults to on in
+    /// debug builds (where compile time is cheap and bugs are young) and
+    /// off in release builds.
+    pub verify: bool,
 }
 
 impl CompileOptions {
@@ -103,6 +109,7 @@ impl CompileOptions {
             reassociate: false,
             split: machine.register_split(),
             machine: machine.clone(),
+            verify: cfg!(debug_assertions),
         }
     }
 
@@ -120,6 +127,14 @@ impl CompileOptions {
         self.split = split;
         self
     }
+
+    /// Forces the static verification passes on or off (by default they
+    /// follow `cfg!(debug_assertions)`).
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
 }
 
 /// Errors from [`compile`].
@@ -130,6 +145,10 @@ pub enum CompileError {
     Lang(supersym_lang::LangError),
     /// Internal IR inconsistency (a compiler bug if it ever surfaces).
     Ir(supersym_ir::IrError),
+    /// The static verifier rejected the machine description or the
+    /// compiler's own output (a compiler bug if it ever surfaces on a
+    /// clean machine). Carries every error-severity diagnostic.
+    Verify(Vec<Diagnostic>),
 }
 
 impl fmt::Display for CompileError {
@@ -137,6 +156,17 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Lang(e) => write!(f, "front end: {e}"),
             CompileError::Ir(e) => write!(f, "internal: {e}"),
+            CompileError::Verify(diagnostics) => {
+                write!(f, "verification failed ({} error", diagnostics.len())?;
+                if diagnostics.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -146,6 +176,7 @@ impl Error for CompileError {
         match self {
             CompileError::Lang(e) => Some(e),
             CompileError::Ir(e) => Some(e),
+            CompileError::Verify(_) => None,
         }
     }
 }
@@ -184,6 +215,9 @@ pub fn compile_ast(
     mut ast: supersym_lang::ast::Module,
     options: &CompileOptions,
 ) -> Result<Program, CompileError> {
+    if options.verify {
+        fail_on_errors(supersym_verify::lint_machine(&options.machine))?;
+    }
     if let Some(unroll) = options.unroll {
         supersym_opt::unroll_loops(&mut ast, unroll);
     }
@@ -206,10 +240,37 @@ pub fn compile_ast(
     let homes = supersym_regalloc::allocate(&ir, options.split, options.opt.global_regs());
     let mut program = supersym_codegen::lower_program(&ir, &homes);
     if options.opt.scheduling() {
+        let unscheduled = options.verify.then(|| program.clone());
         supersym_codegen::schedule_program(&mut program, &options.machine);
+        if let Some(before) = unscheduled {
+            let violations = supersym_verify::check_schedule(&before, &program);
+            fail_on_errors(violations.iter().map(|v| v.to_diagnostic()).collect())?;
+        }
+    }
+    if options.verify {
+        // The split check needs the split the allocator actually used; it
+        // is skipped when an override makes the machine's own split stale.
+        let machine =
+            (options.split == options.machine.register_split()).then_some(&options.machine);
+        fail_on_errors(supersym_verify::lint_program(&program, machine))?;
     }
     debug_assert!(program.validate().is_ok());
     Ok(program)
+}
+
+/// Promotes error-severity diagnostics to a [`CompileError::Verify`];
+/// warnings are dropped (compiled code is allowed to look suspicious, just
+/// not to be wrong).
+fn fail_on_errors(diagnostics: Vec<Diagnostic>) -> Result<(), CompileError> {
+    let errors: Vec<Diagnostic> = diagnostics
+        .into_iter()
+        .filter(Diagnostic::is_error)
+        .collect();
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(CompileError::Verify(errors))
+    }
 }
 
 #[cfg(test)]
@@ -261,17 +322,9 @@ mod tests {
         let machine = presets::multititan();
         for factor in [2, 3, 4, 10] {
             for careful in [false, true] {
-                let options = CompileOptions::new(OptLevel::O4, &machine).with_unroll(
-                    UnrollOptions {
-                        factor,
-                        careful,
-                    },
-                );
-                assert_eq!(
-                    run(&options),
-                    EXPECTED,
-                    "factor {factor} careful {careful}"
-                );
+                let options = CompileOptions::new(OptLevel::O4, &machine)
+                    .with_unroll(UnrollOptions { factor, careful });
+                assert_eq!(run(&options), EXPECTED, "factor {factor} careful {careful}");
             }
         }
     }
@@ -319,8 +372,11 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let machine = presets::base();
-        let err = compile("fn main() { x = 1; }", &CompileOptions::new(OptLevel::O0, &machine))
-            .unwrap_err();
+        let err = compile(
+            "fn main() { x = 1; }",
+            &CompileOptions::new(OptLevel::O0, &machine),
+        )
+        .unwrap_err();
         assert!(matches!(err, CompileError::Lang(_)));
         assert!(err.to_string().contains("front end"));
     }

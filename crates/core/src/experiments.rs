@@ -71,8 +71,12 @@ pub struct Fig1_1 {
 #[must_use]
 pub fn fig1_1() -> Fig1_1 {
     fn measure(program: &Program) -> f64 {
-        let report = simulate(program, &presets::ideal_superscalar(8), SimOptions::default())
-            .expect("fragments run");
+        let report = simulate(
+            program,
+            &presets::ideal_superscalar(8),
+            SimOptions::default(),
+        )
+        .expect("fragments run");
         // The halt issues alongside the last operation and does not extend
         // the critical path on a wide machine.
         (report.instructions() - 1) as f64 / report.base_cycles()
@@ -137,7 +141,10 @@ pub fn fig2_diagrams() -> String {
         n,
     ));
     out.push_str("\nFigure 2-4: superscalar (n=3)\n");
-    out.push_str(&diagram::pipeline_diagram(&presets::ideal_superscalar(3), n));
+    out.push_str(&diagram::pipeline_diagram(
+        &presets::ideal_superscalar(3),
+        n,
+    ));
     out.push_str("\nFigure 2-5: VLIW (equivalent timing to superscalar)\n");
     out.push_str(&diagram::pipeline_diagram(&presets::vliw(3), n));
     out.push_str("\nFigure 2-6: superpipelined (m=3)\n");
@@ -929,7 +936,11 @@ mod tests {
     #[test]
     fn fig1_1_shapes() {
         let result = fig1_1();
-        assert!(result.independent > 2.0, "independent {}", result.independent);
+        assert!(
+            result.independent > 2.0,
+            "independent {}",
+            result.independent
+        );
         assert!(result.dependent <= 1.2, "dependent {}", result.dependent);
     }
 
@@ -951,8 +962,14 @@ mod tests {
     fn fig4_7_expression_graphs() {
         let result = fig4_7();
         assert!((result.original - 5.0 / 3.0).abs() < 0.01, "{result:?}");
-        assert!((result.branch_optimized - 4.0 / 3.0).abs() < 0.01, "{result:?}");
-        assert!((result.bottleneck_optimized - 1.5).abs() < 0.01, "{result:?}");
+        assert!(
+            (result.branch_optimized - 4.0 / 3.0).abs() < 0.01,
+            "{result:?}"
+        );
+        assert!(
+            (result.bottleneck_optimized - 1.5).abs() < 0.01,
+            "{result:?}"
+        );
     }
 
     #[test]
@@ -1033,7 +1050,11 @@ pub fn ablation_class_conflicts(size: Size) -> ClassConflictAblation {
 impl fmt::Display for ClassConflictAblation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Ablation (paper future work): class conflicts (§2.3.2)")?;
-        writeln!(f, "  {:>6} {:>12} {:>16}", "degree", "ideal", "shared units")?;
+        writeln!(
+            f,
+            "  {:>6} {:>12} {:>16}",
+            "degree", "ideal", "shared units"
+        )?;
         for (i, degree) in self.degrees.iter().enumerate() {
             writeln!(
                 f,
@@ -1340,13 +1361,21 @@ impl fmt::Display for VectorEquivalence {
             "Vector equivalence (§2.3), {} elements of chained load+add:",
             self.elements
         )?;
-        writeln!(f, "  scalar loop, base machine:        {:.2} cycles/element", self.scalar_base)?;
+        writeln!(
+            f,
+            "  scalar loop, base machine:        {:.2} cycles/element",
+            self.scalar_base
+        )?;
         writeln!(
             f,
             "  scalar loop, wide superscalar:    {:.2} cycles/element",
             self.scalar_superscalar
         )?;
-        writeln!(f, "  chained vector, base machine:     {:.2} cycles/element", self.vector)
+        writeln!(
+            f,
+            "  chained vector, base machine:     {:.2} cycles/element",
+            self.vector
+        )
     }
 }
 
@@ -1485,10 +1514,7 @@ pub fn limit_study(size: Size) -> LimitStudy {
 
 impl fmt::Display for LimitStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "ILP limit study (the [14, 15] regimes behind §4.2)"
-        )?;
+        writeln!(f, "ILP limit study (the [14, 15] regimes behind §4.2)")?;
         writeln!(
             f,
             "  {:10} {:>14} {:>16} {:>18}",

@@ -46,21 +46,24 @@ pub mod experiments;
 
 pub use compile::{compile, compile_ast, CompileError, CompileOptions, OptLevel};
 
-/// Re-export: the target ISA.
-pub use supersym_isa as isa;
-/// Re-export: machine descriptions.
-pub use supersym_machine as machine;
-/// Re-export: the Tital front end.
-pub use supersym_lang as lang;
+/// Re-export: the back end.
+pub use supersym_codegen as codegen;
 /// Re-export: the IR.
 pub use supersym_ir as ir;
+/// Re-export: the target ISA.
+pub use supersym_isa as isa;
+/// Re-export: the Tital front end.
+pub use supersym_lang as lang;
+/// Re-export: machine descriptions.
+pub use supersym_machine as machine;
 /// Re-export: the optimizer.
 pub use supersym_opt as opt;
 /// Re-export: register allocation.
 pub use supersym_regalloc as regalloc;
-/// Re-export: the back end.
-pub use supersym_codegen as codegen;
 /// Re-export: the simulator.
 pub use supersym_sim as sim;
+/// Re-export: static verification (program lint, machine lint, schedule
+/// legality).
+pub use supersym_verify as verify;
 /// Re-export: the benchmark suite.
 pub use supersym_workloads as workloads;

@@ -184,7 +184,10 @@ mod tests {
             ret: None,
             blocks: vec![
                 Block {
-                    insts: vec![Inst::ConstInt { dst: VReg(0), value: 1 }],
+                    insts: vec![Inst::ConstInt {
+                        dst: VReg(0),
+                        value: 1,
+                    }],
                     term: Terminator::Branch {
                         cond: VReg(0),
                         then_bb: BlockId(1),
@@ -208,7 +211,10 @@ mod tests {
             blocks: vec![
                 Block::empty(Terminator::Jump(BlockId(1))),
                 Block {
-                    insts: vec![Inst::ConstInt { dst: VReg(0), value: 1 }],
+                    insts: vec![Inst::ConstInt {
+                        dst: VReg(0),
+                        value: 1,
+                    }],
                     term: Terminator::Branch {
                         cond: VReg(0),
                         then_bb: BlockId(2),

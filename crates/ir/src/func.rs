@@ -1,9 +1,9 @@
 //! IR containers: modules, functions, blocks.
 
 use crate::inst::{Inst, Terminator, VReg, VarRef};
-use supersym_lang::ast::Ty;
 use std::error::Error;
 use std::fmt;
+use supersym_lang::ast::Ty;
 
 /// Identifies a basic block within a function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -313,8 +313,14 @@ mod tests {
     fn validate_ok() {
         let func = one_block_func(
             vec![
-                Inst::ConstInt { dst: VReg(0), value: 1 },
-                Inst::ConstInt { dst: VReg(1), value: 2 },
+                Inst::ConstInt {
+                    dst: VReg(0),
+                    value: 1,
+                },
+                Inst::ConstInt {
+                    dst: VReg(1),
+                    value: 2,
+                },
                 Inst::IntBin {
                     op: IntBinOp::Add,
                     dst: VReg(2),
@@ -358,7 +364,10 @@ mod tests {
     fn cross_block_vreg_caught() {
         // vreg defined in bb0, used in bb1: violates the discipline.
         let mut func = one_block_func(
-            vec![Inst::ConstInt { dst: VReg(0), value: 1 }],
+            vec![Inst::ConstInt {
+                dst: VReg(0),
+                value: 1,
+            }],
             Terminator::Jump(BlockId(1)),
         );
         func.blocks.push(Block {

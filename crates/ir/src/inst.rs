@@ -1,8 +1,8 @@
 //! IR instructions and terminators.
 
 use crate::func::{BlockId, GlobalId, LocalId};
-use supersym_lang::ast::Ty;
 use std::fmt;
+use supersym_lang::ast::Ty;
 
 /// A virtual register. Block-local by construction (see the crate docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -374,7 +374,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Return(_) => Vec::new(),
         }
     }
@@ -410,7 +412,11 @@ mod tests {
 
     #[test]
     fn purity() {
-        assert!(Inst::ConstInt { dst: VReg(0), value: 1 }.is_pure());
+        assert!(Inst::ConstInt {
+            dst: VReg(0),
+            value: 1
+        }
+        .is_pure());
         assert!(!Inst::WriteVar {
             var: VarRef::Local(LocalId(0)),
             src: VReg(0)
@@ -429,7 +435,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
         assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
         assert_eq!(CmpOp::Eq.swapped(), CmpOp::Eq);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negated().negated(), op);
             assert_eq!(op.swapped().swapped(), op);
         }

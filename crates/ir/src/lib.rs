@@ -38,7 +38,9 @@ mod lower;
 mod printer;
 
 pub use cfg::{dominates, dominators, natural_loops, predecessors, reverse_postorder, Loop};
-pub use func::{Block, BlockId, Function, GlobalId, GlobalInfo, GlobalKind, IrError, LocalId, Module, VarInfo};
+pub use func::{
+    Block, BlockId, Function, GlobalId, GlobalInfo, GlobalKind, IrError, LocalId, Module, VarInfo,
+};
 pub use inst::{CmpOp, FloatBinOp, IndexOrigin, Inst, IntBinOp, Terminator, VReg, VarRef};
 pub use liveness::{var_liveness, VarLiveness};
 pub use lower::lower;

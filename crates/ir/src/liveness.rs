@@ -42,11 +42,10 @@ pub fn var_liveness(module: &Module, func: &Function) -> VarLiveness {
     for (index, block) in func.blocks.iter().enumerate() {
         for inst in &block.insts {
             match inst {
-                Inst::ReadVar { var, .. } => {
-                    if !def_sets[index].contains(var) {
-                        use_sets[index].insert(*var);
-                    }
+                Inst::ReadVar { var, .. } if !def_sets[index].contains(var) => {
+                    use_sets[index].insert(*var);
                 }
+                Inst::ReadVar { .. } => {}
                 Inst::WriteVar { var, .. } => {
                     def_sets[index].insert(*var);
                 }
@@ -132,7 +131,10 @@ mod tests {
             blocks: vec![
                 Block {
                     insts: vec![
-                        Inst::ConstInt { dst: VReg(0), value: 1 },
+                        Inst::ConstInt {
+                            dst: VReg(0),
+                            value: 1,
+                        },
                         Inst::WriteVar {
                             var: local(0),
                             src: VReg(0),
@@ -179,7 +181,10 @@ mod tests {
             ret: None,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::ConstInt { dst: VReg(0), value: 1 },
+                    Inst::ConstInt {
+                        dst: VReg(0),
+                        value: 1,
+                    },
                     Inst::WriteVar {
                         var: VarRef::Global(GlobalId(0)),
                         src: VReg(0),
@@ -227,7 +232,10 @@ mod tests {
                 },
                 Block {
                     insts: vec![
-                        Inst::ConstInt { dst: VReg(1), value: 1 },
+                        Inst::ConstInt {
+                            dst: VReg(1),
+                            value: 1,
+                        },
                         Inst::WriteVar {
                             var: local(0),
                             src: VReg(1),

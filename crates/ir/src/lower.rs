@@ -5,14 +5,12 @@
 //! straight-line TAC in the current block, with variables read/written
 //! through explicit `ReadVar`/`WriteVar`.
 
-use crate::func::{
-    Block, BlockId, Function, GlobalId, GlobalInfo, GlobalKind, Module, VarInfo,
-};
+use crate::func::{Block, BlockId, Function, GlobalId, GlobalInfo, GlobalKind, Module, VarInfo};
 use crate::inst::{CmpOp, FloatBinOp, Inst, IntBinOp, Terminator, VReg, VarRef};
+use std::collections::HashMap;
 use supersym_lang::ast;
 use supersym_lang::ast::{BinOp, Expr, Stmt, Ty, UnOp};
 use supersym_lang::LangError;
-use std::collections::HashMap;
 
 /// Lowers a checked AST module into IR.
 ///
@@ -151,7 +149,12 @@ impl FnLowerer<'_> {
         self.ctx
             .global_ids
             .get(name)
-            .filter(|g| matches!(self.ctx.globals[g.0 as usize].kind, GlobalKind::Scalar { .. }))
+            .filter(|g| {
+                matches!(
+                    self.ctx.globals[g.0 as usize].kind,
+                    GlobalKind::Scalar { .. }
+                )
+            })
             .map(|&g| VarRef::Global(g))
     }
 
@@ -419,7 +422,11 @@ impl FnLowerer<'_> {
         want_value: bool,
     ) -> Result<Option<(VReg, Ty)>, LangError> {
         let callee = *self.ctx.func_ids.get(name).ok_or_else(|| undefined(name))?;
-        let ret = *self.ctx.func_rets.get(name).ok_or_else(|| undefined(name))?;
+        let ret = *self
+            .ctx
+            .func_rets
+            .get(name)
+            .ok_or_else(|| undefined(name))?;
         let mut arg_vregs = Vec::with_capacity(args.len());
         for arg in args {
             arg_vregs.push(self.expr(arg)?.0);
@@ -475,7 +482,10 @@ impl FnLowerer<'_> {
                 match (op, ty) {
                     (UnOp::Neg, Ty::Int) => {
                         let zero = self.func.new_vreg(Ty::Int);
-                        self.emit(Inst::ConstInt { dst: zero, value: 0 });
+                        self.emit(Inst::ConstInt {
+                            dst: zero,
+                            value: 0,
+                        });
                         let dst = self.func.new_vreg(Ty::Int);
                         self.emit(Inst::IntBin {
                             op: IntBinOp::Sub,
@@ -487,7 +497,10 @@ impl FnLowerer<'_> {
                     }
                     (UnOp::Neg, Ty::Float) => {
                         let zero = self.func.new_vreg(Ty::Float);
-                        self.emit(Inst::ConstFloat { dst: zero, value: 0.0 });
+                        self.emit(Inst::ConstFloat {
+                            dst: zero,
+                            value: 0.0,
+                        });
                         let dst = self.func.new_vreg(Ty::Float);
                         self.emit(Inst::FloatBin {
                             op: FloatBinOp::Sub,
@@ -499,7 +512,10 @@ impl FnLowerer<'_> {
                     }
                     (UnOp::Not, _) => {
                         let zero = self.func.new_vreg(Ty::Int);
-                        self.emit(Inst::ConstInt { dst: zero, value: 0 });
+                        self.emit(Inst::ConstInt {
+                            dst: zero,
+                            value: 0,
+                        });
                         let dst = self.func.new_vreg(Ty::Int);
                         self.emit(Inst::IntBin {
                             op: IntBinOp::Cmp(CmpOp::Eq),
@@ -706,10 +722,7 @@ mod tests {
         let m = lower_src("fn main() -> int { return 1 + 2 * 3; }");
         let f = &m.funcs[0];
         assert_eq!(f.blocks.len(), 2); // entry + dead block after return
-        assert!(matches!(
-            f.blocks[0].term,
-            Terminator::Return(Some(_))
-        ));
+        assert!(matches!(f.blocks[0].term, Terminator::Return(Some(_))));
         assert_eq!(f.inst_count(), 5); // 3 consts + mul + add
     }
 
@@ -755,13 +768,19 @@ mod tests {
                 }
             }
         }
-        let crate::inst::IndexOrigin::Relative { base: rb, delta: rd, .. } =
-            read_origin.expect("read annotated")
+        let crate::inst::IndexOrigin::Relative {
+            base: rb,
+            delta: rd,
+            ..
+        } = read_origin.expect("read annotated")
         else {
             panic!("read origin should be relative")
         };
-        let crate::inst::IndexOrigin::Relative { base: wb, delta: wd, .. } =
-            write_origin.expect("write annotated")
+        let crate::inst::IndexOrigin::Relative {
+            base: wb,
+            delta: wd,
+            ..
+        } = write_origin.expect("write annotated")
         else {
             panic!("write origin should be relative")
         };

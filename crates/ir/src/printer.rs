@@ -22,7 +22,10 @@ impl fmt::Display for Inst {
             Inst::ReadVar { dst, var } => write!(f, "{dst} = read {var}"),
             Inst::WriteVar { var, src } => write!(f, "write {var}, {src}"),
             Inst::ReadElem {
-                dst, arr, index, origin,
+                dst,
+                arr,
+                index,
+                origin,
             } => {
                 write!(f, "{dst} = elem @g{}[{index}]", arr.0)?;
                 if let Some(origin) = origin {
@@ -31,7 +34,10 @@ impl fmt::Display for Inst {
                 Ok(())
             }
             Inst::WriteElem {
-                arr, index, src, origin,
+                arr,
+                index,
+                src,
+                origin,
             } => {
                 write!(f, "elem @g{}[{index}] = {src}", arr.0)?;
                 if let Some(origin) = origin {

@@ -222,13 +222,30 @@ impl AsmBuilder {
     }
 
     /// Emits an elementwise vector operation.
-    pub fn vop(&mut self, op: FpOp, dst: crate::VecReg, lhs: crate::VecReg, rhs: crate::VecReg) -> &mut Self {
+    pub fn vop(
+        &mut self,
+        op: FpOp,
+        dst: crate::VecReg,
+        lhs: crate::VecReg,
+        rhs: crate::VecReg,
+    ) -> &mut Self {
         self.emit(Instr::VOp { op, dst, lhs, rhs })
     }
 
     /// Emits a vector-scalar operation.
-    pub fn vop_s(&mut self, op: FpOp, dst: crate::VecReg, lhs: crate::VecReg, scalar: FpReg) -> &mut Self {
-        self.emit(Instr::VOpS { op, dst, lhs, scalar })
+    pub fn vop_s(
+        &mut self,
+        op: FpOp,
+        dst: crate::VecReg,
+        lhs: crate::VecReg,
+        scalar: FpReg,
+    ) -> &mut Self {
+        self.emit(Instr::VOpS {
+            op,
+            dst,
+            lhs,
+            scalar,
+        })
     }
 
     /// Emits `bt cond, target` (branch when the condition is non-zero).

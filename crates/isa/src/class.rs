@@ -24,7 +24,6 @@ pub const NUM_CLASSES: usize = 14;
 /// assert_eq!(InstrClass::IntAdd.index(), 2);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum InstrClass {
     /// Bitwise logical operations (and, or, xor, nor).
@@ -141,7 +140,6 @@ impl fmt::Display for InstrClass {
 ///
 /// This is the shape of latency tables, frequency tables and censuses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClassTable<T>(pub(crate) [T; NUM_CLASSES]);
 
 impl<T> ClassTable<T> {

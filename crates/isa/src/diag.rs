@@ -1,0 +1,196 @@
+//! Structured diagnostics shared by the verification layer.
+//!
+//! The verifier crates ([`supersym-verify`] and the machine-description
+//! lint) all report problems as [`Diagnostic`] values rather than panicking
+//! or returning a single opaque error: a lint wants to report *everything*
+//! wrong with its input, attributed to a location, with a stable code a
+//! driver can match on. The type lives here because `supersym-isa` is the
+//! one crate everything else already depends on.
+//!
+//! [`supersym-verify`]: https://docs.rs/supersym-verify
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; the pipeline proceeds.
+    Warning,
+    /// Definitely wrong; verification fails.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding from a verification pass.
+///
+/// A diagnostic carries a [`Severity`], a stable kebab-case `code` (e.g.
+/// `"def-before-use"`, `"uncovered-class"`), a human-readable message, and
+/// an optional location: the function (or machine) it concerns and an
+/// instruction index within it.
+///
+/// ```
+/// use supersym_isa::{Diagnostic, Severity};
+/// let d = Diagnostic::error("dangling-label", "label L2 is never bound")
+///     .in_function("main")
+///     .at_instr(7);
+/// assert_eq!(d.severity(), Severity::Error);
+/// assert_eq!(d.code(), "dangling-label");
+/// assert_eq!(d.to_string(), "error[dangling-label] main:7: label L2 is never bound");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Diagnostic {
+    severity: Severity,
+    code: &'static str,
+    message: String,
+    context: Option<String>,
+    instr: Option<usize>,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    #[must_use]
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            context: None,
+            instr: None,
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    #[must_use]
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            context: None,
+            instr: None,
+        }
+    }
+
+    /// Attaches the name of the function (or machine, or region) the
+    /// diagnostic concerns.
+    #[must_use]
+    pub fn in_function(mut self, name: impl Into<String>) -> Self {
+        self.context = Some(name.into());
+        self
+    }
+
+    /// Attaches an instruction index within the context.
+    #[must_use]
+    pub fn at_instr(mut self, index: usize) -> Self {
+        self.instr = Some(index);
+        self
+    }
+
+    /// The diagnostic's severity.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// Stable kebab-case code identifying the kind of finding.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// The human-readable message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The function/machine name this concerns, if attached.
+    #[must_use]
+    pub fn context(&self) -> Option<&str> {
+        self.context.as_deref()
+    }
+
+    /// The instruction index this concerns, if attached.
+    #[must_use]
+    pub fn instr(&self) -> Option<usize> {
+        self.instr
+    }
+
+    /// Whether this diagnostic is an error.
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        match (&self.context, self.instr) {
+            (Some(name), Some(index)) => write!(f, " {name}:{index}")?,
+            (Some(name), None) => write!(f, " {name}")?,
+            (None, Some(index)) => write!(f, " instr {index}")?,
+            (None, None) => {}
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Counts errors in a batch of diagnostics.
+#[must_use]
+pub fn error_count(diagnostics: &[Diagnostic]) -> usize {
+    diagnostics.iter().filter(|d| d.is_error()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let bare = Diagnostic::warning("w", "msg");
+        assert_eq!(bare.to_string(), "warning[w]: msg");
+        let located = Diagnostic::error("e", "msg").in_function("f");
+        assert_eq!(located.to_string(), "error[e] f: msg");
+        let full = Diagnostic::error("e", "msg").in_function("f").at_instr(3);
+        assert_eq!(full.to_string(), "error[e] f:3: msg");
+        let indexed = Diagnostic::error("e", "msg").at_instr(3);
+        assert_eq!(indexed.to_string(), "error[e] instr 3: msg");
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn error_counting() {
+        let batch = vec![
+            Diagnostic::warning("a", "x"),
+            Diagnostic::error("b", "y"),
+            Diagnostic::error("c", "z"),
+        ];
+        assert_eq!(error_count(&batch), 2);
+        assert!(!batch[0].is_error());
+        assert!(batch[1].is_error());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Diagnostic::error("code", "message")
+            .in_function("ctx")
+            .at_instr(9);
+        assert_eq!(d.code(), "code");
+        assert_eq!(d.message(), "message");
+        assert_eq!(d.context(), Some("ctx"));
+        assert_eq!(d.instr(), Some(9));
+    }
+}

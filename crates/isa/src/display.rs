@@ -30,20 +30,41 @@ impl fmt::Display for Instr {
             Instr::FMov { dst, src } => write!(f, "fmov {dst}, {src}"),
             Instr::IToF { dst, src } => write!(f, "itof {dst}, {src}"),
             Instr::FToI { dst, src } => write!(f, "ftoi {dst}, {src}"),
-            Instr::Load { dst, base, offset, .. } => write!(f, "ld {dst}, {offset}({base})"),
-            Instr::LoadF { dst, base, offset, .. } => write!(f, "ldf {dst}, {offset}({base})"),
-            Instr::Store { src, base, offset, .. } => write!(f, "st {offset}({base}), {src}"),
-            Instr::StoreF { src, base, offset, .. } => write!(f, "stf {offset}({base}), {src}"),
+            Instr::Load {
+                dst, base, offset, ..
+            } => write!(f, "ld {dst}, {offset}({base})"),
+            Instr::LoadF {
+                dst, base, offset, ..
+            } => write!(f, "ldf {dst}, {offset}({base})"),
+            Instr::Store {
+                src, base, offset, ..
+            } => write!(f, "st {offset}({base}), {src}"),
+            Instr::StoreF {
+                src, base, offset, ..
+            } => write!(f, "stf {offset}({base}), {src}"),
             Instr::SetVl { src } => write!(f, "setvl {src}"),
-            Instr::VLoad { dst, base, offset, .. } => write!(f, "vld {dst}, {offset}({base})"),
-            Instr::VStore { src, base, offset, .. } => write!(f, "vst {offset}({base}), {src}"),
+            Instr::VLoad {
+                dst, base, offset, ..
+            } => write!(f, "vld {dst}, {offset}({base})"),
+            Instr::VStore {
+                src, base, offset, ..
+            } => write!(f, "vst {offset}({base}), {src}"),
             Instr::VOp { op, dst, lhs, rhs } => {
                 write!(f, "v{} {dst}, {lhs}, {rhs}", op.mnemonic())
             }
-            Instr::VOpS { op, dst, lhs, scalar } => {
+            Instr::VOpS {
+                op,
+                dst,
+                lhs,
+                scalar,
+            } => {
                 write!(f, "v{}.s {dst}, {lhs}, {scalar}", op.mnemonic())
             }
-            Instr::Br { cond, expect, target } => {
+            Instr::Br {
+                cond,
+                expect,
+                target,
+            } => {
                 let mnemonic = if *expect { "bt" } else { "bf" };
                 write!(f, "{mnemonic} {cond}, {target}")
             }
@@ -87,8 +108,8 @@ impl fmt::Display for Program {
 #[cfg(test)]
 mod tests {
     use crate::instr::{FpOp, Instr, IntOp, MemAlias, Operand};
-    use crate::reg::{FpReg, IntReg};
     use crate::program::Label;
+    use crate::reg::{FpReg, IntReg};
 
     fn r(i: u8) -> IntReg {
         IntReg::new(i).unwrap()

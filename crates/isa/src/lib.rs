@@ -38,17 +38,21 @@
 
 mod builder;
 mod class;
+mod diag;
 mod display;
 mod error;
 mod instr;
+mod parse;
 mod program;
 mod reg;
 mod vector;
 
 pub use builder::AsmBuilder;
 pub use class::{ClassCensus, ClassFreq, ClassTable, InstrClass, NUM_CLASSES};
+pub use diag::{error_count, Diagnostic, Severity};
 pub use error::IsaError;
 pub use instr::{FpCmpOp, FpOp, Instr, IntOp, MemAlias, MemRegion, Operand, Uses};
+pub use parse::{parse_program, ParseError, UNBOUND_LABEL};
 pub use program::{FuncId, Function, Label, Program};
 pub use reg::{FpReg, IntReg, Reg, NUM_FP_REGS, NUM_INT_REGS};
 pub use vector::{VecReg, MAX_VLEN, NUM_VEC_REGS};

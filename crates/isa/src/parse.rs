@@ -1,0 +1,564 @@
+//! An assembly-text parser, the inverse of the `Display` disassembly.
+//!
+//! The grammar is exactly what [`crate::Program`]'s `Display` prints, so
+//! `parse_program(program.to_string())` round-trips. It exists so the
+//! verification layer can lint hand-written (including deliberately broken)
+//! programs: `titalc lint broken.s` needs a way to get malformed input past
+//! the compiler, which only ever emits well-formed code.
+//!
+//! Syntax notes beyond the disassembly format:
+//!
+//! * `//` and `;` start comments running to end of line;
+//! * a leading integer on an instruction line (the disassembler's
+//!   instruction index) is skipped;
+//! * a line ending in `:` opens a new function, except `L<n>:` which binds
+//!   label slot `n` to the next instruction (and `L<n>: <end>` to one past
+//!   the last);
+//! * a label slot that is referenced but never bound parses successfully
+//!   with an out-of-range target, so the program lint can report it as a
+//!   dangling label rather than the parser rejecting the file;
+//! * loads and stores carry [`MemAlias::unknown`], the conservative verdict,
+//!   since the text form has no alias annotation.
+//!
+//! ```
+//! use supersym_isa::parse_program;
+//! let program = parse_program("main:\n  movi r1, #42\n  halt\n").unwrap();
+//! assert_eq!(program.functions()[0].instrs().len(), 2);
+//! ```
+
+use crate::instr::{FpCmpOp, FpOp, Instr, IntOp, MemAlias, Operand};
+use crate::program::{FuncId, Function, Label, Program};
+use crate::reg::{FpReg, IntReg};
+use crate::vector::VecReg;
+use std::error::Error;
+use std::fmt;
+
+/// The sentinel target for a label slot that was referenced but never
+/// bound. It is larger than any function, so [`Function::validate`] and the
+/// program lint report it as dangling.
+pub const UNBOUND_LABEL: usize = usize::MAX;
+
+/// A syntax error in assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a whole program from assembly text.
+///
+/// The entry point is the function named `main` when present, otherwise the
+/// first function.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first offending line. Semantic
+/// problems (dangling labels, out-of-range call targets) are *not* parse
+/// errors — they parse into a program the lint then rejects.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut program = Program::new();
+    // (name, instrs, label_targets) of the function being assembled.
+    let mut current: Option<(String, Vec<Instr>, Vec<usize>)> = None;
+
+    let finish = |program: &mut Program, current: &mut Option<(String, Vec<Instr>, Vec<usize>)>| {
+        if let Some((name, instrs, labels)) = current.take() {
+            program.add_function(Function::new(name, instrs, labels));
+        }
+    };
+
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_suffix(':') {
+            if let Some(slot) = label_slot(rest) {
+                let (_, instrs, labels) = current
+                    .as_mut()
+                    .ok_or_else(|| err(format!("label L{slot} outside any function")))?;
+                bind_label(labels, slot, instrs.len());
+            } else {
+                finish(&mut program, &mut current);
+                current = Some((rest.trim().to_string(), Vec::new(), Vec::new()));
+            }
+            continue;
+        }
+        // `L<n>: <end>` — an end label with trailing annotation.
+        if let Some((head, tail)) = line.split_once(':') {
+            if let Some(slot) = label_slot(head) {
+                if tail.trim() == "<end>" || tail.trim().is_empty() {
+                    let (_, instrs, labels) = current
+                        .as_mut()
+                        .ok_or_else(|| err(format!("label L{slot} outside any function")))?;
+                    bind_label(labels, slot, instrs.len());
+                    continue;
+                }
+            }
+        }
+        let (_, instrs, labels) = current
+            .as_mut()
+            .ok_or_else(|| err("instruction outside any function".to_string()))?;
+        let instr = parse_instr(line).map_err(err)?;
+        // Make sure referenced label slots exist (possibly unbound).
+        if let Instr::Br { target, .. } | Instr::Jmp { target } = &instr {
+            reserve_label(labels, target.slot() as usize);
+        }
+        instrs.push(instr);
+    }
+    finish(&mut program, &mut current);
+
+    let entry = program
+        .function_by_name("main")
+        .map(|(id, _)| id)
+        .or_else(|| (!program.functions().is_empty()).then(|| FuncId::new(0)));
+    if let Some(id) = entry {
+        program.set_entry(id);
+    }
+    Ok(program)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line
+        .find("//")
+        .into_iter()
+        .chain(line.find(';'))
+        .min()
+        .unwrap_or(line.len());
+    &line[..end]
+}
+
+/// `L<digits>` → the slot number.
+fn label_slot(token: &str) -> Option<usize> {
+    let digits = token.trim().strip_prefix('L')?;
+    (!digits.is_empty()).then_some(())?;
+    digits.parse().ok()
+}
+
+fn reserve_label(labels: &mut Vec<usize>, slot: usize) {
+    if labels.len() <= slot {
+        labels.resize(slot + 1, UNBOUND_LABEL);
+    }
+}
+
+fn bind_label(labels: &mut Vec<usize>, slot: usize, target: usize) {
+    reserve_label(labels, slot);
+    labels[slot] = target;
+}
+
+/// Splits an instruction line into mnemonic + comma/space-separated operand
+/// tokens, dropping a leading disassembler index if present.
+fn tokenize(line: &str) -> Vec<&str> {
+    let mut tokens: Vec<&str> = line
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tokens.len() > 1 && tokens[0].chars().all(|c| c.is_ascii_digit()) {
+        tokens.remove(0);
+    }
+    tokens
+}
+
+fn int_reg(token: &str) -> Result<IntReg, String> {
+    let index: u8 = token
+        .strip_prefix('r')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| format!("expected integer register, got `{token}`"))?;
+    IntReg::new(index).map_err(|e| e.to_string())
+}
+
+fn fp_reg(token: &str) -> Result<FpReg, String> {
+    let index: u8 = token
+        .strip_prefix('f')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| format!("expected FP register, got `{token}`"))?;
+    FpReg::new(index).map_err(|e| e.to_string())
+}
+
+fn vec_reg(token: &str) -> Result<VecReg, String> {
+    let index: u8 = token
+        .strip_prefix('v')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| format!("expected vector register, got `{token}`"))?;
+    VecReg::new(index).map_err(|e| e.to_string())
+}
+
+fn imm_i64(token: &str) -> Result<i64, String> {
+    token
+        .strip_prefix('#')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| format!("expected immediate like `#5`, got `{token}`"))
+}
+
+fn imm_f64(token: &str) -> Result<f64, String> {
+    token
+        .strip_prefix('#')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| format!("expected FP immediate like `#2.5`, got `{token}`"))
+}
+
+fn operand(token: &str) -> Result<Operand, String> {
+    if token.starts_with('#') {
+        Ok(Operand::Imm(imm_i64(token)?))
+    } else {
+        Ok(Operand::Reg(int_reg(token)?))
+    }
+}
+
+fn label(token: &str) -> Result<Label, String> {
+    label_slot(token)
+        .map(|slot| Label::new(slot as u32))
+        .ok_or_else(|| format!("expected label like `L2`, got `{token}`"))
+}
+
+/// `offset(rN)` → `(offset, base)`.
+fn mem_operand(token: &str) -> Result<(i64, IntReg), String> {
+    let open = token
+        .find('(')
+        .ok_or_else(|| format!("expected memory operand like `4(r5)`, got `{token}`"))?;
+    let close = token
+        .strip_suffix(')')
+        .ok_or_else(|| format!("unclosed memory operand `{token}`"))?;
+    let offset: i64 = token[..open]
+        .parse()
+        .map_err(|_| format!("bad offset in memory operand `{token}`"))?;
+    let base = int_reg(&close[open + 1..])?;
+    Ok((offset, base))
+}
+
+fn int_op(mnemonic: &str) -> Option<IntOp> {
+    Some(match mnemonic {
+        "add" => IntOp::Add,
+        "sub" => IntOp::Sub,
+        "mul" => IntOp::Mul,
+        "div" => IntOp::Div,
+        "rem" => IntOp::Rem,
+        "and" => IntOp::And,
+        "or" => IntOp::Or,
+        "xor" => IntOp::Xor,
+        "sll" => IntOp::Sll,
+        "srl" => IntOp::Srl,
+        "sra" => IntOp::Sra,
+        "cmpeq" => IntOp::CmpEq,
+        "cmpne" => IntOp::CmpNe,
+        "cmplt" => IntOp::CmpLt,
+        "cmple" => IntOp::CmpLe,
+        "cmpgt" => IntOp::CmpGt,
+        "cmpge" => IntOp::CmpGe,
+        _ => return None,
+    })
+}
+
+fn fp_op(mnemonic: &str) -> Option<FpOp> {
+    Some(match mnemonic {
+        "fadd" => FpOp::FAdd,
+        "fsub" => FpOp::FSub,
+        "fmul" => FpOp::FMul,
+        "fdiv" => FpOp::FDiv,
+        _ => return None,
+    })
+}
+
+fn fp_cmp_op(mnemonic: &str) -> Option<FpCmpOp> {
+    Some(match mnemonic {
+        "feq" => FpCmpOp::FEq,
+        "fne" => FpCmpOp::FNe,
+        "flt" => FpCmpOp::FLt,
+        "fle" => FpCmpOp::FLe,
+        "fgt" => FpCmpOp::FGt,
+        "fge" => FpCmpOp::FGe,
+        _ => return None,
+    })
+}
+
+fn parse_instr(line: &str) -> Result<Instr, String> {
+    let tokens = tokenize(line);
+    let (&mnemonic, args) = tokens
+        .split_first()
+        .ok_or_else(|| "empty instruction".to_string())?;
+    let arity = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "`{mnemonic}` takes {n} operands, got {}",
+                args.len()
+            ))
+        }
+    };
+    if let Some(op) = int_op(mnemonic) {
+        arity(3)?;
+        return Ok(Instr::IntOp {
+            op,
+            dst: int_reg(args[0])?,
+            lhs: int_reg(args[1])?,
+            rhs: operand(args[2])?,
+        });
+    }
+    if let Some(op) = fp_op(mnemonic) {
+        arity(3)?;
+        return Ok(Instr::FpOp {
+            op,
+            dst: fp_reg(args[0])?,
+            lhs: fp_reg(args[1])?,
+            rhs: fp_reg(args[2])?,
+        });
+    }
+    if let Some(op) = fp_cmp_op(mnemonic) {
+        arity(3)?;
+        return Ok(Instr::FpCmp {
+            op,
+            dst: int_reg(args[0])?,
+            lhs: fp_reg(args[1])?,
+            rhs: fp_reg(args[2])?,
+        });
+    }
+    if let Some(rest) = mnemonic.strip_prefix('v') {
+        if let Some(op) = fp_op(rest) {
+            arity(3)?;
+            return Ok(Instr::VOp {
+                op,
+                dst: vec_reg(args[0])?,
+                lhs: vec_reg(args[1])?,
+                rhs: vec_reg(args[2])?,
+            });
+        }
+        if let Some(op) = rest.strip_suffix(".s").and_then(fp_op) {
+            arity(3)?;
+            return Ok(Instr::VOpS {
+                op,
+                dst: vec_reg(args[0])?,
+                lhs: vec_reg(args[1])?,
+                scalar: fp_reg(args[2])?,
+            });
+        }
+    }
+    match mnemonic {
+        "movi" => {
+            arity(2)?;
+            Ok(Instr::MovI {
+                dst: int_reg(args[0])?,
+                imm: imm_i64(args[1])?,
+            })
+        }
+        "movf" => {
+            arity(2)?;
+            Ok(Instr::MovF {
+                dst: fp_reg(args[0])?,
+                imm: imm_f64(args[1])?,
+            })
+        }
+        "fmov" => {
+            arity(2)?;
+            Ok(Instr::FMov {
+                dst: fp_reg(args[0])?,
+                src: fp_reg(args[1])?,
+            })
+        }
+        "itof" => {
+            arity(2)?;
+            Ok(Instr::IToF {
+                dst: fp_reg(args[0])?,
+                src: int_reg(args[1])?,
+            })
+        }
+        "ftoi" => {
+            arity(2)?;
+            Ok(Instr::FToI {
+                dst: int_reg(args[0])?,
+                src: fp_reg(args[1])?,
+            })
+        }
+        "ld" => {
+            arity(2)?;
+            let (offset, base) = mem_operand(args[1])?;
+            Ok(Instr::Load {
+                dst: int_reg(args[0])?,
+                base,
+                offset,
+                alias: MemAlias::unknown(),
+            })
+        }
+        "ldf" => {
+            arity(2)?;
+            let (offset, base) = mem_operand(args[1])?;
+            Ok(Instr::LoadF {
+                dst: fp_reg(args[0])?,
+                base,
+                offset,
+                alias: MemAlias::unknown(),
+            })
+        }
+        "st" => {
+            arity(2)?;
+            let (offset, base) = mem_operand(args[0])?;
+            Ok(Instr::Store {
+                src: int_reg(args[1])?,
+                base,
+                offset,
+                alias: MemAlias::unknown(),
+            })
+        }
+        "stf" => {
+            arity(2)?;
+            let (offset, base) = mem_operand(args[0])?;
+            Ok(Instr::StoreF {
+                src: fp_reg(args[1])?,
+                base,
+                offset,
+                alias: MemAlias::unknown(),
+            })
+        }
+        "vld" => {
+            arity(2)?;
+            let (offset, base) = mem_operand(args[1])?;
+            Ok(Instr::VLoad {
+                dst: vec_reg(args[0])?,
+                base,
+                offset,
+                alias: MemAlias::unknown(),
+            })
+        }
+        "vst" => {
+            arity(2)?;
+            let (offset, base) = mem_operand(args[0])?;
+            Ok(Instr::VStore {
+                src: vec_reg(args[1])?,
+                base,
+                offset,
+                alias: MemAlias::unknown(),
+            })
+        }
+        "setvl" => {
+            arity(1)?;
+            Ok(Instr::SetVl {
+                src: int_reg(args[0])?,
+            })
+        }
+        "bt" | "bf" => {
+            arity(2)?;
+            Ok(Instr::Br {
+                cond: int_reg(args[0])?,
+                expect: mnemonic == "bt",
+                target: label(args[1])?,
+            })
+        }
+        "jmp" => {
+            arity(1)?;
+            Ok(Instr::Jmp {
+                target: label(args[0])?,
+            })
+        }
+        "call" => {
+            arity(1)?;
+            let index: u32 = args[0]
+                .strip_prefix("fn#")
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| format!("expected call target like `fn#2`, got `{}`", args[0]))?;
+            Ok(Instr::Call {
+                target: FuncId::new(index),
+            })
+        }
+        "ret" => {
+            arity(0)?;
+            Ok(Instr::Ret)
+        }
+        "halt" => {
+            arity(0)?;
+            Ok(Instr::Halt)
+        }
+        _ => Err(format!("unknown mnemonic `{mnemonic}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_display() {
+        let text = "\
+main:
+  movi r1, #5
+  L0:
+  ld r2, -4(r5)
+  add r3, r1, #7
+  sub r3, r3, r2
+  cmpgt r4, r3, r1
+  bt r4, L0
+  st 8(r30), r3
+  fadd f3, f1, f2
+  flt r6, f1, f2
+  movf f4, #2.5
+  fmov f5, f4
+  itof f6, r3
+  ftoi r7, f6
+  vld v1, 0(r30)
+  vfmul v2, v1, v1
+  vfadd.s v3, v2, f4
+  vst 0(r30), v3
+  setvl r3
+  call fn#1
+  jmp L1
+helper:
+  ret
+  L0: <end>
+";
+        let program = parse_program(text).unwrap();
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(program, reparsed);
+        assert_eq!(program.functions().len(), 2);
+        assert_eq!(program.entry().unwrap().index(), 0);
+    }
+
+    #[test]
+    fn comments_and_indices_skipped() {
+        let program =
+            parse_program("main: // entry\n   0  movi r1, #1 ; set\n   1  halt\n").unwrap();
+        assert_eq!(program.functions()[0].instrs().len(), 2);
+    }
+
+    #[test]
+    fn unbound_label_parses_as_dangling() {
+        let program = parse_program("main:\n  jmp L3\n").unwrap();
+        let function = &program.functions()[0];
+        assert_eq!(function.label_targets()[3], UNBOUND_LABEL);
+        assert!(function.validate().is_err());
+    }
+
+    #[test]
+    fn entry_prefers_main() {
+        let program = parse_program("aux:\n  ret\nmain:\n  halt\n").unwrap();
+        assert_eq!(program.entry().unwrap().index(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_program("main:\n  frobnicate r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"));
+        let err = parse_program("movi r1, #1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_program("main:\n  add r1, r2\n").unwrap_err();
+        assert!(err.message.contains("3 operands"));
+        let err = parse_program("main:\n  ld r1, nope\n").unwrap_err();
+        assert!(err.message.contains("memory operand"));
+        let err = parse_program("main:\n  movi r99, #0\n").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+}

@@ -156,9 +156,7 @@ impl Expr {
             Expr::Var(v) => v == name,
             Expr::Elem { index, .. } => index.references_var(name),
             Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr.references_var(name),
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.references_var(name) || rhs.references_var(name)
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.references_var(name) || rhs.references_var(name),
             Expr::Call { args, .. } => args.iter().any(|a| a.references_var(name)),
         }
     }

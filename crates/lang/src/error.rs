@@ -83,7 +83,10 @@ impl fmt::Display for LangError {
                 name,
                 expected,
                 found,
-            } => write!(f, "call to `{name}` expects {expected} arguments, found {found}"),
+            } => write!(
+                f,
+                "call to `{name}` expects {expected} arguments, found {found}"
+            ),
         }
     }
 }

@@ -41,9 +41,8 @@ pub struct Token {
 
 const PUNCTS: &[&str] = &[
     // Two-character tokens first (maximal munch).
-    "==", "!=", "<=", ">=", "<<", ">>", "->", "&&", "||",
-    "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "/", "%", "<", ">", "=", "&", "|",
-    "^", "!",
+    "==", "!=", "<=", ">=", "<<", ">>", "->", "&&", "||", "(", ")", "{", "}", "[", "]", ";", ",",
+    "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!",
 ];
 
 /// Tokenizes Tital source text.
@@ -233,10 +232,7 @@ mod tests {
 
     #[test]
     fn big_integer_literal() {
-        assert_eq!(
-            kinds("9223372036854775807")[0],
-            TokenKind::Int(i64::MAX)
-        );
+        assert_eq!(kinds("9223372036854775807")[0], TokenKind::Int(i64::MAX));
         assert!(lex("99999999999999999999999").is_err());
     }
 }

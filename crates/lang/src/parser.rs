@@ -600,17 +600,12 @@ mod tests {
 
     #[test]
     fn parse_globals() {
-        let m = parse("global var x = 3; global fvar y = -2.5; global arr a[10]; global farr b[4];")
-            .unwrap();
+        let m =
+            parse("global var x = 3; global fvar y = -2.5; global arr a[10]; global farr b[4];")
+                .unwrap();
         assert_eq!(m.globals.len(), 4);
-        assert_eq!(
-            m.globals[0].kind,
-            GlobalKind::Scalar { init: Some(3.0) }
-        );
-        assert_eq!(
-            m.globals[1].kind,
-            GlobalKind::Scalar { init: Some(-2.5) }
-        );
+        assert_eq!(m.globals[0].kind, GlobalKind::Scalar { init: Some(3.0) });
+        assert_eq!(m.globals[1].kind, GlobalKind::Scalar { init: Some(-2.5) });
         assert_eq!(m.globals[2].kind, GlobalKind::Array { len: 10 });
         assert_eq!(m.globals[2].ty, Ty::Int);
         assert_eq!(m.globals[3].ty, Ty::Float);
@@ -646,7 +641,11 @@ mod tests {
     fn precedence() {
         let m = parse("fn f() -> int { return 1 + 2 * 3; }").unwrap();
         match &m.funcs[0].body.stmts[0] {
-            Stmt::Return(Some(Expr::Binary { op: BinOp::Add, rhs, .. })) => {
+            Stmt::Return(Some(Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            })) => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("bad parse: {other:?}"),
@@ -666,7 +665,9 @@ mod tests {
     fn else_if_chain() {
         let m = parse("fn f(int x) { if (x > 0) { } else if (x < 0) { } else { } }").unwrap();
         match &m.funcs[0].body.stmts[0] {
-            Stmt::If { else_blk: Some(b), .. } => {
+            Stmt::If {
+                else_blk: Some(b), ..
+            } => {
                 assert!(matches!(b.stmts[0], Stmt::If { .. }));
             }
             other => panic!("bad parse: {other:?}"),
@@ -697,7 +698,11 @@ mod tests {
     fn logical_ops_lowered() {
         let m = parse("fn f(int a, int b) -> int { return a && b; }").unwrap();
         match &m.funcs[0].body.stmts[0] {
-            Stmt::Return(Some(Expr::Binary { op: BinOp::And, lhs, .. })) => {
+            Stmt::Return(Some(Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                ..
+            })) => {
                 assert!(matches!(**lhs, Expr::Binary { op: BinOp::Ne, .. }));
             }
             other => panic!("bad parse: {other:?}"),

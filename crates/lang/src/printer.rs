@@ -211,7 +211,12 @@ pub fn print_expr(expr: &Expr) -> String {
             UnOp::Not => format!("(!{})", print_expr(expr)),
         },
         Expr::Binary { op, lhs, rhs } => {
-            format!("({} {} {})", print_expr(lhs), bin_op_text(*op), print_expr(rhs))
+            format!(
+                "({} {} {})",
+                print_expr(lhs),
+                bin_op_text(*op),
+                print_expr(rhs)
+            )
         }
         Expr::Call { name, args } => {
             let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");

@@ -46,7 +46,10 @@ impl<'m> Checker<'m> {
                     arrays.insert(global.name.as_str(), global.ty).is_some()
                 }
             };
-            if duplicate || (scalars.contains_key(global.name.as_str()) && arrays.contains_key(global.name.as_str())) {
+            if duplicate
+                || (scalars.contains_key(global.name.as_str())
+                    && arrays.contains_key(global.name.as_str()))
+            {
                 return Err(LangError::Redefined {
                     name: global.name.clone(),
                 });
@@ -233,22 +236,24 @@ impl<'m> Checker<'m> {
     }
 
     fn expect_value(&mut self, expr: &Expr) -> Result<Ty, LangError> {
-        self.check_expr(expr)?.ok_or_else(|| LangError::TypeMismatch {
-            context: "void call used as a value".into(),
-        })
+        self.check_expr(expr)?
+            .ok_or_else(|| LangError::TypeMismatch {
+                context: "void call used as a value".into(),
+            })
     }
 
     fn check_expr(&mut self, expr: &Expr) -> Result<Option<Ty>, LangError> {
         match expr {
             Expr::IntLit(_) => Ok(Some(Ty::Int)),
             Expr::FloatLit(_) => Ok(Some(Ty::Float)),
-            Expr::Var(name) => self
-                .lookup_var(name)
-                .map(Some)
-                .ok_or_else(|| LangError::Undefined {
-                    name: name.clone(),
-                    line: 0,
-                }),
+            Expr::Var(name) => {
+                self.lookup_var(name)
+                    .map(Some)
+                    .ok_or_else(|| LangError::Undefined {
+                        name: name.clone(),
+                        line: 0,
+                    })
+            }
             Expr::Elem { arr, index } => {
                 let Some(&elem_ty) = self.arrays.get(arr.as_str()) else {
                     return Err(LangError::Undefined {

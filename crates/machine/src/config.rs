@@ -1,6 +1,5 @@
 //! The machine description: latencies, functional units, issue limits.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use supersym_isa::{ClassTable, InstrClass, NUM_CLASSES};
@@ -13,7 +12,7 @@ use supersym_isa::{ClassTable, InstrClass, NUM_CLASSES};
 /// functional unit with issue latency 3 and multiplicity 2. This means that
 /// there are two units we might use to issue the instruction. If both are
 /// busy then the machine will stall until one is idle."
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FunctionalUnit {
     name: String,
     classes: Vec<InstrClass>,
@@ -22,12 +21,45 @@ pub struct FunctionalUnit {
 }
 
 impl FunctionalUnit {
+    /// Creates a functional unit, validating its shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::ZeroMultiplicity`] or
+    /// [`MachineError::ZeroIssueLatency`] for zero counts, and
+    /// [`MachineError::EmptyUnit`] when `classes` is empty — such a unit is
+    /// meaningless.
+    pub fn try_new(
+        name: impl Into<String>,
+        classes: impl Into<Vec<InstrClass>>,
+        multiplicity: u32,
+        issue_latency: u32,
+    ) -> Result<Self, MachineError> {
+        let name = name.into();
+        let classes = classes.into();
+        if multiplicity == 0 {
+            return Err(MachineError::ZeroMultiplicity { unit: name });
+        }
+        if issue_latency == 0 {
+            return Err(MachineError::ZeroIssueLatency { unit: name });
+        }
+        if classes.is_empty() {
+            return Err(MachineError::EmptyUnit { unit: name });
+        }
+        Ok(FunctionalUnit {
+            name,
+            classes,
+            multiplicity,
+            issue_latency,
+        })
+    }
+
     /// Creates a functional unit.
     ///
     /// # Panics
     ///
     /// Panics if `multiplicity` or `issue_latency` is zero, or `classes` is
-    /// empty — such a unit is meaningless.
+    /// empty; [`FunctionalUnit::try_new`] is the non-panicking form.
     #[must_use]
     pub fn new(
         name: impl Into<String>,
@@ -35,16 +67,7 @@ impl FunctionalUnit {
         multiplicity: u32,
         issue_latency: u32,
     ) -> Self {
-        let classes = classes.into();
-        assert!(multiplicity > 0, "functional unit multiplicity must be > 0");
-        assert!(issue_latency > 0, "functional unit issue latency must be > 0");
-        assert!(!classes.is_empty(), "functional unit must serve some class");
-        FunctionalUnit {
-            name: name.into(),
-            classes,
-            multiplicity,
-            issue_latency,
-        }
+        Self::try_new(name, classes, multiplicity, issue_latency).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The unit's name (for reports).
@@ -80,7 +103,7 @@ impl FunctionalUnit {
 /// part as home locations for local and global variables." The paper's main
 /// configuration is 16 temporaries + 26 globals (§4.4); Figure 4-6 notes the
 /// forty-temporary variant used for the unrolling study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegisterSplit {
     /// Integer registers usable as expression temporaries.
     pub int_temps: u8,
@@ -140,6 +163,21 @@ pub enum MachineError {
     ZeroIssueWidth,
     /// Superpipelining degree of zero.
     ZeroPipeDegree,
+    /// A functional unit with multiplicity zero.
+    ZeroMultiplicity {
+        /// Name of the offending unit.
+        unit: String,
+    },
+    /// A functional unit with issue latency zero.
+    ZeroIssueLatency {
+        /// Name of the offending unit.
+        unit: String,
+    },
+    /// A functional unit serving no instruction class.
+    EmptyUnit {
+        /// Name of the offending unit.
+        unit: String,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -149,13 +187,25 @@ impl fmt::Display for MachineError {
                 write!(f, "instruction class `{c}` has no functional unit")
             }
             MachineError::DoublyCoveredClass(c) => {
-                write!(f, "instruction class `{c}` is served by multiple functional units")
+                write!(
+                    f,
+                    "instruction class `{c}` is served by multiple functional units"
+                )
             }
             MachineError::ZeroLatency(c) => {
                 write!(f, "instruction class `{c}` has zero operation latency")
             }
             MachineError::ZeroIssueWidth => write!(f, "issue width must be at least 1"),
             MachineError::ZeroPipeDegree => write!(f, "pipelining degree must be at least 1"),
+            MachineError::ZeroMultiplicity { unit } => {
+                write!(f, "functional unit `{unit}` multiplicity must be > 0")
+            }
+            MachineError::ZeroIssueLatency { unit } => {
+                write!(f, "functional unit `{unit}` issue latency must be > 0")
+            }
+            MachineError::EmptyUnit { unit } => {
+                write!(f, "functional unit `{unit}` must serve some class")
+            }
         }
     }
 }
@@ -168,7 +218,7 @@ impl Error for MachineError {}
 /// [`crate::presets`]. All latencies are in *machine cycles*; a machine
 /// cycle is `1 / pipe_degree` of a base-machine cycle, so results are
 /// compared across machines in base cycles via [`MachineConfig::base_cycles`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     name: String,
     issue_width: u32,
@@ -303,6 +353,38 @@ impl MachineConfig {
         config.register_split = split;
         config
     }
+
+    /// Lints the machine description, returning every finding instead of
+    /// stopping at the first problem.
+    ///
+    /// Structural invariants (class coverage, nonzero latencies and
+    /// multiplicities, nonzero issue width and pipelining degree) are
+    /// re-checked and reported as errors; plausibility problems that
+    /// [`MachineConfigBuilder::build`] accepts — an issue width no
+    /// combination of functional units can sustain, unit copies beyond the
+    /// issue width, or a superpipelining degree inconsistent with the
+    /// latency table — come back as warnings. An empty vector means the
+    /// description is clean.
+    #[must_use]
+    pub fn validate(&self) -> Vec<supersym_isa::Diagnostic> {
+        let units: Vec<crate::spec::UnitSpec> = self
+            .fus
+            .iter()
+            .map(|fu| crate::spec::UnitSpec {
+                name: fu.name().to_string(),
+                classes: fu.classes().to_vec(),
+                multiplicity: fu.multiplicity(),
+                issue_latency: fu.issue_latency(),
+            })
+            .collect();
+        crate::spec::lint_description(
+            &self.name,
+            self.issue_width,
+            self.pipe_degree,
+            &self.latencies,
+            &units,
+        )
+    }
 }
 
 impl fmt::Display for MachineConfig {
@@ -324,7 +406,10 @@ impl fmt::Display for MachineConfig {
                 fu.name(),
                 fu.multiplicity(),
                 fu.issue_latency(),
-                fu.classes().iter().map(|c| c.mnemonic()).collect::<Vec<_>>()
+                fu.classes()
+                    .iter()
+                    .map(|c| c.mnemonic())
+                    .collect::<Vec<_>>()
             )?;
         }
         Ok(())
@@ -415,6 +500,31 @@ impl MachineConfigBuilder {
     pub fn register_split(&mut self, split: RegisterSplit) -> &mut Self {
         self.register_split = split;
         self
+    }
+
+    /// Lints the description so far, returning *all* findings, where
+    /// [`Self::build`] stops at the first hard error. When no functional
+    /// unit has been declared, unit checks are skipped — `build` will
+    /// synthesize a clean per-class set.
+    #[must_use]
+    pub fn diagnose(&self) -> Vec<supersym_isa::Diagnostic> {
+        let units: Vec<crate::spec::UnitSpec> = self
+            .fus
+            .iter()
+            .map(|fu| crate::spec::UnitSpec {
+                name: fu.name().to_string(),
+                classes: fu.classes().to_vec(),
+                multiplicity: fu.multiplicity(),
+                issue_latency: fu.issue_latency(),
+            })
+            .collect();
+        crate::spec::lint_description(
+            &self.name,
+            self.issue_width,
+            self.pipe_degree,
+            &self.latencies,
+            &units,
+        )
     }
 
     /// Finishes the description.
@@ -531,7 +641,10 @@ mod tests {
 
     #[test]
     fn base_cycles_conversion() {
-        let config = MachineConfig::builder("sp4").pipe_degree(4).build().unwrap();
+        let config = MachineConfig::builder("sp4")
+            .pipe_degree(4)
+            .build()
+            .unwrap();
         assert_eq!(config.base_cycles(8), 2.0);
     }
 
@@ -575,14 +688,6 @@ mod tests {
             .unwrap();
         assert_eq!(config.latency(InstrClass::Load), 6);
         assert_eq!(config.latency(InstrClass::IntAdd), 3);
-    }
-
-    #[test]
-    fn machine_config_is_serde() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<MachineConfig>();
-        assert_serde::<FunctionalUnit>();
-        assert_serde::<RegisterSplit>();
     }
 
     #[test]

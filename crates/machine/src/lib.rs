@@ -38,9 +38,13 @@
 mod config;
 mod metrics;
 pub mod presets;
+mod spec;
 
-pub use config::{FunctionalUnit, MachineConfig, MachineConfigBuilder, MachineError, RegisterSplit};
+pub use config::{
+    FunctionalUnit, MachineConfig, MachineConfigBuilder, MachineError, RegisterSplit,
+};
 pub use metrics::{
     average_degree_from_census, average_degree_of_superpipelining, paper_frequencies,
     superpipelining_axis_position, utilization_grid, UtilizationCell,
 };
+pub use spec::{parse_machine_spec, MachineSpec, SpecError, UnitSpec};

@@ -84,7 +84,12 @@ pub fn underpipelined_slow_cycle() -> MachineConfig {
 #[must_use]
 pub fn underpipelined_half_issue() -> MachineConfig {
     let mut builder = MachineConfig::builder("underpipelined (issue < 1 per cycle)");
-    builder.functional_unit(FunctionalUnit::new("universal", InstrClass::ALL.to_vec(), 1, 2));
+    builder.functional_unit(FunctionalUnit::new(
+        "universal",
+        InstrClass::ALL.to_vec(),
+        1,
+        2,
+    ));
     builder.build().expect("underpipelined preset is valid")
 }
 

@@ -1,0 +1,522 @@
+//! Textual machine descriptions and the description lint.
+//!
+//! A `.machine` file is a line-oriented description of a
+//! [`MachineConfig`]:
+//!
+//! ```text
+//! # CRAY-1-flavored scalar machine
+//! name my-cray
+//! issue_width 1
+//! pipe_degree 3
+//! latency load 11
+//! latency fpadd 6
+//! unit mem classes=load,store multiplicity=1 issue_latency=1
+//! unit fp classes=fpadd,fpmul,fpdiv,fpcvt multiplicity=1 issue_latency=2
+//! split int_temps=16 int_globals=26 fp_temps=16 fp_globals=26
+//! branch_prediction perfect
+//! taken_branch_breaks_issue false
+//! ```
+//!
+//! Class names are the [`InstrClass::mnemonic`] strings. Unset keys keep
+//! the base-machine defaults ([`MachineConfigBuilder::new`]). Parsing is
+//! deliberately permissive about *semantic* nonsense — zero latencies, a
+//! unit with multiplicity 0, uncovered classes — so that
+//! [`MachineSpec::diagnose`] can report every problem at once; only
+//! syntactic garbage is a [`SpecError`].
+
+use crate::config::{
+    FunctionalUnit, MachineConfig, MachineConfigBuilder, MachineError, RegisterSplit,
+};
+use std::error::Error;
+use std::fmt;
+use supersym_isa::{ClassTable, Diagnostic, InstrClass, NUM_CLASSES};
+
+/// The shape of one functional unit as described, before validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitSpec {
+    /// The unit's name.
+    pub name: String,
+    /// Classes the unit claims to serve.
+    pub classes: Vec<InstrClass>,
+    /// Declared number of copies.
+    pub multiplicity: u32,
+    /// Declared cycles between issues to one copy.
+    pub issue_latency: u32,
+}
+
+/// A parsed (but not yet validated) machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Machine name.
+    pub name: String,
+    /// Maximum instructions issued per machine cycle.
+    pub issue_width: u32,
+    /// Superpipelining degree.
+    pub pipe_degree: u32,
+    /// Per-class operation latencies.
+    pub latencies: ClassTable<u32>,
+    /// Functional units as described (possibly nonsensical).
+    pub units: Vec<UnitSpec>,
+    /// Register-file split.
+    pub split: RegisterSplit,
+    /// Whether branches are predicted perfectly.
+    pub perfect_branch_prediction: bool,
+    /// Whether a taken branch ends the cycle's issue group.
+    pub taken_branch_breaks_issue: bool,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec {
+            name: "unnamed".to_string(),
+            issue_width: 1,
+            pipe_degree: 1,
+            latencies: ClassTable::from_fn(|_| 1),
+            units: Vec::new(),
+            split: RegisterSplit::default(),
+            perfect_branch_prediction: true,
+            taken_branch_breaks_issue: false,
+        }
+    }
+}
+
+impl MachineSpec {
+    /// Lints the description, returning every finding.
+    /// See [`MachineConfig::validate`] for the rule set.
+    #[must_use]
+    pub fn diagnose(&self) -> Vec<Diagnostic> {
+        lint_description(
+            &self.name,
+            self.issue_width,
+            self.pipe_degree,
+            &self.latencies,
+            &self.units,
+        )
+    }
+
+    /// Builds the [`MachineConfig`], enforcing the hard invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MachineError`], as [`MachineConfigBuilder::build`]
+    /// does; use [`Self::diagnose`] first to see everything wrong.
+    pub fn build(&self) -> Result<MachineConfig, MachineError> {
+        let mut builder = MachineConfigBuilder::new(self.name.clone());
+        builder
+            .issue_width(self.issue_width)
+            .pipe_degree(self.pipe_degree)
+            .latencies(self.latencies)
+            .register_split(self.split)
+            .perfect_branch_prediction(self.perfect_branch_prediction)
+            .taken_branch_breaks_issue(self.taken_branch_breaks_issue);
+        for unit in &self.units {
+            builder.functional_unit(FunctionalUnit::try_new(
+                unit.name.clone(),
+                unit.classes.clone(),
+                unit.multiplicity,
+                unit.issue_latency,
+            )?);
+        }
+        builder.build()
+    }
+}
+
+/// A syntax error in a `.machine` description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+fn class_by_mnemonic(token: &str) -> Option<InstrClass> {
+    InstrClass::ALL.into_iter().find(|c| c.mnemonic() == token)
+}
+
+/// Parses a `.machine` description.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for unknown keys, malformed numbers or unknown
+/// class names. Semantic problems parse fine and surface through
+/// [`MachineSpec::diagnose`].
+pub fn parse_machine_spec(text: &str) -> Result<MachineSpec, SpecError> {
+    let mut spec = MachineSpec::default();
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let err = |message: String| SpecError {
+            line: line_no,
+            message,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match key {
+            "name" => {
+                if rest.is_empty() {
+                    return Err(err("`name` needs a value".to_string()));
+                }
+                spec.name = rest.to_string();
+            }
+            "issue_width" => spec.issue_width = parse_u32(rest).map_err(err)?,
+            "pipe_degree" => spec.pipe_degree = parse_u32(rest).map_err(err)?,
+            "latency" => {
+                let (class_token, value) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("`latency` takes a class and a value".to_string()))?;
+                let class = class_by_mnemonic(class_token.trim())
+                    .ok_or_else(|| err(format!("unknown instruction class `{class_token}`")))?;
+                spec.latencies[class] = parse_u32(value.trim()).map_err(err)?;
+            }
+            "unit" => spec.units.push(parse_unit(rest).map_err(err)?),
+            "split" => spec.split = parse_split(rest).map_err(err)?,
+            "branch_prediction" => match rest {
+                "perfect" => spec.perfect_branch_prediction = true,
+                "real" => spec.perfect_branch_prediction = false,
+                other => {
+                    return Err(err(format!(
+                        "`branch_prediction` must be `perfect` or `real`, got `{other}`"
+                    )))
+                }
+            },
+            "taken_branch_breaks_issue" => {
+                spec.taken_branch_breaks_issue = parse_bool(rest).map_err(err)?;
+            }
+            other => return Err(err(format!("unknown key `{other}`"))),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_u32(token: &str) -> Result<u32, String> {
+    token
+        .parse()
+        .map_err(|_| format!("expected a number, got `{token}`"))
+}
+
+fn parse_bool(token: &str) -> Result<bool, String> {
+    match token {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected `true` or `false`, got `{other}`")),
+    }
+}
+
+/// `<name> classes=a,b multiplicity=N issue_latency=N` (the `key=value`
+/// parts in any order; unset counts default to 1).
+fn parse_unit(rest: &str) -> Result<UnitSpec, String> {
+    let mut tokens = rest.split_whitespace();
+    let name = tokens
+        .next()
+        .ok_or_else(|| "`unit` needs a name".to_string())?
+        .to_string();
+    let mut unit = UnitSpec {
+        name,
+        classes: Vec::new(),
+        multiplicity: 1,
+        issue_latency: 1,
+    };
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected `key=value`, got `{token}`"))?;
+        match key {
+            "classes" => {
+                for class_token in value.split(',').filter(|t| !t.is_empty()) {
+                    unit.classes.push(
+                        class_by_mnemonic(class_token)
+                            .ok_or_else(|| format!("unknown instruction class `{class_token}`"))?,
+                    );
+                }
+            }
+            "multiplicity" => unit.multiplicity = parse_u32(value)?,
+            "issue_latency" => unit.issue_latency = parse_u32(value)?,
+            other => return Err(format!("unknown unit key `{other}`")),
+        }
+    }
+    Ok(unit)
+}
+
+/// `int_temps=N int_globals=N fp_temps=N fp_globals=N` in any order.
+fn parse_split(rest: &str) -> Result<RegisterSplit, String> {
+    let mut split = RegisterSplit::default();
+    for token in rest.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected `key=value`, got `{token}`"))?;
+        let value: u8 = value
+            .parse()
+            .map_err(|_| format!("expected a number, got `{value}`"))?;
+        match key {
+            "int_temps" => split.int_temps = value,
+            "int_globals" => split.int_globals = value,
+            "fp_temps" => split.fp_temps = value,
+            "fp_globals" => split.fp_globals = value,
+            other => return Err(format!("unknown split key `{other}`")),
+        }
+    }
+    Ok(split)
+}
+
+/// The machine-description lint shared by [`MachineConfig::validate`],
+/// [`MachineConfigBuilder::diagnose`] and [`MachineSpec::diagnose`].
+///
+/// Hard invariants come back as errors, plausibility problems as warnings.
+/// When `units` is empty the unit checks are skipped: the builder
+/// synthesizes a clean conflict-free set in that case.
+pub(crate) fn lint_description(
+    name: &str,
+    issue_width: u32,
+    pipe_degree: u32,
+    latencies: &ClassTable<u32>,
+    units: &[UnitSpec],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut push = |d: Diagnostic| out.push(d.in_function(name));
+    if issue_width == 0 {
+        push(Diagnostic::error(
+            "zero-issue-width",
+            "issue width must be at least 1",
+        ));
+    }
+    if pipe_degree == 0 {
+        push(Diagnostic::error(
+            "zero-pipe-degree",
+            "superpipelining degree must be at least 1",
+        ));
+    }
+    for (class, &latency) in latencies.iter() {
+        if latency == 0 {
+            push(Diagnostic::error(
+                "zero-latency",
+                format!("class `{class}` has zero operation latency"),
+            ));
+        }
+    }
+    if !units.is_empty() {
+        let mut served_by = [None::<usize>; NUM_CLASSES];
+        for (index, unit) in units.iter().enumerate() {
+            if unit.classes.is_empty() {
+                push(Diagnostic::error(
+                    "empty-unit",
+                    format!("functional unit `{}` serves no class", unit.name),
+                ));
+            }
+            if unit.multiplicity == 0 {
+                push(Diagnostic::error(
+                    "zero-multiplicity",
+                    format!("functional unit `{}` has multiplicity 0", unit.name),
+                ));
+            }
+            if unit.issue_latency == 0 {
+                push(Diagnostic::error(
+                    "zero-issue-latency",
+                    format!("functional unit `{}` has issue latency 0", unit.name),
+                ));
+            }
+            if unit.multiplicity > issue_width && issue_width > 0 {
+                push(Diagnostic::warning(
+                    "excess-multiplicity",
+                    format!(
+                        "functional unit `{}` has {} copies but only {} can issue per cycle",
+                        unit.name, unit.multiplicity, issue_width
+                    ),
+                ));
+            }
+            for &class in &unit.classes {
+                match served_by[class.index()] {
+                    None => served_by[class.index()] = Some(index),
+                    Some(first) => push(Diagnostic::error(
+                        "doubly-covered-class",
+                        format!(
+                            "class `{class}` is served by both `{}` and `{}`",
+                            units[first].name, unit.name
+                        ),
+                    )),
+                }
+            }
+        }
+        for class in InstrClass::ALL {
+            if served_by[class.index()].is_none() {
+                push(Diagnostic::error(
+                    "uncovered-class",
+                    format!("class `{class}` has no functional unit"),
+                ));
+            }
+        }
+        // Best case, every unit copy accepts one instruction per cycle; if
+        // even that sum cannot reach the issue width, the width is a fiction.
+        let capacity: u64 = units.iter().map(|u| u64::from(u.multiplicity)).sum();
+        if capacity < u64::from(issue_width) {
+            push(Diagnostic::warning(
+                "unreachable-issue-width",
+                format!(
+                    "issue width {issue_width} can never be sustained: functional units \
+                     provide only {capacity} issue slots per cycle"
+                ),
+            ));
+        }
+    }
+    // Paper §2.4: the superpipelining degree *is* the latency of simple
+    // operations in machine cycles. A degree-m machine whose simple
+    // operations all finish in under m cycles is mislabeled.
+    if pipe_degree > 1 {
+        let max_simple = InstrClass::ALL
+            .into_iter()
+            .filter(|c| c.is_simple())
+            .map(|c| latencies[c])
+            .max()
+            .unwrap_or(0);
+        if max_simple < pipe_degree {
+            push(Diagnostic::warning(
+                "inconsistent-pipe-degree",
+                format!(
+                    "superpipelining degree {pipe_degree} but no simple operation \
+                     has latency >= {pipe_degree} (max is {max_simple})"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_isa::Severity;
+
+    const GOOD: &str = "\
+# a plausible two-wide machine
+name good
+issue_width 2
+latency load 2
+latency fpmul 4
+unit alu classes=logical,shift,add/sub,compare,intmul,intdiv multiplicity=2
+unit mem classes=load,store multiplicity=1
+unit ctrl classes=branch,jump multiplicity=1
+unit fp classes=fpadd,fpmul,fpdiv,fpcvt multiplicity=1 issue_latency=2
+";
+
+    #[test]
+    fn good_spec_parses_and_builds() {
+        let spec = parse_machine_spec(GOOD).unwrap();
+        assert_eq!(spec.name, "good");
+        assert_eq!(spec.issue_width, 2);
+        assert_eq!(spec.latencies[InstrClass::Load], 2);
+        assert_eq!(spec.units.len(), 4);
+        assert!(spec.diagnose().is_empty());
+        let config = spec.build().unwrap();
+        assert_eq!(config.issue_width(), 2);
+        assert_eq!(config.latency(InstrClass::FpMul), 4);
+    }
+
+    #[test]
+    fn broken_spec_yields_all_diagnostics() {
+        let text = "\
+name broken
+issue_width 0
+latency load 0
+unit alu classes=add/sub multiplicity=0
+unit alu2 classes=add/sub
+";
+        let spec = parse_machine_spec(text).unwrap();
+        let diagnostics = spec.diagnose();
+        let codes: Vec<&str> = diagnostics.iter().map(|d| d.code()).collect();
+        assert!(codes.contains(&"zero-issue-width"));
+        assert!(codes.contains(&"zero-latency"));
+        assert!(codes.contains(&"zero-multiplicity"));
+        assert!(codes.contains(&"doubly-covered-class"));
+        assert!(codes.contains(&"uncovered-class"));
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_machine_spec("name x\nfrobnicate 3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"));
+        let err = parse_machine_spec("latency nosuch 3\n").unwrap_err();
+        assert!(err.message.contains("unknown instruction class"));
+        let err = parse_machine_spec("issue_width lots\n").unwrap_err();
+        assert!(err.message.contains("expected a number"));
+    }
+
+    #[test]
+    fn split_and_flags_parse() {
+        let spec = parse_machine_spec(
+            "split int_temps=20 fp_temps=20\nbranch_prediction real\ntaken_branch_breaks_issue true\n",
+        )
+        .unwrap();
+        assert_eq!(spec.split.int_temps, 20);
+        assert_eq!(spec.split.int_globals, 26);
+        assert!(!spec.perfect_branch_prediction);
+        assert!(spec.taken_branch_breaks_issue);
+    }
+
+    #[test]
+    fn unreachable_issue_width_is_warning() {
+        let text = "\
+issue_width 8
+unit all classes=logical,shift,add/sub,intmul,intdiv,compare,load,store,branch,jump,fpadd,fpmul,fpdiv,fpcvt multiplicity=2
+";
+        let spec = parse_machine_spec(text).unwrap();
+        let diagnostics = spec.diagnose();
+        assert!(diagnostics
+            .iter()
+            .any(|d| d.code() == "unreachable-issue-width" && d.severity() == Severity::Warning));
+        // It still builds: warnings are not hard errors.
+        assert!(spec.build().is_ok());
+    }
+
+    #[test]
+    fn inconsistent_pipe_degree_is_warning() {
+        let spec = parse_machine_spec("pipe_degree 4\n").unwrap();
+        let diagnostics = spec.diagnose();
+        assert!(diagnostics
+            .iter()
+            .any(|d| d.code() == "inconsistent-pipe-degree"));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_units() {
+        assert!(matches!(
+            FunctionalUnit::try_new("u", vec![InstrClass::Load], 0, 1),
+            Err(MachineError::ZeroMultiplicity { .. })
+        ));
+        assert!(matches!(
+            FunctionalUnit::try_new("u", vec![InstrClass::Load], 1, 0),
+            Err(MachineError::ZeroIssueLatency { .. })
+        ));
+        assert!(matches!(
+            FunctionalUnit::try_new("u", Vec::<InstrClass>::new(), 1, 1),
+            Err(MachineError::EmptyUnit { .. })
+        ));
+        assert!(FunctionalUnit::try_new("u", vec![InstrClass::Load], 1, 1).is_ok());
+    }
+
+    #[test]
+    fn builder_diagnose_collects_everything() {
+        let mut builder = MachineConfig::builder("b");
+        builder
+            .issue_width(0)
+            .latency(InstrClass::Load, 0)
+            .latency(InstrClass::Store, 0);
+        let diagnostics = builder.diagnose();
+        assert_eq!(diagnostics.len(), 3);
+        assert!(diagnostics.iter().all(|d| d.is_error()));
+        // build() reports only the first.
+        assert!(builder.build().is_err());
+    }
+}

@@ -29,7 +29,9 @@ pub fn dead_code_elimination(module: &mut Module) -> bool {
             if keep.iter().any(|k| !k) {
                 changed = true;
                 let mut iter = keep.iter();
-                block.insts.retain(|_| *iter.next().expect("keep mask matches"));
+                block
+                    .insts
+                    .retain(|_| *iter.next().expect("keep mask matches"));
             }
         }
     }
@@ -74,7 +76,9 @@ pub fn remove_unreachable_blocks(module: &mut Module) -> bool {
             }
             match &mut block.term {
                 Terminator::Jump(b) => *b = BlockId(remap[b.index()]),
-                Terminator::Branch { then_bb, else_bb, .. } => {
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
                     *then_bb = BlockId(remap[then_bb.index()]);
                     *else_bb = BlockId(remap[else_bb.index()]);
                 }
@@ -102,7 +106,10 @@ pub fn dead_store_elimination(module: &mut Module) -> bool {
             let mut keep = vec![true; block.insts.len()];
             for (index, inst) in block.insts.iter().enumerate().rev() {
                 match inst {
-                    Inst::WriteVar { var: var @ VarRef::Local(_), .. } => {
+                    Inst::WriteVar {
+                        var: var @ VarRef::Local(_),
+                        ..
+                    } => {
                         if !read_later.contains(var)
                             && !liveness.is_live_out(BlockId(block_index as u32), *var)
                         {
@@ -122,7 +129,9 @@ pub fn dead_store_elimination(module: &mut Module) -> bool {
             if keep.iter().any(|k| !k) {
                 changed = true;
                 let mut iter = keep.iter();
-                block.insts.retain(|_| *iter.next().expect("keep mask matches"));
+                block
+                    .insts
+                    .retain(|_| *iter.next().expect("keep mask matches"));
             }
         }
     }
@@ -163,8 +172,7 @@ mod tests {
 
     #[test]
     fn branch_fold_then_unreachable_removal() {
-        let mut module =
-            prepare("fn main() -> int { if (0) { return 1; } else { return 2; } }");
+        let mut module = prepare("fn main() -> int { if (0) { return 1; } else { return 2; } }");
         local_value_numbering(&mut module);
         dead_code_elimination(&mut module);
         module.validate().unwrap();
@@ -184,10 +192,13 @@ mod tests {
         dead_code_elimination(&mut module);
         module.validate().unwrap();
         let f = &module.funcs[0];
-        assert!(f.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::WriteVar { var: VarRef::Global(_), .. })));
+        assert!(f.blocks[0].insts.iter().any(|i| matches!(
+            i,
+            Inst::WriteVar {
+                var: VarRef::Global(_),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -53,9 +53,8 @@ use supersym_ir::Module;
 /// Runs the paper's "intra-block optimizations" to a fixed point (bounded).
 pub fn run_local(module: &mut Module) {
     for _ in 0..4 {
-        let changed = local_value_numbering(module)
-            | strength_reduce(module)
-            | dead_code_elimination(module);
+        let changed =
+            local_value_numbering(module) | strength_reduce(module) | dead_code_elimination(module);
         if !changed {
             break;
         }

@@ -13,9 +13,7 @@
 //! arithmetic are left alone.
 
 use std::collections::HashSet;
-use supersym_ir::{
-    natural_loops, Block, BlockId, Inst, Module, Terminator, VReg, VarRef,
-};
+use supersym_ir::{natural_loops, Block, BlockId, Inst, Module, Terminator, VReg, VarRef};
 
 /// Runs LICM to a bounded fixed point. Returns `true` if anything moved.
 pub fn loop_invariant_code_motion(module: &mut Module) -> bool {
@@ -43,12 +41,7 @@ fn licm_function(module: &mut Module, func_index: usize) -> bool {
     changed
 }
 
-fn hoist_loop(
-    module: &mut Module,
-    func_index: usize,
-    header: &BlockId,
-    body: &[BlockId],
-) -> bool {
+fn hoist_loop(module: &mut Module, func_index: usize, header: &BlockId, body: &[BlockId]) -> bool {
     let body_set: HashSet<BlockId> = body.iter().copied().collect();
     // Loop facts.
     let mut vars_written: HashSet<VarRef> = HashSet::new();
@@ -161,7 +154,9 @@ fn hoist_loop(
             }
             match &mut block.term {
                 Terminator::Jump(b) if b == header => *b = preheader,
-                Terminator::Branch { then_bb, else_bb, .. } => {
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
                     if then_bb == header {
                         *then_bb = preheader;
                     }
@@ -255,7 +250,10 @@ mod tests {
         dead_code_elimination(&mut module);
         module.validate().unwrap();
         let after = loop_inst_count(&module);
-        assert!(after < before, "loop body should shrink: {before} -> {after}");
+        assert!(
+            after < before,
+            "loop body should shrink: {before} -> {after}"
+        );
     }
 
     #[test]

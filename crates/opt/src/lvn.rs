@@ -4,9 +4,7 @@
 //! optimizations").
 
 use std::collections::HashMap;
-use supersym_ir::{
-    CmpOp, FloatBinOp, GlobalId, Inst, IntBinOp, Module, Terminator, VReg, VarRef,
-};
+use supersym_ir::{CmpOp, FloatBinOp, GlobalId, Inst, IntBinOp, Module, Terminator, VReg, VarRef};
 
 /// A compile-time constant (floats compared by bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,14 +103,14 @@ pub fn local_value_numbering(module: &mut Module) -> bool {
                     // Branch folding on constant conditions.
                     if let Some(&vn) = state.vn.get(cond) {
                         if let Some(Const::Int(value)) = state.consts.get(&vn) {
-                            let Terminator::Branch { then_bb, else_bb, .. } = block.term else {
+                            let Terminator::Branch {
+                                then_bb, else_bb, ..
+                            } = block.term
+                            else {
                                 unreachable!()
                             };
-                            block.term = Terminator::Jump(if *value != 0 {
-                                then_bb
-                            } else {
-                                else_bb
-                            });
+                            block.term =
+                                Terminator::Jump(if *value != 0 { then_bb } else { else_bb });
                             changed = true;
                         }
                     }
@@ -176,12 +174,9 @@ fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
                             // No representative vreg: keep the instruction.
                             let key = Key::IntBin(op, a, b);
                             let vn = lookup_or_insert(state, key, None);
-                            state.define(dst, vn).then_some(Inst::IntBin {
-                                op,
-                                dst,
-                                lhs,
-                                rhs,
-                            })
+                            state
+                                .define(dst, vn)
+                                .then_some(Inst::IntBin { op, dst, lhs, rhs })
                         }
                     }
                     Simplified::Const(value) => process(Inst::ConstInt { dst, value }, state),
@@ -346,7 +341,9 @@ fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
             let args = args.into_iter().map(|a| state.resolve(a)).collect();
             // The callee may read/write any global or array element.
             state.elem_val.clear();
-            state.var_val.retain(|var, _| matches!(var, VarRef::Local(_)));
+            state
+                .var_val
+                .retain(|var, _| matches!(var, VarRef::Local(_)));
             if let Some(dst) = dst {
                 let vn = state.fresh_vn();
                 state.define(dst, vn);
@@ -477,7 +474,6 @@ fn eval_int(op: IntBinOp, a: i64, b: i64) -> i64 {
     }
 }
 
-
 /// Strength reduction: rewrites `x * 2^k` (constant operand) into
 /// `x << k`, inserting the shift-amount constant. A separate pass so the
 /// value-numbering state stays simple; run it between LVN rounds.
@@ -524,8 +520,7 @@ pub fn strength_reduce(module: &mut Module) -> bool {
             // Apply in reverse so positions stay valid.
             for (pos, operand, dst) in rewrites.into_iter().rev() {
                 let constant = {
-                    let Inst::IntBin { lhs, rhs, .. } = &func.blocks[block_index].insts[pos]
-                    else {
+                    let Inst::IntBin { lhs, rhs, .. } = &func.blocks[block_index].insts[pos] else {
                         unreachable!("recorded position holds the multiply")
                     };
                     let other = if *lhs == operand { *rhs } else { *lhs };
@@ -557,7 +552,6 @@ pub fn strength_reduce(module: &mut Module) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dce::dead_code_elimination;
 
     fn prepare(src: &str) -> Module {
         let ast = supersym_lang::parse(src).unwrap();
@@ -652,26 +646,36 @@ mod tests {
         let global_reads = main.blocks[0]
             .insts
             .iter()
-            .filter(
-                |i| matches!(i, Inst::ReadVar { var: VarRef::Global(_), .. }),
-            )
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::ReadVar {
+                        var: VarRef::Global(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(global_reads, 2, "g re-read after the call");
         let local_reads = main.blocks[0]
             .insts
             .iter()
-            .filter(
-                |i| matches!(i, Inst::ReadVar { var: VarRef::Local(_), .. }),
-            )
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::ReadVar {
+                        var: VarRef::Local(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(local_reads, 0, "locals forwarded across the call");
     }
 
     #[test]
     fn algebraic_identities() {
-        let module = optimize(
-            "fn main(int x) -> int { return (x + 0) * 1 + (x - x) + (x ^ x); }",
-        );
+        let module = optimize("fn main(int x) -> int { return (x + 0) * 1 + (x - x) + (x ^ x); }");
         // Everything folds to x: read + maybe nothing else... final add of
         // zero folds too. Expect just the parameter read.
         assert_eq!(count_insts(&module), 1);
@@ -715,12 +719,28 @@ mod tests {
         let shifts = f.blocks[0]
             .insts
             .iter()
-            .filter(|i| matches!(i, Inst::IntBin { op: IntBinOp::Shl, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::IntBin {
+                        op: IntBinOp::Shl,
+                        ..
+                    }
+                )
+            })
             .count();
         let muls = f.blocks[0]
             .insts
             .iter()
-            .filter(|i| matches!(i, Inst::IntBin { op: IntBinOp::Mul, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::IntBin {
+                        op: IntBinOp::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(shifts, 1, "g * 8 becomes g << 3");
         assert_eq!(muls, 1, "g * 3 stays a multiply");

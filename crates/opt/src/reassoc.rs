@@ -189,7 +189,7 @@ fn reassociate_block(func: &mut supersym_ir::Function, block_index: usize) -> bo
         let mut rebuilt: Vec<Inst> = Vec::with_capacity(block.insts.len() + new_insts.len());
         for (pos, inst) in block.insts.drain(..).enumerate() {
             if pos == index {
-                rebuilt.extend(new_insts.drain(..));
+                rebuilt.append(&mut new_insts);
             }
             if to_remove.binary_search(&pos).is_err() {
                 rebuilt.push(inst);
@@ -204,13 +204,13 @@ fn reassociate_block(func: &mut supersym_ir::Function, block_index: usize) -> bo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use supersym_ir::{Terminator};
+    use supersym_ir::Terminator;
     use supersym_lang::ast::Ty;
 
     /// Builds `dst = ((((a+b)+c)+d)+e)` in one block and measures chain
     /// depth before/after.
     fn left_chain(n: usize) -> supersym_ir::Module {
-        use supersym_ir::{Block, Function, VarRef, LocalId};
+        use supersym_ir::{Block, Function, LocalId, VarRef};
         let mut func = Function {
             name: "f".into(),
             vars: Vec::new(),
@@ -265,9 +265,11 @@ mod tests {
         let mut max_depth = 0;
         for inst in &block.insts {
             if let Some((_, dst, lhs, rhs)) = chain_op(inst) {
-                let d = 1 + depth.get(&lhs).copied().unwrap_or(0).max(
-                    depth.get(&rhs).copied().unwrap_or(0),
-                );
+                let d = 1 + depth
+                    .get(&lhs)
+                    .copied()
+                    .unwrap_or(0)
+                    .max(depth.get(&rhs).copied().unwrap_or(0));
                 depth.insert(dst, d);
                 max_depth = max_depth.max(d);
             }
@@ -338,13 +340,38 @@ mod tests {
         let d2 = func.new_vreg(Ty::Int);
         func.blocks.push(Block {
             insts: vec![
-                Inst::ReadVar { dst: a, var: VarRef::Local(LocalId(0)) },
-                Inst::ReadVar { dst: b, var: VarRef::Local(LocalId(1)) },
-                Inst::ReadVar { dst: c, var: VarRef::Local(LocalId(2)) },
-                Inst::IntBin { op: IntBinOp::Add, dst: d1, lhs: a, rhs: b },
-                Inst::IntBin { op: IntBinOp::Add, dst: d2, lhs: d1, rhs: c },
-                Inst::WriteVar { var: VarRef::Local(LocalId(3)), src: d1 },
-                Inst::WriteVar { var: VarRef::Local(LocalId(4)), src: d2 },
+                Inst::ReadVar {
+                    dst: a,
+                    var: VarRef::Local(LocalId(0)),
+                },
+                Inst::ReadVar {
+                    dst: b,
+                    var: VarRef::Local(LocalId(1)),
+                },
+                Inst::ReadVar {
+                    dst: c,
+                    var: VarRef::Local(LocalId(2)),
+                },
+                Inst::IntBin {
+                    op: IntBinOp::Add,
+                    dst: d1,
+                    lhs: a,
+                    rhs: b,
+                },
+                Inst::IntBin {
+                    op: IntBinOp::Add,
+                    dst: d2,
+                    lhs: d1,
+                    rhs: c,
+                },
+                Inst::WriteVar {
+                    var: VarRef::Local(LocalId(3)),
+                    src: d1,
+                },
+                Inst::WriteVar {
+                    var: VarRef::Local(LocalId(4)),
+                    src: d2,
+                },
             ],
             term: Terminator::Return(None),
         });

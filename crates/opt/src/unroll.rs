@@ -65,7 +65,7 @@ pub fn unroll_loops(module: &mut Module, options: UnrollOptions) -> usize {
     let funcs: Vec<FnDecl> = module.funcs.clone();
     for (index, func) in funcs.iter().enumerate() {
         let mut scopes = vec![globals.clone()];
-        scopes.push(func.params.iter().cloned().map(|(n, t)| (n, t)).collect());
+        scopes.push(func.params.iter().cloned().collect());
         let mut body = func.body.clone();
         count += unroll_block(&mut body, options, &mut scopes, &mut counter);
         module.funcs[index].body = body;
@@ -372,9 +372,10 @@ fn find_reductions(body: &Block, loop_var: &str, scopes: &[HashMap<String, Ty>])
     }
     // The accumulator must not appear anywhere else in the body.
     candidates.retain(|r| {
-        body.stmts.iter().enumerate().all(|(position, stmt)| {
-            position == r.position || !stmt_references_var(stmt, &r.name)
-        })
+        body.stmts
+            .iter()
+            .enumerate()
+            .all(|(position, stmt)| position == r.position || !stmt_references_var(stmt, &r.name))
     });
     // And must be unique (a variable reduced in two statements is carried).
     let mut unique: Vec<Reduction> = Vec::new();
@@ -429,7 +430,10 @@ fn block_writes_var(block: &Block, name: &str) -> bool {
         Stmt::Assign { name: n, .. } => n == name,
         Stmt::If {
             then_blk, else_blk, ..
-        } => block_writes_var(then_blk, name) || else_blk.as_ref().is_some_and(|b| block_writes_var(b, name)),
+        } => {
+            block_writes_var(then_blk, name)
+                || else_blk.as_ref().is_some_and(|b| block_writes_var(b, name))
+        }
         Stmt::For { body, .. } | Stmt::While { body, .. } => block_writes_var(body, name),
         _ => false,
     })
@@ -441,7 +445,10 @@ fn block_declares(block: &Block, name: &str) -> bool {
         Stmt::For { var, body, .. } => var == name || block_declares(body, name),
         Stmt::If {
             then_blk, else_blk, ..
-        } => block_declares(then_blk, name) || else_blk.as_ref().is_some_and(|b| block_declares(b, name)),
+        } => {
+            block_declares(then_blk, name)
+                || else_blk.as_ref().is_some_and(|b| block_declares(b, name))
+        }
         Stmt::While { body, .. } => block_declares(body, name),
         _ => false,
     })
@@ -586,9 +593,10 @@ mod tests {
             .count();
         assert_eq!(whiles, 2);
         // Naive copies interleave induction updates: 4 copies + 4 updates.
-        let Some(Stmt::While { body, .. }) = stmts
-            .iter()
-            .find(|s| matches!(s, Stmt::While { .. })) else { panic!() };
+        let Some(Stmt::While { body, .. }) = stmts.iter().find(|s| matches!(s, Stmt::While { .. }))
+        else {
+            panic!()
+        };
         assert_eq!(body.stmts.len(), 8);
     }
 
@@ -602,7 +610,7 @@ mod tests {
             .filter(|s| matches!(s, Stmt::Let { name, .. } if name.contains("__acc")))
             .count();
         assert_eq!(lets, 3); // copies 1..4
-        // Combining assignment exists.
+                             // Combining assignment exists.
         assert!(stmts.iter().any(
             |s| matches!(s, Stmt::Assign { name, value: Expr::Binary { .. } } if name == "s")
         ));
@@ -619,7 +627,10 @@ mod tests {
             .body
             .stmts
             .iter()
-            .find(|s| matches!(s, Stmt::While { .. })) else { panic!() };
+            .find(|s| matches!(s, Stmt::While { .. }))
+        else {
+            panic!()
+        };
         // Two copies then one induction update.
         assert_eq!(body.stmts.len(), 3);
         assert!(matches!(&body.stmts[2], Stmt::Assign { .. }));
@@ -724,7 +735,9 @@ mod tests {
             })
             .collect::<Vec<_>>();
         assert_eq!(lets.len(), 3);
-        assert!(lets.iter().all(|e| matches!(e, Expr::FloatLit(v) if *v == 1.0)));
+        assert!(lets
+            .iter()
+            .all(|e| matches!(e, Expr::FloatLit(v) if *v == 1.0)));
     }
 
     #[test]

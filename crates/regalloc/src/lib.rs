@@ -226,8 +226,7 @@ impl HomeAllocation {
                 _ => {}
             }
         }
-        ints
-    .sort_unstable();
+        ints.sort_unstable();
         ints.dedup();
         fps.sort_unstable();
         fps.dedup();
@@ -647,9 +646,7 @@ mod tests {
         let homes = allocate(&module, RegisterSplit::paper_default(), true);
         let fib = module.func_index("fib").unwrap();
         assert_eq!(homes.frame_words(fib), 3); // n, a, b
-        let slots: Vec<Home> = (0..3)
-            .map(|i| homes.local_home(fib, LocalId(i)))
-            .collect();
+        let slots: Vec<Home> = (0..3).map(|i| homes.local_home(fib, LocalId(i))).collect();
         assert_eq!(slots, vec![Home::Frame(0), Home::Frame(1), Home::Frame(2)]);
     }
 }

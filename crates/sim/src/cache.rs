@@ -104,7 +104,7 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.lines > 0 && config.words_per_line > 0 && config.associativity > 0);
         assert!(
-            config.lines % config.associativity == 0,
+            config.lines.is_multiple_of(config.associativity),
             "associativity must divide line count"
         );
         let n_sets = config.lines / config.associativity;
@@ -221,7 +221,12 @@ pub struct MissCostRow {
 impl MissCostRow {
     /// Creates a row from machine parameters.
     #[must_use]
-    pub fn new(machine: impl Into<String>, cycles_per_instr: f64, cycle_ns: f64, mem_ns: f64) -> Self {
+    pub fn new(
+        machine: impl Into<String>,
+        cycles_per_instr: f64,
+        cycle_ns: f64,
+        mem_ns: f64,
+    ) -> Self {
         MissCostRow {
             machine: machine.into(),
             cycles_per_instr,

@@ -118,10 +118,7 @@ fn render_rows(config: &MachineConfig, rows: &[(u64, u64)], label: &str) -> Stri
         axis.push(if col % degree == 0 { '|' } else { '.' });
     }
     out.push_str(&format!("{:8} {axis}\n", "base t"));
-    out.push_str(&format!(
-        "{:8} (one column = 1/{degree} base cycle)\n",
-        ""
-    ));
+    out.push_str(&format!("{:8} (one column = 1/{degree} base cycle)\n", ""));
     out
 }
 
@@ -159,10 +156,7 @@ mod tests {
         // Execute occupies three machine cycles.
         assert_eq!(rows[0].matches('E').count(), 3);
         // Issue is staggered by one machine cycle.
-        assert_eq!(
-            rows[1].find('E').unwrap(),
-            rows[0].find('E').unwrap() + 1
-        );
+        assert_eq!(rows[1].find('E').unwrap(), rows[0].find('E').unwrap() + 1);
     }
 
     #[test]
@@ -177,9 +171,6 @@ mod tests {
     fn underpipelined_issue_every_other_cycle() {
         let text = pipeline_diagram(&presets::underpipelined_half_issue(), 2);
         let rows: Vec<&str> = text.lines().filter(|l| l.starts_with("instr")).collect();
-        assert_eq!(
-            rows[1].find('E').unwrap(),
-            rows[0].find('E').unwrap() + 2
-        );
+        assert_eq!(rows[1].find('E').unwrap(), rows[0].find('E').unwrap() + 2);
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::error::SimError;
 use supersym_isa::{
-    ClassCensus, FuncId, Instr, InstrClass, IntOp, IntReg, Operand, Program, Reg, Uses,
-    MAX_VLEN, NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS,
+    ClassCensus, FuncId, Instr, InstrClass, IntOp, IntReg, Operand, Program, Reg, Uses, MAX_VLEN,
+    NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS,
 };
 
 /// Control-flow outcome of one step.
@@ -300,23 +300,31 @@ impl<'p> Executor<'p> {
                 let value = self.fp[src.index() as usize];
                 self.write_int(*dst, value as i64);
             }
-            Instr::Load { dst, base, offset, .. } => {
+            Instr::Load {
+                dst, base, offset, ..
+            } => {
                 let addr = self.addr(*base, *offset)?;
                 let value = self.memory[addr];
                 self.write_int(*dst, value);
                 mem = Some((addr, false));
             }
-            Instr::LoadF { dst, base, offset, .. } => {
+            Instr::LoadF {
+                dst, base, offset, ..
+            } => {
                 let addr = self.addr(*base, *offset)?;
                 self.fp[dst.index() as usize] = f64::from_bits(self.memory[addr] as u64);
                 mem = Some((addr, false));
             }
-            Instr::Store { src, base, offset, .. } => {
+            Instr::Store {
+                src, base, offset, ..
+            } => {
                 let addr = self.addr(*base, *offset)?;
                 self.memory[addr] = self.int_reg(*src);
                 mem = Some((addr, true));
             }
-            Instr::StoreF { src, base, offset, .. } => {
+            Instr::StoreF {
+                src, base, offset, ..
+            } => {
                 let addr = self.addr(*base, *offset)?;
                 self.memory[addr] = self.fp[src.index() as usize].to_bits() as i64;
                 mem = Some((addr, true));
@@ -325,7 +333,9 @@ impl<'p> Executor<'p> {
                 let requested = self.int_reg(*src);
                 self.vl = requested.clamp(0, MAX_VLEN as i64) as usize;
             }
-            Instr::VLoad { dst, base, offset, .. } => {
+            Instr::VLoad {
+                dst, base, offset, ..
+            } => {
                 let addr = self.addr(*base, *offset)?;
                 if addr + self.vl > self.memory.len() {
                     return Err(SimError::MemoryOutOfBounds {
@@ -340,7 +350,9 @@ impl<'p> Executor<'p> {
                 mem = Some((addr, false));
                 vlen = self.vl as u32;
             }
-            Instr::VStore { src, base, offset, .. } => {
+            Instr::VStore {
+                src, base, offset, ..
+            } => {
                 let addr = self.addr(*base, *offset)?;
                 if addr + self.vl > self.memory.len() {
                     return Err(SimError::MemoryOutOfBounds {
@@ -362,7 +374,12 @@ impl<'p> Executor<'p> {
                 }
                 vlen = self.vl as u32;
             }
-            Instr::VOpS { op, dst, lhs, scalar } => {
+            Instr::VOpS {
+                op,
+                dst,
+                lhs,
+                scalar,
+            } => {
                 let b = self.fp[scalar.index() as usize];
                 for k in 0..self.vl {
                     let a = self.vec[lhs.index() as usize][k];
@@ -370,7 +387,11 @@ impl<'p> Executor<'p> {
                 }
                 vlen = self.vl as u32;
             }
-            Instr::Br { cond, expect, target } => {
+            Instr::Br {
+                cond,
+                expect,
+                target,
+            } => {
                 let taken = (self.int_reg(*cond) != 0) == *expect;
                 if taken {
                     next_pc = function.resolve(*target);

@@ -48,8 +48,8 @@
 mod cache;
 pub mod diagram;
 mod error;
-mod limits;
 mod exec;
+mod limits;
 mod report;
 mod timing;
 
@@ -57,7 +57,7 @@ pub use cache::{
     issue_speedup_with_miss_burden, Cache, CacheConfig, CacheStats, CacheSystem, MissCostRow,
 };
 pub use error::SimError;
-pub use limits::{measure_limit, DataflowLimit, LimitOptions};
 pub use exec::{ControlEvent, ExecOptions, Executor, StepInfo};
+pub use limits::{measure_limit, DataflowLimit, LimitOptions};
 pub use report::{simulate, simulate_with_cache, CacheReport, SimOptions, SimReport};
 pub use timing::{IssueRecord, TimingModel};

@@ -244,9 +244,12 @@ mod tests {
         asm.br_true(r(5), top);
         asm.halt();
         let program = asm.finish_program();
-        let barriers =
-            measure_limit(&program, LimitOptions::with_branch_barriers(), options_small())
-                .unwrap();
+        let barriers = measure_limit(
+            &program,
+            LimitOptions::with_branch_barriers(),
+            options_small(),
+        )
+        .unwrap();
         let speculative =
             measure_limit(&program, LimitOptions::speculative(), options_small()).unwrap();
         assert!(
@@ -292,8 +295,7 @@ mod tests {
         asm.br_true(r(4), top);
         asm.halt();
         let program = asm.finish_program();
-        let oracle =
-            measure_limit(&program, LimitOptions::speculative(), options_small()).unwrap();
+        let oracle = measure_limit(&program, LimitOptions::speculative(), options_small()).unwrap();
         let report = crate::simulate(
             &program,
             &presets::ideal_superscalar(8),

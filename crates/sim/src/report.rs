@@ -234,6 +234,6 @@ mod tests {
         // A tiny loop fits in the I-cache: nearly all hits.
         assert!(caches.icache.miss_rate() < 0.05);
         let cpi = caches.effective_cpi(1.0, 10.0);
-        assert!(cpi >= 1.0 && cpi < 2.0);
+        assert!((1.0..2.0).contains(&cpi));
     }
 }

@@ -31,8 +31,8 @@
 //! hard-coded.
 
 use crate::exec::{ControlEvent, StepInfo};
-use supersym_machine::MachineConfig;
 use supersym_isa::{InstrClass, Reg, NUM_CLASSES};
+use supersym_machine::MachineConfig;
 
 const NUM_REGS: usize = Reg::DENSE_SPACE;
 

@@ -1,0 +1,63 @@
+//! # supersym-verify
+//!
+//! Independent static verification for the supersym system: a safety net
+//! under the compiler and simulator that re-derives, rather than trusts,
+//! their invariants.
+//!
+//! Three analyses live here:
+//!
+//! - [`check_schedule`] — given a program before and after instruction
+//!   scheduling, proves the schedule is a dependence-preserving permutation
+//!   of each scheduling region. The dependence construction (register
+//!   RAW/WAR/WAW plus conservative memory edges) is reimplemented from the
+//!   ISA semantics alone, independently of the scheduler in
+//!   `supersym-codegen`, so a bug there cannot hide itself here.
+//! - [`lint_program`] — machine-level program lint: dangling labels,
+//!   unknown call targets, paths that fall off the end of a function,
+//!   unreachable code, reads of registers no path has written, and (given a
+//!   machine description) register-split violations.
+//! - [`lint_machine`] — machine-description lint: class coverage, zero
+//!   latencies and multiplicities, issue width versus aggregate unit
+//!   multiplicity, and superpipelining-degree consistency.
+//!
+//! All three report [`Diagnostic`]s rather than panicking, so callers can
+//! collect every problem in one pass and decide severity policy themselves
+//! ([`error_count`] helps). The paper's experiments (Jouppi & Wall, ASPLOS
+//! 1989) hinge on the scheduler exploiting *exactly* the parallelism the
+//! dependence structure allows — a scheduler that broke an edge would
+//! silently inflate the measured instruction-level parallelism, which is
+//! why the legality checker is wired into compilation in debug builds.
+//!
+//! ## Example
+//!
+//! ```
+//! use supersym_isa::parse_program;
+//! use supersym_verify::{check_schedule, lint_machine, lint_program};
+//!
+//! let program = parse_program("main:\n  movi r9, #1\n  halt\n").unwrap();
+//! assert!(lint_program(&program, None).is_empty());
+//! assert!(check_schedule(&program, &program).is_empty());
+//!
+//! let machine = supersym_machine::presets::base();
+//! assert!(lint_machine(&machine).iter().all(|d| !d.is_error()));
+//! ```
+
+#![deny(missing_docs)]
+
+mod lint;
+mod schedule;
+
+pub use lint::lint_program;
+pub use schedule::{check_schedule, EdgeKind, ScheduleViolation, ViolationKind};
+pub use supersym_isa::{error_count, Diagnostic, Severity};
+
+/// Lints a machine description, returning structured diagnostics instead of
+/// panicking.
+///
+/// This is a thin, discoverable wrapper over
+/// [`MachineConfig::validate`](supersym_machine::MachineConfig::validate);
+/// it exists so all three verification entry points live in one crate.
+#[must_use]
+pub fn lint_machine(config: &supersym_machine::MachineConfig) -> Vec<Diagnostic> {
+    config.validate()
+}

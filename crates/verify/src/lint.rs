@@ -1,0 +1,615 @@
+//! The program lint: static checks over `supersym-isa` programs.
+//!
+//! Five analyses, all reported as [`Diagnostic`]s:
+//!
+//! 1. **Label validation** — every label slot bound in range, every branch
+//!    naming an existing slot (errors);
+//! 2. **Control-flow closure** — call targets in range, an entry function
+//!    set, and no reachable path that falls off the end of a function,
+//!    which the simulator treats as a fault (errors);
+//! 3. **Unreachable code** — instructions no path from the function entry
+//!    reaches (warning, one per run);
+//! 4. **Definite-definition dataflow** — a forward must-be-defined analysis
+//!    over the control-flow graph; reading a register no path has written
+//!    is reported per use (warning: the simulator zero-fills, so this is
+//!    suspicious rather than fatal);
+//! 5. **Register-split conformance** — with a machine description in hand,
+//!    any register outside the calling convention and the machine's
+//!    temporary/home ranges is an error: the register allocator must never
+//!    emit it.
+
+use supersym_isa::{
+    Diagnostic, FpReg, Instr, IntReg, Program, Reg, NUM_FP_REGS, NUM_INT_REGS, UNBOUND_LABEL,
+};
+use supersym_machine::{MachineConfig, RegisterSplit};
+
+/// Number of argument/return registers in each file (`r1..r8`, `f1..f8`).
+const NUM_ARG_REGS: u8 = 8;
+
+/// Lints a whole program.
+///
+/// With `machine` present, register-split conformance is checked against
+/// its [`RegisterSplit`]; without one, only machine-independent analyses
+/// run. An empty result means the program is clean.
+#[must_use]
+pub fn lint_program(program: &Program, machine: Option<&MachineConfig>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let entry = program.entry();
+    if entry.is_none() {
+        out.push(
+            Diagnostic::error("missing-entry", "program has no entry function")
+                .in_function("<program>"),
+        );
+    }
+    let split = machine.map(MachineConfig::register_split);
+    let allowed = split.map(AllowedRegs::new);
+    for (index, func) in program.functions().iter().enumerate() {
+        let is_entry = entry.is_some_and(|id| id.index() == index);
+        let ctx = FunctionContext {
+            program,
+            is_entry,
+            split,
+            allowed: allowed.as_ref(),
+        };
+        lint_function(func, &ctx, &mut out);
+    }
+    out
+}
+
+struct FunctionContext<'a> {
+    program: &'a Program,
+    is_entry: bool,
+    split: Option<RegisterSplit>,
+    allowed: Option<&'a AllowedRegs>,
+}
+
+/// The registers a program may legally mention under a [`RegisterSplit`]:
+/// the calling convention (`r0`, args, `sp`, `gp`, `at`) plus the
+/// temporary and home prefixes of the allocatable ranges. Mirrors the
+/// allocator's layout independently of `supersym-regalloc`.
+struct AllowedRegs {
+    int: [bool; NUM_INT_REGS],
+    fp: [bool; NUM_FP_REGS],
+}
+
+impl AllowedRegs {
+    fn new(split: RegisterSplit) -> Self {
+        let mut int = [false; NUM_INT_REGS];
+        let mut fp = [false; NUM_FP_REGS];
+        for index in 0..=NUM_ARG_REGS {
+            int[index as usize] = true; // r0 and args
+            if index > 0 {
+                fp[index as usize] = true; // f1..f8
+            }
+        }
+        for special in [IntReg::SP, IntReg::GP, IntReg::AT] {
+            int[special.index() as usize] = true;
+        }
+        let budget = split.int_temps as usize + split.int_globals as usize;
+        for (count, index) in allocatable_int_indices().enumerate() {
+            if count >= budget {
+                break;
+            }
+            int[index] = true;
+        }
+        let budget = split.fp_temps as usize + split.fp_globals as usize;
+        for (count, index) in allocatable_fp_indices().enumerate() {
+            if count >= budget {
+                break;
+            }
+            fp[index] = true;
+        }
+        AllowedRegs { int, fp }
+    }
+
+    fn permits(&self, reg: Reg) -> bool {
+        match reg {
+            Reg::Int(r) => self.int[r.index() as usize],
+            Reg::Fp(r) => self.fp[r.index() as usize],
+            Reg::Vec(_) | Reg::Vl => true,
+        }
+    }
+}
+
+/// Allocation order of integer registers: `r9..r28`, then `r32..r63`.
+fn allocatable_int_indices() -> impl Iterator<Item = usize> {
+    (9..IntReg::SP.index() as usize).chain(IntReg::AT.index() as usize + 1..NUM_INT_REGS)
+}
+
+/// Allocation order of FP registers: `f0`, then `f9..f63`.
+fn allocatable_fp_indices() -> impl Iterator<Item = usize> {
+    std::iter::once(0).chain(NUM_ARG_REGS as usize + 1..NUM_FP_REGS)
+}
+
+/// A dense register bitset over [`Reg::DENSE_SPACE`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct RegSet([u64; Self::WORDS]);
+
+impl RegSet {
+    const WORDS: usize = Reg::DENSE_SPACE.div_ceil(64);
+
+    const fn empty() -> Self {
+        RegSet([0; Self::WORDS])
+    }
+
+    const fn full() -> Self {
+        RegSet([u64::MAX; Self::WORDS])
+    }
+
+    fn insert(&mut self, reg: Reg) {
+        let index = reg.dense_index();
+        self.0[index / 64] |= 1 << (index % 64);
+    }
+
+    fn contains(&self, reg: Reg) -> bool {
+        let index = reg.dense_index();
+        self.0[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    fn intersect(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (word, &mask) in self.0.iter_mut().zip(&other.0) {
+            let next = *word & mask;
+            changed |= next != *word;
+            *word = next;
+        }
+        changed
+    }
+}
+
+/// Registers guaranteed defined when a function starts executing: the
+/// hardwired zero, the stack and global pointers and the vector length
+/// (initialized by the loader), variable home registers (owned by the
+/// allocator across the whole program), and — for non-entry functions —
+/// the argument registers.
+///
+/// With a known [`RegisterSplit`], the home range is exactly the
+/// `int_globals`/`fp_globals` registers after the temporaries in allocation
+/// order; without one, every allocatable register is treated as a potential
+/// home — weaker, but never noisier.
+fn entry_defined(is_entry: bool, split: Option<RegisterSplit>) -> RegSet {
+    let mut set = RegSet::empty();
+    set.insert(Reg::Int(IntReg::ZERO));
+    set.insert(Reg::Int(IntReg::SP));
+    set.insert(Reg::Int(IntReg::GP));
+    set.insert(Reg::Vl);
+    if !is_entry {
+        for index in 1..=NUM_ARG_REGS {
+            set.insert(Reg::Int(IntReg::new_unchecked(index)));
+            set.insert(Reg::Fp(FpReg::new_unchecked(index)));
+        }
+    }
+    let (int_skip, int_take, fp_skip, fp_take) = match split {
+        Some(s) => (
+            s.int_temps as usize,
+            s.int_globals as usize,
+            s.fp_temps as usize,
+            s.fp_globals as usize,
+        ),
+        None => (0, usize::MAX, 0, usize::MAX),
+    };
+    for index in allocatable_int_indices().skip(int_skip).take(int_take) {
+        set.insert(Reg::Int(IntReg::new_unchecked(index as u8)));
+    }
+    for index in allocatable_fp_indices().skip(fp_skip).take(fp_take) {
+        set.insert(Reg::Fp(FpReg::new_unchecked(index as u8)));
+    }
+    set
+}
+
+fn lint_function(
+    func: &supersym_isa::Function,
+    ctx: &FunctionContext<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let name = func.name();
+    let len = func.instrs().len();
+
+    // 1. Label validation. Bound-but-out-of-range entries are reported at
+    // the table; referenced-but-unbound slots (including the parser's
+    // `UNBOUND_LABEL` placeholder) are reported at the branch that names
+    // them. Unreferenced unbound slots are harmless padding.
+    for (slot, &target) in func.label_targets().iter().enumerate() {
+        if target > len && target != UNBOUND_LABEL {
+            out.push(
+                Diagnostic::error(
+                    "dangling-label",
+                    format!("label L{slot} points outside the function"),
+                )
+                .in_function(name),
+            );
+        }
+    }
+    for (index, instr) in func.instrs().iter().enumerate() {
+        if let Instr::Br { target, .. } | Instr::Jmp { target } = instr {
+            let slot = target.slot() as usize;
+            let bound = func
+                .label_targets()
+                .get(slot)
+                .is_some_and(|&bind| bind <= len);
+            if !bound {
+                out.push(
+                    Diagnostic::error(
+                        "dangling-label",
+                        format!("branch target {target} is never bound"),
+                    )
+                    .in_function(name)
+                    .at_instr(index),
+                );
+            }
+        }
+        if let Instr::Call { target } = instr {
+            if target.index() >= ctx.program.functions().len() {
+                out.push(
+                    Diagnostic::error(
+                        "unknown-call-target",
+                        format!("call to nonexistent function {target}"),
+                    )
+                    .in_function(name)
+                    .at_instr(index),
+                );
+            }
+        }
+        // 5. Register-split conformance (per instruction, machine-gated).
+        if let Some(allowed) = ctx.allowed {
+            let uses = instr.uses();
+            for reg in instr.def().into_iter().chain(uses.iter()) {
+                if !allowed.permits(reg) {
+                    out.push(
+                        Diagnostic::error(
+                            "split-violation",
+                            format!(
+                                "register {reg} is outside the machine's register split \
+                                 (not a temporary, home, or convention register)"
+                            ),
+                        )
+                        .in_function(name)
+                        .at_instr(index),
+                    );
+                }
+            }
+        }
+    }
+
+    if len == 0 {
+        out.push(
+            Diagnostic::error("falls-off-end", "function has no instructions").in_function(name),
+        );
+        return;
+    }
+
+    // Control-flow graph. `None` in a successor slot means "past the end";
+    // branch targets whose labels dangle (reported above) contribute no edge.
+    let successors: Vec<Vec<Option<usize>>> = func
+        .instrs()
+        .iter()
+        .enumerate()
+        .map(|(index, instr)| {
+            let mut succs = Vec::new();
+            match instr {
+                Instr::Ret | Instr::Halt => {}
+                Instr::Jmp { target } => {
+                    if let Some(edge) = resolve(func, *target) {
+                        succs.push(edge);
+                    }
+                }
+                Instr::Br { target, .. } => {
+                    if let Some(edge) = resolve(func, *target) {
+                        succs.push(edge);
+                    }
+                    succs.push(fallthrough(index, len));
+                }
+                _ => succs.push(fallthrough(index, len)),
+            }
+            succs
+        })
+        .collect();
+
+    // Reachability from the function entry.
+    let mut reachable = vec![false; len];
+    let mut stack = vec![0_usize];
+    while let Some(index) = stack.pop() {
+        if std::mem::replace(&mut reachable[index], true) {
+            continue;
+        }
+        for succ in successors[index].iter().flatten() {
+            if !reachable[*succ] {
+                stack.push(*succ);
+            }
+        }
+    }
+
+    // 2. Fall-off detection: a reachable instruction with a past-the-end
+    // successor is a latent `FellOffFunction` fault.
+    for (index, succs) in successors.iter().enumerate() {
+        if reachable[index] && succs.iter().any(Option::is_none) {
+            out.push(
+                Diagnostic::error(
+                    "falls-off-end",
+                    "execution can run past the last instruction",
+                )
+                .in_function(name)
+                .at_instr(index),
+            );
+        }
+    }
+
+    // 3. Unreachable code, one diagnostic per maximal run.
+    let mut index = 0;
+    while index < len {
+        if reachable[index] {
+            index += 1;
+            continue;
+        }
+        let start = index;
+        while index < len && !reachable[index] {
+            index += 1;
+        }
+        out.push(
+            Diagnostic::warning(
+                "unreachable-code",
+                format!("instructions {start}..{index} are unreachable from the function entry"),
+            )
+            .in_function(name)
+            .at_instr(start),
+        );
+    }
+
+    // 4. Definite-definition dataflow: forward must-analysis to a fixpoint.
+    let entry_set = entry_defined(ctx.is_entry, ctx.split);
+    let mut defined_in = vec![RegSet::full(); len];
+    defined_in[0] = entry_set;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for index in 0..len {
+            if !reachable[index] {
+                continue;
+            }
+            let mut defined_out = defined_in[index];
+            apply_defs(&func.instrs()[index], &mut defined_out);
+            for succ in successors[index].iter().flatten() {
+                changed |= defined_in[*succ].intersect(&defined_out);
+            }
+        }
+    }
+    for (index, instr) in func.instrs().iter().enumerate() {
+        if !reachable[index] {
+            continue;
+        }
+        for reg in instr.uses().iter() {
+            if !defined_in[index].contains(reg) {
+                out.push(
+                    Diagnostic::warning(
+                        "def-before-use",
+                        format!("register {reg} may be read before any definition"),
+                    )
+                    .in_function(name)
+                    .at_instr(index),
+                );
+            }
+        }
+    }
+}
+
+/// Resolves a branch target to a control-flow edge. The outer `None` means
+/// the label dangles (reported separately, contributes no edge); the inner
+/// `None` means the label binds to the end of the function, which is a
+/// fall-off edge.
+fn resolve(func: &supersym_isa::Function, target: supersym_isa::Label) -> Option<Option<usize>> {
+    let len = func.instrs().len();
+    let slot = target.slot() as usize;
+    let &index = func.label_targets().get(slot)?;
+    match index.cmp(&len) {
+        std::cmp::Ordering::Less => Some(Some(index)),
+        std::cmp::Ordering::Equal => Some(None),
+        std::cmp::Ordering::Greater => None,
+    }
+}
+
+/// The fall-through edge out of instruction `index`, `None` past the end.
+fn fallthrough(index: usize, len: usize) -> Option<usize> {
+    (index + 1 < len).then_some(index + 1)
+}
+
+/// Adds the registers `instr` defines to `set`. Calls define the argument
+/// and return registers of both files (the callee populated them or may
+/// have); nothing is killed, matching the functional simulator where
+/// register state simply persists.
+fn apply_defs(instr: &Instr, set: &mut RegSet) {
+    if let Some(reg) = instr.def() {
+        set.insert(reg);
+    }
+    if matches!(instr, Instr::Call { .. }) {
+        for index in 1..=NUM_ARG_REGS {
+            set.insert(Reg::Int(IntReg::new_unchecked(index)));
+            set.insert(Reg::Fp(FpReg::new_unchecked(index)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_isa::parse_program;
+    use supersym_machine::presets;
+
+    fn lint_text(text: &str) -> Vec<Diagnostic> {
+        let program = parse_program(text).unwrap();
+        lint_program(&program, Some(&presets::base()))
+    }
+
+    fn codes(diagnostics: &[Diagnostic]) -> Vec<&'static str> {
+        diagnostics.iter().map(|d| d.code()).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let diagnostics =
+            lint_text("main:\n  movi r9, #1\n  add r10, r9, #2\n  st 0(r30), r10\n  halt\n");
+        assert!(diagnostics.is_empty(), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn dangling_label_reported() {
+        let diagnostics = lint_text("main:\n  jmp L5\n  halt\n");
+        assert!(codes(&diagnostics).contains(&"dangling-label"));
+    }
+
+    #[test]
+    fn fall_off_end_reported() {
+        let diagnostics = lint_text("main:\n  movi r9, #1\n");
+        assert!(codes(&diagnostics).contains(&"falls-off-end"));
+    }
+
+    #[test]
+    fn conditional_fallthrough_off_end_reported() {
+        let diagnostics = lint_text("main:\n  L0:\n  cmpgt r9, r1, #0\n  bt r9, L0\n");
+        assert!(codes(&diagnostics).contains(&"falls-off-end"));
+    }
+
+    #[test]
+    fn unreachable_code_reported() {
+        let diagnostics = lint_text("main:\n  halt\n  movi r9, #1\n  movi r10, #2\n");
+        let unreachable: Vec<_> = diagnostics
+            .iter()
+            .filter(|d| d.code() == "unreachable-code")
+            .collect();
+        assert_eq!(unreachable.len(), 1, "one run, one diagnostic");
+        assert_eq!(unreachable[0].instr(), Some(1));
+    }
+
+    #[test]
+    fn def_before_use_reported() {
+        // r9 (a temporary) read before any write on some path.
+        let diagnostics = lint_text("main:\n  ld r10, 0(r9)\n  halt\n");
+        assert!(codes(&diagnostics).contains(&"def-before-use"));
+    }
+
+    #[test]
+    fn def_before_use_respects_joins() {
+        // r9 defined on only one side of a diamond: still a warning.
+        let text = "\
+main:
+  movi r12, #1
+  cmpgt r10, r12, #0
+  bt r10, L0
+  movi r9, #1
+  L0:
+  add r11, r9, #0
+  halt
+";
+        let diagnostics = lint_text(text);
+        assert!(codes(&diagnostics).contains(&"def-before-use"));
+        // Defined on *both* sides: clean.
+        let text = "\
+main:
+  movi r12, #1
+  cmpgt r10, r12, #0
+  bt r10, L0
+  movi r9, #1
+  jmp L1
+  L0:
+  movi r9, #2
+  L1:
+  add r11, r9, #0
+  halt
+";
+        let diagnostics = lint_text(text);
+        assert!(
+            !codes(&diagnostics).contains(&"def-before-use"),
+            "{diagnostics:?}"
+        );
+    }
+
+    #[test]
+    fn loop_carried_definition_accepted() {
+        // r9 written each iteration before the back edge re-reads it: the
+        // first read is after a straight-line write, so no warning.
+        let text = "\
+main:
+  movi r9, #8
+  L0:
+  sub r9, r9, #1
+  cmpgt r10, r9, #0
+  bt r10, L0
+  halt
+";
+        let diagnostics = lint_text(text);
+        assert!(diagnostics.is_empty(), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn args_defined_for_callee_not_entry() {
+        // Reading r1 in a non-entry function is fine (argument register);
+        // reading an argument register in `main` warns only when unwritten.
+        let text = "\
+main:
+  call fn#1
+  halt
+helper:
+  add r9, r1, #1
+  ret
+";
+        let diagnostics = lint_text(text);
+        assert!(diagnostics.is_empty(), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn call_defines_return_registers() {
+        let text = "\
+main:
+  call fn#1
+  add r9, r1, #0
+  halt
+helper:
+  movi r1, #7
+  ret
+";
+        let diagnostics = lint_text(text);
+        assert!(diagnostics.is_empty(), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn unknown_call_target_reported() {
+        let diagnostics = lint_text("main:\n  call fn#9\n  halt\n");
+        assert!(codes(&diagnostics).contains(&"unknown-call-target"));
+    }
+
+    #[test]
+    fn split_violation_reported() {
+        // r63 is past the paper split's 16+26 allocatable prefix.
+        let diagnostics = lint_text("main:\n  movi r63, #1\n  halt\n");
+        assert!(codes(&diagnostics).contains(&"split-violation"));
+        // Without a machine description the check is off.
+        let program = parse_program("main:\n  movi r63, #1\n  halt\n").unwrap();
+        assert!(lint_program(&program, None).is_empty());
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let program = Program::new();
+        let diagnostics = lint_program(&program, None);
+        assert!(codes(&diagnostics).contains(&"missing-entry"));
+    }
+
+    #[test]
+    fn empty_function_reported() {
+        let mut program = Program::new();
+        let id = program.add_function(supersym_isa::Function::new("f", vec![], vec![]));
+        program.set_entry(id);
+        let diagnostics = lint_program(&program, None);
+        assert!(codes(&diagnostics).contains(&"falls-off-end"));
+    }
+
+    #[test]
+    fn severities_are_as_documented() {
+        let diagnostics = lint_text("main:\n  ld r10, 0(r9)\n  jmp L7\n");
+        for d in &diagnostics {
+            match d.code() {
+                "def-before-use" | "unreachable-code" => assert!(!d.is_error(), "{d}"),
+                _ => assert!(d.is_error(), "{d}"),
+            }
+        }
+    }
+}

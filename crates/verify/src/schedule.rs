@@ -1,0 +1,527 @@
+//! The schedule legality checker.
+//!
+//! Given the same program before and after pipeline scheduling, proves the
+//! transformation could not have changed behaviour: within every scheduling
+//! region the output is a permutation of the input that preserves the order
+//! of every register dependence (RAW, WAR, WAW) and every conservative
+//! memory dependence; outside the regions nothing moved at all.
+//!
+//! The dependence construction here is a deliberate *reimplementation* of
+//! the one inside the scheduler (`supersym-codegen`), not a call into it:
+//! the scheduler tracks last-writers incrementally while this checker
+//! compares instruction pairs directly. Agreement between two independently
+//! written models is the point — a bug would have to appear in both, in the
+//! same way, to go unnoticed.
+
+use std::fmt;
+use supersym_isa::{Diagnostic, Function, Instr, Program, Reg};
+
+/// The kind of dependence edge a schedule failed to preserve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Read-after-write of a register: the reader moved above the writer.
+    Raw(Reg),
+    /// Write-after-read of a register: the overwrite moved above the reader.
+    War(Reg),
+    /// Write-after-write of a register: two writes swapped.
+    Waw(Reg),
+    /// A conservative memory dependence (store involved, aliases may
+    /// conflict).
+    Memory,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::Raw(reg) => write!(f, "RAW on {reg}"),
+            EdgeKind::War(reg) => write!(f, "WAR on {reg}"),
+            EdgeKind::Waw(reg) => write!(f, "WAW on {reg}"),
+            EdgeKind::Memory => f.write_str("memory dependence"),
+        }
+    }
+}
+
+/// What went wrong in a region (or a whole function).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// The two programs differ in shape (function count, names, lengths or
+    /// label tables) — nothing a scheduler is allowed to change.
+    ShapeMismatch {
+        /// What differs.
+        detail: String,
+    },
+    /// The scheduled region is not a permutation of the original region.
+    NotAPermutation {
+        /// The offending output instruction, printed.
+        detail: String,
+    },
+    /// An instruction outside any multi-instruction region changed.
+    MovedOutsideRegion {
+        /// The instruction index.
+        index: usize,
+    },
+    /// A dependence edge's endpoints swapped order.
+    BrokenEdge {
+        /// Original index of the edge's source (must come first).
+        pred: usize,
+        /// Original index of the edge's sink (must come after).
+        succ: usize,
+        /// Scheduled position of the source.
+        pred_pos: usize,
+        /// Scheduled position of the sink.
+        succ_pos: usize,
+        /// The dependence that was broken.
+        kind: EdgeKind,
+    },
+}
+
+/// One legality violation, attributed to a function and a region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleViolation {
+    /// Name of the function the violation is in.
+    pub function: String,
+    /// Original-index range `[start, end)` of the scheduling region
+    /// concerned (the whole function for shape mismatches).
+    pub region: (usize, usize),
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl ScheduleViolation {
+    /// Renders the violation as a [`Diagnostic`] (always an error).
+    #[must_use]
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let (start, end) = self.region;
+        let d = match &self.kind {
+            ViolationKind::ShapeMismatch { detail } => Diagnostic::error(
+                "schedule-shape-mismatch",
+                format!("scheduler changed program shape: {detail}"),
+            ),
+            ViolationKind::NotAPermutation { detail } => Diagnostic::error(
+                "schedule-not-permutation",
+                format!("region {start}..{end} is not a permutation of its input: {detail}"),
+            )
+            .at_instr(start),
+            ViolationKind::MovedOutsideRegion { index } => Diagnostic::error(
+                "schedule-moved-fixed-instr",
+                format!("instruction {index} outside any region was changed"),
+            )
+            .at_instr(*index),
+            ViolationKind::BrokenEdge {
+                pred,
+                succ,
+                pred_pos,
+                succ_pos,
+                kind,
+            } => Diagnostic::error(
+                "schedule-broken-edge",
+                format!(
+                    "region {start}..{end}: {kind} from instr {pred} to {succ} \
+                     reordered (now at positions {pred_pos} and {succ_pos})"
+                ),
+            )
+            .at_instr(*pred),
+        };
+        d.in_function(&self.function)
+    }
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_diagnostic().fmt(f)
+    }
+}
+
+/// Checks that `after` is a legal schedule of `before`.
+///
+/// Returns every violation found; an empty vector certifies legality.
+/// No machine description is needed: latencies influence *which* legal
+/// schedule is best, never which schedules are legal.
+#[must_use]
+pub fn check_schedule(before: &Program, after: &Program) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    if before.functions().len() != after.functions().len() {
+        violations.push(ScheduleViolation {
+            function: "<program>".to_string(),
+            region: (0, 0),
+            kind: ViolationKind::ShapeMismatch {
+                detail: format!(
+                    "{} functions before, {} after",
+                    before.functions().len(),
+                    after.functions().len()
+                ),
+            },
+        });
+        return violations;
+    }
+    for (b, a) in before.functions().iter().zip(after.functions()) {
+        check_function(b, a, &mut violations);
+    }
+    violations
+}
+
+fn check_function(before: &Function, after: &Function, out: &mut Vec<ScheduleViolation>) {
+    let shape = |detail: String| ScheduleViolation {
+        function: before.name().to_string(),
+        region: (0, before.instrs().len()),
+        kind: ViolationKind::ShapeMismatch { detail },
+    };
+    if before.name() != after.name() {
+        out.push(shape(format!(
+            "function renamed `{}` -> `{}`",
+            before.name(),
+            after.name()
+        )));
+        return;
+    }
+    if before.instrs().len() != after.instrs().len() {
+        out.push(shape(format!(
+            "{} instructions before, {} after",
+            before.instrs().len(),
+            after.instrs().len()
+        )));
+        return;
+    }
+    if before.label_targets() != after.label_targets() {
+        out.push(shape("label table changed".to_string()));
+        return;
+    }
+    let mut fixed = vec![true; before.instrs().len()];
+    for (start, end) in scheduling_regions(before) {
+        if end - start >= 2 {
+            fixed[start..end].iter_mut().for_each(|f| *f = false);
+            check_region(before, after, start, end, out);
+        }
+    }
+    for (index, is_fixed) in fixed.into_iter().enumerate() {
+        if is_fixed && before.instrs()[index] != after.instrs()[index] {
+            out.push(ScheduleViolation {
+                function: before.name().to_string(),
+                region: (index, index + 1),
+                kind: ViolationKind::MovedOutsideRegion { index },
+            });
+        }
+    }
+}
+
+/// The scheduling regions of a function: maximal runs of non-control
+/// instructions not crossed by any label target. This mirrors the
+/// scheduler's contract — it may permute within these ranges and nowhere
+/// else.
+fn scheduling_regions(func: &Function) -> Vec<(usize, usize)> {
+    let is_boundary = |index: usize| func.label_targets().contains(&index);
+    let mut regions = Vec::new();
+    let mut start = 0;
+    for (index, instr) in func.instrs().iter().enumerate() {
+        if index > start && is_boundary(index) {
+            regions.push((start, index));
+            start = index;
+        }
+        if instr.is_control() {
+            regions.push((start, index));
+            start = index + 1;
+        }
+    }
+    if start < func.instrs().len() {
+        regions.push((start, func.instrs().len()));
+    }
+    regions
+}
+
+fn check_region(
+    before: &Function,
+    after: &Function,
+    start: usize,
+    end: usize,
+    out: &mut Vec<ScheduleViolation>,
+) {
+    let b = &before.instrs()[start..end];
+    let a = &after.instrs()[start..end];
+    let violation = |kind: ViolationKind| ScheduleViolation {
+        function: before.name().to_string(),
+        region: (start, end),
+        kind,
+    };
+
+    // Match the output back to the input. Duplicates are matched in order,
+    // which is canonical here: any two identical non-control instructions
+    // either write the same register (WAW) or are conflicting stores, so
+    // every legal schedule keeps their relative order anyway.
+    let n = b.len();
+    let mut pos_of = vec![usize::MAX; n]; // original offset -> scheduled offset
+    let mut taken = vec![false; n];
+    let mut complete = true;
+    for (p, instr) in a.iter().enumerate() {
+        match (0..n).find(|&q| !taken[q] && &b[q] == instr) {
+            Some(q) => {
+                taken[q] = true;
+                pos_of[q] = p;
+            }
+            None => {
+                out.push(violation(ViolationKind::NotAPermutation {
+                    detail: format!("`{instr}` at position {} has no source", start + p),
+                }));
+                complete = false;
+            }
+        }
+    }
+    if !complete {
+        return; // positions are meaningless without a bijection
+    }
+
+    for (i, j, kind) in dependence_edges(b) {
+        if pos_of[i] > pos_of[j] {
+            out.push(violation(ViolationKind::BrokenEdge {
+                pred: start + i,
+                succ: start + j,
+                pred_pos: start + pos_of[i],
+                succ_pos: start + pos_of[j],
+                kind,
+            }));
+        }
+    }
+}
+
+/// Every ordering constraint within a straight-line region, computed by
+/// direct pairwise comparison (the independent model).
+///
+/// For instructions `i < j`:
+///
+/// * **RAW**: `j` reads a register whose nearest earlier write is `i`;
+/// * **WAW**: `j` writes a register whose nearest earlier write is `i`;
+/// * **WAR**: `j` writes a register that `i` reads, with no write between
+///   them (an intervening write would already order `i` via its own WAR);
+/// * **memory**: both touch memory, at least one is a store, and their
+///   alias annotations cannot prove disjointness.
+fn dependence_edges(region: &[Instr]) -> Vec<(usize, usize, EdgeKind)> {
+    let mut edges = Vec::new();
+    let defines = |i: usize, reg: Reg| region[i].def() == Some(reg);
+    for j in 0..region.len() {
+        for reg in region[j].uses().iter() {
+            if let Some(i) = (0..j).rev().find(|&i| defines(i, reg)) {
+                edges.push((i, j, EdgeKind::Raw(reg)));
+            }
+        }
+        if let Some(reg) = region[j].def() {
+            let previous_write = (0..j).rev().find(|&i| defines(i, reg));
+            if let Some(i) = previous_write {
+                edges.push((i, j, EdgeKind::Waw(reg)));
+            }
+            let readers_start = previous_write.map_or(0, |i| i + 1);
+            for (k, reader) in region.iter().enumerate().take(j).skip(readers_start) {
+                if reader.uses().iter().any(|r| r == reg) {
+                    edges.push((k, j, EdgeKind::War(reg)));
+                }
+            }
+        }
+    }
+    for i in 0..region.len() {
+        let Some((alias_i, store_i)) = region[i].mem_ref() else {
+            continue;
+        };
+        for (j, other) in region.iter().enumerate().skip(i + 1) {
+            let Some((alias_j, store_j)) = other.mem_ref() else {
+                continue;
+            };
+            if (store_i || store_j) && alias_i.may_conflict(alias_j) {
+                edges.push((i, j, EdgeKind::Memory));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_isa::{IntOp, IntReg, MemAlias, Operand};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    fn load(dst: u8, offset: i64) -> Instr {
+        Instr::Load {
+            dst: r(dst),
+            base: IntReg::GP,
+            offset,
+            alias: MemAlias::unknown(),
+        }
+    }
+
+    fn store(src: u8, offset: i64) -> Instr {
+        Instr::Store {
+            src: r(src),
+            base: IntReg::GP,
+            offset,
+            alias: MemAlias::unknown(),
+        }
+    }
+
+    fn add(dst: u8, lhs: u8, imm: i64) -> Instr {
+        Instr::IntOp {
+            op: IntOp::Add,
+            dst: r(dst),
+            lhs: r(lhs),
+            rhs: Operand::Imm(imm),
+        }
+    }
+
+    fn program_of(instrs: Vec<Instr>) -> Program {
+        let mut program = Program::new();
+        let id = program.add_function(Function::new("f", instrs, vec![]));
+        program.set_entry(id);
+        program
+    }
+
+    #[test]
+    fn identical_programs_pass() {
+        let p = program_of(vec![load(1, 0), add(2, 1, 1), store(2, 0), Instr::Halt]);
+        assert!(check_schedule(&p, &p).is_empty());
+    }
+
+    #[test]
+    fn legal_reorder_passes() {
+        // Independent loads may swap.
+        let before = program_of(vec![load(1, 0), load(2, 1), Instr::Halt]);
+        let after = program_of(vec![load(2, 1), load(1, 0), Instr::Halt]);
+        assert!(check_schedule(&before, &after).is_empty());
+    }
+
+    #[test]
+    fn raw_violation_caught() {
+        let before = program_of(vec![load(1, 0), add(2, 1, 1), Instr::Halt]);
+        let after = program_of(vec![add(2, 1, 1), load(1, 0), Instr::Halt]);
+        let violations = check_schedule(&before, &after);
+        assert!(violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::BrokenEdge {
+                kind: EdgeKind::Raw(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn war_violation_caught() {
+        let before = program_of(vec![add(2, 1, 0), Instr::MovI { dst: r(1), imm: 5 }]);
+        let after = program_of(vec![Instr::MovI { dst: r(1), imm: 5 }, add(2, 1, 0)]);
+        let violations = check_schedule(&before, &after);
+        assert!(violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::BrokenEdge {
+                kind: EdgeKind::War(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn waw_violation_caught() {
+        let before = program_of(vec![
+            Instr::MovI { dst: r(1), imm: 1 },
+            Instr::MovI { dst: r(1), imm: 2 },
+        ]);
+        let after = program_of(vec![
+            Instr::MovI { dst: r(1), imm: 2 },
+            Instr::MovI { dst: r(1), imm: 1 },
+        ]);
+        let violations = check_schedule(&before, &after);
+        assert!(violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::BrokenEdge {
+                kind: EdgeKind::Waw(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn memory_violation_caught() {
+        let before = program_of(vec![store(1, 0), load(2, 0)]);
+        let after = program_of(vec![load(2, 0), store(1, 0)]);
+        let violations = check_schedule(&before, &after);
+        assert!(violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::BrokenEdge {
+                kind: EdgeKind::Memory,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn disjoint_memory_may_swap() {
+        let a = Instr::Store {
+            src: r(1),
+            base: IntReg::GP,
+            offset: 0,
+            alias: MemAlias::global(0).with_offset(0),
+        };
+        let b = Instr::Load {
+            dst: r(2),
+            base: IntReg::GP,
+            offset: 1,
+            alias: MemAlias::global(0).with_offset(1),
+        };
+        let before = program_of(vec![a.clone(), b.clone()]);
+        let after = program_of(vec![b, a]);
+        assert!(check_schedule(&before, &after).is_empty());
+    }
+
+    #[test]
+    fn moving_across_control_caught() {
+        // halt splits two regions of one instruction each: nothing may move.
+        let before = program_of(vec![load(1, 0), Instr::Halt, load(2, 1)]);
+        let after = program_of(vec![load(2, 1), Instr::Halt, load(1, 0)]);
+        let violations = check_schedule(&before, &after);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::MovedOutsideRegion { .. })));
+    }
+
+    #[test]
+    fn moving_across_label_caught() {
+        // A label target at index 1 splits the straight-line code.
+        let mk = |instrs: Vec<Instr>| {
+            let mut program = Program::new();
+            let id = program.add_function(Function::new("f", instrs, vec![1]));
+            program.set_entry(id);
+            program
+        };
+        let before = mk(vec![load(1, 0), load(2, 1), Instr::Halt]);
+        let after = mk(vec![load(2, 1), load(1, 0), Instr::Halt]);
+        assert!(!check_schedule(&before, &after).is_empty());
+    }
+
+    #[test]
+    fn substitution_is_not_a_permutation() {
+        let before = program_of(vec![load(1, 0), load(2, 1)]);
+        let after = program_of(vec![load(1, 0), load(3, 1)]);
+        let violations = check_schedule(&before, &after);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::NotAPermutation { .. })));
+    }
+
+    #[test]
+    fn shape_mismatch_caught() {
+        let before = program_of(vec![load(1, 0)]);
+        let after = program_of(vec![load(1, 0), Instr::Halt]);
+        let violations = check_schedule(&before, &after);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn violations_render_as_diagnostics() {
+        let before = program_of(vec![load(1, 0), add(2, 1, 1)]);
+        let after = program_of(vec![add(2, 1, 1), load(1, 0)]);
+        let violations = check_schedule(&before, &after);
+        let text = violations[0].to_string();
+        assert!(text.contains("schedule-broken-edge"), "{text}");
+        assert!(text.contains("RAW"), "{text}");
+        assert!(violations[0].to_diagnostic().is_error());
+    }
+}

@@ -89,7 +89,8 @@ fn main() -> int {{
     );
     Workload {
         name: "linpack",
-        description: "DAXPY Gaussian elimination + back substitution (paper: Linpack, double precision)",
+        description:
+            "DAXPY Gaussian elimination + back substitution (paper: Linpack, double precision)",
         source,
         fp_sensitive: true,
     }

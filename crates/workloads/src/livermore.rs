@@ -225,7 +225,8 @@ fn main() -> int {{
     );
     Workload {
         name: "livermore",
-        description: "the first 14 Livermore loops (paper: Livermore, double precision, not unrolled)",
+        description:
+            "the first 14 Livermore loops (paper: Livermore, double precision, not unrolled)",
         source,
         fp_sensitive: true,
     }

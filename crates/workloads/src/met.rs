@@ -105,7 +105,8 @@ fn main() -> int {{
     );
     Workload {
         name: "met",
-        description: "static timing verifier: arrival/required/slack over a gate DAG (paper: Metronome)",
+        description:
+            "static timing verifier: arrival/required/slack over a gate DAG (paper: Metronome)",
         source,
         fp_sensitive: false,
     }

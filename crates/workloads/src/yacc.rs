@@ -15,18 +15,18 @@ use crate::Workload;
 /// ACTION encoding: 0 error, 100+s shift to s, 200+r reduce by rule r,
 /// 300 accept.
 const ACTION: [[i32; 6]; 12] = [
-    [105, 0, 0, 104, 0, 0],       // 0
-    [0, 106, 0, 0, 0, 300],       // 1
-    [0, 202, 107, 0, 202, 202],   // 2
-    [0, 204, 204, 0, 204, 204],   // 3
-    [105, 0, 0, 104, 0, 0],       // 4
-    [0, 206, 206, 0, 206, 206],   // 5
-    [105, 0, 0, 104, 0, 0],       // 6
-    [105, 0, 0, 104, 0, 0],       // 7
-    [0, 106, 0, 0, 111, 0],       // 8
-    [0, 201, 107, 0, 201, 201],   // 9
-    [0, 203, 203, 0, 203, 203],   // 10
-    [0, 205, 205, 0, 205, 205],   // 11
+    [105, 0, 0, 104, 0, 0],     // 0
+    [0, 106, 0, 0, 0, 300],     // 1
+    [0, 202, 107, 0, 202, 202], // 2
+    [0, 204, 204, 0, 204, 204], // 3
+    [105, 0, 0, 104, 0, 0],     // 4
+    [0, 206, 206, 0, 206, 206], // 5
+    [105, 0, 0, 104, 0, 0],     // 6
+    [105, 0, 0, 104, 0, 0],     // 7
+    [0, 106, 0, 0, 111, 0],     // 8
+    [0, 201, 107, 0, 201, 201], // 9
+    [0, 203, 203, 0, 203, 203], // 10
+    [0, 205, 205, 0, 205, 205], // 11
 ];
 
 /// GOTO\[state\]\[nonterminal\]: E 0, T 1, F 2 (0 = none).

@@ -3,9 +3,9 @@
 //! checksum at every optimization level and on every machine (optimizations
 //! are semantics-preserving; machines differ only in timing).
 
-use supersym::{compile, CompileOptions, OptLevel};
 use supersym::machine::presets;
 use supersym::opt::UnrollOptions;
+use supersym::{compile, CompileOptions, OptLevel};
 use supersym_sim::{ExecOptions, Executor};
 use supersym_workloads::{suite, Size};
 
@@ -20,12 +20,14 @@ fn all_workloads_run_and_agree_across_opt_levels() {
     let machine = presets::multititan();
     for workload in suite(Size::Small) {
         let reference = checksum(
-            &compile(&workload.source, &CompileOptions::new(OptLevel::O0, &machine))
-                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", workload.name)),
+            &compile(
+                &workload.source,
+                &CompileOptions::new(OptLevel::O0, &machine),
+            )
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", workload.name)),
         );
         for level in OptLevel::ALL {
-            let program =
-                compile(&workload.source, &CompileOptions::new(level, &machine)).unwrap();
+            let program = compile(&workload.source, &CompileOptions::new(level, &machine)).unwrap();
             let result = checksum(&program);
             assert_eq!(
                 result, reference,
@@ -53,8 +55,11 @@ fn machines_do_not_change_semantics() {
             presets::superpipelined(4),
             presets::cray1(),
         ] {
-            let program =
-                compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
+            let program = compile(
+                &workload.source,
+                &CompileOptions::new(OptLevel::O4, &machine),
+            )
+            .unwrap();
             assert_eq!(
                 checksum(&program),
                 reference,
@@ -73,7 +78,11 @@ fn naive_unrolling_preserves_semantics_exactly() {
     let machine = presets::multititan();
     for workload in suite(Size::Small) {
         let reference = checksum(
-            &compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap(),
+            &compile(
+                &workload.source,
+                &CompileOptions::new(OptLevel::O4, &machine),
+            )
+            .unwrap(),
         );
         for factor in [2, 4] {
             let options = CompileOptions::new(OptLevel::O4, &machine)
@@ -93,7 +102,11 @@ fn careful_unrolling_preserves_semantics_within_fp_tolerance() {
     let machine = presets::multititan();
     for workload in suite(Size::Small) {
         let reference = checksum(
-            &compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap(),
+            &compile(
+                &workload.source,
+                &CompileOptions::new(OptLevel::O4, &machine),
+            )
+            .unwrap(),
         );
         for factor in [2, 4, 10] {
             let options = CompileOptions::new(OptLevel::O4, &machine)
@@ -123,8 +136,11 @@ fn careful_unrolling_preserves_semantics_within_fp_tolerance() {
 fn workload_dynamic_sizes_reasonable() {
     let machine = presets::base();
     for workload in suite(Size::Small) {
-        let program =
-            compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
+        let program = compile(
+            &workload.source,
+            &CompileOptions::new(OptLevel::O4, &machine),
+        )
+        .unwrap();
         let mut exec = Executor::new(&program, ExecOptions::default()).unwrap();
         exec.run().unwrap();
         let steps = exec.steps();

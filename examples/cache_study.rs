@@ -33,18 +33,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "workload", "cache", "I-miss", "D-miss", "cpi @12cyc miss"
     );
     for workload in [ccom(40), linpack(24)] {
-        let program = compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine))?;
+        let program = compile(
+            &workload.source,
+            &CompileOptions::new(OptLevel::O4, &machine),
+        )?;
         for (label, config) in [
             ("8KiB direct-mapped", CacheConfig::small_direct()),
             ("64KiB two-way", CacheConfig::large_two_way()),
         ] {
-            let (report, caches) = simulate_with_cache(
-                &program,
-                &machine,
-                SimOptions::default(),
-                config,
-                config,
-            )?;
+            let (report, caches) =
+                simulate_with_cache(&program, &machine, SimOptions::default(), config, config)?;
             let cpi = caches.effective_cpi(
                 report.base_cycles() / report.instructions() as f64,
                 12.0, // the WRL Titan miss cost from Table 5-1

@@ -68,14 +68,14 @@ fn dual_issue(mem_ports: u32) -> MachineConfig {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = livermore(64, 2);
     println!("workload: {}\n", workload.description);
-    println!(
-        "{:28} {:>12} {:>10}",
-        "machine", "base cycles", "IPC"
-    );
+    println!("{:28} {:>12} {:>10}", "machine", "base cycles", "IPC");
     let mut one_port_cycles = None;
     for ports in [1, 2] {
         let machine = dual_issue(ports);
-        let program = compile(&workload.source, &CompileOptions::new(OptLevel::O4, &machine))?;
+        let program = compile(
+            &workload.source,
+            &CompileOptions::new(OptLevel::O4, &machine),
+        )?;
         let report = simulate(&program, &machine, SimOptions::default())?;
         println!(
             "{:28} {:>12.0} {:>10.2}",

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return ftoi(dot) + bigcount;
         }";
 
-    println!("{:22} {:>12} {:>12} {:>8} {:>9}", "machine", "instructions", "base cycles", "IPC", "speedup");
+    println!(
+        "{:22} {:>12} {:>12} {:>8} {:>9}",
+        "machine", "instructions", "base cycles", "IPC", "speedup"
+    );
     let base = {
         let machine = presets::base();
         let program = compile(source, &CompileOptions::new(OptLevel::O4, &machine))?;

@@ -1,0 +1,98 @@
+//! End-to-end tests for the `titalc` binary, in particular `titalc lint`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn titalc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_titalc"))
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn lint_rejects_broken_machine_description() {
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("broken.machine"))
+        .output()
+        .expect("spawn titalc");
+    assert!(!output.status.success(), "broken.machine must fail lint");
+    let text = stdout(&output);
+    for code in [
+        "zero-issue-width",
+        "zero-latency",
+        "zero-multiplicity",
+        "doubly-covered-class",
+        "uncovered-class",
+    ] {
+        assert!(text.contains(code), "missing `{code}` in:\n{text}");
+    }
+}
+
+#[test]
+fn lint_rejects_broken_program() {
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("broken.s"))
+        .output()
+        .expect("spawn titalc");
+    assert!(!output.status.success(), "broken.s must fail lint");
+    let text = stdout(&output);
+    for code in [
+        "dangling-label",
+        "unknown-call-target",
+        "falls-off-end",
+        "def-before-use",
+    ] {
+        assert!(text.contains(code), "missing `{code}` in:\n{text}");
+    }
+}
+
+#[test]
+fn lint_accepts_clean_program() {
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("clean.s"))
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "clean.s must pass lint: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout(&output).is_empty(), "no diagnostics expected");
+}
+
+#[test]
+fn compile_with_verify_succeeds() {
+    let dir = std::env::temp_dir().join("titalc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("ok.tital");
+    std::fs::write(
+        &source,
+        "global var x;\nfn main() -> int { x = 3; return x * 2 + 1; }\n",
+    )
+    .unwrap();
+    let output = titalc()
+        .arg("--verify")
+        .arg("-m")
+        .arg("superscalar:4")
+        .arg(&source)
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "--verify compile failed: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

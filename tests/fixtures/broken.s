@@ -1,0 +1,10 @@
+// Deliberately broken assembly program, used by the CLI lint test:
+// a read of an undefined temporary, a call to a nonexistent function,
+// a jump to a label that is never bound, and a function that runs off
+// its last instruction.
+main:
+  ld r10, 0(r2)
+  call fn#7
+  jmp L5
+helper:
+  movi r9, #1

@@ -1,0 +1,9 @@
+// A small clean program: `titalc lint` should accept it silently.
+main:
+  movi r9, #8
+  L0:
+  sub r9, r9, #1
+  cmpgt r10, r9, #0
+  bt r10, L0
+  st 0(r30), r9
+  halt

@@ -88,8 +88,7 @@ fn mixed_program_equivalent_everywhere() {
         presets::underpipelined_half_issue(),
     ] {
         for level in [OptLevel::O1, OptLevel::O2, OptLevel::O4] {
-            let program =
-                compile(MIXED_PROGRAM, &CompileOptions::new(level, &machine)).unwrap();
+            let program = compile(MIXED_PROGRAM, &CompileOptions::new(level, &machine)).unwrap();
             program.validate().unwrap();
             assert_eq!(
                 result_of(&program),
@@ -173,8 +172,7 @@ fn issue_width_is_monotone() {
 fn ipc_never_exceeds_issue_width() {
     for width in [1, 2, 4] {
         let machine = presets::ideal_superscalar(width);
-        let program =
-            compile(MIXED_PROGRAM, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
+        let program = compile(MIXED_PROGRAM, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
         let report = simulate(&program, &machine, SimOptions::default()).unwrap();
         assert!(
             report.available_parallelism() <= f64::from(width) + 1e-9,

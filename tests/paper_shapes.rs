@@ -33,7 +33,10 @@ fn supersymmetry_on_one_benchmark() {
             None,
         )
         .speedup_over(&base);
-        assert!(ss >= sp, "superpipelined beat superscalar at degree {degree}");
+        assert!(
+            ss >= sp,
+            "superpipelined beat superscalar at degree {degree}"
+        );
         assert!(
             sp >= ss * 0.80,
             "superpipelined too far behind at degree {degree}: {sp} vs {ss}"
@@ -51,17 +54,44 @@ fn cray1_benefits_little_from_multi_issue() {
     let workload = yacc(20);
     let cray = presets::cray1();
     let unit = cray.with_unit_latencies();
-    let real_1 = run_workload(&workload, OptLevel::O4, &cray.with_issue_width(1), None, None);
-    let real_4 = run_workload(&workload, OptLevel::O4, &cray.with_issue_width(4), None, None);
-    let unit_1 = run_workload(&workload, OptLevel::O4, &unit.with_issue_width(1), None, None);
-    let unit_4 = run_workload(&workload, OptLevel::O4, &unit.with_issue_width(4), None, None);
+    let real_1 = run_workload(
+        &workload,
+        OptLevel::O4,
+        &cray.with_issue_width(1),
+        None,
+        None,
+    );
+    let real_4 = run_workload(
+        &workload,
+        OptLevel::O4,
+        &cray.with_issue_width(4),
+        None,
+        None,
+    );
+    let unit_1 = run_workload(
+        &workload,
+        OptLevel::O4,
+        &unit.with_issue_width(1),
+        None,
+        None,
+    );
+    let unit_4 = run_workload(
+        &workload,
+        OptLevel::O4,
+        &unit.with_issue_width(4),
+        None,
+        None,
+    );
     let real_gain = real_4.speedup_over(&real_1) - 1.0;
     let unit_gain = unit_4.speedup_over(&unit_1) - 1.0;
     assert!(
         unit_gain > 3.0 * real_gain,
         "unit-latency gain {unit_gain:.2} should dwarf real gain {real_gain:.2}"
     );
-    assert!(real_gain < 0.30, "real CRAY-1 gain too large: {real_gain:.2}");
+    assert!(
+        real_gain < 0.30,
+        "real CRAY-1 gain too large: {real_gain:.2}"
+    );
 }
 
 /// §4.3 + Figure 4-5: the available parallelism of every benchmark sits in
@@ -116,10 +146,10 @@ fn careful_unrolling_beats_naive() {
 fn scheduling_is_the_reliable_lever() {
     let machine = presets::ideal_superscalar(8);
     for workload in [ccom(6), yacc(20), livermore(40, 1)] {
-        let none = run_workload(&workload, OptLevel::O0, &machine, None, None)
-            .available_parallelism();
-        let sched = run_workload(&workload, OptLevel::O1, &machine, None, None)
-            .available_parallelism();
+        let none =
+            run_workload(&workload, OptLevel::O0, &machine, None, None).available_parallelism();
+        let sched =
+            run_workload(&workload, OptLevel::O1, &machine, None, None).available_parallelism();
         assert!(
             sched >= none * 1.05,
             "{}: scheduling gained only {none:.2} -> {sched:.2}",

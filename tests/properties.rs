@@ -1,16 +1,54 @@
 //! Property-based tests: randomly generated Tital programs must behave
 //! identically at every optimization level, under unrolling, and on every
-//! machine; and the timing model must satisfy its structural invariants on
-//! arbitrary instruction streams.
+//! machine; the timing model must satisfy its structural invariants on
+//! arbitrary instruction streams; and the pipeline scheduler's output must
+//! pass the independent `supersym-verify` legality checker.
+//!
+//! The generators are hand-rolled around a seeded [`Rng`] (the container
+//! builds offline, so no proptest): each test loops over a fixed set of
+//! seeds, and every failure message includes the seed for replay.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use supersym::lang::ast::{BinOp, Block, Expr, FnDecl, GlobalDecl, GlobalKind, Module, Stmt, Ty};
 use supersym::machine::presets;
 use supersym::opt::UnrollOptions;
 use supersym::sim::{ExecOptions, Executor, SimOptions};
 use supersym::{compile_ast, CompileOptions, OptLevel};
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (splitmix64)
+// ---------------------------------------------------------------------------
+
+/// A tiny deterministic generator so the property tests need no external
+/// crates. SplitMix64: full 64-bit period, excellent diffusion, one line.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (modulo bias is irrelevant at test scale).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `lo..hi`.
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Random-program generator
@@ -22,25 +60,24 @@ use supersym::{compile_ast, CompileOptions, OptLevel};
 /// checksum, so every generated program has one deterministic result at
 /// every optimization level.
 struct Gen {
-    rng: StdRng,
-    /// Integer scalar variables in scope (globals g0..g3).
+    rng: Rng,
     depth_budget: u32,
 }
 
 impl Gen {
     fn new(seed: u64) -> Self {
         Gen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::new(seed),
             depth_budget: 300,
         }
     }
 
     fn var(&mut self) -> String {
-        format!("g{}", self.rng.random_range(0..4_u32))
+        format!("g{}", self.rng.below(4))
     }
 
     fn arr(&mut self) -> String {
-        if self.rng.random_bool(0.5) {
+        if self.rng.coin() {
             "a".to_string()
         } else {
             "b".to_string()
@@ -50,8 +87,8 @@ impl Gen {
     fn expr(&mut self, depth: u32) -> Expr {
         self.depth_budget = self.depth_budget.saturating_sub(1);
         if depth == 0 || self.depth_budget == 0 {
-            return match self.rng.random_range(0..3) {
-                0 => Expr::IntLit(self.rng.random_range(-30..30)),
+            return match self.rng.below(3) {
+                0 => Expr::IntLit(self.rng.range_i64(-30, 30)),
                 1 => Expr::Var(self.var()),
                 _ => Expr::Elem {
                     arr: self.arr(),
@@ -59,15 +96,15 @@ impl Gen {
                 },
             };
         }
-        match self.rng.random_range(0..8) {
-            0 => Expr::IntLit(self.rng.random_range(-100..100)),
+        match self.rng.below(8) {
+            0 => Expr::IntLit(self.rng.range_i64(-100, 100)),
             1 => Expr::Var(self.var()),
             2 => Expr::Elem {
                 arr: self.arr(),
                 index: Box::new(self.masked_index(depth - 1)),
             },
             _ => {
-                let op = *[
+                let op = [
                     BinOp::Add,
                     BinOp::Sub,
                     BinOp::Mul,
@@ -78,9 +115,7 @@ impl Gen {
                     BinOp::Xor,
                     BinOp::Lt,
                     BinOp::Eq,
-                ]
-                .get(self.rng.random_range(0..10))
-                .unwrap();
+                ][self.rng.below(10) as usize];
                 Expr::binary(op, self.expr(depth - 1), self.expr(depth - 1))
             }
         }
@@ -94,9 +129,9 @@ impl Gen {
     fn stmt(&mut self, depth: u32) -> Stmt {
         self.depth_budget = self.depth_budget.saturating_sub(1);
         let choice = if depth == 0 || self.depth_budget == 0 {
-            self.rng.random_range(0..2)
+            self.rng.below(2)
         } else {
-            self.rng.random_range(0..5)
+            self.rng.below(5)
         };
         match choice {
             0 => Stmt::Assign {
@@ -111,7 +146,7 @@ impl Gen {
             2 => Stmt::If {
                 cond: self.expr(2),
                 then_blk: self.block(depth - 1),
-                else_blk: if self.rng.random_bool(0.5) {
+                else_blk: if self.rng.coin() {
                     Some(self.block(depth - 1))
                 } else {
                     None
@@ -119,8 +154,8 @@ impl Gen {
             },
             3 => {
                 // A counted loop in canonical form so the unroller sees it.
-                let trips = self.rng.random_range(1..9_i64);
-                let var = format!("i{}", self.rng.random_range(0..100_u32));
+                let trips = self.rng.range_i64(1, 9);
+                let var = format!("i{}", self.rng.below(100));
                 Stmt::For {
                     cond: Expr::binary(BinOp::Lt, Expr::Var(var.clone()), Expr::IntLit(trips)),
                     var,
@@ -137,7 +172,7 @@ impl Gen {
     }
 
     fn block(&mut self, depth: u32) -> Block {
-        let n = self.rng.random_range(1..4);
+        let n = 1 + self.rng.below(3);
         Block {
             stmts: (0..n).map(|_| self.stmt(depth)).collect(),
         }
@@ -225,25 +260,27 @@ fn run(ast: Module, options: &CompileOptions) -> i64 {
     exec.int_reg(supersym::isa::IntReg::new(1).unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const AST_SEEDS: std::ops::Range<u64> = 0..24;
 
-    /// Optimization levels never change results.
-    #[test]
-    fn opt_levels_preserve_semantics(seed in any::<u64>()) {
+/// Optimization levels never change results.
+#[test]
+fn opt_levels_preserve_semantics() {
+    for seed in AST_SEEDS {
         let ast = Gen::new(seed).module();
         supersym::lang::check(&ast).expect("generated programs type check");
         let machine = presets::multititan();
         let reference = run(ast.clone(), &CompileOptions::new(OptLevel::O0, &machine));
         for level in OptLevel::ALL {
             let result = run(ast.clone(), &CompileOptions::new(level, &machine));
-            prop_assert_eq!(result, reference, "level {} diverged", level);
+            assert_eq!(result, reference, "seed {seed}: level {level} diverged");
         }
     }
+}
 
-    /// Scheduling for any machine never changes results.
-    #[test]
-    fn machines_preserve_semantics(seed in any::<u64>()) {
+/// Scheduling for any machine never changes results.
+#[test]
+fn machines_preserve_semantics() {
+    for seed in AST_SEEDS {
         let ast = Gen::new(seed).module();
         supersym::lang::check(&ast).expect("generated programs type check");
         let reference = run(
@@ -257,14 +294,21 @@ proptest! {
             presets::superscalar_with_class_conflicts(2),
         ] {
             let result = run(ast.clone(), &CompileOptions::new(OptLevel::O4, &machine));
-            prop_assert_eq!(result, reference, "machine {} diverged", machine.name());
+            assert_eq!(
+                result,
+                reference,
+                "seed {seed}: machine {} diverged",
+                machine.name()
+            );
         }
     }
+}
 
-    /// Loop unrolling (both flavors, several factors) never changes the
-    /// results of integer programs.
-    #[test]
-    fn unrolling_preserves_semantics(seed in any::<u64>()) {
+/// Loop unrolling (both flavors, several factors) never changes the
+/// results of integer programs.
+#[test]
+fn unrolling_preserves_semantics() {
+    for seed in AST_SEEDS {
         let ast = Gen::new(seed).module();
         supersym::lang::check(&ast).expect("generated programs type check");
         let machine = presets::multititan();
@@ -277,38 +321,40 @@ proptest! {
         ] {
             let options = CompileOptions::new(OptLevel::O4, &machine).with_unroll(unroll);
             let result = run(ast.clone(), &options);
-            prop_assert_eq!(result, reference, "{:?} diverged", unroll);
+            assert_eq!(result, reference, "seed {seed}: {unroll:?} diverged");
         }
     }
+}
 
-    /// Timing-model invariants on arbitrary instruction streams: issue
-    /// times never decrease, completions respect latencies, and no cycle
-    /// issues more than the machine width.
-    #[test]
-    fn timing_model_invariants(
-        seed in any::<u64>(),
-        width in 1u32..6,
-        degree in 1u32..5,
-    ) {
-        use supersym::sim::{ControlEvent, StepInfo, TimingModel};
-        use supersym::isa::{FpReg, InstrClass, IntReg, Reg};
+/// Timing-model invariants on arbitrary instruction streams: issue
+/// times never decrease, completions respect latencies, and no cycle
+/// issues more than the machine width.
+#[test]
+fn timing_model_invariants() {
+    use supersym::isa::{FpReg, InstrClass, IntReg, Reg};
+    use supersym::sim::{ControlEvent, StepInfo, TimingModel};
+    for seed in 0..24_u64 {
+        let width = 1 + (seed % 5) as u32;
+        let degree = 1 + (seed / 5 % 4) as u32;
         let machine = presets::superpipelined_superscalar(width, degree);
         let mut timing = TimingModel::new(&machine, 64);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut last_issue = 0_u64;
         let mut issued_at: std::collections::HashMap<u64, u32> = Default::default();
         for pc in 0..200_usize {
-            let class = InstrClass::ALL[rng.random_range(0..supersym::isa::NUM_CLASSES)];
+            let class = InstrClass::ALL[rng.below(supersym::isa::NUM_CLASSES as u64) as usize];
             let def = if class.is_memory() || class.is_control() {
                 None
             } else if class.index() >= InstrClass::FpAdd.index() {
-                Some(Reg::Fp(FpReg::new_unchecked(rng.random_range(1..16))))
+                Some(Reg::Fp(FpReg::new_unchecked(1 + rng.below(15) as u8)))
             } else {
-                Some(Reg::Int(IntReg::new_unchecked(rng.random_range(1..16))))
+                Some(Reg::Int(IntReg::new_unchecked(1 + rng.below(15) as u8)))
             };
-            let mem = class.is_memory().then(|| (rng.random_range(0..64_usize), class == InstrClass::Store));
+            let mem = class
+                .is_memory()
+                .then(|| (rng.below(64) as usize, class == InstrClass::Store));
             let control = if class == InstrClass::Branch {
-                ControlEvent::Branch { taken: rng.random_bool(0.5) }
+                ControlEvent::Branch { taken: rng.coin() }
             } else {
                 ControlEvent::None
             };
@@ -323,82 +369,96 @@ proptest! {
                 control,
             };
             let record = timing.issue(&info);
-            prop_assert!(record.issue >= last_issue, "issue went backwards");
-            prop_assert!(
+            assert!(
+                record.issue >= last_issue,
+                "seed {seed}: issue went backwards"
+            );
+            assert!(
                 record.complete >= record.issue + u64::from(machine.latency(class)),
-                "completion violates latency"
+                "seed {seed}: completion violates latency"
             );
             let count = issued_at.entry(record.issue).or_insert(0);
             *count += 1;
-            prop_assert!(*count <= width, "cycle {} over width", record.issue);
+            assert!(
+                *count <= width,
+                "seed {seed}: cycle {} over width",
+                record.issue
+            );
             last_issue = record.issue;
         }
-        prop_assert_eq!(timing.instructions(), 200);
+        assert_eq!(timing.instructions(), 200);
     }
+}
 
-    /// The cache never reports more misses than accesses, and a repeated
-    /// access pattern has a lower miss rate than its first pass.
-    #[test]
-    fn cache_invariants(seed in any::<u64>(), ways in 1usize..4) {
-        use supersym::sim::{Cache, CacheConfig};
-        let mut rng = StdRng::seed_from_u64(seed);
+/// The cache never reports more misses than accesses, and a repeated
+/// access pattern has a lower miss rate than its first pass.
+#[test]
+fn cache_invariants() {
+    use supersym::sim::{Cache, CacheConfig};
+    for seed in 0..24_u64 {
+        let ways = 1 + (seed % 3) as usize;
+        let mut rng = Rng::new(seed);
         let mut cache = Cache::new(CacheConfig {
             lines: 16 * ways,
             words_per_line: 4,
             associativity: ways,
         });
-        let pattern: Vec<u64> = (0..256).map(|_| rng.random_range(0..4096)).collect();
+        let pattern: Vec<u64> = (0..256).map(|_| rng.below(4096)).collect();
         for &addr in &pattern {
             cache.access(addr);
         }
         let first = cache.stats();
-        prop_assert!(first.misses <= first.accesses);
+        assert!(first.misses <= first.accesses, "seed {seed}");
         for &addr in &pattern {
             cache.access(addr);
         }
         let second = cache.stats();
         let second_pass_misses = second.misses - first.misses;
-        prop_assert!(second_pass_misses <= first.misses);
+        assert!(second_pass_misses <= first.misses, "seed {seed}");
     }
+}
 
-    /// Printing an AST and re-parsing it yields a semantically identical
-    /// program (the printer is a fixed point of print-parse-print), even
-    /// after the loop unroller has rewritten the tree.
-    #[test]
-    fn print_parse_roundtrip(seed in any::<u64>()) {
+/// Printing an AST and re-parsing it yields a semantically identical
+/// program (the printer is a fixed point of print-parse-print), even
+/// after the loop unroller has rewritten the tree.
+#[test]
+fn print_parse_roundtrip() {
+    for seed in AST_SEEDS {
         let ast = Gen::new(seed).module();
         let printed = supersym::lang::print_module(&ast);
-        let reparsed = supersym::lang::parse(&printed)
-            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}
-{printed}"));
+        let reparsed = supersym::lang::parse(&printed).unwrap_or_else(|e| {
+            panic!("seed {seed}: printed program failed to parse: {e}\n{printed}")
+        });
         let reprinted = supersym::lang::print_module(&reparsed);
-        prop_assert_eq!(&printed, &reprinted);
+        assert_eq!(&printed, &reprinted, "seed {seed}");
         // And the reparsed tree runs to the same checksum.
         supersym::lang::check(&reparsed).expect("printed programs type check");
         let machine = presets::base();
         let a = run(ast, &CompileOptions::new(OptLevel::O2, &machine));
         let b = run(reparsed, &CompileOptions::new(OptLevel::O2, &machine));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
         // Unrolled trees print and reparse too.
         let mut unrolled = Gen::new(seed).module();
         supersym::opt::unroll_loops(&mut unrolled, UnrollOptions::careful(3));
         let printed = supersym::lang::print_module(&unrolled);
-        supersym::lang::parse(&printed)
-            .unwrap_or_else(|e| panic!("unrolled program failed to parse: {e}
-{printed}"));
+        supersym::lang::parse(&printed).unwrap_or_else(|e| {
+            panic!("seed {seed}: unrolled program failed to parse: {e}\n{printed}")
+        });
     }
+}
 
-    /// Simulating the same program twice is deterministic.
-    #[test]
-    fn simulation_is_deterministic(seed in any::<u64>()) {
+/// Simulating the same program twice is deterministic.
+#[test]
+fn simulation_is_deterministic() {
+    for seed in AST_SEEDS {
         let ast = Gen::new(seed).module();
         supersym::lang::check(&ast).expect("generated programs type check");
         let machine = presets::cray1();
         let program = compile_ast(ast, &CompileOptions::new(OptLevel::O4, &machine)).unwrap();
         let a = supersym::sim::simulate(&program, &machine, SimOptions::default()).unwrap();
         let b = supersym::sim::simulate(&program, &machine, SimOptions::default()).unwrap();
-        prop_assert_eq!(a.machine_cycles(), b.machine_cycles());
-        prop_assert_eq!(a.instructions(), b.instructions());
+        assert_eq!(a.machine_cycles(), b.machine_cycles(), "seed {seed}");
+        assert_eq!(a.instructions(), b.instructions(), "seed {seed}");
     }
 }
 
@@ -415,7 +475,7 @@ fn random_ir_module(seed: u64) -> supersym::ir::Module {
         VReg, VarRef,
     };
     use supersym::lang::ast::Ty;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut func = Function {
         name: "main".into(),
         vars: Vec::new(),
@@ -433,45 +493,48 @@ fn random_ir_module(seed: u64) -> supersym::ir::Module {
         let dst = func.new_vreg(Ty::Int);
         insts.push(Inst::ConstInt {
             dst,
-            value: rng.random_range(-50..50),
+            value: rng.range_i64(-50, 50),
         });
         defined.push(dst);
     }
-    let n = rng.random_range(10..60);
+    let n = rng.range_i64(10, 60);
     for _ in 0..n {
-        match rng.random_range(0..10) {
+        match rng.below(10) {
             0 => {
                 let dst = func.new_vreg(Ty::Int);
                 insts.push(Inst::ConstInt {
                     dst,
-                    value: rng.random_range(-100..100),
+                    value: rng.range_i64(-100, 100),
                 });
                 defined.push(dst);
             }
             1 | 2 => {
                 let dst = func.new_vreg(Ty::Int);
-                let var = if rng.random_bool(0.5) {
-                    VarRef::Local(supersym::ir::LocalId(rng.random_range(0..4)))
+                let var = if rng.coin() {
+                    VarRef::Local(supersym::ir::LocalId(rng.below(4) as u32))
                 } else {
-                    VarRef::Global(GlobalId(rng.random_range(0..2)))
+                    VarRef::Global(GlobalId(rng.below(2) as u32))
                 };
                 insts.push(Inst::ReadVar { dst, var });
                 defined.push(dst);
             }
             3 => {
-                let var = if rng.random_bool(0.5) {
-                    VarRef::Local(supersym::ir::LocalId(rng.random_range(0..4)))
+                let var = if rng.coin() {
+                    VarRef::Local(supersym::ir::LocalId(rng.below(4) as u32))
                 } else {
-                    VarRef::Global(GlobalId(rng.random_range(0..2)))
+                    VarRef::Global(GlobalId(rng.below(2) as u32))
                 };
-                let src = defined[rng.random_range(0..defined.len())];
+                let src = defined[rng.below(defined.len() as u64) as usize];
                 insts.push(Inst::WriteVar { var, src });
             }
             4 => {
                 // Masked array read: index = some_vreg & 15.
-                let raw = defined[rng.random_range(0..defined.len())];
+                let raw = defined[rng.below(defined.len() as u64) as usize];
                 let mask = func.new_vreg(Ty::Int);
-                insts.push(Inst::ConstInt { dst: mask, value: 15 });
+                insts.push(Inst::ConstInt {
+                    dst: mask,
+                    value: 15,
+                });
                 let index = func.new_vreg(Ty::Int);
                 insts.push(Inst::IntBin {
                     op: IntBinOp::And,
@@ -489,9 +552,12 @@ fn random_ir_module(seed: u64) -> supersym::ir::Module {
                 defined.push(dst);
             }
             5 => {
-                let raw = defined[rng.random_range(0..defined.len())];
+                let raw = defined[rng.below(defined.len() as u64) as usize];
                 let mask = func.new_vreg(Ty::Int);
-                insts.push(Inst::ConstInt { dst: mask, value: 15 });
+                insts.push(Inst::ConstInt {
+                    dst: mask,
+                    value: 15,
+                });
                 let index = func.new_vreg(Ty::Int);
                 insts.push(Inst::IntBin {
                     op: IntBinOp::And,
@@ -499,7 +565,7 @@ fn random_ir_module(seed: u64) -> supersym::ir::Module {
                     lhs: raw,
                     rhs: mask,
                 });
-                let src = defined[rng.random_range(0..defined.len())];
+                let src = defined[rng.below(defined.len() as u64) as usize];
                 insts.push(Inst::WriteElem {
                     arr: GlobalId(2),
                     index,
@@ -521,9 +587,9 @@ fn random_ir_module(seed: u64) -> supersym::ir::Module {
                     IntBinOp::Shr,
                     IntBinOp::Cmp(supersym::ir::CmpOp::Lt),
                 ];
-                let op = ops[rng.random_range(0..ops.len())];
-                let lhs = defined[rng.random_range(0..defined.len())];
-                let rhs = defined[rng.random_range(0..defined.len())];
+                let op = ops[rng.below(ops.len() as u64) as usize];
+                let lhs = defined[rng.below(defined.len() as u64) as usize];
+                let rhs = defined[rng.below(defined.len() as u64) as usize];
                 let dst = func.new_vreg(Ty::Int);
                 insts.push(Inst::IntBin { op, dst, lhs, rhs });
                 defined.push(dst);
@@ -560,7 +626,10 @@ fn random_ir_module(seed: u64) -> supersym::ir::Module {
 
 /// Runs an IR module through regalloc/codegen/exec; returns the result
 /// register and the final global-region memory image.
-fn run_ir(module: &supersym::ir::Module, schedule_for: Option<&supersym::machine::MachineConfig>) -> (i64, Vec<i64>) {
+fn run_ir(
+    module: &supersym::ir::Module,
+    schedule_for: Option<&supersym::machine::MachineConfig>,
+) -> (i64, Vec<i64>) {
     use supersym::machine::RegisterSplit;
     let mut module = module.clone();
     supersym::codegen::split_live_across_calls(&mut module);
@@ -580,13 +649,13 @@ fn run_ir(module: &supersym::ir::Module, schedule_for: Option<&supersym::machine
     (result, globals)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const IR_SEEDS: std::ops::Range<u64> = 0..32;
 
-    /// Local value numbering + DCE + dead-store elimination preserve the
-    /// observable behaviour of arbitrary straight-line IR.
-    #[test]
-    fn lvn_preserves_ir_semantics(seed in any::<u64>()) {
+/// Local value numbering + DCE + dead-store elimination preserve the
+/// observable behaviour of arbitrary straight-line IR.
+#[test]
+fn lvn_preserves_ir_semantics() {
+    for seed in IR_SEEDS {
         let original = random_ir_module(seed);
         let mut optimized = original.clone();
         supersym::opt::run_local(&mut optimized);
@@ -594,13 +663,15 @@ proptest! {
         optimized.validate().expect("optimized IR is valid");
         let a = run_ir(&original, None);
         let b = run_ir(&optimized, None);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    /// The list scheduler never changes observable behaviour, for any
-    /// machine it schedules toward.
-    #[test]
-    fn scheduling_preserves_ir_semantics(seed in any::<u64>()) {
+/// The list scheduler never changes observable behaviour, for any
+/// machine it schedules toward.
+#[test]
+fn scheduling_preserves_ir_semantics() {
+    for seed in IR_SEEDS {
         let module = random_ir_module(seed);
         let reference = run_ir(&module, None);
         for machine in [
@@ -610,20 +681,154 @@ proptest! {
             presets::ideal_superscalar(8),
         ] {
             let scheduled = run_ir(&module, Some(&machine));
-            prop_assert_eq!(&scheduled, &reference, "diverged for {}", machine.name());
+            assert_eq!(
+                &scheduled,
+                &reference,
+                "seed {seed}: diverged for {}",
+                machine.name()
+            );
         }
     }
+}
 
-    /// LICM + the full global pipeline preserve semantics too (the random
-    /// block has no loops, so this checks the passes are no-ops or safe).
-    #[test]
-    fn global_passes_safe_on_straightline_ir(seed in any::<u64>()) {
+/// LICM + the full global pipeline preserve semantics too (the random
+/// block has no loops, so this checks the passes are no-ops or safe).
+#[test]
+fn global_passes_safe_on_straightline_ir() {
+    for seed in IR_SEEDS {
         let original = random_ir_module(seed);
         let mut optimized = original.clone();
         supersym::opt::run_local(&mut optimized);
         supersym::opt::run_global(&mut optimized);
         let a = run_ir(&original, None);
         let b = run_ir(&optimized, None);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verification-layer properties (supersym-verify)
+// ---------------------------------------------------------------------------
+
+/// Builds a random straight-line (no control flow) machine-code region.
+/// Registers stay inside the temporary range, memory references mix known
+/// and unknown aliases so both dependence rules get exercised.
+fn random_region(rng: &mut Rng, len: usize) -> Vec<supersym::isa::Instr> {
+    use supersym::isa::{FpOp, FpReg, Instr, IntOp, IntReg, MemAlias, Operand};
+    let int = |r: u64| IntReg::new_unchecked(1 + (r % 20) as u8);
+    let fp = |r: u64| FpReg::new_unchecked(1 + (r % 10) as u8);
+    let alias = |rng: &mut Rng| match rng.below(3) {
+        0 => MemAlias::unknown(),
+        1 => MemAlias::global(rng.below(3) as u32).with_offset(rng.range_i64(0, 8)),
+        _ => MemAlias::global(rng.below(3) as u32),
+    };
+    let int_ops = [
+        IntOp::Add,
+        IntOp::Sub,
+        IntOp::Mul,
+        IntOp::Div,
+        IntOp::And,
+        IntOp::Sll,
+        IntOp::CmpLt,
+    ];
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0 => Instr::MovI {
+                dst: int(rng.next()),
+                imm: rng.range_i64(-100, 100),
+            },
+            1 => Instr::Load {
+                dst: int(rng.next()),
+                base: IntReg::GP,
+                offset: rng.range_i64(0, 16),
+                alias: alias(rng),
+            },
+            2 => Instr::Store {
+                src: int(rng.next()),
+                base: IntReg::GP,
+                offset: rng.range_i64(0, 16),
+                alias: alias(rng),
+            },
+            3 => Instr::FpOp {
+                op: [FpOp::FAdd, FpOp::FMul, FpOp::FDiv][rng.below(3) as usize],
+                dst: fp(rng.next()),
+                lhs: fp(rng.next()),
+                rhs: fp(rng.next()),
+            },
+            4 => Instr::IToF {
+                dst: fp(rng.next()),
+                src: int(rng.next()),
+            },
+            _ => Instr::IntOp {
+                op: int_ops[rng.below(int_ops.len() as u64) as usize],
+                dst: int(rng.next()),
+                lhs: int(rng.next()),
+                rhs: if rng.coin() {
+                    Operand::Reg(int(rng.next()))
+                } else {
+                    Operand::Imm(rng.range_i64(-50, 50))
+                },
+            },
+        })
+        .collect()
+}
+
+/// Every paper preset machine, including the shaped/limited ones.
+fn all_preset_machines() -> Vec<supersym::machine::MachineConfig> {
+    vec![
+        presets::base(),
+        presets::multititan(),
+        presets::cray1(),
+        presets::vliw(4),
+        presets::ideal_superscalar(2),
+        presets::ideal_superscalar(8),
+        presets::superpipelined(4),
+        presets::superpipelined_superscalar(2, 2),
+        presets::superscalar_with_class_conflicts(4),
+        presets::underpipelined_slow_cycle(),
+        presets::underpipelined_half_issue(),
+    ]
+}
+
+/// The pipeline scheduler's output always passes the independent legality
+/// checker: a permutation of the input with every RAW/WAR/WAW and memory
+/// dependence order-preserved — for random regions on every preset machine.
+#[test]
+fn scheduler_output_always_passes_legality_checker() {
+    use supersym::isa::{Function, Instr, Program};
+    let machines = all_preset_machines();
+    for seed in 0..48_u64 {
+        let mut rng = Rng::new(seed);
+        let len = 2 + rng.below(24) as usize;
+        let mut instrs = random_region(&mut rng, len);
+        instrs.push(Instr::Halt);
+        let mut before = Program::new();
+        let id = before.add_function(Function::new("region", instrs, vec![0]));
+        before.set_entry(id);
+        for machine in &machines {
+            let mut after = before.clone();
+            supersym::codegen::schedule_program(&mut after, machine);
+            let violations = supersym::verify::check_schedule(&before, &after);
+            assert!(
+                violations.is_empty(),
+                "seed {seed} on {}: {:?}",
+                machine.name(),
+                violations
+            );
+        }
+    }
+}
+
+/// All paper presets pass the machine-description lint with no errors.
+#[test]
+fn paper_presets_pass_machine_lint() {
+    use supersym::verify::Severity;
+    for machine in all_preset_machines() {
+        let diagnostics = machine.validate();
+        let errors: Vec<_> = diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}: {errors:?}", machine.name());
     }
 }
