@@ -1,0 +1,146 @@
+//! Human-readable dump of per-block dataflow facts.
+//!
+//! `titalc analyze` prints this after running the front end: for each
+//! function, each block's reachability, the constants and value ranges
+//! known at its entry, which definitions reach it, and any provably
+//! constant branch verdict at its exit. The format is line-oriented and
+//! stable enough to grep, but it is a debugging surface, not a parse
+//! target.
+
+use crate::consts::ConstProp;
+use crate::engine::solve;
+use crate::range::Ranges;
+use crate::reaching::{Def, ReachingDefs};
+use std::fmt::Write as _;
+use supersym_ir::{BlockId, Function, Module, VarRef};
+
+fn var_name<'a>(module: &'a Module, func: &'a Function, var: VarRef) -> &'a str {
+    match var {
+        VarRef::Global(g) => &module.globals[g.0 as usize].name,
+        VarRef::Local(l) => &func.vars[l.0 as usize].name,
+    }
+}
+
+fn def_name(def: Def) -> String {
+    match def {
+        Def::Entry => "entry".into(),
+        Def::Inst(block, index) => format!("{block}:{index}"),
+    }
+}
+
+/// Renders every function's per-block dataflow facts as text.
+#[must_use]
+pub fn dump_module(module: &Module) -> String {
+    let mut out = String::new();
+    for func in &module.funcs {
+        let consts = solve(&ConstProp::new(module), func);
+        let ranges = solve(&Ranges::new(module), func);
+        let reaching = solve(&ReachingDefs::new(module), func);
+        let _ = writeln!(out, "fn {}:", func.name);
+        for block_index in 0..func.blocks.len() {
+            let block_id = BlockId(block_index as u32);
+            if !consts.is_reached(block_id) {
+                let _ = writeln!(out, "  {block_id}: unreachable");
+                continue;
+            }
+            let _ = writeln!(out, "  {block_id}:");
+            if let Some(vars) = &consts.entry_of(block_id).vars {
+                if !vars.is_empty() {
+                    let facts: Vec<String> = vars
+                        .iter()
+                        .map(|(var, value)| format!("{} = {value}", var_name(module, func, *var)))
+                        .collect();
+                    let _ = writeln!(out, "    const: {}", facts.join(", "));
+                }
+            }
+            if let Some(vars) = &ranges.entry_of(block_id).vars {
+                if !vars.is_empty() {
+                    let facts: Vec<String> = vars
+                        .iter()
+                        .map(|(var, iv)| {
+                            format!("{} in [{}, {}]", var_name(module, func, *var), iv.lo, iv.hi)
+                        })
+                        .collect();
+                    let _ = writeln!(out, "    range: {}", facts.join(", "));
+                }
+            }
+            let defs = reaching.entry_of(block_id);
+            if !defs.is_empty() {
+                let facts: Vec<String> = defs
+                    .iter()
+                    .map(|(var, sites)| {
+                        let sites: Vec<String> = sites.iter().map(|d| def_name(*d)).collect();
+                        format!(
+                            "{} <- {{{}}}",
+                            var_name(module, func, *var),
+                            sites.join(", ")
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(out, "    defs: {}", facts.join("; "));
+            }
+            if let Some(verdict) = consts.exit_of(block_id).branch {
+                let _ = writeln!(out, "    branch: always {verdict}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_ir::{Block, Inst, LocalId, Terminator, VReg, VarInfo};
+    use supersym_lang::ast::Ty;
+
+    #[test]
+    fn dump_mentions_facts_and_unreachable_blocks() {
+        // bb0: x = 3; branch on 1 -> bb1 / bb2 (bb2 unreachable).
+        let module = Module {
+            globals: vec![],
+            funcs: vec![Function {
+                name: "main".into(),
+                vars: vec![VarInfo {
+                    name: "x".into(),
+                    ty: Ty::Int,
+                    param_index: None,
+                }],
+                ret: None,
+                blocks: vec![
+                    Block {
+                        insts: vec![
+                            Inst::ConstInt {
+                                dst: VReg(0),
+                                value: 3,
+                            },
+                            Inst::WriteVar {
+                                var: VarRef::Local(LocalId(0)),
+                                src: VReg(0),
+                            },
+                            Inst::ConstInt {
+                                dst: VReg(1),
+                                value: 1,
+                            },
+                        ],
+                        term: Terminator::Branch {
+                            cond: VReg(1),
+                            then_bb: BlockId(1),
+                            else_bb: BlockId(2),
+                        },
+                    },
+                    Block::empty(Terminator::Return(None)),
+                    Block::empty(Terminator::Return(None)),
+                ],
+                vreg_tys: vec![Ty::Int; 2],
+            }],
+            entry: 0,
+        };
+        let text = dump_module(&module);
+        assert!(text.contains("fn main:"), "{text}");
+        assert!(text.contains("const: x = 3"), "{text}");
+        assert!(text.contains("x in [3, 3]"), "{text}");
+        assert!(text.contains("x <- {bb0:1}"), "{text}");
+        assert!(text.contains("branch: always true"), "{text}");
+        assert!(text.contains("bb2: unreachable"), "{text}");
+    }
+}

@@ -1,0 +1,320 @@
+//! The worklist fixed-point solver.
+//!
+//! One engine serves every analysis in this crate: an [`Analysis`] supplies
+//! the lattice operations (bottom, join, boundary) and a per-block transfer
+//! function; [`solve`] iterates blocks to a fixed point in reverse postorder
+//! (forward) or postorder (backward).
+//!
+//! Two refinements beyond the textbook loop:
+//!
+//! * **executable-edge tracking** — a forward analysis may veto CFG edges
+//!   via [`Analysis::edge_is_live`] (the conditional part of conditional
+//!   constant propagation); successors only receive facts, and only become
+//!   reachable, through live edges;
+//! * **reachability** — the returned [`Solution`] records which blocks ever
+//!   received facts, so clients can skip provably-dead code.
+
+use supersym_ir::{predecessors, reverse_postorder, BlockId, Function, Terminator};
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry toward returns.
+    Forward,
+    /// Facts flow from returns toward the entry.
+    Backward,
+}
+
+/// A dataflow problem the engine can solve.
+///
+/// `State` is the per-program-point fact. The engine keeps one state per
+/// block boundary and calls [`Analysis::transfer`] to push a copy through a
+/// block's instructions (and terminator) in the analysis direction.
+pub trait Analysis {
+    /// The lattice of facts.
+    type State: Clone + PartialEq;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// The state at the analysis boundary: the function entry for forward
+    /// analyses, every function exit for backward ones.
+    fn boundary(&self, func: &Function) -> Self::State;
+
+    /// The least state ("unreached"). Interior blocks start here.
+    fn bottom(&self, func: &Function) -> Self::State;
+
+    /// Transfers `state` through `block` in the analysis direction.
+    fn transfer(&self, func: &Function, block: BlockId, state: &mut Self::State);
+
+    /// Joins `from` into `into`, returning whether `into` changed. Must be
+    /// monotone; for infinite-height lattices it must widen eventually.
+    fn join(&self, into: &mut Self::State, from: &Self::State) -> bool;
+
+    /// Whether facts flow along the CFG edge `from -> to`, given the state
+    /// at `from`'s exit. Forward analyses only; defaults to every edge.
+    fn edge_is_live(
+        &self,
+        _func: &Function,
+        _from: BlockId,
+        _to: BlockId,
+        _exit: &Self::State,
+    ) -> bool {
+        true
+    }
+}
+
+/// The fixed point computed by [`solve`].
+#[derive(Debug, Clone)]
+pub struct Solution<S> {
+    /// State at each block's entry (in execution order, regardless of the
+    /// analysis direction).
+    pub entry: Vec<S>,
+    /// State at each block's exit.
+    pub exit: Vec<S>,
+    /// Blocks that received facts. For forward analyses this is
+    /// reachability from the entry through live edges; for backward ones,
+    /// ability to reach a function exit.
+    pub reached: Vec<bool>,
+    /// Number of block transfers performed (a convergence metric for
+    /// tests and the fact dump).
+    pub iterations: usize,
+}
+
+impl<S> Solution<S> {
+    /// The entry state of `block`.
+    #[must_use]
+    pub fn entry_of(&self, block: BlockId) -> &S {
+        &self.entry[block.index()]
+    }
+
+    /// The exit state of `block`.
+    #[must_use]
+    pub fn exit_of(&self, block: BlockId) -> &S {
+        &self.exit[block.index()]
+    }
+
+    /// Whether `block` ever received facts.
+    #[must_use]
+    pub fn is_reached(&self, block: BlockId) -> bool {
+        self.reached[block.index()]
+    }
+}
+
+/// Solves `analysis` over `func` to a fixed point.
+///
+/// # Panics
+///
+/// Panics if the analysis fails to converge within a generous budget —
+/// possible only for a non-monotone or non-widening [`Analysis`], i.e. a
+/// bug in the analysis, never in the input program.
+pub fn solve<A: Analysis>(analysis: &A, func: &Function) -> Solution<A::State> {
+    match analysis.direction() {
+        Direction::Forward => solve_forward(analysis, func),
+        Direction::Backward => solve_backward(analysis, func),
+    }
+}
+
+fn iteration_budget(blocks: usize) -> usize {
+    10_000 + 1_000 * blocks
+}
+
+fn solve_forward<A: Analysis>(analysis: &A, func: &Function) -> Solution<A::State> {
+    let n = func.blocks.len();
+    if n == 0 {
+        return Solution {
+            entry: Vec::new(),
+            exit: Vec::new(),
+            reached: Vec::new(),
+            iterations: 0,
+        };
+    }
+    let mut entry: Vec<A::State> = (0..n).map(|_| analysis.bottom(func)).collect();
+    let mut exit: Vec<A::State> = (0..n).map(|_| analysis.bottom(func)).collect();
+    let mut reached = vec![false; n];
+    let mut queued = vec![false; n];
+
+    // Seed the entry block; iterate in reverse postorder for fast
+    // convergence on reducible graphs (irreducible ones just take more
+    // passes).
+    let order = reverse_postorder(func);
+    let mut priority = vec![usize::MAX; n];
+    for (rank, &block) in order.iter().enumerate() {
+        priority[block.index()] = rank;
+    }
+    let boundary = analysis.boundary(func);
+    analysis.join(&mut entry[0], &boundary);
+    reached[0] = true;
+    queued[0] = true;
+    let mut worklist = vec![BlockId(0)];
+    let mut iterations = 0usize;
+
+    while let Some(block) = pop_best(&mut worklist, &priority) {
+        queued[block.index()] = false;
+        iterations += 1;
+        assert!(
+            iterations <= iteration_budget(n),
+            "dataflow analysis failed to converge (non-monotone transfer or join?)"
+        );
+        let mut state = entry[block.index()].clone();
+        analysis.transfer(func, block, &mut state);
+        exit[block.index()] = state;
+        for succ in func.blocks[block.index()].term.successors() {
+            if !analysis.edge_is_live(func, block, succ, &exit[block.index()]) {
+                continue;
+            }
+            let changed = analysis.join(&mut entry[succ.index()], &exit[block.index()]);
+            let newly_reached = !reached[succ.index()];
+            reached[succ.index()] = true;
+            if (changed || newly_reached) && !queued[succ.index()] {
+                queued[succ.index()] = true;
+                worklist.push(succ);
+            }
+        }
+    }
+    Solution {
+        entry,
+        exit,
+        reached,
+        iterations,
+    }
+}
+
+fn solve_backward<A: Analysis>(analysis: &A, func: &Function) -> Solution<A::State> {
+    let n = func.blocks.len();
+    let preds = predecessors(func);
+    let mut entry: Vec<A::State> = (0..n).map(|_| analysis.bottom(func)).collect();
+    let mut exit: Vec<A::State> = (0..n).map(|_| analysis.bottom(func)).collect();
+    let mut reached = vec![false; n];
+    let mut queued = vec![false; n];
+
+    // Postorder priority: process later blocks first.
+    let order = reverse_postorder(func);
+    let mut priority = vec![usize::MAX; n];
+    for (rank, &block) in order.iter().enumerate() {
+        priority[block.index()] = order.len() - rank;
+    }
+    let boundary = analysis.boundary(func);
+    let mut worklist = Vec::new();
+    for (index, block) in func.blocks.iter().enumerate() {
+        if matches!(block.term, Terminator::Return(_)) {
+            analysis.join(&mut exit[index], &boundary);
+            reached[index] = true;
+            queued[index] = true;
+            worklist.push(BlockId(index as u32));
+        }
+    }
+    let mut iterations = 0usize;
+
+    while let Some(block) = pop_best(&mut worklist, &priority) {
+        queued[block.index()] = false;
+        iterations += 1;
+        assert!(
+            iterations <= iteration_budget(n),
+            "dataflow analysis failed to converge (non-monotone transfer or join?)"
+        );
+        let mut state = exit[block.index()].clone();
+        analysis.transfer(func, block, &mut state);
+        entry[block.index()] = state;
+        for &pred in &preds[block.index()] {
+            let changed = analysis.join(&mut exit[pred.index()], &entry[block.index()]);
+            let newly_reached = !reached[pred.index()];
+            reached[pred.index()] = true;
+            if (changed || newly_reached) && !queued[pred.index()] {
+                queued[pred.index()] = true;
+                worklist.push(pred);
+            }
+        }
+    }
+    Solution {
+        entry,
+        exit,
+        reached,
+        iterations,
+    }
+}
+
+/// Pops the highest-priority (lowest rank) block from the worklist.
+fn pop_best(worklist: &mut Vec<BlockId>, priority: &[usize]) -> Option<BlockId> {
+    let best = worklist
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, b)| priority[b.index()])?
+        .0;
+    Some(worklist.swap_remove(best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reaching::ReachingDefs;
+    use supersym_ir::{Block, Inst, Module, VReg};
+    use supersym_lang::ast::Ty;
+
+    /// A function whose CFG is given by (successor lists as terminators).
+    fn func_with(blocks: Vec<Block>) -> Function {
+        Function {
+            name: "f".into(),
+            vars: vec![],
+            ret: None,
+            blocks,
+            vreg_tys: vec![Ty::Int],
+        }
+    }
+
+    fn const_block(term: Terminator) -> Block {
+        Block {
+            insts: vec![Inst::ConstInt {
+                dst: VReg(0),
+                value: 1,
+            }],
+            term,
+        }
+    }
+
+    #[test]
+    fn irreducible_cfg_converges() {
+        // 0 -> {1, 2}, 1 -> 2, 2 -> 1: a cycle entered at two points, so
+        // no natural-loop structure. The solver must still reach a fixed
+        // point over the finite reaching-defs lattice.
+        let func = func_with(vec![
+            const_block(Terminator::Branch {
+                cond: VReg(0),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            }),
+            Block::empty(Terminator::Jump(BlockId(2))),
+            Block::empty(Terminator::Jump(BlockId(1))),
+        ]);
+        let module = Module {
+            globals: vec![],
+            funcs: vec![func],
+            entry: 0,
+        };
+        let analysis = ReachingDefs::new(&module);
+        let solution = solve(&analysis, &module.funcs[0]);
+        assert!(solution.reached.iter().all(|&r| r));
+        assert!(solution.iterations >= 3);
+        // Re-solving is deterministic.
+        let again = solve(&analysis, &module.funcs[0]);
+        assert_eq!(solution.entry, again.entry);
+        assert_eq!(solution.exit, again.exit);
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_bottom() {
+        let func = func_with(vec![
+            const_block(Terminator::Return(None)),
+            Block::empty(Terminator::Jump(BlockId(1))), // orphan self-loop
+        ]);
+        let module = Module {
+            globals: vec![],
+            funcs: vec![func],
+            entry: 0,
+        };
+        let analysis = ReachingDefs::new(&module);
+        let solution = solve(&analysis, &module.funcs[0]);
+        assert!(solution.is_reached(BlockId(0)));
+        assert!(!solution.is_reached(BlockId(1)));
+    }
+}

@@ -1,0 +1,305 @@
+//! Join-semilattices for the dataflow engine.
+//!
+//! Every analysis state forms a join-semilattice: a partial order with a
+//! least element (`bottom`, "no information / unreached") and a least upper
+//! bound (`join`). The engine only ever moves states *up* the lattice, so a
+//! finite-height lattice (or a widening `join`, as in [`Interval`])
+//! guarantees the worklist terminates.
+
+/// A join-semilattice: bottom element plus in-place least upper bound.
+pub trait JoinSemiLattice: Clone + PartialEq {
+    /// The least element ("unreached", no information).
+    fn bottom() -> Self;
+
+    /// In-place least upper bound; returns `true` if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// A closed integer interval `[lo, hi]`, the abstract domain of the
+/// value-range analysis.
+///
+/// The empty interval is the lattice bottom and [`Interval::FULL`] is top.
+/// Arithmetic is conservative with respect to the simulator's *wrapping*
+/// semantics: any operation whose exact result could leave `i64` returns
+/// [`Interval::FULL`] rather than a wrapped (and therefore wrong) range.
+///
+/// ```
+/// use supersym_analyze::Interval;
+/// let idx = Interval::constant(3).add(&Interval::new(0, 4));
+/// assert_eq!(idx, Interval::new(3, 7));
+/// assert!(Interval::FULL.and_mask(&Interval::constant(15)).within(0, 15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full range, `[i64::MIN, i64::MAX]` — the lattice top.
+    pub const FULL: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// The empty interval — the lattice bottom. `lo > hi` by convention.
+    pub const EMPTY: Interval = Interval {
+        lo: i64::MAX,
+        hi: i64::MIN,
+    };
+
+    /// The interval `[lo, hi]` (empty if `lo > hi`).
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The singleton interval `[v, v]`.
+    #[must_use]
+    pub fn constant(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Whether the interval contains no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether every value lies in `[lo, hi]`.
+    #[must_use]
+    pub fn within(&self, lo: i64, hi: i64) -> bool {
+        self.is_empty() || (self.lo >= lo && self.hi <= hi)
+    }
+
+    /// Whether the interval shares no value with `[lo, hi]`.
+    #[must_use]
+    pub fn disjoint_from(&self, lo: i64, hi: i64) -> bool {
+        self.is_empty() || self.hi < lo || self.lo > hi
+    }
+
+    /// The single value, if the interval is a singleton.
+    #[must_use]
+    pub fn as_constant(&self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    fn from_i128(lo: i128, hi: i128) -> Self {
+        if lo < i128::from(i64::MIN) || hi > i128::from(i64::MAX) {
+            // The exact result can wrap; claim nothing.
+            Interval::FULL
+        } else {
+            Interval::new(lo as i64, hi as i64)
+        }
+    }
+
+    /// Abstract wrapping addition.
+    #[must_use]
+    pub fn add(&self, other: &Interval) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Self::from_i128(
+            i128::from(self.lo) + i128::from(other.lo),
+            i128::from(self.hi) + i128::from(other.hi),
+        )
+    }
+
+    /// Abstract wrapping subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &Interval) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Self::from_i128(
+            i128::from(self.lo) - i128::from(other.hi),
+            i128::from(self.hi) - i128::from(other.lo),
+        )
+    }
+
+    /// Abstract wrapping multiplication.
+    #[must_use]
+    pub fn mul(&self, other: &Interval) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        let products = [
+            i128::from(self.lo) * i128::from(other.lo),
+            i128::from(self.lo) * i128::from(other.hi),
+            i128::from(self.hi) * i128::from(other.lo),
+            i128::from(self.hi) * i128::from(other.hi),
+        ];
+        let lo = *products.iter().min().expect("non-empty");
+        let hi = *products.iter().max().expect("non-empty");
+        Self::from_i128(lo, hi)
+    }
+
+    /// Abstract bitwise and. Precise enough for the index-masking idiom
+    /// `x & 15`: a non-negative mask bounds the result to `[0, mask]`.
+    #[must_use]
+    pub fn and_mask(&self, other: &Interval) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        // `a & m` with 0 <= m has a zero sign bit and is at most m.
+        let bound = |iv: &Interval| iv.as_constant().filter(|&m| m >= 0);
+        match (bound(self), bound(other)) {
+            (Some(m), _) | (_, Some(m)) => Interval::new(0, m),
+            _ if self.lo >= 0 && other.lo >= 0 => Interval::new(0, self.hi.min(other.hi)),
+            _ => Interval::FULL,
+        }
+    }
+
+    /// Abstract bitwise or/xor: non-negative operands stay below the next
+    /// power of two covering both upper bounds.
+    #[must_use]
+    pub fn or_xor(&self, other: &Interval) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        if self.lo >= 0 && other.lo >= 0 {
+            let max = self.hi.max(other.hi);
+            let bits = 64 - max.leading_zeros();
+            if bits >= 63 {
+                Interval::FULL
+            } else {
+                Interval::new(0, (1_i64 << bits) - 1)
+            }
+        } else {
+            Interval::FULL
+        }
+    }
+
+    /// Abstract remainder by a constant positive divisor (the simulator
+    /// defines `x rem 0 = x`, so zero divisors are excluded by the caller).
+    #[must_use]
+    pub fn rem_const(&self, divisor: i64) -> Self {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        if divisor <= 0 {
+            return Interval::FULL;
+        }
+        if self.lo >= 0 {
+            Interval::new(0, (divisor - 1).min(self.hi.max(0)))
+        } else {
+            Interval::new(-(divisor - 1), divisor - 1)
+        }
+    }
+
+    /// Widens `self` against the previous iterate: bounds that are still
+    /// moving jump straight to the corresponding infinity. Applied by the
+    /// range analysis once a join budget is exhausted, this caps the
+    /// ascending-chain length and forces termination on loops.
+    #[must_use]
+    pub fn widen(&self, previous: &Interval) -> Self {
+        if previous.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: if self.lo < previous.lo {
+                i64::MIN
+            } else {
+                self.lo
+            },
+            hi: if self.hi > previous.hi {
+                i64::MAX
+            } else {
+                self.hi
+            },
+        }
+    }
+}
+
+impl JoinSemiLattice for Interval {
+    fn bottom() -> Self {
+        Interval::EMPTY
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        if self.is_empty() {
+            *self = *other;
+            return true;
+        }
+        let hull = Interval::new(self.lo.min(other.lo), self.hi.max(other.hi));
+        let changed = hull != *self;
+        *self = hull;
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_hull() {
+        let mut a = Interval::new(0, 3);
+        assert!(a.join(&Interval::new(5, 9)));
+        assert_eq!(a, Interval::new(0, 9));
+        assert!(!a.join(&Interval::new(2, 4)));
+    }
+
+    #[test]
+    fn bottom_is_identity() {
+        let mut a = Interval::EMPTY;
+        assert!(a.join(&Interval::constant(7)));
+        assert_eq!(a, Interval::constant(7));
+        assert!(!a.join(&Interval::EMPTY));
+    }
+
+    #[test]
+    fn overflowing_arithmetic_goes_to_full() {
+        let near_max = Interval::constant(i64::MAX - 1);
+        assert_eq!(near_max.add(&Interval::constant(5)), Interval::FULL);
+        assert_eq!(
+            near_max.mul(&Interval::constant(2)),
+            Interval::FULL,
+            "doubling near-max wraps"
+        );
+        assert_eq!(
+            Interval::constant(4).add(&Interval::constant(5)),
+            Interval::constant(9)
+        );
+    }
+
+    #[test]
+    fn mask_bounds_survive_full_input() {
+        let masked = Interval::FULL.and_mask(&Interval::constant(15));
+        assert_eq!(masked, Interval::new(0, 15));
+        let negative_mask = Interval::FULL.and_mask(&Interval::constant(-1));
+        assert_eq!(negative_mask, Interval::FULL);
+    }
+
+    #[test]
+    fn widening_pins_moving_bounds() {
+        let grown = Interval::new(0, 10).widen(&Interval::new(0, 5));
+        assert_eq!(grown, Interval::new(0, i64::MAX));
+        let stable = Interval::new(0, 5).widen(&Interval::new(0, 5));
+        assert_eq!(stable, Interval::new(0, 5));
+        let shrunk_lo = Interval::new(-3, 5).widen(&Interval::new(0, 5));
+        assert_eq!(shrunk_lo, Interval::new(i64::MIN, 5));
+    }
+
+    #[test]
+    fn disjointness_and_membership() {
+        assert!(Interval::new(8, 9).disjoint_from(0, 7));
+        assert!(!Interval::new(7, 9).disjoint_from(0, 7));
+        assert!(Interval::new(0, 7).within(0, 7));
+        assert!(Interval::EMPTY.within(0, 0));
+        assert!(Interval::EMPTY.disjoint_from(i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn rem_const_ranges() {
+        assert_eq!(Interval::new(0, 100).rem_const(8), Interval::new(0, 7));
+        assert_eq!(Interval::new(-5, 100).rem_const(8), Interval::new(-7, 7));
+        assert_eq!(Interval::new(0, 3).rem_const(8), Interval::new(0, 3));
+        assert_eq!(Interval::FULL.rem_const(0), Interval::FULL);
+    }
+}

@@ -1,0 +1,535 @@
+//! IR lints backed by the dataflow analyses.
+//!
+//! Three checks, each a thin consumer of an engine fixed point:
+//!
+//! * **`dead-store`** (warning) — a variable write no execution can ever
+//!   observe, from backward variable liveness;
+//! * **`oob-load` / `oob-store`** (error) — an array access whose index
+//!   range is provably outside the array on every execution reaching it,
+//!   from value-range analysis;
+//! * **`const-branch`** (warning) — a two-way branch whose condition is
+//!   the same constant on every execution, from conditional constant
+//!   propagation.
+//!
+//! Unreachable code is skipped (a fact about an unreached point is
+//! vacuous), which also keeps the lints quiet about branches already
+//! proven dead.
+
+use crate::consts::{ConstProp, ConstState};
+use crate::engine::{solve, Analysis, Direction, Solution};
+use crate::lattice::Interval;
+use crate::range::Ranges;
+use std::collections::BTreeSet;
+use supersym_ir::{BlockId, Function, GlobalId, GlobalKind, Inst, Module, Terminator, VarRef};
+use supersym_isa::Diagnostic;
+
+/// Runs every lint over every function of `module`.
+#[must_use]
+pub fn lint_module(module: &Module) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for func in &module.funcs {
+        // Conditional constant propagation provides the sharpest
+        // reachability (it prunes never-taken branch edges); every lint
+        // stays silent about blocks it proves dead.
+        let consts = solve(&ConstProp::new(module), func);
+        lint_dead_stores(module, func, &consts, &mut out);
+        lint_out_of_bounds(module, func, &consts, &mut out);
+        lint_const_branches(module, func, &consts, &mut out);
+    }
+    out
+}
+
+fn var_name<'a>(module: &'a Module, func: &'a Function, var: VarRef) -> &'a str {
+    match var {
+        VarRef::Global(g) => &module.globals[g.0 as usize].name,
+        VarRef::Local(l) => &func.vars[l.0 as usize].name,
+    }
+}
+
+/// Backward may-liveness of variables: which variables might still be read
+/// before being overwritten? Globals are live at every function exit (the
+/// caller, or the program's final state, observes them) and calls read
+/// every global (the callee might).
+struct VarLiveness<'m> {
+    module: &'m Module,
+}
+
+impl VarLiveness<'_> {
+    /// One backward step; `state` is the liveness *after* the instruction.
+    fn step(&self, state: &mut BTreeSet<VarRef>, inst: &Inst) {
+        match inst {
+            Inst::WriteVar { var, .. } => {
+                state.remove(var);
+            }
+            Inst::ReadVar { var, .. } => {
+                state.insert(*var);
+            }
+            Inst::Call { .. } => {
+                for g in 0..self.module.globals.len() {
+                    state.insert(VarRef::Global(GlobalId(g as u32)));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Analysis for VarLiveness<'_> {
+    type State = BTreeSet<VarRef>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self, _func: &Function) -> BTreeSet<VarRef> {
+        (0..self.module.globals.len())
+            .map(|g| VarRef::Global(GlobalId(g as u32)))
+            .collect()
+    }
+
+    fn bottom(&self, _func: &Function) -> BTreeSet<VarRef> {
+        BTreeSet::new()
+    }
+
+    fn transfer(&self, func: &Function, block: BlockId, state: &mut BTreeSet<VarRef>) {
+        for inst in func.blocks[block.index()].insts.iter().rev() {
+            self.step(state, inst);
+        }
+    }
+
+    fn join(&self, into: &mut BTreeSet<VarRef>, from: &BTreeSet<VarRef>) -> bool {
+        let before = into.len();
+        into.extend(from.iter().copied());
+        before != into.len()
+    }
+}
+
+fn lint_dead_stores(
+    module: &Module,
+    func: &Function,
+    consts: &Solution<ConstState>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let analysis = VarLiveness { module };
+    let solution = solve(&analysis, func);
+    for (block_index, block) in func.blocks.iter().enumerate() {
+        let block_id = BlockId(block_index as u32);
+        if !consts.is_reached(block_id) {
+            continue; // forward-unreachable: nothing here ever runs
+        }
+        if !solution.is_reached(block_id) {
+            continue; // cannot reach an exit; liveness facts are vacuous
+        }
+        let mut live = solution.exit_of(block_id).clone();
+        for (index, inst) in block.insts.iter().enumerate().rev() {
+            if let Inst::WriteVar { var, .. } = inst {
+                if !live.contains(var) {
+                    out.push(
+                        Diagnostic::warning(
+                            "dead-store",
+                            format!(
+                                "{block_id}: store to `{}` is never read",
+                                var_name(module, func, *var)
+                            ),
+                        )
+                        .in_function(&func.name)
+                        .at_instr(index),
+                    );
+                }
+            }
+            analysis.step(&mut live, inst);
+        }
+    }
+}
+
+fn lint_out_of_bounds(
+    module: &Module,
+    func: &Function,
+    consts: &Solution<ConstState>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let analysis = Ranges::new(module);
+    let solution = solve(&analysis, func);
+    for block_index in 0..func.blocks.len() {
+        let block_id = BlockId(block_index as u32);
+        // The range analysis does not prune branch edges; borrow the
+        // sharper reachability from constant propagation.
+        if !consts.is_reached(block_id) || !solution.is_reached(block_id) {
+            continue;
+        }
+        let Some(vars_in) = solution.entry_of(block_id).vars.as_ref() else {
+            continue;
+        };
+        analysis.walk_block(func, block_id, vars_in, |index, inst, vregs| {
+            let (arr, index_vreg, code) = match inst {
+                Inst::ReadElem { arr, index, .. } => (arr, index, "oob-load"),
+                Inst::WriteElem { arr, index, .. } => (arr, index, "oob-store"),
+                _ => return,
+            };
+            let GlobalKind::Array { len } = module.globals[arr.0 as usize].kind else {
+                return;
+            };
+            let range = vregs.get(index_vreg).copied().unwrap_or(Interval::FULL);
+            if range.disjoint_from(0, len as i64 - 1) {
+                out.push(
+                    Diagnostic::error(
+                        code,
+                        format!(
+                            "{block_id}: index of `{}` is always outside 0..{len} \
+                             (proven range [{}, {}])",
+                            module.globals[arr.0 as usize].name, range.lo, range.hi
+                        ),
+                    )
+                    .in_function(&func.name)
+                    .at_instr(index),
+                );
+            }
+        });
+    }
+}
+
+fn lint_const_branches(
+    _module: &Module,
+    func: &Function,
+    solution: &Solution<ConstState>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (block_index, block) in func.blocks.iter().enumerate() {
+        let block_id = BlockId(block_index as u32);
+        if !solution.is_reached(block_id) {
+            continue;
+        }
+        let Terminator::Branch {
+            then_bb, else_bb, ..
+        } = &block.term
+        else {
+            continue;
+        };
+        if then_bb == else_bb {
+            continue; // degenerate branch, nothing to decide
+        }
+        if let Some(verdict) = solution.exit_of(block_id).branch {
+            out.push(
+                Diagnostic::warning(
+                    "const-branch",
+                    format!(
+                        "{block_id}: branch condition is always {verdict}; \
+                         the {} edge is dead",
+                        if verdict { "else" } else { "then" }
+                    ),
+                )
+                .in_function(&func.name),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_ir::{Block, GlobalInfo, IntBinOp, LocalId, VReg, VarInfo};
+    use supersym_lang::ast::Ty;
+
+    fn local(i: u32) -> VarRef {
+        VarRef::Local(LocalId(i))
+    }
+
+    fn int_var(name: &str) -> VarInfo {
+        VarInfo {
+            name: name.into(),
+            ty: Ty::Int,
+            param_index: None,
+        }
+    }
+
+    fn one_block(module_globals: Vec<GlobalInfo>, vars: Vec<VarInfo>, insts: Vec<Inst>) -> Module {
+        let n_vregs = insts.iter().filter_map(Inst::dst).map(|v| v.0 + 1).max();
+        Module {
+            globals: module_globals,
+            funcs: vec![Function {
+                name: "f".into(),
+                vars,
+                ret: None,
+                blocks: vec![Block {
+                    insts,
+                    term: Terminator::Return(None),
+                }],
+                vreg_tys: vec![Ty::Int; n_vregs.unwrap_or(0) as usize],
+            }],
+            entry: 0,
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(Diagnostic::code).collect()
+    }
+
+    #[test]
+    fn dead_local_store_flagged() {
+        // x = 1; x = 2; (never read)
+        let module = one_block(
+            vec![],
+            vec![int_var("x")],
+            vec![
+                Inst::ConstInt {
+                    dst: VReg(0),
+                    value: 1,
+                },
+                Inst::WriteVar {
+                    var: local(0),
+                    src: VReg(0),
+                },
+                Inst::ConstInt {
+                    dst: VReg(1),
+                    value: 2,
+                },
+                Inst::WriteVar {
+                    var: local(0),
+                    src: VReg(1),
+                },
+            ],
+        );
+        let diags = lint_module(&module);
+        assert_eq!(codes(&diags), vec!["dead-store", "dead-store"]);
+        assert!(diags[0].to_string().contains("`x`"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn read_and_global_stores_are_live() {
+        let g = GlobalInfo {
+            name: "g".into(),
+            ty: Ty::Int,
+            kind: supersym_ir::GlobalKind::Scalar { init: 0.0 },
+        };
+        // x = 1; y = x (x is read); g = y (globals live at exit)
+        let module = one_block(
+            vec![g],
+            vec![int_var("x"), int_var("y")],
+            vec![
+                Inst::ConstInt {
+                    dst: VReg(0),
+                    value: 1,
+                },
+                Inst::WriteVar {
+                    var: local(0),
+                    src: VReg(0),
+                },
+                Inst::ReadVar {
+                    dst: VReg(1),
+                    var: local(0),
+                },
+                Inst::WriteVar {
+                    var: local(1),
+                    src: VReg(1),
+                },
+                Inst::ReadVar {
+                    dst: VReg(2),
+                    var: local(1),
+                },
+                Inst::WriteVar {
+                    var: VarRef::Global(GlobalId(0)),
+                    src: VReg(2),
+                },
+            ],
+        );
+        assert!(lint_module(&module).is_empty());
+    }
+
+    #[test]
+    fn overwritten_global_store_flagged_but_call_reads() {
+        let g = GlobalInfo {
+            name: "g".into(),
+            ty: Ty::Int,
+            kind: supersym_ir::GlobalKind::Scalar { init: 0.0 },
+        };
+        // g = 1; g = 2: first store dead. With a call in between it is not.
+        let store = |vreg| Inst::WriteVar {
+            var: VarRef::Global(GlobalId(0)),
+            src: VReg(vreg),
+        };
+        let konst = |vreg, value| Inst::ConstInt {
+            dst: VReg(vreg),
+            value,
+        };
+        let dead = one_block(
+            vec![g.clone()],
+            vec![],
+            vec![konst(0, 1), store(0), konst(1, 2), store(1)],
+        );
+        assert_eq!(codes(&lint_module(&dead)), vec!["dead-store"]);
+
+        let live = one_block(
+            vec![g],
+            vec![],
+            vec![
+                konst(0, 1),
+                store(0),
+                Inst::Call {
+                    dst: None,
+                    callee: 0,
+                    args: vec![],
+                },
+                konst(1, 2),
+                store(1),
+            ],
+        );
+        assert!(
+            lint_module(&live).is_empty(),
+            "the callee may read `g` before the overwrite"
+        );
+    }
+
+    #[test]
+    fn provable_out_of_bounds_flagged() {
+        let arr = GlobalInfo {
+            name: "a".into(),
+            ty: Ty::Int,
+            kind: GlobalKind::Array { len: 8 },
+        };
+        let access = |value| {
+            vec![
+                Inst::ConstInt {
+                    dst: VReg(0),
+                    value,
+                },
+                Inst::ConstInt {
+                    dst: VReg(1),
+                    value: 7,
+                },
+                Inst::WriteElem {
+                    arr: GlobalId(0),
+                    index: VReg(0),
+                    src: VReg(1),
+                    origin: None,
+                },
+            ]
+        };
+        let oob = one_block(vec![arr.clone()], vec![], access(8));
+        let diags = lint_module(&oob);
+        assert_eq!(codes(&diags), vec!["oob-store"]);
+        assert!(diags[0].is_error());
+        assert!(
+            diags[0].to_string().contains("outside 0..8"),
+            "{}",
+            diags[0]
+        );
+
+        let inside = one_block(vec![arr.clone()], vec![], access(7));
+        assert!(lint_module(&inside).is_empty());
+
+        // A masked index is provably inside.
+        let masked = one_block(
+            vec![arr],
+            vec![int_var("x")],
+            vec![
+                Inst::ReadVar {
+                    dst: VReg(0),
+                    var: local(0),
+                },
+                Inst::ConstInt {
+                    dst: VReg(1),
+                    value: 7,
+                },
+                Inst::IntBin {
+                    op: IntBinOp::And,
+                    dst: VReg(2),
+                    lhs: VReg(0),
+                    rhs: VReg(1),
+                },
+                Inst::ReadElem {
+                    dst: VReg(3),
+                    arr: GlobalId(0),
+                    index: VReg(2),
+                    origin: None,
+                },
+            ],
+        );
+        assert!(lint_module(&masked).is_empty());
+    }
+
+    #[test]
+    fn constant_branch_flagged_and_dead_side_skipped() {
+        // bb0: branch on 1 -> bb1 / bb2; bb2 contains an OOB store that
+        // must stay silent (unreachable).
+        let arr = GlobalInfo {
+            name: "a".into(),
+            ty: Ty::Int,
+            kind: GlobalKind::Array { len: 4 },
+        };
+        let module = Module {
+            globals: vec![arr],
+            funcs: vec![Function {
+                name: "f".into(),
+                vars: vec![],
+                ret: None,
+                blocks: vec![
+                    Block {
+                        insts: vec![Inst::ConstInt {
+                            dst: VReg(0),
+                            value: 1,
+                        }],
+                        term: Terminator::Branch {
+                            cond: VReg(0),
+                            then_bb: BlockId(1),
+                            else_bb: BlockId(2),
+                        },
+                    },
+                    Block::empty(Terminator::Return(None)),
+                    Block {
+                        insts: vec![
+                            Inst::ConstInt {
+                                dst: VReg(1),
+                                value: 100,
+                            },
+                            Inst::ConstInt {
+                                dst: VReg(2),
+                                value: 0,
+                            },
+                            Inst::WriteElem {
+                                arr: GlobalId(0),
+                                index: VReg(1),
+                                src: VReg(2),
+                                origin: None,
+                            },
+                        ],
+                        term: Terminator::Return(None),
+                    },
+                ],
+                vreg_tys: vec![Ty::Int; 3],
+            }],
+            entry: 0,
+        };
+        let diags = lint_module(&module);
+        assert_eq!(codes(&diags), vec!["const-branch"]);
+        assert!(diags[0].to_string().contains("always true"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn varying_branch_not_flagged() {
+        let module = Module {
+            globals: vec![],
+            funcs: vec![Function {
+                name: "f".into(),
+                vars: vec![int_var("x")],
+                ret: None,
+                blocks: vec![
+                    Block {
+                        insts: vec![Inst::ReadVar {
+                            dst: VReg(0),
+                            var: local(0),
+                        }],
+                        term: Terminator::Branch {
+                            cond: VReg(0),
+                            then_bb: BlockId(1),
+                            else_bb: BlockId(1),
+                        },
+                    },
+                    Block::empty(Terminator::Return(None)),
+                ],
+                vreg_tys: vec![Ty::Int],
+            }],
+            entry: 0,
+        };
+        assert!(lint_module(&module).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Reaching definitions over variables.
+//!
+//! For every variable ([`VarRef`]) at every block boundary: which writes
+//! can be the one whose value is observed here? Definitions are
+//! [`Def::Entry`] (the value the function started with) or a
+//! [`Def::Inst`] site. Calls *may* define every global (the callee can
+//! write it), so they add a definition without killing the old ones.
+//!
+//! The symbolic alias analysis ([`crate::sharpen_origins`]) uses the
+//! reaching set of a variable as its *version*: two index expressions over
+//! the same variable denote the same runtime value within a straight-line
+//! region exactly when the variable's reaching definitions agree.
+
+use crate::engine::{Analysis, Direction};
+use std::collections::{BTreeMap, BTreeSet};
+use supersym_ir::{BlockId, Function, GlobalId, Inst, Module, VarRef};
+
+/// One definition site of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Def {
+    /// The value the variable held at function entry.
+    Entry,
+    /// A write site: the instruction at this index of this block (a
+    /// `WriteVar`, or a call that may have written the global).
+    Inst(BlockId, usize),
+}
+
+/// The reaching-definitions state: each tracked variable's possible
+/// definition sites. The lattice join is pointwise set union; an absent
+/// variable means "no definitions reach" (only possible in unreached
+/// code).
+pub type ReachState = BTreeMap<VarRef, BTreeSet<Def>>;
+
+/// The reaching-definitions analysis (forward, finite lattice).
+#[derive(Debug, Clone, Copy)]
+pub struct ReachingDefs<'m> {
+    module: &'m Module,
+}
+
+impl<'m> ReachingDefs<'m> {
+    /// Creates the analysis for functions of `module`.
+    #[must_use]
+    pub fn new(module: &'m Module) -> Self {
+        ReachingDefs { module }
+    }
+
+    /// Applies one instruction's effect to `state`.
+    pub fn step(&self, state: &mut ReachState, block: BlockId, index: usize, inst: &Inst) {
+        match inst {
+            Inst::WriteVar { var, .. } => {
+                // A strong update: this write is now the only definition.
+                state.insert(*var, BTreeSet::from([Def::Inst(block, index)]));
+            }
+            Inst::Call { .. } => {
+                // The callee may write any global: add (do not replace) a
+                // definition for each.
+                for g in 0..self.module.globals.len() {
+                    state
+                        .entry(VarRef::Global(GlobalId(g as u32)))
+                        .or_default()
+                        .insert(Def::Inst(block, index));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Analysis for ReachingDefs<'_> {
+    type State = ReachState;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, func: &Function) -> ReachState {
+        let mut state = ReachState::new();
+        for g in 0..self.module.globals.len() {
+            state.insert(
+                VarRef::Global(GlobalId(g as u32)),
+                BTreeSet::from([Def::Entry]),
+            );
+        }
+        for l in 0..func.vars.len() {
+            state.insert(
+                VarRef::Local(supersym_ir::LocalId(l as u32)),
+                BTreeSet::from([Def::Entry]),
+            );
+        }
+        state
+    }
+
+    fn bottom(&self, _func: &Function) -> ReachState {
+        ReachState::new()
+    }
+
+    fn transfer(&self, func: &Function, block: BlockId, state: &mut ReachState) {
+        for (index, inst) in func.blocks[block.index()].insts.iter().enumerate() {
+            self.step(state, block, index, inst);
+        }
+    }
+
+    fn join(&self, into: &mut ReachState, from: &ReachState) -> bool {
+        let mut changed = false;
+        for (var, defs) in from {
+            let entry = into.entry(*var).or_default();
+            for def in defs {
+                changed |= entry.insert(*def);
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::solve;
+    use supersym_ir::{Block, LocalId, Terminator, VReg, VarInfo};
+    use supersym_lang::ast::Ty;
+
+    fn write(var: VarRef) -> Inst {
+        Inst::WriteVar { var, src: VReg(0) }
+    }
+
+    fn const0() -> Inst {
+        Inst::ConstInt {
+            dst: VReg(0),
+            value: 0,
+        }
+    }
+
+    fn local(i: u32) -> VarRef {
+        VarRef::Local(LocalId(i))
+    }
+
+    #[test]
+    fn writes_kill_and_merge() {
+        // bb0: write x; branch bb1/bb2. bb1: write x; jump bb3. bb2: jump
+        // bb3. bb3: both definitions reach.
+        let func = Function {
+            name: "f".into(),
+            vars: vec![VarInfo {
+                name: "x".into(),
+                ty: Ty::Int,
+                param_index: None,
+            }],
+            ret: None,
+            blocks: vec![
+                Block {
+                    insts: vec![const0(), write(local(0))],
+                    term: Terminator::Branch {
+                        cond: VReg(0),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![const0(), write(local(0))],
+                    term: Terminator::Jump(BlockId(3)),
+                },
+                Block::empty(Terminator::Jump(BlockId(3))),
+                Block::empty(Terminator::Return(None)),
+            ],
+            vreg_tys: vec![Ty::Int],
+        };
+        let module = Module {
+            globals: vec![],
+            funcs: vec![func],
+            entry: 0,
+        };
+        let analysis = ReachingDefs::new(&module);
+        let solution = solve(&analysis, &module.funcs[0]);
+        let at_join = &solution.entry_of(BlockId(3))[&local(0)];
+        assert_eq!(
+            at_join,
+            &BTreeSet::from([Def::Inst(BlockId(0), 1), Def::Inst(BlockId(1), 1)])
+        );
+        // Inside bb1 the write killed bb0's: exit has exactly one def.
+        assert_eq!(
+            solution.exit_of(BlockId(1))[&local(0)],
+            BTreeSet::from([Def::Inst(BlockId(1), 1)])
+        );
+        // Entry sees the boundary definition.
+        assert_eq!(
+            solution.entry_of(BlockId(0))[&local(0)],
+            BTreeSet::from([Def::Entry])
+        );
+    }
+}

@@ -97,9 +97,50 @@ fn bench_cache() {
     });
 }
 
+fn bench_oracles() {
+    use supersym::analyze::{dependence_edges, scheduling_regions, OracleKind};
+    use supersym::workloads::livermore;
+    let workload = livermore(40, 1);
+    let machine = presets::ideal_superscalar(8);
+    // Naive unrolling shares one induction variable across copies, so the
+    // two oracles genuinely disagree about the optimized regions' memory
+    // edges; count those on the O4 output, then time scheduling itself.
+    let optimized = compile(
+        &workload.source,
+        &CompileOptions::new(OptLevel::O4, &machine)
+            .with_unroll(supersym::opt::UnrollOptions::naive(4)),
+    )
+    .unwrap();
+    let unscheduled = compile(
+        &workload.source,
+        &CompileOptions::new(OptLevel::O0, &machine)
+            .with_unroll(supersym::opt::UnrollOptions::naive(4)),
+    )
+    .unwrap();
+    for kind in [OracleKind::Conservative, OracleKind::Symbolic] {
+        let oracle = kind.as_oracle();
+        let edges: usize = optimized
+            .functions()
+            .iter()
+            .flat_map(|func| {
+                scheduling_regions(func)
+                    .into_iter()
+                    .map(|(lo, hi)| dependence_edges(&func.instrs()[lo..hi], oracle).len())
+            })
+            .sum();
+        println!("oracle/{kind:?}: {edges} dependence edges on the O4 output");
+        time(&format!("schedule_livermore_{kind:?}"), 20, || {
+            let mut program = unscheduled.clone();
+            supersym::codegen::schedule_program_with(&mut program, &machine, oracle);
+            black_box(program);
+        });
+    }
+}
+
 fn main() {
     bench_compile();
     bench_simulate();
     bench_scheduler();
+    bench_oracles();
     bench_cache();
 }

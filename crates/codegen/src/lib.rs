@@ -44,5 +44,5 @@ mod sched;
 mod split;
 
 pub use lower::lower_program;
-pub use sched::schedule_program;
+pub use sched::{schedule_program, schedule_program_with};
 pub use split::{no_vreg_live_across_calls, split_live_across_calls};

@@ -9,114 +9,84 @@
 //!
 //! Regions are maximal runs of non-control instructions not crossed by any
 //! branch target. Within a region the scheduler builds the dependence DAG —
-//! register RAW/WAR/WAW plus memory edges filtered through
-//! [`MemAlias::may_conflict`] — and greedily issues ready instructions in
+//! register RAW/WAR/WAW plus memory edges filtered through a
+//! [`DependenceOracle`] — and greedily issues ready instructions in
 //! critical-path order while simulating the machine's issue width, operation
 //! latencies and functional-unit reservations.
+//!
+//! The DAG construction lives in `supersym-analyze` ([`dependence_edges`]),
+//! shared with the legality checker in `supersym-verify`: the scheduler and
+//! its checker consult the *same* dependence oracle, so a disambiguation
+//! fact is either available to both or to neither. The default oracle is
+//! the symbolic one — §4.4's observation that "provided that the
+//! compile-time disambiguation works well, loads from early copies of the
+//! loop can be moved above stores from previous copies" is exactly the
+//! edge-removal it performs.
 
-use std::collections::HashSet;
-use supersym_isa::{Function, Instr, Program, Reg};
+use supersym_analyze::{
+    dependence_edges, scheduling_regions, DepKind, DependenceOracle, OracleKind,
+};
+use supersym_isa::{Function, Instr, Program};
 use supersym_machine::MachineConfig;
 
-/// Schedules every function of the program for `config`.
+/// Schedules every function of the program for `config` with the default
+/// (symbolic) dependence oracle.
 pub fn schedule_program(program: &mut Program, config: &MachineConfig) {
+    schedule_program_with(program, config, OracleKind::default().as_oracle());
+}
+
+/// Schedules every function of the program for `config`, disambiguating
+/// memory through `oracle`.
+pub fn schedule_program_with(
+    program: &mut Program,
+    config: &MachineConfig,
+    oracle: &dyn DependenceOracle,
+) {
     for func in program.functions_mut() {
-        schedule_function(func, config);
+        schedule_function(func, config, oracle);
     }
 }
 
-fn schedule_function(func: &mut Function, config: &MachineConfig) {
-    let boundaries: HashSet<usize> = func.label_targets().iter().copied().collect();
-    let len = func.instrs().len();
-    let mut regions: Vec<(usize, usize)> = Vec::new();
-    let mut start = 0;
-    let mut pos = 0;
-    while pos < len {
-        let at_label = pos > start && boundaries.contains(&pos);
-        let control = func.instrs()[pos].is_control();
-        if at_label {
-            regions.push((start, pos));
-            start = pos;
-        }
-        if control {
-            regions.push((start, pos));
-            start = pos + 1;
-        }
-        pos += 1;
-    }
-    if start < len {
-        regions.push((start, len));
-    }
-    for (begin, end) in regions {
+fn schedule_function(func: &mut Function, config: &MachineConfig, oracle: &dyn DependenceOracle) {
+    for (begin, end) in scheduling_regions(func) {
         if end - begin >= 2 {
-            let scheduled = schedule_region(&func.instrs()[begin..end], config);
+            let scheduled = schedule_region(&func.instrs()[begin..end], config, oracle);
             func.instrs_mut()[begin..end].clone_from_slice(&scheduled);
         }
     }
 }
 
 /// Schedules one region, returning the new instruction order.
-fn schedule_region(region: &[Instr], config: &MachineConfig) -> Vec<Instr> {
+fn schedule_region(
+    region: &[Instr],
+    config: &MachineConfig,
+    oracle: &dyn DependenceOracle,
+) -> Vec<Instr> {
     let n = region.len();
     let latency = |i: usize| -> u64 { u64::from(config.latency(region[i].class())) };
 
-    // Dependence edges (pred, succ, delay).
+    // The dependence DAG, with each edge weighted by the delay the machine
+    // imposes between issue of its endpoints: a value edge (RAW/WAW) waits
+    // out the writer's latency; anti edges (WAR) only forbid swapping; a
+    // memory edge waits for a store to complete, while load-then-store
+    // pairs again only forbid swapping.
     let mut succs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
     let mut pred_count = vec![0_usize; n];
-    let add_edge = |from: usize,
-                    to: usize,
-                    delay: u64,
-                    succs: &mut Vec<Vec<(usize, u64)>>,
-                    pred_count: &mut Vec<usize>| {
-        succs[from].push((to, delay));
-        pred_count[to] += 1;
-    };
-
-    // Register dependences via last-writer / readers tracking.
-    const NUM_REGS: usize = Reg::DENSE_SPACE;
-    let mut last_writer: Vec<Option<usize>> = vec![None; NUM_REGS];
-    let mut readers_since_write: Vec<Vec<usize>> = vec![Vec::new(); NUM_REGS];
-    for (index, instr) in region.iter().enumerate() {
-        instr.uses().iter().for_each(|reg| {
-            let slot = reg.dense_index();
-            if let Some(writer) = last_writer[slot] {
-                add_edge(writer, index, latency(writer), &mut succs, &mut pred_count);
-                // RAW
-            }
-            readers_since_write[slot].push(index);
-        });
-        if let Some(def) = instr.def() {
-            let slot = def.dense_index();
-            if let Some(writer) = last_writer[slot] {
-                add_edge(writer, index, latency(writer), &mut succs, &mut pred_count);
-                // WAW
-            }
-            for &reader in &readers_since_write[slot] {
-                if reader != index {
-                    add_edge(reader, index, 0, &mut succs, &mut pred_count); // WAR
+    for edge in dependence_edges(region, oracle) {
+        let delay = match edge.kind {
+            DepKind::Raw(_) | DepKind::Waw(_) => latency(edge.pred),
+            DepKind::War(_) => 0,
+            DepKind::Memory => {
+                let (_, is_store) = region[edge.pred].mem_ref().expect("memory edge");
+                if is_store {
+                    latency(edge.pred)
+                } else {
+                    0
                 }
             }
-            last_writer[slot] = Some(index);
-            readers_since_write[slot].clear();
-        }
-    }
-    // Memory dependences.
-    for i in 0..n {
-        let Some((alias_i, store_i)) = region[i].mem_ref() else {
-            continue;
         };
-        for (j, other) in region.iter().enumerate().skip(i + 1) {
-            let Some((alias_j, store_j)) = other.mem_ref() else {
-                continue;
-            };
-            if !store_i && !store_j {
-                continue; // loads commute
-            }
-            if alias_i.may_conflict(alias_j) {
-                let delay = if store_i { latency(i) } else { 0 };
-                add_edge(i, j, delay, &mut succs, &mut pred_count);
-            }
-        }
+        succs[edge.pred].push((edge.succ, delay));
+        pred_count[edge.succ] += 1;
     }
 
     // Critical-path heights.
@@ -207,11 +177,16 @@ fn schedule_region(region: &[Instr], config: &MachineConfig) -> Vec<Instr> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use supersym_analyze::{ConservativeOracle, SymbolicOracle};
     use supersym_isa::{AsmBuilder, IntReg, MemAlias, Operand};
     use supersym_machine::presets;
 
     fn r(i: u8) -> IntReg {
         IntReg::new(i).unwrap()
+    }
+
+    fn schedule_region_default(region: &[Instr], config: &MachineConfig) -> Vec<Instr> {
+        schedule_region(region, config, OracleKind::default().as_oracle())
     }
 
     /// Two independent dependent-pairs interleaved badly:
@@ -250,7 +225,7 @@ mod tests {
         // Loads take 2 cycles on the MultiTitan: the scheduler should hoist
         // the second load into the first load's delay slot.
         let region = badly_ordered();
-        let scheduled = schedule_region(&region, &presets::multititan());
+        let scheduled = schedule_region_default(&region, &presets::multititan());
         // Both loads first.
         assert!(matches!(scheduled[0], Instr::Load { .. }));
         assert!(matches!(scheduled[1], Instr::Load { .. }));
@@ -259,7 +234,7 @@ mod tests {
     #[test]
     fn preserves_instruction_multiset() {
         let region = badly_ordered();
-        let mut scheduled = schedule_region(&region, &presets::multititan());
+        let mut scheduled = schedule_region_default(&region, &presets::multititan());
         assert_eq!(scheduled.len(), region.len());
         for instr in &region {
             let pos = scheduled
@@ -274,7 +249,7 @@ mod tests {
     fn respects_raw_dependences() {
         let region = badly_ordered();
         for config in [presets::base(), presets::multititan(), presets::cray1()] {
-            let scheduled = schedule_region(&region, &config);
+            let scheduled = schedule_region_default(&region, &config);
             // add-of-r1 must come after load-of-r1.
             let load1 = scheduled
                 .iter()
@@ -290,7 +265,9 @@ mod tests {
 
     #[test]
     fn respects_memory_conflicts() {
-        // Store then load of the same (unknown) location must not swap.
+        // Store then load of the same (unknown) location must not swap —
+        // here even the symbolic oracle sees distinct base registers with
+        // equal offsets, which may collide.
         let region = vec![
             Instr::Store {
                 src: r(1),
@@ -305,7 +282,7 @@ mod tests {
                 alias: MemAlias::unknown(),
             },
         ];
-        let scheduled = schedule_region(&region, &presets::multititan());
+        let scheduled = schedule_region_default(&region, &presets::multititan());
         assert!(matches!(scheduled[0], Instr::Store { .. }));
     }
 
@@ -332,10 +309,40 @@ mod tests {
             rhs: Operand::Imm(1),
         };
         let region = vec![store.clone(), load.clone(), use_load.clone()];
-        let scheduled = schedule_region(&region, &presets::multititan());
+        let scheduled = schedule_region_default(&region, &presets::multititan());
         // The load's chain (load + dependent add, height 3) outweighs the
         // store: the load should be issued first.
         assert_eq!(scheduled[0], load);
+    }
+
+    #[test]
+    fn symbolic_oracle_swaps_what_annotations_cannot() {
+        // Same base register, distinct offsets, *unknown* aliases: the
+        // annotation-only oracle must keep the order, the symbolic oracle
+        // proves the words disjoint and may hoist the load with its chain.
+        let store = Instr::Store {
+            src: r(1),
+            base: r(5),
+            offset: 1,
+            alias: MemAlias::unknown(),
+        };
+        let load = Instr::Load {
+            dst: r(3),
+            base: r(5),
+            offset: 0,
+            alias: MemAlias::unknown(),
+        };
+        let use_load = Instr::IntOp {
+            op: supersym_isa::IntOp::Add,
+            dst: r(4),
+            lhs: r(3),
+            rhs: Operand::Imm(1),
+        };
+        let region = vec![store.clone(), load.clone(), use_load];
+        let conservative = schedule_region(&region, &presets::multititan(), &ConservativeOracle);
+        assert_eq!(conservative[0], store, "annotations alone cannot reorder");
+        let symbolic = schedule_region(&region, &presets::multititan(), &SymbolicOracle);
+        assert_eq!(symbolic[0], load, "base+offset reasoning frees the load");
     }
 
     #[test]
@@ -350,7 +357,7 @@ mod tests {
             },
             Instr::MovI { dst: r(1), imm: 5 },
         ];
-        let scheduled = schedule_region(&region, &presets::ideal_superscalar(4));
+        let scheduled = schedule_region_default(&region, &presets::ideal_superscalar(4));
         assert!(matches!(scheduled[0], Instr::IntOp { .. }));
     }
 

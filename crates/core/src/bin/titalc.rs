@@ -10,12 +10,16 @@
 //! titalc -m cray1 --dump program.tital      # show scheduled assembly
 //! titalc -m multititan --unroll careful:4 program.tital
 //! titalc --verify program.tital             # verify the compiler's own output
+//! titalc --oracle conservative program.tital# schedule without symbolic aliasing
 //! titalc lint machine.machine               # lint a machine description
 //! titalc lint program.s                     # lint an assembly program
+//! titalc lint program.tital                 # dataflow lints on Tital source
+//! titalc analyze program.tital              # dump per-block dataflow facts
 //! titalc --machines                         # list machine presets
 //! ```
 
 use std::process::ExitCode;
+use supersym::analyze::{dump_module, lint_module, OracleKind};
 use supersym::machine::{parse_machine_spec, presets, MachineConfig};
 use supersym::opt::UnrollOptions;
 use supersym::sim::{simulate, simulate_with_cache, CacheConfig, SimOptions};
@@ -31,7 +35,9 @@ struct Args {
     cache: bool,
     list_machines: bool,
     lint: bool,
+    analyze: bool,
     verify: bool,
+    oracle: OracleKind,
 }
 
 const USAGE: &str = "\
@@ -40,6 +46,7 @@ titalc — compile and simulate Tital programs (supersym)
 USAGE:
     titalc [OPTIONS] <FILE>
     titalc lint [OPTIONS] <FILE>
+    titalc analyze <FILE>
 
 OPTIONS:
     -m, --machine <NAME>     machine preset (default: base); see --machines
@@ -48,14 +55,24 @@ OPTIONS:
         --dump               print the scheduled assembly instead of running
         --cache              also simulate 8KiB split I/D caches
         --verify             run the static verifier on the compiled output
+        --oracle <KIND>      memory disambiguation for scheduling:
+                             symbolic (default) or conservative
         --machines           list machine presets and exit
     -h, --help               show this help
 
 LINT:
     `titalc lint` statically checks a file and exits nonzero on errors.
-    Files ending in `.machine` are parsed as machine descriptions; anything
-    else is parsed as assembly and checked with the program lint (pass
-    -m to also check register-split conformance).
+    Files ending in `.machine` are parsed as machine descriptions; files
+    ending in `.tital` are lowered to IR and checked with the dataflow
+    lints (dead stores, provable out-of-bounds accesses, constant branch
+    conditions); anything else is parsed as assembly and checked with the
+    program lint (pass -m to also check register-split conformance).
+
+ANALYZE:
+    `titalc analyze` lowers a Tital source file to IR, prints every
+    block's dataflow facts (reachability, constants, value ranges,
+    reaching definitions, branch verdicts), then runs the dataflow lints.
+    Exits nonzero on lint errors.
 ";
 
 fn parse_machine(name: &str) -> Option<MachineConfig> {
@@ -97,12 +114,21 @@ fn parse_args() -> Result<Args, String> {
         cache: false,
         list_machines: false,
         lint: false,
+        analyze: false,
         verify: false,
+        oracle: OracleKind::default(),
     };
     let mut iter = std::env::args().skip(1).peekable();
-    if iter.peek().map(String::as_str) == Some("lint") {
-        args.lint = true;
-        iter.next();
+    match iter.peek().map(String::as_str) {
+        Some("lint") => {
+            args.lint = true;
+            iter.next();
+        }
+        Some("analyze") => {
+            args.analyze = true;
+            iter.next();
+        }
+        _ => {}
     }
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -113,6 +139,13 @@ fn parse_args() -> Result<Args, String> {
             "--verify" => args.verify = true,
             "-m" | "--machine" => {
                 args.machine = Some(iter.next().ok_or("missing machine name")?);
+            }
+            "--oracle" => {
+                args.oracle = match iter.next().ok_or("missing oracle kind")?.as_str() {
+                    "symbolic" => OracleKind::Symbolic,
+                    "conservative" => OracleKind::Conservative,
+                    other => return Err(format!("unknown oracle `{other}`")),
+                };
             }
             "--unroll" => {
                 let spec = iter.next().ok_or("missing unroll spec")?;
@@ -143,9 +176,54 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// `titalc lint`: statically check a machine description (`.machine`) or an
-/// assembly program (anything else), printing every diagnostic. Exits
-/// nonzero when the file cannot be parsed or any diagnostic is an error.
+/// Runs the front end and lowers to IR, reporting errors titalc-style.
+fn lower_tital(path: &str, source: &str) -> Result<supersym::ir::Module, ExitCode> {
+    let fail = |error: &dyn std::fmt::Display| {
+        eprintln!("titalc: {path}: {error}");
+        Err(ExitCode::FAILURE)
+    };
+    let ast = match supersym::lang::parse(source) {
+        Ok(ast) => ast,
+        Err(error) => return fail(&error),
+    };
+    if let Err(error) = supersym::lang::check(&ast) {
+        return fail(&error);
+    }
+    match supersym::ir::lower(&ast) {
+        Ok(module) => Ok(module),
+        Err(error) => fail(&error),
+    }
+}
+
+/// Prints diagnostics and converts the batch to an exit code.
+fn report(path: &str, diagnostics: &[supersym::verify::Diagnostic]) -> ExitCode {
+    for diagnostic in diagnostics {
+        println!("{diagnostic}");
+    }
+    let errors = error_count(diagnostics);
+    if errors > 0 {
+        eprintln!("titalc: {path}: {errors} error(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `titalc analyze`: lower a Tital file to IR, dump every block's dataflow
+/// facts, then run the dataflow lints. Exits nonzero on lint errors.
+fn run_analyze(path: &str, source: &str) -> ExitCode {
+    let module = match lower_tital(path, source) {
+        Ok(module) => module,
+        Err(code) => return code,
+    };
+    print!("{}", dump_module(&module));
+    report(path, &lint_module(&module))
+}
+
+/// `titalc lint`: statically check a machine description (`.machine`), a
+/// Tital source file (`.tital`, via the dataflow lints) or an assembly
+/// program (anything else), printing every diagnostic. Exits nonzero when
+/// the file cannot be parsed or any diagnostic is an error.
 fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
     let diagnostics = if path.ends_with(".machine") {
         match parse_machine_spec(source) {
@@ -154,6 +232,11 @@ fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
                 eprintln!("titalc: {path}: {error}");
                 return ExitCode::FAILURE;
             }
+        }
+    } else if path.ends_with(".tital") {
+        match lower_tital(path, source) {
+            Ok(module) => lint_module(&module),
+            Err(code) => return code,
         }
     } else {
         let program = match supersym::isa::parse_program(source) {
@@ -175,16 +258,7 @@ fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
         };
         lint_program(&program, machine.as_ref())
     };
-    for diagnostic in &diagnostics {
-        println!("{diagnostic}");
-    }
-    let errors = error_count(&diagnostics);
-    if errors > 0 {
-        eprintln!("titalc: {path}: {errors} error(s)");
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    report(path, &diagnostics)
 }
 
 fn main() -> ExitCode {
@@ -221,12 +295,15 @@ fn main() -> ExitCode {
     if args.lint {
         return run_lint(&path, &source, args.machine.as_deref());
     }
+    if args.analyze {
+        return run_analyze(&path, &source);
+    }
     let machine_name = args.machine.as_deref().unwrap_or("base");
     let Some(machine) = parse_machine(machine_name) else {
         eprintln!("titalc: unknown machine `{machine_name}` (try --machines)");
         return ExitCode::FAILURE;
     };
-    let mut options = CompileOptions::new(args.opt, &machine);
+    let mut options = CompileOptions::new(args.opt, &machine).with_oracle(args.oracle);
     if args.verify {
         options = options.with_verify(true);
     }

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use supersym_analyze::OracleKind;
 use supersym_isa::{Diagnostic, Program};
 use supersym_machine::{MachineConfig, RegisterSplit};
 use supersym_opt::UnrollOptions;
@@ -96,6 +97,11 @@ pub struct CompileOptions {
     /// debug builds (where compile time is cheap and bugs are young) and
     /// off in release builds.
     pub verify: bool,
+    /// The memory-disambiguation oracle the scheduler and the legality
+    /// checker share (§4.4: scheduling quality hinges on how well memory
+    /// references are disambiguated). Defaults to the symbolic oracle;
+    /// [`OracleKind::Conservative`] reproduces the seed behaviour.
+    pub oracle: OracleKind,
 }
 
 impl CompileOptions {
@@ -110,6 +116,7 @@ impl CompileOptions {
             split: machine.register_split(),
             machine: machine.clone(),
             verify: cfg!(debug_assertions),
+            oracle: OracleKind::default(),
         }
     }
 
@@ -133,6 +140,13 @@ impl CompileOptions {
     #[must_use]
     pub fn with_verify(mut self, verify: bool) -> Self {
         self.verify = verify;
+        self
+    }
+
+    /// Picks the dependence oracle for scheduling and its legality check.
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: OracleKind) -> Self {
+        self.oracle = oracle;
         self
     }
 }
@@ -235,15 +249,25 @@ pub fn compile_ast(
             supersym_opt::run_local(&mut ir);
         }
     }
+    // Sharpen element-access origins with the dataflow analyses (constant
+    // index upgrades, linear index recovery): purely better annotations,
+    // consumed by the back end's alias tagging and the dependence oracle.
+    // Gated with the symbolic oracle so `OracleKind::Conservative` stays a
+    // faithful ablation baseline: annotations exactly as the front end
+    // wrote them, dependence edges exactly as the seed scheduler saw them.
+    if options.oracle == OracleKind::Symbolic {
+        supersym_analyze::sharpen_origins(&mut ir);
+    }
     supersym_codegen::split_live_across_calls(&mut ir);
     ir.validate()?;
     let homes = supersym_regalloc::allocate(&ir, options.split, options.opt.global_regs());
     let mut program = supersym_codegen::lower_program(&ir, &homes);
     if options.opt.scheduling() {
+        let oracle = options.oracle.as_oracle();
         let unscheduled = options.verify.then(|| program.clone());
-        supersym_codegen::schedule_program(&mut program, &options.machine);
+        supersym_codegen::schedule_program_with(&mut program, &options.machine, oracle);
         if let Some(before) = unscheduled {
-            let violations = supersym_verify::check_schedule(&before, &program);
+            let violations = supersym_verify::check_schedule_with(&before, &program, oracle);
             fail_on_errors(violations.iter().map(|v| v.to_diagnostic()).collect())?;
         }
     }
@@ -367,6 +391,16 @@ mod tests {
         // Same instruction stream, better order.
         assert_eq!(a.instructions(), b.instructions());
         assert!(b.base_cycles() <= a.base_cycles());
+    }
+
+    #[test]
+    fn oracles_agree_on_results() {
+        // The symbolic oracle may reorder more, never compute differently.
+        let machine = presets::multititan();
+        for kind in [OracleKind::Conservative, OracleKind::Symbolic] {
+            let options = CompileOptions::new(OptLevel::O4, &machine).with_oracle(kind);
+            assert_eq!(run(&options), EXPECTED, "oracle {kind:?}");
+        }
     }
 
     #[test]

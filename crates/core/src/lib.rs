@@ -46,6 +46,9 @@ pub mod experiments;
 
 pub use compile::{compile, compile_ast, CompileError, CompileOptions, OptLevel};
 
+/// Re-export: static analysis (dataflow framework, IR lints, and the
+/// dependence oracle shared by scheduler and checker).
+pub use supersym_analyze as analyze;
 /// Re-export: the back end.
 pub use supersym_codegen as codegen;
 /// Re-export: the IR.

@@ -8,10 +8,12 @@
 //!
 //! - [`check_schedule`] — given a program before and after instruction
 //!   scheduling, proves the schedule is a dependence-preserving permutation
-//!   of each scheduling region. The dependence construction (register
-//!   RAW/WAR/WAW plus conservative memory edges) is reimplemented from the
-//!   ISA semantics alone, independently of the scheduler in
-//!   `supersym-codegen`, so a bug there cannot hide itself here.
+//!   of each scheduling region. The dependence DAG (register RAW/WAR/WAW
+//!   plus oracle-filtered memory edges) comes from `supersym-analyze`,
+//!   shared with the scheduler in `supersym-codegen`: both sides consult
+//!   the same dependence oracle, so the checker insists on exactly the
+//!   constraints the scheduler was given — no more, no fewer
+//!   ([`check_schedule_with`] pins a specific oracle).
 //! - [`lint_program`] — machine-level program lint: dangling labels,
 //!   unknown call targets, paths that fall off the end of a function,
 //!   unreachable code, reads of registers no path has written, and (given a
@@ -48,7 +50,9 @@ mod lint;
 mod schedule;
 
 pub use lint::lint_program;
-pub use schedule::{check_schedule, EdgeKind, ScheduleViolation, ViolationKind};
+pub use schedule::{
+    check_schedule, check_schedule_with, EdgeKind, ScheduleViolation, ViolationKind,
+};
 pub use supersym_isa::{error_count, Diagnostic, Severity};
 
 /// Lints a machine description, returning structured diagnostics instead of

@@ -3,43 +3,25 @@
 //! Given the same program before and after pipeline scheduling, proves the
 //! transformation could not have changed behaviour: within every scheduling
 //! region the output is a permutation of the input that preserves the order
-//! of every register dependence (RAW, WAR, WAW) and every conservative
-//! memory dependence; outside the regions nothing moved at all.
+//! of every register dependence (RAW, WAR, WAW) and every memory dependence
+//! the dependence oracle cannot disprove; outside the regions nothing moved
+//! at all.
 //!
-//! The dependence construction here is a deliberate *reimplementation* of
-//! the one inside the scheduler (`supersym-codegen`), not a call into it:
-//! the scheduler tracks last-writers incrementally while this checker
-//! compares instruction pairs directly. Agreement between two independently
-//! written models is the point — a bug would have to appear in both, in the
-//! same way, to go unnoticed.
+//! The dependence DAG is *shared* with the scheduler: both call
+//! [`supersym_analyze::dependence_edges`] with a [`DependenceOracle`], so a
+//! disambiguation fact is either visible to both sides or to neither —
+//! the checker can never reject a reordering the scheduler was entitled to
+//! make, and the scheduler can never exploit a fact the checker would not
+//! insist on. [`check_schedule`] uses the default (symbolic) oracle, which
+//! also accepts anything the conservative oracle would accept, since the
+//! symbolic oracle only ever removes edges; [`check_schedule_with`] pins a
+//! specific oracle for differential experiments.
 
 use std::fmt;
-use supersym_isa::{Diagnostic, Function, Instr, Program, Reg};
+use supersym_analyze::{dependence_edges, scheduling_regions, DependenceOracle, OracleKind};
+use supersym_isa::{Diagnostic, Function, Program};
 
-/// The kind of dependence edge a schedule failed to preserve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EdgeKind {
-    /// Read-after-write of a register: the reader moved above the writer.
-    Raw(Reg),
-    /// Write-after-read of a register: the overwrite moved above the reader.
-    War(Reg),
-    /// Write-after-write of a register: two writes swapped.
-    Waw(Reg),
-    /// A conservative memory dependence (store involved, aliases may
-    /// conflict).
-    Memory,
-}
-
-impl fmt::Display for EdgeKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EdgeKind::Raw(reg) => write!(f, "RAW on {reg}"),
-            EdgeKind::War(reg) => write!(f, "WAR on {reg}"),
-            EdgeKind::Waw(reg) => write!(f, "WAW on {reg}"),
-            EdgeKind::Memory => f.write_str("memory dependence"),
-        }
-    }
-}
+pub use supersym_analyze::DepKind as EdgeKind;
 
 /// What went wrong in a region (or a whole function).
 #[derive(Debug, Clone, PartialEq)]
@@ -132,13 +114,25 @@ impl fmt::Display for ScheduleViolation {
     }
 }
 
-/// Checks that `after` is a legal schedule of `before`.
+/// Checks that `after` is a legal schedule of `before` under the default
+/// (symbolic) dependence oracle.
 ///
 /// Returns every violation found; an empty vector certifies legality.
 /// No machine description is needed: latencies influence *which* legal
 /// schedule is best, never which schedules are legal.
 #[must_use]
 pub fn check_schedule(before: &Program, after: &Program) -> Vec<ScheduleViolation> {
+    check_schedule_with(before, after, OracleKind::default().as_oracle())
+}
+
+/// Checks that `after` is a legal schedule of `before`, holding memory
+/// reorderings to exactly the disambiguation power of `oracle`.
+#[must_use]
+pub fn check_schedule_with(
+    before: &Program,
+    after: &Program,
+    oracle: &dyn DependenceOracle,
+) -> Vec<ScheduleViolation> {
     let mut violations = Vec::new();
     if before.functions().len() != after.functions().len() {
         violations.push(ScheduleViolation {
@@ -155,12 +149,17 @@ pub fn check_schedule(before: &Program, after: &Program) -> Vec<ScheduleViolatio
         return violations;
     }
     for (b, a) in before.functions().iter().zip(after.functions()) {
-        check_function(b, a, &mut violations);
+        check_function(b, a, oracle, &mut violations);
     }
     violations
 }
 
-fn check_function(before: &Function, after: &Function, out: &mut Vec<ScheduleViolation>) {
+fn check_function(
+    before: &Function,
+    after: &Function,
+    oracle: &dyn DependenceOracle,
+    out: &mut Vec<ScheduleViolation>,
+) {
     let shape = |detail: String| ScheduleViolation {
         function: before.name().to_string(),
         region: (0, before.instrs().len()),
@@ -190,7 +189,7 @@ fn check_function(before: &Function, after: &Function, out: &mut Vec<ScheduleVio
     for (start, end) in scheduling_regions(before) {
         if end - start >= 2 {
             fixed[start..end].iter_mut().for_each(|f| *f = false);
-            check_region(before, after, start, end, out);
+            check_region(before, after, start, end, oracle, out);
         }
     }
     for (index, is_fixed) in fixed.into_iter().enumerate() {
@@ -204,35 +203,12 @@ fn check_function(before: &Function, after: &Function, out: &mut Vec<ScheduleVio
     }
 }
 
-/// The scheduling regions of a function: maximal runs of non-control
-/// instructions not crossed by any label target. This mirrors the
-/// scheduler's contract — it may permute within these ranges and nowhere
-/// else.
-fn scheduling_regions(func: &Function) -> Vec<(usize, usize)> {
-    let is_boundary = |index: usize| func.label_targets().contains(&index);
-    let mut regions = Vec::new();
-    let mut start = 0;
-    for (index, instr) in func.instrs().iter().enumerate() {
-        if index > start && is_boundary(index) {
-            regions.push((start, index));
-            start = index;
-        }
-        if instr.is_control() {
-            regions.push((start, index));
-            start = index + 1;
-        }
-    }
-    if start < func.instrs().len() {
-        regions.push((start, func.instrs().len()));
-    }
-    regions
-}
-
 fn check_region(
     before: &Function,
     after: &Function,
     start: usize,
     end: usize,
+    oracle: &dyn DependenceOracle,
     out: &mut Vec<ScheduleViolation>,
 ) {
     let b = &before.instrs()[start..end];
@@ -245,8 +221,10 @@ fn check_region(
 
     // Match the output back to the input. Duplicates are matched in order,
     // which is canonical here: any two identical non-control instructions
-    // either write the same register (WAW) or are conflicting stores, so
-    // every legal schedule keeps their relative order anyway.
+    // either write the same register (WAW) or are conflicting stores (a
+    // store's symbolic address equals its own copy's, so no oracle can
+    // separate them), and every legal schedule therefore keeps their
+    // relative order anyway.
     let n = b.len();
     let mut pos_of = vec![usize::MAX; n]; // original offset -> scheduled offset
     let mut taken = vec![false; n];
@@ -269,72 +247,24 @@ fn check_region(
         return; // positions are meaningless without a bijection
     }
 
-    for (i, j, kind) in dependence_edges(b) {
-        if pos_of[i] > pos_of[j] {
+    for edge in dependence_edges(b, oracle) {
+        if pos_of[edge.pred] > pos_of[edge.succ] {
             out.push(violation(ViolationKind::BrokenEdge {
-                pred: start + i,
-                succ: start + j,
-                pred_pos: start + pos_of[i],
-                succ_pos: start + pos_of[j],
-                kind,
+                pred: start + edge.pred,
+                succ: start + edge.succ,
+                pred_pos: start + pos_of[edge.pred],
+                succ_pos: start + pos_of[edge.succ],
+                kind: edge.kind,
             }));
         }
     }
 }
 
-/// Every ordering constraint within a straight-line region, computed by
-/// direct pairwise comparison (the independent model).
-///
-/// For instructions `i < j`:
-///
-/// * **RAW**: `j` reads a register whose nearest earlier write is `i`;
-/// * **WAW**: `j` writes a register whose nearest earlier write is `i`;
-/// * **WAR**: `j` writes a register that `i` reads, with no write between
-///   them (an intervening write would already order `i` via its own WAR);
-/// * **memory**: both touch memory, at least one is a store, and their
-///   alias annotations cannot prove disjointness.
-fn dependence_edges(region: &[Instr]) -> Vec<(usize, usize, EdgeKind)> {
-    let mut edges = Vec::new();
-    let defines = |i: usize, reg: Reg| region[i].def() == Some(reg);
-    for j in 0..region.len() {
-        for reg in region[j].uses().iter() {
-            if let Some(i) = (0..j).rev().find(|&i| defines(i, reg)) {
-                edges.push((i, j, EdgeKind::Raw(reg)));
-            }
-        }
-        if let Some(reg) = region[j].def() {
-            let previous_write = (0..j).rev().find(|&i| defines(i, reg));
-            if let Some(i) = previous_write {
-                edges.push((i, j, EdgeKind::Waw(reg)));
-            }
-            let readers_start = previous_write.map_or(0, |i| i + 1);
-            for (k, reader) in region.iter().enumerate().take(j).skip(readers_start) {
-                if reader.uses().iter().any(|r| r == reg) {
-                    edges.push((k, j, EdgeKind::War(reg)));
-                }
-            }
-        }
-    }
-    for i in 0..region.len() {
-        let Some((alias_i, store_i)) = region[i].mem_ref() else {
-            continue;
-        };
-        for (j, other) in region.iter().enumerate().skip(i + 1) {
-            let Some((alias_j, store_j)) = other.mem_ref() else {
-                continue;
-            };
-            if (store_i || store_j) && alias_i.may_conflict(alias_j) {
-                edges.push((i, j, EdgeKind::Memory));
-            }
-        }
-    }
-    edges
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use supersym_isa::{IntOp, IntReg, MemAlias, Operand};
+    use supersym_analyze::{ConservativeOracle, SymbolicOracle};
+    use supersym_isa::{Instr, IntOp, IntReg, MemAlias, Operand};
 
     fn r(i: u8) -> IntReg {
         IntReg::new(i).unwrap()
@@ -438,6 +368,7 @@ mod tests {
 
     #[test]
     fn memory_violation_caught() {
+        // Same base, same offset: no oracle may allow the swap.
         let before = program_of(vec![store(1, 0), load(2, 0)]);
         let after = program_of(vec![load(2, 0), store(1, 0)]);
         let violations = check_schedule(&before, &after);
@@ -467,6 +398,33 @@ mod tests {
         let before = program_of(vec![a.clone(), b.clone()]);
         let after = program_of(vec![b, a]);
         assert!(check_schedule(&before, &after).is_empty());
+    }
+
+    #[test]
+    fn oracle_choice_decides_symbolic_swaps() {
+        // store [GP+1]; load [GP+0], both with *unknown* aliases: only the
+        // symbolic oracle can prove the swap safe, so the checker must
+        // reject it exactly when pinned to the conservative oracle.
+        let before = program_of(vec![store(1, 1), load(2, 0)]);
+        let after = program_of(vec![load(2, 0), store(1, 1)]);
+        assert!(
+            check_schedule_with(&before, &after, &SymbolicOracle).is_empty(),
+            "same base register, distinct offsets: provably disjoint"
+        );
+        assert!(
+            !check_schedule_with(&before, &after, &ConservativeOracle).is_empty(),
+            "annotations alone cannot justify the swap"
+        );
+        // The default checker matches the default scheduler.
+        assert!(check_schedule(&before, &after).is_empty());
+    }
+
+    #[test]
+    fn conservative_schedules_accepted_by_symbolic_checker() {
+        // The symbolic oracle only removes edges: an untouched program (the
+        // most conservative schedule of all) always passes.
+        let p = program_of(vec![store(1, 1), load(2, 0), store(2, 2), Instr::Halt]);
+        assert!(check_schedule_with(&p, &p, &SymbolicOracle).is_empty());
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! The alias-oracle ablation: how much schedulable parallelism the
+//! symbolic base+offset oracle from `supersym-analyze` recovers over the
+//! conservative annotation-only oracle, on every paper preset machine.
+//!
+//! ```text
+//! cargo run --release -p supersym --example alias_oracle_study
+//! ```
+
+use supersym::experiments;
+use supersym::workloads::Size;
+
+fn main() {
+    println!("{}", experiments::alias_oracle_study(Size::Small));
+}

@@ -96,3 +96,100 @@ fn compile_with_verify_succeeds() {
         String::from_utf8_lossy(&output.stderr)
     );
 }
+
+#[test]
+fn lint_flags_dead_store_fixture() {
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("deadstore.tital"))
+        .output()
+        .expect("spawn titalc");
+    // Dead stores are warnings: reported, but not a failing exit.
+    assert!(output.status.success(), "warnings must not fail lint");
+    let text = stdout(&output);
+    assert!(
+        text.contains("dead-store"),
+        "missing dead-store in:\n{text}"
+    );
+    assert!(text.contains("`x`"), "names the variable:\n{text}");
+}
+
+#[test]
+fn lint_rejects_out_of_bounds_fixture() {
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("oob.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(!output.status.success(), "provable OOB accesses are errors");
+    let text = stdout(&output);
+    for code in ["oob-store", "oob-load"] {
+        assert!(text.contains(code), "missing `{code}` in:\n{text}");
+    }
+}
+
+#[test]
+fn lint_flags_constant_branch_fixture() {
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("constbranch.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success(), "constant branches are warnings");
+    let text = stdout(&output);
+    assert!(
+        text.contains("const-branch") && text.contains("always true"),
+        "missing const-branch in:\n{text}"
+    );
+}
+
+#[test]
+fn analyze_dumps_dataflow_facts() {
+    let output = titalc()
+        .arg("analyze")
+        .arg(fixture("constbranch.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success(), "analyze exits zero without errors");
+    let text = stdout(&output);
+    for needle in ["fn main:", "bb0:", "const:", "branch: always true"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn analyze_fails_on_lint_errors() {
+    let output = titalc()
+        .arg("analyze")
+        .arg(fixture("oob.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(!output.status.success(), "oob errors fail analyze too");
+}
+
+#[test]
+fn conservative_oracle_compiles_and_runs() {
+    let dir = std::env::temp_dir().join("titalc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("oracle.tital");
+    std::fs::write(
+        &source,
+        "global arr a[4];\nfn main() -> int { a[0] = 2; a[1] = 3; return a[0] * a[1]; }\n",
+    )
+    .unwrap();
+    for oracle in ["conservative", "symbolic"] {
+        let output = titalc()
+            .arg("--verify")
+            .arg("--oracle")
+            .arg(oracle)
+            .arg(&source)
+            .output()
+            .expect("spawn titalc");
+        assert!(
+            output.status.success(),
+            "--oracle {oracle} failed: {}{}",
+            stdout(&output),
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}

@@ -832,3 +832,118 @@ fn paper_presets_pass_machine_lint() {
         assert!(errors.is_empty(), "{}: {errors:?}", machine.name());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Dependence-oracle properties (supersym-analyze)
+// ---------------------------------------------------------------------------
+
+/// Sharpening the dependence oracle is invisible to the program: on every
+/// paper preset machine, compiling with the symbolic oracle yields a
+/// schedule that passes the in-pipeline legality check
+/// (`check_schedule_with` runs when `verify` is on) and executes to
+/// exactly the architectural result of the conservative-oracle compile.
+/// Also asserts the corpus exercises real scheduling work: at least 48
+/// multi-instruction scheduling regions per preset.
+#[test]
+fn oracle_sharpening_preserves_semantics() {
+    use supersym::analyze::{scheduling_regions, OracleKind};
+    let machines = all_preset_machines();
+    for machine in &machines {
+        let mut sharpened_regions = 0_usize;
+        for seed in AST_SEEDS {
+            let ast = Gen::new(seed).module();
+            supersym::lang::check(&ast).expect("generated programs type check");
+            let conservative = run(
+                ast.clone(),
+                &CompileOptions::new(OptLevel::O4, machine)
+                    .with_verify(true)
+                    .with_oracle(OracleKind::Conservative),
+            );
+            // Compile the symbolic side by hand so the scheduled program is
+            // on hand for region counting; `verify` makes the pipeline check
+            // the sharpened schedule against the symbolic oracle before it
+            // ever executes.
+            let options = CompileOptions::new(OptLevel::O4, machine)
+                .with_verify(true)
+                .with_oracle(OracleKind::Symbolic);
+            let program = compile_ast(ast, &options).expect("generated programs compile");
+            program.validate().expect("generated programs are valid");
+            for func in program.functions() {
+                sharpened_regions += scheduling_regions(func)
+                    .iter()
+                    .filter(|(lo, hi)| hi - lo >= 2)
+                    .count();
+            }
+            let mut exec = Executor::new(
+                &program,
+                ExecOptions {
+                    max_steps: 5_000_000,
+                    ..ExecOptions::default()
+                },
+            )
+            .expect("program loads");
+            exec.run().expect("generated programs terminate");
+            let symbolic = exec.int_reg(supersym::isa::IntReg::new(1).unwrap());
+            assert_eq!(
+                symbolic,
+                conservative,
+                "seed {seed} on {}: oracle sharpening changed the result",
+                machine.name()
+            );
+        }
+        assert!(
+            sharpened_regions >= 48,
+            "{}: expected at least 48 multi-instruction scheduling regions, saw {sharpened_regions}",
+            machine.name()
+        );
+    }
+}
+
+/// Both oracles' schedules pass a legality checker pinned to the same
+/// oracle, and — because symbolic memory edges are a strict subset of
+/// conservative ones — every conservative schedule is also accepted by
+/// the sharper symbolic checker.
+#[test]
+fn oracle_schedules_pass_matching_checkers() {
+    use supersym::analyze::{ConservativeOracle, DependenceOracle, SymbolicOracle};
+    use supersym::codegen::schedule_program_with;
+    use supersym::isa::{Function, Instr, Program};
+    use supersym::verify::check_schedule_with;
+    let machines = all_preset_machines();
+    for seed in 0..48_u64 {
+        let mut rng = Rng::new(seed.wrapping_mul(0x5DEE_CE66)); // decorrelate from other tests
+        let len = 2 + rng.below(24) as usize;
+        let mut instrs = random_region(&mut rng, len);
+        instrs.push(Instr::Halt);
+        let mut before = Program::new();
+        let id = before.add_function(Function::new("region", instrs, vec![0]));
+        before.set_entry(id);
+        for machine in &machines {
+            for (scheduler, checkers) in [
+                (
+                    &ConservativeOracle as &dyn DependenceOracle,
+                    // Conservative schedules satisfy both checkers.
+                    vec![
+                        &ConservativeOracle as &dyn DependenceOracle,
+                        &SymbolicOracle as &dyn DependenceOracle,
+                    ],
+                ),
+                (
+                    &SymbolicOracle as &dyn DependenceOracle,
+                    vec![&SymbolicOracle as &dyn DependenceOracle],
+                ),
+            ] {
+                let mut after = before.clone();
+                schedule_program_with(&mut after, machine, scheduler);
+                for checker in checkers {
+                    let violations = check_schedule_with(&before, &after, checker);
+                    assert!(
+                        violations.is_empty(),
+                        "seed {seed} on {}: {violations:?}",
+                        machine.name()
+                    );
+                }
+            }
+        }
+    }
+}
