@@ -43,6 +43,6 @@ mod lower;
 mod sched;
 mod split;
 
-pub use lower::lower_program;
+pub use lower::{lower_program, MIN_TEMP_REGS};
 pub use sched::{schedule_program, schedule_program_with};
 pub use split::{no_vreg_live_across_calls, split_live_across_calls};

@@ -16,6 +16,14 @@ use supersym_isa::{
 use supersym_lang::ast::Ty;
 use supersym_regalloc::{Home, HomeAllocation, TempPool};
 
+/// The smallest temporary pool lowering can work with, per register file:
+/// a binary operation needs two operand registers plus a result, and the
+/// spill path needs one more to reload into while both operands are held.
+/// Callers with a configurable split must check against this *before*
+/// calling [`lower_program`] (the pipeline surfaces it as a typed
+/// `RegisterSplit` error); the assert below is the last-line defense.
+pub const MIN_TEMP_REGS: usize = 4;
+
 /// Lowers an IR module (with homes allocated) to a machine program.
 ///
 /// Requires [`crate::split_live_across_calls`] to have run; lowering
@@ -24,13 +32,12 @@ use supersym_regalloc::{Home, HomeAllocation, TempPool};
 /// # Panics
 ///
 /// Panics if the IR is malformed (use [`ir::Module::validate`] first) or if
-/// a temporary pool is too small to lower an instruction (fewer than four
-/// registers per file).
+/// a temporary pool holds fewer than [`MIN_TEMP_REGS`] registers.
 #[must_use]
 pub fn lower_program(module: &ir::Module, homes: &HomeAllocation) -> Program {
     assert!(
-        homes.int_temps().len() >= 4 && homes.fp_temps().len() >= 4,
-        "temporary pools must hold at least four registers"
+        homes.int_temps().len() >= MIN_TEMP_REGS && homes.fp_temps().len() >= MIN_TEMP_REGS,
+        "temporary pools must hold at least {MIN_TEMP_REGS} registers"
     );
     let mut program = Program::new();
     program.alloc_globals(homes.globals_words());
@@ -788,7 +795,11 @@ impl<'a> FnLower<'a> {
                 let alias = self.elem_alias(*arr, *index, origin.as_ref());
                 let mut base = self.arr_base(*arr);
                 let idx = if let Some(k) = self.const_of(*index) {
-                    base += k;
+                    // Wrapping: a huge constant index must fold into the
+                    // same (bogus) address the add instruction would have
+                    // computed, for the executor's bounds check to reject
+                    // — not overflow at compile time.
+                    base = base.wrapping_add(k);
                     IntReg::GP
                 } else {
                     self.use_int(*index, &[])
@@ -825,7 +836,8 @@ impl<'a> FnLower<'a> {
                 let alias = self.elem_alias(*arr, *index, origin.as_ref());
                 let mut base = self.arr_base(*arr);
                 let idx = if let Some(k) = self.const_of(*index) {
-                    base += k;
+                    // Wrapping, as for `ReadElem` above.
+                    base = base.wrapping_add(k);
                     IntReg::GP
                 } else {
                     self.use_int(*index, &[])

@@ -165,7 +165,23 @@ fn schedule_region(
                 ready.retain(|&r| !scheduled[r]);
             }
             None => {
-                cycle += 1;
+                // Nothing issues this cycle: jump straight to the next
+                // cycle at which a ready instruction clears its data or
+                // functional-unit constraint. Stepping one cycle at a time
+                // here would make scheduling time proportional to the
+                // operation latencies, which are input-controlled through
+                // `.machine` descriptions (a multi-billion-cycle latency
+                // must not turn compilation into a spin).
+                let mut next = u64::MAX;
+                for &i in &ready {
+                    if scheduled[i] {
+                        continue;
+                    }
+                    let fu = config.unit_of(region[i].class());
+                    let slot_free = fu_slots[fu].iter().copied().min().unwrap_or(0);
+                    next = next.min(earliest[i].max(slot_free).max(cycle + 1));
+                }
+                cycle = if next == u64::MAX { cycle + 1 } else { next };
                 issued_in_cycle = 0;
             }
         }

@@ -15,16 +15,36 @@
 //! titalc lint program.s                     # lint an assembly program
 //! titalc lint program.tital                 # dataflow lints on Tital source
 //! titalc analyze program.tital              # dump per-block dataflow facts
+//! titalc torture --seed 7 --iters 1000      # mutation-robustness campaign
+//! titalc torture --replay tests/corpus      # replay the crash corpus
 //! titalc --machines                         # list machine presets
 //! ```
+//!
+//! Exit codes distinguish *where* an input was rejected (see `EXIT CODES`
+//! in `--help`): scripts can tell a syntax error from a verifier
+//! diagnostic from a runtime trap without parsing stderr.
 
 use std::process::ExitCode;
 use supersym::analyze::{dump_module, lint_module, OracleKind};
 use supersym::machine::{parse_machine_spec, presets, MachineConfig};
 use supersym::opt::UnrollOptions;
 use supersym::sim::{simulate, simulate_with_cache, CacheConfig, SimOptions};
+use supersym::torture::{replay_torture_corpus, run_torture};
 use supersym::verify::{error_count, lint_program};
 use supersym::{compile, CompileOptions, OptLevel};
+use supersym_torture::{write_corpus, Layer};
+
+/// Exit code for usage and I/O errors.
+const EXIT_USAGE: u8 = 1;
+/// Exit code for front-end rejections: the input file failed to lex,
+/// parse, type-check or lower.
+const EXIT_PARSE: u8 = 2;
+/// Exit code for static-check failures: lint/verify diagnostics, IR
+/// validation, machine-description or register-split problems — and for
+/// torture-campaign findings.
+const EXIT_VERIFY: u8 = 3;
+/// Exit code for simulation (runtime) errors.
+const EXIT_SIM: u8 = 4;
 
 struct Args {
     source_path: Option<String>,
@@ -47,6 +67,7 @@ USAGE:
     titalc [OPTIONS] <FILE>
     titalc lint [OPTIONS] <FILE>
     titalc analyze <FILE>
+    titalc torture [TORTURE OPTIONS]
 
 OPTIONS:
     -m, --machine <NAME>     machine preset (default: base); see --machines
@@ -73,6 +94,27 @@ ANALYZE:
     block's dataflow facts (reachability, constants, value ranges,
     reaching definitions, branch verdicts), then runs the dataflow lints.
     Exits nonzero on lint errors.
+
+TORTURE OPTIONS:
+    `titalc torture` runs a deterministic fault-injection campaign
+    against the whole pipeline: seeded mutants at four layers (source,
+    ast, asm, machine) must each produce a typed error or a correct,
+    reproducible run — never a panic, hang or verifier disagreement.
+        --seed <N>           campaign seed (default: 0; same seed, same mutants)
+        --iters <K>          mutants per layer (default: 500)
+        --layer <L>          restrict to a layer (repeatable):
+                             source | ast | asm | machine (default: all)
+        --corpus <DIR>       write minimized reproducers for findings to DIR
+        --replay <DIR>       instead of mutating, replay every corpus file
+                             in DIR and check the panic/determinism contract
+
+EXIT CODES:
+    0    success
+    1    usage or I/O error
+    2    the input failed to parse, type-check or lower (front end)
+    3    static checks failed: lint/verify diagnostics, IR validation,
+         machine-description or register-split errors, torture findings
+    4    simulation (runtime) error
 ";
 
 fn parse_machine(name: &str) -> Option<MachineConfig> {
@@ -176,11 +218,99 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// `titalc torture`: parse the subcommand's own flags and run a campaign
+/// (or a corpus replay). Exits 0 when the robustness contract held,
+/// `EXIT_VERIFY` when any mutant produced a finding.
+fn run_torture_cmd(argv: &[String]) -> ExitCode {
+    let mut seed = 0_u64;
+    let mut iters = 500_u64;
+    let mut layers: Vec<Layer> = Vec::new();
+    let mut corpus: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let usage = |message: String| -> ExitCode {
+        eprintln!("titalc torture: {message}\n\n{USAGE}");
+        ExitCode::from(EXIT_USAGE)
+    };
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--seed" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => seed = v,
+                _ => return usage("--seed needs an unsigned integer".to_string()),
+            },
+            "--iters" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => iters = v,
+                _ => return usage("--iters needs an unsigned integer".to_string()),
+            },
+            "--layer" => match iter.next().map(|v| Layer::parse(v)) {
+                Some(Some(layer)) => layers.push(layer),
+                _ => return usage("--layer must be source|ast|asm|machine".to_string()),
+            },
+            "--corpus" => match iter.next() {
+                Some(dir) => corpus = Some(dir.clone()),
+                None => return usage("--corpus needs a directory".to_string()),
+            },
+            "--replay" => match iter.next() {
+                Some(dir) => replay = Some(dir.clone()),
+                None => return usage("--replay needs a directory".to_string()),
+            },
+            other => return usage(format!("unknown option `{other}`")),
+        }
+    }
+    if let Some(dir) = replay {
+        let report = match replay_torture_corpus(std::path::Path::new(&dir)) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("titalc torture: cannot replay `{dir}`: {error}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        let replayed = report.layers.iter().map(|l| l.mutants).sum::<u64>();
+        print!("{report}");
+        println!("corpus replay: {replayed} file(s)");
+        return if report.finding_count() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(EXIT_VERIFY)
+        };
+    }
+    if layers.is_empty() {
+        layers = Layer::ALL.to_vec();
+    }
+    let report = run_torture(seed, iters, layers);
+    print!("{report}");
+    if let Some(dir) = corpus {
+        if report.finding_count() > 0 {
+            match write_corpus(std::path::Path::new(&dir), &report) {
+                Ok(paths) => {
+                    for path in paths {
+                        println!("wrote {}", path.display());
+                    }
+                }
+                Err(error) => {
+                    eprintln!("titalc torture: cannot write corpus to `{dir}`: {error}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
+        }
+    }
+    if report.finding_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_VERIFY)
+    }
+}
+
 /// Runs the front end and lowers to IR, reporting errors titalc-style.
+/// Front-end rejections exit with `EXIT_PARSE`.
 fn lower_tital(path: &str, source: &str) -> Result<supersym::ir::Module, ExitCode> {
     let fail = |error: &dyn std::fmt::Display| {
         eprintln!("titalc: {path}: {error}");
-        Err(ExitCode::FAILURE)
+        Err(ExitCode::from(EXIT_PARSE))
     };
     let ast = match supersym::lang::parse(source) {
         Ok(ast) => ast,
@@ -195,7 +325,8 @@ fn lower_tital(path: &str, source: &str) -> Result<supersym::ir::Module, ExitCod
     }
 }
 
-/// Prints diagnostics and converts the batch to an exit code.
+/// Prints diagnostics and converts the batch to an exit code
+/// (`EXIT_VERIFY` when any diagnostic is an error).
 fn report(path: &str, diagnostics: &[supersym::verify::Diagnostic]) -> ExitCode {
     for diagnostic in diagnostics {
         println!("{diagnostic}");
@@ -203,7 +334,7 @@ fn report(path: &str, diagnostics: &[supersym::verify::Diagnostic]) -> ExitCode 
     let errors = error_count(diagnostics);
     if errors > 0 {
         eprintln!("titalc: {path}: {errors} error(s)");
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_VERIFY)
     } else {
         ExitCode::SUCCESS
     }
@@ -222,15 +353,15 @@ fn run_analyze(path: &str, source: &str) -> ExitCode {
 
 /// `titalc lint`: statically check a machine description (`.machine`), a
 /// Tital source file (`.tital`, via the dataflow lints) or an assembly
-/// program (anything else), printing every diagnostic. Exits nonzero when
-/// the file cannot be parsed or any diagnostic is an error.
+/// program (anything else), printing every diagnostic. Parse failures
+/// exit with `EXIT_PARSE`; diagnostic errors with `EXIT_VERIFY`.
 fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
     let diagnostics = if path.ends_with(".machine") {
         match parse_machine_spec(source) {
             Ok(spec) => spec.diagnose(),
             Err(error) => {
                 eprintln!("titalc: {path}: {error}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_PARSE);
             }
         }
     } else if path.ends_with(".tital") {
@@ -243,7 +374,7 @@ fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
             Ok(program) => program,
             Err(error) => {
                 eprintln!("titalc: {path}: {error}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_PARSE);
             }
         };
         let machine = match machine_name {
@@ -251,7 +382,7 @@ fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
                 Some(machine) => Some(machine),
                 None => {
                     eprintln!("titalc: unknown machine `{name}` (try --machines)");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             None => None,
@@ -262,11 +393,15 @@ fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("torture") {
+        return run_torture_cmd(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     if args.list_machines {
@@ -283,13 +418,13 @@ fn main() -> ExitCode {
     }
     let Some(path) = args.source_path else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let source = match std::fs::read_to_string(&path) {
         Ok(source) => source,
         Err(error) => {
             eprintln!("titalc: cannot read `{path}`: {error}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     if args.lint {
@@ -301,7 +436,7 @@ fn main() -> ExitCode {
     let machine_name = args.machine.as_deref().unwrap_or("base");
     let Some(machine) = parse_machine(machine_name) else {
         eprintln!("titalc: unknown machine `{machine_name}` (try --machines)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let mut options = CompileOptions::new(args.opt, &machine).with_oracle(args.oracle);
     if args.verify {
@@ -314,7 +449,7 @@ fn main() -> ExitCode {
         Ok(program) => program,
         Err(error) => {
             eprintln!("titalc: {error}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(error.exit_code());
         }
     };
     if args.dump {
@@ -325,7 +460,7 @@ fn main() -> ExitCode {
         Ok(report) => report,
         Err(error) => {
             eprintln!("titalc: runtime error: {error}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_SIM);
         }
     };
     println!("machine:        {}", machine.name());

@@ -1,6 +1,6 @@
 //! The end-to-end compilation pipeline.
 
-use std::error::Error;
+use crate::error::PipelineError;
 use std::fmt;
 use supersym_analyze::OracleKind;
 use supersym_isa::{Diagnostic, Program};
@@ -151,61 +151,9 @@ impl CompileOptions {
     }
 }
 
-/// Errors from [`compile`].
-#[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum CompileError {
-    /// Lexing, parsing or semantic-analysis failure.
-    Lang(supersym_lang::LangError),
-    /// Internal IR inconsistency (a compiler bug if it ever surfaces).
-    Ir(supersym_ir::IrError),
-    /// The static verifier rejected the machine description or the
-    /// compiler's own output (a compiler bug if it ever surfaces on a
-    /// clean machine). Carries every error-severity diagnostic.
-    Verify(Vec<Diagnostic>),
-}
-
-impl fmt::Display for CompileError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CompileError::Lang(e) => write!(f, "front end: {e}"),
-            CompileError::Ir(e) => write!(f, "internal: {e}"),
-            CompileError::Verify(diagnostics) => {
-                write!(f, "verification failed ({} error", diagnostics.len())?;
-                if diagnostics.len() != 1 {
-                    write!(f, "s")?;
-                }
-                write!(f, ")")?;
-                for d in diagnostics {
-                    write!(f, "\n  {d}")?;
-                }
-                Ok(())
-            }
-        }
-    }
-}
-
-impl Error for CompileError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            CompileError::Lang(e) => Some(e),
-            CompileError::Ir(e) => Some(e),
-            CompileError::Verify(_) => None,
-        }
-    }
-}
-
-impl From<supersym_lang::LangError> for CompileError {
-    fn from(e: supersym_lang::LangError) -> Self {
-        CompileError::Lang(e)
-    }
-}
-
-impl From<supersym_ir::IrError> for CompileError {
-    fn from(e: supersym_ir::IrError) -> Self {
-        CompileError::Ir(e)
-    }
-}
+/// Errors from [`compile`]: an alias for the unified pipeline taxonomy.
+/// Compilation never produces the `Machine` or `Sim` variants.
+pub type CompileError = PipelineError;
 
 /// Compiles Tital source text to a machine program under `options`.
 ///
@@ -213,8 +161,8 @@ impl From<supersym_ir::IrError> for CompileError {
 ///
 /// Returns a [`CompileError`] for malformed source.
 pub fn compile(source: &str, options: &CompileOptions) -> Result<Program, CompileError> {
-    let ast = supersym_lang::parse(source)?;
-    supersym_lang::check(&ast)?;
+    let ast = supersym_lang::parse(source).map_err(PipelineError::Parse)?;
+    supersym_lang::check(&ast).map_err(PipelineError::Check)?;
     compile_ast(ast, options)
 }
 
@@ -235,7 +183,7 @@ pub fn compile_ast(
     if let Some(unroll) = options.unroll {
         supersym_opt::unroll_loops(&mut ast, unroll);
     }
-    let mut ir = supersym_ir::lower(&ast)?;
+    let mut ir = supersym_ir::lower(&ast).map_err(PipelineError::Lower)?;
     debug_assert!(ir.validate().is_ok());
     if options.opt.local() {
         supersym_opt::run_local(&mut ir);
@@ -261,6 +209,16 @@ pub fn compile_ast(
     supersym_codegen::split_live_across_calls(&mut ir);
     ir.validate()?;
     let homes = supersym_regalloc::allocate(&ir, options.split, options.opt.global_regs());
+    // An overridden split can starve the back end of expression
+    // temporaries; surface that as a typed error instead of tripping
+    // `lower_program`'s assert.
+    let min = supersym_codegen::MIN_TEMP_REGS;
+    if homes.int_temps().len() < min || homes.fp_temps().len() < min {
+        return Err(PipelineError::RegisterSplit {
+            int_temps: homes.int_temps().len(),
+            fp_temps: homes.fp_temps().len(),
+        });
+    }
     let mut program = supersym_codegen::lower_program(&ir, &homes);
     if options.opt.scheduling() {
         let oracle = options.oracle.as_oracle();
@@ -282,7 +240,7 @@ pub fn compile_ast(
     Ok(program)
 }
 
-/// Promotes error-severity diagnostics to a [`CompileError::Verify`];
+/// Promotes error-severity diagnostics to a [`PipelineError::Verify`];
 /// warnings are dropped (compiled code is allowed to look suspicious, just
 /// not to be wrong).
 fn fail_on_errors(diagnostics: Vec<Diagnostic>) -> Result<(), CompileError> {
@@ -293,7 +251,7 @@ fn fail_on_errors(diagnostics: Vec<Diagnostic>) -> Result<(), CompileError> {
     if errors.is_empty() {
         Ok(())
     } else {
-        Err(CompileError::Verify(errors))
+        Err(PipelineError::Verify(errors))
     }
 }
 
@@ -411,8 +369,33 @@ mod tests {
             &CompileOptions::new(OptLevel::O0, &machine),
         )
         .unwrap_err();
-        assert!(matches!(err, CompileError::Lang(_)));
-        assert!(err.to_string().contains("front end"));
+        assert!(matches!(err, PipelineError::Check(_)));
+        assert!(err.to_string().contains("check error"));
+        assert_eq!(err.exit_code(), 2);
+
+        let err = compile("fn main( {", &CompileOptions::new(OptLevel::O0, &machine)).unwrap_err();
+        assert!(matches!(err, PipelineError::Parse(_)));
+    }
+
+    #[test]
+    fn undersized_split_is_typed_error() {
+        let machine = presets::base();
+        let split = supersym_machine::RegisterSplit {
+            int_temps: 2,
+            int_globals: 0,
+            fp_temps: 2,
+            fp_globals: 0,
+        };
+        let err = compile(
+            "fn main() -> int { return 1 + 2 * 3; }",
+            &CompileOptions::new(OptLevel::O4, &machine).with_split(split),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, PipelineError::RegisterSplit { .. }),
+            "got {err}"
+        );
+        assert_eq!(err.exit_code(), 3);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! The unified pipeline error taxonomy.
+//!
+//! Every failure the pipeline can produce — from lexing Tital source to
+//! simulating scheduled code — is one [`PipelineError`] variant, tagged
+//! with the stage that rejected the input. The torture harness
+//! (`supersym-torture`) and the `titalc` driver both lean on this: the
+//! harness to tell *expected* rejections from internal bugs, the driver to
+//! map failures to distinct exit codes (see [`PipelineError::exit_code`]).
+//!
+//! The contract the taxonomy encodes: **every input either produces a
+//! typed error or a correct run** — never a panic, never a hang, never a
+//! scheduler/checker disagreement, never divergent results across runs.
+
+use std::error::Error;
+use std::fmt;
+use supersym_isa::Diagnostic;
+use supersym_lang::LangError;
+use supersym_machine::SpecError;
+use supersym_sim::SimError;
+
+/// A stage-tagged error from anywhere in the pipeline.
+///
+/// The first three variants wrap the front end's [`LangError`] and differ
+/// only in *which stage* rejected the input; the distinction matters to
+/// callers that classify failures (the torture harness treats a parse
+/// rejection of fuzzed text as routine but an IR rejection of checked
+/// source as a bug).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Lexing or parsing rejected the source text.
+    Parse(LangError),
+    /// Semantic analysis rejected the parsed module.
+    Check(LangError),
+    /// AST-to-IR lowering rejected the checked module (depth limits;
+    /// undefined names cannot happen for checked modules).
+    Lower(LangError),
+    /// Internal IR inconsistency (a compiler bug if it ever surfaces).
+    Ir(supersym_ir::IrError),
+    /// A `.machine` description failed to parse.
+    Machine(SpecError),
+    /// The register split leaves the back end fewer than
+    /// [`supersym_codegen::MIN_TEMP_REGS`] expression temporaries per file.
+    RegisterSplit {
+        /// Integer temporaries the allocator could provide.
+        int_temps: usize,
+        /// FP temporaries the allocator could provide.
+        fp_temps: usize,
+    },
+    /// The static verifier rejected the machine description or the
+    /// compiler's own output. Carries every error-severity diagnostic.
+    Verify(Vec<Diagnostic>),
+    /// The simulator rejected or aborted the compiled program.
+    Sim(SimError),
+}
+
+impl PipelineError {
+    /// The stage that produced the error, as a stable lowercase name.
+    #[must_use]
+    pub fn stage(&self) -> &'static str {
+        match self {
+            PipelineError::Parse(_) => "parse",
+            PipelineError::Check(_) => "check",
+            PipelineError::Lower(_) => "lower",
+            PipelineError::Ir(_) => "ir",
+            PipelineError::Machine(_) => "machine",
+            PipelineError::RegisterSplit { .. } => "regalloc",
+            PipelineError::Verify(_) => "verify",
+            PipelineError::Sim(_) => "sim",
+        }
+    }
+
+    /// The `titalc` exit code for this error.
+    ///
+    /// * `2` — the source text was rejected by the front end (parse,
+    ///   check or lowering);
+    /// * `3` — a lint/verify stage rejected the input (machine
+    ///   descriptions, verifier diagnostics, internal IR checks, an
+    ///   unusable register split);
+    /// * `4` — the program compiled but simulation failed.
+    ///
+    /// Exit codes `0` (success) and `1` (usage or I/O error) are assigned
+    /// by the driver itself.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            PipelineError::Parse(_) | PipelineError::Check(_) | PipelineError::Lower(_) => 2,
+            PipelineError::Ir(_)
+            | PipelineError::Machine(_)
+            | PipelineError::RegisterSplit { .. }
+            | PipelineError::Verify(_) => 3,
+            PipelineError::Sim(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::Check(e) => write!(f, "check error: {e}"),
+            PipelineError::Lower(e) => write!(f, "lowering error: {e}"),
+            PipelineError::Ir(e) => write!(f, "internal: {e}"),
+            PipelineError::Machine(e) => write!(f, "machine description: {e}"),
+            PipelineError::RegisterSplit {
+                int_temps,
+                fp_temps,
+            } => write!(
+                f,
+                "register split leaves too few temporaries \
+                 ({int_temps} int, {fp_temps} fp; need {} of each)",
+                supersym_codegen::MIN_TEMP_REGS
+            ),
+            PipelineError::Verify(diagnostics) => {
+                write!(f, "verification failed ({} error", diagnostics.len())?;
+                if diagnostics.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            PipelineError::Sim(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) | PipelineError::Check(e) | PipelineError::Lower(e) => Some(e),
+            PipelineError::Ir(e) => Some(e),
+            PipelineError::Machine(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
+            PipelineError::RegisterSplit { .. } | PipelineError::Verify(_) => None,
+        }
+    }
+}
+
+impl From<supersym_ir::IrError> for PipelineError {
+    fn from(e: supersym_ir::IrError) -> Self {
+        PipelineError::Ir(e)
+    }
+}
+
+impl From<SpecError> for PipelineError {
+    fn from(e: SpecError) -> Self {
+        PipelineError::Machine(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_and_exit_codes() {
+        let parse = PipelineError::Parse(LangError::TooDeep {
+            limit: 200,
+            line: 1,
+        });
+        assert_eq!(parse.stage(), "parse");
+        assert_eq!(parse.exit_code(), 2);
+        assert!(parse.source().is_some());
+
+        let split = PipelineError::RegisterSplit {
+            int_temps: 2,
+            fp_temps: 2,
+        };
+        assert_eq!(split.exit_code(), 3);
+        assert!(split.to_string().contains("too few temporaries"));
+        assert!(split.source().is_none());
+
+        let sim = PipelineError::Sim(SimError::StepLimitExceeded { limit: 10 });
+        assert_eq!(sim.exit_code(), 4);
+        assert_eq!(sim.stage(), "sim");
+        assert!(sim.source().is_some());
+    }
+
+    #[test]
+    fn display_chains_are_informative() {
+        let e = PipelineError::Machine(SpecError {
+            line: 3,
+            message: "unknown key `frobnicate`".to_string(),
+        });
+        assert!(e.to_string().contains("line 3"));
+        assert_eq!(e.exit_code(), 3);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

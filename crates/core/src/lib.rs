@@ -42,9 +42,12 @@
 //! ```
 
 mod compile;
+mod error;
 pub mod experiments;
+pub mod torture;
 
 pub use compile::{compile, compile_ast, CompileError, CompileOptions, OptLevel};
+pub use error::PipelineError;
 
 /// Re-export: static analysis (dataflow framework, IR lints, and the
 /// dependence oracle shared by scheduler and checker).

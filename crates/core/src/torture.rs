@@ -1,0 +1,289 @@
+//! The real pipeline plugged into the torture harness.
+//!
+//! `supersym-torture` owns the mutators and the campaign driver but knows
+//! nothing about this crate; the dependency arrow points here. This module
+//! supplies the missing half: a [`Subject`] that runs each fabricated
+//! input through the genuine pipeline — compile, verify, simulate — with
+//! every budget pinned to a finite, deterministic value, and maps the
+//! [`PipelineError`] taxonomy onto the harness's [`Stage`] tags.
+
+use crate::error::PipelineError;
+use crate::{compile, compile_ast, CompileOptions, OptLevel};
+use supersym_machine::{parse_machine_spec, presets, MachineConfig};
+use supersym_sim::{simulate, ExecOptions, SimOptions, SimReport};
+use supersym_torture::{
+    replay_corpus, run_campaign, CampaignConfig, CampaignReport, Input, Stage, Subject, Verdict,
+};
+
+/// The fixed workload compiled under every mutated machine description:
+/// small enough to compile in microseconds, loopy enough to exercise the
+/// scheduler against whatever latencies and unit tables the mutant claims.
+const MACHINE_PROBE: &str = "
+    global arr data[16];
+    fn main() -> int {
+        var sum = 0;
+        for (i = 0; i < 16; i = i + 1) { data[i] = i * 3 - 7; }
+        for (i = 0; i < 16; i = i + 1) { sum = sum + data[i]; }
+        return sum;
+    }";
+
+/// Maps a pipeline error onto the harness's stage tag.
+fn stage_of(error: &PipelineError) -> Stage {
+    match error {
+        PipelineError::Parse(_) => Stage::Parse,
+        PipelineError::Check(_) => Stage::Check,
+        PipelineError::Lower(_) => Stage::Lower,
+        PipelineError::Ir(_) => Stage::Ir,
+        PipelineError::Machine(_) => Stage::Machine,
+        PipelineError::RegisterSplit { .. } => Stage::Split,
+        PipelineError::Verify(_) => Stage::Verify,
+        PipelineError::Sim(_) => Stage::Sim,
+    }
+}
+
+fn reject(stage: Stage, error: &dyn std::fmt::Display) -> Verdict {
+    Verdict::Rejected {
+        stage,
+        message: error.to_string(),
+    }
+}
+
+/// Everything observable from one accepted run, folded into a string the
+/// campaign driver compares across runs: the scheduled code itself plus
+/// the simulator's counters. Any nondeterminism in scheduling, register
+/// assignment or execution shows up as a fingerprint mismatch.
+fn fingerprint(program: &supersym_isa::Program, report: &SimReport) -> String {
+    format!(
+        "{program}\n--\nmachine={} instructions={} machine_cycles={} base_cycles={:?} census={:?}",
+        report.machine(),
+        report.instructions(),
+        report.machine_cycles(),
+        report.base_cycles(),
+        report.census()
+    )
+}
+
+/// The supersym pipeline as a torture subject.
+///
+/// All budgets are finite and deterministic — the harness's `catch_unwind`
+/// backstop can convert a panic into a report line but not a hang, so the
+/// simulator runs under a hard step limit, a shallow call-stack limit and
+/// a small memory, and the compiler's own recursion/latency guards do the
+/// rest.
+pub struct PipelineSubject {
+    machine: MachineConfig,
+    options: CompileOptions,
+    sim: SimOptions,
+}
+
+impl PipelineSubject {
+    /// A subject compiling at the given level for the given machine, with
+    /// verification forced on (the scheduler/checker agreement *is* part
+    /// of the contract under test).
+    #[must_use]
+    pub fn new(opt: OptLevel, machine: &MachineConfig) -> Self {
+        let mut options = CompileOptions::new(opt, machine);
+        options.verify = true;
+        PipelineSubject {
+            machine: machine.clone(),
+            options,
+            sim: SimOptions {
+                exec: ExecOptions {
+                    memory_words: 1 << 16,
+                    max_call_depth: 128,
+                    max_steps: 200_000,
+                },
+            },
+        }
+    }
+
+    fn run_source(&self, text: &str) -> Verdict {
+        match compile(text, &self.options) {
+            Ok(program) => self.run_program(&program, &self.machine),
+            Err(e) => reject(stage_of(&e), &e),
+        }
+    }
+
+    fn run_ast(&self, module: &supersym_lang::ast::Module) -> Verdict {
+        // Mirror the driver contract for tree-transforming callers:
+        // `compile_ast` requires a *checked* module, so check first and
+        // let ill-typed mutants die there, typed.
+        if let Err(e) = supersym_lang::check(module) {
+            return reject(Stage::Check, &e);
+        }
+        match compile_ast(module.clone(), &self.options) {
+            Ok(program) => self.run_program(&program, &self.machine),
+            Err(e) => reject(stage_of(&e), &e),
+        }
+    }
+
+    fn run_asm(&self, text: &str) -> Verdict {
+        let program = match supersym_isa::parse_program(text) {
+            Ok(program) => program,
+            Err(e) => return reject(Stage::Parse, &e),
+        };
+        if let Err(e) = program.validate() {
+            return reject(Stage::Verify, &e);
+        }
+        let diagnostics = supersym_verify::lint_program(&program, Some(&self.machine));
+        if supersym_isa::error_count(&diagnostics) > 0 {
+            return reject(Stage::Verify, &PipelineError::Verify(diagnostics));
+        }
+        self.run_program(&program, &self.machine)
+    }
+
+    fn run_machine(&self, text: &str) -> Verdict {
+        let spec = match parse_machine_spec(text) {
+            Ok(spec) => spec,
+            Err(e) => return reject(Stage::Machine, &e),
+        };
+        let diagnostics = spec.diagnose();
+        if supersym_isa::error_count(&diagnostics) > 0 {
+            return reject(Stage::Verify, &PipelineError::Verify(diagnostics));
+        }
+        let machine = match spec.build() {
+            Ok(machine) => machine,
+            Err(e) => return reject(Stage::Machine, &e),
+        };
+        let mut options = CompileOptions::new(self.options.opt, &machine);
+        options.verify = true;
+        match compile(MACHINE_PROBE, &options) {
+            Ok(program) => self.run_program(&program, &machine),
+            Err(e) => reject(stage_of(&e), &e),
+        }
+    }
+
+    fn run_program(&self, program: &supersym_isa::Program, machine: &MachineConfig) -> Verdict {
+        match simulate(program, machine, self.sim) {
+            Ok(report) => Verdict::Ok {
+                fingerprint: fingerprint(program, &report),
+            },
+            Err(e) => reject(Stage::Sim, &e),
+        }
+    }
+}
+
+impl Default for PipelineSubject {
+    fn default() -> Self {
+        PipelineSubject::new(OptLevel::O4, &presets::ideal_superscalar(4))
+    }
+}
+
+impl Subject for PipelineSubject {
+    fn run(&self, input: &Input) -> Verdict {
+        match input {
+            Input::Source(text) => self.run_source(text),
+            Input::Ast(module) => self.run_ast(module),
+            Input::Asm(text) => self.run_asm(text),
+            Input::Machine(text) => self.run_machine(text),
+        }
+    }
+}
+
+/// Compiles the small workload suite to scheduled assembly, for use as
+/// instruction-stream mutation seeds: corrupting *real* schedules probes
+/// the verifier and executor far harder than hand-written snippets.
+#[must_use]
+pub fn compiled_asm_seeds(subject: &PipelineSubject) -> Vec<String> {
+    supersym_workloads::suite(supersym_workloads::Size::Small)
+        .iter()
+        .filter_map(|w| compile(&w.source, &subject.options).ok())
+        .map(|p| p.to_string())
+        .collect()
+}
+
+/// Runs a full campaign against the real pipeline: the default subject,
+/// compiled-workload assembly seeds, quiet panic hook (this is the
+/// driver-binary entry point; tests build their own configs).
+#[must_use]
+pub fn run_torture(seed: u64, iters: u64, layers: Vec<supersym_torture::Layer>) -> CampaignReport {
+    let subject = PipelineSubject::default();
+    let mut config = CampaignConfig::new(seed, iters);
+    config.layers = layers;
+    config.extra_asm_seeds = compiled_asm_seeds(&subject);
+    config.quiet = true;
+    run_campaign(&subject, &config)
+}
+
+/// Replays a crash corpus directory against the real pipeline.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn replay_torture_corpus(dir: &std::path::Path) -> std::io::Result<CampaignReport> {
+    replay_corpus(&PipelineSubject::default(), dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_path_accepts_good_programs() {
+        let subject = PipelineSubject::default();
+        let verdict = subject.run(&Input::Source(MACHINE_PROBE.to_string()));
+        assert!(matches!(verdict, Verdict::Ok { .. }), "{verdict:?}");
+    }
+
+    #[test]
+    fn source_path_rejects_garbage_typed() {
+        let subject = PipelineSubject::default();
+        let verdict = subject.run(&Input::Source("fn fn fn %%%".to_string()));
+        assert!(
+            matches!(
+                verdict,
+                Verdict::Rejected {
+                    stage: Stage::Parse,
+                    ..
+                }
+            ),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn machine_path_accepts_a_valid_spec() {
+        let spec = "name probe\nissue_width 2\npipe_degree 1\n";
+        let subject = PipelineSubject::default();
+        let verdict = subject.run(&Input::Machine(spec.to_string()));
+        assert!(matches!(verdict, Verdict::Ok { .. }), "{verdict:?}");
+    }
+
+    #[test]
+    fn asm_path_rejects_unparseable_text_typed() {
+        let subject = PipelineSubject::default();
+        let verdict = subject.run(&Input::Asm("frobnicate r1, r2".to_string()));
+        assert!(
+            matches!(
+                verdict,
+                Verdict::Rejected {
+                    stage: Stage::Parse,
+                    ..
+                }
+            ),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let subject = PipelineSubject::default();
+        for input in [
+            Input::Source(MACHINE_PROBE.to_string()),
+            Input::Machine("name probe\nissue_width 2\npipe_degree 1\n".to_string()),
+        ] {
+            let a = subject.run(&input);
+            let b = subject.run(&input);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn compiled_seeds_exist() {
+        let seeds = compiled_asm_seeds(&PipelineSubject::default());
+        assert!(!seeds.is_empty());
+        for seed in &seeds {
+            supersym_isa::parse_program(seed).expect("compiled seed reparses");
+        }
+    }
+}

@@ -21,6 +21,16 @@ use supersym_lang::LangError;
 /// Returns a [`LangError`] if the module references undefined names — this
 /// cannot happen for modules that passed [`supersym_lang::check`].
 pub fn lower(source: &ast::Module) -> Result<Module, LangError> {
+    // Gate the whole module's nesting depth up front (measured
+    // iteratively): lowering, its annotation helpers, and even recursive
+    // `Drop` of the tree all recurse to the AST depth, and a typed error
+    // beats a stack overflow no handler can catch.
+    if source.depth() > MAX_LOWER_DEPTH {
+        return Err(LangError::TooDeep {
+            limit: MAX_LOWER_DEPTH,
+            line: 0,
+        });
+    }
     let mut globals = Vec::new();
     let mut global_ids = HashMap::new();
     for g in &source.globals {
@@ -58,6 +68,14 @@ pub fn lower(source: &ast::Module) -> Result<Module, LangError> {
         };
         funcs.push(lower_function(&ctx, f)?);
     }
+    // A module with no functions has no entry to fall back on; it would
+    // lower into a "program" whose entry points past the function table.
+    if funcs.is_empty() {
+        return Err(LangError::Undefined {
+            name: "main".to_string(),
+            line: 0,
+        });
+    }
     let entry = source
         .funcs
         .iter()
@@ -77,11 +95,19 @@ struct LowerCtx<'a> {
     func_rets: &'a HashMap<String, Option<Ty>>,
 }
 
+/// Depth limit for the lowering recursion: the checker's AST bound plus
+/// headroom for the handful of levels source-level unrolling can add to an
+/// already-checked tree (shifted loop bounds, substituted induction
+/// variables). Lowering a deeper tree fails with [`LangError::TooDeep`]
+/// instead of overflowing the stack.
+const MAX_LOWER_DEPTH: u32 = supersym_lang::MAX_AST_DEPTH + 64;
+
 struct FnLowerer<'a> {
     ctx: &'a LowerCtx<'a>,
     func: Function,
     cur: BlockId,
     scopes: Vec<HashMap<String, crate::func::LocalId>>,
+    depth: u32,
 }
 
 fn undefined(name: &str) -> LangError {
@@ -114,6 +140,7 @@ fn lower_function(ctx: &LowerCtx<'_>, decl: &ast::FnDecl) -> Result<Function, La
         func,
         cur: BlockId(0),
         scopes,
+        depth: 0,
     };
     lowerer.block(&decl.body)?;
     // Fall-off-the-end return (void functions; checked functions returning a
@@ -174,7 +201,31 @@ impl FnLowerer<'_> {
         Ok(())
     }
 
+    /// Bumps the lowering recursion depth, failing with
+    /// [`LangError::TooDeep`] at [`MAX_LOWER_DEPTH`].
+    fn enter(&mut self) -> Result<(), LangError> {
+        if self.depth >= MAX_LOWER_DEPTH {
+            return Err(LangError::TooDeep {
+                limit: MAX_LOWER_DEPTH,
+                line: 0,
+            });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        self.enter()?;
+        let result = self.stmt_inner(stmt);
+        self.leave();
+        result
+    }
+
+    fn stmt_inner(&mut self, stmt: &Stmt) -> Result<(), LangError> {
         match stmt {
             Stmt::Let { name, ty, init } => {
                 let (src, _) = self.expr(init)?;
@@ -445,6 +496,13 @@ impl FnLowerer<'_> {
     }
 
     fn expr(&mut self, expr: &Expr) -> Result<(VReg, Ty), LangError> {
+        self.enter()?;
+        let result = self.expr_inner(expr);
+        self.leave();
+        result
+    }
+
+    fn expr_inner(&mut self, expr: &Expr) -> Result<(VReg, Ty), LangError> {
         match expr {
             Expr::IntLit(value) => {
                 let dst = self.func.new_vreg(Ty::Int);
@@ -715,6 +773,46 @@ mod tests {
         let module = lower(&ast).unwrap();
         module.validate().unwrap();
         module
+    }
+
+    #[test]
+    fn function_less_module_rejected_not_lowered() {
+        // Found by the torture harness: `global arr a[32];` alone (or an
+        // empty file) used to lower into a program with no functions and
+        // a dangling entry, which failed `Program::validate` only as a
+        // debug assertion deep in the driver.
+        for source in ["", "global arr a[32];"] {
+            let module = supersym_lang::parse(source).unwrap();
+            supersym_lang::check(&module).unwrap();
+            assert!(
+                matches!(lower(&module), Err(LangError::Undefined { ref name, .. }) if name == "main"),
+                "{source:?} must not lower"
+            );
+        }
+    }
+
+    #[test]
+    fn too_deep_module_rejected_not_crashed() {
+        use supersym_lang::ast::{BinOp, Block, Expr, FnDecl, Module, Stmt};
+        // Build a left-leaning chain one node past the lowering limit; the
+        // parser never sees it, so lowering's own gate must fire.
+        let mut e = Expr::IntLit(1);
+        for _ in 0..MAX_LOWER_DEPTH {
+            e = Expr::binary(BinOp::Add, e, Expr::IntLit(1));
+        }
+        let module = Module {
+            globals: vec![],
+            funcs: vec![FnDecl {
+                name: "main".into(),
+                params: vec![],
+                ret: Some(supersym_lang::ast::Ty::Int),
+                body: Block {
+                    stmts: vec![Stmt::Return(Some(e))],
+                },
+            }],
+        };
+        assert!(module.depth() > MAX_LOWER_DEPTH);
+        assert!(matches!(lower(&module), Err(LangError::TooDeep { .. })));
     }
 
     #[test]

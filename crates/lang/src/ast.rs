@@ -346,6 +346,81 @@ impl Module {
     pub fn global(&self, name: &str) -> Option<&GlobalDecl> {
         self.globals.iter().find(|g| g.name == name)
     }
+
+    /// Maximum statement/expression nesting depth across all functions.
+    ///
+    /// Computed with an explicit worklist rather than recursion, so the
+    /// measurement itself is safe on arbitrarily deep trees. Pipeline
+    /// stages that *do* recurse over the tree (the checker, IR lowering,
+    /// the printers) gate on this before descending.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        enum Node<'a> {
+            S(&'a Stmt),
+            E(&'a Expr),
+        }
+        let mut max = 0_u32;
+        let mut work: Vec<(Node<'_>, u32)> = self
+            .funcs
+            .iter()
+            .flat_map(|f| f.body.stmts.iter())
+            .map(|s| (Node::S(s), 1))
+            .collect();
+        while let Some((node, depth)) = work.pop() {
+            max = max.max(depth);
+            let d = depth + 1;
+            match node {
+                Node::S(stmt) => match stmt {
+                    Stmt::Let { init: e, .. }
+                    | Stmt::Assign { value: e, .. }
+                    | Stmt::Return(Some(e))
+                    | Stmt::ExprStmt(e) => work.push((Node::E(e), d)),
+                    Stmt::AssignElem { index, value, .. } => {
+                        work.push((Node::E(index), d));
+                        work.push((Node::E(value), d));
+                    }
+                    Stmt::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    } => {
+                        work.push((Node::E(cond), d));
+                        work.extend(then_blk.stmts.iter().map(|s| (Node::S(s), d)));
+                        if let Some(else_blk) = else_blk {
+                            work.extend(else_blk.stmts.iter().map(|s| (Node::S(s), d)));
+                        }
+                    }
+                    Stmt::While { cond, body } => {
+                        work.push((Node::E(cond), d));
+                        work.extend(body.stmts.iter().map(|s| (Node::S(s), d)));
+                    }
+                    Stmt::For {
+                        init, cond, body, ..
+                    } => {
+                        work.push((Node::E(init), d));
+                        work.push((Node::E(cond), d));
+                        work.extend(body.stmts.iter().map(|s| (Node::S(s), d)));
+                    }
+                    Stmt::Return(None) => {}
+                },
+                Node::E(expr) => match expr {
+                    Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) => {}
+                    Expr::Elem { index, .. } => work.push((Node::E(index), d)),
+                    Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => {
+                        work.push((Node::E(expr), d));
+                    }
+                    Expr::Binary { lhs, rhs, .. } => {
+                        work.push((Node::E(lhs), d));
+                        work.push((Node::E(rhs), d));
+                    }
+                    Expr::Call { args, .. } => {
+                        work.extend(args.iter().map(|a| (Node::E(a), d)));
+                    }
+                },
+            }
+        }
+        max
+    }
 }
 
 #[cfg(test)]

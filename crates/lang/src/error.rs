@@ -58,6 +58,18 @@ pub enum LangError {
         /// Found count.
         found: usize,
     },
+    /// Expressions or statements nest deeper than the front end's recursion
+    /// limit. Without this bound a pathological input (`((((...))))` or a
+    /// chain of ten thousand unary minuses) would overflow the stack — a
+    /// crash no `catch_unwind` can intercept — so the recursive-descent
+    /// parser and the semantic checker both count depth and fail with a
+    /// typed error instead.
+    TooDeep {
+        /// The depth limit that was exceeded.
+        limit: u32,
+        /// Source line (0 when unavailable, e.g. for synthesized ASTs).
+        line: u32,
+    },
 }
 
 impl fmt::Display for LangError {
@@ -87,6 +99,9 @@ impl fmt::Display for LangError {
                 f,
                 "call to `{name}` expects {expected} arguments, found {found}"
             ),
+            LangError::TooDeep { limit, line } => {
+                write!(f, "line {line}: nesting exceeds the depth limit of {limit}")
+            }
         }
     }
 }

@@ -48,4 +48,4 @@ pub use error::LangError;
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::parse;
 pub use printer::{print_expr, print_module};
-pub use sema::check;
+pub use sema::{check, MAX_AST_DEPTH};

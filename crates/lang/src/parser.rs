@@ -17,16 +17,50 @@ use crate::lexer::{lex, Token, TokenKind};
 /// ```
 pub fn parse(source: &str) -> Result<Module, LangError> {
     let tokens = lex(source)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     parser.module()
 }
+
+/// Maximum combined statement/expression nesting depth the parser accepts.
+///
+/// Each level of nesting costs about a dozen stack frames through the
+/// precedence chain, so 200 levels stay far below any realistic stack
+/// while comfortably above any program a human (or the unroller) writes.
+/// Shared with the semantic checker so a [`Module`] built directly from
+/// AST nodes is gated the same way as parsed source.
+pub(crate) const MAX_NESTING_DEPTH: u32 = 200;
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current statement + expression nesting depth (see
+    /// [`MAX_NESTING_DEPTH`]).
+    depth: u32,
 }
 
 impl Parser {
+    /// Bumps the nesting depth, failing with [`LangError::TooDeep`] at the
+    /// limit. Every recursive production calls this on entry and
+    /// [`Self::leave`] on exit.
+    fn enter(&mut self) -> Result<(), LangError> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(LangError::TooDeep {
+                limit: MAX_NESTING_DEPTH,
+                line: self.line(),
+            });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> &TokenKind {
         &self.tokens[self.pos].kind
     }
@@ -204,6 +238,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, LangError> {
+        self.enter()?;
+        let stmt = self.stmt_inner();
+        self.leave();
+        stmt
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, LangError> {
         if self.eat_keyword("var") {
             let name = self.expect_ident()?;
             self.expect_punct("=")?;
@@ -280,6 +321,15 @@ impl Parser {
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        // `else if` chains recurse here without passing through `stmt`, so
+        // the chain needs its own depth accounting.
+        self.enter()?;
+        let stmt = self.if_stmt_inner();
+        self.leave();
+        stmt
+    }
+
+    fn if_stmt_inner(&mut self) -> Result<Stmt, LangError> {
         self.expect_punct("(")?;
         let cond = self.expr()?;
         self.expect_punct(")")?;
@@ -364,7 +414,10 @@ impl Parser {
     }
 
     fn expr(&mut self) -> Result<Expr, LangError> {
-        self.or_expr()
+        self.enter()?;
+        let expr = self.or_expr();
+        self.leave();
+        expr
     }
 
     fn or_expr(&mut self) -> Result<Expr, LangError> {
@@ -487,6 +540,15 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        // `----x` and `!!!!x` recurse without re-entering `expr`, so unary
+        // chains are depth-counted separately.
+        self.enter()?;
+        let expr = self.unary_expr_inner();
+        self.leave();
+        expr
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, LangError> {
         if self.eat_punct("-") {
             let expr = self.unary_expr()?;
             return Ok(Expr::Unary {
@@ -707,6 +769,52 @@ mod tests {
             }
             other => panic!("bad parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn deep_parens_rejected_not_crashed() {
+        let depth = MAX_NESTING_DEPTH as usize + 10;
+        let source = format!(
+            "fn f() -> int {{ return {}1{}; }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        assert!(matches!(parse(&source), Err(LangError::TooDeep { .. })));
+        // Far past the limit must still be a typed error, not a stack
+        // overflow.
+        let source = format!(
+            "fn f() -> int {{ return {}1{}; }}",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        assert!(matches!(parse(&source), Err(LangError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn deep_unary_chain_rejected() {
+        let source = format!("fn f() -> int {{ return {}1; }}", "-".repeat(100_000));
+        assert!(matches!(parse(&source), Err(LangError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn deep_statement_nesting_rejected() {
+        let depth = 100_000;
+        let source = format!(
+            "fn f(int x) {{ {}x = 1;{} }}",
+            "if (x) {".repeat(depth),
+            "}".repeat(depth)
+        );
+        assert!(matches!(parse(&source), Err(LangError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn moderate_nesting_accepted() {
+        let source = format!(
+            "fn f() -> int {{ return {}1{}; }}",
+            "(".repeat(50),
+            ")".repeat(50)
+        );
+        assert!(parse(&source).is_ok());
     }
 
     #[test]

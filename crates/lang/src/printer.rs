@@ -140,10 +140,12 @@ fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             step,
             body,
         } => {
+            // `unsigned_abs`, not negation: a step of `i64::MIN` must
+            // print, not overflow.
             let update = if *step >= 0 {
                 format!("{var} = {var} + {step}")
             } else {
-                format!("{var} = {var} - {}", -step)
+                format!("{var} = {var} - {}", step.unsigned_abs())
             };
             let _ = writeln!(
                 out,
@@ -261,6 +263,29 @@ mod tests {
         let printed = print_module(&module);
         assert!(printed.contains("i = i - 3"));
         parse(&printed).unwrap();
+    }
+
+    #[test]
+    fn extreme_for_step_prints_without_overflow() {
+        let module = Module {
+            globals: vec![],
+            funcs: vec![FnDecl {
+                name: "f".to_string(),
+                params: vec![],
+                ret: None,
+                body: Block {
+                    stmts: vec![Stmt::For {
+                        var: "i".to_string(),
+                        init: Expr::IntLit(0),
+                        cond: Expr::IntLit(1),
+                        step: i64::MIN,
+                        body: Block { stmts: vec![] },
+                    }],
+                },
+            }],
+        };
+        let printed = print_module(&module);
+        assert!(printed.contains(&format!("i - {}", i64::MIN.unsigned_abs())));
     }
 
     #[test]

@@ -24,6 +24,16 @@ struct FnSig {
     ret: Option<Ty>,
 }
 
+/// Maximum AST depth (statements + expressions) the checker accepts.
+///
+/// The parser's own limit bounds *parenthesized* nesting, but a left-
+/// associated operator chain (`a + a + ... + a`) parses iteratively while
+/// building an AST whose depth equals the chain length — and `check`,
+/// IR lowering, the printers, and the unroller all recurse over that
+/// depth. Gating here keeps every downstream recursion bounded, for
+/// parsed source and for modules assembled directly from AST nodes alike.
+pub const MAX_AST_DEPTH: u32 = 512;
+
 struct Checker<'m> {
     scalars: HashMap<&'m str, Ty>,
     arrays: HashMap<&'m str, Ty>,
@@ -31,6 +41,8 @@ struct Checker<'m> {
     /// Lexical scopes for the function currently being checked.
     scopes: Vec<HashMap<String, Ty>>,
     current_ret: Option<Ty>,
+    /// Current recursion depth over the AST (see [`MAX_AST_DEPTH`]).
+    depth: u32,
 }
 
 impl<'m> Checker<'m> {
@@ -73,7 +85,25 @@ impl<'m> Checker<'m> {
             funcs,
             scopes: Vec::new(),
             current_ret: None,
+            depth: 0,
         })
+    }
+
+    /// Bumps the AST recursion depth, failing with [`LangError::TooDeep`]
+    /// at the limit.
+    fn enter(&mut self) -> Result<(), LangError> {
+        if self.depth >= MAX_AST_DEPTH {
+            return Err(LangError::TooDeep {
+                limit: MAX_AST_DEPTH,
+                line: 0,
+            });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn check_function(&mut self, func: &FnDecl) -> Result<(), LangError> {
@@ -117,6 +147,13 @@ impl<'m> Checker<'m> {
     }
 
     fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        self.enter()?;
+        let result = self.check_stmt_inner(stmt);
+        self.leave();
+        result
+    }
+
+    fn check_stmt_inner(&mut self, stmt: &Stmt) -> Result<(), LangError> {
         match stmt {
             Stmt::Let { name, ty, init } => {
                 let init_ty = self.expect_value(init)?;
@@ -243,6 +280,13 @@ impl<'m> Checker<'m> {
     }
 
     fn check_expr(&mut self, expr: &Expr) -> Result<Option<Ty>, LangError> {
+        self.enter()?;
+        let result = self.check_expr_inner(expr);
+        self.leave();
+        result
+    }
+
+    fn check_expr_inner(&mut self, expr: &Expr) -> Result<Option<Ty>, LangError> {
         match expr {
             Expr::IntLit(_) => Ok(Some(Ty::Int)),
             Expr::FloatLit(_) => Ok(Some(Ty::Float)),
@@ -402,6 +446,36 @@ mod tests {
         assert!(check_src("fn f() -> int { return; }").is_err());
         assert!(check_src("fn f() { return 1; }").is_err());
         assert!(check_src("fn f() { return; }").is_ok());
+    }
+
+    #[test]
+    fn deep_operator_chain_rejected() {
+        // A left-associated chain parses iteratively (the parser never
+        // recurses), but the checker walks the left spine — depth must be
+        // gated here, not just at parse time.
+        use crate::ast::{BinOp, Block, Expr, FnDecl, Module, Stmt};
+        let chain = |terms: u32| {
+            let mut e = Expr::IntLit(1);
+            for _ in 0..terms {
+                e = Expr::binary(BinOp::Add, e, Expr::IntLit(1));
+            }
+            Module {
+                globals: vec![],
+                funcs: vec![FnDecl {
+                    name: "main".into(),
+                    params: vec![],
+                    ret: Some(Ty::Int),
+                    body: Block {
+                        stmts: vec![Stmt::Return(Some(e))],
+                    },
+                }],
+            }
+        };
+        assert!(check(&chain(100)).is_ok());
+        assert!(matches!(
+            check(&chain(MAX_AST_DEPTH + 1)),
+            Err(LangError::TooDeep { .. })
+        ));
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use crate::error::SimError;
 use supersym_isa::{
-    ClassCensus, FuncId, Instr, InstrClass, IntOp, IntReg, Operand, Program, Reg, Uses, MAX_VLEN,
-    NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS,
+    ClassCensus, FuncId, Instr, InstrClass, IntOp, IntReg, IsaError, Operand, Program, Reg, Uses,
+    MAX_VLEN, NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS,
 };
 
 /// Control-flow outcome of one step.
@@ -110,7 +110,12 @@ impl<'p> Executor<'p> {
     /// globals or data image do not fit in memory.
     pub fn new(program: &'p Program, options: ExecOptions) -> Result<Self, SimError> {
         program.validate()?;
-        let entry = program.entry().expect("validated program has an entry");
+        // `validate` checks for an entry today, but the executor must not
+        // rely on that coupling: a missing entry is a typed error, not a
+        // panic, even if validation semantics drift.
+        let entry = program
+            .entry()
+            .ok_or(SimError::InvalidProgram(IsaError::MissingEntry))?;
         if program.globals_words() > options.memory_words {
             return Err(SimError::MemoryOutOfBounds {
                 addr: program.globals_words() as i64,
@@ -514,6 +519,16 @@ mod tests {
             max_call_depth: 16,
             max_steps: 100_000,
         }
+    }
+
+    #[test]
+    fn missing_entry_is_typed_error() {
+        let program = Program::new();
+        let err = Executor::new(&program, small_options()).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidProgram(IsaError::MissingEntry)
+        ));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The system-under-test interface.
+//!
+//! The torture harness is deliberately ignorant of the pipeline it
+//! tortures: it fabricates inputs and classifies outcomes. The pipeline
+//! itself is plugged in as a [`Subject`] (the `supersym` crate provides
+//! the real one wired through `compile` + `simulate`), which keeps the
+//! dependency arrow pointing the right way — the driver crate depends on
+//! the harness, never the reverse.
+
+use supersym_lang::ast::Module;
+
+/// One input fed through the pipeline, by mutation layer.
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// Tital source text (may be arbitrarily malformed).
+    Source(String),
+    /// A checked-then-mutated AST, fed in past the parser.
+    Ast(Module),
+    /// Assembly text for a (possibly corrupted) scheduled instruction
+    /// stream.
+    Asm(String),
+    /// A `.machine` description; the subject compiles and runs a fixed
+    /// known-good workload under it.
+    Machine(String),
+}
+
+impl Input {
+    /// A stable textual form of the input (ASTs are printed back to
+    /// source), used for corpus files and minimization.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        match self {
+            Input::Source(s) | Input::Asm(s) | Input::Machine(s) => s.clone(),
+            Input::Ast(module) => supersym_lang::print_module(module),
+        }
+    }
+
+    /// The corpus file extension for this input kind.
+    #[must_use]
+    pub fn extension(&self) -> &'static str {
+        match self {
+            Input::Source(_) | Input::Ast(_) => "tital",
+            Input::Asm(_) => "s",
+            Input::Machine(_) => "machine",
+        }
+    }
+}
+
+/// The pipeline stage that rejected an input. Mirrors the driver's
+/// `PipelineError` taxonomy; the harness only needs the tag, not the
+/// payload, to decide whether a rejection is routine or a bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Lexing/parsing of Tital source.
+    Parse,
+    /// Semantic analysis.
+    Check,
+    /// AST-to-IR lowering.
+    Lower,
+    /// Internal IR validation.
+    Ir,
+    /// `.machine` description parsing.
+    Machine,
+    /// Register split too small for the back end.
+    Split,
+    /// Static verification (machine lint, program lint, schedule check).
+    Verify,
+    /// Simulation.
+    Sim,
+}
+
+impl Stage {
+    /// Stable lowercase name (matches `PipelineError::stage`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Check => "check",
+            Stage::Lower => "lower",
+            Stage::Ir => "ir",
+            Stage::Machine => "machine",
+            Stage::Split => "regalloc",
+            Stage::Verify => "verify",
+            Stage::Sim => "sim",
+        }
+    }
+}
+
+/// What one pipeline run did with one input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The pipeline accepted the input and completed a run; the
+    /// fingerprint captures everything observable (code, results, cycle
+    /// counts) so the driver can check run-to-run determinism.
+    Ok {
+        /// A digest of the observable output.
+        fingerprint: String,
+    },
+    /// The pipeline rejected the input with a typed error.
+    Rejected {
+        /// The stage that rejected it.
+        stage: Stage,
+        /// The error's rendered message.
+        message: String,
+    },
+}
+
+/// The pipeline under torture. Implementations must uphold the harness
+/// contract themselves wherever the harness cannot: all internal budgets
+/// (simulation step limits, call-depth limits, memory sizes) must be
+/// finite and deterministic, because a hang is the one failure
+/// `catch_unwind` cannot convert into a report line.
+pub trait Subject {
+    /// Runs one input through the pipeline, end to end.
+    fn run(&self, input: &Input) -> Verdict;
+}

@@ -193,3 +193,152 @@ fn conservative_oracle_compiles_and_runs() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Exit codes: 0 ok / 1 usage / 2 front end / 3 static checks / 4 runtime
+// ---------------------------------------------------------------------------
+
+fn corpus(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/corpus")
+        .join(name)
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("titalc terminated by signal")
+}
+
+#[test]
+fn help_documents_exit_codes() {
+    let output = titalc().arg("--help").output().expect("spawn titalc");
+    let text = String::from_utf8_lossy(&output.stderr).into_owned() + &stdout(&output);
+    assert!(
+        text.contains("EXIT CODES"),
+        "no EXIT CODES section:\n{text}"
+    );
+    for needle in [
+        "front end",
+        "torture findings",
+        "simulation (runtime) error",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in help:\n{text}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_1() {
+    let output = titalc()
+        .arg("--no-such-flag")
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(exit_code(&output), 1);
+    let output = titalc()
+        .arg("/nonexistent/missing.tital")
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(exit_code(&output), 1, "unreadable file is an I/O error");
+}
+
+#[test]
+fn parse_errors_exit_2() {
+    let dir = std::env::temp_dir().join("titalc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("syntax-error.tital");
+    std::fs::write(&source, "fn main( { return 1; }\n").unwrap();
+    let output = titalc().arg(&source).output().expect("spawn titalc");
+    assert_eq!(exit_code(&output), 2, "compile of a syntax error");
+    let output = titalc()
+        .arg("lint")
+        .arg(&source)
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(exit_code(&output), 2, "lint of a syntax error");
+}
+
+#[test]
+fn static_check_errors_exit_3() {
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("broken.machine"))
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(exit_code(&output), 3, "machine lint errors");
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("broken.s"))
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(exit_code(&output), 3, "program lint errors");
+    let output = titalc()
+        .arg("lint")
+        .arg(fixture("oob.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(exit_code(&output), 3, "dataflow lint errors");
+}
+
+#[test]
+fn runtime_errors_exit_4() {
+    let output = titalc()
+        .arg(corpus("seed-runtime-trap.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(
+        exit_code(&output),
+        4,
+        "runaway recursion is a runtime error: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn torture_smoke_campaign_exits_0() {
+    let output = titalc()
+        .args(["torture", "--seed", "9", "--iters", "25"])
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "smoke campaign found something: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = stdout(&output);
+    assert!(text.contains("0 finding(s)"), "report missing:\n{text}");
+    for layer in ["source", "ast", "asm", "machine"] {
+        assert!(text.contains(layer), "layer `{layer}` missing:\n{text}");
+    }
+}
+
+#[test]
+fn torture_replays_the_corpus() {
+    let output = titalc()
+        .args(["torture", "--replay"])
+        .arg(
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../tests/corpus")
+                .as_os_str(),
+        )
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "corpus replay regressed: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        stdout(&output).contains("corpus replay:"),
+        "replay summary missing:\n{}",
+        stdout(&output)
+    );
+}
+
+#[test]
+fn torture_rejects_bad_flags() {
+    let output = titalc()
+        .args(["torture", "--layer", "quantum"])
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(exit_code(&output), 1);
+}

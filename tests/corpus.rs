@@ -1,0 +1,24 @@
+//! Replays the crash corpus (`tests/corpus/`) through the real pipeline.
+//!
+//! Every reproducer in the corpus once violated — or probes a hazard
+//! class that could violate — the robustness contract. Replay runs each
+//! file twice and fails on a panic or on run-to-run divergence; typed
+//! rejections are the expected, fixed state.
+
+use std::path::{Path, PathBuf};
+use supersym::torture::replay_torture_corpus;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn corpus_replays_without_panics_or_divergence() {
+    let report = replay_torture_corpus(&corpus_dir()).expect("read corpus");
+    assert_eq!(report.finding_count(), 0, "regressions:\n{report}");
+    let replayed: u64 = report.layers.iter().map(|l| l.mutants).sum();
+    assert!(
+        replayed >= 5,
+        "corpus seeds missing: only {replayed} file(s) replayed"
+    );
+}

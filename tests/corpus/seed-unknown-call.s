@@ -1,0 +1,5 @@
+// Parses cleanly but calls a function that does not exist: the validator
+// must reject it typed (unknown call target), never jump into the void.
+main:
+  call fn#7
+  halt

@@ -462,6 +462,38 @@ fn simulation_is_deterministic() {
     }
 }
 
+/// The whole pipeline is deterministic end to end: compiling and
+/// simulating the same workload twice — two fully independent pipeline
+/// runs, not two simulations of one compiled program — yields
+/// byte-identical scheduled code and byte-identical reports, on every
+/// paper preset. This is the torture harness's run-to-run contract,
+/// pinned as a property test over real machines rather than mutants.
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let workload = supersym::workloads::suite(supersym::workloads::Size::Small)
+        .into_iter()
+        .next()
+        .expect("suite is non-empty");
+    for machine in all_preset_machines() {
+        let fingerprint = || {
+            let options = CompileOptions::new(OptLevel::O4, &machine).with_verify(true);
+            let program = supersym::compile(&workload.source, &options)
+                .unwrap_or_else(|e| panic!("{}: {e}", machine.name()));
+            let report =
+                supersym::sim::simulate(&program, &machine, SimOptions::default()).unwrap();
+            format!(
+                "{program}\n{} {} {} {:?} {:?}",
+                report.machine(),
+                report.instructions(),
+                report.machine_cycles(),
+                report.base_cycles(),
+                report.census()
+            )
+        };
+        assert_eq!(fingerprint(), fingerprint(), "{}", machine.name());
+    }
+}
+
 // ---------------------------------------------------------------------------
 // IR-level and assembly-level properties
 // ---------------------------------------------------------------------------
