@@ -6,7 +6,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 use supersym::machine::presets;
-use supersym::sim::{simulate, simulate_with_cache, CacheConfig, SimOptions};
+use supersym::sim::{simulate, simulate_with_cache, simulate_with_sink, CacheConfig, SimOptions};
+use supersym::trace::{IssueEvent, TraceSink};
 use supersym::workloads::{linpack, stan};
 use supersym::{compile, CompileOptions, OptLevel};
 
@@ -57,6 +58,38 @@ fn bench_simulate() {
             black_box(simulate(&program, &machine, SimOptions::default()).unwrap());
         });
     }
+}
+
+/// The cheapest possible live sink: one counter bump per issue event.
+/// The gap between this row and the `no_sink` row is the cost of
+/// materializing `IssueEvent`s; the gap between `no_sink` and plain
+/// `simulate` must be noise (the no-sink path is a single branch).
+struct CountingSink(u64);
+
+impl TraceSink for CountingSink {
+    fn issue(&mut self, _event: &IssueEvent) {
+        self.0 += 1;
+    }
+}
+
+fn bench_sink_overhead() {
+    let workload = linpack(16);
+    let machine = presets::multititan();
+    let program = compile(
+        &workload.source,
+        &CompileOptions::new(OptLevel::O4, &machine),
+    )
+    .unwrap();
+    time("simulate_sink/none", 10, || {
+        black_box(simulate(&program, &machine, SimOptions::default()).unwrap());
+    });
+    let mut sink = CountingSink(0);
+    time("simulate_sink/counting", 10, || {
+        black_box(
+            simulate_with_sink(&program, &machine, SimOptions::default(), &mut sink).unwrap(),
+        );
+    });
+    println!("simulate_sink: {} issue events per iteration", sink.0 / 11);
 }
 
 fn bench_scheduler() {
@@ -140,6 +173,7 @@ fn bench_oracles() {
 fn main() {
     bench_compile();
     bench_simulate();
+    bench_sink_overhead();
     bench_scheduler();
     bench_oracles();
     bench_cache();

@@ -15,6 +15,8 @@
 //! titalc lint program.s                     # lint an assembly program
 //! titalc lint program.tital                 # dataflow lints on Tital source
 //! titalc analyze program.tital              # dump per-block dataflow facts
+//! titalc profile program.tital              # per-phase + per-cycle accounting
+//! titalc profile --json program.tital       # the same, machine-readable
 //! titalc torture --seed 7 --iters 1000      # mutation-robustness campaign
 //! titalc torture --replay tests/corpus      # replay the crash corpus
 //! titalc --machines                         # list machine presets
@@ -24,14 +26,22 @@
 //! in `--help`): scripts can tell a syntax error from a verifier
 //! diagnostic from a runtime trap without parsing stderr.
 
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 use supersym::analyze::{dump_module, lint_module, OracleKind};
+use supersym::isa::{ClassCensus, InstrClass};
 use supersym::machine::{parse_machine_spec, presets, MachineConfig};
 use supersym::opt::UnrollOptions;
-use supersym::sim::{simulate, simulate_with_cache, CacheConfig, SimOptions};
+use supersym::sim::{
+    simulate, simulate_with_cache, simulate_with_sink, CacheConfig, CycleAccount, SimOptions,
+    SimReport, StallCause,
+};
 use supersym::torture::{replay_torture_corpus, run_torture};
+use supersym::trace::{
+    IssueEvent, JsonLinesSink, JsonObject, JsonValue, MemorySink, PhaseRecord, TraceSink,
+};
 use supersym::verify::{error_count, lint_program};
-use supersym::{compile, CompileOptions, OptLevel};
+use supersym::{compile, compile_with_trace, CompileOptions, OptLevel};
 use supersym_torture::{write_corpus, Layer};
 
 /// Exit code for usage and I/O errors.
@@ -56,6 +66,9 @@ struct Args {
     list_machines: bool,
     lint: bool,
     analyze: bool,
+    profile: bool,
+    json: bool,
+    trace: Option<String>,
     verify: bool,
     oracle: OracleKind,
 }
@@ -67,6 +80,7 @@ USAGE:
     titalc [OPTIONS] <FILE>
     titalc lint [OPTIONS] <FILE>
     titalc analyze <FILE>
+    titalc profile [OPTIONS] <FILE>
     titalc torture [TORTURE OPTIONS]
 
 OPTIONS:
@@ -78,8 +92,22 @@ OPTIONS:
         --verify             run the static verifier on the compiled output
         --oracle <KIND>      memory disambiguation for scheduling:
                              symbolic (default) or conservative
+        --trace <FILE>       stream one JSON line per compile phase and per
+                             dynamic instruction to FILE (run and profile)
         --machines           list machine presets and exit
     -h, --help               show this help
+
+PROFILE:
+    `titalc profile` compiles and runs like plain `titalc`, but reports
+    where the time went instead of just how much there was: per-phase
+    compile telemetry (wall time, IR sizes, dependence-edge counts under
+    both oracles, scheduler movement) and the run's cycle account (every
+    cycle charged to issue, one stall cause, or pipeline drain — the sum
+    is exactly the machine cycles), with per-class and per-functional-unit
+    wait rollups and the most-waited-on producer instructions.
+        --json               emit one JSON document (schema
+                             supersym.profile/v1) instead of tables
+    Uses the same compile/run exit codes as plain `titalc`.
 
 LINT:
     `titalc lint` statically checks a file and exits nonzero on errors.
@@ -137,11 +165,15 @@ fn parse_machine(name: &str) -> Option<MachineConfig> {
             m.parse().ok()?,
         ));
     }
+    if let Some(rest) = name.strip_prefix("vliw:") {
+        return rest.parse().ok().map(presets::vliw);
+    }
     match name {
         "base" => Some(presets::base()),
         "multititan" => Some(presets::multititan()),
         "cray1" => Some(presets::cray1()),
         "underpipelined" => Some(presets::underpipelined_half_issue()),
+        "slowcycle" => Some(presets::underpipelined_slow_cycle()),
         _ => None,
     }
 }
@@ -157,6 +189,9 @@ fn parse_args() -> Result<Args, String> {
         list_machines: false,
         lint: false,
         analyze: false,
+        profile: false,
+        json: false,
+        trace: None,
         verify: false,
         oracle: OracleKind::default(),
     };
@@ -170,6 +205,10 @@ fn parse_args() -> Result<Args, String> {
             args.analyze = true;
             iter.next();
         }
+        Some("profile") => {
+            args.profile = true;
+            iter.next();
+        }
         _ => {}
     }
     while let Some(arg) = iter.next() {
@@ -179,6 +218,10 @@ fn parse_args() -> Result<Args, String> {
             "--dump" => args.dump = true,
             "--cache" => args.cache = true,
             "--verify" => args.verify = true,
+            "--json" => args.json = true,
+            "--trace" => {
+                args.trace = Some(iter.next().ok_or("missing trace file path")?);
+            }
             "-m" | "--machine" => {
                 args.machine = Some(iter.next().ok_or("missing machine name")?);
             }
@@ -392,6 +435,355 @@ fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
     report(path, &diagnostics)
 }
 
+/// Records compile phases in memory for the profile report while
+/// optionally forwarding every phase *and* issue event to a JSON-lines
+/// trace file. Issue events are never buffered in memory — a long run
+/// emits one per dynamic instruction.
+struct ProfileSink {
+    memory: MemorySink,
+    file: Option<JsonLinesSink<BufWriter<std::fs::File>>>,
+}
+
+impl TraceSink for ProfileSink {
+    fn phase(&mut self, record: &PhaseRecord<'_>) {
+        self.memory.phase(record);
+        if let Some(file) = &mut self.file {
+            file.phase(record);
+        }
+    }
+
+    fn issue(&mut self, event: &IssueEvent) {
+        if let Some(file) = &mut self.file {
+            file.issue(event);
+        }
+    }
+}
+
+/// Opens `--trace <FILE>` for JSON-lines streaming.
+fn open_trace(path: &str) -> Result<JsonLinesSink<BufWriter<std::fs::File>>, ExitCode> {
+    match std::fs::File::create(path) {
+        Ok(file) => Ok(JsonLinesSink::new(BufWriter::new(file))),
+        Err(error) => {
+            eprintln!("titalc: cannot write trace to `{path}`: {error}");
+            Err(ExitCode::from(EXIT_USAGE))
+        }
+    }
+}
+
+/// Flushes a trace sink, surfacing any write error that occurred while the
+/// sink was quietly swallowing them mid-run.
+fn close_trace(sink: JsonLinesSink<BufWriter<std::fs::File>>, path: &str) -> Result<(), ExitCode> {
+    let flushed = sink.finish().and_then(|mut writer| writer.flush());
+    match flushed {
+        Ok(()) => Ok(()),
+        Err(error) => {
+            eprintln!("titalc: error writing trace `{path}`: {error}");
+            Err(ExitCode::from(EXIT_USAGE))
+        }
+    }
+}
+
+/// Prints the cycle account: every machine cycle charged to issue, one
+/// stall cause, or pipeline drain (the rows sum exactly to the total).
+fn print_cycle_account(account: &CycleAccount) {
+    let total = account.machine_cycles().max(1);
+    let pct = |cycles: u64| 100.0 * cycles as f64 / total as f64;
+    println!(
+        "cycle account:  ({} machine cycles; rows sum exactly)",
+        account.machine_cycles()
+    );
+    println!(
+        "  {:<22} {:>12} {:>7.1}%",
+        "issue",
+        account.issue_cycles(),
+        pct(account.issue_cycles())
+    );
+    for (index, name) in StallCause::NAMES.iter().enumerate() {
+        let cycles = account.stall_cycles(index);
+        if cycles > 0 {
+            println!("  {name:<22} {cycles:>12} {:>7.1}%", pct(cycles));
+        }
+    }
+    if account.drain_cycles() > 0 {
+        println!(
+            "  {:<22} {:>12} {:>7.1}%",
+            "drain",
+            account.drain_cycles(),
+            pct(account.drain_cycles())
+        );
+    }
+}
+
+/// Prints the dynamic class census folded together with the per-class wait
+/// rollup: one aligned table instead of two disjoint ones.
+fn print_class_table(census: &ClassCensus, account: &CycleAccount) {
+    let total = census.total().max(1);
+    println!("class mix:      (dynamic count · share · cycles spent waiting to issue)");
+    println!(
+        "  {:<10} {:>12} {:>7} {:>12}",
+        "class", "count", "share", "wait cycles"
+    );
+    for class in InstrClass::ALL {
+        let count = census.count(class);
+        let wait = account.class_wait_cycles(class);
+        if count == 0 && wait == 0 {
+            continue;
+        }
+        println!(
+            "  {:<10} {count:>12} {:>6.1}% {wait:>12}",
+            class.mnemonic(),
+            100.0 * count as f64 / total as f64
+        );
+    }
+    println!(
+        "  {:<10} {:>12} {:>6.1}% {:>12}",
+        "total",
+        census.total(),
+        100.0,
+        account.total_wait_cycles()
+    );
+}
+
+/// Prints per-functional-unit wait pressure (FU-busy waits only).
+fn print_fu_waits(account: &CycleAccount) {
+    let rows: Vec<(&str, u64)> = account.fu_wait_cycles().filter(|&(_, w)| w > 0).collect();
+    if rows.is_empty() {
+        return;
+    }
+    println!("functional-unit pressure: (cycles instructions waited on a busy unit)");
+    for (name, wait) in rows {
+        println!("  {name:<22} {wait:>12}");
+    }
+}
+
+/// Prints the most-waited-on producer instructions.
+fn print_producers(report: &SimReport) {
+    let producers = report.critical_producers();
+    if producers.is_empty() {
+        return;
+    }
+    println!("critical producers: (result latency most waited on)");
+    for p in producers {
+        println!(
+            "  {:>8} cycles  {}:{:<4} {}",
+            p.wait_cycles, p.function, p.pc, p.instr
+        );
+    }
+}
+
+/// Rounds to four decimals so the JSON report is stable to read and diff.
+fn round4(value: f64) -> f64 {
+    (value * 10_000.0).round() / 10_000.0
+}
+
+/// Builds the `supersym.profile/v1` JSON document.
+fn profile_json(
+    path: &str,
+    opt: OptLevel,
+    oracle: OracleKind,
+    report: &SimReport,
+    static_size: usize,
+    phases: &[supersym::trace::OwnedPhase],
+) -> JsonValue {
+    let account = report.cycle_account();
+    let phase_array = phases
+        .iter()
+        .map(|phase| {
+            let mut counters = JsonObject::new();
+            for (key, value) in &phase.counters {
+                counters = counters.field(key.clone(), JsonValue::UInt(*value));
+            }
+            JsonObject::new()
+                .field("name", JsonValue::str(phase.name.clone()))
+                .field(
+                    "wall_ns",
+                    JsonValue::UInt(u64::try_from(phase.wall_ns).unwrap_or(u64::MAX)),
+                )
+                .field("counters", counters.build())
+                .build()
+        })
+        .collect();
+    let mut stalls = JsonObject::new();
+    let mut waits = JsonObject::new();
+    for (index, label) in StallCause::LABELS.iter().enumerate() {
+        stalls = stalls.field(*label, JsonValue::UInt(account.stall_cycles(index)));
+        waits = waits.field(*label, JsonValue::UInt(account.wait_cycles(index)));
+    }
+    let classes = InstrClass::ALL
+        .iter()
+        .filter(|class| {
+            report.census().count(**class) > 0 || account.class_wait_cycles(**class) > 0
+        })
+        .map(|class| {
+            JsonObject::new()
+                .field("class", JsonValue::str(class.mnemonic()))
+                .field("count", JsonValue::UInt(report.census().count(*class)))
+                .field(
+                    "wait_cycles",
+                    JsonValue::UInt(account.class_wait_cycles(*class)),
+                )
+                .build()
+        })
+        .collect();
+    let units = account
+        .fu_wait_cycles()
+        .map(|(name, wait)| {
+            JsonObject::new()
+                .field("name", JsonValue::str(name))
+                .field("wait_cycles", JsonValue::UInt(wait))
+                .build()
+        })
+        .collect();
+    let producers = report
+        .critical_producers()
+        .iter()
+        .map(|p| {
+            JsonObject::new()
+                .field("function", JsonValue::str(p.function.clone()))
+                .field("pc", JsonValue::UInt(p.pc as u64))
+                .field("instr", JsonValue::str(p.instr.clone()))
+                .field("wait_cycles", JsonValue::UInt(p.wait_cycles))
+                .build()
+        })
+        .collect();
+    let cycles = JsonObject::new()
+        .field("total", JsonValue::UInt(account.machine_cycles()))
+        .field("issue", JsonValue::UInt(account.issue_cycles()))
+        .field("stalls", stalls.build())
+        .field("drain", JsonValue::UInt(account.drain_cycles()))
+        .field("conserved", JsonValue::Bool(account.conserved()))
+        .build();
+    let run = JsonObject::new()
+        .field("instructions", JsonValue::UInt(report.instructions()))
+        .field("machine_cycles", JsonValue::UInt(report.machine_cycles()))
+        .field(
+            "base_cycles",
+            JsonValue::Float(round4(report.base_cycles())),
+        )
+        .field(
+            "rate",
+            JsonValue::Float(round4(report.available_parallelism())),
+        )
+        .field("cycles", cycles)
+        .field("waits", waits.build())
+        .field("classes", JsonValue::Array(classes))
+        .field("functional_units", JsonValue::Array(units))
+        .field("critical_producers", JsonValue::Array(producers))
+        .build();
+    JsonObject::new()
+        .field("schema", JsonValue::str("supersym.profile/v1"))
+        .field("source", JsonValue::str(path))
+        .field("machine", JsonValue::str(report.machine()))
+        .field("optimization", JsonValue::str(opt.label()))
+        .field(
+            "oracle",
+            JsonValue::str(match oracle {
+                OracleKind::Symbolic => "symbolic",
+                OracleKind::Conservative => "conservative",
+            }),
+        )
+        .field("static_size", JsonValue::UInt(static_size as u64))
+        .field(
+            "compile",
+            JsonObject::new()
+                .field("phases", JsonValue::Array(phase_array))
+                .build(),
+        )
+        .field("run", run)
+        .build()
+}
+
+/// `titalc profile`: compile with phase telemetry, run with the cycle
+/// account, and report both — as tables, or as one JSON document with
+/// `--json`. `--trace <FILE>` additionally streams raw events.
+fn run_profile(
+    path: &str,
+    source: &str,
+    args: &Args,
+    machine: &MachineConfig,
+    options: &CompileOptions,
+) -> ExitCode {
+    let file = match &args.trace {
+        Some(trace_path) => match open_trace(trace_path) {
+            Ok(sink) => Some(sink),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    let mut sink = ProfileSink {
+        memory: MemorySink::new(),
+        file,
+    };
+    let program = match compile_with_trace(source, options, &mut sink) {
+        Ok(program) => program,
+        Err(error) => {
+            eprintln!("titalc: {error}");
+            return ExitCode::from(error.exit_code());
+        }
+    };
+    let report = match simulate_with_sink(&program, machine, SimOptions::default(), &mut sink) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("titalc: runtime error: {error}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    };
+    if let Some(file) = sink.file.take() {
+        if let Err(code) = close_trace(file, args.trace.as_deref().unwrap_or("")) {
+            return code;
+        }
+    }
+    let account = report.cycle_account();
+    if !account.conserved() {
+        eprintln!(
+            "titalc: internal error: cycle account does not balance on `{}`",
+            machine.name()
+        );
+        return ExitCode::from(EXIT_SIM);
+    }
+    if args.json {
+        print!(
+            "{}",
+            profile_json(
+                path,
+                args.opt,
+                args.oracle,
+                &report,
+                program.static_size(),
+                &sink.memory.phases
+            )
+            .pretty()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("machine:        {}", machine.name());
+    println!("optimization:   {}", args.opt);
+    println!("static size:    {} instructions", program.static_size());
+    println!("dynamic count:  {} instructions", report.instructions());
+    println!("time:           {:.1} base cycles", report.base_cycles());
+    println!(
+        "rate:           {:.3} instructions/cycle",
+        report.available_parallelism()
+    );
+    println!("compile phases:");
+    for phase in &sink.memory.phases {
+        let mut counters = String::new();
+        for (key, value) in &phase.counters {
+            counters.push_str(&format!("  {key}={value}"));
+        }
+        println!(
+            "  {:<16} {:>9.3}ms{counters}",
+            phase.name,
+            phase.wall_ns as f64 / 1e6
+        );
+    }
+    print_cycle_account(account);
+    print_class_table(report.census(), account);
+    print_fu_waits(account);
+    print_producers(&report);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("torture") {
@@ -414,9 +806,11 @@ fn main() -> ExitCode {
         println!("  superpipelined:<m>    degree-m superpipelined");
         println!("  ssp:<n>:<m>           superpipelined superscalar");
         println!("  conflicts:<n>         degree-n superscalar with shared functional units");
+        println!("  vliw:<n>              n-wide VLIW (taken branches break the issue group)");
+        println!("  slowcycle             underpipelined: doubled latencies, slower clock");
         return ExitCode::SUCCESS;
     }
-    let Some(path) = args.source_path else {
+    let Some(path) = args.source_path.clone() else {
         eprintln!("{USAGE}");
         return ExitCode::from(EXIT_USAGE);
     };
@@ -445,6 +839,9 @@ fn main() -> ExitCode {
     if let Some(unroll) = args.unroll {
         options = options.with_unroll(unroll);
     }
+    if args.profile {
+        return run_profile(&path, &source, &args, &machine, &options);
+    }
     let program = match compile(&source, &options) {
         Ok(program) => program,
         Err(error) => {
@@ -456,13 +853,28 @@ fn main() -> ExitCode {
         print!("{program}");
         return ExitCode::SUCCESS;
     }
-    let report = match simulate(&program, &machine, SimOptions::default()) {
+    let mut trace_sink = match &args.trace {
+        Some(trace_path) => match open_trace(trace_path) {
+            Ok(sink) => Some(sink),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    let report = match trace_sink.as_mut().map_or_else(
+        || simulate(&program, &machine, SimOptions::default()),
+        |sink| simulate_with_sink(&program, &machine, SimOptions::default(), sink),
+    ) {
         Ok(report) => report,
         Err(error) => {
             eprintln!("titalc: runtime error: {error}");
             return ExitCode::from(EXIT_SIM);
         }
     };
+    if let Some(sink) = trace_sink {
+        if let Err(code) = close_trace(sink, args.trace.as_deref().unwrap_or("")) {
+            return code;
+        }
+    }
     println!("machine:        {}", machine.name());
     println!("optimization:   {}", args.opt);
     println!("static size:    {} instructions", program.static_size());
@@ -472,6 +884,8 @@ fn main() -> ExitCode {
         "rate:           {:.3} instructions/cycle",
         report.available_parallelism()
     );
+    print_cycle_account(report.cycle_account());
+    print_class_table(report.census(), report.cycle_account());
     if args.cache {
         let (_, caches) = simulate_with_cache(
             &program,

@@ -2,10 +2,12 @@
 
 use crate::error::PipelineError;
 use std::fmt;
+use std::time::Instant;
 use supersym_analyze::OracleKind;
 use supersym_isa::{Diagnostic, Program};
 use supersym_machine::{MachineConfig, RegisterSplit};
 use supersym_opt::UnrollOptions;
+use supersym_trace::{PhaseRecord, TraceSink};
 
 /// The paper's Figure 4-8 optimization ladder. Each level includes all the
 /// previous ones.
@@ -161,9 +163,41 @@ pub type CompileError = PipelineError;
 ///
 /// Returns a [`CompileError`] for malformed source.
 pub fn compile(source: &str, options: &CompileOptions) -> Result<Program, CompileError> {
+    compile_traced(source, options, None)
+}
+
+/// Compiles like [`compile`] while recording one
+/// [`PhaseRecord`] per pipeline phase to `sink`: wall time plus phase
+/// counters (IR sizes after lowering, dependence-edge counts under both
+/// oracles, scheduler movement, static code size).
+///
+/// The sink-free [`compile`] path takes the same code path; the per-phase
+/// counters that are expensive to compute (dependence-edge census, the
+/// unscheduled-program snapshot) are only computed when a sink is
+/// attached.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed source.
+pub fn compile_with_trace(
+    source: &str,
+    options: &CompileOptions,
+    sink: &mut dyn TraceSink,
+) -> Result<Program, CompileError> {
+    compile_traced(source, options, Some(sink))
+}
+
+fn compile_traced(
+    source: &str,
+    options: &CompileOptions,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<Program, CompileError> {
+    let mut clock = PhaseClock::start();
     let ast = supersym_lang::parse(source).map_err(PipelineError::Parse)?;
+    clock.emit(&mut sink, "parse", &[("source_bytes", source.len() as u64)]);
     supersym_lang::check(&ast).map_err(PipelineError::Check)?;
-    compile_ast(ast, options)
+    clock.emit(&mut sink, "check", &[]);
+    compile_ast_traced(ast, options, sink)
 }
 
 /// Compiles an already-checked AST (used when the caller transforms the
@@ -174,28 +208,134 @@ pub fn compile(source: &str, options: &CompileOptions) -> Result<Program, Compil
 /// Returns a [`CompileError`] if lowering fails (undefined names — cannot
 /// happen for checked modules).
 pub fn compile_ast(
-    mut ast: supersym_lang::ast::Module,
+    ast: supersym_lang::ast::Module,
     options: &CompileOptions,
 ) -> Result<Program, CompileError> {
+    compile_ast_traced(ast, options, None)
+}
+
+/// Tracks per-phase wall time. Reading the clock is a few nanoseconds, so
+/// the sink-free path keeps it; only record emission is conditional.
+struct PhaseClock {
+    last: Instant,
+}
+
+impl PhaseClock {
+    fn start() -> Self {
+        PhaseClock {
+            last: Instant::now(),
+        }
+    }
+
+    /// Emits a phase record covering the time since the previous emit and
+    /// restarts the clock.
+    fn emit(
+        &mut self,
+        sink: &mut Option<&mut dyn TraceSink>,
+        name: &str,
+        counters: &[(&str, u64)],
+    ) {
+        let now = Instant::now();
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.phase(&PhaseRecord {
+                name,
+                wall_ns: now.duration_since(self.last).as_nanos(),
+                counters,
+            });
+        }
+        self.last = now;
+    }
+}
+
+/// Counts scheduling regions and dependence edges (under both oracles)
+/// across a program — the scheduler's input size. Only run when tracing.
+fn dependence_census(program: &Program) -> (u64, u64, u64) {
+    let mut regions = 0_u64;
+    let mut conservative = 0_u64;
+    let mut symbolic = 0_u64;
+    for function in program.functions() {
+        for (start, end) in supersym_analyze::scheduling_regions(function) {
+            regions += 1;
+            let window = &function.instrs()[start..end];
+            conservative +=
+                supersym_analyze::dependence_edges(window, OracleKind::Conservative.as_oracle())
+                    .len() as u64;
+            symbolic += supersym_analyze::dependence_edges(window, OracleKind::Symbolic.as_oracle())
+                .len() as u64;
+        }
+    }
+    (regions, conservative, symbolic)
+}
+
+/// How many instructions the scheduler moved: positions whose instruction
+/// differs between the unscheduled and scheduled program.
+fn moved_instructions(before: &Program, after: &Program) -> u64 {
+    let mut moved = 0_u64;
+    for (a, b) in before.functions().iter().zip(after.functions()) {
+        for (x, y) in a.instrs().iter().zip(b.instrs()) {
+            if x != y {
+                moved += 1;
+            }
+        }
+    }
+    moved
+}
+
+fn compile_ast_traced(
+    mut ast: supersym_lang::ast::Module,
+    options: &CompileOptions,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<Program, CompileError> {
+    let mut clock = PhaseClock::start();
     if options.verify {
         fail_on_errors(supersym_verify::lint_machine(&options.machine))?;
+        clock.emit(&mut sink, "lint_machine", &[]);
     }
     if let Some(unroll) = options.unroll {
         supersym_opt::unroll_loops(&mut ast, unroll);
+        clock.emit(&mut sink, "unroll", &[("factor", unroll.factor as u64)]);
     }
     let mut ir = supersym_ir::lower(&ast).map_err(PipelineError::Lower)?;
     debug_assert!(ir.validate().is_ok());
+    clock.emit(
+        &mut sink,
+        "lower",
+        &[
+            ("ir_funcs", ir.funcs.len() as u64),
+            (
+                "ir_insts",
+                ir.funcs.iter().map(|f| f.inst_count() as u64).sum(),
+            ),
+        ],
+    );
     if options.opt.local() {
         supersym_opt::run_local(&mut ir);
+        clock.emit(
+            &mut sink,
+            "opt_local",
+            &[(
+                "ir_insts",
+                ir.funcs.iter().map(|f| f.inst_count() as u64).sum(),
+            )],
+        );
     }
     if options.opt.global() {
         supersym_opt::run_global(&mut ir);
+        clock.emit(
+            &mut sink,
+            "opt_global",
+            &[(
+                "ir_insts",
+                ir.funcs.iter().map(|f| f.inst_count() as u64).sum(),
+            )],
+        );
     }
     if options.reassociate {
         supersym_opt::reassociate(&mut ir);
         if options.opt.local() {
             supersym_opt::run_local(&mut ir);
         }
+        clock.emit(&mut sink, "reassociate", &[]);
     }
     // Sharpen element-access origins with the dataflow analyses (constant
     // index upgrades, linear index recovery): purely better annotations,
@@ -205,10 +345,20 @@ pub fn compile_ast(
     // wrote them, dependence edges exactly as the seed scheduler saw them.
     if options.oracle == OracleKind::Symbolic {
         supersym_analyze::sharpen_origins(&mut ir);
+        clock.emit(&mut sink, "sharpen_origins", &[]);
     }
     supersym_codegen::split_live_across_calls(&mut ir);
     ir.validate()?;
+    clock.emit(&mut sink, "split_live", &[]);
     let homes = supersym_regalloc::allocate(&ir, options.split, options.opt.global_regs());
+    clock.emit(
+        &mut sink,
+        "regalloc",
+        &[
+            ("int_temps", homes.int_temps().len() as u64),
+            ("fp_temps", homes.fp_temps().len() as u64),
+        ],
+    );
     // An overridden split can starve the back end of expression
     // temporaries; surface that as a typed error instead of tripping
     // `lower_program`'s assert.
@@ -220,13 +370,42 @@ pub fn compile_ast(
         });
     }
     let mut program = supersym_codegen::lower_program(&ir, &homes);
+    clock.emit(
+        &mut sink,
+        "lower_program",
+        &[("static_size", program.static_size() as u64)],
+    );
     if options.opt.scheduling() {
         let oracle = options.oracle.as_oracle();
-        let unscheduled = options.verify.then(|| program.clone());
+        // The dependence census is the scheduler's input size under both
+        // oracles; it is only worth computing when someone is listening.
+        let census = if sink.is_some() {
+            dependence_census(&program)
+        } else {
+            Default::default()
+        };
+        let unscheduled = (options.verify || sink.is_some()).then(|| program.clone());
         supersym_codegen::schedule_program_with(&mut program, &options.machine, oracle);
-        if let Some(before) = unscheduled {
-            let violations = supersym_verify::check_schedule_with(&before, &program, oracle);
-            fail_on_errors(violations.iter().map(|v| v.to_diagnostic()).collect())?;
+        let moved = unscheduled
+            .as_ref()
+            .filter(|_| sink.is_some())
+            .map_or(0, |before| moved_instructions(before, &program));
+        clock.emit(
+            &mut sink,
+            "schedule",
+            &[
+                ("regions", census.0),
+                ("dep_edges_conservative", census.1),
+                ("dep_edges_symbolic", census.2),
+                ("moved_instructions", moved),
+            ],
+        );
+        if options.verify {
+            if let Some(before) = unscheduled {
+                let violations = supersym_verify::check_schedule_with(&before, &program, oracle);
+                fail_on_errors(violations.iter().map(|v| v.to_diagnostic()).collect())?;
+                clock.emit(&mut sink, "check_schedule", &[]);
+            }
         }
     }
     if options.verify {
@@ -235,6 +414,7 @@ pub fn compile_ast(
         let machine =
             (options.split == options.machine.register_split()).then_some(&options.machine);
         fail_on_errors(supersym_verify::lint_program(&program, machine))?;
+        clock.emit(&mut sink, "lint_program", &[]);
     }
     debug_assert!(program.validate().is_ok());
     Ok(program)
@@ -396,6 +576,67 @@ mod tests {
             "got {err}"
         );
         assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn trace_records_the_pipeline_phases() {
+        let machine = presets::multititan();
+        let options = CompileOptions::new(OptLevel::O4, &machine)
+            .with_unroll(UnrollOptions {
+                factor: 2,
+                careful: true,
+            })
+            .with_verify(true);
+        let mut sink = supersym_trace::MemorySink::default();
+        let program = compile_with_trace(PROGRAM, &options, &mut sink).unwrap();
+        assert!(program.static_size() > 0);
+        let names: Vec<&str> = sink.phases.iter().map(|p| p.name.as_str()).collect();
+        for expected in [
+            "parse",
+            "check",
+            "unroll",
+            "lower",
+            "opt_local",
+            "opt_global",
+            "reassociate",
+            "sharpen_origins",
+            "regalloc",
+            "lower_program",
+            "schedule",
+            "lint_program",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing phase {expected}: {names:?}"
+            );
+        }
+        // Phases arrive in pipeline order.
+        let parse = names.iter().position(|n| *n == "parse").unwrap();
+        let schedule = names.iter().position(|n| *n == "schedule").unwrap();
+        assert!(parse < schedule);
+        // The schedule phase carries the scheduler's input size.
+        let schedule_phase = &sink.phases[schedule];
+        let counter = |key: &str| {
+            schedule_phase
+                .counters
+                .iter()
+                .find(|(k, _)| k.as_str() == key)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(counter("regions") > 0);
+        assert!(counter("dep_edges_conservative") >= counter("dep_edges_symbolic"));
+        assert!(counter("moved_instructions") > 0);
+    }
+
+    #[test]
+    fn trace_free_compilation_is_identical() {
+        let machine = presets::multititan();
+        let options = CompileOptions::new(OptLevel::O4, &machine);
+        let mut sink = supersym_trace::MemorySink::default();
+        let plain = compile(PROGRAM, &options).unwrap();
+        let traced = compile_with_trace(PROGRAM, &options, &mut sink).unwrap();
+        assert_eq!(plain, traced, "tracing must not change the output program");
     }
 
     #[test]

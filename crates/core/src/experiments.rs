@@ -15,7 +15,7 @@ use supersym_machine::{presets, MachineConfig, RegisterSplit};
 use supersym_opt::UnrollOptions;
 use supersym_sim::{
     diagram, issue_speedup_with_miss_burden, simulate, simulate_with_cache, CacheConfig,
-    MissCostRow, SimOptions, SimReport,
+    CycleAccount, MissCostRow, SimOptions, SimReport, StallCause, NUM_STALL_KINDS,
 };
 use supersym_workloads::{numeric_suite, suite, Size, Workload};
 
@@ -1617,6 +1617,107 @@ impl fmt::Display for AliasOracleStudy {
                 "  {machine:38} {benchmark:10} {conservative:>12.3} {symbolic:>10.3} {:>+7.2}%",
                 (symbolic / conservative - 1.0) * 100.0
             )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stall breakdown (where each preset's cycles actually go)
+// ---------------------------------------------------------------------------
+
+/// The stall-breakdown study: the whole suite's cycle account aggregated
+/// per machine preset. Where Figure 4-x reports *how fast* each machine
+/// is, this reports *why it is no faster*: every machine cycle charged to
+/// issue, one stall cause, or pipeline drain (the rows sum exactly), plus
+/// the dominant cause from the per-instruction wait view — which, unlike
+/// the cycle view, also sees deferrals that hide inside busy cycles
+/// (issue-width pressure on wide machines).
+#[derive(Debug, Clone)]
+pub struct StallBreakdownStudy {
+    /// `(machine, aggregate account, dominant wait cause)` rows.
+    pub rows: Vec<(String, CycleAccount, &'static str)>,
+}
+
+/// Runs the stall-breakdown study: the full suite at `OptLevel::O4` on
+/// every paper preset.
+///
+/// # Panics
+///
+/// Panics if any workload fails to compile or run, or if any account
+/// fails its conservation invariant — both indicate a simulator bug.
+#[must_use]
+pub fn stall_breakdown(size: Size) -> StallBreakdownStudy {
+    let machines = [
+        presets::base(),
+        presets::multititan(),
+        presets::cray1(),
+        presets::vliw(4),
+        presets::ideal_superscalar(2),
+        presets::ideal_superscalar(8),
+        presets::superpipelined(4),
+        presets::superpipelined_superscalar(2, 2),
+        presets::superscalar_with_class_conflicts(4),
+        presets::underpipelined_slow_cycle(),
+        presets::underpipelined_half_issue(),
+    ];
+    let workloads = suite(size);
+    let mut rows = Vec::new();
+    for machine in &machines {
+        let mut aggregate: Option<CycleAccount> = None;
+        for workload in &workloads {
+            let report = run_workload(workload, OptLevel::O4, machine, None, None);
+            let account = report.cycle_account();
+            assert!(
+                account.conserved(),
+                "{} on {}: cycle account does not balance",
+                workload.name,
+                machine.name()
+            );
+            match &mut aggregate {
+                Some(total) => total.merge(account),
+                None => aggregate = Some(account.clone()),
+            }
+        }
+        let aggregate = aggregate.expect("non-empty suite");
+        let dominant = (0..NUM_STALL_KINDS)
+            .max_by_key(|&index| aggregate.wait_cycles(index))
+            .expect("non-empty cause set");
+        rows.push((
+            machine.name().to_string(),
+            aggregate,
+            StallCause::LABELS[dominant],
+        ));
+    }
+    StallBreakdownStudy { rows }
+}
+
+impl fmt::Display for StallBreakdownStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Stall breakdown: % of machine cycles by cause (suite aggregate, O4)"
+        )?;
+        write!(f, "  {:38} {:>10}", "machine", "cycles")?;
+        for short in ["issue", "raw", "waw", "fu", "mem", "ctl"] {
+            write!(f, " {short:>6}")?;
+        }
+        writeln!(f, " {:>6} dominant wait", "drain")?;
+        for (machine, account, dominant) in &self.rows {
+            let total = account.machine_cycles().max(1) as f64;
+            let pct = |cycles: u64| 100.0 * cycles as f64 / total;
+            write!(
+                f,
+                "  {machine:38} {:>10} {:>5.1}%",
+                account.machine_cycles(),
+                pct(account.issue_cycles())
+            )?;
+            // The issue-width column is provably all zeros in the cycle
+            // view (a width deferral issues next cycle), so it is omitted.
+            for index in 0..NUM_STALL_KINDS - 1 {
+                write!(f, " {:>5.1}%", pct(account.stall_cycles(index)))?;
+            }
+            writeln!(f, " {:>5.1}% {dominant}", pct(account.drain_cycles()))?;
         }
         Ok(())
     }

@@ -46,7 +46,9 @@ mod error;
 pub mod experiments;
 pub mod torture;
 
-pub use compile::{compile, compile_ast, CompileError, CompileOptions, OptLevel};
+pub use compile::{
+    compile, compile_ast, compile_with_trace, CompileError, CompileOptions, OptLevel,
+};
 pub use error::PipelineError;
 
 /// Re-export: static analysis (dataflow framework, IR lints, and the
@@ -68,6 +70,8 @@ pub use supersym_opt as opt;
 pub use supersym_regalloc as regalloc;
 /// Re-export: the simulator.
 pub use supersym_sim as sim;
+/// Re-export: run telemetry (trace sinks, phase/issue events, JSON writer).
+pub use supersym_trace as trace;
 /// Re-export: static verification (program lint, machine lint, schedule
 /// legality).
 pub use supersym_verify as verify;

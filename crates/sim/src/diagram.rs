@@ -6,9 +6,21 @@
 //! occupancy is plotted against time in base cycles.
 
 use crate::exec::{ControlEvent, StepInfo};
-use crate::timing::TimingModel;
+use crate::timing::{IssueRecord, StallCause, TimingModel};
 use supersym_isa::{FuncId, InstrClass, IntReg, Reg};
 use supersym_machine::MachineConfig;
+
+/// One diagram row: `(issue, last execute+1, stall span)` in machine
+/// cycles. The stall span is how many `s` columns precede execute —
+/// interlock waits only; routine issue-width deferrals are not drawn
+/// (every instruction on a width-1 machine would otherwise carry one).
+fn row(record: &IssueRecord, end: u64) -> (u64, u64, u64) {
+    let span = match record.cause {
+        Some(StallCause::IssueWidth) | None => 0,
+        Some(_) => record.wait,
+    };
+    (record.issue, end, span)
+}
 
 /// Renders the execution of `n` independent instructions on `config` as an
 /// ASCII pipeline diagram.
@@ -41,7 +53,7 @@ pub fn pipeline_diagram(config: &MachineConfig, n: usize) -> String {
             control: ControlEvent::None,
         };
         let record = timing.issue(&info);
-        rows.push((record.issue, record.complete));
+        rows.push(row(&record, record.complete));
     }
     render_rows(config, &rows, "instr")
 }
@@ -79,29 +91,34 @@ pub fn vector_diagram(vector_length: u32, n: usize) -> String {
             control: ControlEvent::None,
         };
         let record = timing.issue(&info);
-        rows.push((record.issue, record.drain));
+        rows.push(row(&record, record.drain));
     }
     render_rows(&config, &rows, "vinstr")
 }
 
-fn render_rows(config: &MachineConfig, rows: &[(u64, u64)], label: &str) -> String {
-    // Fetch/decode occupy the two machine cycles before issue; shift
-    // everything so the first fetch lands at column 0.
+fn render_rows(config: &MachineConfig, rows: &[(u64, u64, u64)], label: &str) -> String {
+    // Fetch/decode occupy the two machine cycles before issue (before any
+    // interlock stall); shift everything so the first fetch lands at
+    // column 0. Stalled decode cycles render as `s`.
     let lead = 2_u64;
     let max_col = rows
         .iter()
-        .map(|&(_, complete)| complete + 1)
+        .map(|&(_, complete, _)| complete + 1)
         .max()
         .unwrap_or(0)
         + lead;
     let mut out = String::new();
     out.push_str(&format!("{}\n", config.name()));
-    for (index, &(issue, complete)) in rows.iter().enumerate() {
+    for (index, &(issue, complete, stall)) in rows.iter().enumerate() {
         let mut line = vec![b' '; (max_col + lead) as usize];
-        let fetch = issue + lead - 2;
-        let decode = issue + lead - 1;
+        let fetched = issue - stall;
+        let fetch = fetched + lead - 2;
+        let decode = fetched + lead - 1;
         line[fetch as usize] = b'F';
         line[decode as usize] = b'D';
+        for cycle in fetched..issue {
+            line[(cycle + lead) as usize] = b's';
+        }
         for cycle in issue..complete {
             line[(cycle + lead) as usize] = b'E';
         }

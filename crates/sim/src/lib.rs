@@ -16,7 +16,12 @@
 //!   unit reservation (issue latency × multiplicity, §3), store-to-load
 //!   memory interlocks, optional control latency;
 //! * [`simulate`] — runs both together and reports cycles, available
-//!   parallelism, and the class census;
+//!   parallelism, and the class census; [`simulate_with_sink`] additionally
+//!   streams one [`IssueEvent`](supersym_trace::IssueEvent) per dynamic
+//!   instruction to a [`TraceSink`](supersym_trace::TraceSink);
+//! * [`CycleAccount`] / [`StallCause`] — stall attribution: every cycle an
+//!   instruction waits is charged to exactly one cause, and
+//!   `issue + Σ stalls + drain == machine_cycles` holds exactly;
 //! * [`Cache`] / [`CacheSystem`] — the cache simulator behind the paper's
 //!   §5.1 cache-cost analysis;
 //! * [`diagram`] — renders the paper's Figure 2-1…2-8 pipeline diagrams
@@ -59,5 +64,8 @@ pub use cache::{
 pub use error::SimError;
 pub use exec::{ControlEvent, ExecOptions, Executor, StepInfo};
 pub use limits::{measure_limit, DataflowLimit, LimitOptions};
-pub use report::{simulate, simulate_with_cache, CacheReport, SimOptions, SimReport};
-pub use timing::{IssueRecord, TimingModel};
+pub use report::{
+    simulate, simulate_with_cache, simulate_with_sink, CacheReport, CriticalProducer, SimOptions,
+    SimReport,
+};
+pub use timing::{CycleAccount, IssueRecord, StallCause, TimingModel, NUM_STALL_KINDS};

@@ -3,15 +3,33 @@
 use crate::cache::{CacheConfig, CacheStats, CacheSystem};
 use crate::error::SimError;
 use crate::exec::{ExecOptions, Executor};
-use crate::timing::TimingModel;
+use crate::timing::{CycleAccount, TimingModel};
 use supersym_isa::{ClassCensus, Program};
 use supersym_machine::MachineConfig;
+use supersym_trace::{IssueEvent, TraceSink};
 
 /// Options for [`simulate`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimOptions {
     /// Functional-execution options.
     pub exec: ExecOptions,
+}
+
+/// How many critical producers a [`SimReport`] keeps.
+const MAX_PRODUCERS: usize = 16;
+
+/// A static instruction whose result latency dynamic instructions waited
+/// on (RAW or WAW), resolved to source coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalProducer {
+    /// Function name.
+    pub function: String,
+    /// Instruction index within the function.
+    pub pc: usize,
+    /// Disassembled instruction text.
+    pub instr: String,
+    /// Total instruction-cycles consumers waited on this producer.
+    pub wait_cycles: u64,
 }
 
 /// The result of simulating a program on a machine.
@@ -22,6 +40,8 @@ pub struct SimReport {
     machine_cycles: u64,
     base_cycles: f64,
     census: ClassCensus,
+    account: CycleAccount,
+    producers: Vec<CriticalProducer>,
 }
 
 impl SimReport {
@@ -53,6 +73,22 @@ impl SimReport {
     #[must_use]
     pub fn census(&self) -> &ClassCensus {
         &self.census
+    }
+
+    /// Where the machine cycles went: the stall-attribution account
+    /// (cycle view conserves exactly; wait view rolls up per class, per
+    /// functional unit, and per cause including issue width).
+    #[must_use]
+    pub fn cycle_account(&self) -> &CycleAccount {
+        &self.account
+    }
+
+    /// The static instructions whose result latency was most waited on,
+    /// sorted by descending wait cycles (at most 16 entries, zero-wait
+    /// entries dropped).
+    #[must_use]
+    pub fn critical_producers(&self) -> &[CriticalProducer] {
+        &self.producers
     }
 
     /// Instructions per base cycle. On an ideal machine of unlimited width
@@ -87,18 +123,97 @@ pub fn simulate(
     config: &MachineConfig,
     options: SimOptions,
 ) -> Result<SimReport, SimError> {
+    run_lockstep(program, config, options, None)
+}
+
+/// Runs a program on a machine description, streaming one
+/// [`IssueEvent`] per dynamic instruction to `sink`.
+///
+/// The sink-free [`simulate`] path takes the same code path with no sink
+/// attached; the difference per instruction is one branch and zero heap
+/// allocations (asserted by the `no_alloc` integration test).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from execution.
+pub fn simulate_with_sink(
+    program: &Program,
+    config: &MachineConfig,
+    options: SimOptions,
+    sink: &mut dyn TraceSink,
+) -> Result<SimReport, SimError> {
+    run_lockstep(program, config, options, Some(sink))
+}
+
+fn run_lockstep(
+    program: &Program,
+    config: &MachineConfig,
+    options: SimOptions,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<SimReport, SimError> {
     let mut exec = Executor::new(program, options.exec)?;
     let mut timing = TimingModel::new(config, options.exec.memory_words);
+    timing.track_producers(program);
     while let Some(info) = exec.step()? {
-        timing.issue(&info);
+        let record = timing.issue(&info);
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.issue(&IssueEvent {
+                func: info.func.index() as u32,
+                pc: info.pc as u64,
+                class: info.class.mnemonic(),
+                issue: record.issue,
+                complete: record.complete,
+                drain: record.drain,
+                wait: record.wait,
+                cause: record.cause.map(|cause| cause.label()),
+            });
+        }
     }
-    Ok(SimReport {
+    Ok(finish_report(program, config, &exec, &timing))
+}
+
+/// Resolves the timing model's flat producer table against the program and
+/// assembles the report.
+fn finish_report(
+    program: &Program,
+    config: &MachineConfig,
+    exec: &Executor<'_>,
+    timing: &TimingModel,
+) -> SimReport {
+    let waits = timing.producer_waits();
+    let mut producers: Vec<(usize, CriticalProducer)> = Vec::new();
+    let mut flat = 0_usize;
+    for function in program.functions() {
+        for (pc, instr) in function.instrs().iter().enumerate() {
+            let wait_cycles = waits.get(flat).copied().unwrap_or(0);
+            if wait_cycles > 0 {
+                producers.push((
+                    flat,
+                    CriticalProducer {
+                        function: function.name().to_string(),
+                        pc,
+                        instr: instr.to_string(),
+                        wait_cycles,
+                    },
+                ));
+            }
+            flat += 1;
+        }
+    }
+    // Descending by wait; static program order breaks ties, so the table
+    // is deterministic. `sort_unstable` allocates nothing.
+    producers.sort_unstable_by(|a, b| b.1.wait_cycles.cmp(&a.1.wait_cycles).then(a.0.cmp(&b.0)));
+    producers.truncate(MAX_PRODUCERS);
+    let producers: Vec<CriticalProducer> = producers.into_iter().map(|(_, p)| p).collect();
+    SimReport {
         machine: config.name().to_string(),
         instructions: timing.instructions(),
         machine_cycles: timing.machine_cycles(),
         base_cycles: timing.base_cycles(),
         census: *exec.census(),
-    })
+        account: timing.account(),
+        producers,
+    }
 }
 
 /// Cache behaviour observed during a [`simulate_with_cache`] run.
@@ -147,6 +262,7 @@ pub fn simulate_with_cache(
 
     let mut exec = Executor::new(program, options.exec)?;
     let mut timing = TimingModel::new(config, options.exec.memory_words);
+    timing.track_producers(program);
     let mut caches = CacheSystem::new(icache, dcache);
     while let Some(info) = exec.step()? {
         timing.issue(&info);
@@ -155,13 +271,7 @@ pub fn simulate_with_cache(
             caches.data(addr as u64);
         }
     }
-    let report = SimReport {
-        machine: config.name().to_string(),
-        instructions: timing.instructions(),
-        machine_cycles: timing.machine_cycles(),
-        base_cycles: timing.base_cycles(),
-        census: *exec.census(),
-    };
+    let report = finish_report(program, config, &exec, &timing);
     let cache_report = CacheReport {
         icache: caches.icache_stats(),
         dcache: caches.dcache_stats(),

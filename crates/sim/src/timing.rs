@@ -31,10 +31,102 @@
 //! hard-coded.
 
 use crate::exec::{ControlEvent, StepInfo};
-use supersym_isa::{InstrClass, Reg, NUM_CLASSES};
+use supersym_isa::{InstrClass, Program, Reg, NUM_CLASSES};
 use supersym_machine::MachineConfig;
 
 const NUM_REGS: usize = Reg::DENSE_SPACE;
+
+/// Sentinel in the writer table: this register has never been written.
+const NO_WRITER: u64 = u64::MAX;
+
+/// Why a dynamic instruction could not issue sooner.
+///
+/// Every machine cycle an instruction waits past the in-order frontier is
+/// charged to exactly one cause — the *binding* constraint, the one whose
+/// required cycle equals the final issue cycle. When several constraints
+/// tie, the earliest pipeline stage wins: control transfer, then RAW, WAW,
+/// store-to-load, functional unit, and issue width last (a width-deferred
+/// instruction always issues the very next cycle, so `IssueWidth` can bind
+/// a *wait* but never leaves a cycle empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Waiting for an operand: `reg`'s producer had not completed.
+    RawInterlock {
+        /// The operand register that was not ready.
+        reg: Reg,
+    },
+    /// Waiting to reuse a destination: the previous write of `reg` had not
+    /// completed (no renaming — §3's "artificial dependency").
+    WawInterlock {
+        /// The destination register being reused.
+        reg: Reg,
+    },
+    /// Waiting for a free copy of a functional unit (multiplicity and
+    /// issue-latency reservation, §3).
+    FuBusy {
+        /// Functional-unit index in the machine's unit list.
+        unit: usize,
+    },
+    /// Waiting for an in-flight store to the same word to drain.
+    StoreLoadConflict,
+    /// Waiting for a control transfer to resolve (imperfect prediction, or
+    /// a machine where taken branches end the issue group).
+    ControlTransfer,
+    /// The cycle's issue slots were full; deferred to the next cycle.
+    IssueWidth,
+}
+
+/// Number of [`StallCause`] kinds (payloads aside).
+pub const NUM_STALL_KINDS: usize = 6;
+
+impl StallCause {
+    /// Stable machine-readable labels, indexed by [`StallCause::index`].
+    /// These are the field names of the JSON profile schema — do not
+    /// reorder or rename without bumping `supersym.profile` schema version.
+    pub const LABELS: [&'static str; NUM_STALL_KINDS] = [
+        "raw_interlock",
+        "waw_interlock",
+        "fu_busy",
+        "store_load",
+        "control",
+        "issue_width",
+    ];
+
+    /// Human-readable names, indexed by [`StallCause::index`].
+    pub const NAMES: [&'static str; NUM_STALL_KINDS] = [
+        "RAW interlock",
+        "WAW interlock",
+        "functional unit busy",
+        "store-load conflict",
+        "control transfer",
+        "issue width",
+    ];
+
+    /// Dense index of the cause kind (payloads ignored).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            StallCause::RawInterlock { .. } => 0,
+            StallCause::WawInterlock { .. } => 1,
+            StallCause::FuBusy { .. } => 2,
+            StallCause::StoreLoadConflict => 3,
+            StallCause::ControlTransfer => 4,
+            StallCause::IssueWidth => 5,
+        }
+    }
+
+    /// The stable machine-readable label of this cause kind.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        Self::LABELS[self.index()]
+    }
+
+    /// The human-readable name of this cause kind.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self.index()]
+    }
+}
 
 /// Issue/completion times for one dynamic instruction, in machine cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +139,127 @@ pub struct IssueRecord {
     /// Machine cycle the instruction fully drained (equals `complete` for
     /// scalar instructions; `complete + vlen - 1` for vector ones).
     pub drain: u64,
+    /// Machine cycles the instruction waited past the in-order frontier
+    /// (the cycle the previous instruction issued in) before issuing.
+    pub wait: u64,
+    /// The binding constraint behind `wait`; `None` when `wait == 0`.
+    pub cause: Option<StallCause>,
+}
+
+/// Where the machine cycles of a run went.
+///
+/// Two complementary views are kept (see DESIGN.md §7):
+///
+/// * the **cycle view** partitions the timeline exactly:
+///   `issue_cycles + Σ stall_cycles + drain_cycles == machine_cycles`.
+///   A cycle in which nothing issued is charged to the binding constraint
+///   of the *next* instruction to issue; the tail after the last issue is
+///   `drain_cycles`. `IssueWidth` is provably always zero here — a
+///   width-deferred instruction issues the very next cycle.
+/// * the **wait view** sums, over dynamic instructions, how many cycles
+///   each waited past the in-order frontier (instruction-cycles, so
+///   overlapping waits count once per waiter). This is where `IssueWidth`
+///   pressure, the per-class rollup, and the per-unit rollup live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleAccount {
+    machine_cycles: u64,
+    issue_cycles: u64,
+    stall_cycles: [u64; NUM_STALL_KINDS],
+    drain_cycles: u64,
+    wait_cycles: [u64; NUM_STALL_KINDS],
+    class_waits: [u64; NUM_CLASSES],
+    fu_names: Vec<String>,
+    fu_waits: Vec<u64>,
+}
+
+impl CycleAccount {
+    /// Total machine cycles the account covers.
+    #[must_use]
+    pub fn machine_cycles(&self) -> u64 {
+        self.machine_cycles
+    }
+
+    /// Machine cycles in which at least one instruction issued.
+    #[must_use]
+    pub fn issue_cycles(&self) -> u64 {
+        self.issue_cycles
+    }
+
+    /// Empty machine cycles charged to `cause_index` (cycle view; index as
+    /// in [`StallCause::index`]).
+    #[must_use]
+    pub fn stall_cycles(&self, cause_index: usize) -> u64 {
+        self.stall_cycles[cause_index]
+    }
+
+    /// Sum of all attributed empty cycles (cycle view, drain excluded).
+    #[must_use]
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+
+    /// Machine cycles after the last issue while results drained.
+    #[must_use]
+    pub fn drain_cycles(&self) -> u64 {
+        self.drain_cycles
+    }
+
+    /// Instruction-cycles waited on `cause_index` (wait view).
+    #[must_use]
+    pub fn wait_cycles(&self, cause_index: usize) -> u64 {
+        self.wait_cycles[cause_index]
+    }
+
+    /// Sum of all instruction-cycles waited (wait view).
+    #[must_use]
+    pub fn total_wait_cycles(&self) -> u64 {
+        self.wait_cycles.iter().sum()
+    }
+
+    /// Instruction-cycles instructions of `class` spent waiting.
+    #[must_use]
+    pub fn class_wait_cycles(&self, class: InstrClass) -> u64 {
+        self.class_waits[class.index()]
+    }
+
+    /// Per-functional-unit `(name, instruction-cycles waited on FuBusy)`.
+    pub fn fu_wait_cycles(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.fu_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.fu_waits.iter().copied())
+    }
+
+    /// The conservation invariant: the cycle view partitions the timeline.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.issue_cycles + self.total_stall_cycles() + self.drain_cycles == self.machine_cycles
+    }
+
+    /// Folds another account into this one (summing both views). Meant for
+    /// aggregating runs on the *same machine*: the functional-unit tables
+    /// must line up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two accounts describe machines with different
+    /// functional-unit lists.
+    pub fn merge(&mut self, other: &CycleAccount) {
+        assert_eq!(self.fu_names, other.fu_names, "merging across machines");
+        self.machine_cycles += other.machine_cycles;
+        self.issue_cycles += other.issue_cycles;
+        self.drain_cycles += other.drain_cycles;
+        for i in 0..NUM_STALL_KINDS {
+            self.stall_cycles[i] += other.stall_cycles[i];
+            self.wait_cycles[i] += other.wait_cycles[i];
+        }
+        for i in 0..NUM_CLASSES {
+            self.class_waits[i] += other.class_waits[i];
+        }
+        for i in 0..self.fu_waits.len() {
+            self.fu_waits[i] += other.fu_waits[i];
+        }
+    }
 }
 
 /// The pipeline timing model. Feed it the [`StepInfo`] stream produced by an
@@ -68,6 +281,23 @@ pub struct TimingModel {
     control_stall_until: u64,
     last_completion: u64,
     instructions: u64,
+    // --- cycle accounting (all fixed-size or sized once at construction;
+    // --- the issue hot path never allocates) ---
+    issue_cycles: u64,
+    stall_cycles: [u64; NUM_STALL_KINDS],
+    wait_cycles: [u64; NUM_STALL_KINDS],
+    class_waits: [u64; NUM_CLASSES],
+    fu_names: Vec<String>,
+    fu_waits: Vec<u64>,
+    /// Last writer of each register, packed `(func << 32) | pc`, or
+    /// [`NO_WRITER`]. Feeds the critical-producer table.
+    reg_writer: [u64; NUM_REGS],
+    /// Static-instruction base offset per function; empty when producer
+    /// tracking is off.
+    producer_bases: Vec<u64>,
+    /// Wait cycles charged to each static instruction (flat, indexed by
+    /// `producer_bases[func] + pc`); empty when producer tracking is off.
+    producer_waits: Vec<u64>,
 }
 
 impl TimingModel {
@@ -86,11 +316,17 @@ impl TimingModel {
             .iter()
             .map(|fu| u64::from(fu.issue_latency()))
             .collect();
-        let fu_slots = config
+        let fu_slots: Vec<Vec<u64>> = config
             .functional_units()
             .iter()
             .map(|fu| vec![0_u64; fu.multiplicity() as usize])
             .collect();
+        let fu_names: Vec<String> = config
+            .functional_units()
+            .iter()
+            .map(|fu| fu.name().to_string())
+            .collect();
+        let fu_waits = vec![0_u64; fu_names.len()];
         TimingModel {
             width: config.issue_width(),
             pipe_degree: config.pipe_degree(),
@@ -107,7 +343,31 @@ impl TimingModel {
             control_stall_until: 0,
             last_completion: 0,
             instructions: 0,
+            issue_cycles: 0,
+            stall_cycles: [0; NUM_STALL_KINDS],
+            wait_cycles: [0; NUM_STALL_KINDS],
+            class_waits: [0; NUM_CLASSES],
+            fu_names,
+            fu_waits,
+            reg_writer: [NO_WRITER; NUM_REGS],
+            producer_bases: Vec::new(),
+            producer_waits: Vec::new(),
         }
+    }
+
+    /// Enables the critical-producer table for `program`: RAW/WAW wait
+    /// cycles are charged to the static instruction whose latency was
+    /// waited on. Allocates once (one slot per static instruction); the
+    /// per-issue cost is a couple of array writes.
+    pub fn track_producers(&mut self, program: &Program) {
+        let mut bases = Vec::with_capacity(program.functions().len());
+        let mut next = 0_u64;
+        for function in program.functions() {
+            bases.push(next);
+            next += function.instrs().len() as u64;
+        }
+        self.producer_bases = bases;
+        self.producer_waits = vec![0; next as usize];
     }
 
     /// Issues one dynamic instruction, returning its issue and completion
@@ -115,23 +375,28 @@ impl TimingModel {
     pub fn issue(&mut self, info: &StepInfo) -> IssueRecord {
         let class_index = info.class.index();
 
-        // In-order issue: never before the previous instruction's cycle, nor
-        // before an outstanding control transfer allows fetch to resume.
-        let mut t = self.cur_cycle.max(self.control_stall_until);
+        // Each constraint's required cycle is computed separately so the
+        // binding one — the constraint whose requirement equals the final
+        // issue cycle — can be identified for stall attribution.
 
-        // RAW: all operands ready.
+        // RAW: all operands ready. Remember the latest-ready operand.
+        let mut raw_ready = 0_u64;
+        let mut raw_reg: Option<Reg> = None;
         for reg in info.uses.iter() {
-            t = t.max(self.reg_ready[reg.dense_index()]);
+            let ready = self.reg_ready[reg.dense_index()];
+            if ready > raw_ready {
+                raw_ready = ready;
+                raw_reg = Some(reg);
+            }
         }
         // Conservative WAW: previous write to the destination completed.
-        if let Some(def) = info.def {
-            t = t.max(self.reg_ready[def.dense_index()]);
-        }
+        let waw_ready = info.def.map_or(0, |def| self.reg_ready[def.dense_index()]);
         // Store-to-load (and store-to-store) interlocks on the actual words.
+        let mut mem_ready_at = 0_u64;
         if let Some((addr, _)) = info.mem {
             let span = (info.vlen.max(1)) as usize;
             for a in addr..(addr + span).min(self.mem_ready.len()) {
-                t = t.max(self.mem_ready[a]);
+                mem_ready_at = mem_ready_at.max(self.mem_ready[a]);
             }
         }
 
@@ -149,14 +414,78 @@ impl TimingModel {
             .enumerate()
             .min_by_key(|&(_, free)| free)
             .expect("functional units have multiplicity >= 1");
-        t = t.max(slot_free);
 
-        // Issue-width limit for the chosen cycle.
+        // In-order issue: never before the previous instruction's cycle,
+        // nor before an outstanding control transfer allows fetch to
+        // resume, nor before every constraint above is satisfied.
+        let mut t = self
+            .cur_cycle
+            .max(self.control_stall_until)
+            .max(raw_ready)
+            .max(waw_ready)
+            .max(mem_ready_at)
+            .max(slot_free);
+
+        // The binding constraint: whichever required exactly the final
+        // cycle. Ties break toward the earlier pipeline stage (control
+        // first, functional unit last) so attribution is deterministic.
+        let mut cause = if t > self.cur_cycle {
+            Some(if self.control_stall_until == t {
+                StallCause::ControlTransfer
+            } else if raw_ready == t {
+                StallCause::RawInterlock {
+                    reg: raw_reg.expect("a binding RAW interlock names its operand"),
+                }
+            } else if waw_ready == t {
+                StallCause::WawInterlock {
+                    reg: info.def.expect("a binding WAW interlock names its def"),
+                }
+            } else if mem_ready_at == t {
+                StallCause::StoreLoadConflict
+            } else {
+                StallCause::FuBusy { unit: fu }
+            })
+        } else {
+            None
+        };
+
+        // Issue-width limit for the chosen cycle. A width deferral moves
+        // the instruction exactly one cycle, into a cycle where it *does*
+        // issue — so `IssueWidth` never produces an empty cycle.
         if t == self.cur_cycle && self.issued_in_cycle >= self.width {
             t += 1;
+            cause = Some(StallCause::IssueWidth);
+        }
+
+        // Cycle view: machine cycles that passed with no issue at all are
+        // charged to this instruction's binding constraint.
+        let empty_cycles = if self.instructions == 0 {
+            t
+        } else {
+            t.saturating_sub(self.cur_cycle + 1)
+        };
+        // Wait view: cycles *this instruction* waited past the frontier.
+        let wait = t - self.cur_cycle;
+        if let Some(cause) = cause {
+            self.stall_cycles[cause.index()] += empty_cycles;
+            self.wait_cycles[cause.index()] += wait;
+            self.class_waits[class_index] += wait;
+            match cause {
+                StallCause::FuBusy { unit } => self.fu_waits[unit] += wait,
+                StallCause::RawInterlock { reg } | StallCause::WawInterlock { reg } => {
+                    self.charge_producer(reg, wait);
+                }
+                _ => {}
+            }
+        } else {
+            debug_assert_eq!(empty_cycles, 0);
+            debug_assert_eq!(wait, 0);
         }
 
         // Commit the issue.
+        if t > self.cur_cycle || self.instructions == 0 {
+            self.issue_cycles += 1;
+        }
         if t > self.cur_cycle {
             self.cur_cycle = t;
             self.issued_in_cycle = 1;
@@ -179,6 +508,8 @@ impl TimingModel {
                 drain
             };
             self.reg_ready[def.dense_index()] = ready;
+            self.reg_writer[def.dense_index()] =
+                (u64::from(info.func.index() as u32) << 32) | info.pc as u64;
         }
         if let Some((addr, is_store)) = info.mem {
             let span = (info.vlen.max(1)) as usize;
@@ -210,6 +541,28 @@ impl TimingModel {
             issue: t,
             complete,
             drain,
+            wait,
+            cause,
+        }
+    }
+
+    /// Charges `wait` cycles to the static instruction that last wrote
+    /// `reg` (no-op when producer tracking is off or the register was
+    /// live-in).
+    fn charge_producer(&mut self, reg: Reg, wait: u64) {
+        if self.producer_bases.is_empty() {
+            return;
+        }
+        let packed = self.reg_writer[reg.dense_index()];
+        if packed == NO_WRITER {
+            return;
+        }
+        let func = (packed >> 32) as usize;
+        let pc = packed & 0xFFFF_FFFF;
+        if let Some(base) = self.producer_bases.get(func) {
+            if let Some(slot) = self.producer_waits.get_mut((base + pc) as usize) {
+                *slot += wait;
+            }
         }
     }
 
@@ -230,6 +583,36 @@ impl TimingModel {
     #[must_use]
     pub fn base_cycles(&self) -> f64 {
         self.last_completion as f64 / f64::from(self.pipe_degree)
+    }
+
+    /// The cycle account so far. The drain tail is computed here (cycles
+    /// after the last issue until the last completion), which is what makes
+    /// the account conserve: `issue + Σ stalls + drain == machine_cycles`.
+    #[must_use]
+    pub fn account(&self) -> CycleAccount {
+        let drain_cycles = if self.instructions == 0 {
+            0
+        } else {
+            self.last_completion.saturating_sub(self.cur_cycle + 1)
+        };
+        CycleAccount {
+            machine_cycles: self.last_completion,
+            issue_cycles: self.issue_cycles,
+            stall_cycles: self.stall_cycles,
+            drain_cycles,
+            wait_cycles: self.wait_cycles,
+            class_waits: self.class_waits,
+            fu_names: self.fu_names.clone(),
+            fu_waits: self.fu_waits.clone(),
+        }
+    }
+
+    /// Wait cycles charged to each static instruction, flat across
+    /// functions in program order (empty unless
+    /// [`track_producers`](Self::track_producers) was called).
+    #[must_use]
+    pub fn producer_waits(&self) -> &[u64] {
+        &self.producer_waits
     }
 }
 
@@ -481,5 +864,280 @@ mod tests {
         let (_, w2) = run(&program, &presets::ideal_superscalar(2));
         let (_, w4) = run(&program, &presets::ideal_superscalar(4));
         assert!(w2 > w4 * 1.5, "w2 {w2} w4 {w4}");
+    }
+
+    // -----------------------------------------------------------------------
+    // Cycle accounting
+    // -----------------------------------------------------------------------
+
+    fn account_for(
+        program: &supersym_isa::Program,
+        config: &MachineConfig,
+    ) -> (CycleAccount, Vec<IssueRecord>) {
+        let options = ExecOptions {
+            memory_words: 1024,
+            ..Default::default()
+        };
+        let mut exec = Executor::new(program, options).unwrap();
+        let mut timing = TimingModel::new(config, options.memory_words);
+        timing.track_producers(program);
+        let mut records = Vec::new();
+        while let Some(info) = exec.step().unwrap() {
+            records.push(timing.issue(&info));
+        }
+        (timing.account(), records)
+    }
+
+    #[test]
+    fn base_machine_account_is_all_issue() {
+        // 11 instructions, one per cycle, unit latencies: 11 issue cycles,
+        // no stalls, no drain tail.
+        let program = independent_adds(10);
+        let (account, _) = account_for(&program, &presets::base());
+        assert_eq!(account.machine_cycles(), 11);
+        assert_eq!(account.issue_cycles(), 11);
+        assert_eq!(account.total_stall_cycles(), 0);
+        assert_eq!(account.drain_cycles(), 0);
+        assert!(account.conserved());
+        // Wait view: every instruction after the first defers exactly one
+        // cycle (FU reservation on the adds' shared unit, issue width on
+        // the halt) even though no cycle is empty.
+        assert_eq!(account.total_wait_cycles(), 10);
+        assert_eq!(
+            account.total_wait_cycles(),
+            account.wait_cycles(StallCause::FuBusy { unit: 0 }.index())
+                + account.wait_cycles(StallCause::IssueWidth.index())
+        );
+    }
+
+    #[test]
+    fn dependent_chain_charges_raw_interlocks() {
+        let program = dependent_chain(10);
+        let config = presets::ideal_superscalar(8);
+        let (account, records) = account_for(&program, &config);
+        assert!(account.conserved());
+        // Every add waits on its predecessor... but with unit latencies the
+        // result is ready next cycle, so waits are width-free RAW slack of
+        // zero — use a latency machine instead for nonzero waits.
+        let slow = MachineConfig::builder("slow-alu")
+            .issue_width(8)
+            .latency(InstrClass::IntAdd, 4)
+            .build()
+            .unwrap();
+        let (slow_account, slow_records) = account_for(&program, &slow);
+        assert!(slow_account.conserved());
+        assert!(
+            slow_account.stall_cycles(
+                StallCause::RawInterlock {
+                    reg: Reg::Int(r(1))
+                }
+                .index()
+            ) > slow_account.total_stall_cycles() / 2,
+            "a serial chain on a latency machine is RAW-bound: {slow_account:?}"
+        );
+        // The chain's waits name the chained register as the cause.
+        let raw_waits = slow_records
+            .iter()
+            .filter(|record| {
+                matches!(record.cause, Some(StallCause::RawInterlock { reg }) if reg == Reg::Int(r(1)))
+            })
+            .count();
+        assert!(raw_waits >= 9, "raw_waits {raw_waits}");
+        let _ = records;
+    }
+
+    #[test]
+    fn fu_reservation_charges_fu_busy() {
+        let program = independent_adds(20);
+        let (account, _) = account_for(&program, &presets::underpipelined_half_issue());
+        assert!(account.conserved());
+        let fu_busy = account.stall_cycles(StallCause::FuBusy { unit: 0 }.index());
+        assert!(
+            fu_busy >= 19,
+            "every other cycle is an FU-reservation stall: {account:?}"
+        );
+        // The per-unit rollup sees the same pressure on the single unit.
+        let (name, waited) = account.fu_wait_cycles().next().unwrap();
+        assert_eq!(name, "universal");
+        assert!(waited >= 19);
+    }
+
+    #[test]
+    fn drain_tail_is_accounted() {
+        // A single latency-5 instruction: one issue cycle, four drain.
+        let config = MachineConfig::builder("slow")
+            .latency(InstrClass::IntAdd, 5)
+            .build()
+            .unwrap();
+        let mut timing = TimingModel::new(&config, 16);
+        let info = StepInfo {
+            func: supersym_isa::FuncId::new(0),
+            pc: 0,
+            class: InstrClass::IntAdd,
+            uses: Default::default(),
+            def: Some(Reg::Int(r(1))),
+            mem: None,
+            vlen: 0,
+            control: ControlEvent::None,
+        };
+        timing.issue(&info);
+        let account = timing.account();
+        assert_eq!(account.machine_cycles(), 5);
+        assert_eq!(account.issue_cycles(), 1);
+        assert_eq!(account.drain_cycles(), 4);
+        assert!(account.conserved());
+    }
+
+    #[test]
+    fn store_load_conflicts_are_attributed() {
+        let mut asm = AsmBuilder::new("main");
+        asm.movi(r(1), 7);
+        asm.store(r(1), IntReg::GP, 0);
+        asm.load(r(2), IntReg::GP, 0);
+        asm.halt();
+        let program = asm.finish_program();
+        let slow_store = MachineConfig::builder("slow-store")
+            .issue_width(4)
+            .latency(InstrClass::Store, 6)
+            .build()
+            .unwrap();
+        let (account, _) = account_for(&program, &slow_store);
+        assert!(account.conserved());
+        assert!(
+            account.stall_cycles(StallCause::StoreLoadConflict.index()) >= 4,
+            "the load waits out the store: {account:?}"
+        );
+    }
+
+    #[test]
+    fn control_transfers_are_attributed() {
+        let mut asm = AsmBuilder::new("main");
+        let top = asm.new_label();
+        asm.movi(r(1), 10);
+        asm.bind(top);
+        asm.sub(r(1), r(1), 1.into());
+        asm.cmp_gt(r(2), r(1), 0.into());
+        asm.br_true(r(2), top);
+        asm.halt();
+        let program = asm.finish_program();
+        let imperfect = MachineConfig::builder("no-prediction")
+            .issue_width(4)
+            .perfect_branch_prediction(false)
+            .latency(InstrClass::Branch, 3)
+            .build()
+            .unwrap();
+        let (account, _) = account_for(&program, &imperfect);
+        assert!(account.conserved());
+        assert!(
+            account.stall_cycles(StallCause::ControlTransfer.index()) >= 18,
+            "taken branches stall fetch: {account:?}"
+        );
+    }
+
+    #[test]
+    fn issue_width_never_empties_a_cycle() {
+        // Cycle view: width stalls are provably zero; the pressure shows in
+        // the wait view instead.
+        let program = independent_adds(64);
+        for width in [1, 2, 4] {
+            let (account, _) = account_for(&program, &presets::ideal_superscalar(width));
+            assert_eq!(account.stall_cycles(StallCause::IssueWidth.index()), 0);
+            assert!(account.conserved());
+        }
+    }
+
+    #[test]
+    fn critical_producers_identify_the_latency_source() {
+        // movi writes r1 with a big latency; the consumer waits on it.
+        let mut asm = AsmBuilder::new("main");
+        asm.movi(r(1), 3);
+        asm.add(r(2), r(1), 1.into());
+        asm.halt();
+        let program = asm.finish_program();
+        let slow = MachineConfig::builder("slow-alu")
+            .issue_width(4)
+            .latency(InstrClass::IntAdd, 7)
+            .build()
+            .unwrap();
+        let options = ExecOptions {
+            memory_words: 64,
+            ..Default::default()
+        };
+        let mut exec = Executor::new(&program, options).unwrap();
+        let mut timing = TimingModel::new(&slow, options.memory_words);
+        timing.track_producers(&program);
+        while let Some(info) = exec.step().unwrap() {
+            timing.issue(&info);
+        }
+        let waits = timing.producer_waits();
+        assert_eq!(waits.len(), 3);
+        assert!(
+            waits[0] >= 6,
+            "the movi is the critical producer: {waits:?}"
+        );
+        assert_eq!(waits[1], 0);
+        assert_eq!(waits[2], 0);
+    }
+
+    #[test]
+    fn class_waits_follow_the_waiting_class() {
+        let program = dependent_chain(8);
+        let slow = MachineConfig::builder("slow-alu")
+            .issue_width(8)
+            .latency(InstrClass::IntAdd, 4)
+            .build()
+            .unwrap();
+        let (account, _) = account_for(&program, &slow);
+        assert!(account.class_wait_cycles(InstrClass::IntAdd) > 0);
+        assert_eq!(account.class_wait_cycles(InstrClass::FpMul), 0);
+    }
+
+    #[test]
+    fn vector_streams_conserve() {
+        use supersym_isa::{FpOp, Instr, VecReg};
+        let config = presets::cray1();
+        let mut timing = TimingModel::new(&config, 256);
+        for i in 0..6_u8 {
+            let instr = Instr::VOp {
+                op: FpOp::FAdd,
+                dst: VecReg::new_unchecked(i % 4 + 1),
+                lhs: VecReg::new_unchecked(i % 4),
+                rhs: VecReg::new_unchecked(i % 4),
+            };
+            let info = StepInfo {
+                func: supersym_isa::FuncId::new(0),
+                pc: i as usize,
+                class: InstrClass::FpAdd,
+                uses: instr.uses(),
+                def: instr.def(),
+                mem: None,
+                vlen: 16,
+                control: ControlEvent::None,
+            };
+            timing.issue(&info);
+        }
+        let account = timing.account();
+        assert!(account.conserved(), "{account:?}");
+        assert!(
+            account.total_stall_cycles() > 0,
+            "vector FU occupancy stalls"
+        );
+    }
+
+    #[test]
+    fn account_merge_sums_both_views() {
+        let program = dependent_chain(10);
+        let slow = MachineConfig::builder("slow-alu")
+            .issue_width(8)
+            .latency(InstrClass::IntAdd, 4)
+            .build()
+            .unwrap();
+        let (one, _) = account_for(&program, &slow);
+        let mut merged = one.clone();
+        merged.merge(&one);
+        assert_eq!(merged.machine_cycles(), 2 * one.machine_cycles());
+        assert_eq!(merged.issue_cycles(), 2 * one.issue_cycles());
+        assert_eq!(merged.total_wait_cycles(), 2 * one.total_wait_cycles());
+        assert!(merged.conserved());
     }
 }

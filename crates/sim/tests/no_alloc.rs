@@ -1,0 +1,91 @@
+//! The hot simulation loop must not allocate per dynamic instruction.
+//!
+//! Strategy: install a counting global allocator, then simulate two
+//! programs that are *statically identical* — they differ only in a loop
+//! trip-count immediate — so every allocation on the per-run path
+//! (executor state, timing tables, report assembly) is the same for both.
+//! If the per-instruction path allocated anything, the run that executes
+//! ~100× more dynamic instructions would allocate more. The counts must be
+//! exactly equal.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use supersym_isa::{AsmBuilder, IntReg, Program};
+use supersym_machine::presets;
+use supersym_sim::{simulate, SimOptions};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counted_loop(iters: i64) -> Program {
+    let mut asm = AsmBuilder::new("main");
+    let r = |i: u8| IntReg::new(i).unwrap();
+    let top = asm.new_label();
+    asm.movi(r(1), iters);
+    asm.movi(r(3), 0);
+    asm.bind(top);
+    asm.add(r(3), r(3), 2.into());
+    asm.sub(r(1), r(1), 1.into());
+    asm.cmp_gt(r(2), r(1), 0.into());
+    asm.br_true(r(2), top);
+    asm.halt();
+    asm.finish_program()
+}
+
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let value = f();
+    (value, ALLOCATIONS.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn simulate_allocates_nothing_per_instruction() {
+    let short = counted_loop(10);
+    let long = counted_loop(1000);
+    let config = presets::ideal_superscalar(4);
+
+    // Warm up once so lazy one-time initialization doesn't skew the counts.
+    simulate(&short, &config, SimOptions::default()).unwrap();
+
+    let (report_short, allocs_short) =
+        allocations_during(|| simulate(&short, &config, SimOptions::default()).unwrap());
+    let (report_long, allocs_long) =
+        allocations_during(|| simulate(&long, &config, SimOptions::default()).unwrap());
+
+    // Sanity: the long run really does ~100× the dynamic work.
+    assert!(report_long.instructions() > 50 * report_short.instructions());
+    // Both reports see a conserved cycle account.
+    assert!(report_short.cycle_account().conserved());
+    assert!(report_long.cycle_account().conserved());
+
+    assert_eq!(
+        allocs_short,
+        allocs_long,
+        "simulate allocated per dynamic instruction: \
+         {allocs_short} allocations for {} instructions vs \
+         {allocs_long} for {}",
+        report_short.instructions(),
+        report_long.instructions(),
+    );
+}

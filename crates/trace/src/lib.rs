@@ -1,0 +1,48 @@
+//! # supersym-trace
+//!
+//! The observability layer of the supersym system: structured telemetry
+//! events, the sinks that consume them, and a dependency-free JSON writer.
+//!
+//! The paper's central question is *where the parallelism goes* — why
+//! measured ILP saturates near 2–3 despite wider issue and deeper pipes.
+//! Answering it needs more than aggregate cycle counts, so the simulator's
+//! timing model attributes every waited cycle to a cause and the compiler
+//! reports per-phase telemetry. This crate defines the shared vocabulary:
+//!
+//! * [`TraceSink`] — the consumer trait. Producers take `&mut dyn
+//!   TraceSink` (or run sink-free at zero cost); there is no global state.
+//! * [`PhaseRecord`] / [`IssueEvent`] — the two event kinds: compile phases
+//!   with wall time and counters, and per-dynamic-instruction issue records
+//!   with stall attribution.
+//! * [`NullSink`] / [`MemorySink`] / [`JsonLinesSink`] — discard, collect,
+//!   or stream as JSON lines.
+//! * [`JsonValue`] / [`JsonObject`] — a small ordered JSON document model
+//!   (the workspace builds offline; no serde), used both for the JSON-lines
+//!   stream and for `titalc profile --json`.
+//!
+//! Dependency direction: this crate is a leaf — `supersym-sim` and
+//! `supersym` (core) depend on it, never the reverse.
+//!
+//! ## Example
+//!
+//! ```
+//! use supersym_trace::{IssueEvent, JsonLinesSink, PhaseRecord, TraceSink};
+//!
+//! let mut sink = JsonLinesSink::new(Vec::new());
+//! sink.phase(&PhaseRecord { name: "parse", wall_ns: 1800, counters: &[("functions", 2)] });
+//! sink.issue(&IssueEvent {
+//!     func: 0, pc: 0, class: "add/sub",
+//!     issue: 0, complete: 1, drain: 1, wait: 0, cause: None,
+//! });
+//! let text = String::from_utf8(sink.finish()?)?;
+//! assert_eq!(text.lines().count(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod json;
+mod sink;
+
+pub use json::{escape_into, JsonObject, JsonValue};
+pub use sink::{
+    IssueEvent, JsonLinesSink, MemorySink, NullSink, OwnedPhase, PhaseRecord, TraceSink,
+};

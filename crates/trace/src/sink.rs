@@ -1,0 +1,278 @@
+//! Trace sinks: where telemetry events go.
+//!
+//! A [`TraceSink`] is handed *by the caller* to the compiler
+//! (`compile_with_trace`) and the simulator (`simulate_with_sink`) — there
+//! is no global state, no registration, and a `None` sink costs the
+//! producers nothing but a branch. Two event kinds cover the pipeline:
+//!
+//! * [`PhaseRecord`] — one per compile phase: wall time plus a small set of
+//!   named counters (IR sizes, dependence-edge counts, scheduler decisions);
+//! * [`IssueEvent`] — one per dynamic instruction: issue/complete/drain
+//!   cycles, how long it waited, and the stall cause that bound it.
+
+use crate::json::{JsonObject, JsonValue};
+use std::io::{self, Write};
+
+/// One compile phase, reported after the phase finishes.
+///
+/// Borrowed so producers can report from stack data without allocating;
+/// sinks that need ownership copy what they keep.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseRecord<'a> {
+    /// Phase name (`"parse"`, `"schedule"`, …).
+    pub name: &'a str,
+    /// Wall-clock time the phase took, in nanoseconds.
+    pub wall_ns: u128,
+    /// Named counters: IR sizes, edge counts, decision tallies.
+    pub counters: &'a [(&'a str, u64)],
+}
+
+/// One dynamic instruction's trip through the pipeline timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueEvent {
+    /// Function index of the static instruction.
+    pub func: u32,
+    /// Instruction index within the function.
+    pub pc: u64,
+    /// Instruction-class mnemonic (`"load"`, `"fpadd"`, …).
+    pub class: &'static str,
+    /// Machine cycle the instruction issued in.
+    pub issue: u64,
+    /// Machine cycle its (first) result became available.
+    pub complete: u64,
+    /// Machine cycle it fully drained (vector tail included).
+    pub drain: u64,
+    /// Machine cycles it waited past the in-order frontier before issuing.
+    pub wait: u64,
+    /// Stall-cause label that bound the wait (`None` when `wait == 0`).
+    pub cause: Option<&'static str>,
+}
+
+/// A telemetry consumer. All methods default to no-ops so sinks implement
+/// only what they care about.
+pub trait TraceSink {
+    /// A compile phase finished.
+    fn phase(&mut self, record: &PhaseRecord<'_>) {
+        let _ = record;
+    }
+
+    /// A dynamic instruction issued.
+    fn issue(&mut self, event: &IssueEvent) {
+        let _ = event;
+    }
+}
+
+/// Discards everything (useful as an explicit "no telemetry" argument).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// An owned copy of a [`PhaseRecord`], as stored by [`MemorySink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedPhase {
+    /// Phase name.
+    pub name: String,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u128,
+    /// Named counters.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Records every event in memory — the sink behind `titalc profile` and the
+/// unit tests.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    /// Compile phases, in order.
+    pub phases: Vec<OwnedPhase>,
+    /// Issue events, in order. Beware: one entry per *dynamic* instruction.
+    pub issues: Vec<IssueEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn phase(&mut self, record: &PhaseRecord<'_>) {
+        self.phases.push(OwnedPhase {
+            name: record.name.to_string(),
+            wall_ns: record.wall_ns,
+            counters: record
+                .counters
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+    }
+
+    fn issue(&mut self, event: &IssueEvent) {
+        self.issues.push(*event);
+    }
+}
+
+/// Streams events as JSON lines (one object per line) to any writer — the
+/// sink behind `titalc --trace <file>`. Write errors are sticky: the first
+/// one is kept and the sink goes quiet, so the hot path needs no `Result`.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer (hand it a `BufWriter` for file output).
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out, error: None }
+    }
+
+    /// Flushes and returns the writer, or the first write error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the sink swallowed while streaming.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn write_value(&mut self, value: &JsonValue) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = writeln!(self.out, "{value}") {
+            self.error = Some(error);
+        }
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn phase(&mut self, record: &PhaseRecord<'_>) {
+        let counters = record
+            .counters
+            .iter()
+            .map(|&(k, v)| (k.to_string(), JsonValue::UInt(v)))
+            .collect();
+        let value = JsonObject::new()
+            .field("event", JsonValue::str("phase"))
+            .field("name", JsonValue::str(record.name))
+            .field("wall_ns", JsonValue::UInt(clamp_u128(record.wall_ns)))
+            .field("counters", JsonValue::Object(counters))
+            .build();
+        self.write_value(&value);
+    }
+
+    fn issue(&mut self, event: &IssueEvent) {
+        let cause = match event.cause {
+            Some(label) => JsonValue::str(label),
+            None => JsonValue::Null,
+        };
+        let value = JsonObject::new()
+            .field("event", JsonValue::str("issue"))
+            .field("func", JsonValue::UInt(u64::from(event.func)))
+            .field("pc", JsonValue::UInt(event.pc))
+            .field("class", JsonValue::str(event.class))
+            .field("issue", JsonValue::UInt(event.issue))
+            .field("complete", JsonValue::UInt(event.complete))
+            .field("drain", JsonValue::UInt(event.drain))
+            .field("wait", JsonValue::UInt(event.wait))
+            .field("cause", cause)
+            .build();
+        self.write_value(&value);
+    }
+}
+
+fn clamp_u128(n: u128) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_issue() -> IssueEvent {
+        IssueEvent {
+            func: 0,
+            pc: 3,
+            class: "load",
+            issue: 7,
+            complete: 9,
+            drain: 9,
+            wait: 2,
+            cause: Some("raw_interlock"),
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_both_event_kinds() {
+        let mut sink = MemorySink::new();
+        sink.phase(&PhaseRecord {
+            name: "parse",
+            wall_ns: 1234,
+            counters: &[("functions", 3)],
+        });
+        sink.issue(&sample_issue());
+        assert_eq!(sink.phases.len(), 1);
+        assert_eq!(sink.phases[0].name, "parse");
+        assert_eq!(sink.phases[0].counters, vec![("functions".to_string(), 3)]);
+        assert_eq!(sink.issues, vec![sample_issue()]);
+    }
+
+    #[test]
+    fn json_lines_sink_emits_one_object_per_line() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.phase(&PhaseRecord {
+            name: "schedule",
+            wall_ns: 10,
+            counters: &[("regions", 4)],
+        });
+        sink.issue(&sample_issue());
+        let bytes = sink.finish().expect("no write errors");
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"event":"phase","name":"schedule","wall_ns":10,"counters":{"regions":4}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"event":"issue","func":0,"pc":3,"class":"load","issue":7,"complete":9,"drain":9,"wait":2,"cause":"raw_interlock"}"#
+        );
+    }
+
+    #[test]
+    fn json_lines_sink_reports_write_errors_at_finish() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonLinesSink::new(Failing);
+        sink.issue(&sample_issue());
+        sink.issue(&sample_issue()); // goes quiet after the first error
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        sink.phase(&PhaseRecord {
+            name: "x",
+            wall_ns: 0,
+            counters: &[],
+        });
+        sink.issue(&sample_issue());
+    }
+}

@@ -39,4 +39,5 @@ fn main() {
     println!("{}", exp::vector_equivalence());
     println!("{}", exp::complexity_tax(size));
     println!("{}", exp::limit_study(size));
+    println!("{}", exp::stall_breakdown(size));
 }

@@ -1,0 +1,14 @@
+//! Where the cycles go: the suite's cycle account aggregated per paper
+//! preset — every machine cycle charged to issue, one stall cause, or
+//! pipeline drain, plus the dominant per-instruction wait cause.
+//!
+//! ```text
+//! cargo run --release -p supersym --example stall_breakdown
+//! ```
+
+use supersym::experiments;
+use supersym::workloads::Size;
+
+fn main() {
+    println!("{}", experiments::stall_breakdown(Size::Standard));
+}

@@ -195,6 +195,118 @@ fn conservative_oracle_compiles_and_runs() {
 }
 
 // ---------------------------------------------------------------------------
+// titalc profile
+// ---------------------------------------------------------------------------
+
+/// Pins every varying field of a profile report: `wall_ns` values (timing)
+/// are zeroed and the `source` path (absolute under the test harness) is
+/// replaced with the repo-relative fixture path. Everything else in the
+/// document is deterministic and must match the golden byte for byte.
+fn normalize_profile(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        if let Some(pos) = line.find("\"wall_ns\": ") {
+            let head = &line[..pos + "\"wall_ns\": ".len()];
+            let rest = &line[pos + "\"wall_ns\": ".len()..];
+            let tail = rest.trim_start_matches(|c: char| c.is_ascii_digit());
+            out.push_str(head);
+            out.push('0');
+            out.push_str(tail);
+        } else if line.trim_start().starts_with("\"source\": ") {
+            let indent: String = line.chars().take_while(|c| c.is_whitespace()).collect();
+            out.push_str(&indent);
+            out.push_str("\"source\": \"tests/fixtures/profile.tital\",");
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn profile_json_matches_golden() {
+    // --verify pins the phase list: without it the list would differ
+    // between debug (verify on) and release (verify off) test builds.
+    let output = titalc()
+        .args(["profile", "--json", "--verify", "-m", "multititan"])
+        .arg(fixture("profile.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "profile --json failed: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let golden = std::fs::read_to_string(fixture("profile.json")).expect("golden exists");
+    let got = normalize_profile(&stdout(&output));
+    assert_eq!(
+        got, golden,
+        "profile --json drifted from tests/fixtures/profile.json; \
+         if the schema change is intentional, regenerate the golden"
+    );
+}
+
+#[test]
+fn profile_tables_report_the_cycle_account() {
+    let output = titalc()
+        .args(["profile", "-m", "superscalar:4"])
+        .arg(fixture("profile.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success());
+    let text = stdout(&output);
+    for needle in [
+        "compile phases:",
+        "cycle account:",
+        "class mix:",
+        "schedule",
+        "rate:",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn profile_trace_streams_json_lines() {
+    let dir = std::env::temp_dir().join("titalc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("profile-trace.jsonl");
+    let output = titalc()
+        .args(["profile", "--trace"])
+        .arg(&trace)
+        .arg(fixture("profile.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success());
+    let lines = std::fs::read_to_string(&trace).unwrap();
+    assert!(lines.lines().any(|l| l.contains("\"event\":\"phase\"")));
+    assert!(lines.lines().any(|l| l.contains("\"event\":\"issue\"")));
+    // Every line is one complete JSON object.
+    for line in lines.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line: {line}"
+        );
+    }
+}
+
+#[test]
+fn run_reports_merged_class_and_account_table() {
+    let output = titalc()
+        .args(["-m", "cray1"])
+        .arg(fixture("profile.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success());
+    let text = stdout(&output);
+    for needle in ["cycle account:", "class mix:", "wait cycles", "issue"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Exit codes: 0 ok / 1 usage / 2 front end / 3 static checks / 4 runtime
 // ---------------------------------------------------------------------------
 

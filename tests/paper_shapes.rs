@@ -240,3 +240,53 @@ fn symbolic_oracle_recovers_naive_unrolling_losses() {
         measured[0]
     );
 }
+
+/// The stall-breakdown study explains each machine's ILP saturation with
+/// the right cause: a wide ideal superscalar is bound by true data
+/// dependences (RAW waits dominate — exactly the paper's "parallelism of
+/// around 2" ceiling), while the underpipelined machine that issues every
+/// other cycle is bound by its functional-unit reservation, not by the
+/// program. Every row's account must balance exactly.
+#[test]
+fn stall_breakdown_explains_ilp_saturation() {
+    use supersym::experiments::stall_breakdown;
+    let study = stall_breakdown(Size::Small);
+    assert_eq!(study.rows.len(), 11, "one row per paper preset");
+    for (machine, account, _) in &study.rows {
+        assert!(account.conserved(), "{machine}: account does not balance");
+        assert_eq!(
+            account.issue_cycles() + account.total_stall_cycles() + account.drain_cycles(),
+            account.machine_cycles(),
+            "{machine}: cycles leaked"
+        );
+    }
+    let dominant = |name: &str| -> &str {
+        study
+            .rows
+            .iter()
+            .find(|(machine, ..)| machine == name)
+            .map(|(_, _, cause)| *cause)
+            .unwrap_or_else(|| panic!("no row for {name}"))
+    };
+    assert_eq!(
+        dominant("superscalar(8)"),
+        "raw_interlock",
+        "a wide ideal machine saturates on true dependences"
+    );
+    assert_eq!(
+        dominant("underpipelined (issue < 1 per cycle)"),
+        "fu_busy",
+        "the half-issue machine saturates on its own issue reservation"
+    );
+    // Latency machines stall on operand readiness in the cycle view too.
+    let cray = study
+        .rows
+        .iter()
+        .find(|(machine, ..)| machine == "CRAY-1")
+        .map(|(_, account, _)| account)
+        .expect("CRAY-1 row");
+    assert!(
+        cray.stall_cycles(0) > cray.machine_cycles() / 4,
+        "CRAY-1 latencies make RAW stalls a large share"
+    );
+}

@@ -851,6 +851,70 @@ fn scheduler_output_always_passes_legality_checker() {
     }
 }
 
+/// The cycle-account conservation invariant: on every preset machine, for
+/// random scheduled regions, every machine cycle is charged to exactly one
+/// of issue, a stall cause, or pipeline drain — the account balances
+/// *exactly*, and two runs of the same program produce identical accounts
+/// and critical-producer tables.
+#[test]
+fn cycle_account_conserves_and_is_deterministic() {
+    use supersym::isa::{Function, Instr, Program};
+    use supersym::sim::simulate;
+    let machines = all_preset_machines();
+    for seed in 100..124_u64 {
+        let mut rng = Rng::new(seed);
+        let len = 2 + rng.below(24) as usize;
+        let mut instrs = random_region(&mut rng, len);
+        instrs.push(Instr::Halt);
+        let mut program = Program::new();
+        let id = program.add_function(Function::new("region", instrs, vec![0]));
+        program.set_entry(id);
+        for machine in &machines {
+            let mut scheduled = program.clone();
+            supersym::codegen::schedule_program(&mut scheduled, machine);
+            let first = simulate(&scheduled, machine, SimOptions::default());
+            let second = simulate(&scheduled, machine, SimOptions::default());
+            let (first, second) = match (first, second) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(a), Err(b)) => {
+                    // Random regions may trap (e.g. divide by zero); the
+                    // trap itself must still be deterministic.
+                    assert_eq!(a.to_string(), b.to_string(), "seed {seed}");
+                    continue;
+                }
+                (a, b) => panic!(
+                    "seed {seed} on {}: nondeterministic outcome {a:?} vs {b:?}",
+                    machine.name()
+                ),
+            };
+            let account = first.cycle_account();
+            assert!(
+                account.conserved(),
+                "seed {seed} on {}: {account:?}",
+                machine.name()
+            );
+            assert_eq!(
+                account.issue_cycles() + account.total_stall_cycles() + account.drain_cycles(),
+                account.machine_cycles(),
+                "seed {seed} on {}: cycles leaked",
+                machine.name()
+            );
+            assert_eq!(
+                account,
+                second.cycle_account(),
+                "seed {seed} on {}: account not deterministic",
+                machine.name()
+            );
+            assert_eq!(
+                first.critical_producers(),
+                second.critical_producers(),
+                "seed {seed} on {}: producer table not deterministic",
+                machine.name()
+            );
+        }
+    }
+}
+
 /// All paper presets pass the machine-description lint with no errors.
 #[test]
 fn paper_presets_pass_machine_lint() {
