@@ -2,38 +2,111 @@
 //! optimizer, code generator, scheduler, and the coupled
 //! functional+timing simulator. Plain `main` over `std::time::Instant`
 //! (the container builds offline, so no criterion).
+//!
+//! With `--json` the per-row output is replaced by one JSON document
+//! (schema `supersym.bench/v1`) — the format of the checked-in
+//! `BENCH_NNNN.json` perf snapshots that track the pipeline's speed
+//! trajectory per PR:
+//!
+//! ```text
+//! cargo bench -p supersym-bench --bench pipeline -- --json > BENCH_NNNN.json
+//! ```
 
 use std::hint::black_box;
 use std::time::Instant;
 use supersym::machine::presets;
 use supersym::sim::{simulate, simulate_with_cache, simulate_with_sink, CacheConfig, SimOptions};
-use supersym::trace::{IssueEvent, TraceSink};
+use supersym::trace::{IssueEvent, JsonObject, JsonValue, TraceSink};
 use supersym::workloads::{linpack, stan};
 use supersym::{compile, CompileOptions, OptLevel};
 
-/// Times `f` over `iters` runs and prints mean wall-clock per run.
-fn time(name: &str, iters: u32, mut f: impl FnMut()) {
-    f();
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    let mean = start.elapsed() / iters;
-    println!("{name:40} {mean:>12.2?}/iter  ({iters} iters)");
+/// Collects timing rows and workload-size counters, printing rows as they
+/// finish (table mode) or holding them for one JSON document (`--json`).
+struct Harness {
+    json: bool,
+    rows: Vec<(String, u64, u32)>,
+    counters: Vec<(String, u64)>,
 }
 
-fn bench_compile() {
+impl Harness {
+    /// Times `f` over `iters` runs (after one warmup) and records the mean
+    /// wall-clock per run.
+    fn time(&mut self, name: &str, iters: u32, mut f: impl FnMut()) {
+        f();
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let mean = start.elapsed() / iters;
+        if !self.json {
+            println!("{name:40} {mean:>12.2?}/iter  ({iters} iters)");
+        }
+        let mean_ns = u64::try_from(mean.as_nanos()).unwrap_or(u64::MAX);
+        self.rows.push((name.to_string(), mean_ns, iters));
+    }
+
+    /// Records a named size counter (instructions per iteration,
+    /// dependence-edge counts) that gives the timing rows their scale.
+    fn count(&mut self, name: &str, value: u64, line: &str) {
+        if !self.json {
+            println!("{line}");
+        }
+        self.counters.push((name.to_string(), value));
+    }
+
+    /// The `supersym.bench/v1` snapshot document.
+    fn json_document(&self) -> JsonValue {
+        let rows = self
+            .rows
+            .iter()
+            .map(|(name, mean_ns, iters)| {
+                JsonObject::new()
+                    .field("name", JsonValue::str(name.clone()))
+                    .field("mean_ns", JsonValue::UInt(*mean_ns))
+                    .field("iters", JsonValue::UInt(u64::from(*iters)))
+                    .build()
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| {
+                JsonObject::new()
+                    .field("name", JsonValue::str(name.clone()))
+                    .field("value", JsonValue::UInt(*value))
+                    .build()
+            })
+            .collect();
+        JsonObject::new()
+            .field("schema", JsonValue::str("supersym.bench/v1"))
+            .field("rows", JsonValue::Array(rows))
+            .field("counters", JsonValue::Array(counters))
+            .build()
+    }
+}
+
+fn bench_compile(harness: &mut Harness) {
     let workload = linpack(16);
     let machine = presets::multititan();
     for level in [OptLevel::O0, OptLevel::O2, OptLevel::O4] {
         let options = CompileOptions::new(level, &machine);
-        time(&format!("compile/linpack16_{level:?}"), 10, || {
+        harness.time(&format!("compile/linpack16_{level:?}"), 10, || {
             black_box(compile(&workload.source, &options).unwrap());
         });
     }
+    // The rule table's compile-time cost, and the cost of certifying
+    // every pass of the same compile.
+    let without_rules = CompileOptions::new(OptLevel::O4, &machine).with_rules(false);
+    harness.time("compile/linpack16_O4_rules_off", 10, || {
+        black_box(compile(&workload.source, &without_rules).unwrap());
+    });
+    let with_certify = CompileOptions::new(OptLevel::O4, &machine);
+    harness.time("compile/linpack16_O4_certified", 10, || {
+        black_box(supersym::compile_certified(&workload.source, &with_certify).unwrap());
+    });
 }
 
-fn bench_simulate() {
+fn bench_simulate(harness: &mut Harness) {
     let workload = linpack(16);
     let machine = presets::multititan();
     let program = compile(
@@ -44,7 +117,11 @@ fn bench_simulate() {
     let instructions = simulate(&program, &machine, SimOptions::default())
         .unwrap()
         .instructions();
-    println!("simulate: {instructions} instructions per iteration");
+    harness.count(
+        "simulate/instructions_per_iter",
+        instructions,
+        &format!("simulate: {instructions} instructions per iteration"),
+    );
 
     for machine in [
         presets::base(),
@@ -54,7 +131,7 @@ fn bench_simulate() {
         presets::superscalar_with_class_conflicts(4),
     ] {
         let name = machine.name().replace([' ', '(', ')', ','], "_");
-        time(&format!("simulate/{name}"), 10, || {
+        harness.time(&format!("simulate/{name}"), 10, || {
             black_box(simulate(&program, &machine, SimOptions::default()).unwrap());
         });
     }
@@ -72,7 +149,7 @@ impl TraceSink for CountingSink {
     }
 }
 
-fn bench_sink_overhead() {
+fn bench_sink_overhead(harness: &mut Harness) {
     let workload = linpack(16);
     let machine = presets::multititan();
     let program = compile(
@@ -80,19 +157,24 @@ fn bench_sink_overhead() {
         &CompileOptions::new(OptLevel::O4, &machine),
     )
     .unwrap();
-    time("simulate_sink/none", 10, || {
+    harness.time("simulate_sink/none", 10, || {
         black_box(simulate(&program, &machine, SimOptions::default()).unwrap());
     });
     let mut sink = CountingSink(0);
-    time("simulate_sink/counting", 10, || {
+    harness.time("simulate_sink/counting", 10, || {
         black_box(
             simulate_with_sink(&program, &machine, SimOptions::default(), &mut sink).unwrap(),
         );
     });
-    println!("simulate_sink: {} issue events per iteration", sink.0 / 11);
+    let events = sink.0 / 11;
+    harness.count(
+        "simulate_sink/issue_events_per_iter",
+        events,
+        &format!("simulate_sink: {events} issue events per iteration"),
+    );
 }
 
-fn bench_scheduler() {
+fn bench_scheduler(harness: &mut Harness) {
     let workload = stan(1);
     let machine = presets::cray1();
     // Unscheduled program as the scheduling input.
@@ -101,14 +183,14 @@ fn bench_scheduler() {
         &CompileOptions::new(OptLevel::O0, &machine),
     )
     .unwrap();
-    time("schedule_stan_for_cray1", 20, || {
+    harness.time("schedule_stan_for_cray1", 20, || {
         let mut program = unscheduled.clone();
         supersym::codegen::schedule_program(&mut program, &machine);
         black_box(program);
     });
 }
 
-fn bench_cache() {
+fn bench_cache(harness: &mut Harness) {
     let workload = linpack(16);
     let machine = presets::base();
     let program = compile(
@@ -116,7 +198,7 @@ fn bench_cache() {
         &CompileOptions::new(OptLevel::O4, &machine),
     )
     .unwrap();
-    time("simulate_with_cache_linpack16", 5, || {
+    harness.time("simulate_with_cache_linpack16", 5, || {
         black_box(
             simulate_with_cache(
                 &program,
@@ -130,7 +212,7 @@ fn bench_cache() {
     });
 }
 
-fn bench_oracles() {
+fn bench_oracles(harness: &mut Harness) {
     use supersym::analyze::{dependence_edges, scheduling_regions, OracleKind};
     use supersym::workloads::livermore;
     let workload = livermore(40, 1);
@@ -161,8 +243,12 @@ fn bench_oracles() {
                     .map(|(lo, hi)| dependence_edges(&func.instrs()[lo..hi], oracle).len())
             })
             .sum();
-        println!("oracle/{kind:?}: {edges} dependence edges on the O4 output");
-        time(&format!("schedule_livermore_{kind:?}"), 20, || {
+        harness.count(
+            &format!("oracle/{kind:?}_dependence_edges"),
+            edges as u64,
+            &format!("oracle/{kind:?}: {edges} dependence edges on the O4 output"),
+        );
+        harness.time(&format!("schedule_livermore_{kind:?}"), 20, || {
             let mut program = unscheduled.clone();
             supersym::codegen::schedule_program_with(&mut program, &machine, oracle);
             black_box(program);
@@ -171,10 +257,19 @@ fn bench_oracles() {
 }
 
 fn main() {
-    bench_compile();
-    bench_simulate();
-    bench_sink_overhead();
-    bench_scheduler();
-    bench_oracles();
-    bench_cache();
+    let json = std::env::args().any(|arg| arg == "--json");
+    let mut harness = Harness {
+        json,
+        rows: Vec::new(),
+        counters: Vec::new(),
+    };
+    bench_compile(&mut harness);
+    bench_simulate(&mut harness);
+    bench_sink_overhead(&mut harness);
+    bench_scheduler(&mut harness);
+    bench_oracles(&mut harness);
+    bench_cache(&mut harness);
+    if json {
+        print!("{}", harness.json_document().pretty());
+    }
 }

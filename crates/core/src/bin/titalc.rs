@@ -19,6 +19,9 @@
 //! titalc profile --json program.tital       # the same, machine-readable
 //! titalc torture --seed 7 --iters 1000      # mutation-robustness campaign
 //! titalc torture --replay tests/corpus      # replay the crash corpus
+//! titalc certify -m cray1 program.tital     # re-prove every optimizer pass
+//! titalc synth                              # regenerate the rewrite-rule table
+//! titalc synth --check                      # CI: table must match checked-in
 //! titalc --machines                         # list machine presets
 //! ```
 //!
@@ -32,6 +35,7 @@ use supersym::analyze::{dump_module, lint_module, OracleKind};
 use supersym::isa::{ClassCensus, InstrClass};
 use supersym::machine::{parse_machine_spec, presets, MachineConfig};
 use supersym::opt::UnrollOptions;
+use supersym::rules::{synthesize, SynthConfig, DEFAULT_TABLE_TEXT};
 use supersym::sim::{
     simulate, simulate_with_cache, simulate_with_sink, CacheConfig, CycleAccount, SimOptions,
     SimReport, StallCause,
@@ -40,8 +44,8 @@ use supersym::torture::{replay_torture_corpus, run_torture};
 use supersym::trace::{
     IssueEvent, JsonLinesSink, JsonObject, JsonValue, MemorySink, PhaseRecord, TraceSink,
 };
-use supersym::verify::{error_count, lint_program};
-use supersym::{compile, compile_with_trace, CompileOptions, OptLevel};
+use supersym::verify::{error_count, lint_program, CertMethod};
+use supersym::{compile, compile_certified, compile_with_trace, CompileOptions, OptLevel};
 use supersym_torture::{write_corpus, Layer};
 
 /// Exit code for usage and I/O errors.
@@ -66,6 +70,7 @@ struct Args {
     list_machines: bool,
     lint: bool,
     analyze: bool,
+    certify: bool,
     profile: bool,
     json: bool,
     trace: Option<String>,
@@ -80,8 +85,10 @@ USAGE:
     titalc [OPTIONS] <FILE>
     titalc lint [OPTIONS] <FILE>
     titalc analyze <FILE>
+    titalc certify [OPTIONS] <FILE>
     titalc profile [OPTIONS] <FILE>
     titalc torture [TORTURE OPTIONS]
+    titalc synth [--check]
 
 OPTIONS:
     -m, --machine <NAME>     machine preset (default: base); see --machines
@@ -122,6 +129,23 @@ ANALYZE:
     block's dataflow facts (reachability, constants, value ranges,
     reaching definitions, branch verdicts), then runs the dataflow lints.
     Exits nonzero on lint errors.
+
+CERTIFY:
+    `titalc certify` compiles with per-pass translation validation: the
+    IR is snapshotted before and after every optimizer pass and each pair
+    is re-proven equivalent, structurally (symbolic per-block summaries)
+    or differentially (a fuel-bounded IR executor compares return value,
+    final global state and call count). Prints one line per pass run and
+    exits with code 3 if any pass cannot be certified. Accepts the same
+    -m/-O/--unroll/--oracle options as plain `titalc`.
+
+SYNTH:
+    `titalc synth` re-runs verified rewrite-rule synthesis (enumerate,
+    fingerprint on characteristic vectors, prove with sound certifiers)
+    and prints the resulting rule table to stdout — the exact format of
+    the checked-in `crates/rules/src/rules.tital-rules`.
+        --check              do not print; exit 3 unless the regenerated
+                             table is byte-identical to the shipped one
 
 TORTURE OPTIONS:
     `titalc torture` runs a deterministic fault-injection campaign
@@ -189,6 +213,7 @@ fn parse_args() -> Result<Args, String> {
         list_machines: false,
         lint: false,
         analyze: false,
+        certify: false,
         profile: false,
         json: false,
         trace: None,
@@ -203,6 +228,10 @@ fn parse_args() -> Result<Args, String> {
         }
         Some("analyze") => {
             args.analyze = true;
+            iter.next();
+        }
+        Some("certify") => {
+            args.certify = true;
             iter.next();
         }
         Some("profile") => {
@@ -346,6 +375,110 @@ fn run_torture_cmd(argv: &[String]) -> ExitCode {
     } else {
         ExitCode::from(EXIT_VERIFY)
     }
+}
+
+/// `titalc synth`: re-run rewrite-rule synthesis and print the verified
+/// table (the exact checked-in format), or with `--check` compare the
+/// regeneration byte-for-byte against the shipped table — the CI
+/// determinism gate. A mismatch exits `EXIT_VERIFY`.
+fn run_synth_cmd(argv: &[String]) -> ExitCode {
+    let mut check = false;
+    for arg in argv {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("titalc synth: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let report = synthesize(&SynthConfig::default());
+    let text = report.table.to_text();
+    eprintln!(
+        "synth: {} term(s) enumerated, {} candidate identity(ies), \
+         {} unproven candidate(s) dropped, {} rule(s) verified",
+        report.terms_enumerated,
+        report.candidates,
+        report.rejected,
+        report.table.rules().len()
+    );
+    if !check {
+        print!("{text}");
+        return ExitCode::SUCCESS;
+    }
+    if text == DEFAULT_TABLE_TEXT {
+        println!(
+            "synth check: regenerated table is byte-identical to the shipped one \
+             ({} rule(s))",
+            report.table.rules().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let diverging = text
+        .lines()
+        .zip(DEFAULT_TABLE_TEXT.lines())
+        .position(|(fresh, shipped)| fresh != shipped);
+    match diverging {
+        Some(index) => eprintln!(
+            "titalc synth: line {} differs from the shipped table:\n  regenerated: {}\n  shipped:     {}",
+            index + 1,
+            text.lines().nth(index).unwrap_or(""),
+            DEFAULT_TABLE_TEXT.lines().nth(index).unwrap_or("")
+        ),
+        None => eprintln!(
+            "titalc synth: regenerated table has {} line(s), the shipped one {}",
+            text.lines().count(),
+            DEFAULT_TABLE_TEXT.lines().count()
+        ),
+    }
+    ExitCode::from(EXIT_VERIFY)
+}
+
+/// `titalc certify`: compile with per-pass translation validation and
+/// print one line per optimizer pass stating how its before/after IR
+/// snapshots were proven equivalent. Certification failures exit with
+/// `EXIT_VERIFY` via the pipeline taxonomy.
+fn run_certify(path: &str, source: &str, options: &CompileOptions) -> ExitCode {
+    let (program, certificates) = match compile_certified(source, options) {
+        Ok(pair) => pair,
+        Err(error) => {
+            eprintln!("titalc: {path}: {error}");
+            return ExitCode::from(error.exit_code());
+        }
+    };
+    let mut structural = 0_usize;
+    let mut differential = 0_usize;
+    println!(
+        "translation validation: ({} optimizer pass runs)",
+        certificates.len()
+    );
+    for cert in &certificates {
+        let method = match cert.method {
+            Some(CertMethod::Structural) => {
+                structural += 1;
+                "structural"
+            }
+            Some(CertMethod::Differential) => {
+                differential += 1;
+                "differential"
+            }
+            None => "inconclusive",
+        };
+        println!("  {:<18} {method}", cert.pass);
+        for diagnostic in &cert.diagnostics {
+            println!("    {diagnostic}");
+        }
+    }
+    println!(
+        "certified: {structural} structural, {differential} differential; \
+         {} scheduled instruction(s)",
+        program.static_size()
+    );
+    ExitCode::SUCCESS
 }
 
 /// Runs the front end and lowers to IR, reporting errors titalc-style.
@@ -789,6 +922,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("torture") {
         return run_torture_cmd(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("synth") {
+        return run_synth_cmd(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
@@ -838,6 +974,9 @@ fn main() -> ExitCode {
     }
     if let Some(unroll) = args.unroll {
         options = options.with_unroll(unroll);
+    }
+    if args.certify {
+        return run_certify(&path, &source, &options);
     }
     if args.profile {
         return run_profile(&path, &source, &args, &machine, &options);

@@ -4,10 +4,13 @@ use crate::error::PipelineError;
 use std::fmt;
 use std::time::Instant;
 use supersym_analyze::OracleKind;
+use supersym_ir::Module;
 use supersym_isa::{Diagnostic, Program};
 use supersym_machine::{MachineConfig, RegisterSplit};
-use supersym_opt::UnrollOptions;
+use supersym_opt::{Pass, PassObserver, UnrollOptions};
+use supersym_rules::RuleTable;
 use supersym_trace::{PhaseRecord, TraceSink};
+use supersym_verify::PassCertificate;
 
 /// The paper's Figure 4-8 optimization ladder. Each level includes all the
 /// previous ones.
@@ -104,6 +107,17 @@ pub struct CompileOptions {
     /// references are disambiguated). Defaults to the symbolic oracle;
     /// [`OracleKind::Conservative`] reproduces the seed behaviour.
     pub oracle: OracleKind,
+    /// Drive the optimizer's algebraic simplification and reassociation
+    /// from the machine-verified rewrite-rule table (default). Off, the
+    /// optimizer runs with an empty table — the ablation baseline for
+    /// measuring what the synthesized rules buy.
+    pub rules: bool,
+    /// Translation validation: snapshot the IR before and after every
+    /// optimizer pass and re-prove equivalence with
+    /// [`supersym_verify::certify_pass`]. A pass that fails certification
+    /// aborts compilation with [`PipelineError::Certify`] (exit code 3).
+    /// Off by default — it is the paranoid mode behind `titalc certify`.
+    pub certify: bool,
 }
 
 impl CompileOptions {
@@ -119,6 +133,8 @@ impl CompileOptions {
             machine: machine.clone(),
             verify: cfg!(debug_assertions),
             oracle: OracleKind::default(),
+            rules: true,
+            certify: false,
         }
     }
 
@@ -151,6 +167,22 @@ impl CompileOptions {
         self.oracle = oracle;
         self
     }
+
+    /// Enables or disables the verified rewrite-rule table (on by default;
+    /// off is the rules-ablation baseline).
+    #[must_use]
+    pub fn with_rules(mut self, rules: bool) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Enables per-pass translation validation (see
+    /// [`CompileOptions::certify`]).
+    #[must_use]
+    pub fn with_certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
+    }
 }
 
 /// Errors from [`compile`]: an alias for the unified pipeline taxonomy.
@@ -163,7 +195,26 @@ pub type CompileError = PipelineError;
 ///
 /// Returns a [`CompileError`] for malformed source.
 pub fn compile(source: &str, options: &CompileOptions) -> Result<Program, CompileError> {
-    compile_traced(source, options, None)
+    compile_traced(source, options, None, None)
+}
+
+/// Compiles with translation validation forced on and returns the
+/// per-pass certificates alongside the program (the machinery behind
+/// `titalc certify`).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed source, and
+/// [`PipelineError::Certify`] when an optimizer pass cannot be proven
+/// equivalence-preserving.
+pub fn compile_certified(
+    source: &str,
+    options: &CompileOptions,
+) -> Result<(Program, Vec<PassCertificate>), CompileError> {
+    let options = options.clone().with_certify(true);
+    let mut certificates = Vec::new();
+    let program = compile_traced(source, &options, None, Some(&mut certificates))?;
+    Ok((program, certificates))
 }
 
 /// Compiles like [`compile`] while recording one
@@ -184,20 +235,21 @@ pub fn compile_with_trace(
     options: &CompileOptions,
     sink: &mut dyn TraceSink,
 ) -> Result<Program, CompileError> {
-    compile_traced(source, options, Some(sink))
+    compile_traced(source, options, Some(sink), None)
 }
 
 fn compile_traced(
     source: &str,
     options: &CompileOptions,
     mut sink: Option<&mut dyn TraceSink>,
+    certificates: Option<&mut Vec<PassCertificate>>,
 ) -> Result<Program, CompileError> {
     let mut clock = PhaseClock::start();
     let ast = supersym_lang::parse(source).map_err(PipelineError::Parse)?;
     clock.emit(&mut sink, "parse", &[("source_bytes", source.len() as u64)]);
     supersym_lang::check(&ast).map_err(PipelineError::Check)?;
     clock.emit(&mut sink, "check", &[]);
-    compile_ast_traced(ast, options, sink)
+    compile_ast_traced(ast, options, sink, certificates)
 }
 
 /// Compiles an already-checked AST (used when the caller transforms the
@@ -211,7 +263,7 @@ pub fn compile_ast(
     ast: supersym_lang::ast::Module,
     options: &CompileOptions,
 ) -> Result<Program, CompileError> {
-    compile_ast_traced(ast, options, None)
+    compile_ast_traced(ast, options, None, None)
 }
 
 /// Tracks per-phase wall time. Reading the clock is a few nanoseconds, so
@@ -281,10 +333,35 @@ fn moved_instructions(before: &Program, after: &Program) -> u64 {
     moved
 }
 
+/// Snapshots the IR after every optimizer pass that reports a change and
+/// re-proves each transition equivalent via the translation validator.
+struct Certifier<'t> {
+    table: &'t RuleTable,
+    prev: Module,
+    certificates: Vec<PassCertificate>,
+}
+
+impl PassObserver for Certifier<'_> {
+    fn after_pass(&mut self, pass: Pass, module: &Module) {
+        self.certificates.push(supersym_verify::certify_pass(
+            &self.prev,
+            module,
+            pass.name(),
+            self.table,
+        ));
+        self.prev = module.clone();
+    }
+}
+
+fn as_observer<'a>(certifier: &'a mut Option<Certifier<'_>>) -> Option<&'a mut dyn PassObserver> {
+    certifier.as_mut().map(|c| c as &mut dyn PassObserver)
+}
+
 fn compile_ast_traced(
     mut ast: supersym_lang::ast::Module,
     options: &CompileOptions,
     mut sink: Option<&mut dyn TraceSink>,
+    certificates: Option<&mut Vec<PassCertificate>>,
 ) -> Result<Program, CompileError> {
     let mut clock = PhaseClock::start();
     if options.verify {
@@ -308,8 +385,19 @@ fn compile_ast_traced(
             ),
         ],
     );
+    let empty_table = RuleTable::empty();
+    let table: &RuleTable = if options.rules {
+        supersym_rules::default_table()
+    } else {
+        &empty_table
+    };
+    let mut certifier = options.certify.then(|| Certifier {
+        table,
+        prev: ir.clone(),
+        certificates: Vec::new(),
+    });
     if options.opt.local() {
-        supersym_opt::run_local(&mut ir);
+        supersym_opt::run_local_observed(&mut ir, table, as_observer(&mut certifier));
         clock.emit(
             &mut sink,
             "opt_local",
@@ -320,7 +408,7 @@ fn compile_ast_traced(
         );
     }
     if options.opt.global() {
-        supersym_opt::run_global(&mut ir);
+        supersym_opt::run_global_observed(&mut ir, table, as_observer(&mut certifier));
         clock.emit(
             &mut sink,
             "opt_global",
@@ -331,11 +419,31 @@ fn compile_ast_traced(
         );
     }
     if options.reassociate {
-        supersym_opt::reassociate(&mut ir);
+        supersym_opt::reassociate_observed(&mut ir, table, as_observer(&mut certifier));
         if options.opt.local() {
-            supersym_opt::run_local(&mut ir);
+            supersym_opt::run_local_observed(&mut ir, table, as_observer(&mut certifier));
         }
         clock.emit(&mut sink, "reassociate", &[]);
+    }
+    if let Some(certifier) = certifier {
+        let errors: Vec<Diagnostic> = certifier
+            .certificates
+            .iter()
+            .flat_map(|c| c.diagnostics.iter())
+            .filter(|d| d.is_error())
+            .cloned()
+            .collect();
+        clock.emit(
+            &mut sink,
+            "certify",
+            &[("passes", certifier.certificates.len() as u64)],
+        );
+        if let Some(out) = certificates {
+            out.extend(certifier.certificates);
+        }
+        if !errors.is_empty() {
+            return Err(PipelineError::Certify(errors));
+        }
     }
     // Sharpen element-access origins with the dataflow analyses (constant
     // index upgrades, linear index recovery): purely better annotations,
@@ -576,6 +684,33 @@ mod tests {
             "got {err}"
         );
         assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn certification_covers_the_whole_pipeline() {
+        let machine = presets::multititan();
+        let options = CompileOptions::new(OptLevel::O4, &machine).with_unroll(UnrollOptions {
+            factor: 2,
+            careful: true,
+        });
+        let (program, certificates) = compile_certified(PROGRAM, &options).unwrap();
+        assert!(program.static_size() > 0);
+        assert!(!certificates.is_empty(), "passes must have run");
+        for cert in &certificates {
+            assert!(cert.is_certified(), "{cert:?}");
+        }
+        // Certification must not change the output program.
+        let plain = compile(PROGRAM, &options).unwrap();
+        assert_eq!(plain, program);
+    }
+
+    #[test]
+    fn rules_ablation_preserves_results() {
+        let machine = presets::base();
+        for rules in [true, false] {
+            let options = CompileOptions::new(OptLevel::O4, &machine).with_rules(rules);
+            assert_eq!(run(&options), EXPECTED, "rules {rules}");
+        }
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub enum PipelineError {
     /// The static verifier rejected the machine description or the
     /// compiler's own output. Carries every error-severity diagnostic.
     Verify(Vec<Diagnostic>),
+    /// The translation validator could not certify an optimizer pass:
+    /// the before/after IR snapshots were proven (or strongly evidenced)
+    /// inequivalent. Carries every error-severity diagnostic.
+    Certify(Vec<Diagnostic>),
     /// The simulator rejected or aborted the compiled program.
     Sim(SimError),
 }
@@ -66,6 +70,7 @@ impl PipelineError {
             PipelineError::Machine(_) => "machine",
             PipelineError::RegisterSplit { .. } => "regalloc",
             PipelineError::Verify(_) => "verify",
+            PipelineError::Certify(_) => "certify",
             PipelineError::Sim(_) => "sim",
         }
     }
@@ -88,7 +93,8 @@ impl PipelineError {
             PipelineError::Ir(_)
             | PipelineError::Machine(_)
             | PipelineError::RegisterSplit { .. }
-            | PipelineError::Verify(_) => 3,
+            | PipelineError::Verify(_)
+            | PipelineError::Certify(_) => 3,
             PipelineError::Sim(_) => 4,
         }
     }
@@ -122,6 +128,21 @@ impl fmt::Display for PipelineError {
                 }
                 Ok(())
             }
+            PipelineError::Certify(diagnostics) => {
+                write!(
+                    f,
+                    "translation validation failed ({} error",
+                    diagnostics.len()
+                )?;
+                if diagnostics.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             PipelineError::Sim(e) => write!(f, "runtime error: {e}"),
         }
     }
@@ -134,7 +155,9 @@ impl Error for PipelineError {
             PipelineError::Ir(e) => Some(e),
             PipelineError::Machine(e) => Some(e),
             PipelineError::Sim(e) => Some(e),
-            PipelineError::RegisterSplit { .. } | PipelineError::Verify(_) => None,
+            PipelineError::RegisterSplit { .. }
+            | PipelineError::Verify(_)
+            | PipelineError::Certify(_) => None,
         }
     }
 }

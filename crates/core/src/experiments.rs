@@ -1692,6 +1692,112 @@ pub fn stall_breakdown(size: Size) -> StallBreakdownStudy {
     StallBreakdownStudy { rows }
 }
 
+// ---------------------------------------------------------------------------
+// Rules study (the verified rewrite-rule table: on vs off)
+// ---------------------------------------------------------------------------
+
+/// One workload measured with the synthesized rewrite-rule table disabled
+/// and enabled (everything else — opt level, machine, unrolling — held
+/// fixed).
+#[derive(Debug, Clone)]
+pub struct RulesRow {
+    /// Workload name.
+    pub benchmark: String,
+    /// Static instructions without / with the rule table.
+    pub static_insts: [usize; 2],
+    /// Dynamic instructions without / with the rule table.
+    pub dynamic_insts: [u64; 2],
+    /// Available parallelism without / with the rule table.
+    pub parallelism: [f64; 2],
+}
+
+/// The rules study: what the machine-verified rewrite-rule table buys on
+/// each workload, measured on the degree-4 ideal superscalar at `O4`.
+///
+/// The table only ever *collapses* expressions (each rule's right-hand
+/// side is a variable or a constant), and it competes with passes that
+/// already exist: constant folding, CSE and strength reduction catch most
+/// of the suite's redundancy on their own, so the honest result is rows
+/// of zeros with isolated wins where an identity pattern (`x & x`,
+/// `x + 0` fed by a variable, not a constant) survives to LVN. The wins
+/// shorten the instruction stream without hurting the issue rate.
+#[derive(Debug, Clone)]
+pub struct RulesStudy {
+    /// One row per workload.
+    pub rows: Vec<RulesRow>,
+}
+
+/// Runs the rules study over the whole suite.
+///
+/// # Panics
+///
+/// Panics if any workload fails to compile or run in either
+/// configuration — the suite is tested in both.
+#[must_use]
+pub fn rules_study(size: Size) -> RulesStudy {
+    let machine = presets::ideal_superscalar(4);
+    let mut rows = Vec::new();
+    for workload in &suite(size) {
+        let mut row = RulesRow {
+            benchmark: workload.name.to_string(),
+            static_insts: [0; 2],
+            dynamic_insts: [0; 2],
+            parallelism: [0.0; 2],
+        };
+        for (slot, rules) in [(0, false), (1, true)] {
+            let options = CompileOptions::new(OptLevel::O4, &machine).with_rules(rules);
+            let program = compile(&workload.source, &options)
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", workload.name));
+            let report = simulate(&program, &machine, SimOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", workload.name));
+            row.static_insts[slot] = program.static_size();
+            row.dynamic_insts[slot] = report.instructions();
+            row.parallelism[slot] = report.available_parallelism();
+        }
+        rows.push(row);
+    }
+    RulesStudy { rows }
+}
+
+impl fmt::Display for RulesStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Rules study: verified rewrite-rule table off vs on (ideal superscalar:4, O4)"
+        )?;
+        writeln!(
+            f,
+            "  {:10} {:>8} {:>8} {:>7} {:>10} {:>10} {:>7} {:>8} {:>8}",
+            "benchmark",
+            "stat-off",
+            "stat-on",
+            "delta",
+            "dyn-off",
+            "dyn-on",
+            "delta",
+            "ilp-off",
+            "ilp-on"
+        )?;
+        for row in &self.rows {
+            let pct = |off: f64, on: f64| (on / off - 1.0) * 100.0;
+            writeln!(
+                f,
+                "  {:10} {:>8} {:>8} {:>+6.1}% {:>10} {:>10} {:>+6.1}% {:>8.3} {:>8.3}",
+                row.benchmark,
+                row.static_insts[0],
+                row.static_insts[1],
+                pct(row.static_insts[0] as f64, row.static_insts[1] as f64),
+                row.dynamic_insts[0],
+                row.dynamic_insts[1],
+                pct(row.dynamic_insts[0] as f64, row.dynamic_insts[1] as f64),
+                row.parallelism[0],
+                row.parallelism[1],
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for StallBreakdownStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

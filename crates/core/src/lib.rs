@@ -47,7 +47,8 @@ pub mod experiments;
 pub mod torture;
 
 pub use compile::{
-    compile, compile_ast, compile_with_trace, CompileError, CompileOptions, OptLevel,
+    compile, compile_ast, compile_certified, compile_with_trace, CompileError, CompileOptions,
+    OptLevel,
 };
 pub use error::PipelineError;
 
@@ -68,6 +69,10 @@ pub use supersym_machine as machine;
 pub use supersym_opt as opt;
 /// Re-export: register allocation.
 pub use supersym_regalloc as regalloc;
+/// Re-export: the shared deterministic RNG (SplitMix64).
+pub use supersym_rng as rng;
+/// Re-export: synthesized, machine-verified rewrite rules.
+pub use supersym_rules as rules;
 /// Re-export: the simulator.
 pub use supersym_sim as sim;
 /// Re-export: run telemetry (trace sinks, phase/issue events, JSON writer).

@@ -36,7 +36,7 @@ fn stage_of(error: &PipelineError) -> Stage {
         PipelineError::Ir(_) => Stage::Ir,
         PipelineError::Machine(_) => Stage::Machine,
         PipelineError::RegisterSplit { .. } => Stage::Split,
-        PipelineError::Verify(_) => Stage::Verify,
+        PipelineError::Verify(_) | PipelineError::Certify(_) => Stage::Verify,
         PipelineError::Sim(_) => Stage::Sim,
     }
 }

@@ -2,9 +2,17 @@
 //! common-subexpression elimination, copy propagation and store-to-load
 //! forwarding — all within single basic blocks (the paper's "intra-block
 //! optimizations").
+//!
+//! Algebraic simplification is *data-driven*: instead of hard-coded
+//! identities, the pass consults the machine-verified rule table from
+//! `supersym-rules` (every rule proven by a sound certifier before it
+//! ships). The only residual built-in is `x / 1 == x` — division sits
+//! outside the synthesis grammar, so its identity keeps a hand-written
+//! (and separately tested) special case here.
 
 use std::collections::HashMap;
 use supersym_ir::{CmpOp, FloatBinOp, GlobalId, Inst, IntBinOp, Module, Terminator, VReg, VarRef};
+use supersym_rules::{default_table, Rewrite, RuleTable, SimplifyCtx};
 
 /// A compile-time constant (floats compared by bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,7 +47,24 @@ struct BlockState {
     elem_val: HashMap<(GlobalId, usize), usize>,
     /// vreg replacement map (old -> representative).
     replace: HashMap<VReg, VReg>,
+    /// value number -> the integer expression it names (reverse of
+    /// `exprs`, integer ops only): what the rule matcher walks to match
+    /// nested patterns.
+    int_expr: HashMap<usize, (IntBinOp, usize, usize)>,
     next_vn: usize,
+}
+
+impl SimplifyCtx for BlockState {
+    fn const_of(&self, vn: usize) -> Option<i64> {
+        match self.consts.get(&vn) {
+            Some(&Const::Int(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn expr_of(&self, vn: usize) -> Option<(IntBinOp, usize, usize)> {
+        self.int_expr.get(&vn).copied()
+    }
 }
 
 impl BlockState {
@@ -79,9 +104,17 @@ impl BlockState {
     }
 }
 
-/// Runs local value numbering over every block of every function.
+/// Runs local value numbering over every block of every function, with
+/// the default (checked-in, machine-verified) rule table.
 /// Returns `true` if anything changed.
 pub fn local_value_numbering(module: &mut Module) -> bool {
+    local_value_numbering_with(module, default_table())
+}
+
+/// [`local_value_numbering`] with an explicit rule table — pass
+/// [`RuleTable::empty`](supersym_rules::RuleTable::empty) to measure the
+/// optimizer without algebraic rules.
+pub fn local_value_numbering_with(module: &mut Module, table: &RuleTable) -> bool {
     let mut changed = false;
     for func in &mut module.funcs {
         for block in &mut func.blocks {
@@ -89,7 +122,7 @@ pub fn local_value_numbering(module: &mut Module) -> bool {
             let original_len = block.insts.len();
             let mut kept: Vec<Inst> = Vec::with_capacity(original_len);
             for inst in block.insts.drain(..) {
-                if let Some(new_inst) = process(inst, &mut state) {
+                if let Some(new_inst) = process(inst, &mut state, table) {
                     kept.push(new_inst);
                 }
             }
@@ -129,7 +162,7 @@ pub fn local_value_numbering(module: &mut Module) -> bool {
     changed
 }
 
-fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
+fn process(inst: Inst, state: &mut BlockState, table: &RuleTable) -> Option<Inst> {
     match inst {
         Inst::ConstInt { dst, value } => {
             let key = Key::Const(Const::Int(value));
@@ -160,10 +193,10 @@ fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
                 (state.consts.get(&a), state.consts.get(&b))
             {
                 let value = eval_int(op, x, y);
-                return process(Inst::ConstInt { dst, value }, state);
+                return process(Inst::ConstInt { dst, value }, state, table);
             }
             // Algebraic simplifications.
-            if let Some(simplified) = simplify_int(op, a, b, state) {
+            if let Some(simplified) = simplify_int(table, op, a, b, state) {
                 return match simplified {
                     Simplified::Vn(vn) => {
                         if let Some(&rep) = state.repr.get(&vn) {
@@ -179,7 +212,9 @@ fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
                                 .then_some(Inst::IntBin { op, dst, lhs, rhs })
                         }
                     }
-                    Simplified::Const(value) => process(Inst::ConstInt { dst, value }, state),
+                    Simplified::Const(value) => {
+                        process(Inst::ConstInt { dst, value }, state, table)
+                    }
                 };
             }
             let key = Key::IntBin(op, a, b);
@@ -207,7 +242,7 @@ fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
                     FloatBinOp::Mul => x * y,
                     FloatBinOp::Div => x / y,
                 };
-                return process(Inst::ConstFloat { dst, value }, state);
+                return process(Inst::ConstFloat { dst, value }, state, table);
             }
             let key = Key::FloatBin(op, a, b);
             let vn = lookup_or_insert(state, key, None);
@@ -231,7 +266,7 @@ fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
                     CmpOp::Gt => x > y,
                     CmpOp::Ge => x >= y,
                 });
-                return process(Inst::ConstInt { dst, value }, state);
+                return process(Inst::ConstInt { dst, value }, state, table);
             }
             let key = Key::FloatCmp(op, a, b);
             let vn = lookup_or_insert(state, key, None);
@@ -251,6 +286,7 @@ fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
                             value: v as f64,
                         },
                         state,
+                        table,
                     ),
                     (Const::Float(bits), false) => process(
                         Inst::ConstInt {
@@ -258,6 +294,7 @@ fn process(inst: Inst, state: &mut BlockState) -> Option<Inst> {
                             value: f64::from_bits(bits) as i64,
                         },
                         state,
+                        table,
                     ),
                     _ => {
                         let key = Key::Cast(to_float, vn_src);
@@ -358,6 +395,9 @@ fn lookup_or_insert(state: &mut BlockState, key: Key, constant: Option<Const>) -
         vn
     } else {
         let vn = state.fresh_vn();
+        if let Key::IntBin(op, a, b) = key {
+            state.int_expr.insert(vn, (op, a, b));
+        }
         state.exprs.insert(key, vn);
         if let Some(c) = constant {
             state.consts.insert(vn, c);
@@ -371,69 +411,27 @@ enum Simplified {
     Const(i64),
 }
 
-/// Algebraic identities on integer operations. `a`/`b` are value numbers
-/// (already canonicalized for commutative ops: constants sort high only by
-/// accident, so both sides are checked).
-fn simplify_int(op: IntBinOp, a: usize, b: usize, state: &BlockState) -> Option<Simplified> {
-    let ca = state.consts.get(&a).copied();
-    let cb = state.consts.get(&b).copied();
-    let a_is = |v: i64| ca == Some(Const::Int(v));
-    let b_is = |v: i64| cb == Some(Const::Int(v));
-    match op {
-        IntBinOp::Add => {
-            if a_is(0) {
-                return Some(Simplified::Vn(b));
-            }
-            if b_is(0) {
-                return Some(Simplified::Vn(a));
-            }
-        }
-        IntBinOp::Sub => {
-            if b_is(0) {
-                return Some(Simplified::Vn(a));
-            }
-            if a == b {
-                return Some(Simplified::Const(0));
-            }
-        }
-        IntBinOp::Mul => {
-            if a_is(1) {
-                return Some(Simplified::Vn(b));
-            }
-            if b_is(1) {
-                return Some(Simplified::Vn(a));
-            }
-            if a_is(0) || b_is(0) {
-                return Some(Simplified::Const(0));
-            }
-        }
-        IntBinOp::Div => {
-            if b_is(1) {
-                return Some(Simplified::Vn(a));
-            }
-        }
-        IntBinOp::And | IntBinOp::Or => {
-            if a == b {
-                return Some(Simplified::Vn(a));
-            }
-        }
-        IntBinOp::Xor => {
-            if a == b {
-                return Some(Simplified::Const(0));
-            }
-            if a_is(0) {
-                return Some(Simplified::Vn(b));
-            }
-            if b_is(0) {
-                return Some(Simplified::Vn(a));
-            }
-        }
-        IntBinOp::Shl | IntBinOp::Shr => {
-            if b_is(0) {
-                return Some(Simplified::Vn(a));
-            }
-        }
-        IntBinOp::Cmp(_) | IntBinOp::Rem => {}
+/// Algebraic identities on integer operations, driven by the verified
+/// rule table: patterns are matched over value numbers (`a`/`b`), with
+/// nested subpatterns resolved through the block's expression map. The
+/// sole hand-written residual is `x / 1 == x`: division is outside the
+/// synthesis grammar (no sound certifier covers it), so its identity
+/// cannot ship as a table rule.
+fn simplify_int(
+    table: &RuleTable,
+    op: IntBinOp,
+    a: usize,
+    b: usize,
+    state: &BlockState,
+) -> Option<Simplified> {
+    if let Some(rewrite) = supersym_rules::simplify(table, op, a, b, state) {
+        return Some(match rewrite {
+            Rewrite::Operand(vn) => Simplified::Vn(vn),
+            Rewrite::Const(value) => Simplified::Const(value),
+        });
+    }
+    if op == IntBinOp::Div && state.const_of(b) == Some(1) {
+        return Some(Simplified::Vn(a));
     }
     None
 }
@@ -678,6 +676,35 @@ mod tests {
         let module = optimize("fn main(int x) -> int { return (x + 0) * 1 + (x - x) + (x ^ x); }");
         // Everything folds to x: read + maybe nothing else... final add of
         // zero folds too. Expect just the parameter read.
+        assert_eq!(count_insts(&module), 1);
+    }
+
+    #[test]
+    fn nested_rule_simplification() {
+        // `(x + y) - y => x` is a depth-2 synthesized rule: the matcher
+        // walks the value-numbered expression map to match the inner add.
+        let module = optimize("fn main(int x, int y) -> int { return (x + y) - y; }");
+        assert_eq!(count_insts(&module), 1, "collapses to the read of x");
+    }
+
+    #[test]
+    fn empty_table_disables_algebraic_rules() {
+        let mut module = prepare("fn main(int x) -> int { return x + 0; }");
+        local_value_numbering_with(&mut module, &RuleTable::empty());
+        crate::dead_code_elimination(&mut module);
+        let adds = module.funcs[0].blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::IntBin { .. }))
+            .count();
+        assert_eq!(adds, 1, "without rules the add survives");
+    }
+
+    #[test]
+    fn division_by_one_residual_identity() {
+        // Div is outside the rule grammar; its identity is the one
+        // remaining hard-coded simplification.
+        let module = optimize("fn main(int x) -> int { return x / 1; }");
         assert_eq!(count_insts(&module), 1);
     }
 

@@ -8,86 +8,63 @@
 //! Float reassociation changes rounding and is therefore only run when the
 //! pipeline explicitly asks for it (the paper's "requires us to use
 //! knowledge of operator associativity").
+//!
+//! *Which* integer operators may be chained is not hard-coded: an operator
+//! qualifies exactly when the verified rule table proves it both
+//! commutative and associative (`prop <op> comm` + `prop <op> assoc`),
+//! which extends the pass beyond `+`/`*` to `&`, `|` and `^` — and keeps
+//! `-`, `<<`, `>>` out, because no certifier can prove them chainable.
+//! Float chains stay a policy decision (add/mul only), since float
+//! associativity is genuinely false and is opted into, not proven.
 
 use std::collections::HashMap;
 use supersym_ir::{FloatBinOp, Inst, IntBinOp, Module, VReg};
+use supersym_rules::{default_table, RuleTable};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ChainOp {
-    IntAdd,
-    IntMul,
-    FloatAdd,
-    FloatMul,
+    Int(IntBinOp),
+    Float(FloatBinOp),
 }
 
-fn chain_op(inst: &Inst) -> Option<(ChainOp, VReg, VReg, VReg)> {
+fn chain_op(inst: &Inst, table: &RuleTable) -> Option<(ChainOp, VReg, VReg, VReg)> {
     match inst {
-        Inst::IntBin {
-            op: IntBinOp::Add,
-            dst,
-            lhs,
-            rhs,
-        } => Some((ChainOp::IntAdd, *dst, *lhs, *rhs)),
-        Inst::IntBin {
-            op: IntBinOp::Mul,
-            dst,
-            lhs,
-            rhs,
-        } => Some((ChainOp::IntMul, *dst, *lhs, *rhs)),
+        Inst::IntBin { op, dst, lhs, rhs } if table.chainable(*op) => {
+            Some((ChainOp::Int(*op), *dst, *lhs, *rhs))
+        }
         Inst::FloatBin {
-            op: FloatBinOp::Add,
+            op: op @ (FloatBinOp::Add | FloatBinOp::Mul),
             dst,
             lhs,
             rhs,
-        } => Some((ChainOp::FloatAdd, *dst, *lhs, *rhs)),
-        Inst::FloatBin {
-            op: FloatBinOp::Mul,
-            dst,
-            lhs,
-            rhs,
-        } => Some((ChainOp::FloatMul, *dst, *lhs, *rhs)),
+        } => Some((ChainOp::Float(*op), *dst, *lhs, *rhs)),
         _ => None,
     }
 }
 
 fn make_inst(op: ChainOp, dst: VReg, lhs: VReg, rhs: VReg) -> Inst {
     match op {
-        ChainOp::IntAdd => Inst::IntBin {
-            op: IntBinOp::Add,
-            dst,
-            lhs,
-            rhs,
-        },
-        ChainOp::IntMul => Inst::IntBin {
-            op: IntBinOp::Mul,
-            dst,
-            lhs,
-            rhs,
-        },
-        ChainOp::FloatAdd => Inst::FloatBin {
-            op: FloatBinOp::Add,
-            dst,
-            lhs,
-            rhs,
-        },
-        ChainOp::FloatMul => Inst::FloatBin {
-            op: FloatBinOp::Mul,
-            dst,
-            lhs,
-            rhs,
-        },
+        ChainOp::Int(op) => Inst::IntBin { op, dst, lhs, rhs },
+        ChainOp::Float(op) => Inst::FloatBin { op, dst, lhs, rhs },
     }
 }
 
-/// Rebalances associative chains of four or more leaves in every block.
+/// Rebalances associative chains of four or more leaves in every block,
+/// with chainable operators taken from the default (verified) rule table.
 /// Returns `true` if anything changed.
 pub fn reassociate(module: &mut Module) -> bool {
+    reassociate_with(module, default_table())
+}
+
+/// [`reassociate`] with an explicit rule table deciding which integer
+/// operators are chainable.
+pub fn reassociate_with(module: &mut Module, table: &RuleTable) -> bool {
     let mut changed = false;
     for func in &mut module.funcs {
         for block_index in 0..func.blocks.len() {
             // Bounded retry: each rewrite may expose another chain.
             for _ in 0..8 {
-                if !reassociate_block(func, block_index) {
+                if !reassociate_block(func, block_index, table) {
                     break;
                 }
                 changed = true;
@@ -97,7 +74,11 @@ pub fn reassociate(module: &mut Module) -> bool {
     changed
 }
 
-fn reassociate_block(func: &mut supersym_ir::Function, block_index: usize) -> bool {
+fn reassociate_block(
+    func: &mut supersym_ir::Function,
+    block_index: usize,
+    table: &RuleTable,
+) -> bool {
     let block = &func.blocks[block_index];
     // Use counts of vregs within the block (including the terminator).
     let mut uses: HashMap<VReg, usize> = HashMap::new();
@@ -117,7 +98,7 @@ fn reassociate_block(func: &mut supersym_ir::Function, block_index: usize) -> bo
 
     // Find a maximal chain root.
     for (index, inst) in block.insts.iter().enumerate().rev() {
-        let Some((op, dst, _, _)) = chain_op(inst) else {
+        let Some((op, dst, _, _)) = chain_op(inst, table) else {
             continue;
         };
         // Maximal: dst is not consumed (exactly once) by a same-op inst.
@@ -128,7 +109,7 @@ fn reassociate_block(func: &mut supersym_ir::Function, block_index: usize) -> bo
                 found
             });
             if let Some(consumer) = consumer {
-                if chain_op(consumer).is_some_and(|(cop, _, _, _)| cop == op) {
+                if chain_op(consumer, table).is_some_and(|(cop, _, _, _)| cop == op) {
                     continue;
                 }
             }
@@ -139,12 +120,12 @@ fn reassociate_block(func: &mut supersym_ir::Function, block_index: usize) -> bo
         let mut interior: Vec<usize> = Vec::new();
         let mut stack = vec![(index, false)];
         while let Some((pos, _)) = stack.pop() {
-            let (cop, _, lhs, rhs) = chain_op(&block.insts[pos]).expect("chain member");
+            let (cop, _, lhs, rhs) = chain_op(&block.insts[pos], table).expect("chain member");
             debug_assert_eq!(cop, op);
             for operand in [lhs, rhs] {
                 let expandable = def_pos.get(&operand).is_some_and(|&p| {
                     uses.get(&operand) == Some(&1)
-                        && chain_op(&block.insts[p]).is_some_and(|(o, _, _, _)| o == op)
+                        && chain_op(&block.insts[p], table).is_some_and(|(o, _, _, _)| o == op)
                 });
                 if expandable {
                     let p = def_pos[&operand];
@@ -207,9 +188,8 @@ mod tests {
     use supersym_ir::Terminator;
     use supersym_lang::ast::Ty;
 
-    /// Builds `dst = ((((a+b)+c)+d)+e)` in one block and measures chain
-    /// depth before/after.
-    fn left_chain(n: usize) -> supersym_ir::Module {
+    /// Builds `dst = ((((a?b)?c)?d)?e)` for `op` in one block.
+    fn left_chain_of(n: usize, op: IntBinOp) -> supersym_ir::Module {
         use supersym_ir::{Block, Function, LocalId, VarRef};
         let mut func = Function {
             name: "f".into(),
@@ -235,7 +215,7 @@ mod tests {
         for &leaf in &leaves[1..] {
             let next = func.new_vreg(Ty::Int);
             insts.push(Inst::IntBin {
-                op: IntBinOp::Add,
+                op,
                 dst: next,
                 lhs: acc,
                 rhs: leaf,
@@ -258,13 +238,17 @@ mod tests {
         }
     }
 
+    fn left_chain(n: usize) -> supersym_ir::Module {
+        left_chain_of(n, IntBinOp::Add)
+    }
+
     /// Depth of the dependence chain feeding the final write.
     fn add_chain_depth(module: &supersym_ir::Module) -> usize {
         let block = &module.funcs[0].blocks[0];
         let mut depth: HashMap<VReg, usize> = HashMap::new();
         let mut max_depth = 0;
         for inst in &block.insts {
-            if let Some((_, dst, lhs, rhs)) = chain_op(inst) {
+            if let Some((_, dst, lhs, rhs)) = chain_op(inst, default_table()) {
                 let d = 1 + depth
                     .get(&lhs)
                     .copied()
@@ -292,13 +276,13 @@ mod tests {
         let adds_before = module.funcs[0].blocks[0]
             .insts
             .iter()
-            .filter(|i| chain_op(i).is_some())
+            .filter(|i| chain_op(i, default_table()).is_some())
             .count();
         reassociate(&mut module);
         let adds_after = module.funcs[0].blocks[0]
             .insts
             .iter()
-            .filter(|i| chain_op(i).is_some())
+            .filter(|i| chain_op(i, default_table()).is_some())
             .count();
         assert_eq!(adds_before, adds_after);
     }
@@ -316,6 +300,31 @@ mod tests {
         assert!(reassociate(&mut module));
         module.validate().unwrap();
         assert!(add_chain_depth(&module) <= 3);
+    }
+
+    #[test]
+    fn xor_chain_balances_via_proven_props() {
+        // Xor is chainable only because the table proves `prop xor comm`
+        // and `prop xor assoc`; the pass itself has no opinion.
+        let mut module = left_chain_of(8, IntBinOp::Xor);
+        assert_eq!(add_chain_depth(&module), 7);
+        assert!(reassociate(&mut module));
+        module.validate().unwrap();
+        assert_eq!(add_chain_depth(&module), 3);
+    }
+
+    #[test]
+    fn sub_chain_is_never_touched() {
+        // Subtraction has no associativity proof, so no table will ever
+        // mark it chainable.
+        let mut module = left_chain_of(8, IntBinOp::Sub);
+        assert!(!reassociate(&mut module));
+    }
+
+    #[test]
+    fn empty_table_disables_integer_chains() {
+        let mut module = left_chain(8);
+        assert!(!reassociate_with(&mut module, &RuleTable::empty()));
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Sound certifiers for candidate identities.
+//!
+//! Fingerprint equality (see `synth`) is evidence, not proof: two terms
+//! agreeing on every sample vector may still differ somewhere in `i64`.
+//! Every rule that ships must pass one of three *sound* verification
+//! backends, each complete for a fragment of the grammar:
+//!
+//! * **ring** — terms over {add, sub, mul, neg, shift-left-by-constant,
+//!   const, var} denote polynomial functions over Z/2^64 (two's-complement
+//!   wrapping arithmetic *is* arithmetic mod 2^64). A polynomial function
+//!   vanishes identically mod 2^64 iff all of its mixed finite differences
+//!   at the origin vanish (the Newton/Mahler expansion: `f(x) = Σ_k Δ^k
+//!   f(0) · C(x,k)`, and the binomials `C(x,k)` are integer-valued). The
+//!   differences are integer combinations of `f`'s values on the grid
+//!   `[0, deg₁] × … × [0, degₙ]`, so the certificate is a finite, exact
+//!   computation on term *evaluations* — the same `eval_int` the simulator
+//!   uses, leaving no gap between the proof and the semantics.
+//! * **bits** — terms over {and, or, xor, shift-by-constant, const, var}
+//!   compute each output bit as a boolean function of input bits
+//!   (arithmetic right shift replicates the sign bit — still a renaming).
+//!   Both sides are compiled to 64 per-bit boolean functions in truth-table
+//!   form and compared exhaustively; sound and complete for the fragment.
+//! * **range** — both sides abstractly evaluate (via the `analyze` value
+//!   range lattice) to the *same singleton* interval with all variables at
+//!   ⊤; sound because a singleton abstract value is an exact result. This
+//!   is the PR-2 lattice acting as a verification engine, and it covers
+//!   annihilator rules (`x & 0 → 0`, `x * 0 → 0`) independently of the
+//!   algebraic backends.
+//!
+//! A candidate no backend can prove is dropped — never shipped.
+
+use crate::term::{Term, MAX_VARS};
+use crate::RuleOp;
+use supersym_analyze::range::eval_range;
+use supersym_analyze::Interval;
+
+/// Which backend proved a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CertKind {
+    /// Polynomial nullity over Z/2^64 by mixed finite differences.
+    Ring,
+    /// Per-bit exhaustive boolean equivalence.
+    Bits,
+    /// Both sides collapse to one singleton in the value-range lattice.
+    Range,
+}
+
+impl CertKind {
+    /// Stable name used in the rule-file format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CertKind::Ring => "ring",
+            CertKind::Bits => "bits",
+            CertKind::Range => "range",
+        }
+    }
+
+    /// Parses a backend name from the rule-file format.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<CertKind> {
+        match name {
+            "ring" => Some(CertKind::Ring),
+            "bits" => Some(CertKind::Bits),
+            "range" => Some(CertKind::Range),
+            _ => None,
+        }
+    }
+}
+
+/// Attempts to prove `lhs ≡ rhs` as functions of their variables, trying
+/// each backend in fixed order. Returns the backend that succeeded.
+#[must_use]
+pub fn certify(lhs: &Term, rhs: &Term) -> Option<CertKind> {
+    if cert_ring(lhs, rhs) {
+        Some(CertKind::Ring)
+    } else if cert_bits(lhs, rhs) {
+        Some(CertKind::Bits)
+    } else if cert_range(lhs, rhs) {
+        Some(CertKind::Range)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring backend
+// ---------------------------------------------------------------------------
+
+/// Per-variable degree cap; keeps the certification grid small. Depth-3
+/// terms stay far below it.
+const MAX_DEGREE: u32 = 12;
+
+/// Per-variable degree bound of a ring-fragment term, or `None` when the
+/// term leaves the fragment (or exceeds [`MAX_DEGREE`]).
+fn ring_degree(term: &Term) -> Option<[u32; MAX_VARS]> {
+    let deg = match term {
+        Term::Const(_) => [0; MAX_VARS],
+        Term::Var(v) => {
+            let mut d = [0; MAX_VARS];
+            d[*v as usize] = 1;
+            d
+        }
+        Term::Neg(t) => ring_degree(t)?,
+        Term::Bin(op, a, b) => {
+            let da = ring_degree(a)?;
+            match op {
+                RuleOp::Add | RuleOp::Sub => {
+                    let db = ring_degree(b)?;
+                    [da[0].max(db[0]), da[1].max(db[1]), da[2].max(db[2])]
+                }
+                RuleOp::Mul => {
+                    let db = ring_degree(b)?;
+                    [da[0] + db[0], da[1] + db[1], da[2] + db[2]]
+                }
+                // `x << c` is multiplication by 2^(c mod 64): polynomial.
+                RuleOp::Shl if matches!(**b, Term::Const(_)) => da,
+                RuleOp::Shl | RuleOp::Shr | RuleOp::And | RuleOp::Or | RuleOp::Xor => return None,
+            }
+        }
+    };
+    deg.iter().all(|&d| d <= MAX_DEGREE).then_some(deg)
+}
+
+/// Proves `lhs - rhs ≡ 0 (mod 2^64)` for *all* variable values by exact
+/// evaluation on the degree grid. Sound and complete for the ring
+/// fragment: with `f = lhs - rhs` of per-variable degree `degᵢ`, the mixed
+/// finite differences `Δ^k f(0)` for `k ≤ deg` are (triangular, ±1)
+/// integer combinations of `f`'s values on `[0, deg₁] × … × [0, degₙ]`,
+/// so `f ≡ 0` on that grid mod 2^64 forces every Newton coefficient to 0
+/// mod 2^64, and the Newton expansion then makes `f ≡ 0` everywhere.
+fn cert_ring(lhs: &Term, rhs: &Term) -> bool {
+    let (Some(dl), Some(dr)) = (ring_degree(lhs), ring_degree(rhs)) else {
+        return false;
+    };
+    let deg = [dl[0].max(dr[0]), dl[1].max(dr[1]), dl[2].max(dr[2])];
+    for x in 0..=deg[0] as i64 {
+        for y in 0..=deg[1] as i64 {
+            for z in 0..=deg[2] as i64 {
+                let vars = [x, y, z];
+                if lhs.eval(&vars) != rhs.eval(&vars) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Bits backend
+// ---------------------------------------------------------------------------
+
+/// Cap on distinct input-bit atoms per boolean function (truth tables are
+/// `2^n` bits). Rule terms have at most a handful of leaves, so this is
+/// generous.
+const MAX_ATOMS: usize = 16;
+
+/// A boolean function of input-bit atoms `(variable, bit index)`, as an
+/// explicit truth table over its (sorted, deduplicated) atom list.
+#[derive(Debug, Clone)]
+struct BoolFn {
+    atoms: Vec<(u8, u8)>,
+    /// Truth table: bit `m` is the output for the assignment whose bit `i`
+    /// (of `m`) gives the value of `atoms[i]`.
+    table: Vec<u64>,
+}
+
+impl BoolFn {
+    fn constant(value: bool) -> BoolFn {
+        BoolFn {
+            atoms: Vec::new(),
+            table: vec![u64::from(value)],
+        }
+    }
+
+    fn atom(var: u8, bit: u8) -> BoolFn {
+        BoolFn {
+            atoms: vec![(var, bit)],
+            table: vec![0b10],
+        }
+    }
+
+    fn get(&self, assignment: usize) -> bool {
+        self.table[assignment / 64] >> (assignment % 64) & 1 == 1
+    }
+
+    /// Combines two functions over the union of their atom lists.
+    fn combine(op: RuleOp, f: &BoolFn, g: &BoolFn) -> Option<BoolFn> {
+        let mut atoms: Vec<(u8, u8)> = f.atoms.iter().chain(&g.atoms).copied().collect();
+        atoms.sort_unstable();
+        atoms.dedup();
+        if atoms.len() > MAX_ATOMS {
+            return None;
+        }
+        // For each operand: the position in the union of each of its atoms.
+        let positions = |h: &BoolFn| -> Vec<usize> {
+            h.atoms
+                .iter()
+                .map(|a| atoms.binary_search(a).expect("atom in union"))
+                .collect()
+        };
+        let (fp, gp) = (positions(f), positions(g));
+        let project = |h: &BoolFn, hp: &[usize], m: usize| -> bool {
+            let mut sub = 0_usize;
+            for (i, &p) in hp.iter().enumerate() {
+                sub |= (m >> p & 1) << i;
+            }
+            h.get(sub)
+        };
+        let entries = 1_usize << atoms.len();
+        let mut table = vec![0_u64; entries.div_ceil(64)];
+        for m in 0..entries {
+            let a = project(f, &fp, m);
+            let b = project(g, &gp, m);
+            let out = match op {
+                RuleOp::And => a && b,
+                RuleOp::Or => a || b,
+                RuleOp::Xor => a != b,
+                _ => unreachable!("combine only used for bitwise ops"),
+            };
+            if out {
+                table[m / 64] |= 1 << (m % 64);
+            }
+        }
+        Some(BoolFn { atoms, table })
+    }
+
+    /// Semantic equality (over the union of both atom lists).
+    fn equivalent(f: &BoolFn, g: &BoolFn) -> bool {
+        match BoolFn::combine(RuleOp::Xor, f, g) {
+            Some(x) => x.table.iter().all(|&w| w == 0),
+            None => false,
+        }
+    }
+}
+
+/// Compiles a bit-fragment term to its 64 per-bit boolean functions, or
+/// `None` when the term leaves the fragment.
+fn bit_compile(term: &Term) -> Option<Vec<BoolFn>> {
+    match term {
+        Term::Const(c) => Some((0..64).map(|j| BoolFn::constant(c >> j & 1 == 1)).collect()),
+        Term::Var(v) => Some((0..64).map(|j| BoolFn::atom(*v, j)).collect()),
+        Term::Neg(_) => None, // two's-complement negation is not bitwise
+        Term::Bin(op, a, b) => match op {
+            RuleOp::And | RuleOp::Or | RuleOp::Xor => {
+                let fa = bit_compile(a)?;
+                let fb = bit_compile(b)?;
+                fa.iter()
+                    .zip(&fb)
+                    .map(|(x, y)| BoolFn::combine(*op, x, y))
+                    .collect()
+            }
+            RuleOp::Shl => {
+                let Term::Const(c) = **b else { return None };
+                let k = (c as u32 & 63) as usize;
+                let fa = bit_compile(a)?;
+                Some(
+                    (0..64)
+                        .map(|j| {
+                            if j >= k {
+                                fa[j - k].clone()
+                            } else {
+                                BoolFn::constant(false)
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            RuleOp::Shr => {
+                let Term::Const(c) = **b else { return None };
+                let k = (c as u32 & 63) as usize;
+                let fa = bit_compile(a)?;
+                // Arithmetic shift: bits above the top replicate the sign.
+                Some((0..64).map(|j| fa[(j + k).min(63)].clone()).collect())
+            }
+            RuleOp::Add | RuleOp::Sub | RuleOp::Mul => None,
+        },
+    }
+}
+
+/// Proves per-bit boolean equivalence of the two sides. Sound and complete
+/// for the bit fragment.
+fn cert_bits(lhs: &Term, rhs: &Term) -> bool {
+    let (Some(fl), Some(fr)) = (bit_compile(lhs), bit_compile(rhs)) else {
+        return false;
+    };
+    fl.iter().zip(&fr).all(|(f, g)| BoolFn::equivalent(f, g))
+}
+
+// ---------------------------------------------------------------------------
+// Range backend
+// ---------------------------------------------------------------------------
+
+/// Abstract evaluation of a term over the `analyze` value-range lattice
+/// with every variable at ⊤.
+fn range_of(term: &Term) -> Interval {
+    match term {
+        Term::Var(_) => Interval::FULL,
+        Term::Const(c) => Interval::constant(*c),
+        Term::Neg(t) => eval_range(
+            supersym_ir::IntBinOp::Sub,
+            &Interval::constant(0),
+            &range_of(t),
+        ),
+        Term::Bin(op, a, b) => eval_range(op.to_int_bin(), &range_of(a), &range_of(b)),
+    }
+}
+
+/// Proves equality by abstract interpretation: both sides collapse to the
+/// same singleton interval. Sound (a singleton is exact); complete only
+/// for rules whose result is independent of the variables.
+fn cert_range(lhs: &Term, rhs: &Term) -> bool {
+    match (range_of(lhs).as_constant(), range_of(rhs).as_constant()) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_term;
+
+    fn t(s: &str) -> Term {
+        parse_term(s).unwrap()
+    }
+
+    #[test]
+    fn ring_proves_arithmetic_identities() {
+        assert!(cert_ring(&t("(add ?a 0)"), &t("?a")));
+        assert!(cert_ring(&t("(sub ?a ?a)"), &t("0")));
+        assert!(cert_ring(&t("(mul ?a 1)"), &t("?a")));
+        assert!(cert_ring(&t("(sub (add ?a ?b) ?b)"), &t("?a")));
+        assert!(cert_ring(&t("(add ?a (neg ?a))"), &t("0")));
+        assert!(cert_ring(&t("(mul ?a 2)"), &t("(shl ?a 1)")));
+        assert!(cert_ring(&t("(add ?a ?b)"), &t("(add ?b ?a)")));
+        assert!(cert_ring(
+            &t("(mul (mul ?a ?b) ?c)"),
+            &t("(mul ?a (mul ?b ?c))")
+        ));
+    }
+
+    #[test]
+    fn ring_rejects_non_identities() {
+        assert!(!cert_ring(&t("(add ?a 1)"), &t("?a")));
+        assert!(!cert_ring(&t("(sub ?a ?b)"), &t("0")));
+        // 2^63 of an odd multiplier difference still shows up mod 2^64.
+        assert!(!cert_ring(&t("(mul ?a 3)"), &t("(mul ?a 2)")));
+        // Holds mod 2^8 but not mod 2^64 — the classic small-bitwidth trap.
+        assert!(!cert_ring(&t("(shl ?a 8)"), &t("0")));
+    }
+
+    #[test]
+    fn ring_understands_wrapping() {
+        // x * 2^64 ≡ x << (64 mod 64) = x, NOT 0: the shift count masks.
+        assert!(cert_ring(&t("(shl ?a 64)"), &t("?a")));
+        // But x << 63 + x << 63 ≡ x · 2^64 ≡ 0 mod 2^64 — a genuinely
+        // wrapping identity invisible to plain small-bitwidth testing.
+        assert!(cert_ring(&t("(add (shl ?a 63) (shl ?a 63))"), &t("0")));
+    }
+
+    #[test]
+    fn bits_proves_boolean_identities() {
+        assert!(cert_bits(&t("(and ?a ?a)"), &t("?a")));
+        assert!(cert_bits(&t("(xor ?a ?a)"), &t("0")));
+        assert!(cert_bits(&t("(or ?a 0)"), &t("?a")));
+        assert!(cert_bits(&t("(and ?a -1)"), &t("?a")));
+        assert!(cert_bits(&t("(xor (xor ?a ?b) ?b)"), &t("?a")));
+        assert!(cert_bits(&t("(and (or ?a ?b) ?a)"), &t("?a")));
+        assert!(cert_bits(&t("(shl ?a 0)"), &t("?a")));
+        assert!(cert_bits(&t("(shr (shl ?a 0) 0)"), &t("?a")));
+        assert!(cert_bits(&t("(or ?a ?b)"), &t("(or ?b ?a)")));
+    }
+
+    #[test]
+    fn bits_rejects_non_identities() {
+        assert!(!cert_bits(&t("(and ?a ?b)"), &t("?a")));
+        assert!(!cert_bits(&t("(shl ?a 1)"), &t("?a")));
+        // Arithmetic (not logical) right shift: shr by 63 is the sign
+        // smear, not 0 or 1.
+        assert!(!cert_bits(&t("(shr ?a 63)"), &t("0")));
+        // Fragment escape: addition is not per-bit.
+        assert!(!cert_bits(&t("(add ?a 0)"), &t("?a")));
+    }
+
+    #[test]
+    fn bits_handles_arithmetic_shift_sign() {
+        // (x >> 63) >> 5 == x >> 63: the sign smear is idempotent.
+        assert!(cert_bits(&t("(shr (shr ?a 63) 5)"), &t("(shr ?a 63)")));
+    }
+
+    #[test]
+    fn range_proves_annihilators() {
+        assert!(cert_range(&t("(and ?a 0)"), &t("0")));
+        assert!(cert_range(&t("(mul ?a 0)"), &t("0")));
+        assert!(!cert_range(&t("(add ?a 0)"), &t("?a"))); // not constant
+        assert!(!cert_range(&t("(and ?a 1)"), &t("0"))); // range [0,1]
+    }
+
+    #[test]
+    fn certify_picks_a_backend() {
+        assert_eq!(certify(&t("(add ?a 0)"), &t("?a")), Some(CertKind::Ring));
+        assert_eq!(certify(&t("(or ?a ?a)"), &t("?a")), Some(CertKind::Bits));
+        assert_eq!(certify(&t("(add ?a 1)"), &t("?a")), None);
+        // Mixed fragment (bitwise inside arithmetic): only the range
+        // lattice can collapse it.
+        assert_eq!(
+            certify(&t("(mul (and ?a 0) ?b)"), &t("0")),
+            Some(CertKind::Range)
+        );
+    }
+}

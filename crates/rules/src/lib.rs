@@ -1,0 +1,41 @@
+//! # supersym-rules
+//!
+//! Verified rewrite-rule synthesis and the machine-checked rule table the
+//! optimizer consumes.
+//!
+//! The crate follows the Ruler recipe, shrunk to the simulator's integer
+//! expression language:
+//!
+//! 1. **Enumerate** ([`synth`]) expression shapes over
+//!    `{add, sub, mul, shl, shr, and, or, xor, neg, const}` up to a depth
+//!    bound, keeping one representative per behavior class;
+//! 2. **Fingerprint**: behavior classes are keyed by evaluation on shared
+//!    characteristic vectors (boundary values + [`supersym_rng::SplitMix64`]
+//!    samples) under exact simulator semantics — wrapping arithmetic,
+//!    shift counts mod 64;
+//! 3. **Verify** ([`cert`]): a fingerprint match is only a conjecture;
+//!    each candidate must be *proven* by a sound certifier (polynomial
+//!    identity testing over `Z/2^64`, per-bit truth tables, or the
+//!    `supersym-analyze` value-range lattice) or it is dropped. Nothing
+//!    unproven ships.
+//!
+//! The surviving *collapsing* rules (right-hand side is a variable or a
+//! constant) are written to `rules.tital-rules` ([`table`]), checked in,
+//! and re-proven from cold start by the test suite. Local value numbering
+//! applies them through the [`matcher`]; the reassociation pass consults
+//! the table's proven commutativity/associativity facts to decide which
+//! operators it may chain.
+
+#![deny(missing_docs)]
+
+pub mod cert;
+pub mod matcher;
+pub mod synth;
+pub mod table;
+pub mod term;
+
+pub use cert::{certify, CertKind};
+pub use matcher::{simplify, Rewrite, SimplifyCtx};
+pub use synth::{synthesize, SynthConfig, SynthReport};
+pub use table::{default_table, OpProps, Rule, RuleTable, DEFAULT_TABLE_TEXT};
+pub use term::{parse_term, RuleOp, Term, MAX_VARS};

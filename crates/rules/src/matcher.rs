@@ -1,0 +1,250 @@
+//! Rule matching against value-numbered expressions.
+//!
+//! The optimizer's local value numbering (and the translation validator's
+//! symbolic evaluator) expose their state through [`SimplifyCtx`]: what a
+//! value number's constant is (if known) and which expression it names (if
+//! any). [`simplify`] then tries every table rule whose pattern can match
+//! the instruction's root operator, binding metavariables to value
+//! numbers. Repeated metavariables require *equal* value numbers — in a
+//! value-numbered block, equal numbers mean proven-equal values, which is
+//! exactly the semantic equality the rule's proof assumed.
+//!
+//! Commutative retries consult the table's *proven* `prop` facts, not
+//! hard-coded operator knowledge: an operator with no commutativity proof
+//! is only matched in pattern order.
+
+use crate::table::RuleTable;
+use crate::term::{Term, MAX_VARS};
+use supersym_ir::IntBinOp;
+
+/// What the matcher needs to know about the surrounding value-numbered
+/// block.
+pub trait SimplifyCtx {
+    /// The constant a value number is known to hold, if any.
+    fn const_of(&self, vn: usize) -> Option<i64>;
+    /// The integer binary expression a value number names, if any (with
+    /// operand value numbers).
+    fn expr_of(&self, vn: usize) -> Option<(IntBinOp, usize, usize)>;
+}
+
+/// The result of a successful rule application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rewrite {
+    /// The instruction collapses to an existing value number.
+    Operand(usize),
+    /// The instruction collapses to a constant.
+    Const(i64),
+}
+
+/// Tries every applicable table rule against the instruction
+/// `op(a, b)` (operands as value numbers) and returns the first rewrite
+/// that matches. Rules are tried in canonical table order, so the result
+/// is deterministic.
+#[must_use]
+pub fn simplify(
+    table: &RuleTable,
+    op: IntBinOp,
+    a: usize,
+    b: usize,
+    ctx: &impl SimplifyCtx,
+) -> Option<Rewrite> {
+    for &idx in table.rules_for(op) {
+        let rule = table.rule(idx);
+        let mut bind: [Option<usize>; MAX_VARS] = [None; MAX_VARS];
+        let matched = match &rule.lhs {
+            Term::Bin(pop, p, q) if pop.to_int_bin() == op => {
+                match_children(p, q, a, b, op, table, ctx, &mut bind)
+            }
+            // `neg`-rooted patterns match the IR's `0 - x` encoding.
+            Term::Neg(p) if op == IntBinOp::Sub => {
+                ctx.const_of(a) == Some(0) && match_pat(p, b, table, ctx, &mut bind)
+            }
+            _ => false,
+        };
+        if matched {
+            return Some(match &rule.rhs {
+                Term::Var(v) => {
+                    Rewrite::Operand(bind[*v as usize].expect("rhs variables bound by lhs"))
+                }
+                Term::Const(c) => Rewrite::Const(*c),
+                _ => unreachable!("shipped rules are collapsing (checked at parse)"),
+            });
+        }
+    }
+    None
+}
+
+/// Matches a pattern pair against an operand pair, retrying in swapped
+/// order when the operator's commutativity is proven.
+#[allow(clippy::too_many_arguments)]
+fn match_children(
+    p: &Term,
+    q: &Term,
+    a: usize,
+    b: usize,
+    op: IntBinOp,
+    table: &RuleTable,
+    ctx: &impl SimplifyCtx,
+    bind: &mut [Option<usize>; MAX_VARS],
+) -> bool {
+    let saved = *bind;
+    if match_pat(p, a, table, ctx, bind) && match_pat(q, b, table, ctx, bind) {
+        return true;
+    }
+    *bind = saved;
+    if table.commutative(op)
+        && match_pat(p, b, table, ctx, bind)
+        && match_pat(q, a, table, ctx, bind)
+    {
+        return true;
+    }
+    *bind = saved;
+    false
+}
+
+fn match_pat(
+    pat: &Term,
+    vn: usize,
+    table: &RuleTable,
+    ctx: &impl SimplifyCtx,
+    bind: &mut [Option<usize>; MAX_VARS],
+) -> bool {
+    match pat {
+        Term::Var(v) => match bind[*v as usize] {
+            Some(bound) => bound == vn,
+            None => {
+                bind[*v as usize] = Some(vn);
+                true
+            }
+        },
+        Term::Const(c) => ctx.const_of(vn) == Some(*c),
+        Term::Neg(p) => match ctx.expr_of(vn) {
+            Some((IntBinOp::Sub, l, r)) => {
+                ctx.const_of(l) == Some(0) && match_pat(p, r, table, ctx, bind)
+            }
+            _ => false,
+        },
+        Term::Bin(pop, p, q) => match ctx.expr_of(vn) {
+            Some((top, l, r)) if top == pop.to_int_bin() => {
+                match_children(p, q, l, r, top, table, ctx, bind)
+            }
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RuleTable;
+
+    /// A toy value-numbered block for matcher tests.
+    #[derive(Default)]
+    struct Block {
+        consts: Vec<Option<i64>>,
+        exprs: Vec<Option<(IntBinOp, usize, usize)>>,
+    }
+
+    impl Block {
+        fn val(&mut self) -> usize {
+            self.consts.push(None);
+            self.exprs.push(None);
+            self.consts.len() - 1
+        }
+        fn konst(&mut self, c: i64) -> usize {
+            let vn = self.val();
+            self.consts[vn] = Some(c);
+            vn
+        }
+        fn expr(&mut self, op: IntBinOp, a: usize, b: usize) -> usize {
+            let vn = self.val();
+            self.exprs[vn] = Some((op, a, b));
+            vn
+        }
+    }
+
+    impl SimplifyCtx for Block {
+        fn const_of(&self, vn: usize) -> Option<i64> {
+            self.consts[vn]
+        }
+        fn expr_of(&self, vn: usize) -> Option<(IntBinOp, usize, usize)> {
+            self.exprs[vn]
+        }
+    }
+
+    fn table() -> RuleTable {
+        RuleTable::parse(
+            "prop add comm cert=ring\n\
+             rule (add ?a 0) => ?a cert=ring\n\
+             rule (sub ?a ?a) => 0 cert=ring\n\
+             rule (neg (neg ?a)) => ?a cert=ring\n",
+        )
+        .expect("test table parses")
+    }
+
+    #[test]
+    fn collapses_to_operand_and_constant() {
+        let table = table();
+        let mut blk = Block::default();
+        let x = blk.val();
+        let zero = blk.konst(0);
+        assert_eq!(
+            simplify(&table, IntBinOp::Add, x, zero, &blk),
+            Some(Rewrite::Operand(x))
+        );
+        assert_eq!(
+            simplify(&table, IntBinOp::Sub, x, x, &blk),
+            Some(Rewrite::Const(0))
+        );
+        let y = blk.val();
+        assert_eq!(simplify(&table, IntBinOp::Sub, x, y, &blk), None);
+    }
+
+    #[test]
+    fn commutative_retry_uses_proven_props_only() {
+        let table = table();
+        let mut blk = Block::default();
+        let x = blk.val();
+        let zero = blk.konst(0);
+        // `0 + x`: pattern is `(add ?a 0)`, so only the proven-commutative
+        // retry can match it.
+        assert_eq!(
+            simplify(&table, IntBinOp::Add, zero, x, &blk),
+            Some(Rewrite::Operand(x))
+        );
+        // `0 - x` matches no rule here (`sub` has no comm proof, and the
+        // double-negation pattern needs a nested neg).
+        assert_eq!(simplify(&table, IntBinOp::Sub, zero, x, &blk), None);
+    }
+
+    #[test]
+    fn neg_pattern_matches_sub_from_zero() {
+        let table = table();
+        let mut blk = Block::default();
+        let x = blk.val();
+        let zero = blk.konst(0);
+        let neg_x = blk.expr(IntBinOp::Sub, zero, x);
+        // `0 - (0 - x)` => x via `(neg (neg ?a)) => ?a`.
+        assert_eq!(
+            simplify(&table, IntBinOp::Sub, zero, neg_x, &blk),
+            Some(Rewrite::Operand(x))
+        );
+    }
+
+    #[test]
+    fn repeated_variables_require_equal_value_numbers() {
+        let table = table();
+        let mut blk = Block::default();
+        let x = blk.val();
+        let y = blk.val();
+        let xy = blk.expr(IntBinOp::Add, x, y);
+        let xy2 = blk.expr(IntBinOp::Add, x, y);
+        // Distinct value numbers, even for structurally equal exprs: LVN
+        // would have given them the same number if they were equal.
+        assert_eq!(simplify(&table, IntBinOp::Sub, xy, xy2, &blk), None);
+        assert_eq!(
+            simplify(&table, IntBinOp::Sub, xy, xy, &blk),
+            Some(Rewrite::Const(0))
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! Ruler-style rule synthesis: enumerate → fingerprint → verify.
+//!
+//! Terms of the grammar are enumerated layer by layer up to a depth bound.
+//! Each term is evaluated on a shared *characteristic vector* (cvec) of
+//! variable assignments — boundary values plus SplitMix64-seeded random
+//! samples, under exact simulator semantics — and terms are bucketed by
+//! cvec. A term falling into an existing bucket is a candidate identity
+//! with that bucket's (simpler) representative. Matching cvecs are
+//! evidence, not proof: every candidate must then pass one of the sound
+//! certifiers in [`crate::cert`], and candidates no backend can prove are
+//! dropped. Only *collapsing* candidates (representative is a variable or
+//! a constant) ship as rewrite rules — they are exactly what local value
+//! numbering can consume without materializing new instructions.
+//!
+//! Operator properties (commutativity, associativity) are not enumerated;
+//! their defining identities are certified directly and shipped as `prop`
+//! facts for the reassociation pass.
+//!
+//! Everything is deterministic: fixed enumeration order, fixed seed, and a
+//! final canonical sort — `titalc synth` must reproduce the checked-in
+//! table byte for byte.
+
+use crate::cert::{certify, CertKind};
+use crate::table::{OpProps, Rule, RuleTable};
+use crate::term::{Term, MAX_VARS};
+use crate::RuleOp;
+use std::collections::{BTreeSet, HashMap};
+use supersym_rng::SplitMix64;
+
+/// Synthesis parameters. [`SynthConfig::default`] is the configuration
+/// that generates the checked-in `rules.tital-rules`.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Maximum term depth (leaves have depth 1).
+    pub max_depth: usize,
+    /// Constant leaves.
+    pub consts: Vec<i64>,
+    /// Seed for the random portion of the fingerprint vectors.
+    pub seed: u64,
+    /// Number of random assignments appended to the boundary assignments.
+    pub random_samples: usize,
+    /// Cap on equivalence-class representatives carried into the next
+    /// enumeration layer (simplest first), bounding the search.
+    pub max_reps: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            max_depth: 3,
+            consts: vec![0, 1, -1, 2],
+            seed: 6,
+            random_samples: 24,
+            max_reps: 256,
+        }
+    }
+}
+
+/// The outcome of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthReport {
+    /// The verified table (collapsing rules + operator properties).
+    pub table: RuleTable,
+    /// Terms enumerated across all layers.
+    pub terms_enumerated: usize,
+    /// Candidate identities whose cvecs matched.
+    pub candidates: usize,
+    /// Candidates dropped because no certifier could prove them.
+    pub rejected: usize,
+}
+
+/// Boundary values every fingerprint mixes in; chosen to separate
+/// wrapping, shifting and masking behaviors early.
+const BOUNDARY: [i64; 10] = [0, 1, -1, 2, -2, 3, 63, 64, i64::MAX, i64::MIN];
+
+fn fingerprint_assignments(config: &SynthConfig) -> Vec<[i64; MAX_VARS]> {
+    let mut samples = Vec::new();
+    for &b in &BOUNDARY {
+        samples.push([b, b, b]);
+        samples.push([b, 0, 1]);
+        samples.push([1, b, 0]);
+        samples.push([0, 1, b]);
+    }
+    let mut rng = SplitMix64::new(config.seed);
+    for _ in 0..config.random_samples {
+        samples.push([
+            rng.interesting_i64(),
+            rng.interesting_i64(),
+            rng.interesting_i64(),
+        ]);
+    }
+    samples
+}
+
+fn cvec(term: &Term, samples: &[[i64; MAX_VARS]]) -> Vec<i64> {
+    samples.iter().map(|s| term.eval(s)).collect()
+}
+
+/// Runs the full synthesis pipeline and returns the verified table.
+#[must_use]
+pub fn synthesize(config: &SynthConfig) -> SynthReport {
+    let samples = fingerprint_assignments(config);
+    // cvec -> class representative (the first, and thus simplest-layer,
+    // term observed with that behavior).
+    let mut classes: HashMap<Vec<i64>, Term> = HashMap::new();
+    let mut reps: Vec<Term> = Vec::new();
+    let mut terms_enumerated = 0_usize;
+    let mut candidates: Vec<(Term, Term)> = Vec::new();
+
+    // Layer 1: leaves, simplest first (constants in config order, then
+    // variables).
+    let mut layer: Vec<Term> = config
+        .consts
+        .iter()
+        .map(|&c| Term::Const(c))
+        .chain((0..MAX_VARS as u8).map(Term::Var))
+        .collect();
+    for term in layer.drain(..) {
+        terms_enumerated += 1;
+        let fp = cvec(&term, &samples);
+        classes.entry(fp).or_insert_with(|| {
+            reps.push(term.clone());
+            term
+        });
+    }
+
+    // Growth layers: negation and every binary operator over the
+    // representatives discovered so far, with at least one operand from
+    // the previous layer (so each term's depth is exactly `depth`).
+    for depth in 2..=config.max_depth {
+        let grown: Vec<Term> = {
+            let deep = |t: &&Term| t.depth() == depth - 1;
+            let prev: Vec<&Term> = reps.iter().filter(deep).take(config.max_reps).collect();
+            let all: Vec<&Term> = reps
+                .iter()
+                .filter(|t| t.depth() < depth)
+                .take(config.max_reps)
+                .collect();
+            let mut grown = Vec::new();
+            for t in &prev {
+                grown.push(Term::Neg(Box::new((*t).clone())));
+            }
+            for op in RuleOp::ALL {
+                for a in &all {
+                    for b in &all {
+                        if a.depth().max(b.depth()) == depth - 1 {
+                            grown.push(Term::bin(op, (*a).clone(), (*b).clone()));
+                        }
+                    }
+                }
+            }
+            grown
+        };
+        for term in grown {
+            terms_enumerated += 1;
+            let fp = cvec(&term, &samples);
+            match classes.get(&fp) {
+                Some(rep) => {
+                    if *rep != term {
+                        candidates.push((term, rep.clone()));
+                    }
+                }
+                None => {
+                    reps.push(term.clone());
+                    classes.insert(fp, term);
+                }
+            }
+        }
+    }
+
+    // Verify collapsing candidates; drop everything unprovable.
+    let seen_candidates = candidates.len();
+    let mut rejected = 0_usize;
+    let mut verified: BTreeSet<(String, String, CertKind)> = BTreeSet::new();
+    for (lhs, rhs) in candidates {
+        if !matches!(rhs, Term::Var(_) | Term::Const(_)) {
+            continue; // not collapsing: no rule, but not a rejection either
+        }
+        if matches!(lhs, Term::Var(_)) || lhs.var_mask() == 0 {
+            continue; // trivial or ground (constant folding's job)
+        }
+        if rhs.var_mask() & !lhs.var_mask() != 0 {
+            continue; // rhs must not invent variables
+        }
+        // Constant folding collapses ground subterms before rules are
+        // consulted, so a pattern containing a ground compound (e.g.
+        // `(neg 2)`) can never fire in the optimizer.
+        let mut ground_compound = false;
+        lhs.for_each_proper_subterm(&mut |t| {
+            ground_compound |= t.var_mask() == 0 && !matches!(t, Term::Const(_));
+        });
+        if ground_compound {
+            continue;
+        }
+        let (lhs, rhs) = canonize(&lhs, &rhs);
+        match certify(&lhs, &rhs) {
+            Some(cert) => {
+                verified.insert((lhs.to_string(), rhs.to_string(), cert));
+            }
+            None => rejected += 1,
+        }
+    }
+    let verified: Vec<Rule> = verified
+        .into_iter()
+        .map(|(lhs, rhs, cert)| Rule {
+            lhs: crate::term::parse_term(&lhs).expect("printed term reparses"),
+            rhs: crate::term::parse_term(&rhs).expect("printed term reparses"),
+            cert,
+        })
+        .collect();
+    let rules = minimize(verified);
+
+    // Operator properties: certify the defining identities directly.
+    let props: Vec<OpProps> = RuleOp::ALL
+        .into_iter()
+        .map(|op| {
+            let (a, b, c) = (Term::Var(0), Term::Var(1), Term::Var(2));
+            let comm = certify(
+                &Term::bin(op, a.clone(), b.clone()),
+                &Term::bin(op, b.clone(), a.clone()),
+            );
+            let assoc = certify(
+                &Term::bin(op, Term::bin(op, a.clone(), b.clone()), c.clone()),
+                &Term::bin(op, a, Term::bin(op, b, c)),
+            );
+            OpProps { op, comm, assoc }
+        })
+        .collect();
+
+    SynthReport {
+        table: RuleTable::new(rules, props),
+        terms_enumerated,
+        candidates: seen_candidates,
+        rejected,
+    }
+}
+
+/// Renames metavariables in first-occurrence order of the left-hand side,
+/// so α-equivalent candidates deduplicate.
+fn canonize(lhs: &Term, rhs: &Term) -> (Term, Term) {
+    let mut map: [Option<u8>; MAX_VARS] = [None; MAX_VARS];
+    let mut next = 0_u8;
+    fn walk(t: &Term, map: &mut [Option<u8>; MAX_VARS], next: &mut u8) -> Term {
+        match t {
+            Term::Var(v) => {
+                let slot = &mut map[*v as usize];
+                let renamed = *slot.get_or_insert_with(|| {
+                    let n = *next;
+                    *next += 1;
+                    n
+                });
+                Term::Var(renamed)
+            }
+            Term::Const(c) => Term::Const(*c),
+            Term::Neg(inner) => Term::Neg(Box::new(walk(inner, map, next))),
+            Term::Bin(op, a, b) => {
+                // Left first: first occurrence order is pre-order.
+                let a = walk(a, map, next);
+                let b = walk(b, map, next);
+                Term::bin(*op, a, b)
+            }
+        }
+    }
+    let new_lhs = walk(lhs, &mut map, &mut next);
+    let new_rhs = walk(rhs, &mut map, &mut next);
+    (new_lhs, new_rhs)
+}
+
+/// Drops redundant rules: a rule is removed when it is an instance of a
+/// simpler kept rule (same rewrite under substitution), or when a proper
+/// subterm of its left-hand side is already reducible by a kept rule —
+/// the optimizer simplifies operands before their parents, so such a
+/// pattern can never fire whole.
+fn minimize(mut rules: Vec<Rule>) -> Vec<Rule> {
+    rules.sort_by(|a, b| {
+        a.lhs
+            .simplicity_cmp(&b.lhs)
+            .then_with(|| a.rhs.simplicity_cmp(&b.rhs))
+    });
+    let mut kept: Vec<Rule> = Vec::new();
+    'outer: for rule in rules {
+        for prior in &kept {
+            if pair_instance_of(&rule, prior) {
+                continue 'outer;
+            }
+        }
+        let mut reducible = false;
+        rule.lhs.for_each_proper_subterm(&mut |sub| {
+            reducible |= kept.iter().any(|prior| sub.is_instance_of(&prior.lhs));
+        });
+        if reducible {
+            continue;
+        }
+        kept.push(rule);
+    }
+    kept
+}
+
+/// Whether `rule` is an instance of `general`: one substitution maps
+/// `general.lhs` to `rule.lhs` *and* `general.rhs` to `rule.rhs`.
+fn pair_instance_of(rule: &Rule, general: &Rule) -> bool {
+    fn match_into<'a>(
+        term: &'a Term,
+        pat: &Term,
+        subst: &mut [Option<&'a Term>; MAX_VARS],
+    ) -> bool {
+        match pat {
+            Term::Var(v) => match subst[*v as usize] {
+                Some(bound) => bound == term,
+                None => {
+                    subst[*v as usize] = Some(term);
+                    true
+                }
+            },
+            Term::Const(c) => matches!(term, Term::Const(d) if d == c),
+            Term::Neg(p) => matches!(term, Term::Neg(t) if match_into(t, p, subst)),
+            Term::Bin(pop, p, q) => match term {
+                Term::Bin(top, a, b) if top == pop => {
+                    match_into(a, p, subst) && match_into(b, q, subst)
+                }
+                _ => false,
+            },
+        }
+    }
+    let mut subst: [Option<&Term>; MAX_VARS] = [None; MAX_VARS];
+    match_into(&rule.lhs, &general.lhs, &mut subst)
+        && match_into(&rule.rhs, &general.rhs, &mut subst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced configuration that keeps unit tests quick; the shipped
+    /// table is generated (and CI-checked) at the default configuration.
+    fn quick() -> SynthConfig {
+        SynthConfig {
+            max_depth: 2,
+            ..SynthConfig::default()
+        }
+    }
+
+    #[test]
+    fn finds_the_optimizer_identities() {
+        let report = synthesize(&quick());
+        let text = report.table.to_text();
+        for expected in [
+            "rule (add ?a 0) => ?a",
+            "rule (sub ?a 0) => ?a",
+            "rule (sub ?a ?a) => 0",
+            "rule (mul ?a 1) => ?a",
+            "rule (mul ?a 0) => 0",
+            "rule (and ?a ?a) => ?a",
+            "rule (or ?a ?a) => ?a",
+            "rule (xor ?a ?a) => 0",
+            "rule (xor ?a 0) => ?a",
+            "rule (shl ?a 0) => ?a",
+            "rule (shr ?a 0) => ?a",
+        ] {
+            assert!(text.contains(expected), "missing `{expected}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn proves_operator_properties() {
+        let report = synthesize(&quick());
+        let table = &report.table;
+        for op in [
+            RuleOp::Add,
+            RuleOp::Mul,
+            RuleOp::And,
+            RuleOp::Or,
+            RuleOp::Xor,
+        ] {
+            assert!(table.chainable(op.to_int_bin()), "{op:?} chainable");
+        }
+        for op in [RuleOp::Sub, RuleOp::Shl, RuleOp::Shr] {
+            assert!(!table.chainable(op.to_int_bin()), "{op:?} not chainable");
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = synthesize(&quick()).table.to_text();
+        let b = synthesize(&quick()).table.to_text();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_shipped_rule_is_verified() {
+        let report = synthesize(&quick());
+        report
+            .table
+            .verify_all()
+            .expect("cold-start reverification");
+        assert!(report.rejected > 0, "fingerprinting alone must not suffice");
+    }
+
+    /// Regenerates the checked-in table in-place. Run explicitly with
+    /// `cargo test -p supersym-rules --release regenerate_table -- --ignored`
+    /// (equivalent to `titalc synth > crates/rules/rules.tital-rules`).
+    #[test]
+    #[ignore = "writes the checked-in table; run explicitly to regenerate"]
+    fn regenerate_table() {
+        let report = synthesize(&SynthConfig::default());
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/rules.tital-rules");
+        std::fs::write(path, report.table.to_text()).expect("write rules.tital-rules");
+    }
+
+    #[test]
+    fn canonize_renames_in_lhs_order() {
+        let lhs = crate::term::parse_term("(add ?c 0)").unwrap();
+        let rhs = crate::term::parse_term("?c").unwrap();
+        let (l, r) = canonize(&lhs, &rhs);
+        assert_eq!(l.to_string(), "(add ?a 0)");
+        assert_eq!(r.to_string(), "?a");
+    }
+
+    #[test]
+    fn minimize_drops_instances_and_reducible_patterns() {
+        let rule = |l: &str, r: &str, cert| Rule {
+            lhs: crate::term::parse_term(l).unwrap(),
+            rhs: crate::term::parse_term(r).unwrap(),
+            cert,
+        };
+        let kept = minimize(vec![
+            rule("(add ?a 0)", "?a", CertKind::Ring),
+            // Instance of the first (with ?a := (neg ?a)).
+            rule("(add (neg ?a) 0)", "(neg ?a)", CertKind::Ring),
+            // Subterm (sub ?a ?a) is reducible; the whole can never fire.
+            rule("(mul (sub ?a ?a) 1)", "(sub ?a ?a)", CertKind::Ring),
+            rule("(sub ?a ?a)", "0", CertKind::Ring),
+        ]);
+        let texts: Vec<String> = kept
+            .iter()
+            .map(|r| format!("{} => {}", r.lhs, r.rhs))
+            .collect();
+        assert!(texts.contains(&"(add ?a 0) => ?a".to_string()));
+        assert!(texts.contains(&"(sub ?a ?a) => 0".to_string()));
+        assert_eq!(kept.len(), 2, "{texts:?}");
+    }
+}

@@ -1,0 +1,398 @@
+//! The shipped rule table: verified rewrite rules plus proven operator
+//! properties, with a line-oriented text format (`rules.tital-rules`)
+//! that `titalc synth` regenerates byte for byte.
+//!
+//! Format, one fact per line, `#` comments:
+//!
+//! ```text
+//! prop add comm cert=ring
+//! rule (add ?a 0) => ?a cert=ring
+//! ```
+//!
+//! Every line carries the certifier that proved it; [`RuleTable::verify_all`]
+//! re-proves the whole table from cold start, so a hand-edited or corrupted
+//! table is caught by tests and CI, never trusted by the optimizer.
+
+use crate::cert::{certify, CertKind};
+use crate::term::{parse_term, Term};
+use crate::RuleOp;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use supersym_ir::IntBinOp;
+
+/// A verified rewrite rule: `lhs` rewrites to `rhs`, proven by `cert`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The pattern (metavariables bind IR value numbers).
+    pub lhs: Term,
+    /// The replacement; always a metavariable or a constant in shipped
+    /// tables (collapsing rules only).
+    pub rhs: Term,
+    /// Which certifier proved the identity.
+    pub cert: CertKind,
+}
+
+/// Proven algebraic properties of one grammar operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpProps {
+    /// The operator.
+    pub op: RuleOp,
+    /// Certifier that proved commutativity, if any did.
+    pub comm: Option<CertKind>,
+    /// Certifier that proved associativity, if any did.
+    pub assoc: Option<CertKind>,
+}
+
+/// The verified rule table consumed by the optimizer and the translation
+/// validator.
+#[derive(Debug, Clone)]
+pub struct RuleTable {
+    rules: Vec<Rule>,
+    props: Vec<OpProps>,
+    /// Rule indices bucketed by the root IR operator their pattern
+    /// matches (`neg`-rooted patterns match `Sub`).
+    by_op: Vec<(IntBinOp, Vec<usize>)>,
+}
+
+impl RuleTable {
+    /// Builds a table (and its root-operator index) from parts.
+    #[must_use]
+    pub fn new(rules: Vec<Rule>, props: Vec<OpProps>) -> RuleTable {
+        let mut by_op: Vec<(IntBinOp, Vec<usize>)> = Vec::new();
+        for (idx, rule) in rules.iter().enumerate() {
+            let Some(op) = root_op(&rule.lhs) else {
+                continue;
+            };
+            match by_op.iter_mut().find(|(o, _)| *o == op) {
+                Some((_, bucket)) => bucket.push(idx),
+                None => by_op.push((op, vec![idx])),
+            }
+        }
+        RuleTable {
+            rules,
+            props,
+            by_op,
+        }
+    }
+
+    /// A table with no rules and no proven properties; the optimizer
+    /// degrades to its built-in constant folding.
+    #[must_use]
+    pub fn empty() -> RuleTable {
+        RuleTable::new(Vec::new(), Vec::new())
+    }
+
+    /// All rules, in canonical (simplicity) order.
+    #[must_use]
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// All operator property facts.
+    #[must_use]
+    pub fn props(&self) -> &[OpProps] {
+        &self.props
+    }
+
+    /// Rules whose pattern can match an instruction with root operator
+    /// `op`.
+    #[must_use]
+    pub fn rules_for(&self, op: IntBinOp) -> &[usize] {
+        self.by_op
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map_or(&[], |(_, bucket)| bucket.as_slice())
+    }
+
+    /// The rule at `idx` (as returned by [`RuleTable::rules_for`]).
+    #[must_use]
+    pub fn rule(&self, idx: usize) -> &Rule {
+        &self.rules[idx]
+    }
+
+    /// Whether commutativity of `op` was proven.
+    #[must_use]
+    pub fn commutative(&self, op: IntBinOp) -> bool {
+        RuleOp::from_int_bin(op)
+            .is_some_and(|rop| self.props.iter().any(|p| p.op == rop && p.comm.is_some()))
+    }
+
+    /// Whether `op` may be treated as a reassociable chain operator:
+    /// both commutativity and associativity were proven.
+    #[must_use]
+    pub fn chainable(&self, op: IntBinOp) -> bool {
+        RuleOp::from_int_bin(op).is_some_and(|rop| {
+            self.props
+                .iter()
+                .any(|p| p.op == rop && p.comm.is_some() && p.assoc.is_some())
+        })
+    }
+
+    /// Renders the table in the checked-in text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        for p in &self.props {
+            if let Some(cert) = p.comm {
+                let _ = writeln!(out, "prop {} comm cert={}", p.op.name(), cert.name());
+            }
+            if let Some(cert) = p.assoc {
+                let _ = writeln!(out, "prop {} assoc cert={}", p.op.name(), cert.name());
+            }
+        }
+        for r in &self.rules {
+            let _ = writeln!(out, "rule {} => {} cert={}", r.lhs, r.rhs, r.cert.name());
+        }
+        out
+    }
+
+    /// Parses the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending line.
+    pub fn parse(text: &str) -> Result<RuleTable, String> {
+        let mut rules = Vec::new();
+        let mut props: Vec<OpProps> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}: `{raw}`", lineno + 1);
+            if let Some(rest) = line.strip_prefix("prop ") {
+                let mut words = rest.split_whitespace();
+                let (Some(opname), Some(kind), Some(cert), None) =
+                    (words.next(), words.next(), words.next(), words.next())
+                else {
+                    return Err(err("expected `prop <op> <comm|assoc> cert=<kind>`"));
+                };
+                let op = RuleOp::from_name(opname).ok_or_else(|| err("unknown operator"))?;
+                let cert = cert
+                    .strip_prefix("cert=")
+                    .and_then(CertKind::from_name)
+                    .ok_or_else(|| err("bad certificate"))?;
+                let entry = match props.iter_mut().find(|p| p.op == op) {
+                    Some(entry) => entry,
+                    None => {
+                        props.push(OpProps {
+                            op,
+                            comm: None,
+                            assoc: None,
+                        });
+                        props.last_mut().expect("just pushed")
+                    }
+                };
+                match kind {
+                    "comm" => entry.comm = Some(cert),
+                    "assoc" => entry.assoc = Some(cert),
+                    _ => return Err(err("expected `comm` or `assoc`")),
+                }
+            } else if let Some(rest) = line.strip_prefix("rule ") {
+                let (body, cert) = rest
+                    .rsplit_once(" cert=")
+                    .ok_or_else(|| err("missing `cert=`"))?;
+                let cert = CertKind::from_name(cert).ok_or_else(|| err("bad certificate"))?;
+                let (lhs, rhs) = body.split_once(" => ").ok_or_else(|| err("missing `=>`"))?;
+                let lhs = parse_term(lhs.trim()).map_err(|e| err(&e))?;
+                let rhs = parse_term(rhs.trim()).map_err(|e| err(&e))?;
+                if root_op(&lhs).is_none() {
+                    return Err(err("rule pattern must be a compound term"));
+                }
+                if !matches!(rhs, Term::Var(_) | Term::Const(_)) {
+                    return Err(err("rule replacement must be a variable or constant"));
+                }
+                if rhs.var_mask() & !lhs.var_mask() != 0 {
+                    return Err(err("rule replacement mentions an unbound variable"));
+                }
+                rules.push(Rule { lhs, rhs, cert });
+            } else {
+                return Err(err("expected `prop` or `rule`"));
+            }
+        }
+        Ok(RuleTable::new(rules, props))
+    }
+
+    /// Re-proves every fact in the table from cold start, and checks the
+    /// recorded certifier still agrees. This is what makes the checked-in
+    /// table trustworthy: the optimizer never consumes a fact that cannot
+    /// be re-verified on demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first fact that fails verification.
+    pub fn verify_all(&self) -> Result<(), String> {
+        for r in &self.rules {
+            match certify(&r.lhs, &r.rhs) {
+                Some(cert) if cert == r.cert => {}
+                Some(cert) => {
+                    return Err(format!(
+                        "rule {} => {}: recorded cert={} but re-proved by {}",
+                        r.lhs,
+                        r.rhs,
+                        r.cert.name(),
+                        cert.name()
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "rule {} => {}: no certifier can prove it",
+                        r.lhs, r.rhs
+                    ));
+                }
+            }
+        }
+        for p in &self.props {
+            let (a, b, c) = (Term::Var(0), Term::Var(1), Term::Var(2));
+            if let Some(recorded) = p.comm {
+                let lhs = Term::bin(p.op, a.clone(), b.clone());
+                let rhs = Term::bin(p.op, b.clone(), a.clone());
+                if certify(&lhs, &rhs) != Some(recorded) {
+                    return Err(format!("prop {} comm fails reverification", p.op.name()));
+                }
+            }
+            if let Some(recorded) = p.assoc {
+                let lhs = Term::bin(p.op, Term::bin(p.op, a.clone(), b.clone()), c.clone());
+                let rhs = Term::bin(p.op, a.clone(), Term::bin(p.op, b.clone(), c.clone()));
+                if certify(&lhs, &rhs) != Some(recorded) {
+                    return Err(format!("prop {} assoc fails reverification", p.op.name()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The IR operator a pattern's root matches: binary roots match their own
+/// operator, `neg` roots match `Sub` (negation is `0 - x` in the IR).
+#[must_use]
+pub fn root_op(pattern: &Term) -> Option<IntBinOp> {
+    match pattern {
+        Term::Bin(op, _, _) => Some(op.to_int_bin()),
+        Term::Neg(_) => Some(IntBinOp::Sub),
+        Term::Var(_) | Term::Const(_) => None,
+    }
+}
+
+const HEADER: &str = "\
+# supersym rule table — synthesized by `titalc synth`, machine-verified.
+# Do not edit by hand: regenerate with `titalc synth > rules.tital-rules`;
+# CI diffs this file against a fresh synthesis run, and the test suite
+# re-proves every fact from cold start (RuleTable::verify_all).
+";
+
+/// The checked-in table shipped with the compiler, parsed once on first
+/// use. Generated by [`crate::synth::synthesize`] at the default
+/// [`crate::synth::SynthConfig`].
+#[must_use]
+pub fn default_table() -> &'static RuleTable {
+    static TABLE: OnceLock<RuleTable> = OnceLock::new();
+    TABLE
+        .get_or_init(|| RuleTable::parse(DEFAULT_TABLE_TEXT).expect("checked-in rule table parses"))
+}
+
+/// The raw text of the checked-in table (what `titalc synth --check`
+/// compares against).
+pub const DEFAULT_TABLE_TEXT: &str = include_str!("../rules.tital-rules");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RuleTable {
+        RuleTable::parse(
+            "# comment\n\
+             prop add comm cert=ring\n\
+             prop add assoc cert=ring\n\
+             prop and comm cert=bits\n\
+             rule (add ?a 0) => ?a cert=ring\n\
+             rule (neg (neg ?a)) => ?a cert=ring\n\
+             rule (and ?a ?a) => ?a cert=bits\n",
+        )
+        .expect("sample parses")
+    }
+
+    #[test]
+    fn parse_print_round_trip() {
+        let table = sample();
+        let text = table.to_text();
+        let reparsed = RuleTable::parse(&text).expect("round trip");
+        assert_eq!(reparsed.to_text(), text);
+    }
+
+    #[test]
+    fn root_index_buckets_neg_under_sub() {
+        let table = sample();
+        assert_eq!(table.rules_for(IntBinOp::Add).len(), 1);
+        assert_eq!(table.rules_for(IntBinOp::Sub).len(), 1);
+        assert_eq!(table.rules_for(IntBinOp::And).len(), 1);
+        assert!(table.rules_for(IntBinOp::Mul).is_empty());
+    }
+
+    #[test]
+    fn props_answer_chainability() {
+        let table = sample();
+        assert!(table.commutative(IntBinOp::Add));
+        assert!(table.chainable(IntBinOp::Add));
+        assert!(table.commutative(IntBinOp::And));
+        assert!(!table.chainable(IntBinOp::And), "assoc not recorded");
+        assert!(!table.chainable(IntBinOp::Div), "outside the grammar");
+    }
+
+    #[test]
+    fn verify_all_accepts_true_and_rejects_false_facts() {
+        sample().verify_all().expect("true facts re-prove");
+        let bogus = RuleTable::parse("rule (add ?a 1) => ?a cert=ring\n").expect("parses fine");
+        assert!(bogus.verify_all().is_err(), "false rule must be caught");
+        let wrong_cert =
+            RuleTable::parse("rule (add ?a 0) => ?a cert=bits\n").expect("parses fine");
+        assert!(wrong_cert.verify_all().is_err(), "cert mismatch caught");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "frob x",
+            "rule (add ?a 0) => ?a",
+            "rule (add ?a 0) ?a cert=ring",
+            "rule ?a => ?a cert=ring",
+            "rule (add ?a 0) => (add ?a 0) cert=ring",
+            "rule (add ?a 0) => ?b cert=ring",
+            "prop add comm",
+            "prop add sideways cert=ring",
+        ] {
+            assert!(RuleTable::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn default_table_parses_and_is_nonempty() {
+        let table = default_table();
+        assert!(!table.rules().is_empty());
+        assert!(table.chainable(IntBinOp::Add));
+    }
+
+    /// Cold-start reverification: every fact in the checked-in table must
+    /// re-prove from scratch, with the recorded certifier. A corrupted or
+    /// hand-edited table fails here before the optimizer ever sees it.
+    #[test]
+    fn checked_in_table_reverifies_from_cold_start() {
+        default_table()
+            .verify_all()
+            .expect("checked-in table re-proves");
+    }
+
+    /// Full-depth synthesis must reproduce the checked-in table byte for
+    /// byte. Debug builds skip it for speed; CI runs the equivalent
+    /// `titalc synth --check` in release.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full-depth synthesis is release-speed; CI runs `titalc synth --check`"
+    )]
+    fn checked_in_table_matches_fresh_synthesis() {
+        let report = crate::synth::synthesize(&crate::synth::SynthConfig::default());
+        assert_eq!(report.table.to_text(), DEFAULT_TABLE_TEXT);
+    }
+}

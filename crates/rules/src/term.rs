@@ -1,0 +1,411 @@
+//! The rule term language: small integer expression shapes over the
+//! synthesis grammar {add, sub, mul, shl, shr, and, or, xor, neg, const}.
+//!
+//! A [`Term`] does double duty: during synthesis it is a concrete
+//! expression evaluated on fingerprint vectors; in the shipped table it is
+//! a *pattern* whose variables are metavariables the matcher binds to
+//! value numbers. Evaluation semantics are exactly the simulator's
+//! ([`supersym_analyze::consts::eval_int`]): wrapping arithmetic and shift
+//! counts taken modulo 64.
+
+use std::cmp::Ordering;
+use std::fmt;
+use supersym_ir::IntBinOp;
+
+/// The binary operators of the synthesis grammar (a strict subset of
+/// [`IntBinOp`]: no division, remainder or comparisons — those have no
+/// sound certifier here and keep their constant folding in the optimizer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Left shift (count modulo 64).
+    Shl,
+    /// Arithmetic right shift (count modulo 64).
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+impl RuleOp {
+    /// Every grammar operator, in table order.
+    pub const ALL: [RuleOp; 8] = [
+        RuleOp::Add,
+        RuleOp::Sub,
+        RuleOp::Mul,
+        RuleOp::Shl,
+        RuleOp::Shr,
+        RuleOp::And,
+        RuleOp::Or,
+        RuleOp::Xor,
+    ];
+
+    /// The IR operator this grammar operator denotes.
+    #[must_use]
+    pub fn to_int_bin(self) -> IntBinOp {
+        match self {
+            RuleOp::Add => IntBinOp::Add,
+            RuleOp::Sub => IntBinOp::Sub,
+            RuleOp::Mul => IntBinOp::Mul,
+            RuleOp::Shl => IntBinOp::Shl,
+            RuleOp::Shr => IntBinOp::Shr,
+            RuleOp::And => IntBinOp::And,
+            RuleOp::Or => IntBinOp::Or,
+            RuleOp::Xor => IntBinOp::Xor,
+        }
+    }
+
+    /// The grammar operator denoting an IR operator, if it is in the
+    /// grammar.
+    #[must_use]
+    pub fn from_int_bin(op: IntBinOp) -> Option<RuleOp> {
+        match op {
+            IntBinOp::Add => Some(RuleOp::Add),
+            IntBinOp::Sub => Some(RuleOp::Sub),
+            IntBinOp::Mul => Some(RuleOp::Mul),
+            IntBinOp::Shl => Some(RuleOp::Shl),
+            IntBinOp::Shr => Some(RuleOp::Shr),
+            IntBinOp::And => Some(RuleOp::And),
+            IntBinOp::Or => Some(RuleOp::Or),
+            IntBinOp::Xor => Some(RuleOp::Xor),
+            IntBinOp::Div | IntBinOp::Rem | IntBinOp::Cmp(_) => None,
+        }
+    }
+
+    /// The operator's name in the rule-file format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleOp::Add => "add",
+            RuleOp::Sub => "sub",
+            RuleOp::Mul => "mul",
+            RuleOp::Shl => "shl",
+            RuleOp::Shr => "shr",
+            RuleOp::And => "and",
+            RuleOp::Or => "or",
+            RuleOp::Xor => "xor",
+        }
+    }
+
+    /// Parses an operator name from the rule-file format.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<RuleOp> {
+        RuleOp::ALL.into_iter().find(|op| op.name() == name)
+    }
+}
+
+/// The maximum number of distinct metavariables a term may mention.
+pub const MAX_VARS: usize = 3;
+
+/// A term of the synthesis grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A metavariable (`?a`, `?b`, `?c`; index `< MAX_VARS`).
+    Var(u8),
+    /// An integer literal.
+    Const(i64),
+    /// Wrapping negation (matched in IR as `0 - x`).
+    Neg(Box<Term>),
+    /// A binary operator application.
+    Bin(RuleOp, Box<Term>, Box<Term>),
+}
+
+impl Term {
+    /// Convenience constructor for a binary application.
+    #[must_use]
+    pub fn bin(op: RuleOp, lhs: Term, rhs: Term) -> Term {
+        Term::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::Neg(t) => 1 + t.size(),
+            Term::Bin(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Tree depth (leaves have depth 1).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::Neg(t) => 1 + t.depth(),
+            Term::Bin(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// Bitmask of the metavariables the term mentions.
+    #[must_use]
+    pub fn var_mask(&self) -> u8 {
+        match self {
+            Term::Var(v) => 1 << v,
+            Term::Const(_) => 0,
+            Term::Neg(t) => t.var_mask(),
+            Term::Bin(_, a, b) => a.var_mask() | b.var_mask(),
+        }
+    }
+
+    /// Evaluates the term under a variable assignment, with exactly the
+    /// simulator's integer semantics.
+    #[must_use]
+    pub fn eval(&self, vars: &[i64; MAX_VARS]) -> i64 {
+        match self {
+            Term::Var(v) => vars[*v as usize],
+            Term::Const(c) => *c,
+            Term::Neg(t) => 0_i64.wrapping_sub(t.eval(vars)),
+            Term::Bin(op, a, b) => {
+                supersym_analyze::consts::eval_int(op.to_int_bin(), a.eval(vars), b.eval(vars))
+            }
+        }
+    }
+
+    /// Whether `self` is an instance of `pattern` under some substitution
+    /// of the pattern's metavariables.
+    #[must_use]
+    pub fn is_instance_of(&self, pattern: &Term) -> bool {
+        fn go<'a>(term: &'a Term, pat: &Term, subst: &mut [Option<&'a Term>; MAX_VARS]) -> bool {
+            match pat {
+                Term::Var(v) => match subst[*v as usize] {
+                    Some(bound) => bound == term,
+                    None => {
+                        subst[*v as usize] = Some(term);
+                        true
+                    }
+                },
+                Term::Const(c) => matches!(term, Term::Const(d) if d == c),
+                Term::Neg(p) => matches!(term, Term::Neg(t) if go(t, p, subst)),
+                Term::Bin(pop, p, q) => match term {
+                    Term::Bin(top, a, b) if top == pop => go(a, p, subst) && go(b, q, subst),
+                    _ => false,
+                },
+            }
+        }
+        go(self, pattern, &mut [None; MAX_VARS])
+    }
+
+    /// Proper subterms, outermost first.
+    pub fn for_each_proper_subterm(&self, f: &mut impl FnMut(&Term)) {
+        let mut visit = |t: &Term| {
+            f(t);
+            t.for_each_proper_subterm(&mut *f);
+        };
+        match self {
+            Term::Var(_) | Term::Const(_) => {}
+            Term::Neg(t) => visit(t),
+            Term::Bin(_, a, b) => {
+                visit(a);
+                visit(b);
+            }
+        }
+    }
+
+    /// A total order on terms: by size, then depth, then structure. The
+    /// minimum of a fingerprint class is its canonical representative, so
+    /// this order decides which side of an identity becomes the rewrite
+    /// target.
+    #[must_use]
+    pub fn simplicity_cmp(&self, other: &Term) -> Ordering {
+        self.size()
+            .cmp(&other.size())
+            .then_with(|| self.depth().cmp(&other.depth()))
+            .then_with(|| structural_cmp(self, other))
+    }
+}
+
+fn rank(t: &Term) -> u8 {
+    match t {
+        Term::Const(_) => 0,
+        Term::Var(_) => 1,
+        Term::Neg(_) => 2,
+        Term::Bin(..) => 3,
+    }
+}
+
+fn structural_cmp(a: &Term, b: &Term) -> Ordering {
+    rank(a).cmp(&rank(b)).then_with(|| match (a, b) {
+        (Term::Const(x), Term::Const(y)) => x.cmp(y),
+        (Term::Var(x), Term::Var(y)) => x.cmp(y),
+        (Term::Neg(x), Term::Neg(y)) => structural_cmp(x, y),
+        (Term::Bin(xop, xa, xb), Term::Bin(yop, ya, yb)) => xop
+            .cmp(yop)
+            .then_with(|| structural_cmp(xa, ya))
+            .then_with(|| structural_cmp(xb, yb)),
+        _ => unreachable!("rank() equality implies same constructor"),
+    })
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{}", (b'a' + v) as char),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Neg(t) => write!(f, "(neg {t})"),
+            Term::Bin(op, a, b) => write!(f, "({} {a} {b})", op.name()),
+        }
+    }
+}
+
+/// Parses the s-expression term syntax used by the rule file:
+/// `(add ?a (neg 1))`, `?b`, `-7`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_term(text: &str) -> Result<Term, String> {
+    let tokens = tokenize(text)?;
+    let mut pos = 0;
+    let term = parse_at(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens after term in `{text}`"));
+    }
+    Ok(term)
+}
+
+#[derive(Debug, PartialEq)]
+enum Token {
+    Open,
+    Close,
+    Word(String),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let mut word = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' | ')' => {
+                if !word.is_empty() {
+                    tokens.push(Token::Word(std::mem::take(&mut word)));
+                }
+                tokens.push(if ch == '(' { Token::Open } else { Token::Close });
+            }
+            c if c.is_whitespace() => {
+                if !word.is_empty() {
+                    tokens.push(Token::Word(std::mem::take(&mut word)));
+                }
+            }
+            c => word.push(c),
+        }
+    }
+    if !word.is_empty() {
+        tokens.push(Token::Word(word));
+    }
+    Ok(tokens)
+}
+
+fn parse_at(tokens: &[Token], pos: &mut usize) -> Result<Term, String> {
+    match tokens.get(*pos) {
+        None => Err("unexpected end of term".to_string()),
+        Some(Token::Close) => Err("unexpected `)`".to_string()),
+        Some(Token::Word(w)) => {
+            *pos += 1;
+            parse_atom(w)
+        }
+        Some(Token::Open) => {
+            *pos += 1;
+            let Some(Token::Word(head)) = tokens.get(*pos) else {
+                return Err("expected an operator after `(`".to_string());
+            };
+            *pos += 1;
+            let term = if head == "neg" {
+                Term::Neg(Box::new(parse_at(tokens, pos)?))
+            } else {
+                let op =
+                    RuleOp::from_name(head).ok_or_else(|| format!("unknown operator `{head}`"))?;
+                let a = parse_at(tokens, pos)?;
+                let b = parse_at(tokens, pos)?;
+                Term::bin(op, a, b)
+            };
+            match tokens.get(*pos) {
+                Some(Token::Close) => {
+                    *pos += 1;
+                    Ok(term)
+                }
+                _ => Err("expected `)`".to_string()),
+            }
+        }
+    }
+}
+
+fn parse_atom(word: &str) -> Result<Term, String> {
+    if let Some(v) = word.strip_prefix('?') {
+        let mut chars = v.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c @ 'a'..='z'), None) if ((c as u8 - b'a') as usize) < MAX_VARS => {
+                Ok(Term::Var(c as u8 - b'a'))
+            }
+            _ => Err(format!("bad metavariable `{word}`")),
+        }
+    } else {
+        word.parse::<i64>()
+            .map(Term::Const)
+            .map_err(|_| format!("bad atom `{word}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let terms = [
+            Term::Var(0),
+            Term::Const(-7),
+            Term::Neg(Box::new(Term::Var(1))),
+            Term::bin(
+                RuleOp::Add,
+                Term::Var(0),
+                Term::bin(RuleOp::Xor, Term::Const(1), Term::Var(2)),
+            ),
+        ];
+        for t in terms {
+            let text = t.to_string();
+            assert_eq!(parse_term(&text).unwrap(), t, "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn eval_matches_simulator_semantics() {
+        let shl = Term::bin(RuleOp::Shl, Term::Var(0), Term::Const(64));
+        // Shift counts are taken modulo 64: x << 64 == x.
+        assert_eq!(shl.eval(&[5, 0, 0]), 5);
+        let neg = Term::Neg(Box::new(Term::Const(i64::MIN)));
+        assert_eq!(neg.eval(&[0; 3]), i64::MIN);
+    }
+
+    #[test]
+    fn instance_matching_binds_consistently() {
+        let pattern = parse_term("(sub ?a ?a)").unwrap();
+        assert!(parse_term("(sub (add ?a ?b) (add ?a ?b))")
+            .unwrap()
+            .is_instance_of(&pattern));
+        assert!(!parse_term("(sub ?a ?b)").unwrap().is_instance_of(&pattern));
+    }
+
+    #[test]
+    fn simplicity_prefers_smaller_terms() {
+        let small = Term::Var(0);
+        let large = parse_term("(add ?a 0)").unwrap();
+        assert_eq!(small.simplicity_cmp(&large), Ordering::Less);
+    }
+
+    #[test]
+    fn bad_syntax_is_rejected() {
+        assert!(parse_term("(add ?a)").is_err());
+        assert!(parse_term("(frob ?a ?b)").is_err());
+        assert!(parse_term("?z").is_err());
+        assert!(parse_term("(add ?a ?b) junk").is_err());
+    }
+}

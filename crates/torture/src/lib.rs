@@ -22,7 +22,7 @@
 //!   exercising the spec parser, machine lint, and the scheduler/timing
 //!   model's tolerance for degenerate configurations.
 //!
-//! Everything is driven by a hand-rolled [`rng::SplitMix64`], so a
+//! Everything is driven by the workspace's shared [`rng::SplitMix64`], so a
 //! campaign replays bit-identically from its seed: a finding's
 //! `(seed, layer, index)` triple regenerates the exact mutant. Findings
 //! are minimized (greedy line-wise ddmin under an invocation budget) and

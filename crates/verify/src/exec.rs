@@ -1,0 +1,353 @@
+//! A small fuel-bounded IR interpreter for executor-differential
+//! translation validation.
+//!
+//! The interpreter runs a whole [`Module`] from its entry function under
+//! the simulator's integer semantics ([`supersym_analyze::consts::eval_int`]:
+//! wrapping arithmetic, guarded division, shift counts mod 64) and IEEE
+//! `f64` float semantics, and returns an [`ExecSummary`] capturing every
+//! observable outcome: the return value, the final state of all globals
+//! (scalars and arrays, floats bit-exact), and the dynamic call count.
+//! Two modules with equal summaries are indistinguishable to this program
+//! run — which is the evidence the differential tier of
+//! [`certify_pass`](crate::certify_pass) relies on for passes that move
+//! code across blocks (LICM, DSE) where block-wise structural comparison
+//! cannot apply.
+//!
+//! Determinism: entry-function parameters (if any) are filled from a fixed
+//! value list, so two runs of the same module always agree.
+
+use supersym_ir::{CmpOp, FloatBinOp, GlobalKind, Inst, Module, Terminator, VarRef};
+use supersym_lang::ast::Ty;
+
+/// A runtime value (floats kept as bits for exact comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A float, by bit pattern.
+    Float(u64),
+}
+
+impl Value {
+    fn zero(ty: Ty) -> Value {
+        match ty {
+            Ty::Float => Value::Float(0.0_f64.to_bits()),
+            _ => Value::Int(0),
+        }
+    }
+
+    fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Float(bits) => f64::from_bits(bits) as i64,
+        }
+    }
+
+    fn as_float(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Float(bits) => f64::from_bits(bits),
+        }
+    }
+}
+
+/// Everything observable about one program run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecSummary {
+    /// The entry function's return value.
+    pub ret: Option<Value>,
+    /// Final state of every global, in module order: scalars as one-element
+    /// vectors, arrays element-wise.
+    pub globals: Vec<Vec<Value>>,
+    /// Number of calls executed (including the entry call).
+    pub calls: u64,
+    /// Number of instructions executed.
+    pub insts: u64,
+}
+
+/// Why a run did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The fuel budget was exhausted (likely a long/endless loop).
+    OutOfFuel,
+    /// Call depth exceeded the recursion bound.
+    CallDepth,
+    /// The module is malformed (should be caught by `Module::validate`).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "out of fuel"),
+            ExecError::CallDepth => write!(f, "call depth exceeded"),
+            ExecError::Malformed(why) => write!(f, "malformed module: {why}"),
+        }
+    }
+}
+
+/// Fixed parameter values handed to the entry function, cycled by position.
+const ENTRY_ARGS: [i64; 6] = [7, -3, 13, 5, 11, -2];
+
+const MAX_CALL_DEPTH: usize = 128;
+
+struct Machine<'m> {
+    module: &'m Module,
+    globals: Vec<Vec<Value>>,
+    fuel: u64,
+    calls: u64,
+    insts: u64,
+}
+
+/// Runs `module` from its entry function with at most `fuel` executed
+/// instructions.
+///
+/// # Errors
+///
+/// [`ExecError::OutOfFuel`] / [`ExecError::CallDepth`] when bounds are hit,
+/// [`ExecError::Malformed`] on IR the interpreter cannot make sense of.
+pub fn execute(module: &Module, fuel: u64) -> Result<ExecSummary, ExecError> {
+    let globals = module
+        .globals
+        .iter()
+        .map(|g| match g.kind {
+            GlobalKind::Scalar { init } => vec![match g.ty {
+                Ty::Float => Value::Float(init.to_bits()),
+                _ => Value::Int(init as i64),
+            }],
+            GlobalKind::Array { len } => vec![Value::zero(g.ty); len],
+        })
+        .collect();
+    let mut machine = Machine {
+        module,
+        globals,
+        fuel,
+        calls: 0,
+        insts: 0,
+    };
+    let entry = module
+        .funcs
+        .get(module.entry)
+        .ok_or_else(|| ExecError::Malformed("entry function out of range".into()))?;
+    let args: Vec<Value> = (0..entry.param_count())
+        .map(|i| {
+            let raw = ENTRY_ARGS[i % ENTRY_ARGS.len()];
+            match entry.vars[i].ty {
+                Ty::Float => Value::Float((raw as f64).to_bits()),
+                _ => Value::Int(raw),
+            }
+        })
+        .collect();
+    let ret = machine.call(module.entry, &args, 0)?;
+    Ok(ExecSummary {
+        ret,
+        globals: machine.globals,
+        calls: machine.calls,
+        insts: machine.insts,
+    })
+}
+
+impl Machine<'_> {
+    fn call(
+        &mut self,
+        func_index: usize,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Option<Value>, ExecError> {
+        if depth >= MAX_CALL_DEPTH {
+            return Err(ExecError::CallDepth);
+        }
+        self.calls += 1;
+        let func =
+            self.module.funcs.get(func_index).ok_or_else(|| {
+                ExecError::Malformed(format!("callee #{func_index} out of range"))
+            })?;
+        let mut locals: Vec<Value> = func.vars.iter().map(|v| Value::zero(v.ty)).collect();
+        for (i, value) in args.iter().enumerate().take(func.param_count()) {
+            locals[i] = *value;
+        }
+        let mut vregs: Vec<Value> = func.vreg_tys.iter().map(|&ty| Value::zero(ty)).collect();
+        let mut block = 0_usize;
+        loop {
+            let blk = func
+                .blocks
+                .get(block)
+                .ok_or_else(|| ExecError::Malformed(format!("block {block} out of range")))?;
+            for inst in &blk.insts {
+                if self.insts >= self.fuel {
+                    return Err(ExecError::OutOfFuel);
+                }
+                self.insts += 1;
+                match inst {
+                    Inst::ConstInt { dst, value } => vregs[dst.0 as usize] = Value::Int(*value),
+                    Inst::ConstFloat { dst, value } => {
+                        vregs[dst.0 as usize] = Value::Float(value.to_bits());
+                    }
+                    Inst::IntBin { op, dst, lhs, rhs } => {
+                        let a = vregs[lhs.0 as usize].as_int();
+                        let b = vregs[rhs.0 as usize].as_int();
+                        vregs[dst.0 as usize] =
+                            Value::Int(supersym_analyze::consts::eval_int(*op, a, b));
+                    }
+                    Inst::FloatBin { op, dst, lhs, rhs } => {
+                        let a = vregs[lhs.0 as usize].as_float();
+                        let b = vregs[rhs.0 as usize].as_float();
+                        let v = match op {
+                            FloatBinOp::Add => a + b,
+                            FloatBinOp::Sub => a - b,
+                            FloatBinOp::Mul => a * b,
+                            FloatBinOp::Div => a / b,
+                        };
+                        vregs[dst.0 as usize] = Value::Float(v.to_bits());
+                    }
+                    Inst::FloatCmp { op, dst, lhs, rhs } => {
+                        let a = vregs[lhs.0 as usize].as_float();
+                        let b = vregs[rhs.0 as usize].as_float();
+                        let v = match op {
+                            CmpOp::Eq => a == b,
+                            CmpOp::Ne => a != b,
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Gt => a > b,
+                            CmpOp::Ge => a >= b,
+                        };
+                        vregs[dst.0 as usize] = Value::Int(i64::from(v));
+                    }
+                    Inst::Cast { dst, src, to } => {
+                        let v = vregs[src.0 as usize];
+                        vregs[dst.0 as usize] = match to {
+                            Ty::Float => Value::Float(v.as_float().to_bits()),
+                            _ => Value::Int(v.as_int()),
+                        };
+                    }
+                    Inst::ReadVar { dst, var } => {
+                        vregs[dst.0 as usize] = self.read_var(&locals, *var)?;
+                    }
+                    Inst::WriteVar { var, src } => {
+                        let v = vregs[src.0 as usize];
+                        match var {
+                            VarRef::Local(l) => locals[l.0 as usize] = v,
+                            VarRef::Global(g) => self.globals[g.0 as usize][0] = v,
+                        }
+                    }
+                    Inst::ReadElem {
+                        dst, arr, index, ..
+                    } => {
+                        let slot = self.elem_slot(arr.0 as usize, vregs[index.0 as usize].as_int());
+                        vregs[dst.0 as usize] = match slot {
+                            Some(i) => self.globals[arr.0 as usize][i],
+                            None => Value::Int(0),
+                        };
+                    }
+                    Inst::WriteElem {
+                        arr, index, src, ..
+                    } => {
+                        let slot = self.elem_slot(arr.0 as usize, vregs[index.0 as usize].as_int());
+                        if let Some(i) = slot {
+                            self.globals[arr.0 as usize][i] = vregs[src.0 as usize];
+                        }
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        let values: Vec<Value> = args.iter().map(|a| vregs[a.0 as usize]).collect();
+                        let result = self.call(*callee as usize, &values, depth + 1)?;
+                        if let (Some(dst), Some(result)) = (dst, result) {
+                            vregs[dst.0 as usize] = result;
+                        }
+                    }
+                }
+            }
+            if self.insts >= self.fuel {
+                return Err(ExecError::OutOfFuel);
+            }
+            self.insts += 1;
+            match &blk.term {
+                Terminator::Jump(next) => block = next.index(),
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    block = if vregs[cond.0 as usize].as_int() != 0 {
+                        then_bb.index()
+                    } else {
+                        else_bb.index()
+                    };
+                }
+                Terminator::Return(v) => {
+                    return Ok(v.map(|v| vregs[v.0 as usize]));
+                }
+            }
+        }
+    }
+
+    fn read_var(&self, locals: &[Value], var: VarRef) -> Result<Value, ExecError> {
+        Ok(match var {
+            VarRef::Local(l) => locals[l.0 as usize],
+            VarRef::Global(g) => self.globals[g.0 as usize][0],
+        })
+    }
+
+    /// Out-of-range indices wrap (`rem_euclid`): any consistent policy
+    /// works for differential comparison, and wrapping never traps.
+    fn elem_slot(&self, arr: usize, index: i64) -> Option<usize> {
+        let len = self.globals.get(arr)?.len();
+        if len == 0 {
+            return None;
+        }
+        Some(index.rem_euclid(len as i64) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> Module {
+        let ast = supersym_lang::parse(src).unwrap();
+        supersym_lang::check(&ast).unwrap();
+        supersym_ir::lower(&ast).unwrap()
+    }
+
+    #[test]
+    fn runs_a_loop_to_completion() {
+        let m = module(
+            "global arr data[8];
+             fn main() -> int {
+                 var sum = 0;
+                 for (i = 0; i < 8; i = i + 1) { data[i] = i * 2; }
+                 for (i = 0; i < 8; i = i + 1) { sum = sum + data[i]; }
+                 return sum;
+             }",
+        );
+        let summary = execute(&m, 100_000).unwrap();
+        assert_eq!(summary.ret, Some(Value::Int(56)));
+        assert_eq!(summary.globals[0][3], Value::Int(6));
+    }
+
+    #[test]
+    fn calls_and_globals_observed() {
+        let m = module(
+            "global var g;
+             fn bump() { g = g + 1; }
+             fn main() -> int { bump(); bump(); return g; }",
+        );
+        let summary = execute(&m, 100_000).unwrap();
+        assert_eq!(summary.ret, Some(Value::Int(2)));
+        assert_eq!(summary.calls, 3, "entry + two bumps");
+    }
+
+    #[test]
+    fn fuel_bounds_runaway_loops() {
+        let m = module("fn main() -> int { var x = 0; while (1) { x = x + 1; } return x; }");
+        assert_eq!(execute(&m, 10_000), Err(ExecError::OutOfFuel));
+    }
+
+    #[test]
+    fn entry_parameters_are_deterministic() {
+        let m = module("fn main(int a, int b) -> int { return a * 100 + b; }");
+        let one = execute(&m, 10_000).unwrap();
+        let two = execute(&m, 10_000).unwrap();
+        assert_eq!(one, two);
+        assert_eq!(one.ret, Some(Value::Int(7 * 100 - 3)));
+    }
+}

@@ -4,7 +4,7 @@
 //! under the compiler and simulator that re-derives, rather than trusts,
 //! their invariants.
 //!
-//! Three analyses live here:
+//! Four analyses live here:
 //!
 //! - [`check_schedule`] — given a program before and after instruction
 //!   scheduling, proves the schedule is a dependence-preserving permutation
@@ -21,6 +21,13 @@
 //! - [`lint_machine`] — machine-description lint: class coverage, zero
 //!   latencies and multiplicities, issue width versus aggregate unit
 //!   multiplicity, and superpipelining-degree consistency.
+//! - [`certify_pass`] — translation validation for the IR optimizer: given
+//!   module snapshots before and after one pass, re-proves equivalence
+//!   either structurally (block-local symbolic summaries normalized with
+//!   the machine-verified rule table from `supersym-rules`) or
+//!   differentially (both modules run under a fuel-bounded IR interpreter
+//!   and every observable outcome compared). The optimizer is *not*
+//!   trusted: a miscompiling pass produces an error diagnostic.
 //!
 //! All three report [`Diagnostic`]s rather than panicking, so callers can
 //! collect every problem in one pass and decide severity policy themselves
@@ -46,9 +53,13 @@
 
 #![deny(missing_docs)]
 
+mod certify;
+mod exec;
 mod lint;
 mod schedule;
 
+pub use certify::{certify_pass, CertMethod, PassCertificate};
+pub use exec::{execute, ExecError, ExecSummary, Value};
 pub use lint::lint_program;
 pub use schedule::{
     check_schedule, check_schedule_with, EdgeKind, ScheduleViolation, ViolationKind,

@@ -40,4 +40,5 @@ fn main() {
     println!("{}", exp::complexity_tax(size));
     println!("{}", exp::limit_study(size));
     println!("{}", exp::stall_breakdown(size));
+    println!("{}", exp::rules_study(size));
 }

@@ -1,0 +1,14 @@
+//! What the machine-verified rewrite-rule table buys: static and dynamic
+//! instruction counts and the measured issue rate for every workload,
+//! compiled with the table disabled and enabled.
+//!
+//! ```text
+//! cargo run --release -p supersym --example rules_study
+//! ```
+
+use supersym::experiments;
+use supersym::workloads::Size;
+
+fn main() {
+    println!("{}", experiments::rules_study(Size::Standard));
+}

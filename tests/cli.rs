@@ -454,3 +454,67 @@ fn torture_rejects_bad_flags() {
         .expect("spawn titalc");
     assert_eq!(exit_code(&output), 1);
 }
+
+#[test]
+fn certify_reports_per_pass_certificates() {
+    let dir = std::env::temp_dir().join("titalc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("certify-demo.tital");
+    std::fs::write(
+        &source,
+        "global arr data[32];\n\
+         fn main() -> int {\n\
+             var sum = 0;\n\
+             for (i = 0; i < 32; i = i + 1) { data[i] = i * 2 + 1; }\n\
+             for (i = 0; i < 32; i = i + 1) { sum = sum + data[i]; }\n\
+             return sum;\n\
+         }\n",
+    )
+    .unwrap();
+    let output = titalc()
+        .arg("certify")
+        .arg("-m")
+        .arg("multititan")
+        .arg("--unroll")
+        .arg("careful:2")
+        .arg(&source)
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "certify failed: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = stdout(&output);
+    for needle in ["translation validation:", "structural", "certified:"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+    assert!(
+        !text.contains("inconclusive"),
+        "a real compile must never be inconclusive:\n{text}"
+    );
+}
+
+/// Full-depth synthesis is release-speed; debug runs skip it the same way
+/// the rules crate's own determinism test does. CI runs the release
+/// binary's `titalc synth --check`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-depth synthesis is release-speed; CI runs `titalc synth --check` in release"
+)]
+fn synth_check_accepts_the_shipped_table() {
+    let output = titalc()
+        .arg("synth")
+        .arg("--check")
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "synth --check failed: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout(&output).contains("byte-identical"));
+}

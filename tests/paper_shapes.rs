@@ -290,3 +290,42 @@ fn stall_breakdown_explains_ilp_saturation() {
         "CRAY-1 latencies make RAW stalls a large share"
     );
 }
+
+/// The rules-study shape reported in EXPERIMENTS.md: the verified
+/// rewrite-rule table is conservative — it never grows any workload's
+/// static or dynamic instruction stream — and it is not a no-op: at
+/// least one workload gets strictly shorter with the issue rate no
+/// worse. (Most rows are zeros by design: constant folding and CSE
+/// already catch the suite's redundancy; the table wins only where an
+/// identity pattern over *variables* survives to LVN.)
+#[test]
+fn rules_study_shrinks_at_least_one_workload_and_regresses_none() {
+    use supersym::experiments::rules_study;
+    let study = rules_study(Size::Small);
+    assert_eq!(study.rows.len(), 8, "one row per suite workload");
+    let mut improved = 0_usize;
+    for row in &study.rows {
+        let [static_off, static_on] = row.static_insts;
+        let [dynamic_off, dynamic_on] = row.dynamic_insts;
+        assert!(
+            static_on <= static_off,
+            "{}: rules grew the static stream {static_off} -> {static_on}",
+            row.benchmark
+        );
+        assert!(
+            dynamic_on <= dynamic_off,
+            "{}: rules grew the dynamic stream {dynamic_off} -> {dynamic_on}",
+            row.benchmark
+        );
+        if static_on < static_off || dynamic_on < dynamic_off {
+            improved += 1;
+            let [ilp_off, ilp_on] = row.parallelism;
+            assert!(
+                ilp_on >= ilp_off - 1e-9,
+                "{}: the shortened stream issues worse ({ilp_off:.3} -> {ilp_on:.3})",
+                row.benchmark
+            );
+        }
+    }
+    assert!(improved >= 1, "the rule table fired on no workload at all");
+}
