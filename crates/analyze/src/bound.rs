@@ -1,0 +1,413 @@
+//! Static ILP bounds: what the machine description alone promises.
+//!
+//! The simulator measures available parallelism as
+//! `instructions / base_cycles`. This module derives, **before any
+//! simulation**, a sound *lower bound* on the machine cycles any in-order
+//! execution must spend — equivalently an upper bound ("ceiling") on the
+//! ILP the simulator can possibly report — from three ingredients:
+//!
+//! 1. **Issue width**: `N` instructions at `w` per cycle need
+//!    `ceil(N / w)` cycles.
+//! 2. **Functional-unit census**: a unit with `mult` copies, each
+//!    reserved `il` cycles per issue, hosts at most `mult·ceil(T / il)`
+//!    issues in `T` cycles, so `T >= ceil(count·il / mult) - il + 1`.
+//! 3. **Loop recurrences**: for each innermost machine loop, consecutive
+//!    iteration headers are separated by at least
+//!    `Δ = max(P, ceil(n/w) - 1, Δ_fu, L_rec)` cycles, where `P` is the
+//!    in-order critical path through register RAW/WAW edges, `Δ_fu` the
+//!    per-iteration unit pressure, and `L_rec` the longest distance-1
+//!    register recurrence cycle (carried edge closed by the intra-body
+//!    path back to its producer). A loop entered `v` times running `k`
+//!    total iterations contributes `k - v` such consecutive pairs, and
+//!    the half-open windows `[header_m, header_{m+1})` of all pairs of
+//!    all innermost loops are pairwise disjoint in an in-order machine,
+//!    so the per-loop terms **sum**. Moreover, strictly inside a window
+//!    only that iteration's own body instructions can issue (in-order:
+//!    everything dynamically before the opening header issued at or
+//!    before it, everything after the closing header at or after it), so
+//!    the instructions *outside* all counted iterations still need their
+//!    own issue cycles — `ceil((R - pairs·(w-1)) / w)` more, where `R` is
+//!    the leftover instruction count and up to `w - 1` of them may share
+//!    each window's opening cycle with its header. Loop cost and leftover
+//!    cost therefore **add**, not just max.
+//!
+//! Only register dependences — architectural musts — feed the bound;
+//! may-alias memory edges are excluded, so sharpening the oracle can never
+//! unsound it. The classic scheduler-facing numbers, recurrence-bound and
+//! resource-bound MinII, are computed alongside for reporting.
+
+use supersym_isa::{ClassCensus, Instr, InstrClass, Program};
+use supersym_machine::MachineConfig;
+
+use crate::loopdep::{innermost_machine_loops, LoopCarriedOracle};
+use crate::oracle::{dependence_edges, DepKind};
+
+/// Static facts about one innermost machine loop under one machine
+/// configuration: everything the bound needs except the dynamic iteration
+/// counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopStatics {
+    /// Index of the owning function in the program.
+    pub func: usize,
+    /// Instruction index of the loop header within the function.
+    pub header: usize,
+    /// Instruction index of the latch (backward branch).
+    pub latch: usize,
+    /// Body length, latch included.
+    pub body_len: usize,
+    /// In-order critical path `P` through the body (register RAW/WAW
+    /// edges, machine cycles).
+    pub critical_path: u64,
+    /// Sound minimum spacing `Δ` between consecutive iteration starts.
+    pub delta: u64,
+    /// Longest distance-1 register recurrence cycle folded into `delta`
+    /// (0 when the body carries none).
+    pub recurrence: u64,
+    /// Recurrence-bound MinII: max over loop-carried dependence cycles of
+    /// `Σ latency / Σ distance` (includes may-alias memory cycles — a
+    /// scheduling constraint, not part of the sound bound).
+    pub rec_min_ii: f64,
+    /// Resource-bound MinII: max over functional units of
+    /// `count·issue_latency / multiplicity` for one iteration.
+    pub res_min_ii: f64,
+}
+
+/// Dynamic counts for one loop, parallel to [`LoopStatics`]: how many
+/// iterations ran in total and across how many separate visits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopCount {
+    /// Total header executions.
+    pub iterations: u64,
+    /// Number of times the loop was entered from outside.
+    pub visits: u64,
+}
+
+/// The combined static bound for one program × machine × run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticBound {
+    /// Sound lower bound on machine cycles.
+    pub lower_bound_cycles: u64,
+    /// The ILP ceiling: `instructions · pipe_degree / lower_bound_cycles`.
+    /// Measured available parallelism can never exceed this.
+    pub bound_ilp: f64,
+    /// Largest recurrence-bound MinII over the program's innermost loops.
+    pub rec_min_ii: f64,
+    /// Largest resource-bound MinII over the program's innermost loops.
+    pub res_min_ii: f64,
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        a.div_ceil(b)
+    }
+}
+
+/// Computes [`LoopStatics`] for every innermost machine loop of `program`
+/// under `config`, using `oracle` for the loop-carried facts.
+#[must_use]
+pub fn program_loop_statics(
+    program: &Program,
+    config: &MachineConfig,
+    oracle: &dyn LoopCarriedOracle,
+) -> Vec<LoopStatics> {
+    let mut all = Vec::new();
+    for (func_index, func) in program.functions().iter().enumerate() {
+        for ml in innermost_machine_loops(func) {
+            let body = ml.body(func);
+            all.push(loop_statics(
+                func_index, ml.start, ml.end, body, config, oracle,
+            ));
+        }
+    }
+    all
+}
+
+fn loop_statics(
+    func: usize,
+    start: usize,
+    end: usize,
+    body: &[Instr],
+    config: &MachineConfig,
+    oracle: &dyn LoopCarriedOracle,
+) -> LoopStatics {
+    let n = body.len();
+    let lat = |i: usize| u64::from(config.latency(body[i].class()));
+
+    // Register RAW/WAW edges are architectural musts: the consumer's issue
+    // waits out the producer's full latency (WAR is free in the timing
+    // model and the in-order program-order chain already covers it).
+    let reg_edges: Vec<(usize, usize)> = dependence_edges(body, oracle)
+        .into_iter()
+        .filter(|e| matches!(e.kind, DepKind::Raw(_) | DepKind::Waw(_)))
+        .map(|e| (e.pred, e.succ))
+        .collect();
+
+    // earliest[from][j]: least issue offset of j relative to `from` issuing
+    // at 0, following program order (in-order, 0 cycles) and register
+    // latency edges. Computed on demand per source.
+    let path_from = |from: usize| -> Vec<u64> {
+        let mut d = vec![0u64; n];
+        for j in from + 1..n {
+            d[j] = d[j - 1];
+            for &(p, s) in &reg_edges {
+                if s == j && p >= from {
+                    d[j] = d[j].max(d[p] + lat(p));
+                }
+            }
+        }
+        d
+    };
+
+    let from_header = path_from(0);
+    let critical_path = from_header[n - 1];
+
+    // Per-iteration functional-unit pressure: in the window between two
+    // consecutive iteration starts, each of the `mult` copies of a unit
+    // accepts at most one issue per `il` cycles.
+    let mut unit_counts = vec![0u64; config.functional_units().len()];
+    for instr in body {
+        unit_counts[config.unit_of(instr.class())] += 1;
+    }
+    let mut delta_fu = 0u64;
+    let mut res_min_ii = 0.0f64;
+    for (u, unit) in config.functional_units().iter().enumerate() {
+        if unit_counts[u] == 0 {
+            continue;
+        }
+        let il = u64::from(unit.issue_latency().max(1));
+        let mult = u64::from(unit.multiplicity());
+        delta_fu = delta_fu.max(ceil_div(unit_counts[u] * il, mult).saturating_sub(il));
+        res_min_ii = res_min_ii.max(unit_counts[u] as f64 * il as f64 / mult as f64);
+    }
+
+    // Loop-carried cycles: a carried edge pred(m) -> succ(m+d) closed by
+    // the intra-body path succ -> pred yields a cycle of length
+    // `latency(pred) + path(succ -> pred)` per `d` iterations.
+    let mut recurrence = 0u64;
+    let mut rec_min_ii = 0.0f64;
+    for edge in oracle.loop_carried(body) {
+        if edge.succ > edge.pred {
+            continue; // no intra-body path back: not a cycle
+        }
+        let cycle = match edge.kind {
+            DepKind::War(_) => continue, // WAR costs no latency
+            DepKind::Raw(_) | DepKind::Waw(_) | DepKind::Memory => {
+                lat(edge.pred) + path_from(edge.succ)[edge.pred]
+            }
+        };
+        rec_min_ii = rec_min_ii.max(cycle as f64 / edge.distance as f64);
+        // Only exact register facts may tighten the sound bound; memory
+        // edges are may-information.
+        if matches!(edge.kind, DepKind::Raw(_) | DepKind::Waw(_)) && edge.distance == 1 {
+            recurrence = recurrence.max(cycle);
+        }
+    }
+
+    let width_term = ceil_div(n as u64, u64::from(config.issue_width())).saturating_sub(1);
+    let delta = critical_path.max(width_term).max(delta_fu).max(recurrence);
+
+    LoopStatics {
+        func,
+        header: start,
+        latch: end,
+        body_len: n,
+        critical_path,
+        delta,
+        recurrence,
+        rec_min_ii,
+        res_min_ii,
+    }
+}
+
+/// Combines the static per-loop facts with one run's dynamic counts into
+/// the sound cycle lower bound and ILP ceiling.
+///
+/// `counts` must be parallel to `statics`; `census` and
+/// `total_instructions` describe the whole dynamic run.
+#[must_use]
+pub fn static_bound(
+    config: &MachineConfig,
+    statics: &[LoopStatics],
+    counts: &[LoopCount],
+    total_instructions: u64,
+    census: &ClassCensus,
+) -> StaticBound {
+    assert_eq!(statics.len(), counts.len(), "one count per loop");
+
+    // Global issue-width floor.
+    let mut lb = ceil_div(total_instructions, u64::from(config.issue_width()));
+
+    // Global functional-unit floor.
+    let mut unit_counts = vec![0u64; config.functional_units().len()];
+    for class in InstrClass::ALL {
+        unit_counts[config.unit_of(class)] += census.count(class);
+    }
+    for (u, unit) in config.functional_units().iter().enumerate() {
+        if unit_counts[u] == 0 {
+            continue;
+        }
+        let il = u64::from(unit.issue_latency().max(1));
+        let mult = u64::from(unit.multiplicity());
+        let floor = ceil_div(unit_counts[u] * il, mult)
+            .saturating_sub(il)
+            .saturating_add(1);
+        lb = lb.max(floor);
+    }
+
+    // Summed loop floors: each consecutive-iteration pair spans a
+    // half-open window of at least `Δ` cycles, and the windows of all
+    // pairs of all innermost loops are pairwise disjoint in an in-order
+    // machine. Instructions outside the counted iterations need issue
+    // cycles of their own — which adds to, rather than maxes against, the
+    // loop term. The only cycles they can share with a window are
+    // opening cycles whose header they immediately precede dynamically,
+    // and within a visit every opening but the first is preceded by
+    // counted body instructions — so at most `w - 1` leftovers hide per
+    // *visit*, not per pair.
+    let width = u64::from(config.issue_width());
+    let mut loop_sum = 0u64;
+    let mut counted = 0u64;
+    let mut visits_total = 0u64;
+    let mut rec_min_ii = 0.0f64;
+    let mut res_min_ii = 0.0f64;
+    for (s, c) in statics.iter().zip(counts) {
+        let pairs = c.iterations.saturating_sub(c.visits);
+        loop_sum += pairs * s.delta;
+        counted += pairs * s.body_len as u64;
+        visits_total += c.visits.min(pairs);
+        if c.iterations > 0 {
+            rec_min_ii = rec_min_ii.max(s.rec_min_ii);
+            res_min_ii = res_min_ii.max(s.res_min_ii);
+        }
+    }
+    let leftover = total_instructions.saturating_sub(counted);
+    let outside = leftover.saturating_sub(visits_total.saturating_mul(width - 1));
+    lb = lb
+        .max(loop_sum + ceil_div(outside, width))
+        .max(u64::from(total_instructions > 0));
+
+    let bound_ilp = if lb == 0 {
+        0.0
+    } else {
+        total_instructions as f64 * f64::from(config.pipe_degree()) / lb as f64
+    };
+    StaticBound {
+        lower_bound_cycles: lb,
+        bound_ilp,
+        rec_min_ii,
+        res_min_ii,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleKind;
+    use supersym_isa::{Function, IntOp, IntReg, Label, MemAlias, Operand};
+    use supersym_machine::presets;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    fn chain_body() -> Vec<Instr> {
+        // r2 <- [r5]; r3 <- r2 + 1; [r5] <- r3; r5 += 1; br — a serial
+        // load/add/store chain plus the induction update.
+        vec![
+            Instr::Load {
+                dst: r(2),
+                base: r(5),
+                offset: 0,
+                alias: MemAlias::unknown(),
+            },
+            Instr::IntOp {
+                op: IntOp::Add,
+                dst: r(3),
+                lhs: r(2),
+                rhs: Operand::Imm(1),
+            },
+            Instr::Store {
+                src: r(3),
+                base: r(5),
+                offset: 0,
+                alias: MemAlias::unknown(),
+            },
+            Instr::IntOp {
+                op: IntOp::Add,
+                dst: r(5),
+                lhs: r(5),
+                rhs: Operand::Imm(1),
+            },
+            Instr::Br {
+                cond: r(1),
+                expect: true,
+                target: Label::new(0),
+            },
+        ]
+    }
+
+    fn one_loop_program() -> Program {
+        let mut program = Program::new();
+        program.add_function(Function::new("f", chain_body(), vec![0]));
+        program
+    }
+
+    #[test]
+    fn critical_path_follows_register_latencies() {
+        let program = one_loop_program();
+        let config = presets::base();
+        let statics =
+            program_loop_statics(&program, &config, OracleKind::Symbolic.as_loop_oracle());
+        assert_eq!(statics.len(), 1);
+        let s = &statics[0];
+        assert_eq!(s.body_len, 5);
+        // load -> add -> store is the serial chain; the branch rides on r1.
+        let load = u64::from(config.latency(InstrClass::Load));
+        let add = u64::from(config.latency(InstrClass::IntAdd));
+        assert_eq!(s.critical_path, load + add);
+        // r5's self-update (distance-1 RAW on the add at 3) recurs.
+        assert!(s.recurrence >= add);
+        assert!(s.delta >= s.critical_path);
+        assert!(s.rec_min_ii >= s.recurrence as f64);
+    }
+
+    #[test]
+    fn bound_sums_loop_visits_and_respects_width() {
+        let program = one_loop_program();
+        let config = presets::base();
+        let statics =
+            program_loop_statics(&program, &config, OracleKind::Symbolic.as_loop_oracle());
+        let mut census = ClassCensus::new();
+        for _ in 0..100 {
+            for instr in &chain_body() {
+                census.record(instr.class());
+            }
+        }
+        let counts = [LoopCount {
+            iterations: 100,
+            visits: 1,
+        }];
+        let bound = static_bound(&config, &statics, &counts, census.total(), &census);
+        assert!(bound.lower_bound_cycles >= 99 * statics[0].delta);
+        assert!(
+            bound.lower_bound_cycles >= census.total().div_ceil(u64::from(config.issue_width()))
+        );
+        assert!(bound.bound_ilp > 0.0);
+        // The ceiling can never fall below what one instruction per cycle
+        // trivially achieves being impossible; sanity: ILP <= width·degree.
+        assert!(
+            bound.bound_ilp
+                <= f64::from(config.issue_width()) * f64::from(config.pipe_degree()) + 1e-9
+        );
+    }
+
+    #[test]
+    fn empty_program_is_harmless() {
+        let config = presets::base();
+        let bound = static_bound(&config, &[], &[], 0, &ClassCensus::new());
+        assert_eq!(bound.lower_bound_cycles, 0);
+        assert_eq!(bound.bound_ilp, 0.0);
+    }
+}

@@ -34,28 +34,46 @@
 //!   `titalc analyze`: dead stores, provably out-of-bounds array accesses,
 //!   and branches on provably-constant conditions.
 //! * [`dump_module`] — the per-block fact dump behind `titalc analyze`.
+//! * The loop-nest layer: [`loops`] (natural-loop forest over the IR CFG),
+//!   [`scev`] (scalar evolution / chains-of-recurrences with ZIV/SIV
+//!   distance-vector tests), [`loopdep`] (machine-level loop-carried edges
+//!   behind the [`LoopCarriedOracle`] trait), and [`bound`] (sound static
+//!   ILP ceilings per innermost loop, surfaced by `titalc bound`).
 
 #![deny(missing_docs)]
 
+pub mod bound;
 pub mod consts;
 pub mod dump;
 pub mod engine;
 pub mod lattice;
 pub mod lint;
+pub mod loopdep;
+pub mod loops;
 pub mod oracle;
 pub mod range;
 pub mod reaching;
+pub mod scev;
 pub mod symalias;
 
+pub use bound::{program_loop_statics, static_bound, LoopCount, LoopStatics, StaticBound};
 pub use consts::{ConstProp, ConstState};
 pub use dump::dump_module;
 pub use engine::{solve, Analysis, Direction, Solution};
 pub use lattice::{Interval, JoinSemiLattice};
 pub use lint::lint_module;
+pub use loopdep::{
+    innermost_machine_loops, CarriedEdge, LoopCarriedOracle, MachineLoop, CARRIED_DISTANCE_CAP,
+};
+pub use loops::{loop_forest, LoopForest, LoopInfo};
 pub use oracle::{
-    dependence_edges, scheduling_regions, ConservativeOracle, DepEdge, DepKind, DependenceOracle,
-    OracleKind, RegionFacts, SymbolicOracle,
+    dependence_edges, induction_steps, scheduling_regions, ConservativeOracle, DepEdge, DepKind,
+    DependenceOracle, OracleKind, RegionFacts, SymbolicOracle,
 };
 pub use range::{RangeState, Ranges};
 pub use reaching::{Def, ReachState, ReachingDefs};
+pub use scev::{
+    function_scev, solve_stride, Distance, FunctionScev, Induction, LoopAccess, LoopDep, LoopScev,
+    MemDepKind, Scev, Subscript,
+};
 pub use symalias::sharpen_origins;

@@ -1,0 +1,204 @@
+//! The loop forest: natural loops of the IR CFG arranged by nesting.
+//!
+//! [`supersym_ir::natural_loops`] finds one [`Loop`](supersym_ir::Loop)
+//! per back-edge header; this module arranges them into a forest by body
+//! containment (a loop is nested in another exactly when its body is a
+//! subset of the other's), annotates each with its depth and children, and
+//! flags the innermost loops — the ones the scalar-evolution and
+//! dependence analyses in [`crate::scev`] reason about one iteration at a
+//! time.
+
+use supersym_ir::{natural_loops, BlockId, Function};
+
+/// One natural loop with its position in the nesting forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the body, header included, sorted by block id.
+    pub body: Vec<BlockId>,
+    /// Back-edge sources.
+    pub latches: Vec<BlockId>,
+    /// Index (into [`LoopForest::loops`]) of the innermost enclosing loop.
+    pub parent: Option<usize>,
+    /// Indices of the loops nested directly inside this one.
+    pub children: Vec<usize>,
+    /// Nesting depth: `1` for an outermost loop.
+    pub depth: u32,
+}
+
+impl LoopInfo {
+    /// Whether the loop contains no other loop.
+    #[must_use]
+    pub fn is_innermost(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Whether `block` belongs to the loop body.
+    #[must_use]
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.body.binary_search(&block).is_ok()
+    }
+}
+
+/// The loop forest of one function, ordered outer-before-inner (parents
+/// always precede their children) with headers as the tiebreak.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopForest {
+    /// The loops; indices are stable and used for `parent`/`children`.
+    pub loops: Vec<LoopInfo>,
+}
+
+impl LoopForest {
+    /// Indices of the innermost loops.
+    #[must_use]
+    pub fn innermost(&self) -> Vec<usize> {
+        (0..self.loops.len())
+            .filter(|&i| self.loops[i].is_innermost())
+            .collect()
+    }
+
+    /// The innermost loop containing `block`, if any.
+    #[must_use]
+    pub fn innermost_containing(&self, block: BlockId) -> Option<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains(block))
+            .max_by_key(|(_, l)| l.depth)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Builds the loop forest of `func`.
+///
+/// Nesting is decided purely by body containment, which is well defined for
+/// natural loops sharing no header: two loop bodies are either disjoint or
+/// one contains the other.
+#[must_use]
+pub fn loop_forest(func: &Function) -> LoopForest {
+    let mut raw = natural_loops(func);
+    for l in &mut raw {
+        l.body.sort_unstable();
+    }
+    // Sort outer loops first (larger bodies), headers as tiebreak, so
+    // parents precede children and the order is deterministic.
+    raw.sort_by(|a, b| {
+        b.body
+            .len()
+            .cmp(&a.body.len())
+            .then(a.header.cmp(&b.header))
+    });
+
+    let contains = |outer: &[BlockId], inner: &[BlockId]| -> bool {
+        inner.iter().all(|b| outer.binary_search(b).is_ok())
+    };
+    let mut loops: Vec<LoopInfo> = raw
+        .iter()
+        .map(|l| LoopInfo {
+            header: l.header,
+            body: l.body.clone(),
+            latches: l.latches.clone(),
+            parent: None,
+            children: Vec::new(),
+            depth: 1,
+        })
+        .collect();
+    for i in 0..loops.len() {
+        // The innermost enclosing loop is the *smallest* strict superset;
+        // scanning previous (larger-or-equal) entries from the end finds it
+        // first.
+        for j in (0..i).rev() {
+            let strict = loops[j].body.len() > loops[i].body.len();
+            if strict && contains(&loops[j].body, &loops[i].body) {
+                loops[i].parent = Some(j);
+                loops[i].depth = loops[j].depth + 1;
+                loops[j].children.push(i);
+                break;
+            }
+        }
+    }
+    LoopForest { loops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_ir::{Block, Function, Inst, Terminator, VReg};
+    use supersym_lang::ast::Ty;
+
+    fn block(term: Terminator) -> Block {
+        Block {
+            insts: vec![Inst::ConstInt {
+                dst: VReg(0),
+                value: 1,
+            }],
+            term,
+        }
+    }
+
+    /// entry -> outer header -> inner header -> inner body -> (inner header
+    /// | outer latch) -> (outer header | exit).
+    fn nested() -> Function {
+        Function {
+            name: "f".into(),
+            vars: vec![],
+            ret: None,
+            blocks: vec![
+                block(Terminator::Jump(BlockId(1))), // 0 entry
+                block(Terminator::Branch {
+                    cond: VReg(0),
+                    then_bb: BlockId(2),
+                    else_bb: BlockId(5),
+                }), // 1 outer header
+                block(Terminator::Branch {
+                    cond: VReg(0),
+                    then_bb: BlockId(3),
+                    else_bb: BlockId(4),
+                }), // 2 inner header
+                block(Terminator::Jump(BlockId(2))), // 3 inner latch
+                block(Terminator::Jump(BlockId(1))), // 4 outer latch
+                block(Terminator::Return(None)),     // 5 exit
+            ],
+            vreg_tys: vec![Ty::Int],
+        }
+    }
+
+    #[test]
+    fn nested_loops_form_a_chain() {
+        let forest = loop_forest(&nested());
+        assert_eq!(forest.loops.len(), 2);
+        let outer = &forest.loops[0];
+        let inner = &forest.loops[1];
+        assert_eq!(outer.header, BlockId(1));
+        assert_eq!(inner.header, BlockId(2));
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(outer.children, vec![1]);
+        assert!(inner.is_innermost());
+        assert!(!outer.is_innermost());
+        assert_eq!(forest.innermost(), vec![1]);
+    }
+
+    #[test]
+    fn innermost_containing_picks_the_deepest() {
+        let forest = loop_forest(&nested());
+        assert_eq!(forest.innermost_containing(BlockId(3)), Some(1));
+        assert_eq!(forest.innermost_containing(BlockId(4)), Some(0));
+        assert_eq!(forest.innermost_containing(BlockId(0)), None);
+        assert_eq!(forest.innermost_containing(BlockId(5)), None);
+    }
+
+    #[test]
+    fn straight_line_has_empty_forest() {
+        let func = Function {
+            name: "f".into(),
+            vars: vec![],
+            ret: None,
+            blocks: vec![block(Terminator::Return(None))],
+            vreg_tys: vec![Ty::Int],
+        };
+        assert!(loop_forest(&func).loops.is_empty());
+    }
+}

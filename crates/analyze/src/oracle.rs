@@ -168,7 +168,7 @@ impl DependenceOracle for SymbolicOracle {
     }
 }
 
-fn annotations_may_conflict(region: &[Instr], i: usize, j: usize) -> bool {
+pub(crate) fn annotations_may_conflict(region: &[Instr], i: usize, j: usize) -> bool {
     let (alias_i, _) = region[i].mem_ref().expect("caller guarantees a memory op");
     let (alias_j, _) = region[j].mem_ref().expect("caller guarantees a memory op");
     alias_i.may_conflict(alias_j)
@@ -229,6 +229,33 @@ impl SymVal {
 /// runtime-dependent range of words, so they never receive an address.
 #[must_use]
 pub fn symbolic_addresses(region: &[Instr]) -> Vec<Option<SymAddr>> {
+    symbolic_walk(region).0
+}
+
+/// The per-pass increment of each integer register, for loop bodies.
+///
+/// Entry `r` is `Some(step)` when one pass over `region` provably leaves
+/// register `r` at exactly its initial value plus `step` (wrapping), the
+/// affine-update shape of an induction register; `Some(0)` covers registers
+/// the region never redefines. `None` means the final value has no provable
+/// relation to the initial one (reloaded from memory, multiplied, set to a
+/// constant — whose first-iteration initial value still differs).
+#[must_use]
+pub fn induction_steps(region: &[Instr]) -> Vec<Option<i64>> {
+    symbolic_walk(region)
+        .1
+        .iter()
+        .enumerate()
+        .map(|(reg, val)| match val {
+            SymVal::Rel { vn, offset } if *vn == reg as u32 => Some(*offset),
+            // r0 is hardwired: constant zero before and after any pass.
+            SymVal::Abs(0) if reg == 0 => Some(0),
+            _ => None,
+        })
+        .collect()
+}
+
+fn symbolic_walk(region: &[Instr]) -> (Vec<Option<SymAddr>>, Vec<SymVal>) {
     let mut sym: Vec<SymVal> = (0..NUM_INT_REGS as u32)
         .map(|r| SymVal::Rel { vn: r, offset: 0 })
         .collect();
@@ -287,7 +314,7 @@ pub fn symbolic_addresses(region: &[Instr]) -> Vec<Option<SymAddr>> {
             }
         }
     }
-    addrs
+    (addrs, sym)
 }
 
 /// The scheduling regions of a function: maximal runs of non-control

@@ -1,0 +1,845 @@
+//! Scalar evolution and cross-iteration dependence testing.
+//!
+//! For each loop of the [`crate::loop_forest`], a small chains-of-recurrences
+//! analysis expresses every variable's value at any point of the body as
+//! *its value at the header entry of the current iteration, plus a constant*
+//! ([`Scev`]). A variable whose latch-exit value is `self + c` on every
+//! latch is an induction variable with step `c`; array subscripts that
+//! evaluate to `induction + offset` are affine ([`Subscript::Linear`]).
+//!
+//! Cross-iteration dependence testing is then ZIV/SIV subscript testing
+//! over those forms, **wrapping-sound**: two subscripts `v + o1` (iteration
+//! `m`) and `v + o2` (iteration `m + d`) collide exactly when
+//! `step·d ≡ o1 − o2 (mod 2^64)`, a linear congruence solved exactly by
+//! [`solve_stride`]. No solution proves independence; a solution yields the
+//! *distance* `d` of the loop-carried dependence (`d = 0` is a
+//! loop-independent one). Anything non-affine degrades to a conservative
+//! dependence at unknown distance — the analysis only ever *removes* edges
+//! relative to assuming everything conflicts.
+
+use crate::loops::{loop_forest, LoopForest};
+use std::collections::BTreeMap;
+use std::fmt;
+use supersym_ir::{BlockId, Function, GlobalId, Inst, IntBinOp, VReg, VarRef};
+
+/// A chains-of-recurrences value: what a variable (or vreg) is worth,
+/// relative to the loop header entry of the *current* iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scev {
+    /// A compile-time constant.
+    Const(i64),
+    /// The value `var` had when the current iteration entered the header,
+    /// plus a wrapping constant.
+    Entry {
+        /// The variable whose header-entry value anchors this expression.
+        var: VarRef,
+        /// Wrapping offset from that value.
+        offset: i64,
+    },
+    /// Anything else.
+    Unknown,
+}
+
+impl Scev {
+    fn offset_by(self, k: i64) -> Scev {
+        match self {
+            Scev::Const(c) => Scev::Const(c.wrapping_add(k)),
+            Scev::Entry { var, offset } => Scev::Entry {
+                var,
+                offset: offset.wrapping_add(k),
+            },
+            Scev::Unknown => Scev::Unknown,
+        }
+    }
+
+    fn join(self, other: Scev) -> Scev {
+        if self == other {
+            self
+        } else {
+            Scev::Unknown
+        }
+    }
+}
+
+impl fmt::Display for Scev {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scev::Const(c) => write!(f, "{c}"),
+            Scev::Entry { var, offset } if *offset == 0 => write!(f, "{var}@entry"),
+            Scev::Entry { var, offset } => write!(f, "{var}@entry{offset:+}"),
+            Scev::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+/// An induction variable of one loop: `{base, +, step}` in
+/// chains-of-recurrences notation (`step == 0` means loop-invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Induction {
+    /// The variable.
+    pub var: VarRef,
+    /// Its per-iteration (wrapping) step.
+    pub step: i64,
+}
+
+/// The classified subscript of one array access within a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subscript {
+    /// The subscript is a loop-invariant constant (ZIV).
+    Ziv(i64),
+    /// The subscript is `var@entry + offset` where `var` advances by
+    /// `stride` each iteration (SIV; `stride == 0` is a symbolic ZIV).
+    Linear {
+        /// The induction variable.
+        var: VarRef,
+        /// The variable's per-iteration step.
+        stride: i64,
+        /// Constant offset from the variable.
+        offset: i64,
+    },
+    /// Not recognized; the dependence tester assumes the worst.
+    Unknown,
+}
+
+impl fmt::Display for Subscript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subscript::Ziv(c) => write!(f, "[{c}]"),
+            Subscript::Linear {
+                var,
+                stride,
+                offset,
+            } => write!(f, "[{var}{offset:+} ; +{stride}/iter]"),
+            Subscript::Unknown => f.write_str("[?]"),
+        }
+    }
+}
+
+/// One array access inside a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopAccess {
+    /// Block the access is in.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// The array.
+    pub arr: GlobalId,
+    /// Whether it writes (`WriteElem`) or reads (`ReadElem`).
+    pub is_write: bool,
+    /// The classified subscript.
+    pub subscript: Subscript,
+}
+
+/// The dependence distance between two accesses, in iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distance {
+    /// Proven exact distance (`0` = loop-independent, `d > 0` = carried
+    /// across `d` iterations; direction `<` in vector notation).
+    Exact(u64),
+    /// Unknown — the conservative `*` direction.
+    Any,
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distance::Exact(0) => f.write_str("= (loop-independent)"),
+            Distance::Exact(d) => write!(f, "< distance {d}"),
+            Distance::Any => f.write_str("* (unknown)"),
+        }
+    }
+}
+
+/// The kind of a memory dependence between two accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemDepKind {
+    /// Write then read (RAW).
+    Flow,
+    /// Read then write (WAR).
+    Anti,
+    /// Write then write (WAW).
+    Output,
+}
+
+impl fmt::Display for MemDepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemDepKind::Flow => "flow",
+            MemDepKind::Anti => "anti",
+            MemDepKind::Output => "output",
+        })
+    }
+}
+
+/// One dependence between two accesses of a loop ([`LoopScev::accesses`]
+/// indices): the access at `src` in iteration `m` conflicts with the one at
+/// `dst` in iteration `m + distance`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopDep {
+    /// Source access index.
+    pub src: usize,
+    /// Destination access index.
+    pub dst: usize,
+    /// Flow/anti/output, as seen from `src`.
+    pub kind: MemDepKind,
+    /// Distance in iterations.
+    pub distance: Distance,
+}
+
+/// Scalar-evolution facts for one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopScev {
+    /// Index of the loop in the [`LoopForest`].
+    pub loop_index: usize,
+    /// Induction variables (including loop-invariant ones, `step == 0`),
+    /// sorted by variable.
+    pub inductions: Vec<Induction>,
+    /// Array accesses in the body, in block/instruction order.
+    pub accesses: Vec<LoopAccess>,
+    /// Cross- and same-iteration dependences between those accesses.
+    pub deps: Vec<LoopDep>,
+}
+
+/// Scalar evolution over every loop of a function: the forest plus one
+/// [`LoopScev`] per loop (same order as [`LoopForest::loops`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionScev {
+    /// The loop forest.
+    pub forest: LoopForest,
+    /// Per-loop facts, parallel to `forest.loops`.
+    pub loops: Vec<LoopScev>,
+}
+
+/// Runs loop discovery and scalar evolution over one function.
+#[must_use]
+pub fn function_scev(func: &Function) -> FunctionScev {
+    let forest = loop_forest(func);
+    let loops = (0..forest.loops.len())
+        .map(|i| analyze_loop(func, &forest, i))
+        .collect();
+    FunctionScev { forest, loops }
+}
+
+/// The exact solution set of the wrapping congruence
+/// `stride · d ≡ delta (mod 2^64)`: the smallest non-negative solution and
+/// the period (solutions are `first + k·period` for all `k ≥ 0`; a period
+/// of `0` encodes 2^64).
+///
+/// `stride == 0` has solutions (every `d`) only when `delta == 0`.
+/// Otherwise, with `t = stride.trailing_zeros()`, solutions exist iff
+/// `2^t` divides `delta`, and the period is `2^(64−t)`.
+#[must_use]
+pub fn solve_stride(stride: i64, delta: i64) -> Option<(u64, u64)> {
+    let (s, d) = (stride as u64, delta as u64);
+    if s == 0 {
+        return (d == 0).then_some((0, 1));
+    }
+    let t = s.trailing_zeros();
+    if t > 0 && d & ((1u64 << t) - 1) != 0 {
+        return None;
+    }
+    let odd = s >> t;
+    // Inverse of an odd number mod 2^64 by Newton iteration:
+    // x_{k+1} = x_k (2 − odd·x_k) doubles the number of correct low bits.
+    let mut inv: u64 = 1;
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(odd.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(odd.wrapping_mul(inv), 1);
+    let first = (d >> t).wrapping_mul(inv);
+    if t == 0 {
+        Some((first, 0)) // period 2^64
+    } else {
+        let period = 1u64 << (64 - t);
+        Some((first & (period - 1), period))
+    }
+}
+
+/// A variable state during the loop walk. Absent entries mean *identity*
+/// (the variable still holds its header-entry value) — unless a call has
+/// run, which clobbers every global scalar the map does not pin explicitly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VarState {
+    vars: BTreeMap<VarRef, Scev>,
+    globals_clobbered: bool,
+}
+
+impl VarState {
+    fn value(&self, var: VarRef) -> Scev {
+        match self.vars.get(&var) {
+            Some(&v) => v,
+            None if self.globals_clobbered && matches!(var, VarRef::Global(_)) => Scev::Unknown,
+            None => Scev::Entry { var, offset: 0 },
+        }
+    }
+
+    fn set(&mut self, var: VarRef, value: Scev) {
+        self.vars.insert(var, value);
+    }
+
+    fn clobber_globals(&mut self) {
+        self.globals_clobbered = true;
+        let globals: Vec<VarRef> = self
+            .vars
+            .keys()
+            .copied()
+            .filter(|v| matches!(v, VarRef::Global(_)))
+            .collect();
+        for var in globals {
+            self.vars.insert(var, Scev::Unknown);
+        }
+    }
+
+    fn join(&self, other: &VarState) -> VarState {
+        let mut out = VarState {
+            vars: BTreeMap::new(),
+            globals_clobbered: self.globals_clobbered || other.globals_clobbered,
+        };
+        let keys: Vec<VarRef> = self.vars.keys().chain(other.vars.keys()).copied().collect();
+        for var in keys {
+            out.vars.insert(var, self.value(var).join(other.value(var)));
+        }
+        // A clobber on either side must also degrade globals the *other*
+        // side never mentioned; `value` handles that lazily through the
+        // flag, so nothing more to materialize here.
+        out
+    }
+}
+
+fn analyze_loop(func: &Function, forest: &LoopForest, loop_index: usize) -> LoopScev {
+    let info = &forest.loops[loop_index];
+    let header = info.header;
+
+    // Per-block entry states, fixpointed over in-loop edges only. The
+    // header's entry state is the identity by definition (each variable is
+    // its own header-entry value); back edges are deliberately not joined
+    // into it — they describe the *next* iteration.
+    let mut entry: BTreeMap<BlockId, VarState> = BTreeMap::new();
+    entry.insert(header, VarState::default());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &block in &info.body {
+            let Some(state) = entry.get(&block).cloned() else {
+                continue; // not yet reached from the header
+            };
+            let out = transfer_block(func, block, state);
+            for succ in func.blocks[block.index()].term.successors() {
+                if succ == header || !info.contains(succ) {
+                    continue;
+                }
+                let merged = match entry.get(&succ) {
+                    None => out.clone(),
+                    Some(existing) => existing.join(&out),
+                };
+                if entry.get(&succ) != Some(&merged) {
+                    entry.insert(succ, merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Induction variables: consistent `self + step` on every latch exit.
+    // `Some(step)` = induction so far, `None` = disqualified.
+    let mut steps: BTreeMap<VarRef, Option<i64>> = BTreeMap::new();
+    let mut any_clobber = false;
+    for (latch_index, &latch) in info.latches.iter().enumerate() {
+        let state = entry.get(&latch).cloned().unwrap_or_default();
+        let out = transfer_block(func, latch, state);
+        any_clobber |= out.globals_clobbered;
+        let mut vars: Vec<VarRef> = out.vars.keys().copied().collect();
+        vars.extend(steps.keys().copied());
+        vars.sort_unstable();
+        vars.dedup();
+        for var in vars {
+            let step = match out.value(var) {
+                Scev::Entry { var: v, offset } if v == var => Some(offset),
+                _ => None,
+            };
+            match steps.get(&var) {
+                // Unseen by earlier latches means identity (step 0) there.
+                None if latch_index == 0 => {
+                    steps.insert(var, step);
+                }
+                None => {
+                    steps.insert(var, step.filter(|&s| s == 0));
+                }
+                Some(&prev) => {
+                    steps.insert(var, prev.filter(|&p| step == Some(p)));
+                }
+            }
+        }
+    }
+    let step_of = |var: VarRef| -> Option<i64> {
+        match steps.get(&var) {
+            Some(&s) => s,
+            // Untouched by every latch path: invariant — unless it is a
+            // global and some call may have rewritten it.
+            None if any_clobber && matches!(var, VarRef::Global(_)) => None,
+            None => Some(0),
+        }
+    };
+    let inductions: Vec<Induction> = steps
+        .iter()
+        .filter_map(|(&var, &step)| step.map(|step| Induction { var, step }))
+        .collect();
+
+    // Classify every array access in the body.
+    let mut accesses = Vec::new();
+    for &block in &info.body {
+        let facts = entry
+            .get(&block)
+            .cloned()
+            .map(|state| eval_block(func, block, state));
+        for (inst_index, inst) in func.blocks[block.index()].insts.iter().enumerate() {
+            let (arr, index, is_write) = match inst {
+                Inst::ReadElem { arr, index, .. } => (*arr, *index, false),
+                Inst::WriteElem { arr, index, .. } => (*arr, *index, true),
+                _ => continue,
+            };
+            let value = facts
+                .as_ref()
+                .and_then(|f| f.get(&(inst_index, index)).copied())
+                .unwrap_or(Scev::Unknown);
+            let subscript = match value {
+                Scev::Const(c) => Subscript::Ziv(c),
+                Scev::Entry { var, offset } => match step_of(var) {
+                    Some(stride) => Subscript::Linear {
+                        var,
+                        stride,
+                        offset,
+                    },
+                    None => Subscript::Unknown,
+                },
+                Scev::Unknown => Subscript::Unknown,
+            };
+            accesses.push(LoopAccess {
+                block,
+                inst: inst_index,
+                arr,
+                is_write,
+                subscript,
+            });
+        }
+    }
+
+    // Pairwise ZIV/SIV testing.
+    let mut deps = Vec::new();
+    for i in 0..accesses.len() {
+        for j in (i + 1)..accesses.len() {
+            test_pair(&accesses, i, j, &mut deps);
+        }
+    }
+
+    LoopScev {
+        loop_index,
+        inductions,
+        accesses,
+        deps,
+    }
+}
+
+/// Largest carried distance worth reporting individually; congruence
+/// solutions beyond it cannot occur in any simulated loop (iteration counts
+/// are far below 2^32), so proven-distant is as good as proven-independent.
+const DISTANCE_CAP: u64 = 1 << 32;
+
+fn test_pair(accesses: &[LoopAccess], i: usize, j: usize, deps: &mut Vec<LoopDep>) {
+    let (a, b) = (&accesses[i], &accesses[j]);
+    if a.arr != b.arr || (!a.is_write && !b.is_write) {
+        return;
+    }
+    let kind = |src: &LoopAccess, dst: &LoopAccess| match (src.is_write, dst.is_write) {
+        (true, false) => MemDepKind::Flow,
+        (false, true) => MemDepKind::Anti,
+        (true, true) => MemDepKind::Output,
+        (false, false) => unreachable!("filtered above"),
+    };
+    // A dependence src -> dst at distance d means the access at src in
+    // iteration m and the one at dst in iteration m+d collide; for
+    // subscripts `v + o_src` and `v + o_dst` that is
+    // `stride·d ≡ o_src − o_dst (mod 2^64)`.
+    let mut push = |src: usize, dst: usize, distance: Distance| {
+        deps.push(LoopDep {
+            src,
+            dst,
+            kind: kind(&accesses[src], &accesses[dst]),
+            distance,
+        });
+    };
+    match (a.subscript, b.subscript) {
+        (Subscript::Ziv(c1), Subscript::Ziv(c2)) => {
+            if c1 == c2 {
+                // The same word every iteration: dependences at every
+                // distance; report the loop-independent one and the
+                // tightest carried one in each direction.
+                push(i, j, Distance::Exact(0));
+                push(i, j, Distance::Exact(1));
+                push(j, i, Distance::Exact(1));
+            }
+        }
+        (
+            Subscript::Linear {
+                var: v1,
+                stride,
+                offset: o1,
+            },
+            Subscript::Linear {
+                var: v2,
+                stride: s2,
+                offset: o2,
+            },
+        ) if v1 == v2 && stride == s2 => {
+            let mut direction = |src: usize, dst: usize, delta: i64| {
+                if let Some((first, period)) = solve_stride(stride, delta) {
+                    if first == 0 {
+                        if src < dst {
+                            push(src, dst, Distance::Exact(0));
+                        }
+                        if period != 0 && period < DISTANCE_CAP {
+                            push(src, dst, Distance::Exact(period));
+                        }
+                    } else if first < DISTANCE_CAP {
+                        push(src, dst, Distance::Exact(first));
+                    }
+                }
+            };
+            direction(i, j, o1.wrapping_sub(o2));
+            direction(j, i, o2.wrapping_sub(o1));
+        }
+        _ => {
+            // Non-affine or unrelated bases: assume everything.
+            push(i, j, Distance::Any);
+            push(j, i, Distance::Any);
+        }
+    }
+}
+
+/// Applies a block's instructions to a variable state.
+fn transfer_block(func: &Function, block: BlockId, mut state: VarState) -> VarState {
+    let mut vregs: BTreeMap<VReg, Scev> = BTreeMap::new();
+    for inst in &func.blocks[block.index()].insts {
+        step_inst(inst, &mut state, &mut vregs);
+    }
+    state
+}
+
+/// Like [`transfer_block`], but records the value of every subscript vreg
+/// at its access instruction — evaluated *before* the instruction runs.
+fn eval_block(
+    func: &Function,
+    block: BlockId,
+    mut state: VarState,
+) -> BTreeMap<(usize, VReg), Scev> {
+    let mut vregs: BTreeMap<VReg, Scev> = BTreeMap::new();
+    let mut facts = BTreeMap::new();
+    for (index, inst) in func.blocks[block.index()].insts.iter().enumerate() {
+        if let Inst::ReadElem { index: sub, .. } | Inst::WriteElem { index: sub, .. } = inst {
+            let value = vregs.get(sub).copied().unwrap_or(Scev::Unknown);
+            facts.insert((index, *sub), value);
+        }
+        step_inst(inst, &mut state, &mut vregs);
+    }
+    facts
+}
+
+fn step_inst(inst: &Inst, state: &mut VarState, vregs: &mut BTreeMap<VReg, Scev>) {
+    let value = match inst {
+        Inst::ConstInt { value, .. } => Scev::Const(*value),
+        Inst::ReadVar { var, .. } => state.value(*var),
+        Inst::IntBin { op, lhs, rhs, .. } => {
+            let l = vregs.get(lhs).copied().unwrap_or(Scev::Unknown);
+            let r = vregs.get(rhs).copied().unwrap_or(Scev::Unknown);
+            match (op, l, r) {
+                (IntBinOp::Add, Scev::Const(a), Scev::Const(b)) => Scev::Const(a.wrapping_add(b)),
+                (IntBinOp::Add, v, Scev::Const(k)) | (IntBinOp::Add, Scev::Const(k), v) => {
+                    v.offset_by(k)
+                }
+                (IntBinOp::Sub, Scev::Const(a), Scev::Const(b)) => Scev::Const(a.wrapping_sub(b)),
+                (IntBinOp::Sub, v, Scev::Const(k)) => v.offset_by(k.wrapping_neg()),
+                (IntBinOp::Mul, Scev::Const(a), Scev::Const(b)) => Scev::Const(a.wrapping_mul(b)),
+                _ => Scev::Unknown,
+            }
+        }
+        Inst::WriteVar { var, src } => {
+            let value = vregs.get(src).copied().unwrap_or(Scev::Unknown);
+            state.set(*var, value);
+            return;
+        }
+        Inst::Call { dst, .. } => {
+            // The callee may write any global scalar; locals are private.
+            state.clobber_globals();
+            if let Some(dst) = dst {
+                vregs.insert(*dst, Scev::Unknown);
+            }
+            return;
+        }
+        _ => Scev::Unknown,
+    };
+    if let Some(dst) = inst.dst() {
+        vregs.insert(dst, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_ir::{Block, LocalId, Terminator};
+    use supersym_lang::ast::Ty;
+
+    fn local(i: u32) -> VarRef {
+        VarRef::Local(LocalId(i))
+    }
+
+    /// `for (i = 0; …; i = i + step) { a[i + read_off] (read); a[i + write_off] = … }`
+    /// as a two-block loop: header/body block 1 with the accesses and the
+    /// induction update, latched back to itself.
+    fn strided_loop(step: i64, read_off: i64, write_off: i64) -> Function {
+        let body = Block {
+            insts: vec![
+                // %0 = i
+                Inst::ReadVar {
+                    dst: VReg(0),
+                    var: local(0),
+                },
+                // %1 = read_off; %2 = i + read_off; %3 = a[%2]
+                Inst::ConstInt {
+                    dst: VReg(1),
+                    value: read_off,
+                },
+                Inst::IntBin {
+                    op: IntBinOp::Add,
+                    dst: VReg(2),
+                    lhs: VReg(0),
+                    rhs: VReg(1),
+                },
+                Inst::ReadElem {
+                    dst: VReg(3),
+                    arr: GlobalId(0),
+                    index: VReg(2),
+                    origin: None,
+                },
+                // %4 = write_off; %5 = i + write_off; a[%5] = %3
+                Inst::ConstInt {
+                    dst: VReg(4),
+                    value: write_off,
+                },
+                Inst::IntBin {
+                    op: IntBinOp::Add,
+                    dst: VReg(5),
+                    lhs: VReg(0),
+                    rhs: VReg(4),
+                },
+                Inst::WriteElem {
+                    arr: GlobalId(0),
+                    index: VReg(5),
+                    src: VReg(3),
+                    origin: None,
+                },
+                // i = i + step
+                Inst::ConstInt {
+                    dst: VReg(6),
+                    value: step,
+                },
+                Inst::IntBin {
+                    op: IntBinOp::Add,
+                    dst: VReg(7),
+                    lhs: VReg(0),
+                    rhs: VReg(6),
+                },
+                Inst::WriteVar {
+                    var: local(0),
+                    src: VReg(7),
+                },
+                // loop condition
+                Inst::ConstInt {
+                    dst: VReg(8),
+                    value: 1,
+                },
+            ],
+            term: Terminator::Branch {
+                cond: VReg(8),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            },
+        };
+        Function {
+            name: "f".into(),
+            vars: vec![supersym_ir::VarInfo {
+                name: "i".into(),
+                ty: Ty::Int,
+                param_index: None,
+            }],
+            ret: None,
+            blocks: vec![
+                Block::empty(Terminator::Jump(BlockId(1))),
+                body,
+                Block::empty(Terminator::Return(None)),
+            ],
+            vreg_tys: vec![Ty::Int; 9],
+        }
+    }
+
+    #[test]
+    fn induction_variable_found_with_step() {
+        let scev = function_scev(&strided_loop(3, 0, 1));
+        assert_eq!(scev.loops.len(), 1);
+        let facts = &scev.loops[0];
+        assert!(facts
+            .inductions
+            .iter()
+            .any(|iv| iv.var == local(0) && iv.step == 3));
+    }
+
+    #[test]
+    fn affine_subscripts_classified() {
+        let scev = function_scev(&strided_loop(1, 0, 1));
+        let facts = &scev.loops[0];
+        assert_eq!(facts.accesses.len(), 2);
+        assert_eq!(
+            facts.accesses[0].subscript,
+            Subscript::Linear {
+                var: local(0),
+                stride: 1,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            facts.accesses[1].subscript,
+            Subscript::Linear {
+                var: local(0),
+                stride: 1,
+                offset: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unit_stride_distance_one() {
+        // read a[i], write a[i+1]: the write in iteration m collides with
+        // the read in iteration m+1 — a carried anti... no: write at m hits
+        // read at m+1's address? a[i_m + 1] == a[i_{m+1} + 0] — yes:
+        // write (access 1) -> read (access 0) at distance 1 (flow).
+        let scev = function_scev(&strided_loop(1, 0, 1));
+        let deps = &scev.loops[0].deps;
+        assert!(
+            deps.iter().any(|d| d.src == 1
+                && d.dst == 0
+                && d.kind == MemDepKind::Flow
+                && d.distance == Distance::Exact(1)),
+            "{deps:?}"
+        );
+        // The opposite direction (read then write hitting the same word
+        // d iterations later) has no small solution: 1·d ≡ −1 has only the
+        // huge wrap-around solution, which the cap suppresses.
+        assert!(
+            !deps
+                .iter()
+                .any(|d| d.src == 0 && d.dst == 1 && matches!(d.distance, Distance::Exact(_))),
+            "{deps:?}"
+        );
+    }
+
+    #[test]
+    fn distance_two_resolved() {
+        // read a[i], write a[i+2], stride 1: distance 2.
+        let scev = function_scev(&strided_loop(1, 0, 2));
+        let deps = &scev.loops[0].deps;
+        assert!(deps
+            .iter()
+            .any(|d| d.src == 1 && d.dst == 0 && d.distance == Distance::Exact(2)));
+    }
+
+    #[test]
+    fn strided_accesses_proven_independent() {
+        // read a[i], write a[i+1], stride 2: 2·d ≡ ±1 (mod 2^64) has no
+        // solution — provably no dependence at any distance.
+        let scev = function_scev(&strided_loop(2, 0, 1));
+        assert!(scev.loops[0].deps.is_empty());
+    }
+
+    #[test]
+    fn same_location_dependence_is_loop_independent_and_carried() {
+        // read a[i], write a[i]: distance 0 (same iteration) and the
+        // stride-periodic wrap is beyond the cap for stride 1.
+        let scev = function_scev(&strided_loop(1, 0, 0));
+        let deps = &scev.loops[0].deps;
+        assert!(deps
+            .iter()
+            .any(|d| d.src == 0 && d.dst == 1 && d.distance == Distance::Exact(0)));
+    }
+
+    #[test]
+    fn solve_stride_cases() {
+        // 1·d ≡ 5: d = 5, period 2^64.
+        assert_eq!(solve_stride(1, 5), Some((5, 0)));
+        // 2·d ≡ 1: no solution.
+        assert_eq!(solve_stride(2, 1), None);
+        // 2·d ≡ 6: d = 3, period 2^63.
+        assert_eq!(solve_stride(2, 6), Some((3, 1u64 << 63)));
+        // 0·d ≡ 0: every d.
+        assert_eq!(solve_stride(0, 0), Some((0, 1)));
+        // 0·d ≡ 3: none.
+        assert_eq!(solve_stride(0, 3), None);
+        // Negative stride: −1·d ≡ 1 → d = 2^64 − 1 (wrapping exact).
+        assert_eq!(solve_stride(-1, 1), Some((u64::MAX, 0)));
+        // 4·d ≡ 2: no solution (2 not divisible by 4's power of two).
+        assert_eq!(solve_stride(4, 2), None);
+        // 12·d ≡ 36: d = 3 is the smallest solution.
+        let (first, period) = solve_stride(12, 36).unwrap();
+        assert_eq!(first % period, 3 % period);
+        assert_eq!(first, 3);
+    }
+
+    #[test]
+    fn call_clobbers_global_scev() {
+        // A loop body that calls another function loses track of globals.
+        let g = VarRef::Global(GlobalId(0));
+        let body = Block {
+            insts: vec![
+                Inst::Call {
+                    dst: None,
+                    callee: 1,
+                    args: vec![],
+                },
+                Inst::ReadVar {
+                    dst: VReg(0),
+                    var: g,
+                },
+                Inst::ReadElem {
+                    dst: VReg(1),
+                    arr: GlobalId(1),
+                    index: VReg(0),
+                    origin: None,
+                },
+                Inst::ConstInt {
+                    dst: VReg(2),
+                    value: 1,
+                },
+            ],
+            term: Terminator::Branch {
+                cond: VReg(2),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            },
+        };
+        let func = Function {
+            name: "f".into(),
+            vars: vec![],
+            ret: None,
+            blocks: vec![
+                Block::empty(Terminator::Jump(BlockId(1))),
+                body,
+                Block::empty(Terminator::Return(None)),
+            ],
+            vreg_tys: vec![Ty::Int; 3],
+        };
+        let scev = function_scev(&func);
+        assert_eq!(
+            scev.loops[0].accesses[0].subscript,
+            Subscript::Unknown,
+            "a global read after a call must not classify"
+        );
+    }
+}

@@ -233,7 +233,7 @@ fn bench_oracles(harness: &mut Harness) {
     )
     .unwrap();
     for kind in [OracleKind::Conservative, OracleKind::Symbolic] {
-        let oracle = kind.as_oracle();
+        let oracle = kind.as_loop_oracle();
         let edges: usize = optimized
             .functions()
             .iter()
@@ -256,6 +256,39 @@ fn bench_oracles(harness: &mut Harness) {
     }
 }
 
+/// The loop-analysis layer: SCEV construction over the source IR, machine-loop
+/// statics (critical path, recurrence MinII, resource MinII), and the full
+/// bound measurement (analysis + one timed simulation) per workload.
+fn bench_bound(harness: &mut Harness) {
+    use supersym::analyze::{function_scev, program_loop_statics, OracleKind};
+    use supersym::experiments::measure_bound;
+    use supersym::workloads::livermore;
+    let workload = livermore(40, 1);
+    let machine = presets::ideal_superscalar(2);
+    let options = CompileOptions::new(OptLevel::O4, &machine);
+    let ast = supersym::lang::parse(&workload.source).unwrap();
+    let module = supersym::ir::lower(&ast).unwrap();
+    harness.time("bound/scev_livermore", 20, || {
+        for func in &module.funcs {
+            black_box(function_scev(func));
+        }
+    });
+    let program = compile(&workload.source, &options).unwrap();
+    let oracle = OracleKind::Symbolic.as_loop_oracle();
+    let statics = program_loop_statics(&program, &machine, oracle);
+    harness.count(
+        "bound/livermore_machine_loops",
+        statics.len() as u64,
+        &format!("bound: {} machine loops in livermore O4", statics.len()),
+    );
+    harness.time("bound/loop_statics_livermore", 20, || {
+        black_box(program_loop_statics(&program, &machine, oracle));
+    });
+    harness.time("bound/measure_livermore", 10, || {
+        black_box(measure_bound("livermore", &program, &machine));
+    });
+}
+
 fn main() {
     let json = std::env::args().any(|arg| arg == "--json");
     let mut harness = Harness {
@@ -268,6 +301,7 @@ fn main() {
     bench_sink_overhead(&mut harness);
     bench_scheduler(&mut harness);
     bench_oracles(&mut harness);
+    bench_bound(&mut harness);
     bench_cache(&mut harness);
     if json {
         print!("{}", harness.json_document().pretty());

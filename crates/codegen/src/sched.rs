@@ -24,7 +24,7 @@
 //! edge-removal it performs.
 
 use supersym_analyze::{
-    dependence_edges, scheduling_regions, DepKind, DependenceOracle, OracleKind,
+    dependence_edges, scheduling_regions, DepKind, LoopCarriedOracle, OracleKind,
 };
 use supersym_isa::{Function, Instr, Program};
 use supersym_machine::MachineConfig;
@@ -32,22 +32,27 @@ use supersym_machine::MachineConfig;
 /// Schedules every function of the program for `config` with the default
 /// (symbolic) dependence oracle.
 pub fn schedule_program(program: &mut Program, config: &MachineConfig) {
-    schedule_program_with(program, config, OracleKind::default().as_oracle());
+    schedule_program_with(program, config, OracleKind::default().as_loop_oracle());
 }
 
 /// Schedules every function of the program for `config`, disambiguating
 /// memory through `oracle`.
+///
+/// The oracle is loop-aware so scheduler, legality checker and the static
+/// bound layer (`supersym_analyze::bound`) share one fact source; carried
+/// edges have distance >= 1 and thus never constrain the within-region
+/// reorderings performed here.
 pub fn schedule_program_with(
     program: &mut Program,
     config: &MachineConfig,
-    oracle: &dyn DependenceOracle,
+    oracle: &dyn LoopCarriedOracle,
 ) {
     for func in program.functions_mut() {
         schedule_function(func, config, oracle);
     }
 }
 
-fn schedule_function(func: &mut Function, config: &MachineConfig, oracle: &dyn DependenceOracle) {
+fn schedule_function(func: &mut Function, config: &MachineConfig, oracle: &dyn LoopCarriedOracle) {
     for (begin, end) in scheduling_regions(func) {
         if end - begin >= 2 {
             let scheduled = schedule_region(&func.instrs()[begin..end], config, oracle);
@@ -60,7 +65,7 @@ fn schedule_function(func: &mut Function, config: &MachineConfig, oracle: &dyn D
 fn schedule_region(
     region: &[Instr],
     config: &MachineConfig,
-    oracle: &dyn DependenceOracle,
+    oracle: &dyn LoopCarriedOracle,
 ) -> Vec<Instr> {
     let n = region.len();
     let latency = |i: usize| -> u64 { u64::from(config.latency(region[i].class())) };
@@ -202,7 +207,7 @@ mod tests {
     }
 
     fn schedule_region_default(region: &[Instr], config: &MachineConfig) -> Vec<Instr> {
-        schedule_region(region, config, OracleKind::default().as_oracle())
+        schedule_region(region, config, OracleKind::default().as_loop_oracle())
     }
 
     /// Two independent dependent-pairs interleaved badly:

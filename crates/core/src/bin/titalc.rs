@@ -15,6 +15,9 @@
 //! titalc lint program.s                     # lint an assembly program
 //! titalc lint program.tital                 # dataflow lints on Tital source
 //! titalc analyze program.tital              # dump per-block dataflow facts
+//! titalc analyze --loops program.tital      # loop forest + scalar evolution
+//! titalc bound program.tital                # static ILP ceiling vs measured
+//! titalc bound -m superscalar:2             # suite sweep on one preset
 //! titalc profile program.tital              # per-phase + per-cycle accounting
 //! titalc profile --json program.tital       # the same, machine-readable
 //! titalc torture --seed 7 --iters 1000      # mutation-robustness campaign
@@ -31,7 +34,11 @@
 
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
-use supersym::analyze::{dump_module, lint_module, OracleKind};
+use supersym::analyze::{
+    dump_module, function_scev, lint_module, program_loop_statics, static_bound, Distance,
+    LoopCount, OracleKind, Subscript,
+};
+use supersym::experiments::measure_bound;
 use supersym::isa::{ClassCensus, InstrClass};
 use supersym::machine::{parse_machine_spec, presets, MachineConfig};
 use supersym::opt::UnrollOptions;
@@ -42,9 +49,11 @@ use supersym::sim::{
 };
 use supersym::torture::{replay_torture_corpus, run_torture};
 use supersym::trace::{
-    IssueEvent, JsonLinesSink, JsonObject, JsonValue, MemorySink, PhaseRecord, TraceSink,
+    IssueEvent, JsonLinesSink, JsonObject, JsonValue, LoopCountSink, MemorySink, PhaseRecord,
+    TraceSink,
 };
 use supersym::verify::{error_count, lint_program, CertMethod};
+use supersym::workloads::{suite, Size};
 use supersym::{compile, compile_certified, compile_with_trace, CompileOptions, OptLevel};
 use supersym_torture::{write_corpus, Layer};
 
@@ -72,6 +81,8 @@ struct Args {
     analyze: bool,
     certify: bool,
     profile: bool,
+    bound: bool,
+    loops: bool,
     json: bool,
     trace: Option<String>,
     verify: bool,
@@ -84,9 +95,10 @@ titalc — compile and simulate Tital programs (supersym)
 USAGE:
     titalc [OPTIONS] <FILE>
     titalc lint [OPTIONS] <FILE>
-    titalc analyze <FILE>
+    titalc analyze [--loops] [--json] <FILE>
     titalc certify [OPTIONS] <FILE>
     titalc profile [OPTIONS] <FILE>
+    titalc bound [OPTIONS] [FILE]
     titalc torture [TORTURE OPTIONS]
     titalc synth [--check]
 
@@ -129,6 +141,25 @@ ANALYZE:
     block's dataflow facts (reachability, constants, value ranges,
     reaching definitions, branch verdicts), then runs the dataflow lints.
     Exits nonzero on lint errors.
+        --loops              instead of the dataflow dump, print the
+                             natural-loop forest and scalar-evolution
+                             facts per loop: induction variables with
+                             steps, classified array subscripts, and
+                             ZIV/SIV dependence distance vectors
+        --json               with --loops, emit one JSON document
+                             (schema supersym.loops/v1) instead of text
+
+BOUND:
+    `titalc bound` reports sound static ILP ceilings next to measured
+    parallelism. With a FILE, it compiles the program for the chosen -m
+    preset, analyzes its innermost machine loops (critical path, minimum
+    iteration spacing, recurrence- and resource-bound MinII), runs it,
+    and checks the soundness invariant: measured ILP never exceeds the
+    static bound. Without a FILE, it sweeps the whole benchmark suite on
+    every machine preset (or just the -m one). A violated invariant is
+    an internal-consistency failure and exits with code 3.
+        --json               emit one JSON document (schema
+                             supersym.bound/v1) instead of tables
 
 CERTIFY:
     `titalc certify` compiles with per-pass translation validation: the
@@ -215,6 +246,8 @@ fn parse_args() -> Result<Args, String> {
         analyze: false,
         certify: false,
         profile: false,
+        bound: false,
+        loops: false,
         json: false,
         trace: None,
         verify: false,
@@ -238,6 +271,10 @@ fn parse_args() -> Result<Args, String> {
             args.profile = true;
             iter.next();
         }
+        Some("bound") => {
+            args.bound = true;
+            iter.next();
+        }
         _ => {}
     }
     while let Some(arg) = iter.next() {
@@ -245,6 +282,7 @@ fn parse_args() -> Result<Args, String> {
             "-h" | "--help" => return Err(USAGE.to_string()),
             "--machines" => args.list_machines = true,
             "--dump" => args.dump = true,
+            "--loops" => args.loops = true,
             "--cache" => args.cache = true,
             "--verify" => args.verify = true,
             "--json" => args.json = true,
@@ -517,14 +555,237 @@ fn report(path: &str, diagnostics: &[supersym::verify::Diagnostic]) -> ExitCode 
 }
 
 /// `titalc analyze`: lower a Tital file to IR, dump every block's dataflow
-/// facts, then run the dataflow lints. Exits nonzero on lint errors.
-fn run_analyze(path: &str, source: &str) -> ExitCode {
+/// facts, then run the dataflow lints. Exits nonzero on lint errors. With
+/// `--loops`, print the natural-loop forest and scalar-evolution facts
+/// instead of the dataflow dump (`--json` for `supersym.loops/v1`).
+fn run_analyze(path: &str, source: &str, args: &Args) -> ExitCode {
     let module = match lower_tital(path, source) {
         Ok(module) => module,
         Err(code) => return code,
     };
+    if args.loops {
+        if args.json {
+            print!("{}", loops_json(path, &module).pretty());
+            return ExitCode::SUCCESS;
+        }
+        print_loops(&module);
+        return ExitCode::SUCCESS;
+    }
     print!("{}", dump_module(&module));
     report(path, &lint_module(&module))
+}
+
+/// Resolves a [`supersym::ir::VarRef`] to its source-level name.
+fn var_name(module: &supersym::ir::Module, func: &supersym::ir::Function, var: &str) -> String {
+    // `VarRef` displays as `@g<n>` / `@l<n>`; map back to source names.
+    if let Some(n) = var.strip_prefix("@g").and_then(|n| n.parse::<usize>().ok()) {
+        if let Some(global) = module.globals.get(n) {
+            return global.name.clone();
+        }
+    }
+    if let Some(n) = var.strip_prefix("@l").and_then(|n| n.parse::<usize>().ok()) {
+        if let Some(local) = func.vars.get(n) {
+            return local.name.clone();
+        }
+    }
+    var.to_string()
+}
+
+/// Renders a classified subscript with source-level variable names.
+fn subscript_text(
+    module: &supersym::ir::Module,
+    func: &supersym::ir::Function,
+    subscript: Subscript,
+) -> String {
+    match subscript {
+        Subscript::Linear {
+            var,
+            stride,
+            offset,
+        } => format!(
+            "[{}{offset:+} ; +{stride}/iter]",
+            var_name(module, func, &var.to_string())
+        ),
+        other => other.to_string(),
+    }
+}
+
+/// `titalc analyze --loops` (text): the loop forest and per-loop
+/// scalar-evolution facts of every function that has loops.
+fn print_loops(module: &supersym::ir::Module) {
+    let mut total = 0usize;
+    for func in &module.funcs {
+        let scev = function_scev(func);
+        total += scev.forest.loops.len();
+    }
+    println!(
+        "loop forest: {total} loop(s) across {} function(s)",
+        module.funcs.len()
+    );
+    for func in &module.funcs {
+        let scev = function_scev(func);
+        if scev.forest.loops.is_empty() {
+            continue;
+        }
+        println!("fn {}:", func.name);
+        for (index, info) in scev.forest.loops.iter().enumerate() {
+            let body: Vec<String> = info.body.iter().map(|b| b.to_string()).collect();
+            let latches: Vec<String> = info.latches.iter().map(|b| b.to_string()).collect();
+            println!(
+                "  loop {index}: header {} depth {} body [{}] latches [{}]{}",
+                info.header,
+                info.depth,
+                body.join(" "),
+                latches.join(" "),
+                if info.is_innermost() {
+                    " innermost"
+                } else {
+                    ""
+                }
+            );
+            let facts = &scev.loops[index];
+            for iv in &facts.inductions {
+                println!(
+                    "    iv {} step {:+}",
+                    var_name(module, func, &iv.var.to_string()),
+                    iv.step
+                );
+            }
+            for (a, access) in facts.accesses.iter().enumerate() {
+                println!(
+                    "    access {a}: {} {}{} @ {}:{}",
+                    if access.is_write { "write" } else { "read" },
+                    module
+                        .globals
+                        .get(access.arr.0 as usize)
+                        .map_or("?", |g| g.name.as_str()),
+                    subscript_text(module, func, access.subscript),
+                    access.block,
+                    access.inst
+                );
+            }
+            for dep in &facts.deps {
+                println!(
+                    "    dep {} -> {}: {} {}",
+                    dep.src, dep.dst, dep.kind, dep.distance
+                );
+            }
+        }
+    }
+}
+
+/// Builds the `supersym.loops/v1` JSON document for `analyze --loops`.
+fn loops_json(path: &str, module: &supersym::ir::Module) -> JsonValue {
+    let functions = module
+        .funcs
+        .iter()
+        .map(|func| {
+            let scev = function_scev(func);
+            let loops = scev
+                .forest
+                .loops
+                .iter()
+                .enumerate()
+                .map(|(index, info)| {
+                    let facts = &scev.loops[index];
+                    let inductions = facts
+                        .inductions
+                        .iter()
+                        .map(|iv| {
+                            JsonObject::new()
+                                .field(
+                                    "var",
+                                    JsonValue::str(var_name(module, func, &iv.var.to_string())),
+                                )
+                                .field("step", JsonValue::Int(iv.step))
+                                .build()
+                        })
+                        .collect();
+                    let accesses = facts
+                        .accesses
+                        .iter()
+                        .map(|access| {
+                            JsonObject::new()
+                                .field("block", JsonValue::UInt(access.block.index() as u64))
+                                .field("inst", JsonValue::UInt(access.inst as u64))
+                                .field(
+                                    "array",
+                                    JsonValue::str(
+                                        module
+                                            .globals
+                                            .get(access.arr.0 as usize)
+                                            .map_or("?", |g| g.name.as_str()),
+                                    ),
+                                )
+                                .field(
+                                    "kind",
+                                    JsonValue::str(if access.is_write { "write" } else { "read" }),
+                                )
+                                .field(
+                                    "subscript",
+                                    JsonValue::str(subscript_text(module, func, access.subscript)),
+                                )
+                                .build()
+                        })
+                        .collect();
+                    let deps = facts
+                        .deps
+                        .iter()
+                        .map(|dep| {
+                            JsonObject::new()
+                                .field("src", JsonValue::UInt(dep.src as u64))
+                                .field("dst", JsonValue::UInt(dep.dst as u64))
+                                .field("kind", JsonValue::str(dep.kind.to_string()))
+                                .field(
+                                    "distance",
+                                    match dep.distance {
+                                        Distance::Exact(d) => JsonValue::UInt(d),
+                                        Distance::Any => JsonValue::Null,
+                                    },
+                                )
+                                .build()
+                        })
+                        .collect();
+                    JsonObject::new()
+                        .field("index", JsonValue::UInt(index as u64))
+                        .field("header", JsonValue::UInt(info.header.index() as u64))
+                        .field("depth", JsonValue::UInt(info.depth as u64))
+                        .field("innermost", JsonValue::Bool(info.is_innermost()))
+                        .field(
+                            "body",
+                            JsonValue::Array(
+                                info.body
+                                    .iter()
+                                    .map(|b| JsonValue::UInt(b.index() as u64))
+                                    .collect(),
+                            ),
+                        )
+                        .field(
+                            "latches",
+                            JsonValue::Array(
+                                info.latches
+                                    .iter()
+                                    .map(|b| JsonValue::UInt(b.index() as u64))
+                                    .collect(),
+                            ),
+                        )
+                        .field("inductions", JsonValue::Array(inductions))
+                        .field("accesses", JsonValue::Array(accesses))
+                        .field("deps", JsonValue::Array(deps))
+                        .build()
+                })
+                .collect();
+            JsonObject::new()
+                .field("name", JsonValue::str(func.name.clone()))
+                .field("loops", JsonValue::Array(loops))
+                .build()
+        })
+        .collect();
+    JsonObject::new()
+        .field("schema", JsonValue::str("supersym.loops/v1"))
+        .field("source", JsonValue::str(path))
+        .field("functions", JsonValue::Array(functions))
+        .build()
 }
 
 /// `titalc lint`: statically check a machine description (`.machine`), a
@@ -917,6 +1178,298 @@ fn run_profile(
     ExitCode::SUCCESS
 }
 
+/// One workload × machine cell of the bound report as JSON
+/// (a row of `supersym.bound/v1`).
+fn bound_cell_json(cell: &supersym::experiments::BoundCell) -> JsonValue {
+    JsonObject::new()
+        .field("benchmark", JsonValue::str(cell.benchmark.clone()))
+        .field("loops", JsonValue::UInt(cell.loops as u64))
+        .field(
+            "lower_bound_cycles",
+            JsonValue::UInt(cell.lower_bound_cycles),
+        )
+        .field("machine_cycles", JsonValue::UInt(cell.machine_cycles))
+        .field("bound_ilp", JsonValue::Float(round4(cell.bound_ilp)))
+        .field("measured_ilp", JsonValue::Float(round4(cell.measured_ilp)))
+        .field("rec_min_ii", JsonValue::Float(round4(cell.rec_min_ii)))
+        .field("res_min_ii", JsonValue::Float(round4(cell.res_min_ii)))
+        .field("sound", JsonValue::Bool(cell.sound))
+        .build()
+}
+
+/// The CLI spellings of the paper's eleven machine presets, study order.
+const PRESET_SPECS: [&str; 11] = [
+    "base",
+    "multititan",
+    "cray1",
+    "vliw:4",
+    "superscalar:2",
+    "superscalar:8",
+    "superpipelined:4",
+    "ssp:2:2",
+    "conflicts:4",
+    "slowcycle",
+    "underpipelined",
+];
+
+/// `titalc bound` without a FILE: sweep the benchmark suite over every
+/// machine preset (or just the `-m` one) and report the static ILP
+/// ceiling next to measured parallelism per cell. Any unsound cell —
+/// measured ILP above the static ceiling — exits `EXIT_VERIFY`.
+fn run_bound_suite(args: &Args) -> ExitCode {
+    let machines: Vec<MachineConfig> = match args.machine.as_deref() {
+        Some(name) => match parse_machine(name) {
+            Some(machine) => vec![machine],
+            None => {
+                eprintln!("titalc: unknown machine `{name}` (try --machines)");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        None => PRESET_SPECS
+            .iter()
+            .map(|spec| parse_machine(spec).expect("preset spec parses"))
+            .collect(),
+    };
+    let workloads = suite(Size::Small);
+    let mut all_sound = true;
+    let mut rows: Vec<(String, Vec<supersym::experiments::BoundCell>)> = Vec::new();
+    for machine in &machines {
+        let mut cells = Vec::new();
+        for workload in &workloads {
+            let options = CompileOptions::new(args.opt, machine).with_oracle(args.oracle);
+            let program = match compile(&workload.source, &options) {
+                Ok(program) => program,
+                Err(error) => {
+                    eprintln!("titalc: {}: {error}", workload.name);
+                    return ExitCode::from(error.exit_code());
+                }
+            };
+            let cell = measure_bound(workload.name, &program, machine);
+            all_sound &= cell.sound;
+            cells.push(cell);
+        }
+        rows.push((machine.name().to_string(), cells));
+    }
+    if args.json {
+        let machines_json = rows
+            .iter()
+            .map(|(name, cells)| {
+                JsonObject::new()
+                    .field("machine", JsonValue::str(name.clone()))
+                    .field(
+                        "cells",
+                        JsonValue::Array(cells.iter().map(bound_cell_json).collect()),
+                    )
+                    .build()
+            })
+            .collect();
+        let doc = JsonObject::new()
+            .field("schema", JsonValue::str("supersym.bound/v1"))
+            .field("optimization", JsonValue::str(args.opt.label()))
+            .field("suite", JsonValue::str("small"))
+            .field("machines", JsonValue::Array(machines_json))
+            .field("sound", JsonValue::Bool(all_sound))
+            .build();
+        print!("{}", doc.pretty());
+    } else {
+        println!(
+            "bound study: static ILP ceiling vs measured parallelism (suite, {})",
+            args.opt
+        );
+        for (name, cells) in &rows {
+            println!("  {name}");
+            println!(
+                "    {:10} {:>5} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>6}",
+                "benchmark",
+                "loops",
+                "lb-cycles",
+                "cycles",
+                "bound",
+                "ilp",
+                "rec-ii",
+                "res-ii",
+                "sound"
+            );
+            for c in cells {
+                println!(
+                    "    {:10} {:>5} {:>12} {:>12} {:>8.3} {:>8.3} {:>8.2} {:>8.2} {:>6}",
+                    c.benchmark,
+                    c.loops,
+                    c.lower_bound_cycles,
+                    c.machine_cycles,
+                    c.bound_ilp,
+                    c.measured_ilp,
+                    c.rec_min_ii,
+                    c.res_min_ii,
+                    c.sound
+                );
+            }
+        }
+    }
+    if all_sound {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("titalc: bound soundness violated: measured ILP exceeds a static ceiling");
+        ExitCode::from(EXIT_VERIFY)
+    }
+}
+
+/// `titalc bound FILE`: compile one program for the chosen preset, report
+/// its innermost machine loops with their static facts, and check the
+/// soundness invariant against a counted run.
+fn run_bound_file(
+    path: &str,
+    source: &str,
+    args: &Args,
+    machine: &MachineConfig,
+    options: &CompileOptions,
+) -> ExitCode {
+    let program = match compile(source, options) {
+        Ok(program) => program,
+        Err(error) => {
+            eprintln!("titalc: {error}");
+            return ExitCode::from(error.exit_code());
+        }
+    };
+    let oracle = args.oracle.as_loop_oracle();
+    let statics = program_loop_statics(&program, machine, oracle);
+    let watches: Vec<(u32, u64, u64)> = statics
+        .iter()
+        .map(|s| (s.func as u32, s.header as u64, s.latch as u64))
+        .collect();
+    let mut sink = LoopCountSink::new(&watches);
+    let report = match simulate_with_sink(&program, machine, SimOptions::default(), &mut sink) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("titalc: runtime error: {error}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    };
+    let counts: Vec<LoopCount> = sink
+        .counts()
+        .into_iter()
+        .map(|(iterations, visits)| LoopCount { iterations, visits })
+        .collect();
+    let bound = static_bound(
+        machine,
+        &statics,
+        &counts,
+        report.instructions(),
+        report.census(),
+    );
+    let measured = report.available_parallelism();
+    let sound = measured <= bound.bound_ilp * (1.0 + 1e-9);
+    let func_name = |index: usize| {
+        program
+            .functions()
+            .get(index)
+            .map_or("?", |f| f.name())
+            .to_string()
+    };
+    if args.json {
+        let loops = statics
+            .iter()
+            .zip(&counts)
+            .map(|(s, c)| {
+                JsonObject::new()
+                    .field("func", JsonValue::str(func_name(s.func)))
+                    .field("header", JsonValue::UInt(s.header as u64))
+                    .field("latch", JsonValue::UInt(s.latch as u64))
+                    .field("body_len", JsonValue::UInt(s.body_len as u64))
+                    .field("critical_path", JsonValue::UInt(s.critical_path))
+                    .field("delta", JsonValue::UInt(s.delta))
+                    .field("rec_min_ii", JsonValue::Float(round4(s.rec_min_ii)))
+                    .field("res_min_ii", JsonValue::Float(round4(s.res_min_ii)))
+                    .field("iterations", JsonValue::UInt(c.iterations))
+                    .field("visits", JsonValue::UInt(c.visits))
+                    .build()
+            })
+            .collect();
+        let doc = JsonObject::new()
+            .field("schema", JsonValue::str("supersym.bound/v1"))
+            .field("source", JsonValue::str(path))
+            .field("machine", JsonValue::str(machine.name()))
+            .field("optimization", JsonValue::str(args.opt.label()))
+            .field("loops", JsonValue::Array(loops))
+            .field(
+                "bound",
+                JsonObject::new()
+                    .field(
+                        "lower_bound_cycles",
+                        JsonValue::UInt(bound.lower_bound_cycles),
+                    )
+                    .field("bound_ilp", JsonValue::Float(round4(bound.bound_ilp)))
+                    .field("rec_min_ii", JsonValue::Float(round4(bound.rec_min_ii)))
+                    .field("res_min_ii", JsonValue::Float(round4(bound.res_min_ii)))
+                    .build(),
+            )
+            .field(
+                "run",
+                JsonObject::new()
+                    .field("instructions", JsonValue::UInt(report.instructions()))
+                    .field("machine_cycles", JsonValue::UInt(report.machine_cycles()))
+                    .field("measured_ilp", JsonValue::Float(round4(measured)))
+                    .build(),
+            )
+            .field("sound", JsonValue::Bool(sound))
+            .build();
+        print!("{}", doc.pretty());
+    } else {
+        println!("machine:        {}", machine.name());
+        println!("optimization:   {}", args.opt);
+        println!(
+            "loops:          {} innermost machine loop(s)",
+            statics.len()
+        );
+        if !statics.is_empty() {
+            println!(
+                "  {:<14} {:>6} {:>6} {:>5} {:>5} {:>6} {:>7} {:>7} {:>9} {:>7}",
+                "func",
+                "header",
+                "latch",
+                "body",
+                "path",
+                "delta",
+                "rec-ii",
+                "res-ii",
+                "iters",
+                "visits"
+            );
+            for (s, c) in statics.iter().zip(&counts) {
+                println!(
+                    "  {:<14} {:>6} {:>6} {:>5} {:>5} {:>6} {:>7.2} {:>7.2} {:>9} {:>7}",
+                    func_name(s.func),
+                    s.header,
+                    s.latch,
+                    s.body_len,
+                    s.critical_path,
+                    s.delta,
+                    s.rec_min_ii,
+                    s.res_min_ii,
+                    c.iterations,
+                    c.visits
+                );
+            }
+        }
+        println!(
+            "bound:          {} machine cycle(s) lower bound -> ILP ceiling {:.3}",
+            bound.lower_bound_cycles, bound.bound_ilp
+        );
+        println!(
+            "measured:       {} machine cycle(s), ILP {:.3}",
+            report.machine_cycles(),
+            measured
+        );
+        println!("sound:          {sound}");
+    }
+    if sound {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("titalc: bound soundness violated: measured ILP exceeds the static ceiling");
+        ExitCode::from(EXIT_VERIFY)
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("torture") {
@@ -946,6 +1499,9 @@ fn main() -> ExitCode {
         println!("  slowcycle             underpipelined: doubled latencies, slower clock");
         return ExitCode::SUCCESS;
     }
+    if args.bound && args.source_path.is_none() {
+        return run_bound_suite(&args);
+    }
     let Some(path) = args.source_path.clone() else {
         eprintln!("{USAGE}");
         return ExitCode::from(EXIT_USAGE);
@@ -961,7 +1517,7 @@ fn main() -> ExitCode {
         return run_lint(&path, &source, args.machine.as_deref());
     }
     if args.analyze {
-        return run_analyze(&path, &source);
+        return run_analyze(&path, &source, &args);
     }
     let machine_name = args.machine.as_deref().unwrap_or("base");
     let Some(machine) = parse_machine(machine_name) else {
@@ -980,6 +1536,9 @@ fn main() -> ExitCode {
     }
     if args.profile {
         return run_profile(&path, &source, &args, &machine, &options);
+    }
+    if args.bound {
+        return run_bound_file(&path, &source, &args, &machine, &options);
     }
     let program = match compile(&source, &options) {
         Ok(program) => program,

@@ -484,7 +484,7 @@ fn compile_ast_traced(
         &[("static_size", program.static_size() as u64)],
     );
     if options.opt.scheduling() {
-        let oracle = options.oracle.as_oracle();
+        let oracle = options.oracle.as_loop_oracle();
         // The dependence census is the scheduler's input size under both
         // oracles; it is only worth computing when someone is listening.
         let census = if sink.is_some() {

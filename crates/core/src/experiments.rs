@@ -10,13 +10,15 @@
 
 use crate::{compile, CompileOptions, OptLevel};
 use std::fmt;
+use supersym_analyze::{program_loop_statics, static_bound, LoopCount, OracleKind};
 use supersym_isa::{AsmBuilder, ClassCensus, IntReg, Program};
 use supersym_machine::{presets, MachineConfig, RegisterSplit};
 use supersym_opt::UnrollOptions;
 use supersym_sim::{
-    diagram, issue_speedup_with_miss_burden, simulate, simulate_with_cache, CacheConfig,
-    CycleAccount, MissCostRow, SimOptions, SimReport, StallCause, NUM_STALL_KINDS,
+    diagram, issue_speedup_with_miss_burden, simulate, simulate_with_cache, simulate_with_sink,
+    CacheConfig, CycleAccount, MissCostRow, SimOptions, SimReport, StallCause, NUM_STALL_KINDS,
 };
+use supersym_trace::LoopCountSink;
 use supersym_workloads::{numeric_suite, suite, Size, Workload};
 
 /// Harmonic mean (the paper's aggregate for speedups).
@@ -1551,7 +1553,7 @@ pub struct AliasOracleStudy {
 /// exactly the "false conflicts between the different copies" §4.4
 /// blames for naive unrolling's flat curve, and exactly the pattern the
 /// symbolic oracle's value-numbering chain sees through. Each benchmark
-/// is compiled once per [`OracleKind`](supersym_analyze::OracleKind) and
+/// is compiled once per [`OracleKind`] and
 /// simulated on each paper preset.
 ///
 /// The symbolic oracle only ever *removes* dependence edges, so every
@@ -1793,6 +1795,173 @@ impl fmt::Display for RulesStudy {
                 row.parallelism[0],
                 row.parallelism[1],
             )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bound study (static ILP ceilings vs measured parallelism)
+// ---------------------------------------------------------------------------
+
+/// One workload × machine cell of the bound study: the static ILP ceiling
+/// next to the parallelism the simulator actually measured.
+#[derive(Debug, Clone)]
+pub struct BoundCell {
+    /// Workload name.
+    pub benchmark: String,
+    /// Innermost machine loops the static analysis recognized.
+    pub loops: usize,
+    /// Sound static lower bound on machine cycles.
+    pub lower_bound_cycles: u64,
+    /// Machine cycles the simulator measured.
+    pub machine_cycles: u64,
+    /// Static ILP ceiling (`instructions · pipe_degree / lower bound`).
+    pub bound_ilp: f64,
+    /// Measured available parallelism.
+    pub measured_ilp: f64,
+    /// Recurrence-bound MinII (largest over the program's loops).
+    pub rec_min_ii: f64,
+    /// Resource-bound MinII (largest over the program's loops).
+    pub res_min_ii: f64,
+    /// The soundness invariant: measured ILP never exceeds the bound.
+    pub sound: bool,
+}
+
+/// Computes one [`BoundCell`]: static loop analysis, a counted simulation,
+/// and the combined ceiling for `program` on `machine`.
+///
+/// # Panics
+///
+/// Panics if the program fails to run — callers hand in compiled,
+/// validated programs.
+#[must_use]
+pub fn measure_bound(benchmark: &str, program: &Program, machine: &MachineConfig) -> BoundCell {
+    let oracle = OracleKind::default().as_loop_oracle();
+    let statics = program_loop_statics(program, machine, oracle);
+    let watches: Vec<(u32, u64, u64)> = statics
+        .iter()
+        .map(|s| (s.func as u32, s.header as u64, s.latch as u64))
+        .collect();
+    let mut sink = LoopCountSink::new(&watches);
+    let report = simulate_with_sink(program, machine, SimOptions::default(), &mut sink)
+        .unwrap_or_else(|e| panic!("{benchmark} failed to run: {e}"));
+    let counts: Vec<LoopCount> = sink
+        .counts()
+        .into_iter()
+        .map(|(iterations, visits)| LoopCount { iterations, visits })
+        .collect();
+    let bound = static_bound(
+        machine,
+        &statics,
+        &counts,
+        report.instructions(),
+        report.census(),
+    );
+    let measured = report.available_parallelism();
+    BoundCell {
+        benchmark: benchmark.to_string(),
+        loops: statics.len(),
+        lower_bound_cycles: bound.lower_bound_cycles,
+        machine_cycles: report.machine_cycles(),
+        bound_ilp: bound.bound_ilp,
+        measured_ilp: measured,
+        rec_min_ii: bound.rec_min_ii,
+        res_min_ii: bound.res_min_ii,
+        sound: measured <= bound.bound_ilp * (1.0 + 1e-9),
+    }
+}
+
+/// The bound study: static ILP ceilings against measured parallelism for
+/// the full suite on every paper preset.
+#[derive(Debug, Clone)]
+pub struct BoundStudy {
+    /// `(machine, cells)` — one cell per workload, suite order.
+    pub rows: Vec<(String, Vec<BoundCell>)>,
+}
+
+/// Runs the bound study at `OptLevel::O4` over all presets × workloads.
+///
+/// # Panics
+///
+/// Panics if any workload fails to compile or run, or if any cell violates
+/// the soundness invariant — the latter would mean the static bound or the
+/// timing model is wrong.
+#[must_use]
+pub fn bound_study(size: Size) -> BoundStudy {
+    let machines = [
+        presets::base(),
+        presets::multititan(),
+        presets::cray1(),
+        presets::vliw(4),
+        presets::ideal_superscalar(2),
+        presets::ideal_superscalar(8),
+        presets::superpipelined(4),
+        presets::superpipelined_superscalar(2, 2),
+        presets::superscalar_with_class_conflicts(4),
+        presets::underpipelined_slow_cycle(),
+        presets::underpipelined_half_issue(),
+    ];
+    let workloads = suite(size);
+    let mut rows = Vec::new();
+    for machine in &machines {
+        let mut cells = Vec::new();
+        for workload in &workloads {
+            let options = CompileOptions::new(OptLevel::O4, machine);
+            let program = compile(&workload.source, &options)
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", workload.name));
+            let cell = measure_bound(workload.name, &program, machine);
+            assert!(
+                cell.sound,
+                "{} on {}: measured ILP {:.4} exceeds static bound {:.4}",
+                workload.name,
+                machine.name(),
+                cell.measured_ilp,
+                cell.bound_ilp
+            );
+            cells.push(cell);
+        }
+        rows.push((machine.name().to_string(), cells));
+    }
+    BoundStudy { rows }
+}
+
+impl fmt::Display for BoundStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Bound study: static ILP ceiling vs measured parallelism (suite, O4)"
+        )?;
+        for (machine, cells) in &self.rows {
+            writeln!(f, "  {machine}")?;
+            writeln!(
+                f,
+                "    {:10} {:>5} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>6}",
+                "benchmark",
+                "loops",
+                "lb-cycles",
+                "cycles",
+                "bound",
+                "ilp",
+                "rec-ii",
+                "res-ii",
+                "sound"
+            )?;
+            for c in cells {
+                writeln!(
+                    f,
+                    "    {:10} {:>5} {:>12} {:>12} {:>8.3} {:>8.3} {:>8.2} {:>8.2} {:>6}",
+                    c.benchmark,
+                    c.loops,
+                    c.lower_bound_cycles,
+                    c.machine_cycles,
+                    c.bound_ilp,
+                    c.measured_ilp,
+                    c.rec_min_ii,
+                    c.res_min_ii,
+                    c.sound
+                )?;
+            }
         }
         Ok(())
     }

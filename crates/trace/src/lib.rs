@@ -44,5 +44,6 @@ mod sink;
 
 pub use json::{escape_into, JsonObject, JsonValue};
 pub use sink::{
-    IssueEvent, JsonLinesSink, MemorySink, NullSink, OwnedPhase, PhaseRecord, TraceSink,
+    IssueEvent, JsonLinesSink, LoopCountSink, MemorySink, NullSink, OwnedPhase, PhaseRecord,
+    TraceSink,
 };

@@ -115,6 +115,74 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// Counts loop iterations and loop visits from the issue stream — the sink
+/// behind the static-ILP-bound report (`titalc bound`).
+///
+/// Each watch names one innermost loop by `(func, header_pc, latch_pc)`.
+/// Every issue of the header counts an **iteration**; a header issue whose
+/// immediately preceding dynamic instruction was *not* the latch counts a
+/// **visit** (loop entry from outside). Since an innermost loop's latch is
+/// its only backward branch and the header is never `latch + 1`, "previous
+/// event was the latch" is exactly "we arrived via the back edge".
+#[derive(Debug, Clone, Default)]
+pub struct LoopCountSink {
+    watches: Vec<LoopWatch>,
+    prev: Option<(u32, u64)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoopWatch {
+    func: u32,
+    header_pc: u64,
+    latch_pc: u64,
+    iterations: u64,
+    visits: u64,
+}
+
+impl LoopCountSink {
+    /// Builds a sink watching the given `(func, header_pc, latch_pc)`
+    /// triples, in order.
+    #[must_use]
+    pub fn new(watches: &[(u32, u64, u64)]) -> Self {
+        LoopCountSink {
+            watches: watches
+                .iter()
+                .map(|&(func, header_pc, latch_pc)| LoopWatch {
+                    func,
+                    header_pc,
+                    latch_pc,
+                    iterations: 0,
+                    visits: 0,
+                })
+                .collect(),
+            prev: None,
+        }
+    }
+
+    /// `(iterations, visits)` per watch, in construction order.
+    #[must_use]
+    pub fn counts(&self) -> Vec<(u64, u64)> {
+        self.watches
+            .iter()
+            .map(|w| (w.iterations, w.visits))
+            .collect()
+    }
+}
+
+impl TraceSink for LoopCountSink {
+    fn issue(&mut self, event: &IssueEvent) {
+        for watch in &mut self.watches {
+            if watch.func == event.func && watch.header_pc == event.pc {
+                watch.iterations += 1;
+                if self.prev != Some((watch.func, watch.latch_pc)) {
+                    watch.visits += 1;
+                }
+            }
+        }
+        self.prev = Some((event.func, event.pc));
+    }
+}
+
 /// Streams events as JSON lines (one object per line) to any writer — the
 /// sink behind `titalc --trace <file>`. Write errors are sticky: the first
 /// one is kept and the sink goes quiet, so the hot path needs no `Result`.
@@ -263,6 +331,33 @@ mod tests {
         sink.issue(&sample_issue());
         sink.issue(&sample_issue()); // goes quiet after the first error
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn loop_count_sink_separates_iterations_from_visits() {
+        // Loop: header pc 2, latch pc 4. Two visits: 3 iterations, then 1.
+        let mut sink = LoopCountSink::new(&[(0, 2, 4)]);
+        let at = |func: u32, pc: u64| IssueEvent {
+            func,
+            pc,
+            class: "intadd",
+            issue: 0,
+            complete: 1,
+            drain: 1,
+            wait: 0,
+            cause: None,
+        };
+        for pc in [0, 1, 2, 3, 4, 2, 3, 4, 2, 3, 4, 5] {
+            sink.issue(&at(0, pc));
+        }
+        // Re-entry later (prev = pc 5, not the latch).
+        for pc in [2, 3, 4, 5] {
+            sink.issue(&at(0, pc));
+        }
+        assert_eq!(sink.counts(), vec![(4, 2)]);
+        // A different function's pc 2 must not count.
+        sink.issue(&at(1, 2));
+        assert_eq!(sink.counts(), vec![(4, 2)]);
     }
 
     #[test]

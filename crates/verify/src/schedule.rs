@@ -18,7 +18,7 @@
 //! specific oracle for differential experiments.
 
 use std::fmt;
-use supersym_analyze::{dependence_edges, scheduling_regions, DependenceOracle, OracleKind};
+use supersym_analyze::{dependence_edges, scheduling_regions, LoopCarriedOracle, OracleKind};
 use supersym_isa::{Diagnostic, Function, Program};
 
 pub use supersym_analyze::DepKind as EdgeKind;
@@ -122,7 +122,7 @@ impl fmt::Display for ScheduleViolation {
 /// schedule is best, never which schedules are legal.
 #[must_use]
 pub fn check_schedule(before: &Program, after: &Program) -> Vec<ScheduleViolation> {
-    check_schedule_with(before, after, OracleKind::default().as_oracle())
+    check_schedule_with(before, after, OracleKind::default().as_loop_oracle())
 }
 
 /// Checks that `after` is a legal schedule of `before`, holding memory
@@ -131,7 +131,7 @@ pub fn check_schedule(before: &Program, after: &Program) -> Vec<ScheduleViolatio
 pub fn check_schedule_with(
     before: &Program,
     after: &Program,
-    oracle: &dyn DependenceOracle,
+    oracle: &dyn LoopCarriedOracle,
 ) -> Vec<ScheduleViolation> {
     let mut violations = Vec::new();
     if before.functions().len() != after.functions().len() {
@@ -157,7 +157,7 @@ pub fn check_schedule_with(
 fn check_function(
     before: &Function,
     after: &Function,
-    oracle: &dyn DependenceOracle,
+    oracle: &dyn LoopCarriedOracle,
     out: &mut Vec<ScheduleViolation>,
 ) {
     let shape = |detail: String| ScheduleViolation {
@@ -208,7 +208,7 @@ fn check_region(
     after: &Function,
     start: usize,
     end: usize,
-    oracle: &dyn DependenceOracle,
+    oracle: &dyn LoopCarriedOracle,
     out: &mut Vec<ScheduleViolation>,
 ) {
     let b = &before.instrs()[start..end];

@@ -1,0 +1,15 @@
+//! Static ILP ceilings vs measured parallelism: the loop-nest dependence
+//! analysis predicts, per workload × preset, an upper bound on the
+//! parallelism the simulator can report — and the simulator never exceeds
+//! it (the `sound` column).
+//!
+//! ```text
+//! cargo run --release -p supersym --example bound_study
+//! ```
+
+use supersym::experiments;
+use supersym::workloads::Size;
+
+fn main() {
+    println!("{}", experiments::bound_study(Size::Standard));
+}

@@ -41,4 +41,5 @@ fn main() {
     println!("{}", exp::limit_study(size));
     println!("{}", exp::stall_breakdown(size));
     println!("{}", exp::rules_study(size));
+    println!("{}", exp::bound_study(size));
 }

@@ -307,6 +307,188 @@ fn run_reports_merged_class_and_account_table() {
 }
 
 // ---------------------------------------------------------------------------
+// titalc analyze --loops and titalc bound
+// ---------------------------------------------------------------------------
+
+#[test]
+fn analyze_loops_reports_forest_and_scev() {
+    let output = titalc()
+        .args(["analyze", "--loops"])
+        .arg(fixture("loop_carried2.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success(), "analyze --loops exits zero");
+    let text = stdout(&output);
+    for needle in [
+        "loop forest:",
+        "fn main:",
+        "iv i step +1",
+        "write fib[i+2 ; +1/iter]",
+        "flow < distance 1",
+        "flow < distance 2",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn analyze_loops_proves_strided_accesses_independent() {
+    let output = titalc()
+        .args(["analyze", "--loops"])
+        .arg(fixture("loop_strided.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success());
+    let text = stdout(&output);
+    assert!(text.contains("+2/iter"), "stride 2 classified:\n{text}");
+    assert!(
+        !text.contains("dep "),
+        "stride-2 read/write at odd/even offsets must be proven independent:\n{text}"
+    );
+}
+
+#[test]
+fn analyze_loops_nests_the_triangular_loop() {
+    let output = titalc()
+        .args(["analyze", "--loops"])
+        .arg(fixture("loop_triangular.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success());
+    let text = stdout(&output);
+    assert!(text.contains("depth 2"), "inner loop nests:\n{text}");
+    assert!(text.contains("iv j step +1"), "inner induction:\n{text}");
+}
+
+/// Pins the `supersym.loops/v1` schema: only the `source` path (absolute
+/// under the test harness) varies, so it is rewritten to the repo-relative
+/// fixture path and everything else must match the golden byte for byte.
+fn normalize_loops(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("\"source\": ") {
+            let indent: String = line.chars().take_while(|c| c.is_whitespace()).collect();
+            out.push_str(&indent);
+            out.push_str("\"source\": \"tests/fixtures/loop_carried2.tital\",");
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn analyze_loops_json_matches_golden() {
+    let output = titalc()
+        .args(["analyze", "--loops", "--json"])
+        .arg(fixture("loop_carried2.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success());
+    let golden = std::fs::read_to_string(fixture("loops.json")).expect("golden exists");
+    let got = normalize_loops(&stdout(&output));
+    assert_eq!(
+        got, golden,
+        "analyze --loops --json drifted from tests/fixtures/loops.json; \
+         if the schema change is intentional, regenerate the golden"
+    );
+}
+
+#[test]
+fn bound_reports_loops_and_soundness() {
+    let output = titalc()
+        .args(["bound", "-m", "superscalar:2"])
+        .arg(fixture("loop_carried1.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "bound failed: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = stdout(&output);
+    for needle in [
+        "innermost machine loop",
+        "rec-ii",
+        "bound:",
+        "measured:",
+        "sound:          true",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn bound_json_single_file_is_sound() {
+    let output = titalc()
+        .args(["bound", "--json"])
+        .arg(fixture("loop_unit.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success());
+    let text = stdout(&output);
+    for needle in [
+        "\"schema\": \"supersym.bound/v1\"",
+        "\"lower_bound_cycles\"",
+        "\"rec_min_ii\"",
+        "\"res_min_ii\"",
+        "\"measured_ilp\"",
+        "\"sound\": true",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn bound_suite_sweeps_one_preset() {
+    let output = titalc()
+        .args(["bound", "-m", "superscalar:2", "--json"])
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "suite bound failed: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = stdout(&output);
+    for benchmark in [
+        "ccom",
+        "grr",
+        "linpack",
+        "livermore",
+        "met",
+        "stan",
+        "whet",
+        "yacc",
+    ] {
+        assert!(
+            text.contains(&format!("\"benchmark\": \"{benchmark}\"")),
+            "missing `{benchmark}` in:\n{text}"
+        );
+    }
+    assert!(
+        !text.contains("\"sound\": false"),
+        "an unsound cell:\n{text}"
+    );
+}
+
+#[test]
+fn bound_rejects_unknown_machine() {
+    let output = titalc()
+        .args(["bound", "-m", "quantum"])
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(
+        output.status.code().expect("exit code"),
+        1,
+        "unknown preset is a usage error"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Exit codes: 0 ok / 1 usage / 2 front end / 3 static checks / 4 runtime
 // ---------------------------------------------------------------------------
 

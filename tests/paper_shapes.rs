@@ -329,3 +329,49 @@ fn rules_study_shrinks_at_least_one_workload_and_regresses_none() {
     }
     assert!(improved >= 1, "the rule table fired on no workload at all");
 }
+
+/// Loop-nest bound soundness (the `titalc bound` invariant): for every
+/// workload on every paper preset, the parallelism the simulator measures
+/// never exceeds the static ILP ceiling computed from loop dependence
+/// analysis alone — and on a dependence-bound preset (the stall breakdown
+/// shows the degree-2 ideal superscalar is raw-interlock dominated) the
+/// ceiling is tight: within 10% of the measurement on at least one
+/// workload, so the bound explains the saturation rather than merely
+/// capping it.
+#[test]
+fn static_ilp_bound_is_sound_everywhere_and_tight_when_dependence_bound() {
+    use supersym::experiments::bound_study;
+    let study = bound_study(Size::Small);
+    assert_eq!(study.rows.len(), 11, "all paper presets covered");
+    let mut loops_seen = 0usize;
+    for (machine, cells) in &study.rows {
+        assert_eq!(cells.len(), 8, "{machine}: all workloads covered");
+        for cell in cells {
+            assert!(
+                cell.sound && cell.measured_ilp <= cell.bound_ilp * (1.0 + 1e-9),
+                "{} on {machine}: measured {:.4} exceeds static bound {:.4}",
+                cell.benchmark,
+                cell.measured_ilp,
+                cell.bound_ilp
+            );
+            loops_seen += cell.loops;
+        }
+    }
+    assert!(
+        loops_seen > 0,
+        "the analysis must recognize loops in the suite"
+    );
+    let (_, cells) = study
+        .rows
+        .iter()
+        .find(|(machine, _)| machine == "superscalar(2)")
+        .expect("degree-2 superscalar row present");
+    let tightest = cells
+        .iter()
+        .map(|c| c.measured_ilp / c.bound_ilp)
+        .fold(0.0_f64, f64::max);
+    assert!(
+        tightest >= 0.90,
+        "bound not tight on the dependence-bound preset: best ratio {tightest:.3}"
+    );
+}

@@ -998,7 +998,7 @@ fn oracle_sharpening_preserves_semantics() {
 /// the sharper symbolic checker.
 #[test]
 fn oracle_schedules_pass_matching_checkers() {
-    use supersym::analyze::{ConservativeOracle, DependenceOracle, SymbolicOracle};
+    use supersym::analyze::OracleKind;
     use supersym::codegen::schedule_program_with;
     use supersym::isa::{Function, Instr, Program};
     use supersym::verify::check_schedule_with;
@@ -1014,16 +1014,16 @@ fn oracle_schedules_pass_matching_checkers() {
         for machine in &machines {
             for (scheduler, checkers) in [
                 (
-                    &ConservativeOracle as &dyn DependenceOracle,
+                    OracleKind::Conservative.as_loop_oracle(),
                     // Conservative schedules satisfy both checkers.
                     vec![
-                        &ConservativeOracle as &dyn DependenceOracle,
-                        &SymbolicOracle as &dyn DependenceOracle,
+                        OracleKind::Conservative.as_loop_oracle(),
+                        OracleKind::Symbolic.as_loop_oracle(),
                     ],
                 ),
                 (
-                    &SymbolicOracle as &dyn DependenceOracle,
-                    vec![&SymbolicOracle as &dyn DependenceOracle],
+                    OracleKind::Symbolic.as_loop_oracle(),
+                    vec![OracleKind::Symbolic.as_loop_oracle()],
                 ),
             ] {
                 let mut after = before.clone();
@@ -1139,5 +1139,100 @@ fn certifier_accepts_every_pass_on_the_whole_suite() {
             certified_passes.contains(pass),
             "pass {pass} never fired across the suite sweep (saw {certified_passes:?})"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loop-carried oracle properties (supersym-analyze loopdep)
+// ---------------------------------------------------------------------------
+
+/// The loop-carried oracles bracket exactly like the region-level ones:
+/// on random loop bodies, every carried edge the symbolic oracle reports
+/// is covered by a conservative edge between the same instructions of the
+/// same kind at a distance no larger (smaller distance = stronger
+/// constraint), so scheduling or bounding with symbolic facts can only
+/// *remove* constraints relative to the conservative baseline — never
+/// invent permission the conservative analysis would deny.
+#[test]
+fn loop_carried_edges_bracket_symbolic_under_conservative() {
+    use supersym::analyze::OracleKind;
+    for seed in 300..348_u64 {
+        let mut rng = Rng::new(seed.wrapping_mul(0x9E37_79B9)); // decorrelate
+        let len = 2 + rng.below(20) as usize;
+        let body = random_region(&mut rng, len);
+        let conservative = OracleKind::Conservative
+            .as_loop_oracle()
+            .loop_carried(&body);
+        let symbolic = OracleKind::Symbolic.as_loop_oracle().loop_carried(&body);
+        for edge in &symbolic {
+            assert!(
+                conservative.iter().any(|c| c.pred == edge.pred
+                    && c.succ == edge.succ
+                    && c.kind == edge.kind
+                    && c.distance <= edge.distance),
+                "seed {seed}: symbolic edge {edge} not covered conservatively\n\
+                 conservative: {conservative:?}"
+            );
+        }
+        // Register-carried edges are oracle-independent facts; both sides
+        // must agree on them exactly.
+        let registers = |edges: &[supersym::analyze::CarriedEdge]| {
+            let mut regs: Vec<_> = edges
+                .iter()
+                .filter(|e| !matches!(e.kind, supersym::analyze::DepKind::Memory))
+                .copied()
+                .collect();
+            regs.sort_by_key(|e| (e.pred, e.succ));
+            regs
+        };
+        assert_eq!(
+            registers(&conservative),
+            registers(&symbolic),
+            "seed {seed}: register recurrences must not depend on the oracle"
+        );
+    }
+}
+
+/// Schedules produced under the loop-carried oracles stay within the
+/// legality envelope of the matching checker on all eleven paper presets
+/// — and, because carried edges all have distance >= 1 and the in-order
+/// scheduler only reorders within an iteration, a schedule under the
+/// conservative loop oracle also passes the conservative checker that
+/// consumes the very same carried facts.
+#[test]
+fn loop_oracle_schedules_pass_conservative_checker() {
+    use supersym::analyze::OracleKind;
+    use supersym::codegen::schedule_program_with;
+    use supersym::isa::{Function, Instr, Program};
+    use supersym::verify::check_schedule_with;
+    let machines = all_preset_machines();
+    for seed in 400..448_u64 {
+        let mut rng = Rng::new(seed.wrapping_mul(0xC2B2_AE35)); // decorrelate
+        let len = 2 + rng.below(24) as usize;
+        let mut instrs = random_region(&mut rng, len);
+        instrs.push(Instr::Halt);
+        let mut before = Program::new();
+        let id = before.add_function(Function::new("region", instrs, vec![0]));
+        before.set_entry(id);
+        for machine in &machines {
+            for (scheduler, checkers) in [
+                (
+                    OracleKind::Conservative,
+                    vec![OracleKind::Conservative, OracleKind::Symbolic],
+                ),
+                (OracleKind::Symbolic, vec![OracleKind::Symbolic]),
+            ] {
+                let mut after = before.clone();
+                schedule_program_with(&mut after, machine, scheduler.as_loop_oracle());
+                for checker in checkers {
+                    let violations = check_schedule_with(&before, &after, checker.as_loop_oracle());
+                    assert!(
+                        violations.is_empty(),
+                        "seed {seed} on {} ({scheduler:?} -> {checker:?}): {violations:?}",
+                        machine.name()
+                    );
+                }
+            }
+        }
     }
 }
