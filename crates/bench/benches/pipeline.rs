@@ -289,6 +289,61 @@ fn bench_bound(harness: &mut Harness) {
     });
 }
 
+/// The sweep driver: front-compile amortization, the fan-out engine over a
+/// 12-cell grid, and the cache-hit fast path (which skips scheduling and
+/// simulation entirely).
+fn bench_sweep(harness: &mut Harness) {
+    use supersym::analyze::OracleKind;
+    use supersym::machine::GridSpec;
+    use supersym::sweep::{
+        cache_from_records, run_sweep, PipelineCellRunner, ResultCache, SweepConfig, SweepPlan,
+        DEFAULT_CELL_FUEL,
+    };
+    let workloads = vec![supersym::workloads::whet(1)];
+    harness.time("sweep/front_compile_whet", 5, || {
+        black_box(PipelineCellRunner::new(
+            &workloads,
+            OptLevel::O4,
+            OracleKind::Symbolic,
+            DEFAULT_CELL_FUEL,
+            false,
+        ));
+    });
+    let runner = PipelineCellRunner::new(
+        &workloads,
+        OptLevel::O4,
+        OracleKind::Symbolic,
+        DEFAULT_CELL_FUEL,
+        false,
+    );
+    let grid = GridSpec::parse("issue=1,2,4 pipe=1,2 lat=unit,titan").unwrap();
+    let plan = SweepPlan {
+        workload_names: runner.names().to_vec(),
+        fuel: DEFAULT_CELL_FUEL,
+        identity: runner.identity(&grid.canonical(), OptLevel::O4, OracleKind::Symbolic),
+        grid,
+    };
+    let config = SweepConfig {
+        jobs: 2,
+        ..SweepConfig::default()
+    };
+    harness.count(
+        "sweep/records_per_iter",
+        plan.record_count() as u64,
+        &format!("sweep: {} records per iteration", plan.record_count()),
+    );
+    let mut first = None;
+    harness.time("sweep/12cells_whet_2jobs", 5, || {
+        first = Some(black_box(
+            run_sweep(&plan, &runner, &config, None, &ResultCache::new(), None).unwrap(),
+        ));
+    });
+    let cache = cache_from_records(first.as_ref().unwrap().records.iter());
+    harness.time("sweep/12cells_whet_cached", 10, || {
+        black_box(run_sweep(&plan, &runner, &config, None, &cache, None).unwrap());
+    });
+}
+
 fn main() {
     let json = std::env::args().any(|arg| arg == "--json");
     let mut harness = Harness {
@@ -303,6 +358,7 @@ fn main() {
     bench_oracles(&mut harness);
     bench_bound(&mut harness);
     bench_cache(&mut harness);
+    bench_sweep(&mut harness);
     if json {
         print!("{}", harness.json_document().pretty());
     }

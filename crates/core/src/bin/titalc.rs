@@ -32,6 +32,7 @@
 //! in `--help`): scripts can tell a syntax error from a verifier
 //! diagnostic from a runtime trap without parsing stderr.
 
+use std::collections::HashSet;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 use supersym::analyze::{
@@ -40,6 +41,7 @@ use supersym::analyze::{
 };
 use supersym::experiments::measure_bound;
 use supersym::isa::{ClassCensus, InstrClass};
+use supersym::machine::GridSpec;
 use supersym::machine::{parse_machine_spec, presets, MachineConfig};
 use supersym::opt::UnrollOptions;
 use supersym::rules::{synthesize, SynthConfig, DEFAULT_TABLE_TEXT};
@@ -47,6 +49,7 @@ use supersym::sim::{
     simulate, simulate_with_cache, simulate_with_sink, CacheConfig, CycleAccount, SimOptions,
     SimReport, StallCause,
 };
+use supersym::sweep::{PipelineCellRunner, DEFAULT_CELL_FUEL};
 use supersym::torture::{replay_torture_corpus, run_torture};
 use supersym::trace::{
     IssueEvent, JsonLinesSink, JsonObject, JsonValue, LoopCountSink, MemorySink, PhaseRecord,
@@ -55,6 +58,10 @@ use supersym::trace::{
 use supersym::verify::{error_count, lint_program, CertMethod};
 use supersym::workloads::{suite, Size};
 use supersym::{compile, compile_certified, compile_with_trace, CompileOptions, OptLevel};
+use supersym_sweep::{
+    aggregate_cells, cache_from_records, frontier_json, load_checkpoint, pareto_frontier,
+    run_sweep, CellRecord, CellStatus, FaultInjection, SweepConfig, SweepPlan, SCHEMA,
+};
 use supersym_torture::{write_corpus, Layer};
 
 /// Exit code for usage and I/O errors.
@@ -101,6 +108,7 @@ USAGE:
     titalc bound [OPTIONS] [FILE]
     titalc torture [TORTURE OPTIONS]
     titalc synth [--check]
+    titalc sweep --grid <SPEC> [SWEEP OPTIONS]
 
 OPTIONS:
     -m, --machine <NAME>     machine preset (default: base); see --machines
@@ -178,15 +186,49 @@ SYNTH:
         --check              do not print; exit 3 unless the regenerated
                              table is byte-identical to the shipped one
 
+SWEEP:
+    `titalc sweep` explores the whole machine-design space the paper's
+    presets sample: a grid spec like
+    `issue=1,2,4,8 pipe=1,2,4 lat=unit,titan fu=ideal,shared` is
+    enumerated into cells, each workload's machine-independent front half
+    is compiled once, and worker threads schedule + simulate every
+    (workload × cell) item. Cells run under a panic trap and a fuel
+    watchdog: failures are classified (panic / timeout / reject) and
+    quarantined as records, never lost. The summary (one JSON document,
+    schema supersym.sweep/v1) ends with the speedup-vs-hardware-cost
+    Pareto frontier. Exits 3 when any cell was quarantined.
+        --grid <SPEC>        axes: issue= pipe= lat= fu= split= (required)
+        --workloads <CSV>    workload names, or `all` (default)
+        --jobs <N>           worker threads (default: 1)
+        --fuel <N>           simulator steps per cell before the watchdog
+                             quarantines it as a timeout
+        --checkpoint <FILE>  append one record per finished item to FILE
+        --resume <FILE>      resume from FILE (same as --checkpoint, but
+                             completed items are not re-run; the final
+                             output is byte-identical to an uninterrupted
+                             sweep). The header must match this sweep's
+                             grid, workloads and programs.
+        --out <FILE>         write the complete record set, in canonical
+                             cell order, to FILE
+        --cache <FILE>       reuse deterministic results across sweeps,
+                             keyed by (program hash, machine hash)
+        --deadline-ms <N>    also quarantine cells slower than N ms of
+                             wall clock (off by default: wall deadlines
+                             trade byte-determinism for protection)
+        --inject <SPEC>      self-test fault injection: `panic:K` and/or
+                             `timeout:J` (comma-separated) fail every
+                             K-th/J-th item
+    Also accepts -O<N>, --oracle and --verify with their usual meanings.
+
 TORTURE OPTIONS:
     `titalc torture` runs a deterministic fault-injection campaign
-    against the whole pipeline: seeded mutants at four layers (source,
-    ast, asm, machine) must each produce a typed error or a correct,
+    against the whole pipeline: seeded mutants at five layers (source,
+    ast, asm, machine, grid) must each produce a typed error or a correct,
     reproducible run — never a panic, hang or verifier disagreement.
         --seed <N>           campaign seed (default: 0; same seed, same mutants)
         --iters <K>          mutants per layer (default: 500)
         --layer <L>          restrict to a layer (repeatable):
-                             source | ast | asm | machine (default: all)
+                             source | ast | asm | machine | grid (default: all)
         --corpus <DIR>       write minimized reproducers for findings to DIR
         --replay <DIR>       instead of mutating, replay every corpus file
                              in DIR and check the panic/determinism contract
@@ -197,7 +239,8 @@ EXIT CODES:
     2    the input failed to parse, type-check or lower (front end)
     3    static checks failed: lint/verify diagnostics, IR validation,
          machine-description or register-split errors, torture findings
-    4    simulation (runtime) error
+    4    simulation (runtime) error, or an I/O error writing a requested
+         output file (--trace, --out, --checkpoint, --cache)
 ";
 
 fn parse_machine(name: &str) -> Option<MachineConfig> {
@@ -358,7 +401,7 @@ fn run_torture_cmd(argv: &[String]) -> ExitCode {
             },
             "--layer" => match iter.next().map(|v| Layer::parse(v)) {
                 Some(Some(layer)) => layers.push(layer),
-                _ => return usage("--layer must be source|ast|asm|machine".to_string()),
+                _ => return usage("--layer must be source|ast|asm|machine|grid".to_string()),
             },
             "--corpus" => match iter.next() {
                 Some(dir) => corpus = Some(dir.clone()),
@@ -474,6 +517,271 @@ fn run_synth_cmd(argv: &[String]) -> ExitCode {
         ),
     }
     ExitCode::from(EXIT_VERIFY)
+}
+
+/// Parses `--inject panic:K,timeout:J`.
+fn parse_inject(spec: &str) -> Result<FaultInjection, String> {
+    let mut inject = FaultInjection::default();
+    for part in spec.split(',') {
+        let (kind, every) = part
+            .split_once(':')
+            .ok_or_else(|| format!("inject spec `{part}` must be kind:N"))?;
+        let every: u64 = every
+            .parse()
+            .map_err(|_| format!("bad inject period `{every}`"))?;
+        match kind {
+            "panic" => inject.panic_every = Some(every),
+            "timeout" => inject.timeout_every = Some(every),
+            other => return Err(format!("unknown inject kind `{other}`")),
+        }
+    }
+    Ok(inject)
+}
+
+/// Whether a record may seed the cross-sweep result cache: only
+/// deterministic outcomes (completions and typed rejects) qualify —
+/// panics and timeouts are exactly the outcomes worth retrying.
+fn cacheable(record: &CellRecord) -> bool {
+    matches!(record.status, CellStatus::Ok(_) | CellStatus::Reject { .. })
+}
+
+/// `titalc sweep`: enumerate a machine grid, compile each workload's
+/// front half once, fan scheduling + simulation out across workers with
+/// fault quarantine, and print a `supersym.sweep/v1` summary ending in
+/// the speedup-vs-cost Pareto frontier. Exits `EXIT_VERIFY` when any
+/// item was quarantined, `EXIT_SIM` on output I/O errors.
+#[allow(clippy::too_many_lines)]
+fn run_sweep_cmd(argv: &[String]) -> ExitCode {
+    let mut grid_text: Option<String> = None;
+    let mut workload_filter: Option<Vec<String>> = None;
+    let mut opt = OptLevel::O4;
+    let mut oracle = OracleKind::default();
+    let mut jobs = 1_usize;
+    let mut fuel = DEFAULT_CELL_FUEL;
+    let mut checkpoint: Option<String> = None;
+    let mut resuming = false;
+    let mut out: Option<String> = None;
+    let mut cache_path: Option<String> = None;
+    let mut inject = FaultInjection::default();
+    let mut deadline_ms: Option<u64> = None;
+    let mut verify = false;
+    let usage = |message: String| -> ExitCode {
+        eprintln!("titalc sweep: {message}\n\n{USAGE}");
+        ExitCode::from(EXIT_USAGE)
+    };
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--grid" => match iter.next() {
+                Some(spec) => grid_text = Some(spec.clone()),
+                None => return usage("--grid needs a spec".to_string()),
+            },
+            "--workloads" => match iter.next() {
+                Some(csv) => {
+                    workload_filter = Some(csv.split(',').map(str::to_string).collect());
+                }
+                None => return usage("--workloads needs a name list".to_string()),
+            },
+            "--jobs" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) if v > 0 => jobs = v,
+                _ => return usage("--jobs needs a positive integer".to_string()),
+            },
+            "--fuel" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => fuel = v,
+                _ => return usage("--fuel needs a positive integer".to_string()),
+            },
+            "--checkpoint" => match iter.next() {
+                Some(path) => checkpoint = Some(path.clone()),
+                None => return usage("--checkpoint needs a file path".to_string()),
+            },
+            "--resume" => match iter.next() {
+                Some(path) => {
+                    checkpoint = Some(path.clone());
+                    resuming = true;
+                }
+                None => return usage("--resume needs a file path".to_string()),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => return usage("--out needs a file path".to_string()),
+            },
+            "--cache" => match iter.next() {
+                Some(path) => cache_path = Some(path.clone()),
+                None => return usage("--cache needs a file path".to_string()),
+            },
+            "--deadline-ms" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => deadline_ms = Some(v),
+                _ => return usage("--deadline-ms needs a positive integer".to_string()),
+            },
+            "--inject" => match iter.next().map(|spec| parse_inject(spec)) {
+                Some(Ok(v)) => inject = v,
+                Some(Err(message)) => return usage(message),
+                None => return usage("--inject needs a spec".to_string()),
+            },
+            "--oracle" => match iter.next().map(String::as_str) {
+                Some("symbolic") => oracle = OracleKind::Symbolic,
+                Some("conservative") => oracle = OracleKind::Conservative,
+                _ => return usage("--oracle must be symbolic|conservative".to_string()),
+            },
+            "--verify" => verify = true,
+            level if level.starts_with("-O") => match level[2..].parse::<usize>() {
+                Ok(n) if n < OptLevel::ALL.len() => opt = OptLevel::ALL[n],
+                _ => return usage(format!("bad optimization level `{level}`")),
+            },
+            other => return usage(format!("unknown option `{other}`")),
+        }
+    }
+    let Some(grid_text) = grid_text else {
+        return usage("--grid is required".to_string());
+    };
+    let grid = match GridSpec::parse(&grid_text) {
+        Ok(grid) => grid,
+        Err(error) => return usage(format!("bad grid: {error}")),
+    };
+    let mut workloads = suite(Size::Small);
+    if let Some(filter) = workload_filter.filter(|f| f != &["all".to_string()]) {
+        for name in &filter {
+            if !workloads.iter().any(|w| w.name == name) {
+                return usage(format!("unknown workload `{name}`"));
+            }
+        }
+        workloads.retain(|w| filter.iter().any(|name| name == w.name));
+    }
+    let runner = PipelineCellRunner::new(&workloads, opt, oracle, fuel, verify);
+    let plan = SweepPlan {
+        workload_names: runner.names().to_vec(),
+        fuel,
+        identity: runner.identity(&grid.canonical(), opt, oracle),
+        grid,
+    };
+    let header = plan.header();
+
+    // Checkpoint: on resume, recover every intact record and rewrite the
+    // journal (header + intact records) so a torn tail line from a kill
+    // cannot corrupt the first appended record.
+    let mut resume_state = None;
+    let mut journal_file = None;
+    if let Some(path) = &checkpoint {
+        if resuming {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                match load_checkpoint(&text, &header) {
+                    Ok(state) => resume_state = Some(state),
+                    Err(error) => {
+                        eprintln!("titalc sweep: cannot resume `{path}`: {error}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+        }
+        let rewrite = || -> std::io::Result<std::fs::File> {
+            let mut file = std::fs::File::create(path)?;
+            writeln!(file, "{}", header.render())?;
+            if let Some(state) = &resume_state {
+                for record in state.done.iter().flatten() {
+                    writeln!(file, "{}", record.render())?;
+                }
+            }
+            Ok(file)
+        };
+        match rewrite() {
+            Ok(file) => journal_file = Some(file),
+            Err(error) => {
+                eprintln!("titalc sweep: cannot write checkpoint `{path}`: {error}");
+                return ExitCode::from(EXIT_SIM);
+            }
+        }
+    }
+
+    // Result cache: prior records, keyed by (program hash, machine hash).
+    let mut cache_records: Vec<CellRecord> = Vec::new();
+    if let Some(path) = &cache_path {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            cache_records.extend(text.lines().filter_map(CellRecord::parse));
+        }
+    }
+    let cache = cache_from_records(cache_records.iter());
+
+    let config = SweepConfig {
+        jobs,
+        deadline_ms,
+        inject,
+        quiet: true,
+    };
+    let outcome = match run_sweep(
+        &plan,
+        &runner,
+        &config,
+        resume_state,
+        &cache,
+        journal_file.as_mut().map(|f| f as &mut (dyn Write + Send)),
+    ) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("titalc sweep: error writing checkpoint: {error}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    };
+
+    if let Some(path) = &cache_path {
+        let mut seen: HashSet<(u64, u64)> = cache.keys().copied().collect();
+        for record in &outcome.records {
+            if cacheable(record) && seen.insert((record.program_hash, record.machine_hash)) {
+                cache_records.push(record.clone());
+            }
+        }
+        let mut text = String::new();
+        for record in &cache_records {
+            text.push_str(&record.render());
+            text.push('\n');
+        }
+        if let Err(error) = std::fs::write(path, text) {
+            eprintln!("titalc sweep: cannot write cache `{path}`: {error}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    }
+
+    if let Some(path) = &out {
+        let mut text = header.render();
+        text.push('\n');
+        for record in &outcome.records {
+            text.push_str(&record.render());
+            text.push('\n');
+        }
+        if let Err(error) = std::fs::write(path, text) {
+            eprintln!("titalc sweep: cannot write output `{path}`: {error}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    }
+
+    let cells = plan.grid.cells();
+    let summaries = aggregate_cells(&outcome.records, &cells);
+    let frontier = pareto_frontier(&summaries);
+    let summary = JsonObject::new()
+        .field("schema", JsonValue::str(SCHEMA))
+        .field("grid", JsonValue::str(plan.grid.canonical()))
+        .field("cells", JsonValue::UInt(cells.len() as u64))
+        .field(
+            "workloads",
+            JsonValue::UInt(plan.workload_names.len() as u64),
+        )
+        .field("records", JsonValue::UInt(outcome.records.len() as u64))
+        .field("executed", JsonValue::UInt(outcome.executed as u64))
+        .field("cached", JsonValue::UInt(outcome.cached as u64))
+        .field("resumed", JsonValue::UInt(outcome.resumed as u64))
+        .field("quarantined", JsonValue::UInt(outcome.quarantined as u64))
+        .field("resumable", JsonValue::Bool(checkpoint.is_some()))
+        .field("pareto", frontier_json(&frontier))
+        .build();
+    println!("{}", summary.pretty());
+    if outcome.quarantined > 0 {
+        ExitCode::from(EXIT_VERIFY)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// `titalc certify`: compile with per-pass translation validation and
@@ -859,7 +1167,7 @@ fn open_trace(path: &str) -> Result<JsonLinesSink<BufWriter<std::fs::File>>, Exi
         Ok(file) => Ok(JsonLinesSink::new(BufWriter::new(file))),
         Err(error) => {
             eprintln!("titalc: cannot write trace to `{path}`: {error}");
-            Err(ExitCode::from(EXIT_USAGE))
+            Err(ExitCode::from(EXIT_SIM))
         }
     }
 }
@@ -872,7 +1180,7 @@ fn close_trace(sink: JsonLinesSink<BufWriter<std::fs::File>>, path: &str) -> Res
         Ok(()) => Ok(()),
         Err(error) => {
             eprintln!("titalc: error writing trace `{path}`: {error}");
-            Err(ExitCode::from(EXIT_USAGE))
+            Err(ExitCode::from(EXIT_SIM))
         }
     }
 }
@@ -1478,6 +1786,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("synth") {
         return run_synth_cmd(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("sweep") {
+        return run_sweep_cmd(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
@@ -1585,14 +1896,21 @@ fn main() -> ExitCode {
     print_cycle_account(report.cycle_account());
     print_class_table(report.census(), report.cycle_account());
     if args.cache {
-        let (_, caches) = simulate_with_cache(
+        let (_, caches) = match simulate_with_cache(
             &program,
             &machine,
             SimOptions::default(),
             CacheConfig::small_direct(),
             CacheConfig::small_direct(),
-        )
-        .expect("program already ran once");
+        ) {
+            Ok(run) => run,
+            Err(error) => {
+                // The cached rerun replays a program that already ran
+                // clean, but a runtime error here must not panic the CLI.
+                eprintln!("titalc: cache simulation failed: {error}");
+                return ExitCode::from(EXIT_SIM);
+            }
+        };
         println!(
             "caches (8KiB):  I-miss {:.2}%  D-miss {:.2}%  ({:.4} misses/instr)",
             caches.icache.miss_rate() * 100.0,

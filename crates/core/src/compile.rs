@@ -357,25 +357,141 @@ fn as_observer<'a>(certifier: &'a mut Option<Certifier<'_>>) -> Option<&'a mut d
     certifier.as_mut().map(|c| c as &mut dyn PassObserver)
 }
 
+/// The machine-independent half of a compilation: the program as it stands
+/// right before pipeline scheduling, plus the knobs the back half needs.
+///
+/// Everything up to and including `lower_program` depends only on the
+/// source, the optimization level, the oracle and the register split —
+/// never on issue width, pipelining degree, latencies or functional units.
+/// A sweep therefore compiles each workload **once** per register split and
+/// calls [`FrontArtifact::schedule_for`] once per machine: compile-once /
+/// simulate-many. The identity `compile(s, o)` ==
+/// `compile_front(s, o)?.schedule_for(&o.machine, o.verify)` is pinned by a
+/// unit test below; `compile` itself is implemented as exactly that
+/// composition.
+#[derive(Debug, Clone)]
+pub struct FrontArtifact {
+    program: Program,
+    opt: OptLevel,
+    oracle: OracleKind,
+    split: RegisterSplit,
+}
+
+impl FrontArtifact {
+    /// The unscheduled program (immutable; scheduling clones it).
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The optimization level the front half ran at.
+    #[must_use]
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// The dependence oracle scheduling will use.
+    #[must_use]
+    pub fn oracle(&self) -> OracleKind {
+        self.oracle
+    }
+
+    /// The register split the allocator used.
+    #[must_use]
+    pub fn split(&self) -> RegisterSplit {
+        self.split
+    }
+
+    /// A stable content hash of the unscheduled program (FNV-1a over its
+    /// assembly rendering) — the program half of the sweep cache key.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        supersym_rng::fnv1a_64(self.program.to_string().as_bytes())
+    }
+
+    /// Runs the machine-dependent back half: machine lint (under `verify`),
+    /// pipeline scheduling, schedule legality check and program lint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the machine fails its lint, the
+    /// schedule checker finds a violation, or the scheduled program fails
+    /// final validation.
+    pub fn schedule_for(
+        &self,
+        machine: &MachineConfig,
+        verify: bool,
+    ) -> Result<Program, CompileError> {
+        schedule_traced(
+            self.program.clone(),
+            self.opt,
+            self.oracle,
+            self.split,
+            machine,
+            verify,
+            &mut None,
+        )
+    }
+}
+
+/// Compiles the machine-independent front half of the pipeline: source
+/// through `lower_program`, stopping right before scheduling.
+///
+/// `options.machine` is ignored except through `options.split` (which
+/// [`CompileOptions::new`] seeds from the machine); pass any placeholder
+/// machine when sweeping.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed source or a starved register
+/// split.
+pub fn compile_front(
+    source: &str,
+    options: &CompileOptions,
+) -> Result<FrontArtifact, CompileError> {
+    let ast = supersym_lang::parse(source).map_err(PipelineError::Parse)?;
+    supersym_lang::check(&ast).map_err(PipelineError::Check)?;
+    front_ast_traced(ast, options, &mut None, None)
+}
+
 fn compile_ast_traced(
-    mut ast: supersym_lang::ast::Module,
+    ast: supersym_lang::ast::Module,
     options: &CompileOptions,
     mut sink: Option<&mut dyn TraceSink>,
     certificates: Option<&mut Vec<PassCertificate>>,
 ) -> Result<Program, CompileError> {
+    let FrontArtifact {
+        program,
+        opt,
+        oracle,
+        split,
+    } = front_ast_traced(ast, options, &mut sink, certificates)?;
+    schedule_traced(
+        program,
+        opt,
+        oracle,
+        split,
+        &options.machine,
+        options.verify,
+        &mut sink,
+    )
+}
+
+fn front_ast_traced(
+    mut ast: supersym_lang::ast::Module,
+    options: &CompileOptions,
+    sink: &mut Option<&mut dyn TraceSink>,
+    certificates: Option<&mut Vec<PassCertificate>>,
+) -> Result<FrontArtifact, CompileError> {
     let mut clock = PhaseClock::start();
-    if options.verify {
-        fail_on_errors(supersym_verify::lint_machine(&options.machine))?;
-        clock.emit(&mut sink, "lint_machine", &[]);
-    }
     if let Some(unroll) = options.unroll {
         supersym_opt::unroll_loops(&mut ast, unroll);
-        clock.emit(&mut sink, "unroll", &[("factor", unroll.factor as u64)]);
+        clock.emit(sink, "unroll", &[("factor", unroll.factor as u64)]);
     }
     let mut ir = supersym_ir::lower(&ast).map_err(PipelineError::Lower)?;
-    debug_assert!(ir.validate().is_ok());
+    ir.validate()?;
     clock.emit(
-        &mut sink,
+        sink,
         "lower",
         &[
             ("ir_funcs", ir.funcs.len() as u64),
@@ -399,7 +515,7 @@ fn compile_ast_traced(
     if options.opt.local() {
         supersym_opt::run_local_observed(&mut ir, table, as_observer(&mut certifier));
         clock.emit(
-            &mut sink,
+            sink,
             "opt_local",
             &[(
                 "ir_insts",
@@ -410,7 +526,7 @@ fn compile_ast_traced(
     if options.opt.global() {
         supersym_opt::run_global_observed(&mut ir, table, as_observer(&mut certifier));
         clock.emit(
-            &mut sink,
+            sink,
             "opt_global",
             &[(
                 "ir_insts",
@@ -423,7 +539,7 @@ fn compile_ast_traced(
         if options.opt.local() {
             supersym_opt::run_local_observed(&mut ir, table, as_observer(&mut certifier));
         }
-        clock.emit(&mut sink, "reassociate", &[]);
+        clock.emit(sink, "reassociate", &[]);
     }
     if let Some(certifier) = certifier {
         let errors: Vec<Diagnostic> = certifier
@@ -434,7 +550,7 @@ fn compile_ast_traced(
             .cloned()
             .collect();
         clock.emit(
-            &mut sink,
+            sink,
             "certify",
             &[("passes", certifier.certificates.len() as u64)],
         );
@@ -453,14 +569,14 @@ fn compile_ast_traced(
     // wrote them, dependence edges exactly as the seed scheduler saw them.
     if options.oracle == OracleKind::Symbolic {
         supersym_analyze::sharpen_origins(&mut ir);
-        clock.emit(&mut sink, "sharpen_origins", &[]);
+        clock.emit(sink, "sharpen_origins", &[]);
     }
     supersym_codegen::split_live_across_calls(&mut ir);
     ir.validate()?;
-    clock.emit(&mut sink, "split_live", &[]);
+    clock.emit(sink, "split_live", &[]);
     let homes = supersym_regalloc::allocate(&ir, options.split, options.opt.global_regs());
     clock.emit(
-        &mut sink,
+        sink,
         "regalloc",
         &[
             ("int_temps", homes.int_temps().len() as u64),
@@ -477,14 +593,40 @@ fn compile_ast_traced(
             fp_temps: homes.fp_temps().len(),
         });
     }
-    let mut program = supersym_codegen::lower_program(&ir, &homes);
+    let program = supersym_codegen::lower_program(&ir, &homes);
     clock.emit(
-        &mut sink,
+        sink,
         "lower_program",
         &[("static_size", program.static_size() as u64)],
     );
-    if options.opt.scheduling() {
-        let oracle = options.oracle.as_loop_oracle();
+    Ok(FrontArtifact {
+        program,
+        opt: options.opt,
+        oracle: options.oracle,
+        split: options.split,
+    })
+}
+
+/// The machine-dependent back half: machine lint, pipeline scheduling with
+/// its legality check, program lint, and final validation. Everything here
+/// may run many times against one [`FrontArtifact`] — once per grid cell in
+/// a sweep.
+fn schedule_traced(
+    mut program: Program,
+    opt: OptLevel,
+    oracle_kind: OracleKind,
+    split: RegisterSplit,
+    machine: &MachineConfig,
+    verify: bool,
+    sink: &mut Option<&mut dyn TraceSink>,
+) -> Result<Program, CompileError> {
+    let mut clock = PhaseClock::start();
+    if verify {
+        fail_on_errors(supersym_verify::lint_machine(machine))?;
+        clock.emit(sink, "lint_machine", &[]);
+    }
+    if opt.scheduling() {
+        let oracle = oracle_kind.as_loop_oracle();
         // The dependence census is the scheduler's input size under both
         // oracles; it is only worth computing when someone is listening.
         let census = if sink.is_some() {
@@ -492,14 +634,14 @@ fn compile_ast_traced(
         } else {
             Default::default()
         };
-        let unscheduled = (options.verify || sink.is_some()).then(|| program.clone());
-        supersym_codegen::schedule_program_with(&mut program, &options.machine, oracle);
+        let unscheduled = (verify || sink.is_some()).then(|| program.clone());
+        supersym_codegen::schedule_program_with(&mut program, machine, oracle);
         let moved = unscheduled
             .as_ref()
             .filter(|_| sink.is_some())
             .map_or(0, |before| moved_instructions(before, &program));
         clock.emit(
-            &mut sink,
+            sink,
             "schedule",
             &[
                 ("regions", census.0),
@@ -508,23 +650,30 @@ fn compile_ast_traced(
                 ("moved_instructions", moved),
             ],
         );
-        if options.verify {
+        if verify {
             if let Some(before) = unscheduled {
                 let violations = supersym_verify::check_schedule_with(&before, &program, oracle);
                 fail_on_errors(violations.iter().map(|v| v.to_diagnostic()).collect())?;
-                clock.emit(&mut sink, "check_schedule", &[]);
+                clock.emit(sink, "check_schedule", &[]);
             }
         }
     }
-    if options.verify {
+    if verify {
         // The split check needs the split the allocator actually used; it
         // is skipped when an override makes the machine's own split stale.
-        let machine =
-            (options.split == options.machine.register_split()).then_some(&options.machine);
-        fail_on_errors(supersym_verify::lint_program(&program, machine))?;
-        clock.emit(&mut sink, "lint_program", &[]);
+        let machine_for_lint = (split == machine.register_split()).then_some(machine);
+        fail_on_errors(supersym_verify::lint_program(&program, machine_for_lint))?;
+        clock.emit(sink, "lint_program", &[]);
     }
-    debug_assert!(program.validate().is_ok());
+    // A scheduler bug that breaks a structural invariant (dangling label,
+    // bad call target) must surface as a typed error, not a debug-only
+    // assert: sweeps run release builds against arbitrary grid cells.
+    program.validate().map_err(|e| {
+        PipelineError::Verify(vec![Diagnostic::error(
+            "post-validate",
+            format!("scheduled program failed validation: {e}"),
+        )])
+    })?;
     Ok(program)
 }
 
@@ -772,6 +921,36 @@ mod tests {
         let plain = compile(PROGRAM, &options).unwrap();
         let traced = compile_with_trace(PROGRAM, &options, &mut sink).unwrap();
         assert_eq!(plain, traced, "tracing must not change the output program");
+    }
+
+    #[test]
+    fn front_plus_schedule_equals_compile() {
+        // The sweep engine's compile-once/schedule-many contract: splitting
+        // the pipeline at the scheduling boundary is invisible.
+        for machine in [
+            presets::base(),
+            presets::multititan(),
+            presets::superscalar_with_class_conflicts(4),
+        ] {
+            for level in [OptLevel::O0, OptLevel::O1, OptLevel::O4] {
+                let options = CompileOptions::new(level, &machine).with_verify(true);
+                let whole = compile(PROGRAM, &options).unwrap();
+                let artifact = compile_front(PROGRAM, &options).unwrap();
+                let split = artifact.schedule_for(&machine, true).unwrap();
+                assert_eq!(whole, split, "machine {} level {level}", machine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn front_artifact_fingerprint_is_machine_independent() {
+        let options_a = CompileOptions::new(OptLevel::O4, &presets::base());
+        let options_b = CompileOptions::new(OptLevel::O4, &presets::multititan());
+        let a = compile_front(PROGRAM, &options_a).unwrap();
+        let b = compile_front(PROGRAM, &options_b).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let other = compile_front("fn main() -> int { return 7; }", &options_a).unwrap();
+        assert_ne!(a.fingerprint(), other.fingerprint());
     }
 
     #[test]

@@ -1997,3 +1997,98 @@ impl fmt::Display for StallBreakdownStudy {
         Ok(())
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sweep study (companion to Figure 4-3: the measured map, not the model)
+// ---------------------------------------------------------------------------
+
+/// The sweep study: speedup-vs-cost Pareto frontier over a machine grid.
+///
+/// Figure 4-3 models how much parallelism each `(n, m)` point *requires*;
+/// this study measures what the suite actually *delivers* on every cell of
+/// a grid containing those presets, then keeps the hardware-efficient
+/// frontier: the cells no cheaper cell matches.
+#[derive(Debug, Clone)]
+pub struct SweepStudy {
+    /// The grid's canonical spec text.
+    pub grid: String,
+    /// Cells enumerated.
+    pub cells: usize,
+    /// Work items quarantined (must be 0 on a healthy pipeline).
+    pub quarantined: usize,
+    /// Per-cell aggregates (harmonic-mean speedup, hardware cost).
+    pub summaries: Vec<crate::sweep::CellSummary>,
+    /// The Pareto frontier, by rising cost.
+    pub frontier: Vec<crate::sweep::ParetoPoint>,
+}
+
+/// Runs the sweep study: a 48-cell grid spanning the paper's superscalar
+/// and superpipelined presets under unit and MultiTitan latencies.
+#[must_use]
+pub fn sweep_study(size: Size) -> SweepStudy {
+    use crate::sweep::{
+        aggregate_cells, pareto_frontier, run_sweep, PipelineCellRunner, ResultCache, SweepConfig,
+        SweepPlan, DEFAULT_CELL_FUEL,
+    };
+    let workloads = suite(size);
+    let runner = PipelineCellRunner::new(
+        &workloads,
+        OptLevel::O4,
+        OracleKind::Symbolic,
+        DEFAULT_CELL_FUEL,
+        false,
+    );
+    let grid = supersym_machine::GridSpec::parse(
+        "issue=1,2,4,8 pipe=1,2,4 lat=unit,titan fu=ideal,shared",
+    )
+    .unwrap_or_else(|_| unreachable!("static grid spec parses"));
+    let plan = SweepPlan {
+        workload_names: runner.names().to_vec(),
+        fuel: DEFAULT_CELL_FUEL,
+        identity: runner.identity(&grid.canonical(), OptLevel::O4, OracleKind::Symbolic),
+        grid,
+    };
+    let config = SweepConfig {
+        jobs: 4,
+        quiet: true,
+        ..SweepConfig::default()
+    };
+    let outcome = run_sweep(&plan, &runner, &config, None, &ResultCache::new(), None)
+        .unwrap_or_else(|_| unreachable!("no journal, no I/O"));
+    let cells = plan.grid.cells();
+    let summaries = aggregate_cells(&outcome.records, &cells);
+    let frontier = pareto_frontier(&summaries);
+    SweepStudy {
+        grid: plan.grid.canonical(),
+        cells: cells.len(),
+        quarantined: outcome.quarantined,
+        summaries,
+        frontier,
+    }
+}
+
+impl fmt::Display for SweepStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Sweep study: measured Pareto frontier over `{}`",
+            self.grid
+        )?;
+        writeln!(
+            f,
+            "  {} cells, {} quarantined; frontier ({} points, by rising cost):",
+            self.cells,
+            self.quarantined,
+            self.frontier.len()
+        )?;
+        writeln!(f, "  {:30} {:>6} {:>9}", "cell", "cost", "speedup")?;
+        for point in &self.frontier {
+            writeln!(
+                f,
+                "  {:30} {:>6} {:>9.2}",
+                point.cell, point.cost, point.speedup
+            )?;
+        }
+        Ok(())
+    }
+}

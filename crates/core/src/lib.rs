@@ -44,11 +44,12 @@
 mod compile;
 mod error;
 pub mod experiments;
+pub mod sweep;
 pub mod torture;
 
 pub use compile::{
-    compile, compile_ast, compile_certified, compile_with_trace, CompileError, CompileOptions,
-    OptLevel,
+    compile, compile_ast, compile_certified, compile_front, compile_with_trace, CompileError,
+    CompileOptions, FrontArtifact, OptLevel,
 };
 pub use error::PipelineError;
 

@@ -1,0 +1,245 @@
+//! Glue between the compilation pipeline and the sweep engine.
+//!
+//! The sweep engine (`supersym-sweep`) is deliberately pipeline-blind: it
+//! fans work items out, contains faults and keeps the checkpoint journal,
+//! but runs cells through the [`supersym_sweep::CellRunner`] trait. This
+//! module is the pipeline side of that trait: it compiles each workload's
+//! machine-independent front half **once per register-split model** (the
+//! only grid axis the front half can see) and then, per cell, runs only
+//! the machine-dependent back half — scheduling plus lockstep simulation.
+
+use crate::compile::{compile_front, CompileOptions, FrontArtifact, OptLevel};
+use supersym_analyze::OracleKind;
+use supersym_machine::{presets, GridCell, SplitModel};
+use supersym_sim::{simulate, ExecOptions, SimError, SimOptions};
+use supersym_workloads::Workload;
+
+/// Re-export: the pipeline-blind engine (`supersym-sweep`), so drivers can
+/// reach the whole sweep surface through `supersym::sweep`.
+pub use supersym_sweep::{
+    aggregate_cells, cache_from_records, frontier_json, load_checkpoint, pareto_frontier,
+    run_sweep, CellFailure, CellMetrics, CellRecord, CellRunner, CellStatus, CellSummary,
+    CheckpointError, FaultInjection, ParetoPoint, ResultCache, ResumeState, SweepConfig,
+    SweepHeader, SweepOutcome, SweepPlan, SCHEMA,
+};
+
+/// Fuel given to each cell when the caller does not override it: enough
+/// for every small-size workload on every preset with an order of
+/// magnitude to spare, small enough that a runaway cell quarantines fast.
+pub const DEFAULT_CELL_FUEL: u64 = 20_000_000;
+
+fn split_index(split: SplitModel) -> usize {
+    match split {
+        SplitModel::Default => 0,
+        SplitModel::Wide => 1,
+    }
+}
+
+const SPLIT_MODELS: [SplitModel; 2] = [SplitModel::Default, SplitModel::Wide];
+
+/// A compiled workload set, ready to schedule and simulate on any cell.
+pub struct PipelineCellRunner {
+    /// `fronts[workload][split_index]`: the front half, or the pipeline
+    /// error that rejected it (rare — a workload the wide split cannot
+    /// register-allocate, say). Errors are replayed as per-cell rejects.
+    fronts: Vec<[Result<FrontArtifact, String>; 2]>,
+    names: Vec<String>,
+    fuel: u64,
+    verify: bool,
+}
+
+impl PipelineCellRunner {
+    /// Compiles the front half of every workload under both split models.
+    #[must_use]
+    pub fn new(
+        workloads: &[Workload],
+        opt: OptLevel,
+        oracle: OracleKind,
+        fuel: u64,
+        verify: bool,
+    ) -> Self {
+        let fronts = workloads
+            .iter()
+            .map(|workload| {
+                SPLIT_MODELS.map(|split| {
+                    let options = CompileOptions::new(opt, &presets::base())
+                        .with_split(split.split())
+                        .with_oracle(oracle)
+                        .with_verify(verify);
+                    compile_front(&workload.source, &options).map_err(|e| e.to_string())
+                })
+            })
+            .collect();
+        PipelineCellRunner {
+            fronts,
+            names: workloads.iter().map(|w| w.name.to_string()).collect(),
+            fuel,
+            verify,
+        }
+    }
+
+    /// Workload names, index-aligned with the runner.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The identity string the checkpoint header hashes: options plus
+    /// every program fingerprint, so a resumed sweep refuses a journal
+    /// written for different code.
+    #[must_use]
+    pub fn identity(&self, grid_canonical: &str, opt: OptLevel, oracle: OracleKind) -> String {
+        let mut identity = format!(
+            "grid={grid_canonical};opt={opt};oracle={oracle:?};fuel={};verify={};",
+            self.fuel, self.verify
+        );
+        for (name, fronts) in self.names.iter().zip(&self.fronts) {
+            for (split, front) in SPLIT_MODELS.iter().zip(fronts) {
+                let hash = match front {
+                    Ok(artifact) => artifact.fingerprint(),
+                    Err(message) => supersym_rng::fnv1a_64(message.as_bytes()),
+                };
+                identity.push_str(&format!("{name}.{}={hash:016x};", split.name()));
+            }
+        }
+        identity
+    }
+}
+
+impl CellRunner for PipelineCellRunner {
+    fn program_hash(&self, workload: usize, cell: &GridCell) -> u64 {
+        match &self.fronts[workload][split_index(cell.split)] {
+            Ok(artifact) => artifact.fingerprint(),
+            Err(message) => supersym_rng::fnv1a_64(message.as_bytes()),
+        }
+    }
+
+    fn run_cell(&self, workload: usize, cell: &GridCell) -> Result<CellMetrics, CellFailure> {
+        let front = self.fronts[workload][split_index(cell.split)]
+            .as_ref()
+            .map_err(|message| CellFailure::Reject {
+                stage: "front".to_string(),
+                message: message.clone(),
+            })?;
+        let machine = cell.config();
+        let program =
+            front
+                .schedule_for(&machine, self.verify)
+                .map_err(|e| CellFailure::Reject {
+                    stage: e.stage().to_string(),
+                    message: e.to_string(),
+                })?;
+        let options = SimOptions {
+            exec: ExecOptions {
+                max_steps: self.fuel,
+                ..ExecOptions::default()
+            },
+        };
+        match simulate(&program, &machine, options) {
+            Ok(report) => Ok(CellMetrics {
+                instructions: report.instructions(),
+                machine_cycles: report.machine_cycles(),
+                base_cycles: report.base_cycles(),
+            }),
+            Err(SimError::StepLimitExceeded { limit }) => Err(CellFailure::Fuel { limit }),
+            Err(e) => Err(CellFailure::Reject {
+                stage: "sim".to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_machine::GridSpec;
+    use supersym_sweep::{run_sweep, ResultCache, SweepConfig, SweepPlan};
+    use supersym_workloads::Size;
+
+    fn runner() -> PipelineCellRunner {
+        let workloads = vec![supersym_workloads::whet(1)];
+        PipelineCellRunner::new(
+            &workloads,
+            OptLevel::O4,
+            OracleKind::Symbolic,
+            DEFAULT_CELL_FUEL,
+            false,
+        )
+    }
+
+    #[test]
+    fn pipeline_cells_complete_and_speed_up() {
+        let runner = runner();
+        let grid = GridSpec::parse("issue=1,4 pipe=1 lat=unit").unwrap();
+        let plan = SweepPlan {
+            workload_names: runner.names().to_vec(),
+            fuel: DEFAULT_CELL_FUEL,
+            identity: runner.identity(&grid.canonical(), OptLevel::O4, OracleKind::Symbolic),
+            grid,
+        };
+        let outcome = run_sweep(
+            &plan,
+            &runner,
+            &SweepConfig::default(),
+            None,
+            &ResultCache::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.quarantined, 0, "{:?}", outcome.records);
+        let speedup = |i: usize| match &outcome.records[i].status {
+            supersym_sweep::CellStatus::Ok(m) => m.speedup(),
+            other => panic!("cell {i} not ok: {other:?}"),
+        };
+        // issue=1 unit-latency is the base machine: speedup 1. issue=4
+        // must beat it.
+        assert!((speedup(0) - 1.0).abs() < 1e-9, "base cell {}", speedup(0));
+        assert!(speedup(1) > 1.0, "wider cell {}", speedup(1));
+    }
+
+    #[test]
+    fn tiny_fuel_quarantines_as_timeout() {
+        let workloads = vec![supersym_workloads::whet(1)];
+        let runner =
+            PipelineCellRunner::new(&workloads, OptLevel::O4, OracleKind::Symbolic, 50, false);
+        let grid = GridSpec::parse("issue=1 pipe=1").unwrap();
+        let plan = SweepPlan {
+            workload_names: runner.names().to_vec(),
+            fuel: 50,
+            identity: runner.identity(&grid.canonical(), OptLevel::O4, OracleKind::Symbolic),
+            grid,
+        };
+        let outcome = run_sweep(
+            &plan,
+            &runner,
+            &SweepConfig::default(),
+            None,
+            &ResultCache::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.quarantined, 1);
+        assert!(matches!(
+            outcome.records[0].status,
+            supersym_sweep::CellStatus::Timeout { limit: 50 }
+        ));
+    }
+
+    #[test]
+    fn suite_small_compiles_under_both_splits() {
+        let workloads = supersym_workloads::suite(Size::Small);
+        let runner = PipelineCellRunner::new(
+            &workloads,
+            OptLevel::O4,
+            OracleKind::Symbolic,
+            DEFAULT_CELL_FUEL,
+            false,
+        );
+        for (name, fronts) in runner.names.iter().zip(&runner.fronts) {
+            for front in fronts {
+                assert!(front.is_ok(), "{name}: {front:?}");
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::error::PipelineError;
 use crate::{compile, compile_ast, CompileOptions, OptLevel};
-use supersym_machine::{parse_machine_spec, presets, MachineConfig};
+use supersym_machine::{parse_machine_spec, presets, GridSpec, MachineConfig};
 use supersym_sim::{simulate, ExecOptions, SimOptions, SimReport};
 use supersym_torture::{
     replay_corpus, run_campaign, CampaignConfig, CampaignReport, Input, Stage, Subject, Verdict,
@@ -153,6 +153,43 @@ impl PipelineSubject {
         }
     }
 
+    fn run_grid(&self, text: &str) -> Verdict {
+        // Cells that survive parsing are preset-shaped by construction,
+        // so probing every cell of a big grid buys nothing; lint them all
+        // (cheap) and run the probe workload on a bounded sample.
+        const PROBE_CELLS: usize = 4;
+        let grid = match GridSpec::parse(text) {
+            Ok(grid) => grid,
+            Err(e) => return reject(Stage::Machine, &e),
+        };
+        let cells = grid.cells();
+        let mut fingerprints = vec![grid.canonical()];
+        for cell in &cells {
+            let machine = cell.config();
+            let diagnostics = supersym_verify::lint_machine(&machine);
+            if supersym_isa::error_count(&diagnostics) > 0 {
+                return reject(Stage::Verify, &PipelineError::Verify(diagnostics));
+            }
+            fingerprints.push(format!("{}={:016x}", cell.name(), machine.fingerprint()));
+        }
+        let step = (cells.len() / PROBE_CELLS).max(1);
+        for cell in cells.iter().step_by(step).take(PROBE_CELLS) {
+            let machine = cell.config();
+            let mut options = CompileOptions::new(self.options.opt, &machine);
+            options.verify = true;
+            match compile(MACHINE_PROBE, &options) {
+                Ok(program) => match self.run_program(&program, &machine) {
+                    Verdict::Ok { fingerprint } => fingerprints.push(fingerprint),
+                    rejected => return rejected,
+                },
+                Err(e) => return reject(stage_of(&e), &e),
+            }
+        }
+        Verdict::Ok {
+            fingerprint: fingerprints.join("\n--\n"),
+        }
+    }
+
     fn run_program(&self, program: &supersym_isa::Program, machine: &MachineConfig) -> Verdict {
         match simulate(program, machine, self.sim) {
             Ok(report) => Verdict::Ok {
@@ -176,6 +213,7 @@ impl Subject for PipelineSubject {
             Input::Ast(module) => self.run_ast(module),
             Input::Asm(text) => self.run_asm(text),
             Input::Machine(text) => self.run_machine(text),
+            Input::Grid(text) => self.run_grid(text),
         }
     }
 }
@@ -263,6 +301,34 @@ mod tests {
             ),
             "{verdict:?}"
         );
+    }
+
+    #[test]
+    fn grid_path_accepts_a_valid_spec() {
+        let subject = PipelineSubject::default();
+        let verdict = subject.run(&Input::Grid("issue=1,2 pipe=1,2 lat=unit".to_string()));
+        assert!(matches!(verdict, Verdict::Ok { .. }), "{verdict:?}");
+    }
+
+    #[test]
+    fn grid_path_rejects_oversized_and_garbage_typed() {
+        let subject = PipelineSubject::default();
+        for bad in [
+            "issue=1..64 pipe=1..16 lat=unit,titan,cray fu=ideal,shared",
+            "issue=bogus",
+        ] {
+            let verdict = subject.run(&Input::Grid(bad.to_string()));
+            assert!(
+                matches!(
+                    verdict,
+                    Verdict::Rejected {
+                        stage: Stage::Machine,
+                        ..
+                    }
+                ),
+                "{bad}: {verdict:?}"
+            );
+        }
     }
 
     #[test]

@@ -116,9 +116,18 @@ impl Function {
     ///
     /// Panics if the label is not in this function's table; labels are only
     /// meaningful within the function that created them.
+    /// [`Function::try_resolve`] is the non-panicking form for callers
+    /// (like the simulator) that face unvalidated programs.
     #[must_use]
     pub fn resolve(&self, label: Label) -> usize {
         self.label_targets[label.slot() as usize]
+    }
+
+    /// Resolves a label to an instruction index, or `None` when the label
+    /// is not in this function's table.
+    #[must_use]
+    pub fn try_resolve(&self, label: Label) -> Option<usize> {
+        self.label_targets.get(label.slot() as usize).copied()
     }
 
     /// Checks internal consistency: every label and branch target must point
@@ -193,9 +202,20 @@ impl Program {
     }
 
     /// Looks up a function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range; [`Program::try_function`] is the
+    /// non-panicking form for callers facing unvalidated programs.
     #[must_use]
     pub fn function(&self, id: FuncId) -> &Function {
         &self.functions[id.index()]
+    }
+
+    /// Looks up a function by id, or `None` when the id is out of range.
+    #[must_use]
+    pub fn try_function(&self, id: FuncId) -> Option<&Function> {
+        self.functions.get(id.index())
     }
 
     /// Looks up a function by name.
@@ -376,6 +396,17 @@ mod tests {
         assert_eq!(program.globals_words(), 15);
         program.add_data(3, 42);
         assert_eq!(program.data(), &[(3, 42)]);
+    }
+
+    #[test]
+    fn try_lookups_return_none_out_of_range() {
+        let mut program = Program::new();
+        let id = program.add_function(simple_function());
+        assert!(program.try_function(id).is_some());
+        assert!(program.try_function(FuncId::new(9)).is_none());
+        let function = program.function(id);
+        assert_eq!(function.try_resolve(Label::new(0)), Some(0));
+        assert_eq!(function.try_resolve(Label::new(7)), None);
     }
 
     #[test]

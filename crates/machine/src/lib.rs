@@ -36,6 +36,7 @@
 //! ```
 
 mod config;
+pub mod grid;
 mod metrics;
 pub mod presets;
 mod spec;
@@ -43,6 +44,7 @@ mod spec;
 pub use config::{
     FunctionalUnit, MachineConfig, MachineConfigBuilder, MachineError, RegisterSplit,
 };
+pub use grid::{FuModel, GridCell, GridError, GridSpec, LatModel, SplitModel, MAX_GRID_CELLS};
 pub use metrics::{
     average_degree_from_census, average_degree_of_superpipelining, paper_frequencies,
     superpipelining_axis_position, utilization_grid, UtilizationCell,

@@ -87,6 +87,24 @@ impl SplitMix64 {
     }
 }
 
+/// FNV-1a over a byte string: the workspace's one stable content hash.
+///
+/// Used wherever a fingerprint must be identical across platforms, runs
+/// and process restarts — sweep checkpoint headers, per-record checksums,
+/// and the `(program hash, machine hash)` result-cache key. `std`'s
+/// `DefaultHasher` is explicitly *not* stable across releases, so it can
+/// never appear in a file format; FNV-1a is pinned here by a
+/// reference-value test exactly like the SplitMix64 stream.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325_u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +154,19 @@ mod tests {
         let mut rng = SplitMix64::new(0);
         assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
         assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn fnv1a_reference_values() {
+        // Canonical FNV-1a vectors; a silent change here would invalidate
+        // every recorded sweep checkpoint and result cache.
+        assert_eq!(fnv1a_64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn fnv1a_is_order_sensitive() {
+        assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
     }
 }

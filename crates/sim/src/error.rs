@@ -29,6 +29,20 @@ pub enum SimError {
         /// The limit that was exceeded.
         limit: u64,
     },
+    /// A `call` targeted a function id outside the program. Unreachable
+    /// after [`supersym_isa::Program::validate`], but the executor must not
+    /// trust that coupling: torture-mutated programs reach `step` however
+    /// they can.
+    UnknownFunction(FuncId),
+    /// A branch or jump named a label with no slot in its function's table.
+    /// Like [`SimError::UnknownFunction`], a typed backstop behind the
+    /// static validator.
+    DanglingLabel {
+        /// The function the branch executed in.
+        func: FuncId,
+        /// The offending label slot.
+        slot: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +60,12 @@ impl fmt::Display for SimError {
             }
             SimError::StepLimitExceeded { limit } => {
                 write!(f, "execution exceeded the step limit of {limit}")
+            }
+            SimError::UnknownFunction(id) => {
+                write!(f, "call to unknown function {id}")
+            }
+            SimError::DanglingLabel { func, slot } => {
+                write!(f, "branch in {func} to label slot {slot} with no target")
             }
         }
     }

@@ -254,7 +254,10 @@ impl<'p> Executor<'p> {
                 limit: self.options.max_steps,
             });
         }
-        let function = self.program.function(self.func);
+        let function = self
+            .program
+            .try_function(self.func)
+            .ok_or(SimError::UnknownFunction(self.func))?;
         let Some(instr) = function.instrs().get(self.pc) else {
             return Err(SimError::FellOffFunction(self.func));
         };
@@ -399,12 +402,22 @@ impl<'p> Executor<'p> {
             } => {
                 let taken = (self.int_reg(*cond) != 0) == *expect;
                 if taken {
-                    next_pc = function.resolve(*target);
+                    next_pc = function
+                        .try_resolve(*target)
+                        .ok_or(SimError::DanglingLabel {
+                            func: self.func,
+                            slot: target.slot(),
+                        })?;
                 }
                 control = ControlEvent::Branch { taken };
             }
             Instr::Jmp { target } => {
-                next_pc = function.resolve(*target);
+                next_pc = function
+                    .try_resolve(*target)
+                    .ok_or(SimError::DanglingLabel {
+                        func: self.func,
+                        slot: target.slot(),
+                    })?;
                 control = ControlEvent::Jump;
             }
             Instr::Call { target } => {
@@ -412,6 +425,9 @@ impl<'p> Executor<'p> {
                     return Err(SimError::CallStackOverflow {
                         limit: self.options.max_call_depth,
                     });
+                }
+                if target.index() >= self.program.functions().len() {
+                    return Err(SimError::UnknownFunction(*target));
                 }
                 self.call_stack.push((self.func, self.pc + 1));
                 self.func = *target;

@@ -1,0 +1,510 @@
+//! The `supersym.sweep/v1` checkpoint schema.
+//!
+//! A sweep journal is append-only JSON-lines: one header line followed by
+//! one record per finished (workload × cell) item, in completion order.
+//! Three properties make it a checkpoint rather than a log:
+//!
+//! * the header carries an **identity hash** over everything that defines
+//!   the sweep (canonical grid text, workload names, program fingerprints,
+//!   fuel). A journal written for a different grid or a recompiled program
+//!   is rejected on resume instead of silently merged;
+//! * every record carries an FNV-1a **checksum** of its own rendering.
+//!   This is only meaningful because the trace JSON writer and parser
+//!   round-trip byte-identically: re-rendering a parsed record reproduces
+//!   the exact text that was hashed. A corrupt record fails the check and
+//!   degrades to recomputation of that one cell;
+//! * a **torn final line** (the classic kill-mid-write artifact) fails to
+//!   parse and is dropped; every complete line before it still counts.
+//!
+//! Records never contain wall-clock times or other run-volatile data, so a
+//! resumed sweep's final output is byte-identical to an uninterrupted run.
+
+use std::error::Error;
+use std::fmt;
+use supersym_rng::fnv1a_64;
+use supersym_trace::{parse_json, JsonObject, JsonValue};
+
+/// Schema tag carried by the header line.
+pub const SCHEMA: &str = "supersym.sweep/v1";
+
+/// Simulation results for one completed cell. Derived figures (ILP,
+/// speedup) are recomputed from these rather than stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Machine cycles on the cell's own clock.
+    pub machine_cycles: u64,
+    /// Cycles normalized to the base machine's clock (a superpipeline's
+    /// minor cycles count as fractions of a base cycle).
+    pub base_cycles: f64,
+}
+
+impl CellMetrics {
+    /// Speedup over the base machine, which retires one instruction per
+    /// base cycle: `instructions / base_cycles`.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.base_cycles > 0.0 {
+            self.instructions as f64 / self.base_cycles
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What happened to one (workload × cell) item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellStatus {
+    /// Simulation finished; metrics attached.
+    Ok(CellMetrics),
+    /// The pipeline returned a typed error (the cell is invalid for this
+    /// workload — e.g. a register split too small for the expression
+    /// depth). Deterministic, so rejects are cached like successes.
+    Reject {
+        /// Pipeline stage that rejected (`PipelineError::stage`).
+        stage: String,
+        /// The error's display text.
+        message: String,
+    },
+    /// The worker panicked; the cell is quarantined.
+    Panic {
+        /// Panic payload, when it was a string.
+        message: String,
+    },
+    /// The fuel or wall-deadline watchdog fired; the cell is quarantined.
+    Timeout {
+        /// The limit that was exceeded (steps of fuel, or milliseconds for
+        /// the opt-in wall deadline).
+        limit: u64,
+    },
+}
+
+impl CellStatus {
+    /// The `status` field value in the record.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellStatus::Ok(_) => "ok",
+            CellStatus::Reject { .. } => "reject",
+            CellStatus::Panic { .. } => "panic",
+            CellStatus::Timeout { .. } => "timeout",
+        }
+    }
+
+    /// Whether the item completed with metrics.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok(_))
+    }
+
+    /// Whether the item was quarantined (any non-`Ok` classification).
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        !self.is_ok()
+    }
+}
+
+/// One journal line: the outcome of one (workload × cell) item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Canonical item index: `cell_index * workloads + workload_index`.
+    pub index: usize,
+    /// Cell name (`n2.m4.titan.shared.default`).
+    pub cell: String,
+    /// Workload name.
+    pub workload: String,
+    /// [`supersym_machine::MachineConfig::fingerprint`] of the cell.
+    pub machine_hash: u64,
+    /// Fingerprint of the compiled (unscheduled) program.
+    pub program_hash: u64,
+    /// Outcome classification.
+    pub status: CellStatus,
+}
+
+fn hex(value: u64) -> JsonValue {
+    JsonValue::str(format!("{value:016x}"))
+}
+
+fn parse_hex(value: Option<&JsonValue>) -> Option<u64> {
+    u64::from_str_radix(value?.as_str()?, 16).ok()
+}
+
+impl CellRecord {
+    /// The record body (everything except the checksum), field order fixed.
+    fn body(&self) -> JsonValue {
+        let mut object = JsonObject::new()
+            .field("index", JsonValue::UInt(self.index as u64))
+            .field("cell", JsonValue::str(self.cell.clone()))
+            .field("workload", JsonValue::str(self.workload.clone()))
+            .field("machine_hash", hex(self.machine_hash))
+            .field("program_hash", hex(self.program_hash))
+            .field("status", JsonValue::str(self.status.label()));
+        match &self.status {
+            CellStatus::Ok(m) => {
+                object = object
+                    .field("instructions", JsonValue::UInt(m.instructions))
+                    .field("machine_cycles", JsonValue::UInt(m.machine_cycles))
+                    .field("base_cycles", JsonValue::Float(m.base_cycles));
+            }
+            CellStatus::Reject { stage, message } => {
+                object = object
+                    .field("stage", JsonValue::str(stage.clone()))
+                    .field("message", JsonValue::str(message.clone()));
+            }
+            CellStatus::Panic { message } => {
+                object = object.field("message", JsonValue::str(message.clone()));
+            }
+            CellStatus::Timeout { limit } => {
+                object = object.field("limit", JsonValue::UInt(*limit));
+            }
+        }
+        object.build()
+    }
+
+    /// Renders the journal line (no trailing newline): the body plus an
+    /// FNV-1a checksum of the body's rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let body = self.body();
+        let checksum = fnv1a_64(body.to_string().as_bytes());
+        match body {
+            JsonValue::Object(mut fields) => {
+                fields.push(("checksum".to_string(), hex(checksum)));
+                JsonValue::Object(fields).to_string()
+            }
+            _ => unreachable!("record body is always an object"),
+        }
+    }
+
+    /// Parses and verifies one journal line. Returns `None` for anything
+    /// short of a fully intact record: torn JSON, missing fields, or a
+    /// checksum mismatch. Callers degrade to recomputing the cell.
+    #[must_use]
+    pub fn parse(line: &str) -> Option<CellRecord> {
+        let value = parse_json(line.trim()).ok()?;
+        let fields = value.as_object()?;
+        let (body_fields, checksums): (Vec<_>, Vec<_>) = fields
+            .iter()
+            .cloned()
+            .partition(|(key, _)| key != "checksum");
+        let stored = parse_hex(checksums.first().map(|(_, v)| v))?;
+        let body = JsonValue::Object(body_fields);
+        if fnv1a_64(body.to_string().as_bytes()) != stored {
+            return None;
+        }
+        let status = match body.get("status")?.as_str()? {
+            "ok" => CellStatus::Ok(CellMetrics {
+                instructions: body.get("instructions")?.as_u64()?,
+                machine_cycles: body.get("machine_cycles")?.as_u64()?,
+                base_cycles: body.get("base_cycles")?.as_f64()?,
+            }),
+            "reject" => CellStatus::Reject {
+                stage: body.get("stage")?.as_str()?.to_string(),
+                message: body.get("message")?.as_str()?.to_string(),
+            },
+            "panic" => CellStatus::Panic {
+                message: body.get("message")?.as_str()?.to_string(),
+            },
+            "timeout" => CellStatus::Timeout {
+                limit: body.get("limit")?.as_u64()?,
+            },
+            _ => return None,
+        };
+        Some(CellRecord {
+            index: body.get("index")?.as_u64()? as usize,
+            cell: body.get("cell")?.as_str()?.to_string(),
+            workload: body.get("workload")?.as_str()?.to_string(),
+            machine_hash: parse_hex(body.get("machine_hash"))?,
+            program_hash: parse_hex(body.get("program_hash"))?,
+            status,
+        })
+    }
+}
+
+/// The journal's first line: what sweep this is a checkpoint of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepHeader {
+    /// Canonical grid text ([`supersym_machine::GridSpec::canonical`]).
+    pub grid: String,
+    /// Workload names, in index order.
+    pub workloads: Vec<String>,
+    /// Total (workload × cell) items the sweep will produce.
+    pub records: usize,
+    /// Fuel (simulator step limit) per cell.
+    pub fuel: u64,
+    /// FNV-1a hash over the full identity string (grid, workloads,
+    /// program fingerprints, options); resume refuses a mismatch.
+    pub identity_hash: u64,
+}
+
+impl SweepHeader {
+    /// Renders the header line (no trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        JsonObject::new()
+            .field("schema", JsonValue::str(SCHEMA))
+            .field("grid", JsonValue::str(self.grid.clone()))
+            .field(
+                "workloads",
+                JsonValue::Array(
+                    self.workloads
+                        .iter()
+                        .map(|w| JsonValue::str(w.clone()))
+                        .collect(),
+                ),
+            )
+            .field("records", JsonValue::UInt(self.records as u64))
+            .field("fuel", JsonValue::UInt(self.fuel))
+            .field("identity", hex(self.identity_hash))
+            .build()
+            .to_string()
+    }
+
+    /// Parses a header line; `None` if it is not an intact header.
+    #[must_use]
+    pub fn parse(line: &str) -> Option<SweepHeader> {
+        let value = parse_json(line.trim()).ok()?;
+        if value.get("schema")?.as_str()? != SCHEMA {
+            return None;
+        }
+        let workloads = value
+            .get("workloads")?
+            .as_array()?
+            .iter()
+            .map(|w| w.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        Some(SweepHeader {
+            grid: value.get("grid")?.as_str()?.to_string(),
+            workloads,
+            records: value.get("records")?.as_u64()? as usize,
+            fuel: value.get("fuel")?.as_u64()?,
+            identity_hash: parse_hex(value.get("identity"))?,
+        })
+    }
+}
+
+/// Why a checkpoint cannot seed a resume.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The file is empty or its first line is not a `supersym.sweep/v1`
+    /// header.
+    MissingHeader,
+    /// The header is intact but describes a different sweep (grid,
+    /// workloads, programs or fuel changed since it was written).
+    IdentityMismatch {
+        /// Identity hash the checkpoint was written under.
+        found: u64,
+        /// Identity hash of the sweep being resumed.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::MissingHeader => {
+                write!(f, "checkpoint has no {SCHEMA} header line")
+            }
+            CheckpointError::IdentityMismatch { found, expected } => write!(
+                f,
+                "checkpoint identity {found:016x} does not match this sweep \
+                 ({expected:016x}): the grid, workloads or programs changed"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// Verified records recovered from a checkpoint.
+#[derive(Debug)]
+pub struct ResumeState {
+    /// Slot per item index; `Some` where the journal holds an intact
+    /// record.
+    pub done: Vec<Option<CellRecord>>,
+    /// Journal lines dropped: torn tail, checksum failures, out-of-range
+    /// indices. Each dropped line degrades to recomputation.
+    pub dropped_lines: usize,
+}
+
+impl ResumeState {
+    /// How many items the checkpoint already covers.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.done.iter().filter(|slot| slot.is_some()).count()
+    }
+}
+
+/// Validates a checkpoint against the sweep being (re)run and recovers
+/// every intact record.
+///
+/// # Errors
+///
+/// [`CheckpointError::MissingHeader`] when the first line is not an intact
+/// header, [`CheckpointError::IdentityMismatch`] when the header belongs
+/// to a different sweep. Damaged *records* are never errors — they are
+/// dropped and counted, and the engine recomputes those cells.
+pub fn load_checkpoint(text: &str, expected: &SweepHeader) -> Result<ResumeState, CheckpointError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .and_then(SweepHeader::parse)
+        .ok_or(CheckpointError::MissingHeader)?;
+    if header.identity_hash != expected.identity_hash {
+        return Err(CheckpointError::IdentityMismatch {
+            found: header.identity_hash,
+            expected: expected.identity_hash,
+        });
+    }
+    let mut done: Vec<Option<CellRecord>> = vec![None; expected.records];
+    let mut dropped_lines = 0;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match CellRecord::parse(line) {
+            Some(record) if record.index < done.len() => {
+                // Keep the newest copy: a prior resume may have rewritten
+                // a record whose first copy was corrupt.
+                let index = record.index;
+                done[index] = Some(record);
+            }
+            _ => dropped_lines += 1,
+        }
+    }
+    Ok(ResumeState {
+        done,
+        dropped_lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, status: CellStatus) -> CellRecord {
+        CellRecord {
+            index,
+            cell: "n2.m1.unit.ideal.default".to_string(),
+            workload: "whet".to_string(),
+            machine_hash: 0x1234_5678_9abc_def0,
+            program_hash: 0x0fed_cba9_8765_4321,
+            status,
+        }
+    }
+
+    fn ok_metrics() -> CellMetrics {
+        CellMetrics {
+            instructions: 1000,
+            machine_cycles: 400,
+            base_cycles: 400.0,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_all_statuses() {
+        for status in [
+            CellStatus::Ok(ok_metrics()),
+            CellStatus::Reject {
+                stage: "regalloc".to_string(),
+                message: "register split leaves 1 int temps".to_string(),
+            },
+            CellStatus::Panic {
+                message: "index out of bounds".to_string(),
+            },
+            CellStatus::Timeout { limit: 200_000 },
+        ] {
+            let original = record(7, status);
+            let line = original.render();
+            let parsed = CellRecord::parse(&line).expect("intact record parses");
+            assert_eq!(parsed, original);
+        }
+    }
+
+    #[test]
+    fn corrupt_record_is_rejected() {
+        let line = record(0, CellStatus::Ok(ok_metrics())).render();
+        // Flip a digit inside the instruction count.
+        let corrupted = line.replace("1000", "1001");
+        assert_ne!(line, corrupted);
+        assert!(CellRecord::parse(&corrupted).is_none());
+        // Torn tail: any prefix short of the full line fails cleanly.
+        assert!(CellRecord::parse(&line[..line.len() - 5]).is_none());
+    }
+
+    #[test]
+    fn speedup_is_instructions_over_base_cycles() {
+        let m = CellMetrics {
+            instructions: 800,
+            machine_cycles: 100,
+            base_cycles: 200.0,
+        };
+        assert!((m.speedup() - 4.0).abs() < 1e-12);
+    }
+
+    fn header() -> SweepHeader {
+        SweepHeader {
+            grid: "issue=1,2 pipe=1 lat=unit fu=ideal split=default".to_string(),
+            workloads: vec!["whet".to_string(), "linpack".to_string()],
+            records: 4,
+            fuel: 200_000,
+            identity_hash: 0xdead_beef_dead_beef,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let original = header();
+        let parsed = SweepHeader::parse(&original.render()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn load_rejects_wrong_identity() {
+        let mut text = header().render();
+        text.push('\n');
+        let mut expected = header();
+        expected.identity_hash = 1;
+        assert!(matches!(
+            load_checkpoint(&text, &expected),
+            Err(CheckpointError::IdentityMismatch { .. })
+        ));
+        assert!(matches!(
+            load_checkpoint("", &expected),
+            Err(CheckpointError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn load_tolerates_torn_tail_and_corruption() {
+        let expected = header();
+        let good = record(1, CellStatus::Ok(ok_metrics()));
+        let corrupt = record(2, CellStatus::Ok(ok_metrics()))
+            .render()
+            .replace("1000", "1001");
+        let torn = &record(3, CellStatus::Timeout { limit: 9 }).render()[..20];
+        let text = format!(
+            "{}\n{}\n{}\n{}",
+            expected.render(),
+            good.render(),
+            corrupt,
+            torn
+        );
+        let state = load_checkpoint(&text, &expected).unwrap();
+        assert_eq!(state.completed(), 1);
+        assert_eq!(state.done[1].as_ref().unwrap(), &good);
+        assert_eq!(state.dropped_lines, 2);
+    }
+
+    #[test]
+    fn load_keeps_newest_duplicate() {
+        let expected = header();
+        let old = record(0, CellStatus::Timeout { limit: 1 });
+        let new = record(0, CellStatus::Ok(ok_metrics()));
+        let text = format!("{}\n{}\n{}", expected.render(), old.render(), new.render());
+        let state = load_checkpoint(&text, &expected).unwrap();
+        assert_eq!(state.done[0].as_ref().unwrap(), &new);
+    }
+}

@@ -1,0 +1,554 @@
+//! The fan-out engine: compile-once / simulate-many with fault isolation.
+//!
+//! Work items are the (cell × workload) product in canonical order
+//! (`index = cell_index * workloads + workload_index`, cells enumerated
+//! row-major by [`supersym_machine::GridSpec::cells`]). Worker threads
+//! claim items off a shared cursor; each item runs under `catch_unwind`
+//! so one panicking cell quarantines itself instead of killing the sweep.
+//! Every item — success or failure — becomes exactly one
+//! [`CellRecord`], appended to the journal the moment it finishes, so a
+//! `SIGKILL` at any instant loses at most the record being written (and
+//! the torn line is recovered by the checkpoint loader's tail tolerance).
+
+use crate::checkpoint::{CellMetrics, CellRecord, CellStatus, ResumeState, SweepHeader};
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+use supersym_machine::{GridCell, GridSpec};
+use supersym_rng::fnv1a_64;
+
+/// A sweep's view of the compiler/simulator pipeline. Implemented in the
+/// `supersym` core crate (which owns the pipeline); kept as a trait here so
+/// the engine — and its fault-injection tests — need no pipeline at all.
+pub trait CellRunner: Sync {
+    /// Stable fingerprint of the compiled (unscheduled) program this
+    /// (workload, cell) pair runs: the program half of the cache key.
+    fn program_hash(&self, workload: usize, cell: &GridCell) -> u64;
+
+    /// Schedules and simulates one item.
+    ///
+    /// # Errors
+    ///
+    /// [`CellFailure::Reject`] for typed pipeline errors,
+    /// [`CellFailure::Fuel`] when the step budget runs out. Panics are the
+    /// engine's job to contain, not the runner's.
+    fn run_cell(&self, workload: usize, cell: &GridCell) -> Result<CellMetrics, CellFailure>;
+}
+
+/// A runner's typed failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellFailure {
+    /// The pipeline rejected the item with a typed error.
+    Reject {
+        /// Pipeline stage that rejected.
+        stage: String,
+        /// The error's display text.
+        message: String,
+    },
+    /// Simulation exhausted its fuel (deterministic timeout).
+    Fuel {
+        /// The step limit that was exceeded.
+        limit: u64,
+    },
+}
+
+/// What to sweep: the grid, the workloads, and the identity under which
+/// checkpoints are validated.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// The machine grid.
+    pub grid: GridSpec,
+    /// Workload names, index-aligned with the runner's workloads.
+    pub workload_names: Vec<String>,
+    /// Simulator step budget per cell.
+    pub fuel: u64,
+    /// Everything that defines this sweep (canonical grid text, workload
+    /// names and program fingerprints, options); hashed into the header.
+    pub identity: String,
+}
+
+impl SweepPlan {
+    /// Total work items.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.grid.cell_count() * self.workload_names.len()
+    }
+
+    /// The checkpoint header this plan writes and validates against.
+    #[must_use]
+    pub fn header(&self) -> SweepHeader {
+        SweepHeader {
+            grid: self.grid.canonical(),
+            workloads: self.workload_names.clone(),
+            records: self.record_count(),
+            fuel: self.fuel,
+            identity_hash: fnv1a_64(self.identity.as_bytes()),
+        }
+    }
+}
+
+/// Deterministic fault injection for self-tests: panic or time out every
+/// N-th item (1-based, by canonical index).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultInjection {
+    /// Panic on items where `(index + 1) % panic_every == 0`.
+    pub panic_every: Option<u64>,
+    /// Time out on items where `(index + 1) % timeout_every == 0`.
+    pub timeout_every: Option<u64>,
+}
+
+impl FaultInjection {
+    fn wants_panic(&self, index: usize) -> bool {
+        self.panic_every
+            .is_some_and(|n| n > 0 && (index as u64 + 1).is_multiple_of(n))
+    }
+
+    fn wants_timeout(&self, index: usize) -> bool {
+        self.timeout_every
+            .is_some_and(|n| n > 0 && (index as u64 + 1).is_multiple_of(n))
+    }
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads (minimum 1).
+    pub jobs: usize,
+    /// Opt-in wall deadline per item, milliseconds. Items that finish over
+    /// the deadline are reclassified as timeouts; leave `None` (the
+    /// default) for byte-deterministic output, where the only timeout is
+    /// the fuel watchdog.
+    pub deadline_ms: Option<u64>,
+    /// Fault injection (self-test / CI).
+    pub inject: FaultInjection,
+    /// Silence the default panic hook while the sweep runs. Contained
+    /// panics are classified into records; their backtraces are noise.
+    pub quiet: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            jobs: 1,
+            deadline_ms: None,
+            inject: FaultInjection::default(),
+            quiet: false,
+        }
+    }
+}
+
+/// A finished sweep: the complete record set plus bookkeeping.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One record per item, in canonical index order. Always complete:
+    /// every item is here, completed or quarantined.
+    pub records: Vec<CellRecord>,
+    /// Items executed by this run.
+    pub executed: usize,
+    /// Items satisfied from the result cache.
+    pub cached: usize,
+    /// Items recovered from the resume checkpoint.
+    pub resumed: usize,
+    /// Items quarantined (panic, timeout or reject), across the whole
+    /// record set.
+    pub quarantined: usize,
+}
+
+/// Result cache: (program hash, machine hash) → deterministic outcome.
+/// Successes and typed rejects are cacheable; panics and timeouts are not
+/// (they are exactly the outcomes worth retrying).
+pub type ResultCache = HashMap<(u64, u64), CellStatus>;
+
+/// Builds a cache from previously written records (e.g. a prior sweep's
+/// journal, whatever its grid).
+#[must_use]
+pub fn cache_from_records<'a>(records: impl Iterator<Item = &'a CellRecord>) -> ResultCache {
+    let mut cache = ResultCache::new();
+    for record in records {
+        match record.status {
+            CellStatus::Ok(_) | CellStatus::Reject { .. } => {
+                cache.insert(
+                    (record.program_hash, record.machine_hash),
+                    record.status.clone(),
+                );
+            }
+            _ => {}
+        }
+    }
+    cache
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs (or resumes) a sweep.
+///
+/// `journal`, when given, receives one rendered record line per finished
+/// item, flushed immediately — the append-only checkpoint. The caller owns
+/// the header line (writes it for a fresh journal, keeps it for a resumed
+/// one). `resume` marks items already covered; `cache` satisfies items
+/// whose (program, machine) pair already has a deterministic outcome.
+///
+/// # Errors
+///
+/// Only journal I/O errors propagate; cell failures never do — they are
+/// classified and quarantined into the record set.
+///
+/// # Panics
+///
+/// Panics if `resume` was loaded for a different plan (slot count
+/// mismatch) — the checkpoint loader's identity check prevents this.
+pub fn run_sweep(
+    plan: &SweepPlan,
+    runner: &dyn CellRunner,
+    config: &SweepConfig,
+    resume: Option<ResumeState>,
+    cache: &ResultCache,
+    journal: Option<&mut (dyn Write + Send)>,
+) -> io::Result<SweepOutcome> {
+    let cells = plan.grid.cells();
+    let workloads = plan.workload_names.len();
+    let total = cells.len() * workloads;
+    let mut slots: Vec<Option<CellRecord>> = match resume {
+        Some(state) => {
+            assert_eq!(state.done.len(), total, "resume state is for another plan");
+            state.done
+        }
+        None => vec![None; total],
+    };
+    let resumed = slots.iter().filter(|slot| slot.is_some()).count();
+    let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+
+    let cursor = AtomicUsize::new(0);
+    let cached = AtomicUsize::new(0);
+    let journal = Mutex::new(journal);
+    let journal_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    let fresh: Mutex<Vec<CellRecord>> = Mutex::new(Vec::with_capacity(pending.len()));
+
+    let quiet_guard = config.quiet.then(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        previous
+    });
+    thread::scope(|scope| {
+        for _ in 0..config.jobs.max(1) {
+            scope.spawn(|| loop {
+                if journal_error.lock().unwrap().is_some() {
+                    break;
+                }
+                let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&index) = pending.get(claim) else {
+                    break;
+                };
+                let cell = &cells[index / workloads];
+                let workload = index % workloads;
+                let machine_hash = cell.config().fingerprint();
+                let program_hash = runner.program_hash(workload, cell);
+                let status = if let Some(hit) = cache.get(&(program_hash, machine_hash)) {
+                    cached.fetch_add(1, Ordering::Relaxed);
+                    hit.clone()
+                } else {
+                    execute_item(plan, runner, config, index, workload, cell)
+                };
+                let record = CellRecord {
+                    index,
+                    cell: cell.name(),
+                    workload: plan.workload_names[workload].clone(),
+                    machine_hash,
+                    program_hash,
+                    status,
+                };
+                let line = record.render();
+                {
+                    let mut journal = journal.lock().unwrap();
+                    if let Some(journal) = journal.as_deref_mut() {
+                        if let Err(e) = writeln!(journal, "{line}").and_then(|()| journal.flush()) {
+                            *journal_error.lock().unwrap() = Some(e);
+                            break;
+                        }
+                    }
+                }
+                fresh.lock().unwrap().push(record);
+            });
+        }
+    });
+    if let Some(previous) = quiet_guard {
+        std::panic::set_hook(previous);
+    }
+
+    if let Some(error) = journal_error.into_inner().unwrap() {
+        return Err(error);
+    }
+    let fresh = fresh.into_inner().unwrap();
+    let executed = fresh.len() - cached.load(Ordering::Relaxed);
+    for record in fresh {
+        let index = record.index;
+        slots[index] = Some(record);
+    }
+    let records: Vec<CellRecord> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every item completed or quarantined"))
+        .collect();
+    let quarantined = records.iter().filter(|r| r.status.is_quarantined()).count();
+    Ok(SweepOutcome {
+        records,
+        executed,
+        cached: cached.load(Ordering::Relaxed),
+        resumed,
+        quarantined,
+    })
+}
+
+fn execute_item(
+    plan: &SweepPlan,
+    runner: &dyn CellRunner,
+    config: &SweepConfig,
+    index: usize,
+    workload: usize,
+    cell: &GridCell,
+) -> CellStatus {
+    let inject = config.inject;
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if inject.wants_panic(index) {
+            panic!("injected fault: sweep self-test panic");
+        }
+        if inject.wants_timeout(index) {
+            return Err(CellFailure::Fuel { limit: plan.fuel });
+        }
+        runner.run_cell(workload, cell)
+    }));
+    let status = match outcome {
+        Ok(Ok(metrics)) => CellStatus::Ok(metrics),
+        Ok(Err(CellFailure::Reject { stage, message })) => CellStatus::Reject { stage, message },
+        Ok(Err(CellFailure::Fuel { limit })) => CellStatus::Timeout { limit },
+        Err(payload) => CellStatus::Panic {
+            message: panic_message(payload),
+        },
+    };
+    // The opt-in wall deadline: a cell that finished but blew its budget
+    // is still quarantined, keeping pathological cells out of reports.
+    if let Some(deadline_ms) = config.deadline_ms {
+        if status.is_ok() && started.elapsed().as_millis() as u64 > deadline_ms {
+            return CellStatus::Timeout { limit: deadline_ms };
+        }
+    }
+    status
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersym_machine::GridSpec;
+
+    /// A runner that needs no compiler: metrics derived from the cell
+    /// shape, with scripted failures.
+    struct MockRunner {
+        reject_issue: u32,
+    }
+
+    impl CellRunner for MockRunner {
+        fn program_hash(&self, workload: usize, _cell: &GridCell) -> u64 {
+            workload as u64 + 1
+        }
+
+        fn run_cell(&self, _workload: usize, cell: &GridCell) -> Result<CellMetrics, CellFailure> {
+            if cell.issue_width == self.reject_issue {
+                return Err(CellFailure::Reject {
+                    stage: "machine".to_string(),
+                    message: "scripted reject".to_string(),
+                });
+            }
+            Ok(CellMetrics {
+                instructions: 1000,
+                machine_cycles: 1000 / u64::from(cell.issue_width),
+                base_cycles: 1000.0 / f64::from(cell.issue_width),
+            })
+        }
+    }
+
+    fn plan(grid: &str, workloads: &[&str]) -> SweepPlan {
+        SweepPlan {
+            grid: GridSpec::parse(grid).unwrap(),
+            workload_names: workloads.iter().map(|w| (*w).to_string()).collect(),
+            fuel: 10_000,
+            identity: format!("test:{grid}"),
+        }
+    }
+
+    #[test]
+    fn every_item_lands_exactly_once() {
+        let plan = plan("issue=1,2,4,8 pipe=1,2", &["a", "b"]);
+        let runner = MockRunner { reject_issue: 0 };
+        let outcome = run_sweep(
+            &plan,
+            &runner,
+            &SweepConfig {
+                jobs: 4,
+                ..SweepConfig::default()
+            },
+            None,
+            &ResultCache::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.records.len(), 16);
+        for (i, record) in outcome.records.iter().enumerate() {
+            assert_eq!(record.index, i);
+        }
+        assert_eq!(outcome.quarantined, 0);
+        assert_eq!(outcome.executed, 16);
+    }
+
+    #[test]
+    fn injected_faults_are_quarantined_not_lost() {
+        // 500+ items with scripted panics and timeouts: the acceptance
+        // bar is that every item is present, completed or quarantined.
+        let plan = plan(
+            "issue=1,2,3,4,5,6,7,8,9,10,11,12,13,14 pipe=1,2,3 lat=unit,titan,cray",
+            &["w1", "w2", "w3", "w4"],
+        );
+        assert!(
+            plan.record_count() >= 500,
+            "want 500+ items, got {}",
+            plan.record_count()
+        );
+        let runner = MockRunner { reject_issue: 13 };
+        let config = SweepConfig {
+            jobs: 8,
+            inject: FaultInjection {
+                panic_every: Some(17),
+                timeout_every: Some(23),
+            },
+            quiet: true,
+            ..SweepConfig::default()
+        };
+        let outcome = run_sweep(&plan, &runner, &config, None, &ResultCache::new(), None).unwrap();
+        let total = plan.record_count();
+        assert_eq!(outcome.records.len(), total);
+        for (i, record) in outcome.records.iter().enumerate() {
+            assert_eq!(record.index, i, "no item lost or duplicated");
+        }
+        let panics = outcome
+            .records
+            .iter()
+            .filter(|r| matches!(r.status, CellStatus::Panic { .. }))
+            .count();
+        let timeouts = outcome
+            .records
+            .iter()
+            .filter(|r| matches!(r.status, CellStatus::Timeout { .. }))
+            .count();
+        let rejects = outcome
+            .records
+            .iter()
+            .filter(|r| matches!(r.status, CellStatus::Reject { .. }))
+            .count();
+        assert_eq!(panics, total / 17);
+        // Panic injection (every 17th) wins over timeout injection on
+        // common multiples of 17 and 23 (none below 500×... within range),
+        // and both skip nothing else.
+        assert_eq!(timeouts, total / 23 - total / (17 * 23));
+        assert!(rejects > 0, "scripted rejects must classify as Reject");
+        assert_eq!(outcome.quarantined, panics + timeouts + rejects);
+    }
+
+    #[test]
+    fn resume_runs_only_missing_items() {
+        let plan = plan("issue=1,2,4 pipe=1,2", &["a"]);
+        let runner = MockRunner { reject_issue: 0 };
+        let full = run_sweep(
+            &plan,
+            &runner,
+            &SweepConfig::default(),
+            None,
+            &ResultCache::new(),
+            None,
+        )
+        .unwrap();
+        // Pretend the journal survived with items 0, 2, 5.
+        let mut done: Vec<Option<CellRecord>> = vec![None; plan.record_count()];
+        for &i in &[0usize, 2, 5] {
+            done[i] = Some(full.records[i].clone());
+        }
+        let resumed = run_sweep(
+            &plan,
+            &runner,
+            &SweepConfig::default(),
+            Some(ResumeState {
+                done,
+                dropped_lines: 0,
+            }),
+            &ResultCache::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed, 3);
+        assert_eq!(resumed.executed, plan.record_count() - 3);
+        assert_eq!(resumed.records, full.records, "resume is invisible");
+    }
+
+    #[test]
+    fn cache_short_circuits_runs() {
+        let plan = plan("issue=1,2 pipe=1", &["a", "b"]);
+        let runner = MockRunner { reject_issue: 0 };
+        let first = run_sweep(
+            &plan,
+            &runner,
+            &SweepConfig::default(),
+            None,
+            &ResultCache::new(),
+            None,
+        )
+        .unwrap();
+        let cache = cache_from_records(first.records.iter());
+        let second =
+            run_sweep(&plan, &runner, &SweepConfig::default(), None, &cache, None).unwrap();
+        assert_eq!(second.cached, plan.record_count());
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.records, first.records);
+    }
+
+    #[test]
+    fn journal_lines_reload_to_the_same_records() {
+        let plan = plan("issue=1,2,4 pipe=1", &["a"]);
+        let runner = MockRunner { reject_issue: 2 };
+        let mut journal: Vec<u8> = Vec::new();
+        let outcome = run_sweep(
+            &plan,
+            &runner,
+            &SweepConfig {
+                jobs: 3,
+                ..SweepConfig::default()
+            },
+            None,
+            &ResultCache::new(),
+            Some(&mut journal),
+        )
+        .unwrap();
+        let text = format!(
+            "{}\n{}",
+            plan.header().render(),
+            String::from_utf8(journal).unwrap()
+        );
+        let state = load_checkpoint(&text, &plan.header()).unwrap();
+        assert_eq!(state.completed(), plan.record_count());
+        assert_eq!(state.dropped_lines, 0);
+        for record in &outcome.records {
+            assert_eq!(state.done[record.index].as_ref().unwrap(), record);
+        }
+    }
+
+    use crate::checkpoint::load_checkpoint;
+}

@@ -1,0 +1,212 @@
+//! Reducing a finished sweep to a speedup-versus-cost Pareto frontier.
+//!
+//! Figure 4-3 of the paper plots a handful of machines on a speedup axis;
+//! the sweep's grid turns that into a two-dimensional trade-off: how much
+//! speedup does each increment of issue/pipeline hardware buy? A cell is
+//! on the frontier when no other cell is at once cheaper and faster.
+
+use crate::checkpoint::{CellRecord, CellStatus};
+use supersym_machine::GridCell;
+use supersym_trace::{JsonObject, JsonValue};
+
+/// Per-cell aggregate across workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Cell name.
+    pub cell: String,
+    /// Hardware-cost proxy ([`GridCell::hardware_cost`]).
+    pub cost: f64,
+    /// Harmonic-mean speedup over the base machine across workloads (the
+    /// paper's aggregation for rate-like figures).
+    pub speedup: f64,
+    /// Workloads that completed on this cell.
+    pub completed: usize,
+    /// Workloads quarantined on this cell.
+    pub quarantined: usize,
+}
+
+/// Aggregates records cell-by-cell. `records` must be in canonical index
+/// order (as [`crate::engine::run_sweep`] returns them); `cells` is the
+/// grid's enumeration. Cells where any workload was quarantined get
+/// `speedup = 0` and are excluded from the frontier but still reported.
+#[must_use]
+pub fn aggregate_cells(records: &[CellRecord], cells: &[GridCell]) -> Vec<CellSummary> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let workloads = records.len() / cells.len();
+    cells
+        .iter()
+        .map(|cell| {
+            let rows = &records[cell.index * workloads..(cell.index + 1) * workloads];
+            let mut inv_sum = 0.0;
+            let mut completed = 0;
+            for row in rows {
+                if let CellStatus::Ok(m) = &row.status {
+                    let speedup = m.speedup();
+                    if speedup > 0.0 {
+                        inv_sum += 1.0 / speedup;
+                        completed += 1;
+                    }
+                }
+            }
+            let speedup = if completed == workloads && inv_sum > 0.0 {
+                workloads as f64 / inv_sum
+            } else {
+                0.0
+            };
+            CellSummary {
+                cell: cell.name(),
+                cost: cell.hardware_cost(),
+                speedup,
+                completed,
+                quarantined: workloads - completed,
+            }
+        })
+        .collect()
+}
+
+/// A frontier point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Cell name.
+    pub cell: String,
+    /// Hardware-cost proxy.
+    pub cost: f64,
+    /// Harmonic-mean speedup.
+    pub speedup: f64,
+}
+
+/// The non-dominated cells, cheapest first: walking the frontier, cost
+/// strictly rises and speedup strictly rises with it.
+#[must_use]
+pub fn pareto_frontier(summaries: &[CellSummary]) -> Vec<ParetoPoint> {
+    let mut complete: Vec<&CellSummary> = summaries.iter().filter(|s| s.quarantined == 0).collect();
+    complete.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap()
+            .then(b.speedup.partial_cmp(&a.speedup).unwrap())
+            .then(a.cell.cmp(&b.cell))
+    });
+    let mut frontier: Vec<ParetoPoint> = Vec::new();
+    let mut best = 0.0_f64;
+    for summary in complete {
+        if summary.speedup > best {
+            best = summary.speedup;
+            frontier.push(ParetoPoint {
+                cell: summary.cell.clone(),
+                cost: summary.cost,
+                speedup: summary.speedup,
+            });
+        }
+    }
+    frontier
+}
+
+/// Renders a frontier as a JSON array (for the sweep summary and the
+/// experiments harness).
+#[must_use]
+pub fn frontier_json(frontier: &[ParetoPoint]) -> JsonValue {
+    JsonValue::Array(
+        frontier
+            .iter()
+            .map(|p| {
+                JsonObject::new()
+                    .field("cell", JsonValue::str(p.cell.clone()))
+                    .field("cost", JsonValue::Float(p.cost))
+                    .field("speedup", JsonValue::Float(p.speedup))
+                    .build()
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::CellMetrics;
+    use supersym_machine::GridSpec;
+
+    fn records_for(cells: &[GridCell], speedups: &[f64]) -> Vec<CellRecord> {
+        cells
+            .iter()
+            .zip(speedups)
+            .map(|(cell, &speedup)| CellRecord {
+                index: cell.index,
+                cell: cell.name(),
+                workload: "w".to_string(),
+                machine_hash: 1,
+                program_hash: 2,
+                status: if speedup > 0.0 {
+                    CellStatus::Ok(CellMetrics {
+                        instructions: 1000,
+                        machine_cycles: 1000,
+                        base_cycles: 1000.0 / speedup,
+                    })
+                } else {
+                    CellStatus::Panic {
+                        message: "boom".to_string(),
+                    }
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frontier_is_monotone_and_skips_quarantined() {
+        let grid = GridSpec::parse("issue=1,2,4,8 pipe=1").unwrap();
+        let cells = grid.cells();
+        // issue=4 quarantined; issue=8 slower than issue=2 → dominated.
+        let records = records_for(&cells, &[1.0, 2.5, 0.0, 2.0]);
+        let summaries = aggregate_cells(&records, &cells);
+        assert_eq!(summaries.len(), 4);
+        assert_eq!(summaries[2].quarantined, 1);
+        let frontier = pareto_frontier(&summaries);
+        let names: Vec<&str> = frontier.iter().map(|p| p.cell.as_str()).collect();
+        assert_eq!(
+            names,
+            ["n1.m1.unit.ideal.default", "n2.m1.unit.ideal.default"]
+        );
+        for pair in frontier.windows(2) {
+            assert!(pair[1].cost > pair[0].cost);
+            assert!(pair[1].speedup > pair[0].speedup);
+        }
+    }
+
+    #[test]
+    fn harmonic_mean_across_workloads() {
+        let grid = GridSpec::parse("issue=1 pipe=1").unwrap();
+        let cells = grid.cells();
+        // Two workloads at speedups 2 and 6 → harmonic mean 3.
+        let records = vec![
+            CellRecord {
+                index: 0,
+                cell: cells[0].name(),
+                workload: "a".to_string(),
+                machine_hash: 1,
+                program_hash: 2,
+                status: CellStatus::Ok(CellMetrics {
+                    instructions: 1200,
+                    machine_cycles: 600,
+                    base_cycles: 600.0,
+                }),
+            },
+            CellRecord {
+                index: 0,
+                cell: cells[0].name(),
+                workload: "b".to_string(),
+                machine_hash: 1,
+                program_hash: 3,
+                status: CellStatus::Ok(CellMetrics {
+                    instructions: 1200,
+                    machine_cycles: 200,
+                    base_cycles: 200.0,
+                }),
+            },
+        ];
+        let summaries = aggregate_cells(&records, &cells);
+        assert!((summaries[0].speedup - 3.0).abs() < 1e-12);
+        assert_eq!(summaries[0].completed, 2);
+    }
+}

@@ -44,7 +44,7 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// A default campaign: all four layers at `iters` mutants each.
+    /// A default campaign: every layer at `iters` mutants each.
     #[must_use]
     pub fn new(seed: u64, iters: u64) -> Self {
         CampaignConfig {
@@ -197,6 +197,11 @@ fn accepted_stages(layer: Layer) -> &'static [Stage] {
         // lints clean must compile and run the fixed workload — timing
         // changes, results do not — so `Sim` here is a finding.
         Layer::Machine => &[Stage::Machine, Stage::Verify, Stage::Split],
+        // Mutated grid specs die in the grid parser (Machine: a grid is a
+        // family of machine descriptions, including its cell-count cap) or
+        // the per-cell machine lint. A grid that parses enumerates presets
+        // by construction, so cells failing later is a finding.
+        Layer::Grid => &[Stage::Machine, Stage::Verify, Stage::Split],
     }
 }
 
@@ -262,6 +267,7 @@ fn reconstitute(layer: Layer, text: String) -> Input {
         Layer::Source | Layer::Ast => Input::Source(text),
         Layer::Asm => Input::Asm(text),
         Layer::Machine => Input::Machine(text),
+        Layer::Grid => Input::Grid(text),
     }
 }
 
@@ -423,6 +429,7 @@ pub fn replay_corpus(subject: &dyn Subject, dir: &Path) -> std::io::Result<Campa
             Some("tital") => Some(Layer::Source),
             Some("s") => Some(Layer::Asm),
             Some("machine") => Some(Layer::Machine),
+            Some("grid") => Some(Layer::Grid),
             _ => None,
         }) else {
             continue; // READMEs and the like

@@ -8,7 +8,7 @@
 //! > panic, never a hang, never a scheduler/checker disagreement, never
 //! > divergent results across runs.
 //!
-//! Four mutation layers probe that contract from different angles:
+//! Five mutation layers probe that contract from different angles:
 //!
 //! - [`mutate::Layer::Source`] — byte- and token-level havoc on Tital
 //!   source text, exercising the lexer/parser/sema front line;
@@ -20,7 +20,10 @@
 //!   static verifier and the executor;
 //! - [`mutate::Layer::Machine`] — hostile `.machine` descriptions,
 //!   exercising the spec parser, machine lint, and the scheduler/timing
-//!   model's tolerance for degenerate configurations.
+//!   model's tolerance for degenerate configurations;
+//! - [`mutate::Layer::Grid`] — hostile sweep grid specs, exercising the
+//!   grid parser's axis bounds, range/list punctuation and cell-count cap,
+//!   and the machines the surviving grids enumerate.
 //!
 //! Everything is driven by the workspace's shared [`rng::SplitMix64`], so a
 //! campaign replays bit-identically from its seed: a finding's

@@ -1,4 +1,4 @@
-//! Deterministic mutators over the pipeline's four input layers.
+//! Deterministic mutators over the pipeline's input layers.
 //!
 //! Every mutator is a pure function of `(seed material, RNG state)`: the
 //! same [`SplitMix64`] stream produces the same mutant, so whole campaigns
@@ -11,7 +11,7 @@ use crate::rng::SplitMix64;
 use crate::subject::Input;
 use supersym_lang::ast::{BinOp, Block, Expr, Module, Stmt, UnOp};
 
-/// The four mutation layers from the robustness campaign.
+/// The mutation layers from the robustness campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layer {
     /// Byte/token-level mutations of `.tital` source text.
@@ -22,11 +22,19 @@ pub enum Layer {
     Asm,
     /// Key/value-level mutations of `.machine` descriptions.
     Machine,
+    /// Token-level mutations of sweep grid specs (`axis=value,...`).
+    Grid,
 }
 
 impl Layer {
     /// All layers, campaign order.
-    pub const ALL: [Layer; 4] = [Layer::Source, Layer::Ast, Layer::Asm, Layer::Machine];
+    pub const ALL: [Layer; 5] = [
+        Layer::Source,
+        Layer::Ast,
+        Layer::Asm,
+        Layer::Machine,
+        Layer::Grid,
+    ];
 
     /// Stable lowercase name.
     #[must_use]
@@ -36,6 +44,7 @@ impl Layer {
             Layer::Ast => "ast",
             Layer::Asm => "asm",
             Layer::Machine => "machine",
+            Layer::Grid => "grid",
         }
     }
 
@@ -149,6 +158,44 @@ branch_prediction real
 taken_branch_breaks_issue true
 split int_temps=16 int_globals=26 fp_temps=16 fp_globals=26
 ",
+];
+
+/// Built-in sweep-grid seed specs: well-formed, small cell counts, every
+/// axis exercised.
+pub const GRID_SEEDS: &[&str] = &[
+    "issue=1,2,4,8 pipe=1,2 lat=unit,titan",
+    "issue=1..4 pipe=1 lat=cray fu=shared split=wide",
+    "issue=2 pipe=1,2,4,8 lat=unit fu=ideal,shared split=default,wide",
+];
+
+/// Tokens the grid mutator splices in: axis names, values, range and list
+/// punctuation, plus numbers chosen to land on and beyond the axis caps.
+const GRID_TOKENS: &[&str] = &[
+    "issue=",
+    "pipe=",
+    "lat=",
+    "fu=",
+    "split=",
+    "unit",
+    "titan",
+    "cray",
+    "ideal",
+    "shared",
+    "default",
+    "wide",
+    "..",
+    ",",
+    "=",
+    " ",
+    "0",
+    "1",
+    "16",
+    "17",
+    "64",
+    "65",
+    "4096",
+    "18446744073709551615",
+    "bogus",
 ];
 
 /// Tokens the source mutator splices in: every keyword and operator the
@@ -468,6 +515,15 @@ pub fn mutate_machine(rng: &mut SplitMix64) -> Input {
     Input::Machine(text)
 }
 
+/// A sweep-grid spec mutant: the same text havoc as the source layer,
+/// over a vocabulary of axis names, values and boundary numbers — the
+/// cell-count cap, the per-axis ranges and the range/list punctuation are
+/// exactly the places a grid parser can be talked into overflowing.
+#[must_use]
+pub fn mutate_grid(rng: &mut SplitMix64) -> Input {
+    Input::Grid(mutate_text(rng, GRID_SEEDS, &[], GRID_TOKENS))
+}
+
 /// An AST mutant: parse a seed (seeds always parse), then rewrite nodes
 /// in ways the parser could never produce — exactly the point, since this
 /// layer exercises the checker, lowering and the optimizer behind the
@@ -701,6 +757,7 @@ pub fn mutate(
         Layer::Ast => mutate_ast(rng, extra_source),
         Layer::Asm => mutate_asm(rng, extra_asm),
         Layer::Machine => mutate_machine(rng),
+        Layer::Grid => mutate_grid(rng),
     }
 }
 
@@ -726,6 +783,10 @@ mod tests {
                     .any(supersym_isa::Diagnostic::is_error),
                 "machine seed lints clean"
             );
+        }
+        for seed in GRID_SEEDS {
+            let grid = supersym_machine::GridSpec::parse(seed).expect("grid seed parses");
+            assert!(grid.cell_count() > 0);
         }
     }
 

@@ -22,6 +22,9 @@ pub enum Input {
     /// A `.machine` description; the subject compiles and runs a fixed
     /// known-good workload under it.
     Machine(String),
+    /// A sweep grid spec; the subject parses it, enumerates cells and
+    /// exercises a bounded sample of the resulting machines.
+    Grid(String),
 }
 
 impl Input {
@@ -30,7 +33,7 @@ impl Input {
     #[must_use]
     pub fn to_text(&self) -> String {
         match self {
-            Input::Source(s) | Input::Asm(s) | Input::Machine(s) => s.clone(),
+            Input::Source(s) | Input::Asm(s) | Input::Machine(s) | Input::Grid(s) => s.clone(),
             Input::Ast(module) => supersym_lang::print_module(module),
         }
     }
@@ -42,6 +45,7 @@ impl Input {
             Input::Source(_) | Input::Ast(_) => "tital",
             Input::Asm(_) => "s",
             Input::Machine(_) => "machine",
+            Input::Grid(_) => "grid",
         }
     }
 }

@@ -40,9 +40,11 @@
 //! ```
 
 mod json;
+mod parse;
 mod sink;
 
 pub use json::{escape_into, JsonObject, JsonValue};
+pub use parse::{parse_json, JsonParseError};
 pub use sink::{
     IssueEvent, JsonLinesSink, LoopCountSink, MemorySink, NullSink, OwnedPhase, PhaseRecord,
     TraceSink,

@@ -42,4 +42,5 @@ fn main() {
     println!("{}", exp::stall_breakdown(size));
     println!("{}", exp::rules_study(size));
     println!("{}", exp::bound_study(size));
+    println!("{}", exp::sweep_study(size));
 }

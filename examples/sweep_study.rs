@@ -1,0 +1,16 @@
+//! The measured companion to Figure 4-3: sweep a 48-cell machine grid
+//! (issue width × pipe degree × latency model × unit sharing) with the
+//! fault-isolating engine and print the speedup-vs-hardware-cost Pareto
+//! frontier. The paper's superscalar and superpipelined presets are
+//! literal cells of this grid.
+//!
+//! ```text
+//! cargo run --release -p supersym --example sweep_study
+//! ```
+
+use supersym::experiments;
+use supersym::workloads::Size;
+
+fn main() {
+    println!("{}", experiments::sweep_study(Size::Standard));
+}

@@ -1,0 +1,247 @@
+//! End-to-end tests for `titalc sweep`: checkpointing, kill-and-resume
+//! byte-identity, fault quarantine, the result cache, and exit codes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn titalc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_titalc"))
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A scratch directory unique to one test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("titalc-sweep-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const GRID: &str = "issue=1,2,4 pipe=1,2 lat=unit,titan";
+
+fn sweep_args(dir: &Path, out: &str) -> Vec<String> {
+    [
+        "sweep",
+        "--grid",
+        GRID,
+        "--workloads",
+        "whet",
+        "--jobs",
+        "2",
+        "--out",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .chain([dir.join(out).to_string_lossy().into_owned()])
+    .collect()
+}
+
+#[test]
+fn resume_after_torn_checkpoint_is_byte_identical() {
+    let dir = scratch("resume");
+    let checkpoint = dir.join("ck.jsonl");
+
+    // Uninterrupted run, journaled.
+    let mut args = sweep_args(&dir, "out1.jsonl");
+    args.extend(["--checkpoint".to_string(), checkpoint.display().to_string()]);
+    let full = titalc().args(&args).output().expect("spawn titalc");
+    assert!(full.status.success(), "{}", stderr(&full));
+
+    // Simulate a SIGKILL mid-write: drop the journal's tail records and
+    // leave the last surviving line torn in half.
+    let journal = std::fs::read_to_string(&checkpoint).unwrap();
+    let lines: Vec<&str> = journal.lines().collect();
+    assert!(lines.len() > 8, "journal too short to tear: {journal}");
+    let keep = lines[..8].join("\n");
+    let torn = format!("{keep}\n{}", &lines[8][..lines[8].len() / 2]);
+    std::fs::write(&checkpoint, torn).unwrap();
+
+    // Resume must complete the missing cells and reproduce the output
+    // byte for byte.
+    let mut args = sweep_args(&dir, "out2.jsonl");
+    args.extend(["--resume".to_string(), checkpoint.display().to_string()]);
+    let resumed = titalc().args(&args).output().expect("spawn titalc");
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    let summary = stdout(&resumed);
+    assert!(summary.contains("\"resumed\": 7"), "{summary}");
+    assert!(summary.contains("\"resumable\": true"), "{summary}");
+
+    let out1 = std::fs::read(dir.join("out1.jsonl")).unwrap();
+    let out2 = std::fs::read(dir.join("out2.jsonl")).unwrap();
+    assert_eq!(out1, out2, "resumed output must be byte-identical");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_refuses_a_checkpoint_for_another_sweep() {
+    let dir = scratch("identity");
+    let checkpoint = dir.join("ck.jsonl");
+    let mut args = sweep_args(&dir, "out1.jsonl");
+    args.extend(["--checkpoint".to_string(), checkpoint.display().to_string()]);
+    let full = titalc().args(&args).output().expect("spawn titalc");
+    assert!(full.status.success(), "{}", stderr(&full));
+
+    // Same checkpoint, different grid: identity hash mismatch, exit 1.
+    let output = titalc()
+        .args([
+            "sweep",
+            "--grid",
+            "issue=1,2 pipe=1",
+            "--workloads",
+            "whet",
+            "--resume",
+        ])
+        .arg(&checkpoint)
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("cannot resume"),
+        "{}",
+        stderr(&output)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_faults_quarantine_and_exit_3() {
+    let dir = scratch("inject");
+    let mut args = sweep_args(&dir, "out.jsonl");
+    args.extend(["--inject".to_string(), "panic:5,timeout:7".to_string()]);
+    let output = titalc().args(&args).output().expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(3), "{}", stderr(&output));
+    let summary = stdout(&output);
+    assert!(!summary.contains("\"quarantined\": 0"), "{summary}");
+
+    // Every record is present in the output, completed or quarantined.
+    let out = std::fs::read_to_string(dir.join("out.jsonl")).unwrap();
+    assert_eq!(out.lines().count(), 1 + 12, "header + one line per record");
+    assert!(out.contains("\"status\":\"panic\""), "{out}");
+    assert!(out.contains("\"status\":\"timeout\""), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cache_makes_repeat_sweeps_incremental() {
+    let dir = scratch("cache");
+    let cache = dir.join("cache.jsonl");
+    let mut args = sweep_args(&dir, "out1.jsonl");
+    args.extend(["--cache".to_string(), cache.display().to_string()]);
+    let first = titalc().args(&args).output().expect("spawn titalc");
+    assert!(first.status.success(), "{}", stderr(&first));
+    assert!(
+        stdout(&first).contains("\"cached\": 0"),
+        "{}",
+        stdout(&first)
+    );
+
+    let mut args = sweep_args(&dir, "out2.jsonl");
+    args.extend(["--cache".to_string(), cache.display().to_string()]);
+    let second = titalc().args(&args).output().expect("spawn titalc");
+    assert!(second.status.success(), "{}", stderr(&second));
+    let summary = stdout(&second);
+    assert!(summary.contains("\"cached\": 12"), "{summary}");
+    assert!(summary.contains("\"executed\": 0"), "{summary}");
+
+    // Cached results must not change the report.
+    let out1 = std::fs::read(dir.join("out1.jsonl")).unwrap();
+    let out2 = std::fs::read(dir.join("out2.jsonl")).unwrap();
+    assert_eq!(out1, out2, "cache hits must reproduce the same records");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_cache_records_degrade_to_recompute() {
+    let dir = scratch("corrupt");
+    let cache = dir.join("cache.jsonl");
+    let mut args = sweep_args(&dir, "out1.jsonl");
+    args.extend(["--cache".to_string(), cache.display().to_string()]);
+    let first = titalc().args(&args).output().expect("spawn titalc");
+    assert!(first.status.success(), "{}", stderr(&first));
+
+    // Flip a digit inside every record's metrics: the per-record checksum
+    // no longer matches, so every entry is dropped and recomputed.
+    let text = std::fs::read_to_string(&cache).unwrap();
+    let corrupted = text.replace("\"instructions\":", "\"instructions\":9");
+    assert_ne!(text, corrupted, "corruption must change the cache");
+    std::fs::write(&cache, corrupted).unwrap();
+
+    let mut args = sweep_args(&dir, "out2.jsonl");
+    args.extend(["--cache".to_string(), cache.display().to_string()]);
+    let second = titalc().args(&args).output().expect("spawn titalc");
+    assert!(second.status.success(), "{}", stderr(&second));
+    let summary = stdout(&second);
+    assert!(summary.contains("\"cached\": 0"), "{summary}");
+    assert!(summary.contains("\"executed\": 12"), "{summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unwritable_output_exits_4() {
+    let output = titalc()
+        .args([
+            "sweep",
+            "--grid",
+            "issue=1 pipe=1",
+            "--workloads",
+            "whet",
+            "--out",
+            "/nonexistent-dir/sweep.jsonl",
+        ])
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(4), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("cannot write output"),
+        "{}",
+        stderr(&output)
+    );
+}
+
+#[test]
+fn bad_grid_and_unknown_workload_exit_1() {
+    for args in [
+        vec!["sweep", "--grid", "issue=0 pipe=1"],
+        vec!["sweep", "--grid", "issue=1", "--workloads", "nosuch"],
+        vec!["sweep"],
+    ] {
+        let output = titalc().args(&args).output().expect("spawn titalc");
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "{args:?}: {}",
+            stderr(&output)
+        );
+    }
+}
+
+#[test]
+fn pareto_frontier_reports_rising_speedup() {
+    let dir = scratch("pareto");
+    let output = titalc()
+        .args(sweep_args(&dir, "out.jsonl"))
+        .output()
+        .expect("spawn titalc");
+    assert!(output.status.success(), "{}", stderr(&output));
+    let summary = stdout(&output);
+    // The base machine (cost 1, speedup 1) anchors the frontier.
+    assert!(summary.contains("\"cost\": 1"), "{summary}");
+    let speedups: Vec<f64> = summary
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("\"speedup\": "))
+        .map(|v| v.trim_end_matches(',').parse().unwrap())
+        .collect();
+    assert!(speedups.len() > 1, "{summary}");
+    assert!(
+        speedups.windows(2).all(|w| w[0] < w[1]),
+        "frontier speedups must rise strictly: {speedups:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
