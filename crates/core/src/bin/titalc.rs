@@ -35,6 +35,7 @@
 use std::collections::HashSet;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Mutex;
 use supersym::analyze::{
     dump_module, function_scev, lint_module, program_loop_statics, static_bound, Distance,
     LoopCount, OracleKind, Subscript,
@@ -46,21 +47,24 @@ use supersym::machine::{parse_machine_spec, presets, MachineConfig};
 use supersym::opt::UnrollOptions;
 use supersym::rules::{synthesize, SynthConfig, DEFAULT_TABLE_TEXT};
 use supersym::sim::{
-    simulate, simulate_with_cache, simulate_with_sink, CacheConfig, CycleAccount, SimOptions,
-    SimReport, StallCause,
+    simulate, simulate_with_cache, simulate_with_sink, CacheConfig, CycleAccount, MetricsSink,
+    SimOptions, SimReport, StallCause,
 };
 use supersym::sweep::{PipelineCellRunner, DEFAULT_CELL_FUEL};
 use supersym::torture::{replay_torture_corpus, run_torture};
 use supersym::trace::{
-    IssueEvent, JsonLinesSink, JsonObject, JsonValue, LoopCountSink, MemorySink, PhaseRecord,
-    TraceSink,
+    parse_json, validate_timeline, IssueEvent, JsonLinesSink, JsonObject, JsonValue, LoopCountSink,
+    MemorySink, MetricsRegistry, PhaseRecord, SweepItem, TimelineSink, TraceSink, METRICS_SCHEMA,
 };
 use supersym::verify::{error_count, lint_program, CertMethod};
 use supersym::workloads::{suite, Size};
-use supersym::{compile, compile_certified, compile_with_trace, CompileOptions, OptLevel};
+use supersym::{
+    compile, compile_certified, compile_with_trace, phase_metrics, CompileOptions, OptLevel,
+};
 use supersym_sweep::{
     aggregate_cells, cache_from_records, frontier_json, load_checkpoint, pareto_frontier,
-    run_sweep, CellRecord, CellStatus, FaultInjection, SweepConfig, SweepPlan, SCHEMA,
+    run_sweep_observed, CellRecord, CellStatus, FaultInjection, SweepConfig, SweepObserver,
+    SweepPlan, SCHEMA,
 };
 use supersym_torture::{write_corpus, Layer};
 
@@ -88,10 +92,12 @@ struct Args {
     analyze: bool,
     certify: bool,
     profile: bool,
+    stats: bool,
     bound: bool,
     loops: bool,
     json: bool,
     trace: Option<String>,
+    timeline: Option<String>,
     verify: bool,
     oracle: OracleKind,
 }
@@ -105,10 +111,12 @@ USAGE:
     titalc analyze [--loops] [--json] <FILE>
     titalc certify [OPTIONS] <FILE>
     titalc profile [OPTIONS] <FILE>
+    titalc stats [OPTIONS] <FILE>
     titalc bound [OPTIONS] [FILE]
     titalc torture [TORTURE OPTIONS]
     titalc synth [--check]
     titalc sweep --grid <SPEC> [SWEEP OPTIONS]
+    titalc bench-diff [--threshold <PCT>] <OLD.json> <NEW.json>
 
 OPTIONS:
     -m, --machine <NAME>     machine preset (default: base); see --machines
@@ -134,15 +142,31 @@ PROFILE:
     wait rollups and the most-waited-on producer instructions.
         --json               emit one JSON document (schema
                              supersym.profile/v1) instead of tables
+        --timeline <FILE>    write a Chrome trace_event timeline (schema
+                             supersym.timeline/v1, loadable in Perfetto):
+                             compile-phase spans, one span per dynamic
+                             instruction on its functional unit's lane,
+                             and ipc/inflight counter tracks
     Uses the same compile/run exit codes as plain `titalc`.
+
+STATS:
+    `titalc stats` compiles and runs like `titalc profile`, but emits one
+    deterministic JSON document (schema supersym.metrics/v1): a metrics
+    registry of counters, gauges and log2-bucket histograms — compile
+    phase counters, the stall-run-length and per-block ILP distributions,
+    and the run's headline numbers — plus the per-phase wall times.
+    Accepts the same options as plain `titalc`.
 
 LINT:
     `titalc lint` statically checks a file and exits nonzero on errors.
     Files ending in `.machine` are parsed as machine descriptions; files
     ending in `.tital` are lowered to IR and checked with the dataflow
     lints (dead stores, provable out-of-bounds accesses, constant branch
-    conditions); anything else is parsed as assembly and checked with the
-    program lint (pass -m to also check register-split conformance).
+    conditions); files ending in `.json` are validated as timeline
+    documents (trace_event invariants: monotone timestamps per lane,
+    matched begin/end pairs, stable lane naming); anything else is parsed
+    as assembly and checked with the program lint (pass -m to also check
+    register-split conformance).
 
 ANALYZE:
     `titalc analyze` lowers a Tital source file to IR, prints every
@@ -218,7 +242,18 @@ SWEEP:
         --inject <SPEC>      self-test fault injection: `panic:K` and/or
                              `timeout:J` (comma-separated) fail every
                              K-th/J-th item
+        --timeline <FILE>    write a Chrome trace_event timeline with one
+                             lane per worker: a span per executed cell,
+                             instant markers for cache hits and
+                             quarantines (schema supersym.timeline/v1)
     Also accepts -O<N>, --oracle and --verify with their usual meanings.
+
+BENCH-DIFF:
+    `titalc bench-diff OLD.json NEW.json` compares two supersym.bench/v1
+    snapshots row by row and prints the percent delta of every row's
+    mean. Exits 3 when any row common to both snapshots regressed (got
+    slower) by more than the threshold.
+        --threshold <PCT>    regression tolerance in percent (default: 10)
 
 TORTURE OPTIONS:
     `titalc torture` runs a deterministic fault-injection campaign
@@ -238,9 +273,10 @@ EXIT CODES:
     1    usage or I/O error
     2    the input failed to parse, type-check or lower (front end)
     3    static checks failed: lint/verify diagnostics, IR validation,
-         machine-description or register-split errors, torture findings
+         machine-description or register-split errors, torture findings,
+         bench-diff regressions beyond the threshold
     4    simulation (runtime) error, or an I/O error writing a requested
-         output file (--trace, --out, --checkpoint, --cache)
+         output file (--trace, --timeline, --out, --checkpoint, --cache)
 ";
 
 fn parse_machine(name: &str) -> Option<MachineConfig> {
@@ -289,10 +325,12 @@ fn parse_args() -> Result<Args, String> {
         analyze: false,
         certify: false,
         profile: false,
+        stats: false,
         bound: false,
         loops: false,
         json: false,
         trace: None,
+        timeline: None,
         verify: false,
         oracle: OracleKind::default(),
     };
@@ -314,6 +352,10 @@ fn parse_args() -> Result<Args, String> {
             args.profile = true;
             iter.next();
         }
+        Some("stats") => {
+            args.stats = true;
+            iter.next();
+        }
         Some("bound") => {
             args.bound = true;
             iter.next();
@@ -331,6 +373,9 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--trace" => {
                 args.trace = Some(iter.next().ok_or("missing trace file path")?);
+            }
+            "--timeline" => {
+                args.timeline = Some(iter.next().ok_or("missing timeline file path")?);
             }
             "-m" | "--machine" => {
                 args.machine = Some(iter.next().ok_or("missing machine name")?);
@@ -545,6 +590,34 @@ fn cacheable(record: &CellRecord) -> bool {
     matches!(record.status, CellStatus::Ok(_) | CellStatus::Reject { .. })
 }
 
+/// Bridges engine observer callbacks onto a worker-lane timeline: one
+/// sweep-process thread per worker, each item rendered by
+/// [`TimelineSink::sweep_item`].
+struct SweepTimeline {
+    sink: TimelineSink<BufWriter<std::fs::File>>,
+}
+
+impl SweepObserver for SweepTimeline {
+    fn item(
+        &mut self,
+        worker: usize,
+        start_us: u64,
+        end_us: u64,
+        cached: bool,
+        record: &CellRecord,
+    ) {
+        self.sink.sweep_item(&SweepItem {
+            worker,
+            start_us,
+            end_us,
+            cached,
+            cell: &record.cell,
+            workload: &record.workload,
+            status: record.status.label(),
+        });
+    }
+}
+
 /// `titalc sweep`: enumerate a machine grid, compile each workload's
 /// front half once, fan scheduling + simulation out across workers with
 /// fault quarantine, and print a `supersym.sweep/v1` summary ending in
@@ -562,6 +635,7 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
     let mut resuming = false;
     let mut out: Option<String> = None;
     let mut cache_path: Option<String> = None;
+    let mut timeline: Option<String> = None;
     let mut inject = FaultInjection::default();
     let mut deadline_ms: Option<u64> = None;
     let mut verify = false;
@@ -612,6 +686,10 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
             "--cache" => match iter.next() {
                 Some(path) => cache_path = Some(path.clone()),
                 None => return usage("--cache needs a file path".to_string()),
+            },
+            "--timeline" => match iter.next() {
+                Some(path) => timeline = Some(path.clone()),
+                None => return usage("--timeline needs a file path".to_string()),
             },
             "--deadline-ms" => match iter.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(v)) if v > 0 => deadline_ms = Some(v),
@@ -711,13 +789,28 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
         inject,
         quiet: true,
     };
-    let outcome = match run_sweep(
+    let timeline_observer = match &timeline {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(Mutex::new(SweepTimeline {
+                sink: TimelineSink::new(BufWriter::new(file)),
+            })),
+            Err(error) => {
+                eprintln!("titalc sweep: cannot write timeline `{path}`: {error}");
+                return ExitCode::from(EXIT_SIM);
+            }
+        },
+        None => None,
+    };
+    let outcome = match run_sweep_observed(
         &plan,
         &runner,
         &config,
         resume_state,
         &cache,
         journal_file.as_mut().map(|f| f as &mut (dyn Write + Send)),
+        timeline_observer
+            .as_ref()
+            .map(|m| m as &Mutex<dyn SweepObserver>),
     ) {
         Ok(outcome) => outcome,
         Err(error) => {
@@ -725,6 +818,20 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_SIM);
         }
     };
+
+    if let Some(observer) = timeline_observer {
+        let finish = observer
+            .into_inner()
+            .unwrap()
+            .sink
+            .finish()
+            .and_then(|mut out| out.flush());
+        if let Err(error) = finish {
+            let path = timeline.as_deref().unwrap_or_default();
+            eprintln!("titalc sweep: error writing timeline `{path}`: {error}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    }
 
     if let Some(path) = &cache_path {
         let mut seen: HashSet<(u64, u64)> = cache.keys().copied().collect();
@@ -774,10 +881,126 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
         .field("resumed", JsonValue::UInt(outcome.resumed as u64))
         .field("quarantined", JsonValue::UInt(outcome.quarantined as u64))
         .field("resumable", JsonValue::Bool(checkpoint.is_some()))
+        .field("metrics", {
+            let mut registry = MetricsRegistry::new();
+            outcome.metrics.register(&mut registry);
+            registry.to_json()
+        })
         .field("pareto", frontier_json(&frontier))
         .build();
     println!("{}", summary.pretty());
     if outcome.quarantined > 0 {
+        ExitCode::from(EXIT_VERIFY)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Loads a `supersym.bench/v1` snapshot as `(name, mean_ns)` rows in file
+/// order. `Err` carries the exit code: `EXIT_USAGE` for unreadable files,
+/// `EXIT_PARSE` for malformed or wrong-schema documents.
+fn load_bench_rows(path: &str) -> Result<Vec<(String, u64)>, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("titalc bench-diff: cannot read `{path}`: {error}");
+            return Err(ExitCode::from(EXIT_USAGE));
+        }
+    };
+    let malformed = |message: &str| {
+        eprintln!("titalc bench-diff: {path}: {message}");
+        Err(ExitCode::from(EXIT_PARSE))
+    };
+    let doc = match parse_json(&text) {
+        Ok(doc) => doc,
+        Err(error) => return malformed(&error.to_string()),
+    };
+    if doc.get("schema").and_then(JsonValue::as_str) != Some("supersym.bench/v1") {
+        return malformed("not a supersym.bench/v1 snapshot");
+    }
+    let Some(rows) = doc.get("rows").and_then(JsonValue::as_array) else {
+        return malformed("missing rows array");
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let name = row.get("name").and_then(JsonValue::as_str);
+        let mean_ns = row.get("mean_ns").and_then(JsonValue::as_u64);
+        match (name, mean_ns) {
+            (Some(name), Some(mean_ns)) => out.push((name.to_string(), mean_ns)),
+            _ => return malformed("row without name/mean_ns"),
+        }
+    }
+    Ok(out)
+}
+
+/// `titalc bench-diff OLD.json NEW.json`: per-row percent deltas between
+/// two bench snapshots. Rows present in only one snapshot are reported but
+/// never counted as regressions. Exits `EXIT_VERIFY` when any common row
+/// got slower by more than the threshold (default 10%).
+fn run_bench_diff(argv: &[String]) -> ExitCode {
+    let mut threshold = 10.0_f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let usage = |message: String| -> ExitCode {
+        eprintln!("titalc bench-diff: {message}\n\n{USAGE}");
+        ExitCode::from(EXIT_USAGE)
+    };
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--threshold" => match iter.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v > 0.0 => threshold = v,
+                _ => return usage("--threshold needs a positive number".to_string()),
+            },
+            path if !path.starts_with('-') => paths.push(arg),
+            other => return usage(format!("unknown option `{other}`")),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return usage("expected exactly two snapshot files".to_string());
+    };
+    let old_rows = match load_bench_rows(old_path) {
+        Ok(rows) => rows,
+        Err(code) => return code,
+    };
+    let new_rows = match load_bench_rows(new_path) {
+        Ok(rows) => rows,
+        Err(code) => return code,
+    };
+    println!("bench diff: {old_path} -> {new_path} (threshold {threshold}%)");
+    println!(
+        "  {:<44} {:>12} {:>12} {:>9}",
+        "row", "old ns", "new ns", "delta"
+    );
+    let mut regressions = 0_usize;
+    for (name, new_ns) in &new_rows {
+        let Some(&(_, old_ns)) = old_rows.iter().find(|(n, _)| n == name) else {
+            println!("  {name:<44} {:>12} {:>12} {:>9}", "-", new_ns, "new");
+            continue;
+        };
+        let delta = if old_ns == 0 {
+            0.0
+        } else {
+            100.0 * (*new_ns as f64 - old_ns as f64) / old_ns as f64
+        };
+        let flag = if delta > threshold {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!("  {name:<44} {old_ns:>12} {new_ns:>12} {delta:>+8.1}%{flag}");
+    }
+    for (name, old_ns) in &old_rows {
+        if !new_rows.iter().any(|(n, _)| n == name) {
+            println!("  {name:<44} {old_ns:>12} {:>12} {:>9}", "-", "removed");
+        }
+    }
+    if regressions > 0 {
+        eprintln!("titalc bench-diff: {regressions} row(s) regressed beyond {threshold}%");
         ExitCode::from(EXIT_VERIFY)
     } else {
         ExitCode::SUCCESS
@@ -1097,9 +1320,10 @@ fn loops_json(path: &str, module: &supersym::ir::Module) -> JsonValue {
 }
 
 /// `titalc lint`: statically check a machine description (`.machine`), a
-/// Tital source file (`.tital`, via the dataflow lints) or an assembly
-/// program (anything else), printing every diagnostic. Parse failures
-/// exit with `EXIT_PARSE`; diagnostic errors with `EXIT_VERIFY`.
+/// Tital source file (`.tital`, via the dataflow lints), an emitted
+/// timeline document (`.json`, via the trace_event validator) or an
+/// assembly program (anything else), printing every diagnostic. Parse
+/// failures exit with `EXIT_PARSE`; diagnostic errors with `EXIT_VERIFY`.
 fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
     let diagnostics = if path.ends_with(".machine") {
         match parse_machine_spec(source) {
@@ -1114,6 +1338,24 @@ fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
             Ok(module) => lint_module(&module),
             Err(code) => return code,
         }
+    } else if path.ends_with(".json") {
+        return match validate_timeline(source) {
+            Ok(report) => {
+                println!(
+                    "{path}: valid timeline ({} event(s), {} lane(s))",
+                    report.events, report.lanes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(supersym::trace::TimelineError::Parse(error)) => {
+                eprintln!("titalc: {path}: {error}");
+                ExitCode::from(EXIT_PARSE)
+            }
+            Err(error) => {
+                eprintln!("titalc: {path}: {error}");
+                ExitCode::from(EXIT_VERIFY)
+            }
+        };
     } else {
         let program = match supersym::isa::parse_program(source) {
             Ok(program) => program,
@@ -1144,6 +1386,7 @@ fn run_lint(path: &str, source: &str, machine_name: Option<&str>) -> ExitCode {
 struct ProfileSink {
     memory: MemorySink,
     file: Option<JsonLinesSink<BufWriter<std::fs::File>>>,
+    timeline: Option<TimelineSink<BufWriter<std::fs::File>>>,
 }
 
 impl TraceSink for ProfileSink {
@@ -1152,11 +1395,17 @@ impl TraceSink for ProfileSink {
         if let Some(file) = &mut self.file {
             file.phase(record);
         }
+        if let Some(timeline) = &mut self.timeline {
+            timeline.phase(record);
+        }
     }
 
     fn issue(&mut self, event: &IssueEvent) {
         if let Some(file) = &mut self.file {
             file.issue(event);
+        }
+        if let Some(timeline) = &mut self.timeline {
+            timeline.issue(event);
         }
     }
 }
@@ -1180,6 +1429,48 @@ fn close_trace(sink: JsonLinesSink<BufWriter<std::fs::File>>, path: &str) -> Res
         Ok(()) => Ok(()),
         Err(error) => {
             eprintln!("titalc: error writing trace `{path}`: {error}");
+            Err(ExitCode::from(EXIT_SIM))
+        }
+    }
+}
+
+/// Opens `--timeline <FILE>` with its simulate lanes named after
+/// `machine`'s functional units. Failures exit `EXIT_SIM`, like every
+/// other requested-output writer.
+fn open_timeline(
+    path: &str,
+    machine: &MachineConfig,
+) -> Result<TimelineSink<BufWriter<std::fs::File>>, ExitCode> {
+    match std::fs::File::create(path) {
+        Ok(file) => {
+            let lanes = machine
+                .functional_units()
+                .iter()
+                .map(|unit| unit.name().to_string())
+                .collect();
+            let class_lane = InstrClass::ALL
+                .iter()
+                .map(|&class| (class.mnemonic().to_string(), machine.unit_of(class)))
+                .collect();
+            Ok(TimelineSink::new(BufWriter::new(file)).with_pipeline_lanes(lanes, class_lane))
+        }
+        Err(error) => {
+            eprintln!("titalc: cannot write timeline to `{path}`: {error}");
+            Err(ExitCode::from(EXIT_SIM))
+        }
+    }
+}
+
+/// Closes a timeline document, surfacing any swallowed write error.
+fn close_timeline(
+    sink: TimelineSink<BufWriter<std::fs::File>>,
+    path: &str,
+) -> Result<(), ExitCode> {
+    let flushed = sink.finish().and_then(|mut writer| writer.flush());
+    match flushed {
+        Ok(_) => Ok(()),
+        Err(error) => {
+            eprintln!("titalc: error writing timeline `{path}`: {error}");
             Err(ExitCode::from(EXIT_SIM))
         }
     }
@@ -1412,9 +1703,17 @@ fn run_profile(
         },
         None => None,
     };
+    let timeline = match &args.timeline {
+        Some(timeline_path) => match open_timeline(timeline_path, machine) {
+            Ok(sink) => Some(sink),
+            Err(code) => return code,
+        },
+        None => None,
+    };
     let mut sink = ProfileSink {
         memory: MemorySink::new(),
         file,
+        timeline,
     };
     let program = match compile_with_trace(source, options, &mut sink) {
         Ok(program) => program,
@@ -1432,6 +1731,11 @@ fn run_profile(
     };
     if let Some(file) = sink.file.take() {
         if let Err(code) = close_trace(file, args.trace.as_deref().unwrap_or("")) {
+            return code;
+        }
+    }
+    if let Some(timeline) = sink.timeline.take() {
+        if let Err(code) = close_timeline(timeline, args.timeline.as_deref().unwrap_or("")) {
             return code;
         }
     }
@@ -1483,6 +1787,102 @@ fn run_profile(
     print_class_table(report.census(), account);
     print_fu_waits(account);
     print_producers(&report);
+    ExitCode::SUCCESS
+}
+
+/// Captures what `titalc stats` needs from one compile+run: phases in
+/// memory for the wall-time block, issue events folded straight into the
+/// distribution histograms (never buffered).
+struct StatsSink {
+    memory: MemorySink,
+    metrics: MetricsSink,
+}
+
+impl TraceSink for StatsSink {
+    fn phase(&mut self, record: &PhaseRecord<'_>) {
+        self.memory.phase(record);
+    }
+
+    fn issue(&mut self, event: &IssueEvent) {
+        self.metrics.issue(event);
+    }
+}
+
+/// `titalc stats`: compile and run like `titalc profile`, then emit one
+/// `supersym.metrics/v1` document — the metrics registry (compile phase
+/// counters, run counters/gauges, stall-run-length and per-block ILP
+/// histograms) plus the per-phase wall times. Everything in `metrics` is
+/// deterministic; wall time lives only in `compile.phases`.
+fn run_stats(
+    path: &str,
+    source: &str,
+    args: &Args,
+    machine: &MachineConfig,
+    options: &CompileOptions,
+) -> ExitCode {
+    let mut sink = StatsSink {
+        memory: MemorySink::new(),
+        metrics: MetricsSink::new(),
+    };
+    let program = match compile_with_trace(source, options, &mut sink) {
+        Ok(program) => program,
+        Err(error) => {
+            eprintln!("titalc: {error}");
+            return ExitCode::from(error.exit_code());
+        }
+    };
+    let report = match simulate_with_sink(&program, machine, SimOptions::default(), &mut sink) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("titalc: runtime error: {error}");
+            return ExitCode::from(EXIT_SIM);
+        }
+    };
+    let account = report.cycle_account();
+    if !account.conserved() {
+        eprintln!(
+            "titalc: internal error: cycle account does not balance on `{}`",
+            machine.name()
+        );
+        return ExitCode::from(EXIT_SIM);
+    }
+    let mut registry = phase_metrics(&sink.memory.phases);
+    registry.counter("sim.static_size", program.static_size() as u64);
+    registry.counter("sim.instructions", report.instructions());
+    registry.counter("sim.machine_cycles", report.machine_cycles());
+    registry.counter("sim.issue_cycles", account.issue_cycles());
+    registry.counter("sim.stall_cycles", account.total_stall_cycles());
+    registry.counter("sim.drain_cycles", account.drain_cycles());
+    registry.gauge("sim.ilp", round4(report.available_parallelism()));
+    sink.metrics.register(&mut registry);
+    let phase_array = sink
+        .memory
+        .phases
+        .iter()
+        .map(|phase| {
+            JsonObject::new()
+                .field("name", JsonValue::str(phase.name.clone()))
+                .field(
+                    "wall_ns",
+                    JsonValue::UInt(u64::try_from(phase.wall_ns).unwrap_or(u64::MAX)),
+                )
+                .build()
+        })
+        .collect();
+    let doc = JsonObject::new()
+        .field("schema", JsonValue::str(METRICS_SCHEMA))
+        .field("source", JsonValue::str(path))
+        .field("machine", JsonValue::str(machine.name()))
+        .field("optimization", JsonValue::str(args.opt.label()))
+        .field(
+            "compile",
+            JsonObject::new()
+                .field("phases", JsonValue::Array(phase_array))
+                .build(),
+        )
+        .field("metrics", registry.to_json())
+        .build();
+    print!("{}", doc.pretty());
     ExitCode::SUCCESS
 }
 
@@ -1789,6 +2189,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("sweep") {
         return run_sweep_cmd(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("bench-diff") {
+        return run_bench_diff(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
@@ -1848,8 +2251,15 @@ fn main() -> ExitCode {
     if args.profile {
         return run_profile(&path, &source, &args, &machine, &options);
     }
+    if args.stats {
+        return run_stats(&path, &source, &args, &machine, &options);
+    }
     if args.bound {
         return run_bound_file(&path, &source, &args, &machine, &options);
+    }
+    if args.timeline.is_some() {
+        eprintln!("titalc: --timeline only applies to `profile` and `sweep`\n\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
     }
     let program = match compile(&source, &options) {
         Ok(program) => program,

@@ -9,7 +9,7 @@ use supersym_isa::{Diagnostic, Program};
 use supersym_machine::{MachineConfig, RegisterSplit};
 use supersym_opt::{Pass, PassObserver, UnrollOptions};
 use supersym_rules::RuleTable;
-use supersym_trace::{PhaseRecord, TraceSink};
+use supersym_trace::{MetricsRegistry, OwnedPhase, PhaseRecord, TraceSink};
 use supersym_verify::PassCertificate;
 
 /// The paper's Figure 4-8 optimization ladder. Each level includes all the
@@ -297,6 +297,24 @@ impl PhaseClock {
         }
         self.last = now;
     }
+}
+
+/// Folds captured compile phases into a [`MetricsRegistry`]: the phase
+/// count as `compile.phases` and every phase counter as
+/// `compile.<phase>.<counter>` (dep-edge censuses, IR sizes, scheduler
+/// movement). Wall times are deliberately left out — they are
+/// nondeterministic, and the registry feeds the goldened `titalc stats`
+/// document; per-phase wall time stays on the phase records themselves.
+#[must_use]
+pub fn phase_metrics(phases: &[OwnedPhase]) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    registry.counter("compile.phases", phases.len() as u64);
+    for phase in phases {
+        for (counter, value) in &phase.counters {
+            registry.counter(format!("compile.{}.{}", phase.name, counter), *value);
+        }
+    }
+    registry
 }
 
 /// Counts scheduling regions and dependence edges (under both oracles)

@@ -48,8 +48,8 @@ pub mod sweep;
 pub mod torture;
 
 pub use compile::{
-    compile, compile_ast, compile_certified, compile_front, compile_with_trace, CompileError,
-    CompileOptions, FrontArtifact, OptLevel,
+    compile, compile_ast, compile_certified, compile_front, compile_with_trace, phase_metrics,
+    CompileError, CompileOptions, FrontArtifact, OptLevel,
 };
 pub use error::PipelineError;
 

@@ -18,9 +18,9 @@ use supersym_workloads::Workload;
 /// reach the whole sweep surface through `supersym::sweep`.
 pub use supersym_sweep::{
     aggregate_cells, cache_from_records, frontier_json, load_checkpoint, pareto_frontier,
-    run_sweep, CellFailure, CellMetrics, CellRecord, CellRunner, CellStatus, CellSummary,
-    CheckpointError, FaultInjection, ParetoPoint, ResultCache, ResumeState, SweepConfig,
-    SweepHeader, SweepOutcome, SweepPlan, SCHEMA,
+    run_sweep, run_sweep_observed, CellFailure, CellMetrics, CellRecord, CellRunner, CellStatus,
+    CellSummary, CheckpointError, FaultInjection, ParetoPoint, ResultCache, ResumeState,
+    SweepConfig, SweepHeader, SweepMetrics, SweepObserver, SweepOutcome, SweepPlan, SCHEMA,
 };
 
 /// Fuel given to each cell when the caller does not override it: enough

@@ -55,6 +55,7 @@ pub mod diagram;
 mod error;
 mod exec;
 mod limits;
+mod metrics;
 mod report;
 mod timing;
 
@@ -64,6 +65,7 @@ pub use cache::{
 pub use error::SimError;
 pub use exec::{ControlEvent, ExecOptions, Executor, StepInfo};
 pub use limits::{measure_limit, DataflowLimit, LimitOptions};
+pub use metrics::MetricsSink;
 pub use report::{
     simulate, simulate_with_cache, simulate_with_sink, CacheReport, CriticalProducer, SimOptions,
     SimReport,

@@ -1,0 +1,183 @@
+//! Distribution metrics over the simulated issue stream.
+//!
+//! The paper's aggregate numbers (cycles, available parallelism, the
+//! per-cause [`CycleAccount`](crate::CycleAccount)) say *how much* time was
+//! lost but not *in what shape*. Two distributions answer the shape
+//! question:
+//!
+//! * **stall-run length** — how many consecutive machine cycles pass with
+//!   no issue at all. A superscalar machine losing cycles in long runs is
+//!   starved by dependences; one losing them in many length-1 gaps is
+//!   limited by issue width.
+//! * **per-block ILP** — dynamic instructions per issue cycle within each
+//!   straight-line run of consecutive `pc`s, scaled by 100 (the registry
+//!   has no fractional histogram). The paper's Figure 3-3 point that
+//!   basic-block boundaries cap parallelism shows up directly here.
+//!
+//! [`MetricsSink`] implements [`TraceSink`], so it stacks behind
+//! `simulate_with_sink` like any other observer: allocation-free per event
+//! (both histograms are fixed-size arrays), preserving the hot-path
+//! contract.
+
+use supersym_trace::{Histogram, IssueEvent, MetricsRegistry, TraceSink};
+
+/// Collects stall-run-length and per-block ILP histograms from an issue
+/// stream. Feed it to `simulate_with_sink`, call
+/// [`finish`](MetricsSink::finish), then fold into a registry with
+/// [`register`](MetricsSink::register).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    stall_runs: Histogram,
+    block_ilp_x100: Histogram,
+    /// Issue cycle of the most recent instruction, if any.
+    last_issue: Option<u64>,
+    /// `(func, pc)` of the most recent instruction.
+    last_at: Option<(u32, u64)>,
+    /// First issue cycle of the current straight-line block.
+    block_start: u64,
+    /// Dynamic instructions in the current block.
+    block_instrs: u64,
+    finished: bool,
+}
+
+impl MetricsSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    fn close_block(&mut self, last_issue: u64) {
+        if self.block_instrs == 0 {
+            return;
+        }
+        let cycles = last_issue.saturating_sub(self.block_start) + 1;
+        self.block_ilp_x100.record(self.block_instrs * 100 / cycles);
+        self.block_instrs = 0;
+    }
+
+    /// Closes the in-progress block. Idempotent; call after the run.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(last) = self.last_issue {
+            self.close_block(last);
+        }
+    }
+
+    /// The stall-run-length histogram (machine cycles with no issue).
+    #[must_use]
+    pub fn stall_runs(&self) -> &Histogram {
+        &self.stall_runs
+    }
+
+    /// The per-block ILP histogram, values scaled by 100.
+    #[must_use]
+    pub fn block_ilp_x100(&self) -> &Histogram {
+        &self.block_ilp_x100
+    }
+
+    /// Folds both histograms into `registry` as `sim.stall_run_length`
+    /// and `sim.block_ilp_x100`. Calls [`finish`](MetricsSink::finish)
+    /// first so the trailing block is counted.
+    pub fn register(&mut self, registry: &mut MetricsRegistry) {
+        self.finish();
+        registry.histogram("sim.stall_run_length", &self.stall_runs);
+        registry.histogram("sim.block_ilp_x100", &self.block_ilp_x100);
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn issue(&mut self, event: &IssueEvent) {
+        if let Some(last) = self.last_issue {
+            let gap = event.issue.saturating_sub(last + 1);
+            if gap > 0 {
+                self.stall_runs.record(gap);
+            }
+        }
+        let sequential = matches!(
+            self.last_at,
+            Some((func, pc)) if func == event.func && event.pc == pc + 1
+        );
+        let same_pc = self.last_at == Some((event.func, event.pc));
+        if !(sequential || same_pc) {
+            if let Some(last) = self.last_issue {
+                self.close_block(last);
+            }
+            self.block_start = event.issue;
+        }
+        self.block_instrs += 1;
+        self.last_issue = Some(event.issue);
+        self.last_at = Some((event.func, event.pc));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(func: u32, pc: u64, issue: u64) -> IssueEvent {
+        IssueEvent {
+            func,
+            pc,
+            class: "intadd",
+            issue,
+            complete: issue + 1,
+            drain: issue + 1,
+            wait: 0,
+            cause: None,
+        }
+    }
+
+    #[test]
+    fn gaps_between_issues_become_stall_runs() {
+        let mut sink = MetricsSink::new();
+        // Issues at cycles 0, 1, 4, 10: runs of length 2 and 5.
+        for (pc, cycle) in [(0, 0), (1, 1), (2, 4), (3, 10)] {
+            sink.issue(&at(0, pc, cycle));
+        }
+        sink.finish();
+        assert_eq!(sink.stall_runs().count(), 2);
+        assert_eq!(sink.stall_runs().sum(), 7);
+        assert_eq!(sink.stall_runs().max(), 5);
+    }
+
+    #[test]
+    fn straight_line_runs_become_blocks() {
+        let mut sink = MetricsSink::new();
+        // Block 1: pcs 10..13 issued over cycles 0..2 → ILP 4/3 → 133.
+        for (pc, cycle) in [(10, 0), (11, 0), (12, 1), (13, 2)] {
+            sink.issue(&at(0, pc, cycle));
+        }
+        // Taken branch: block 2 is a single instruction → ILP 100.
+        sink.issue(&at(0, 40, 5));
+        let mut registry = MetricsRegistry::new();
+        sink.register(&mut registry);
+        let ilp = sink.block_ilp_x100();
+        assert_eq!(ilp.count(), 2);
+        assert_eq!(ilp.min(), 100);
+        assert_eq!(ilp.max(), 133);
+        assert!(registry.get("sim.block_ilp_x100").is_some());
+        assert!(registry.get("sim.stall_run_length").is_some());
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_register_counts_the_tail_block() {
+        let mut sink = MetricsSink::new();
+        sink.issue(&at(0, 0, 0));
+        sink.finish();
+        sink.finish();
+        assert_eq!(sink.block_ilp_x100().count(), 1);
+    }
+
+    #[test]
+    fn empty_stream_registers_empty_histograms() {
+        let mut sink = MetricsSink::new();
+        let mut registry = MetricsRegistry::new();
+        sink.register(&mut registry);
+        assert!(sink.stall_runs().is_empty());
+        assert!(sink.block_ilp_x100().is_empty());
+    }
+}

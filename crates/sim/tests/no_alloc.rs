@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use supersym_isa::{AsmBuilder, IntReg, Program};
 use supersym_machine::presets;
-use supersym_sim::{simulate, SimOptions};
+use supersym_sim::{simulate, simulate_with_sink, MetricsSink, SimOptions};
+use supersym_trace::{NullSink, TimelineSink};
 
 struct CountingAlloc;
 
@@ -88,4 +89,64 @@ fn simulate_allocates_nothing_per_instruction() {
         report_short.instructions(),
         report_long.instructions(),
     );
+}
+
+#[test]
+fn sink_off_paths_allocate_nothing_per_instruction() {
+    // Observability off must cost one branch, not an allocation: both the
+    // timeline-off path (NullSink) and the metrics path (MetricsSink is a
+    // pair of fixed-size histograms) must allocate identically regardless
+    // of dynamic instruction count.
+    let short = counted_loop(10);
+    let long = counted_loop(1000);
+    let config = presets::ideal_superscalar(4);
+
+    simulate_with_sink(&short, &config, SimOptions::default(), &mut NullSink).unwrap();
+
+    let (_, null_short) = allocations_during(|| {
+        simulate_with_sink(&short, &config, SimOptions::default(), &mut NullSink).unwrap()
+    });
+    let (_, null_long) = allocations_during(|| {
+        simulate_with_sink(&long, &config, SimOptions::default(), &mut NullSink).unwrap()
+    });
+    assert_eq!(
+        null_short, null_long,
+        "NullSink path allocated per dynamic instruction"
+    );
+
+    let (_, metrics_short) = allocations_during(|| {
+        let mut sink = MetricsSink::new();
+        simulate_with_sink(&short, &config, SimOptions::default(), &mut sink).unwrap();
+        sink.finish();
+    });
+    let (_, metrics_long) = allocations_during(|| {
+        let mut sink = MetricsSink::new();
+        simulate_with_sink(&long, &config, SimOptions::default(), &mut sink).unwrap();
+        sink.finish();
+    });
+    assert_eq!(
+        metrics_short, metrics_long,
+        "MetricsSink recorded with per-instruction allocations"
+    );
+}
+
+#[test]
+fn timeline_on_and_off_produce_identical_cycle_accounts() {
+    // The timeline sink observes the issue stream; it must not perturb
+    // timing. Differential check on the full per-cause account.
+    let program = counted_loop(200);
+    for config in [
+        presets::ideal_superscalar(4),
+        presets::base(),
+        presets::cray1(),
+    ] {
+        let plain = simulate(&program, &config, SimOptions::default()).unwrap();
+        let mut sink = TimelineSink::new(Vec::new());
+        let timed =
+            simulate_with_sink(&program, &config, SimOptions::default(), &mut sink).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(plain.cycle_account(), timed.cycle_account());
+        assert_eq!(plain.machine_cycles(), timed.machine_cycles());
+        assert_eq!(plain.instructions(), timed.instructions());
+    }
 }

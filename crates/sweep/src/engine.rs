@@ -20,6 +20,7 @@ use std::thread;
 use std::time::Instant;
 use supersym_machine::{GridCell, GridSpec};
 use supersym_rng::fnv1a_64;
+use supersym_trace::{Histogram, MetricsRegistry};
 
 /// A sweep's view of the compiler/simulator pipeline. Implemented in the
 /// `supersym` core crate (which owns the pipeline); kept as a trait here so
@@ -156,6 +157,65 @@ pub struct SweepOutcome {
     /// Items quarantined (panic, timeout or reject), across the whole
     /// record set.
     pub quarantined: usize,
+    /// Distributions and counters collected while this run's items ran
+    /// (resumed items are not re-measured).
+    pub metrics: SweepMetrics,
+}
+
+/// Watches items finish, one call per item handled by this run (cached or
+/// executed; resumed items were handled by an earlier run). Calls arrive
+/// from worker threads serialized through a mutex; per worker, `start_us`
+/// is nondecreasing — the property that keeps timeline lanes monotone.
+pub trait SweepObserver: Send {
+    /// One finished item: `worker` handled it over `[start_us, end_us]`
+    /// (microseconds since the sweep started; equal when `cached`).
+    fn item(
+        &mut self,
+        worker: usize,
+        start_us: u64,
+        end_us: u64,
+        cached: bool,
+        record: &CellRecord,
+    );
+}
+
+/// Distributions and counters from one sweep run.
+#[derive(Debug, Clone, Default)]
+pub struct SweepMetrics {
+    /// Wall latency of each executed (non-cached) item, microseconds.
+    pub cell_latency_us: Histogram,
+    /// Items still unclaimed at each claim — how fast the queue drained.
+    pub queue_depth: Histogram,
+    /// Items satisfied from the result cache.
+    pub cache_hits: u64,
+    /// Items executed by this run.
+    pub executed: u64,
+    /// Executed items quarantined as panics.
+    pub quarantined_panics: u64,
+    /// Executed items quarantined as timeouts.
+    pub quarantined_timeouts: u64,
+    /// Items classified as typed rejects (executed or cached).
+    pub quarantined_rejects: u64,
+}
+
+impl SweepMetrics {
+    /// Folds the sweep metrics into `registry` under `sweep.*` names.
+    pub fn register(&self, registry: &mut MetricsRegistry) {
+        registry.histogram("sweep.cell_latency_us", &self.cell_latency_us);
+        registry.histogram("sweep.queue_depth", &self.queue_depth);
+        registry.counter("sweep.cache_hits", self.cache_hits);
+        registry.counter("sweep.executed", self.executed);
+        registry.counter("sweep.quarantined_panics", self.quarantined_panics);
+        registry.counter("sweep.quarantined_timeouts", self.quarantined_timeouts);
+        registry.counter("sweep.quarantined_rejects", self.quarantined_rejects);
+        let handled = self.cache_hits + self.executed;
+        if handled > 0 {
+            registry.gauge(
+                "sweep.cache_hit_rate",
+                self.cache_hits as f64 / handled as f64,
+            );
+        }
+    }
 }
 
 /// Result cache: (program hash, machine hash) → deterministic outcome.
@@ -217,6 +277,30 @@ pub fn run_sweep(
     cache: &ResultCache,
     journal: Option<&mut (dyn Write + Send)>,
 ) -> io::Result<SweepOutcome> {
+    run_sweep_observed(plan, runner, config, resume, cache, journal, None)
+}
+
+/// [`run_sweep`] with an observer: every item this run handles (cached or
+/// executed) is reported with its worker index and wall-clock window, the
+/// feed behind `titalc sweep --timeline`. Timing uses a monotonic clock
+/// anchored at sweep start, so per-worker windows are nondecreasing.
+///
+/// # Errors
+///
+/// As [`run_sweep`]: only journal I/O errors propagate.
+///
+/// # Panics
+///
+/// As [`run_sweep`]: panics on a resume state from a different plan.
+pub fn run_sweep_observed(
+    plan: &SweepPlan,
+    runner: &dyn CellRunner,
+    config: &SweepConfig,
+    resume: Option<ResumeState>,
+    cache: &ResultCache,
+    journal: Option<&mut (dyn Write + Send)>,
+    observer: Option<&Mutex<dyn SweepObserver>>,
+) -> io::Result<SweepOutcome> {
     let cells = plan.grid.cells();
     let workloads = plan.workload_names.len();
     let total = cells.len() * workloads;
@@ -230,11 +314,13 @@ pub fn run_sweep(
     let resumed = slots.iter().filter(|slot| slot.is_some()).count();
     let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
 
+    let run_started = Instant::now();
     let cursor = AtomicUsize::new(0);
     let cached = AtomicUsize::new(0);
     let journal = Mutex::new(journal);
     let journal_error: Mutex<Option<io::Error>> = Mutex::new(None);
     let fresh: Mutex<Vec<CellRecord>> = Mutex::new(Vec::with_capacity(pending.len()));
+    let metrics: Mutex<SweepMetrics> = Mutex::new(SweepMetrics::default());
 
     let quiet_guard = config.quiet.then(|| {
         let previous = std::panic::take_hook();
@@ -242,8 +328,17 @@ pub fn run_sweep(
         previous
     });
     thread::scope(|scope| {
-        for _ in 0..config.jobs.max(1) {
-            scope.spawn(|| loop {
+        let cursor = &cursor;
+        let cached = &cached;
+        let journal = &journal;
+        let journal_error = &journal_error;
+        let fresh = &fresh;
+        let metrics = &metrics;
+        let cells = &cells;
+        let pending = &pending;
+        let run_started = &run_started;
+        for worker in 0..config.jobs.max(1) {
+            scope.spawn(move || loop {
                 if journal_error.lock().unwrap().is_some() {
                     break;
                 }
@@ -251,15 +346,24 @@ pub fn run_sweep(
                 let Some(&index) = pending.get(claim) else {
                     break;
                 };
+                let start_us = elapsed_us(run_started);
                 let cell = &cells[index / workloads];
                 let workload = index % workloads;
                 let machine_hash = cell.config().fingerprint();
                 let program_hash = runner.program_hash(workload, cell);
-                let status = if let Some(hit) = cache.get(&(program_hash, machine_hash)) {
-                    cached.fetch_add(1, Ordering::Relaxed);
-                    hit.clone()
+                let hit = cache.get(&(program_hash, machine_hash));
+                let was_cached = hit.is_some();
+                let status = match hit {
+                    Some(hit) => {
+                        cached.fetch_add(1, Ordering::Relaxed);
+                        hit.clone()
+                    }
+                    None => execute_item(plan, runner, config, index, workload, cell),
+                };
+                let end_us = if was_cached {
+                    start_us
                 } else {
-                    execute_item(plan, runner, config, index, workload, cell)
+                    elapsed_us(run_started)
                 };
                 let record = CellRecord {
                     index,
@@ -269,6 +373,24 @@ pub fn run_sweep(
                     program_hash,
                     status,
                 };
+                {
+                    let mut metrics = metrics.lock().unwrap();
+                    metrics
+                        .queue_depth
+                        .record((pending.len() - claim - 1) as u64);
+                    if was_cached {
+                        metrics.cache_hits += 1;
+                    } else {
+                        metrics.executed += 1;
+                        metrics.cell_latency_us.record(end_us - start_us);
+                    }
+                    match &record.status {
+                        CellStatus::Panic { .. } => metrics.quarantined_panics += 1,
+                        CellStatus::Timeout { .. } => metrics.quarantined_timeouts += 1,
+                        CellStatus::Reject { .. } => metrics.quarantined_rejects += 1,
+                        CellStatus::Ok(_) => {}
+                    }
+                }
                 let line = record.render();
                 {
                     let mut journal = journal.lock().unwrap();
@@ -278,6 +400,12 @@ pub fn run_sweep(
                             break;
                         }
                     }
+                }
+                if let Some(observer) = observer {
+                    observer
+                        .lock()
+                        .unwrap()
+                        .item(worker, start_us, end_us, was_cached, &record);
                 }
                 fresh.lock().unwrap().push(record);
             });
@@ -307,7 +435,13 @@ pub fn run_sweep(
         cached: cached.load(Ordering::Relaxed),
         resumed,
         quarantined,
+        metrics: metrics.into_inner().unwrap(),
     })
+}
+
+/// Microseconds since `started`, clamped into `u64`.
+fn elapsed_us(started: &Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 fn execute_item(
@@ -548,6 +682,98 @@ mod tests {
         for record in &outcome.records {
             assert_eq!(state.done[record.index].as_ref().unwrap(), record);
         }
+    }
+
+    #[test]
+    fn observer_sees_every_item_with_monotone_worker_windows() {
+        let plan = plan("issue=1,2,4,8 pipe=1,2", &["a", "b"]);
+        let runner = MockRunner { reject_issue: 8 };
+        struct Collect {
+            items: Vec<(usize, u64, u64, bool, usize)>,
+        }
+        impl SweepObserver for Collect {
+            fn item(
+                &mut self,
+                worker: usize,
+                start_us: u64,
+                end_us: u64,
+                cached: bool,
+                record: &CellRecord,
+            ) {
+                self.items
+                    .push((worker, start_us, end_us, cached, record.index));
+            }
+        }
+        let observer = Mutex::new(Collect { items: Vec::new() });
+        let outcome = run_sweep_observed(
+            &plan,
+            &runner,
+            &SweepConfig {
+                jobs: 3,
+                ..SweepConfig::default()
+            },
+            None,
+            &ResultCache::new(),
+            None,
+            Some(&observer),
+        )
+        .unwrap();
+        assert_eq!(outcome.records.len(), 16);
+        let items = observer.into_inner().unwrap().items;
+        assert_eq!(items.len(), 16, "one observation per handled item");
+        let mut indices: Vec<usize> = items.iter().map(|&(.., index)| index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..16).collect::<Vec<_>>());
+        // Per worker, windows are well-formed and nondecreasing — the
+        // invariant that keeps timeline lanes monotone.
+        for worker in 0..3 {
+            let mut last_end = 0;
+            for &(w, start_us, end_us, cached, _) in &items {
+                if w != worker {
+                    continue;
+                }
+                assert!(start_us <= end_us);
+                assert!(!cached, "no cache was supplied");
+                assert!(start_us >= last_end, "worker lane went backwards");
+                last_end = end_us;
+            }
+        }
+        // Metrics agree with the outcome's bookkeeping.
+        assert_eq!(outcome.metrics.executed, 16);
+        assert_eq!(outcome.metrics.cache_hits, 0);
+        assert_eq!(outcome.metrics.cell_latency_us.count(), 16);
+        assert_eq!(outcome.metrics.queue_depth.count(), 16);
+        assert_eq!(outcome.metrics.queue_depth.max(), 15);
+        // issue=8 rejects across both workloads × pipe settings.
+        assert_eq!(outcome.metrics.quarantined_rejects, 4);
+        assert_eq!(outcome.quarantined, 4);
+    }
+
+    #[test]
+    fn cached_items_count_as_hits_in_metrics() {
+        let plan = plan("issue=1,2 pipe=1", &["a", "b"]);
+        let runner = MockRunner { reject_issue: 0 };
+        let first = run_sweep(
+            &plan,
+            &runner,
+            &SweepConfig::default(),
+            None,
+            &ResultCache::new(),
+            None,
+        )
+        .unwrap();
+        let cache = cache_from_records(first.records.iter());
+        let second =
+            run_sweep(&plan, &runner, &SweepConfig::default(), None, &cache, None).unwrap();
+        assert_eq!(second.metrics.cache_hits, 4);
+        assert_eq!(second.metrics.executed, 0);
+        assert!(second.metrics.cell_latency_us.is_empty());
+        let mut registry = MetricsRegistry::new();
+        second.metrics.register(&mut registry);
+        assert!(matches!(
+            registry.get("sweep.cache_hit_rate"),
+            Some(supersym_trace::Metric::Gauge(rate)) if (rate - 1.0).abs() < 1e-9
+        ));
     }
 
     use crate::checkpoint::load_checkpoint;

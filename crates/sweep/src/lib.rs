@@ -37,7 +37,7 @@ pub use checkpoint::{
     SweepHeader, SCHEMA,
 };
 pub use engine::{
-    cache_from_records, run_sweep, CellFailure, CellRunner, FaultInjection, ResultCache,
-    SweepConfig, SweepOutcome, SweepPlan,
+    cache_from_records, run_sweep, run_sweep_observed, CellFailure, CellRunner, FaultInjection,
+    ResultCache, SweepConfig, SweepMetrics, SweepObserver, SweepOutcome, SweepPlan,
 };
 pub use report::{aggregate_cells, frontier_json, pareto_frontier, CellSummary, ParetoPoint};

@@ -40,12 +40,18 @@
 //! ```
 
 mod json;
+mod metrics;
 mod parse;
 mod sink;
+mod timeline;
 
 pub use json::{escape_into, JsonObject, JsonValue};
-pub use parse::{parse_json, JsonParseError};
+pub use metrics::{Histogram, Metric, MetricsRegistry, METRICS_SCHEMA};
+pub use parse::{parse_json, validate_timeline, JsonParseError, TimelineError, TimelineReport};
 pub use sink::{
     IssueEvent, JsonLinesSink, LoopCountSink, MemorySink, NullSink, OwnedPhase, PhaseRecord,
     TraceSink,
+};
+pub use timeline::{
+    SweepItem, TimelineSink, PID_COMPILE, PID_SIMULATE, PID_SWEEP, TIMELINE_SCHEMA,
 };

@@ -1,0 +1,334 @@
+//! A zero-dependency metrics registry: counters, gauges and log2-bucket
+//! histograms, rendered as `supersym.metrics/v1` JSON.
+//!
+//! Same discipline as the rest of this crate: no global state (a registry
+//! is built and owned by whoever reports), no serde (the ordered
+//! [`JsonValue`] model renders it), and nothing here runs on a hot path —
+//! producers record into fixed-size [`Histogram`]s (a plain `[u64; 65]`,
+//! no allocation per sample) and fold them into a registry once, at
+//! reporting time. Insertion order is preserved so emitted documents are
+//! stable to diff and to golden-test.
+
+use crate::json::{JsonObject, JsonValue};
+
+/// Schema identifier of the metrics document `titalc stats` emits.
+pub const METRICS_SCHEMA: &str = "supersym.metrics/v1";
+
+/// Number of histogram buckets: one for zero, one per power of two.
+const NUM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts zeros; bucket `k >= 1` counts values in
+/// `[2^(k-1), 2^k)`. Recording is allocation-free (the buckets are a
+/// fixed-size array), so a histogram can sit behind an opt-in observer
+/// without violating the simulator's no-alloc contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket holding `value`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => 1 + v.ilog2() as usize,
+        }
+    }
+
+    /// Inclusive `(lo, hi)` bounds of bucket `index`.
+    #[must_use]
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            k => (1 << (k - 1), (1 << k) - 1),
+        }
+    }
+
+    /// Records one sample. Allocation-free.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether any sample was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(index, &n)| {
+                let (lo, hi) = Self::bucket_bounds(index);
+                (lo, hi, n)
+            })
+    }
+
+    /// Renders the histogram as a JSON object (only non-empty buckets).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let buckets = self
+            .nonzero_buckets()
+            .map(|(lo, hi, count)| {
+                JsonObject::new()
+                    .field("lo", JsonValue::UInt(lo))
+                    .field("hi", JsonValue::UInt(hi))
+                    .field("count", JsonValue::UInt(count))
+                    .build()
+            })
+            .collect();
+        JsonObject::new()
+            .field("type", JsonValue::str("histogram"))
+            .field("count", JsonValue::UInt(self.count))
+            .field("sum", JsonValue::UInt(self.sum))
+            .field("min", JsonValue::UInt(self.min()))
+            .field("max", JsonValue::UInt(self.max))
+            .field("buckets", JsonValue::Array(buckets))
+            .build()
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotone count.
+    Counter(u64),
+    /// A point-in-time measurement.
+    Gauge(f64),
+    /// A sample distribution (boxed: a histogram dwarfs the scalars).
+    Histogram(Box<Histogram>),
+}
+
+impl Metric {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Metric::Counter(value) => JsonObject::new()
+                .field("type", JsonValue::str("counter"))
+                .field("value", JsonValue::UInt(*value))
+                .build(),
+            Metric::Gauge(value) => JsonObject::new()
+                .field("type", JsonValue::str("gauge"))
+                .field("value", JsonValue::Float(*value))
+                .build(),
+            Metric::Histogram(histogram) => histogram.to_json(),
+        }
+    }
+}
+
+/// An insertion-ordered collection of named metrics.
+///
+/// Setting a name that already exists replaces the value in place, so a
+/// registry can be assembled in passes (compile metrics, then run metrics)
+/// without duplicate keys, and the emitted document order stays stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Metric)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn set(&mut self, name: impl Into<String>, metric: Metric) {
+        let name = name.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, slot)) => *slot = metric,
+            None => self.entries.push((name, metric)),
+        }
+    }
+
+    /// Sets a counter.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.set(name, Metric::Counter(value));
+    }
+
+    /// Sets a gauge.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.set(name, Metric::Gauge(value));
+    }
+
+    /// Sets a histogram (copied out of the producer).
+    pub fn histogram(&mut self, name: impl Into<String>, histogram: &Histogram) {
+        self.set(name, Metric::Histogram(Box::new(*histogram)));
+    }
+
+    /// The entries, in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[(String, Metric)] {
+        &self.entries
+    }
+
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Renders the registry as one JSON object keyed by metric name.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.entries
+                .iter()
+                .map(|(name, metric)| (name.clone(), metric.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_the_u64_range() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for index in 0..NUM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(index);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), index);
+            assert_eq!(Histogram::bucket_index(hi), index);
+        }
+    }
+
+    #[test]
+    fn histogram_accumulates_and_merges() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        let mut other = Histogram::new();
+        other.record(7);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 113);
+        let buckets: Vec<(u64, u64, u64)> = h.nonzero_buckets().collect();
+        // 0; 1; 2,3; 7 in [4,7]; 100 in [64,127].
+        assert_eq!(
+            buckets,
+            vec![(0, 0, 1), (1, 1, 1), (2, 3, 2), (4, 7, 1), (64, 127, 1)]
+        );
+    }
+
+    #[test]
+    fn registry_preserves_order_and_replaces_in_place() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter("b.count", 2);
+        registry.gauge("a.rate", 1.5);
+        registry.counter("b.count", 3);
+        let names: Vec<&str> = registry.entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["b.count", "a.rate"]);
+        assert_eq!(registry.get("b.count"), Some(&Metric::Counter(3)));
+    }
+
+    #[test]
+    fn registry_renders_typed_json() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter("cycles", 42);
+        registry.gauge("ilp", 2.5);
+        let mut h = Histogram::new();
+        h.record(5);
+        registry.histogram("stalls", &h);
+        let text = registry.to_json().to_string();
+        assert_eq!(
+            text,
+            r#"{"cycles":{"type":"counter","value":42},"ilp":{"type":"gauge","value":2.5},"stalls":{"type":"histogram","count":1,"sum":5,"min":5,"max":5,"buckets":[{"lo":4,"hi":7,"count":1}]}}"#
+        );
+    }
+}

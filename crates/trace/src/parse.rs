@@ -351,6 +351,168 @@ impl JsonValue {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Timeline validation
+// ---------------------------------------------------------------------------
+
+/// Summary of a validated `supersym.timeline/v1` document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineReport {
+    /// Non-metadata events (spans, counters, instants).
+    pub events: usize,
+    /// Distinct `(pid, tid)` lanes that carried events.
+    pub lanes: usize,
+}
+
+/// Why a timeline document failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// The document is not well-formed JSON.
+    Parse(JsonParseError),
+    /// The document parsed but violates a `trace_event` invariant.
+    Invalid(String),
+}
+
+impl fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimelineError::Parse(error) => write!(f, "{error}"),
+            TimelineError::Invalid(message) => write!(f, "invalid timeline: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+/// Validates an emitted timeline file against the Chrome `trace_event`
+/// invariants the workspace's emitter guarantees:
+///
+/// * the document is an object with `schema == "supersym.timeline/v1"`
+///   and a `traceEvents` array;
+/// * every event has a known single-character `ph` plus integral `pid`
+///   and `tid`; non-metadata events carry an integral `ts` (and `X` a
+///   `dur`);
+/// * per `(pid, tid)` lane, `ts` is monotonically nondecreasing in file
+///   order;
+/// * `B`/`E` pairs nest per lane and every `B` is closed;
+/// * `pid`/`tid` naming is stable: no lane is renamed, and every pid that
+///   carries events has exactly one `process_name`.
+///
+/// # Errors
+///
+/// [`TimelineError::Parse`] for malformed JSON, [`TimelineError::Invalid`]
+/// (with the offending event's index) for the first violated invariant.
+pub fn validate_timeline(text: &str) -> Result<TimelineReport, TimelineError> {
+    use std::collections::HashMap;
+    let invalid = |message: String| Err(TimelineError::Invalid(message));
+    let doc = parse_json(text).map_err(TimelineError::Parse)?;
+    let schema = doc.get("schema").and_then(JsonValue::as_str);
+    if schema != Some(crate::timeline::TIMELINE_SCHEMA) {
+        return invalid(format!("schema is {schema:?}"));
+    }
+    let Some(events) = doc.get("traceEvents").and_then(JsonValue::as_array) else {
+        return invalid("missing traceEvents array".to_string());
+    };
+    let mut last_ts: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut open_spans: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    let mut process_names: HashMap<u64, String> = HashMap::new();
+    let mut thread_names: HashMap<(u64, u64), String> = HashMap::new();
+    let mut counted = 0_usize;
+    for (index, event) in events.iter().enumerate() {
+        let fail =
+            |message: String| Err(TimelineError::Invalid(format!("event {index}: {message}")));
+        if event.as_object().is_none() {
+            return fail("not an object".to_string());
+        }
+        let Some(ph) = event.get("ph").and_then(JsonValue::as_str) else {
+            return fail("missing ph".to_string());
+        };
+        if !matches!(ph, "B" | "E" | "X" | "C" | "i" | "M") {
+            return fail(format!("unknown ph `{ph}`"));
+        }
+        let Some(pid) = event.get("pid").and_then(JsonValue::as_u64) else {
+            return fail("missing integral pid".to_string());
+        };
+        let Some(tid) = event.get("tid").and_then(JsonValue::as_u64) else {
+            return fail("missing integral tid".to_string());
+        };
+        let lane = (pid, tid);
+        let name = event.get("name").and_then(JsonValue::as_str);
+        if ph == "M" {
+            let Some(arg_name) = event
+                .get("args")
+                .and_then(|args| args.get("name"))
+                .and_then(JsonValue::as_str)
+            else {
+                return fail("metadata event without args.name".to_string());
+            };
+            match name {
+                Some("process_name") => {
+                    if let Some(previous) = process_names.insert(pid, arg_name.to_string()) {
+                        if previous != arg_name {
+                            return fail(format!("pid {pid} renamed `{previous}` -> `{arg_name}`"));
+                        }
+                    }
+                }
+                Some("thread_name") => {
+                    if let Some(previous) = thread_names.insert(lane, arg_name.to_string()) {
+                        if previous != arg_name {
+                            return fail(format!(
+                                "lane {pid}:{tid} renamed `{previous}` -> `{arg_name}`"
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+        counted += 1;
+        let Some(ts) = event.get("ts").and_then(JsonValue::as_u64) else {
+            return fail("missing integral ts".to_string());
+        };
+        if let Some(&previous) = last_ts.get(&lane) {
+            if ts < previous {
+                return fail(format!(
+                    "lane {pid}:{tid} ts went backwards ({previous} -> {ts})"
+                ));
+            }
+        }
+        last_ts.insert(lane, ts);
+        match ph {
+            "X" if event.get("dur").and_then(JsonValue::as_u64).is_none() => {
+                return fail("X event without integral dur".to_string());
+            }
+            "B" => {
+                open_spans
+                    .entry(lane)
+                    .or_default()
+                    .push(name.unwrap_or("").to_string());
+            }
+            // The guard pops the span either way; only a pop from an
+            // empty stack (no matching B) takes the arm.
+            "E" if open_spans.entry(lane).or_default().pop().is_none() => {
+                return fail(format!("lane {pid}:{tid} E without matching B"));
+            }
+            _ => {}
+        }
+    }
+    for ((pid, tid), stack) in &open_spans {
+        if let Some(name) = stack.last() {
+            return invalid(format!("lane {pid}:{tid} unclosed B span `{name}`"));
+        }
+    }
+    for &(pid, _) in last_ts.keys() {
+        if !process_names.contains_key(&pid) {
+            return invalid(format!("pid {pid} has events but no process_name"));
+        }
+    }
+    Ok(TimelineReport {
+        events: counted,
+        lanes: last_ts.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -334,6 +334,40 @@ mod tests {
     }
 
     #[test]
+    fn json_lines_sink_surfaces_torn_mid_line_writes() {
+        // Accepts `budget` bytes, then fails: the first event line tears
+        // partway through, like a disk filling mid-record. The error must
+        // surface at finish() — not panic, not silently truncate.
+        #[derive(Debug)]
+        struct Torn {
+            budget: usize,
+            written: Vec<u8>,
+        }
+        impl Write for Torn {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::Error::other("no space left on device"));
+                }
+                let n = buf.len().min(self.budget);
+                self.budget -= n;
+                self.written.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonLinesSink::new(Torn {
+            budget: 10,
+            written: Vec::new(),
+        });
+        sink.issue(&sample_issue());
+        sink.issue(&sample_issue()); // quiet: nothing appended after the tear
+        let error = sink.finish().expect_err("torn write must surface");
+        assert_eq!(error.to_string(), "no space left on device");
+    }
+
+    #[test]
     fn loop_count_sink_separates_iterations_from_visits() {
         // Loop: header pc 2, latch pc 4. Two visits: 3 iterations, then 1.
         let mut sink = LoopCountSink::new(&[(0, 2, 4)]);

@@ -700,3 +700,201 @@ fn synth_check_accepts_the_shipped_table() {
     );
     assert!(stdout(&output).contains("byte-identical"));
 }
+
+#[test]
+fn stats_json_matches_golden() {
+    // --verify pins the phase list, exactly as in the profile golden.
+    let output = titalc()
+        .args(["stats", "--verify", "-m", "multititan"])
+        .arg(fixture("profile.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "stats failed: {}{}",
+        stdout(&output),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let golden = std::fs::read_to_string(fixture("stats.json")).expect("golden exists");
+    // Same varying fields as a profile document: wall times and the
+    // absolute source path.
+    let got = normalize_profile(&stdout(&output));
+    assert_eq!(
+        got, golden,
+        "stats drifted from tests/fixtures/stats.json; \
+         if the schema change is intentional, regenerate the golden"
+    );
+}
+
+#[test]
+fn profile_timeline_passes_the_validator() {
+    let dir = std::env::temp_dir().join(format!("titalc-timeline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let timeline = dir.join("profile-timeline.json");
+    let output = titalc()
+        .args(["profile", "--timeline"])
+        .arg(&timeline)
+        .args(["-m", "superscalar:4"])
+        .arg(fixture("profile.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        output.status.success(),
+        "profile --timeline failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let lint = titalc()
+        .arg("lint")
+        .arg(&timeline)
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        lint.status.success(),
+        "emitted timeline failed validation: {}{}",
+        stdout(&lint),
+        String::from_utf8_lossy(&lint.stderr)
+    );
+    assert!(
+        stdout(&lint).contains("valid timeline"),
+        "{}",
+        stdout(&lint)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lint_classifies_timeline_failures() {
+    let dir = std::env::temp_dir().join(format!("titalc-lint-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Unparseable JSON is a front-end failure: exit 2.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "this is not json").unwrap();
+    let output = titalc()
+        .arg("lint")
+        .arg(&garbage)
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(2), "{}", stdout(&output));
+
+    // Well-formed JSON violating a trace_event invariant (time going
+    // backwards on one lane) is a static-check failure: exit 3.
+    let invalid = dir.join("backwards.json");
+    std::fs::write(
+        &invalid,
+        r#"{"schema":"supersym.timeline/v1","traceEvents":[
+            {"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"compile"}},
+            {"ph":"X","pid":1,"tid":1,"ts":10,"dur":5,"name":"a"},
+            {"ph":"X","pid":1,"tid":1,"ts":3,"dur":2,"name":"b"}]}"#,
+    )
+    .unwrap();
+    let output = titalc()
+        .arg("lint")
+        .arg(&invalid)
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(3), "{}", stdout(&output));
+    let diagnostic = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        diagnostic.contains("went backwards"),
+        "diagnostic should name the violated invariant: {diagnostic}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn plain_run_rejects_timeline_flag() {
+    let output = titalc()
+        .args(["--timeline", "/tmp/unused.json"])
+        .arg(fixture("profile.tital"))
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("--timeline"),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+fn bench_snapshot(path: &Path, rows: &[(&str, u64)]) {
+    let mut text = String::from("{\"schema\":\"supersym.bench/v1\",\"rows\":[");
+    for (i, (name, mean)) in rows.iter().enumerate() {
+        if i > 0 {
+            text.push(',');
+        }
+        text.push_str(&format!(
+            "{{\"name\":\"{name}\",\"mean_ns\":{mean},\"iters\":10}}"
+        ));
+    }
+    text.push_str("]}");
+    std::fs::write(path, text).unwrap();
+}
+
+#[test]
+fn bench_diff_flags_regressions_beyond_threshold() {
+    let dir = std::env::temp_dir().join(format!("titalc-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    bench_snapshot(
+        &old,
+        &[("compile/a", 1000), ("simulate/b", 1000), ("gone", 5)],
+    );
+    bench_snapshot(
+        &new,
+        &[("compile/a", 1050), ("simulate/b", 1300), ("fresh", 7)],
+    );
+
+    // +30% on simulate/b breaks the default 10% threshold: exit 3, and
+    // the row is named.
+    let output = titalc()
+        .arg("bench-diff")
+        .args([&old, &new])
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(3), "{}", stdout(&output));
+    let text = stdout(&output);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("+30.0%"), "{text}");
+    assert!(text.contains("+5.0%"), "{text}");
+    // Rows in only one snapshot are reported but never fail the diff.
+    assert!(text.contains("gone"), "{text}");
+    assert!(text.contains("fresh"), "{text}");
+
+    // A looser threshold accepts the same pair.
+    let output = titalc()
+        .args(["bench-diff", "--threshold", "50"])
+        .args([&old, &new])
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(0), "{}", stdout(&output));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bench_diff_distinguishes_missing_from_malformed() {
+    let dir = std::env::temp_dir().join(format!("titalc-bench-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    bench_snapshot(&good, &[("a", 100)]);
+
+    let output = titalc()
+        .arg("bench-diff")
+        .arg(dir.join("no-such-file.json"))
+        .arg(&good)
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(1));
+
+    let wrong = dir.join("wrong.json");
+    std::fs::write(&wrong, "{\"schema\":\"supersym.profile/v1\"}").unwrap();
+    let output = titalc()
+        .arg("bench-diff")
+        .arg(&wrong)
+        .arg(&good)
+        .output()
+        .expect("spawn titalc");
+    assert_eq!(output.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1236,3 +1236,85 @@ fn loop_oracle_schedules_pass_conservative_checker() {
         }
     }
 }
+
+/// Conservation law for emitted timelines: on every functional-unit lane
+/// of the simulate process, per-instruction pipeline spans never extend
+/// past the end of the run, and each lane's occupied time (the union of
+/// its spans) is at most the run's machine cycles.
+#[test]
+fn timeline_lane_occupancy_is_conserved() {
+    use supersym::isa::InstrClass;
+    use supersym::sim::simulate_with_sink;
+    use supersym::trace::{parse_json, JsonValue, TimelineSink, PID_SIMULATE};
+    for seed in AST_SEEDS {
+        let ast = Gen::new(seed).module();
+        for machine in [presets::ideal_superscalar(8), presets::cray1()] {
+            let options = CompileOptions::new(OptLevel::O4, &machine);
+            let program = compile_ast(ast.clone(), &options).expect("generated programs compile");
+            let lanes: Vec<String> = machine
+                .functional_units()
+                .iter()
+                .map(|unit| unit.name().to_string())
+                .collect();
+            let class_lane: Vec<(String, usize)> = InstrClass::ALL
+                .iter()
+                .map(|&class| (class.mnemonic().to_string(), machine.unit_of(class)))
+                .collect();
+            let mut sink = TimelineSink::new(Vec::new()).with_pipeline_lanes(lanes, class_lane);
+            let report = simulate_with_sink(&program, &machine, SimOptions::default(), &mut sink)
+                .expect("generated programs terminate");
+            let text = String::from_utf8(sink.finish().expect("in-memory timeline"))
+                .expect("timelines are utf-8");
+            let doc = parse_json(&text).expect("emitted timeline parses");
+            supersym::trace::validate_timeline(&text).expect("emitted timeline validates");
+
+            let mut per_lane: std::collections::HashMap<u64, Vec<(u64, u64)>> = Default::default();
+            for event in doc
+                .get("traceEvents")
+                .and_then(JsonValue::as_array)
+                .expect("traceEvents array")
+            {
+                if event.get("ph").and_then(JsonValue::as_str) != Some("X")
+                    || event.get("pid").and_then(JsonValue::as_u64) != Some(PID_SIMULATE)
+                {
+                    continue;
+                }
+                let tid = event.get("tid").and_then(JsonValue::as_u64).expect("tid");
+                if tid == 0 {
+                    continue; // counter lane, not a functional unit
+                }
+                let ts = event.get("ts").and_then(JsonValue::as_u64).expect("ts");
+                let dur = event.get("dur").and_then(JsonValue::as_u64).expect("dur");
+                per_lane.entry(tid).or_default().push((ts, ts + dur));
+            }
+            assert!(
+                !per_lane.is_empty(),
+                "seed {seed} on {}: no pipeline spans",
+                machine.name()
+            );
+            let cycles = report.machine_cycles();
+            for (tid, mut spans) in per_lane {
+                spans.sort_unstable();
+                let mut occupied = 0_u64;
+                let mut cursor = 0_u64;
+                for (start, end) in spans {
+                    assert!(
+                        end <= cycles,
+                        "seed {seed} on {}: lane {tid} span [{start}, {end}) past run end {cycles}",
+                        machine.name()
+                    );
+                    let lo = start.max(cursor);
+                    if end > lo {
+                        occupied += end - lo;
+                        cursor = end;
+                    }
+                }
+                assert!(
+                    occupied <= cycles,
+                    "seed {seed} on {}: lane {tid} occupied {occupied} > {cycles}",
+                    machine.name()
+                );
+            }
+        }
+    }
+}

@@ -245,3 +245,72 @@ fn pareto_frontier_reports_rising_speedup() {
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn sweep_timeline_passes_the_validator() {
+    let dir = scratch("timeline");
+    let timeline = dir.join("sweep-timeline.json");
+    let mut args = sweep_args(&dir, "out.jsonl");
+    args.extend(["--timeline".to_string(), timeline.display().to_string()]);
+    args.extend(["--jobs".to_string(), "4".to_string()]);
+    let output = titalc().args(&args).output().expect("spawn titalc");
+    assert!(output.status.success(), "{}", stderr(&output));
+    // The summary carries the sweep metrics registry.
+    let summary = stdout(&output);
+    assert!(summary.contains("\"sweep.cell_latency_us\""), "{summary}");
+    assert!(summary.contains("\"sweep.executed\""), "{summary}");
+
+    let lint = titalc()
+        .arg("lint")
+        .arg(&timeline)
+        .output()
+        .expect("spawn titalc");
+    assert!(
+        lint.status.success(),
+        "sweep timeline failed validation: {}{}",
+        stdout(&lint),
+        stderr(&lint)
+    );
+    assert!(
+        stdout(&lint).contains("valid timeline"),
+        "{}",
+        stdout(&lint)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Every writer the sweep command can be pointed at must fail the same
+/// way: a diagnostic naming the path and exit code 4.
+#[test]
+fn unwritable_output_paths_all_exit_4() {
+    let dir = scratch("exit4");
+    let missing = dir.join("no-such-dir").join("x.json");
+    for flag in ["--timeline", "--out", "--cache"] {
+        let args = [
+            "sweep",
+            "--grid",
+            "issue=1 pipe=1",
+            "--workloads",
+            "whet",
+            flag,
+        ];
+        let output = titalc()
+            .args(args)
+            .arg(&missing)
+            .output()
+            .expect("spawn titalc");
+        assert_eq!(
+            output.status.code(),
+            Some(4),
+            "{flag}: {}{}",
+            stdout(&output),
+            stderr(&output)
+        );
+        assert!(
+            stderr(&output).contains("no-such-dir"),
+            "{flag} diagnostic must name the path: {}",
+            stderr(&output)
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
