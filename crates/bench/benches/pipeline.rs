@@ -20,29 +20,60 @@ use supersym::trace::{IssueEvent, JsonObject, JsonValue, TraceSink};
 use supersym::workloads::{linpack, stan};
 use supersym::{compile, CompileOptions, OptLevel};
 
+/// Warmup runs before each timed row: populates instruction/data caches,
+/// the allocator, and (for the simulator) the block timing cache, so the
+/// measured iterations see steady state.
+const WARMUP_ITERS: u32 = 3;
+
+/// One timed row: name, mean, minimum, and iteration count.
+struct Row {
+    name: String,
+    mean_ns: u64,
+    min_ns: u64,
+    iters: u32,
+}
+
 /// Collects timing rows and workload-size counters, printing rows as they
 /// finish (table mode) or holding them for one JSON document (`--json`).
 struct Harness {
     json: bool,
-    rows: Vec<(String, u64, u32)>,
+    rows: Vec<Row>,
     counters: Vec<(String, u64)>,
 }
 
 impl Harness {
-    /// Times `f` over `iters` runs (after one warmup) and records the mean
-    /// wall-clock per run.
-    fn time(&mut self, name: &str, iters: u32, mut f: impl FnMut()) {
-        f();
-        let start = Instant::now();
-        for _ in 0..iters {
+    /// Times `f` over `iters` runs (after [`WARMUP_ITERS`] warmups) and
+    /// records the mean and minimum wall-clock per run. The minimum is the
+    /// stable statistic on a noisy box — it is what `bench-diff` compares
+    /// — and is returned for derived throughput counters.
+    fn time(&mut self, name: &str, iters: u32, mut f: impl FnMut()) -> u64 {
+        for _ in 0..WARMUP_ITERS {
             f();
         }
-        let mean = start.elapsed() / iters;
-        if !self.json {
-            println!("{name:40} {mean:>12.2?}/iter  ({iters} iters)");
+        let mut total_ns = 0_u128;
+        let mut min_ns = u128::MAX;
+        for _ in 0..iters {
+            let start = Instant::now();
+            f();
+            let elapsed = start.elapsed().as_nanos();
+            total_ns += elapsed;
+            min_ns = min_ns.min(elapsed);
         }
-        let mean_ns = u64::try_from(mean.as_nanos()).unwrap_or(u64::MAX);
-        self.rows.push((name.to_string(), mean_ns, iters));
+        let mean_ns = u64::try_from(total_ns / u128::from(iters)).unwrap_or(u64::MAX);
+        let min_ns = u64::try_from(min_ns).unwrap_or(u64::MAX);
+        if !self.json {
+            println!(
+                "{name:40} mean {:>10}ns  min {:>10}ns  ({iters} iters)",
+                mean_ns, min_ns
+            );
+        }
+        self.rows.push(Row {
+            name: name.to_string(),
+            mean_ns,
+            min_ns,
+            iters,
+        });
+        min_ns
     }
 
     /// Records a named size counter (instructions per iteration,
@@ -59,11 +90,12 @@ impl Harness {
         let rows = self
             .rows
             .iter()
-            .map(|(name, mean_ns, iters)| {
+            .map(|row| {
                 JsonObject::new()
-                    .field("name", JsonValue::str(name.clone()))
-                    .field("mean_ns", JsonValue::UInt(*mean_ns))
-                    .field("iters", JsonValue::UInt(u64::from(*iters)))
+                    .field("name", JsonValue::str(row.name.clone()))
+                    .field("mean_ns", JsonValue::UInt(row.mean_ns))
+                    .field("min_ns", JsonValue::UInt(row.min_ns))
+                    .field("iters", JsonValue::UInt(u64::from(row.iters)))
                     .build()
             })
             .collect();
@@ -131,10 +163,32 @@ fn bench_simulate(harness: &mut Harness) {
         presets::superscalar_with_class_conflicts(4),
     ] {
         let name = machine.name().replace([' ', '(', ')', ','], "_");
-        harness.time(&format!("simulate/{name}"), 10, || {
+        let min_ns = harness.time(&format!("simulate/{name}"), 10, || {
             black_box(simulate(&program, &machine, SimOptions::default()).unwrap());
         });
+        // Simulator throughput in dynamic instructions per second, from
+        // the row's minimum (the stable statistic).
+        let ips = instructions
+            .saturating_mul(1_000_000_000)
+            .checked_div(min_ns)
+            .unwrap_or(0);
+        harness.count(
+            &format!("simulate/{name}_ips"),
+            ips,
+            &format!("simulate/{name}: {ips} instructions/s"),
+        );
     }
+    // The exact model with the block timing cache disabled — the
+    // before/after pair for the simulator-throughput table in
+    // EXPERIMENTS.md.
+    let exact = SimOptions {
+        block_cache: false,
+        ..SimOptions::default()
+    };
+    let machine = presets::base();
+    harness.time("simulate/base_no_block_cache", 10, || {
+        black_box(simulate(&program, &machine, exact).unwrap());
+    });
 }
 
 /// The cheapest possible live sink: one counter bump per issue event.

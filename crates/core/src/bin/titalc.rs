@@ -116,7 +116,7 @@ USAGE:
     titalc torture [TORTURE OPTIONS]
     titalc synth [--check]
     titalc sweep --grid <SPEC> [SWEEP OPTIONS]
-    titalc bench-diff [--threshold <PCT>] <OLD.json> <NEW.json>
+    titalc bench-diff [--threshold <PCT>] [--only <PREFIX>] <OLD.json> <NEW.json>
 
 OPTIONS:
     -m, --machine <NAME>     machine preset (default: base); see --machines
@@ -251,9 +251,12 @@ SWEEP:
 BENCH-DIFF:
     `titalc bench-diff OLD.json NEW.json` compares two supersym.bench/v1
     snapshots row by row and prints the percent delta of every row's
-    mean. Exits 3 when any row common to both snapshots regressed (got
-    slower) by more than the threshold.
+    mean (the min when the snapshot records one). Exits 3 when any row
+    common to both snapshots regressed (got slower) by more than the
+    threshold.
         --threshold <PCT>    regression tolerance in percent (default: 10)
+        --only <PREFIX>      gate only rows whose name starts with PREFIX
+                             (all rows still print; others never fail)
 
 TORTURE OPTIONS:
     `titalc torture` runs a deterministic fault-injection campaign
@@ -896,8 +899,10 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
     }
 }
 
-/// Loads a `supersym.bench/v1` snapshot as `(name, mean_ns)` rows in file
-/// order. `Err` carries the exit code: `EXIT_USAGE` for unreadable files,
+/// Loads a `supersym.bench/v1` snapshot as `(name, ns)` rows in file
+/// order, preferring the noise-resistant `min_ns` statistic and falling
+/// back to `mean_ns` for snapshots taken before minimums were recorded.
+/// `Err` carries the exit code: `EXIT_USAGE` for unreadable files,
 /// `EXIT_PARSE` for malformed or wrong-schema documents.
 fn load_bench_rows(path: &str) -> Result<Vec<(String, u64)>, ExitCode> {
     let text = match std::fs::read_to_string(path) {
@@ -925,8 +930,9 @@ fn load_bench_rows(path: &str) -> Result<Vec<(String, u64)>, ExitCode> {
     for row in rows {
         let name = row.get("name").and_then(JsonValue::as_str);
         let mean_ns = row.get("mean_ns").and_then(JsonValue::as_u64);
-        match (name, mean_ns) {
-            (Some(name), Some(mean_ns)) => out.push((name.to_string(), mean_ns)),
+        let min_ns = row.get("min_ns").and_then(JsonValue::as_u64);
+        match (name, min_ns.or(mean_ns)) {
+            (Some(name), Some(ns)) => out.push((name.to_string(), ns)),
             _ => return malformed("row without name/mean_ns"),
         }
     }
@@ -936,9 +942,13 @@ fn load_bench_rows(path: &str) -> Result<Vec<(String, u64)>, ExitCode> {
 /// `titalc bench-diff OLD.json NEW.json`: per-row percent deltas between
 /// two bench snapshots. Rows present in only one snapshot are reported but
 /// never counted as regressions. Exits `EXIT_VERIFY` when any common row
-/// got slower by more than the threshold (default 10%).
+/// got slower by more than the threshold (default 10%). With `--only`,
+/// rows outside the prefix are still printed but never fail the diff —
+/// the shape of a gate that blocks on one subsystem while the rest of the
+/// snapshot stays informational.
 fn run_bench_diff(argv: &[String]) -> ExitCode {
     let mut threshold = 10.0_f64;
+    let mut only: Option<&String> = None;
     let mut paths: Vec<&String> = Vec::new();
     let usage = |message: String| -> ExitCode {
         eprintln!("titalc bench-diff: {message}\n\n{USAGE}");
@@ -954,6 +964,10 @@ fn run_bench_diff(argv: &[String]) -> ExitCode {
             "--threshold" => match iter.next().map(|v| v.parse::<f64>()) {
                 Some(Ok(v)) if v > 0.0 => threshold = v,
                 _ => return usage("--threshold needs a positive number".to_string()),
+            },
+            "--only" => match iter.next() {
+                Some(prefix) => only = Some(prefix),
+                None => return usage("--only needs a row-name prefix".to_string()),
             },
             path if !path.starts_with('-') => paths.push(arg),
             other => return usage(format!("unknown option `{other}`")),
@@ -986,7 +1000,8 @@ fn run_bench_diff(argv: &[String]) -> ExitCode {
         } else {
             100.0 * (*new_ns as f64 - old_ns as f64) / old_ns as f64
         };
-        let flag = if delta > threshold {
+        let gated = only.is_none_or(|prefix| name.starts_with(prefix.as_str()));
+        let flag = if delta > threshold && gated {
             regressions += 1;
             "  REGRESSION"
         } else {
@@ -1854,6 +1869,7 @@ fn run_stats(
     registry.counter("sim.stall_cycles", account.total_stall_cycles());
     registry.counter("sim.drain_cycles", account.drain_cycles());
     registry.gauge("sim.ilp", round4(report.available_parallelism()));
+    report.block_cache_stats().register(&mut registry);
     sink.metrics.register(&mut registry);
     let phase_array = sink
         .memory

@@ -134,6 +134,7 @@ impl CellRunner for PipelineCellRunner {
                 max_steps: self.fuel,
                 ..ExecOptions::default()
             },
+            ..SimOptions::default()
         };
         match simulate(&program, &machine, options) {
             Ok(report) => Ok(CellMetrics {

@@ -93,6 +93,7 @@ impl PipelineSubject {
                     max_call_depth: 128,
                     max_steps: 200_000,
                 },
+                ..SimOptions::default()
             },
         }
     }

@@ -7,9 +7,10 @@
 //! a trace.
 
 use crate::error::SimError;
+use crate::paged::PagedArray;
 use supersym_isa::{
-    ClassCensus, FuncId, Instr, InstrClass, IntOp, IntReg, IsaError, Operand, Program, Reg, Uses,
-    MAX_VLEN, NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS,
+    ClassCensus, FpCmpOp, FpOp, FuncId, Function, Instr, InstrClass, IntOp, IntReg, IsaError,
+    Operand, Program, Reg, Uses, MAX_VLEN, NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS,
 };
 
 /// Control-flow outcome of one step.
@@ -75,6 +76,74 @@ impl Default for ExecOptions {
     }
 }
 
+/// Discriminant of a predecoded micro-operation. Operand-carrying opcode
+/// families keep their sub-opcode inline so dispatch is one two-level match
+/// with no further field decoding.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    /// Integer ALU, register right-hand side.
+    IntOpR(IntOp),
+    /// Integer ALU, immediate right-hand side (in `imm`).
+    IntOpI(IntOp),
+    MovI,
+    FpOp(FpOp),
+    FpCmp(FpCmpOp),
+    /// `imm` holds the f64 payload as bits.
+    MovF,
+    FMov,
+    IToF,
+    FToI,
+    Load,
+    LoadF,
+    Store,
+    StoreF,
+    SetVl,
+    VLoad,
+    VStore,
+    VOp(FpOp),
+    VOpS(FpOp),
+    /// `imm` holds the pre-resolved target pc.
+    Br {
+        /// Branch sense: taken when `(cond != 0) == expect`.
+        expect: bool,
+    },
+    /// `imm` holds the pre-resolved target pc.
+    Jmp,
+    /// `imm` holds the callee's function index.
+    Call,
+    Ret,
+    Halt,
+}
+
+/// One predecoded micro-operation: the [`Instr`] payload flattened into a
+/// fixed 16-byte record, with branch/jump labels resolved to instruction
+/// indices so the hot loop never touches the label table.
+///
+/// Field meaning is per-kind: `dst`/`a`/`b` are register indices in
+/// whichever file the opcode addresses (`a` is the left operand or address
+/// base, `b` the right operand or store source), `imm` is the immediate,
+/// address offset, f64 bit pattern, or resolved control target.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: OpKind,
+    dst: u8,
+    a: u8,
+    b: u8,
+    imm: i64,
+}
+
+/// One predecoded instruction record: the executable [`Op`] plus the
+/// [`StepInfo`] metadata (`class`/`uses`/`def` are pure functions of the
+/// static instruction). One table keeps the per-step path to a single
+/// indexed load.
+#[derive(Debug, Clone, Copy)]
+struct Decoded {
+    op: Op,
+    class: InstrClass,
+    uses: Uses,
+    def: Option<Reg>,
+}
+
 /// The architectural interpreter.
 ///
 /// Constructed over a validated program; driven by [`Executor::step`] until
@@ -82,11 +151,23 @@ impl Default for ExecOptions {
 #[derive(Debug, Clone)]
 pub struct Executor<'p> {
     program: &'p Program,
+    /// `decode_base[func]`, cached for the executing function.
+    cur_base: usize,
+    /// Instruction count of the executing function, cached likewise.
+    cur_len: usize,
+    /// Flat-table base offset of each function's instructions.
+    decode_base: Vec<usize>,
+    /// Instruction count per function.
+    func_len: Vec<usize>,
+    /// Predecode table, indexed by `decode_base[func] + pc`: everything
+    /// the per-step path needs, computed once per static instruction at
+    /// construction.
+    decoded: Vec<Decoded>,
     int: [i64; NUM_INT_REGS],
     fp: [f64; NUM_FP_REGS],
     vec: [[f64; MAX_VLEN]; NUM_VEC_REGS],
     vl: usize,
-    memory: Vec<i64>,
+    memory: PagedArray<i64>,
     func: FuncId,
     pc: usize,
     call_stack: Vec<(FuncId, usize)>,
@@ -122,7 +203,7 @@ impl<'p> Executor<'p> {
                 memory_words: options.memory_words,
             });
         }
-        let mut memory = vec![0_i64; options.memory_words];
+        let mut memory = PagedArray::new(options.memory_words);
         for &(addr, value) in program.data() {
             if addr >= memory.len() {
                 return Err(SimError::MemoryOutOfBounds {
@@ -130,13 +211,38 @@ impl<'p> Executor<'p> {
                     memory_words: options.memory_words,
                 });
             }
-            memory[addr] = value;
+            memory.set(addr, value);
         }
         let mut int = [0_i64; NUM_INT_REGS];
         int[IntReg::SP.index() as usize] = options.memory_words as i64;
         int[IntReg::GP.index() as usize] = 0;
+        let mut decode_base = Vec::with_capacity(program.functions().len());
+        let mut func_len = Vec::with_capacity(program.functions().len());
+        let mut decoded = Vec::new();
+        for (index, function) in program.functions().iter().enumerate() {
+            decode_base.push(decoded.len());
+            func_len.push(function.instrs().len());
+            for instr in function.instrs() {
+                decoded.push(Decoded {
+                    op: predecode(instr, function, FuncId::new(index as u32))?,
+                    class: instr.class(),
+                    uses: instr.uses(),
+                    def: instr.def(),
+                });
+            }
+        }
+        program
+            .try_function(entry)
+            .ok_or(SimError::UnknownFunction(entry))?;
+        let cur_base = decode_base[entry.index()];
+        let cur_len = func_len[entry.index()];
         Ok(Executor {
             program,
+            cur_base,
+            cur_len,
+            decode_base,
+            func_len,
+            decoded,
             int,
             fp: [0.0; NUM_FP_REGS],
             vec: [[0.0; MAX_VLEN]; NUM_VEC_REGS],
@@ -162,6 +268,12 @@ impl<'p> Executor<'p> {
     #[must_use]
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Packed `(func << 32) | pc` of the *next* instruction to execute —
+    /// the trace cache's break rule peeks at where control went.
+    pub(crate) fn cursor(&self) -> u64 {
+        (u64::from(self.func.index() as u32) << 32) | self.pc as u64
     }
 
     /// The dynamic instruction census so far.
@@ -209,24 +321,12 @@ impl<'p> Executor<'p> {
     /// Panics if `addr` is out of range.
     #[must_use]
     pub fn memory_word(&self, addr: usize) -> i64 {
-        self.memory[addr]
+        self.memory.get(addr)
     }
 
-    fn write_int(&mut self, reg: IntReg, value: i64) {
-        if !reg.is_zero() {
-            self.int[reg.index() as usize] = value;
-        }
-    }
-
-    fn operand(&self, operand: Operand) -> i64 {
-        match operand {
-            Operand::Reg(r) => self.int_reg(r),
-            Operand::Imm(v) => v,
-        }
-    }
-
-    fn addr(&self, base: IntReg, offset: i64) -> Result<usize, SimError> {
-        let addr = self.int_reg(base).wrapping_add(offset);
+    #[inline]
+    fn addr(&self, base: u8, offset: i64) -> Result<usize, SimError> {
+        let addr = self.int[base as usize].wrapping_add(offset);
         if addr < 0 || addr as usize >= self.memory.len() {
             Err(SimError::MemoryOutOfBounds {
                 addr,
@@ -245,6 +345,7 @@ impl<'p> Executor<'p> {
     ///
     /// Propagates memory faults, call-stack overflow, step-limit overruns,
     /// and falling off the end of a function.
+    #[inline]
     pub fn step(&mut self) -> Result<Option<StepInfo>, SimError> {
         if self.halted {
             return Ok(None);
@@ -254,97 +355,103 @@ impl<'p> Executor<'p> {
                 limit: self.options.max_steps,
             });
         }
-        let function = self
-            .program
-            .try_function(self.func)
-            .ok_or(SimError::UnknownFunction(self.func))?;
-        let Some(instr) = function.instrs().get(self.pc) else {
+        if self.pc >= self.cur_len {
             return Err(SimError::FellOffFunction(self.func));
-        };
+        }
         let info_pc = self.pc;
         let info_func = self.func;
-        let class = instr.class();
-        let uses = instr.uses();
-        let def = instr.def();
+        let slot = self.cur_base + self.pc;
+        let Decoded {
+            op,
+            class,
+            uses,
+            def,
+        } = self.decoded[slot];
         let mut mem = None;
         let mut vlen = 0_u32;
         let mut control = ControlEvent::None;
         let mut next_pc = self.pc + 1;
 
-        match instr {
-            Instr::IntOp { op, dst, lhs, rhs } => {
-                let a = self.int_reg(*lhs);
-                let b = self.operand(*rhs);
-                let value = eval_int_op(*op, a, b);
-                self.write_int(*dst, value);
+        // Register reads index the file directly: `int[0]` (the zero
+        // register) is never written, so reads need no zero check; only
+        // integer writes are guarded.
+        match op.kind {
+            OpKind::IntOpR(int_op) => {
+                let value = eval_int_op(int_op, self.int[op.a as usize], self.int[op.b as usize]);
+                if op.dst != 0 {
+                    self.int[op.dst as usize] = value;
+                }
             }
-            Instr::MovI { dst, imm } => self.write_int(*dst, *imm),
-            Instr::FpOp { op, dst, lhs, rhs } => {
-                let a = self.fp[lhs.index() as usize];
-                let b = self.fp[rhs.index() as usize];
-                self.fp[dst.index() as usize] = eval_fp_op(*op, a, b);
+            OpKind::IntOpI(int_op) => {
+                let value = eval_int_op(int_op, self.int[op.a as usize], op.imm);
+                if op.dst != 0 {
+                    self.int[op.dst as usize] = value;
+                }
             }
-            Instr::FpCmp { op, dst, lhs, rhs } => {
-                let a = self.fp[lhs.index() as usize];
-                let b = self.fp[rhs.index() as usize];
-                let value = match op {
-                    supersym_isa::FpCmpOp::FEq => a == b,
-                    supersym_isa::FpCmpOp::FNe => a != b,
-                    supersym_isa::FpCmpOp::FLt => a < b,
-                    supersym_isa::FpCmpOp::FLe => a <= b,
-                    supersym_isa::FpCmpOp::FGt => a > b,
-                    supersym_isa::FpCmpOp::FGe => a >= b,
+            OpKind::MovI => {
+                if op.dst != 0 {
+                    self.int[op.dst as usize] = op.imm;
+                }
+            }
+            OpKind::FpOp(fp_op) => {
+                let a = self.fp[op.a as usize];
+                let b = self.fp[op.b as usize];
+                self.fp[op.dst as usize] = eval_fp_op(fp_op, a, b);
+            }
+            OpKind::FpCmp(cmp) => {
+                let a = self.fp[op.a as usize];
+                let b = self.fp[op.b as usize];
+                let value = match cmp {
+                    FpCmpOp::FEq => a == b,
+                    FpCmpOp::FNe => a != b,
+                    FpCmpOp::FLt => a < b,
+                    FpCmpOp::FLe => a <= b,
+                    FpCmpOp::FGt => a > b,
+                    FpCmpOp::FGe => a >= b,
                 };
-                self.write_int(*dst, i64::from(value));
+                if op.dst != 0 {
+                    self.int[op.dst as usize] = i64::from(value);
+                }
             }
-            Instr::MovF { dst, imm } => self.fp[dst.index() as usize] = *imm,
-            Instr::FMov { dst, src } => {
-                self.fp[dst.index() as usize] = self.fp[src.index() as usize];
+            OpKind::MovF => self.fp[op.dst as usize] = f64::from_bits(op.imm as u64),
+            OpKind::FMov => self.fp[op.dst as usize] = self.fp[op.a as usize],
+            OpKind::IToF => self.fp[op.dst as usize] = self.int[op.a as usize] as f64,
+            OpKind::FToI => {
+                let value = self.fp[op.a as usize];
+                if op.dst != 0 {
+                    self.int[op.dst as usize] = value as i64;
+                }
             }
-            Instr::IToF { dst, src } => {
-                self.fp[dst.index() as usize] = self.int_reg(*src) as f64;
-            }
-            Instr::FToI { dst, src } => {
-                let value = self.fp[src.index() as usize];
-                self.write_int(*dst, value as i64);
-            }
-            Instr::Load {
-                dst, base, offset, ..
-            } => {
-                let addr = self.addr(*base, *offset)?;
-                let value = self.memory[addr];
-                self.write_int(*dst, value);
+            OpKind::Load => {
+                let addr = self.addr(op.a, op.imm)?;
+                let value = self.memory.get(addr);
+                if op.dst != 0 {
+                    self.int[op.dst as usize] = value;
+                }
                 mem = Some((addr, false));
             }
-            Instr::LoadF {
-                dst, base, offset, ..
-            } => {
-                let addr = self.addr(*base, *offset)?;
-                self.fp[dst.index() as usize] = f64::from_bits(self.memory[addr] as u64);
+            OpKind::LoadF => {
+                let addr = self.addr(op.a, op.imm)?;
+                self.fp[op.dst as usize] = f64::from_bits(self.memory.get(addr) as u64);
                 mem = Some((addr, false));
             }
-            Instr::Store {
-                src, base, offset, ..
-            } => {
-                let addr = self.addr(*base, *offset)?;
-                self.memory[addr] = self.int_reg(*src);
+            OpKind::Store => {
+                let addr = self.addr(op.a, op.imm)?;
+                self.memory.set(addr, self.int[op.b as usize]);
                 mem = Some((addr, true));
             }
-            Instr::StoreF {
-                src, base, offset, ..
-            } => {
-                let addr = self.addr(*base, *offset)?;
-                self.memory[addr] = self.fp[src.index() as usize].to_bits() as i64;
+            OpKind::StoreF => {
+                let addr = self.addr(op.a, op.imm)?;
+                self.memory
+                    .set(addr, self.fp[op.b as usize].to_bits() as i64);
                 mem = Some((addr, true));
             }
-            Instr::SetVl { src } => {
-                let requested = self.int_reg(*src);
+            OpKind::SetVl => {
+                let requested = self.int[op.a as usize];
                 self.vl = requested.clamp(0, MAX_VLEN as i64) as usize;
             }
-            Instr::VLoad {
-                dst, base, offset, ..
-            } => {
-                let addr = self.addr(*base, *offset)?;
+            OpKind::VLoad => {
+                let addr = self.addr(op.a, op.imm)?;
                 if addr + self.vl > self.memory.len() {
                     return Err(SimError::MemoryOutOfBounds {
                         addr: (addr + self.vl) as i64,
@@ -352,16 +459,13 @@ impl<'p> Executor<'p> {
                     });
                 }
                 for k in 0..self.vl {
-                    self.vec[dst.index() as usize][k] =
-                        f64::from_bits(self.memory[addr + k] as u64);
+                    self.vec[op.dst as usize][k] = f64::from_bits(self.memory.get(addr + k) as u64);
                 }
                 mem = Some((addr, false));
                 vlen = self.vl as u32;
             }
-            Instr::VStore {
-                src, base, offset, ..
-            } => {
-                let addr = self.addr(*base, *offset)?;
+            OpKind::VStore => {
+                let addr = self.addr(op.a, op.imm)?;
                 if addr + self.vl > self.memory.len() {
                     return Err(SimError::MemoryOutOfBounds {
                         addr: (addr + self.vl) as i64,
@@ -369,74 +473,61 @@ impl<'p> Executor<'p> {
                     });
                 }
                 for k in 0..self.vl {
-                    self.memory[addr + k] = self.vec[src.index() as usize][k].to_bits() as i64;
+                    self.memory
+                        .set(addr + k, self.vec[op.b as usize][k].to_bits() as i64);
                 }
                 mem = Some((addr, true));
                 vlen = self.vl as u32;
             }
-            Instr::VOp { op, dst, lhs, rhs } => {
+            OpKind::VOp(fp_op) => {
                 for k in 0..self.vl {
-                    let a = self.vec[lhs.index() as usize][k];
-                    let b = self.vec[rhs.index() as usize][k];
-                    self.vec[dst.index() as usize][k] = eval_fp_op(*op, a, b);
+                    let a = self.vec[op.a as usize][k];
+                    let b = self.vec[op.b as usize][k];
+                    self.vec[op.dst as usize][k] = eval_fp_op(fp_op, a, b);
                 }
                 vlen = self.vl as u32;
             }
-            Instr::VOpS {
-                op,
-                dst,
-                lhs,
-                scalar,
-            } => {
-                let b = self.fp[scalar.index() as usize];
+            OpKind::VOpS(fp_op) => {
+                let b = self.fp[op.b as usize];
                 for k in 0..self.vl {
-                    let a = self.vec[lhs.index() as usize][k];
-                    self.vec[dst.index() as usize][k] = eval_fp_op(*op, a, b);
+                    let a = self.vec[op.a as usize][k];
+                    self.vec[op.dst as usize][k] = eval_fp_op(fp_op, a, b);
                 }
                 vlen = self.vl as u32;
             }
-            Instr::Br {
-                cond,
-                expect,
-                target,
-            } => {
-                let taken = (self.int_reg(*cond) != 0) == *expect;
+            OpKind::Br { expect } => {
+                let taken = (self.int[op.a as usize] != 0) == expect;
                 if taken {
-                    next_pc = function
-                        .try_resolve(*target)
-                        .ok_or(SimError::DanglingLabel {
-                            func: self.func,
-                            slot: target.slot(),
-                        })?;
+                    next_pc = op.imm as usize;
                 }
                 control = ControlEvent::Branch { taken };
             }
-            Instr::Jmp { target } => {
-                next_pc = function
-                    .try_resolve(*target)
-                    .ok_or(SimError::DanglingLabel {
-                        func: self.func,
-                        slot: target.slot(),
-                    })?;
+            OpKind::Jmp => {
+                next_pc = op.imm as usize;
                 control = ControlEvent::Jump;
             }
-            Instr::Call { target } => {
+            OpKind::Call => {
                 if self.call_stack.len() >= self.options.max_call_depth {
                     return Err(SimError::CallStackOverflow {
                         limit: self.options.max_call_depth,
                     });
                 }
+                let target = FuncId::new(op.imm as u32);
                 if target.index() >= self.program.functions().len() {
-                    return Err(SimError::UnknownFunction(*target));
+                    return Err(SimError::UnknownFunction(target));
                 }
                 self.call_stack.push((self.func, self.pc + 1));
-                self.func = *target;
+                self.func = target;
+                self.cur_base = self.decode_base[target.index()];
+                self.cur_len = self.func_len[target.index()];
                 next_pc = 0;
                 control = ControlEvent::Call;
             }
-            Instr::Ret => match self.call_stack.pop() {
+            OpKind::Ret => match self.call_stack.pop() {
                 Some((func, pc)) => {
                     self.func = func;
+                    self.cur_base = self.decode_base[func.index()];
+                    self.cur_len = self.func_len[func.index()];
                     next_pc = pc;
                     control = ControlEvent::Return;
                 }
@@ -445,7 +536,7 @@ impl<'p> Executor<'p> {
                     control = ControlEvent::Halt;
                 }
             },
-            Instr::Halt => {
+            OpKind::Halt => {
                 self.halted = true;
                 control = ControlEvent::Halt;
             }
@@ -475,6 +566,130 @@ impl<'p> Executor<'p> {
         while self.step()?.is_some() {}
         Ok(())
     }
+}
+
+/// Flattens one static instruction into its [`Op`] record, resolving
+/// branch/jump labels to instruction indices. Post-[`Program::validate`]
+/// the label lookups cannot fail, but a dangling label is still reported as
+/// a typed error rather than a panic.
+fn predecode(instr: &Instr, function: &Function, func: FuncId) -> Result<Op, SimError> {
+    let op = |kind: OpKind, dst: u8, a: u8, b: u8, imm: i64| Op {
+        kind,
+        dst,
+        a,
+        b,
+        imm,
+    };
+    let resolve = |label: supersym_isa::Label| {
+        function.try_resolve(label).ok_or(SimError::DanglingLabel {
+            func,
+            slot: label.slot(),
+        })
+    };
+    Ok(match instr {
+        Instr::IntOp {
+            op: int_op,
+            dst,
+            lhs,
+            rhs,
+        } => match rhs {
+            Operand::Reg(r) => op(
+                OpKind::IntOpR(*int_op),
+                dst.index(),
+                lhs.index(),
+                r.index(),
+                0,
+            ),
+            Operand::Imm(v) => op(OpKind::IntOpI(*int_op), dst.index(), lhs.index(), 0, *v),
+        },
+        Instr::MovI { dst, imm } => op(OpKind::MovI, dst.index(), 0, 0, *imm),
+        Instr::FpOp {
+            op: fp_op,
+            dst,
+            lhs,
+            rhs,
+        } => op(
+            OpKind::FpOp(*fp_op),
+            dst.index(),
+            lhs.index(),
+            rhs.index(),
+            0,
+        ),
+        Instr::FpCmp {
+            op: cmp,
+            dst,
+            lhs,
+            rhs,
+        } => op(
+            OpKind::FpCmp(*cmp),
+            dst.index(),
+            lhs.index(),
+            rhs.index(),
+            0,
+        ),
+        Instr::MovF { dst, imm } => op(OpKind::MovF, dst.index(), 0, 0, imm.to_bits() as i64),
+        Instr::FMov { dst, src } => op(OpKind::FMov, dst.index(), src.index(), 0, 0),
+        Instr::IToF { dst, src } => op(OpKind::IToF, dst.index(), src.index(), 0, 0),
+        Instr::FToI { dst, src } => op(OpKind::FToI, dst.index(), src.index(), 0, 0),
+        Instr::Load {
+            dst, base, offset, ..
+        } => op(OpKind::Load, dst.index(), base.index(), 0, *offset),
+        Instr::LoadF {
+            dst, base, offset, ..
+        } => op(OpKind::LoadF, dst.index(), base.index(), 0, *offset),
+        Instr::Store {
+            src, base, offset, ..
+        } => op(OpKind::Store, 0, base.index(), src.index(), *offset),
+        Instr::StoreF {
+            src, base, offset, ..
+        } => op(OpKind::StoreF, 0, base.index(), src.index(), *offset),
+        Instr::SetVl { src } => op(OpKind::SetVl, 0, src.index(), 0, 0),
+        Instr::VLoad {
+            dst, base, offset, ..
+        } => op(OpKind::VLoad, dst.index(), base.index(), 0, *offset),
+        Instr::VStore {
+            src, base, offset, ..
+        } => op(OpKind::VStore, 0, base.index(), src.index(), *offset),
+        Instr::VOp {
+            op: fp_op,
+            dst,
+            lhs,
+            rhs,
+        } => op(
+            OpKind::VOp(*fp_op),
+            dst.index(),
+            lhs.index(),
+            rhs.index(),
+            0,
+        ),
+        Instr::VOpS {
+            op: fp_op,
+            dst,
+            lhs,
+            scalar,
+        } => op(
+            OpKind::VOpS(*fp_op),
+            dst.index(),
+            lhs.index(),
+            scalar.index(),
+            0,
+        ),
+        Instr::Br {
+            cond,
+            expect,
+            target,
+        } => op(
+            OpKind::Br { expect: *expect },
+            0,
+            cond.index(),
+            0,
+            resolve(*target)? as i64,
+        ),
+        Instr::Jmp { target } => op(OpKind::Jmp, 0, 0, 0, resolve(*target)? as i64),
+        Instr::Call { target } => op(OpKind::Call, 0, 0, 0, target.index() as i64),
+        Instr::Ret => op(OpKind::Ret, 0, 0, 0, 0),
+        Instr::Halt => op(OpKind::Halt, 0, 0, 0, 0),
+    })
 }
 
 fn eval_fp_op(op: supersym_isa::FpOp, a: f64, b: f64) -> f64 {

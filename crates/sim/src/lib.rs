@@ -50,15 +50,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod block;
 mod cache;
 pub mod diagram;
 mod error;
 mod exec;
 mod limits;
 mod metrics;
+mod paged;
 mod report;
 mod timing;
 
+pub use block::BlockCacheStats;
 pub use cache::{
     issue_speedup_with_miss_burden, Cache, CacheConfig, CacheStats, CacheSystem, MissCostRow,
 };

@@ -301,6 +301,7 @@ mod tests {
             &presets::ideal_superscalar(8),
             crate::SimOptions {
                 exec: options_small(),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -1,0 +1,115 @@
+//! A lazily populated, page-granular flat array.
+//!
+//! The executor's data memory and the timing model's store-to-load
+//! scoreboard are both logically `memory_words` long (1 MiW by default) but
+//! touch only a tiny, clustered fraction of that span per run: the globals
+//! at the bottom and the stack at the top. Allocating and zeroing the full
+//! dense vector dominated the cost of short simulations — it was most of
+//! `Executor::new` and `TimingModel::new` in profile — so both now sit on
+//! this structure: a page table of lazily allocated, zero-initialized
+//! pages. Reads of an unmapped page return `T::default()` without mapping
+//! it; only writes allocate.
+//!
+//! Semantics are identical to a dense `vec![T::default(); len]`: every
+//! element reads as the default until written, and indexing past `len` is
+//! a caller bug (bounds are checked by the callers before any access, as
+//! they were for the dense vectors).
+
+/// log2 of the page size in elements.
+const PAGE_SHIFT: usize = 12;
+/// Elements per page (4096 — 32 KiB of `u64`/`i64` per mapped page).
+const PAGE_LEN: usize = 1 << PAGE_SHIFT;
+/// Index mask within a page.
+const PAGE_MASK: usize = PAGE_LEN - 1;
+
+/// A fixed-length array whose zero pages are materialized on first write.
+#[derive(Debug, Clone)]
+pub(crate) struct PagedArray<T> {
+    pages: Vec<Option<Box<[T; PAGE_LEN]>>>,
+    len: usize,
+}
+
+impl<T: Copy + Default> PagedArray<T> {
+    /// A logically zeroed array of `len` elements; allocates only the page
+    /// table (one pointer per 4096 elements).
+    pub(crate) fn new(len: usize) -> Self {
+        let pages = len.div_ceil(PAGE_LEN);
+        PagedArray {
+            pages: (0..pages).map(|_| None).collect(),
+            len,
+        }
+    }
+
+    /// Logical length in elements.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Reads element `index` (`T::default()` when its page was never
+    /// written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub(crate) fn get(&self, index: usize) -> T {
+        assert!(index < self.len, "PagedArray index {index} out of bounds");
+        match &self.pages[index >> PAGE_SHIFT] {
+            Some(page) => page[index & PAGE_MASK],
+            None => T::default(),
+        }
+    }
+
+    /// Writes element `index`, materializing its page if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub(crate) fn set(&mut self, index: usize, value: T) {
+        assert!(index < self.len, "PagedArray index {index} out of bounds");
+        let page = self.pages[index >> PAGE_SHIFT]
+            .get_or_insert_with(|| Box::new([T::default(); PAGE_LEN]));
+        page[index & PAGE_MASK] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_default_until_written() {
+        let mut array: PagedArray<u64> = PagedArray::new(10_000);
+        assert_eq!(array.len(), 10_000);
+        assert_eq!(array.get(0), 0);
+        assert_eq!(array.get(9_999), 0);
+        array.set(9_999, 7);
+        assert_eq!(array.get(9_999), 7);
+        assert_eq!(array.get(9_998), 0);
+    }
+
+    #[test]
+    fn pages_materialize_independently() {
+        let mut array: PagedArray<i64> = PagedArray::new(3 * PAGE_LEN);
+        array.set(PAGE_LEN + 1, -5);
+        assert_eq!(array.get(PAGE_LEN + 1), -5);
+        assert_eq!(array.get(0), 0);
+        assert_eq!(array.get(2 * PAGE_LEN), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let array: PagedArray<u64> = PagedArray::new(5);
+        let _ = array.get(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_set_panics() {
+        let mut array: PagedArray<u64> = PagedArray::new(5);
+        array.set(5, 1);
+    }
+}

@@ -1,18 +1,33 @@
 //! Coupled functional + timing simulation and its report.
 
+use crate::block::{BlockCache, BlockCacheStats, BlockStart};
 use crate::cache::{CacheConfig, CacheStats, CacheSystem};
 use crate::error::SimError;
 use crate::exec::{ExecOptions, Executor};
 use crate::timing::{CycleAccount, TimingModel};
 use supersym_isa::{ClassCensus, Program};
 use supersym_machine::MachineConfig;
-use supersym_trace::{IssueEvent, TraceSink};
+use supersym_trace::{BlockReplayEvent, IssueEvent, TraceSink};
 
 /// Options for [`simulate`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimOptions {
     /// Functional-execution options.
     pub exec: ExecOptions,
+    /// Whether the block timing cache is enabled (default `true`). The
+    /// cache is bit-exact — disabling it changes nothing but speed; the
+    /// switch exists for differential testing and for measuring the cache
+    /// itself.
+    pub block_cache: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            exec: ExecOptions::default(),
+            block_cache: true,
+        }
+    }
 }
 
 /// How many critical producers a [`SimReport`] keeps.
@@ -42,6 +57,7 @@ pub struct SimReport {
     census: ClassCensus,
     account: CycleAccount,
     producers: Vec<CriticalProducer>,
+    block_cache: BlockCacheStats,
 }
 
 impl SimReport {
@@ -89,6 +105,13 @@ impl SimReport {
     #[must_use]
     pub fn critical_producers(&self) -> &[CriticalProducer] {
         &self.producers
+    }
+
+    /// Block-timing-cache counters for the run (all zero when the cache
+    /// was disabled or the run took a cache-free path).
+    #[must_use]
+    pub fn block_cache_stats(&self) -> BlockCacheStats {
+        self.block_cache
     }
 
     /// Instructions per base cycle. On an ideal machine of unlimited width
@@ -145,6 +168,45 @@ pub fn simulate_with_sink(
     run_lockstep(program, config, options, Some(sink))
 }
 
+/// Where the lockstep driver is within the current trace.
+///
+/// `Copy`, matched by value and reassigned explicitly — the state machine
+/// only ever moves forward within a trace and resets at its boundary.
+/// `entry` is the packed trace-entry location throughout (for the break
+/// rule's loop-closure test and the telemetry event).
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// The next step enters a new trace; ask the cache what to do.
+    Boundary,
+    /// Run the exact model to the end of the trace (post-fallback).
+    Exact { entry: u64 },
+    /// Run the exact model, capturing a recording for `block`.
+    Recording { block: u32, entry: u64 },
+    /// Replay a recorded variant, verifying each step.
+    Replaying {
+        block: u32,
+        variant: u32,
+        /// Steps replayed so far (index of the next step).
+        pos: u32,
+        /// Entry cycle the deltas are applied against.
+        base: u64,
+        entry: u64,
+    },
+}
+
+fn issue_event(info: &crate::exec::StepInfo, record: crate::timing::IssueRecord) -> IssueEvent {
+    IssueEvent {
+        func: info.func.index() as u32,
+        pc: info.pc as u64,
+        class: info.class.mnemonic(),
+        issue: record.issue,
+        complete: record.complete,
+        drain: record.drain,
+        wait: record.wait,
+        cause: record.cause.map(|cause| cause.label()),
+    }
+}
+
 fn run_lockstep(
     program: &Program,
     config: &MachineConfig,
@@ -154,22 +216,188 @@ fn run_lockstep(
     let mut exec = Executor::new(program, options.exec)?;
     let mut timing = TimingModel::new(config, options.exec.memory_words);
     timing.track_producers(program);
-    while let Some(info) = exec.step()? {
-        let record = timing.issue(&info);
-        if let Some(sink) = sink.as_deref_mut() {
-            sink.issue(&IssueEvent {
-                func: info.func.index() as u32,
-                pc: info.pc as u64,
-                class: info.class.mnemonic(),
-                issue: record.issue,
-                complete: record.complete,
-                drain: record.drain,
-                wait: record.wait,
-                cause: record.cause.map(|cause| cause.label()),
-            });
+    let stats = if options.block_cache {
+        let mut cache = BlockCache::new(program, &timing);
+        match sink.as_deref_mut() {
+            None => run_bulk(&mut cache, &mut exec, &mut timing)?,
+            Some(sink) => run_cached_with_sink(&mut cache, &mut exec, &mut timing, sink)?,
+        }
+        cache.stats
+    } else {
+        // Cache off: the plain lockstep loop, no trace bookkeeping at all.
+        while let Some(info) = exec.step()? {
+            let record = timing.issue(&info);
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.issue(&issue_event(&info, record));
+            }
+        }
+        BlockCacheStats::default()
+    };
+    Ok(finish_report(program, config, &exec, &timing, stats))
+}
+
+/// The sink-free cached loop — the hot path behind [`simulate`]. Replays
+/// defer all timing-state writes to one aggregated delta per trace, so a
+/// verified step costs a few compares plus the live memory effects.
+///
+/// Structured as nested loops rather than a per-step mode dispatch: each
+/// trace visit runs one tight inner loop (replay, record, or exact tail)
+/// with its state in locals, and `'trace` restarts at the next boundary.
+///
+/// The executor only returns `None` after a `Halt` step, and `Halt` always
+/// ends a trace — so the inner loops' "stream ended" breaks are
+/// unreachable-in-practice guards, not trace-state leaks.
+fn run_bulk(
+    cache: &mut BlockCache,
+    exec: &mut Executor<'_>,
+    timing: &mut TimingModel,
+) -> Result<(), SimError> {
+    use crate::block::{packed_loc, trace_break, TraceRun, MAX_TRACE_LEN};
+    'trace: loop {
+        let Some(first) = exec.step()? else {
+            return Ok(());
+        };
+        let entry = packed_loc(&first);
+        match cache.begin_block(&first, timing) {
+            BlockStart::Record { block } => {
+                let mut info = first;
+                loop {
+                    cache.observe_step(&info, timing);
+                    let (record, detail) = timing.issue_with_detail(&info);
+                    cache.record_step(&info, record, detail);
+                    if trace_break(info.control, info.pc, exec.cursor(), entry)
+                        || cache.recorded_len() >= MAX_TRACE_LEN
+                    {
+                        cache.finish_recording(block, timing);
+                        continue 'trace;
+                    }
+                    match exec.step()? {
+                        Some(next) => info = next,
+                        None => return Ok(()),
+                    }
+                }
+            }
+            BlockStart::Replay {
+                block,
+                variant,
+                base,
+            } => match cache.replay_trace(block, variant, base, &first, exec, timing)? {
+                TraceRun::Completed => {}
+                TraceRun::Ended => return Ok(()),
+                TraceRun::Diverged(diverged) => {
+                    // The verified prefix has been materialized exactly;
+                    // issue the diverging step on the exact model, then
+                    // treat the divergence as a trace boundary. The next
+                    // instruction starts a fresh trace, so divergent paths
+                    // (loop exits, data-dependent branches) earn their own
+                    // cached traces instead of replaying nothing.
+                    timing.issue(&diverged);
+                    continue 'trace;
+                }
+            },
         }
     }
-    Ok(finish_report(program, config, &exec, &timing))
+}
+
+/// The sink-attached cached loop: replays apply state per instruction so
+/// every dynamic instruction still emits an exact [`IssueEvent`], plus one
+/// [`BlockReplayEvent`] per finished or abandoned replay.
+fn run_cached_with_sink(
+    cache: &mut BlockCache,
+    exec: &mut Executor<'_>,
+    timing: &mut TimingModel,
+    sink: &mut dyn TraceSink,
+) -> Result<(), SimError> {
+    use crate::block::{packed_loc, trace_break, MAX_TRACE_LEN};
+    let replay_event = |entry: u64, base: u64, instructions: u32, hit: bool| BlockReplayEvent {
+        func: (entry >> 32) as u32,
+        pc: entry & 0xFFFF_FFFF,
+        cycle: base,
+        instructions,
+        hit,
+    };
+    let mut mode = Mode::Boundary;
+    while let Some(info) = exec.step()? {
+        if let Mode::Boundary = mode {
+            mode = match cache.begin_block(&info, timing) {
+                BlockStart::Record { block, .. } => Mode::Recording {
+                    block,
+                    entry: packed_loc(&info),
+                },
+                BlockStart::Replay {
+                    block,
+                    variant,
+                    base,
+                } => Mode::Replaying {
+                    block,
+                    variant,
+                    pos: 0,
+                    base,
+                    entry: packed_loc(&info),
+                },
+            };
+        }
+        let record = match mode {
+            Mode::Boundary => unreachable!("boundary resolves before issue"),
+            Mode::Exact { entry } => {
+                let record = timing.issue(&info);
+                if trace_break(info.control, info.pc, exec.cursor(), entry) {
+                    mode = Mode::Boundary;
+                }
+                record
+            }
+            Mode::Recording { block, entry } => {
+                cache.observe_step(&info, timing);
+                let (record, detail) = timing.issue_with_detail(&info);
+                cache.record_step(&info, record, detail);
+                if trace_break(info.control, info.pc, exec.cursor(), entry)
+                    || cache.recorded_len() >= MAX_TRACE_LEN
+                {
+                    cache.finish_recording(block, timing);
+                    mode = Mode::Boundary;
+                }
+                record
+            }
+            Mode::Replaying {
+                block,
+                variant,
+                pos,
+                base,
+                entry,
+            } => match cache.replay_step(block, variant, pos, base, &info, timing) {
+                Some((record, done)) => {
+                    if done {
+                        sink.block_replay(&replay_event(entry, base, pos + 1, true));
+                        mode = Mode::Boundary;
+                    } else {
+                        mode = Mode::Replaying {
+                            block,
+                            variant,
+                            pos: pos + 1,
+                            base,
+                            entry,
+                        };
+                    }
+                    record
+                }
+                None => {
+                    // Verification drift: the eagerly-applied prefix is
+                    // already exact; finish the trace on the exact model.
+                    cache.stats.fallbacks += 1;
+                    sink.block_replay(&replay_event(entry, base, pos, false));
+                    let record = timing.issue(&info);
+                    mode = if trace_break(info.control, info.pc, exec.cursor(), entry) {
+                        Mode::Boundary
+                    } else {
+                        Mode::Exact { entry }
+                    };
+                    record
+                }
+            },
+        };
+        sink.issue(&issue_event(&info, record));
+    }
+    Ok(())
 }
 
 /// Resolves the timing model's flat producer table against the program and
@@ -179,6 +407,7 @@ fn finish_report(
     config: &MachineConfig,
     exec: &Executor<'_>,
     timing: &TimingModel,
+    block_cache: BlockCacheStats,
 ) -> SimReport {
     let waits = timing.producer_waits();
     let mut producers: Vec<(usize, CriticalProducer)> = Vec::new();
@@ -213,6 +442,7 @@ fn finish_report(
         census: *exec.census(),
         account: timing.account(),
         producers,
+        block_cache,
     }
 }
 
@@ -271,7 +501,10 @@ pub fn simulate_with_cache(
             caches.data(addr as u64);
         }
     }
-    let report = finish_report(program, config, &exec, &timing);
+    // The I/D-cache path drives the exact timing model directly (the block
+    // cache memoizes only the issue model, not the cache system's access
+    // stream — see DESIGN.md §12).
+    let report = finish_report(program, config, &exec, &timing, BlockCacheStats::default());
     let cache_report = CacheReport {
         icache: caches.icache_stats(),
         dcache: caches.dcache_stats(),

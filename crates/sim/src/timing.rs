@@ -31,13 +31,14 @@
 //! hard-coded.
 
 use crate::exec::{ControlEvent, StepInfo};
+use crate::paged::PagedArray;
 use supersym_isa::{InstrClass, Program, Reg, NUM_CLASSES};
 use supersym_machine::MachineConfig;
 
-const NUM_REGS: usize = Reg::DENSE_SPACE;
+pub(crate) const NUM_REGS: usize = Reg::DENSE_SPACE;
 
 /// Sentinel in the writer table: this register has never been written.
-const NO_WRITER: u64 = u64::MAX;
+pub(crate) const NO_WRITER: u64 = u64::MAX;
 
 /// Why a dynamic instruction could not issue sooner.
 ///
@@ -262,42 +263,65 @@ impl CycleAccount {
     }
 }
 
+/// Everything [`TimingModel::issue_with_detail`] knows about an issue
+/// beyond the public [`IssueRecord`] — the internal choices the block
+/// cache (see [`crate::block`]) must capture to replay the issue exactly.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IssueDetail {
+    /// Functional unit the instruction reserved.
+    pub(crate) fu: usize,
+    /// Absolute cycle the reserved slot frees again.
+    pub(crate) slot_free: u64,
+    /// Empty machine cycles charged to the binding cause (cycle view).
+    pub(crate) empty: u64,
+    /// Whether this issue advanced `cur_cycle`.
+    pub(crate) advance: bool,
+    /// Whether this issue opened a new issue cycle (`issue_cycles += 1`).
+    pub(crate) count_issue: bool,
+    /// The store-to-load constraint value (max `mem_ready` over the span).
+    pub(crate) mem_constraint: u64,
+}
+
 /// The pipeline timing model. Feed it the [`StepInfo`] stream produced by an
 /// [`Executor`](crate::Executor).
+///
+/// Fields are `pub(crate)` so the block timing cache (`crate::block`) can
+/// snapshot entry state and apply replay deltas without indirection; the
+/// public API surface is unchanged.
 #[derive(Debug, Clone)]
 pub struct TimingModel {
-    width: u32,
-    pipe_degree: u32,
-    perfect_branch_prediction: bool,
-    taken_branch_breaks_issue: bool,
-    latency: [u64; NUM_CLASSES],
-    fu_of: [usize; NUM_CLASSES],
-    fu_issue_latency: Vec<u64>,
-    fu_slots: Vec<Vec<u64>>,
-    reg_ready: [u64; NUM_REGS],
-    mem_ready: Vec<u64>,
-    cur_cycle: u64,
-    issued_in_cycle: u32,
-    control_stall_until: u64,
-    last_completion: u64,
-    instructions: u64,
+    pub(crate) width: u32,
+    pub(crate) pipe_degree: u32,
+    pub(crate) perfect_branch_prediction: bool,
+    pub(crate) taken_branch_breaks_issue: bool,
+    pub(crate) latency: [u64; NUM_CLASSES],
+    pub(crate) fu_of: [usize; NUM_CLASSES],
+    pub(crate) fu_issue_latency: Vec<u64>,
+    pub(crate) fu_slots: Vec<Vec<u64>>,
+    pub(crate) reg_ready: [u64; NUM_REGS],
+    pub(crate) mem_ready: PagedArray<u64>,
+    pub(crate) cur_cycle: u64,
+    pub(crate) issued_in_cycle: u32,
+    pub(crate) control_stall_until: u64,
+    pub(crate) last_completion: u64,
+    pub(crate) instructions: u64,
     // --- cycle accounting (all fixed-size or sized once at construction;
     // --- the issue hot path never allocates) ---
-    issue_cycles: u64,
-    stall_cycles: [u64; NUM_STALL_KINDS],
-    wait_cycles: [u64; NUM_STALL_KINDS],
-    class_waits: [u64; NUM_CLASSES],
-    fu_names: Vec<String>,
-    fu_waits: Vec<u64>,
+    pub(crate) issue_cycles: u64,
+    pub(crate) stall_cycles: [u64; NUM_STALL_KINDS],
+    pub(crate) wait_cycles: [u64; NUM_STALL_KINDS],
+    pub(crate) class_waits: [u64; NUM_CLASSES],
+    pub(crate) fu_names: Vec<String>,
+    pub(crate) fu_waits: Vec<u64>,
     /// Last writer of each register, packed `(func << 32) | pc`, or
     /// [`NO_WRITER`]. Feeds the critical-producer table.
-    reg_writer: [u64; NUM_REGS],
+    pub(crate) reg_writer: [u64; NUM_REGS],
     /// Static-instruction base offset per function; empty when producer
     /// tracking is off.
-    producer_bases: Vec<u64>,
+    pub(crate) producer_bases: Vec<u64>,
     /// Wait cycles charged to each static instruction (flat, indexed by
     /// `producer_bases[func] + pc`); empty when producer tracking is off.
-    producer_waits: Vec<u64>,
+    pub(crate) producer_waits: Vec<u64>,
 }
 
 impl TimingModel {
@@ -337,7 +361,7 @@ impl TimingModel {
             fu_issue_latency,
             fu_slots,
             reg_ready: [0; NUM_REGS],
-            mem_ready: vec![0; memory_words],
+            mem_ready: PagedArray::new(memory_words),
             cur_cycle: 0,
             issued_in_cycle: 0,
             control_stall_until: 0,
@@ -373,6 +397,14 @@ impl TimingModel {
     /// Issues one dynamic instruction, returning its issue and completion
     /// cycles (in machine cycles).
     pub fn issue(&mut self, info: &StepInfo) -> IssueRecord {
+        self.issue_with_detail(info).0
+    }
+
+    /// [`issue`](Self::issue), also returning the internal choices the
+    /// block timing cache records (slot picked, empty cycles charged,
+    /// whether the cycle frontier advanced). Computing the detail is free —
+    /// every field is a value `issue` already had in hand.
+    pub(crate) fn issue_with_detail(&mut self, info: &StepInfo) -> (IssueRecord, IssueDetail) {
         let class_index = info.class.index();
 
         // Each constraint's required cycle is computed separately so the
@@ -396,7 +428,7 @@ impl TimingModel {
         if let Some((addr, _)) = info.mem {
             let span = (info.vlen.max(1)) as usize;
             for a in addr..(addr + span).min(self.mem_ready.len()) {
-                mem_ready_at = mem_ready_at.max(self.mem_ready[a]);
+                mem_ready_at = mem_ready_at.max(self.mem_ready.get(a));
             }
         }
 
@@ -406,14 +438,14 @@ impl TimingModel {
         // element emerges, i.e. after the class's operation latency.
         let vector_occupancy = u64::from(info.vlen).saturating_sub(1);
 
-        // Functional unit: the earliest-free copy.
+        // Functional unit: the earliest-free copy. `fu_slots[fu]` is kept
+        // sorted ascending, so the earliest-free copy is always the front.
+        // Timing depends only on the *multiset* of free times, so the
+        // canonical order changes nothing observable — but it makes the
+        // scoreboard state a pure function of issue history, which the
+        // trace cache's entry-state keys rely on.
         let fu = self.fu_of[class_index];
-        let (slot_index, slot_free) = self.fu_slots[fu]
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by_key(|&(_, free)| free)
-            .expect("functional units have multiplicity >= 1");
+        let slot_free = self.fu_slots[fu][0];
 
         // In-order issue: never before the previous instruction's cycle,
         // nor before an outstanding control transfer allows fetch to
@@ -483,16 +515,19 @@ impl TimingModel {
         }
 
         // Commit the issue.
-        if t > self.cur_cycle || self.instructions == 0 {
+        let advance = t > self.cur_cycle;
+        let count_issue = advance || self.instructions == 0;
+        if count_issue {
             self.issue_cycles += 1;
         }
-        if t > self.cur_cycle {
+        if advance {
             self.cur_cycle = t;
             self.issued_in_cycle = 1;
         } else {
             self.issued_in_cycle += 1;
         }
-        self.fu_slots[fu][slot_index] = t + self.fu_issue_latency[fu].max(1 + vector_occupancy);
+        let slot_free_at = t + self.fu_issue_latency[fu].max(1 + vector_occupancy);
+        self.reserve_slot(fu, slot_free_at);
 
         // Chain point: when the first result element is available. For
         // scalar instructions this is also the completion time.
@@ -515,7 +550,7 @@ impl TimingModel {
             let span = (info.vlen.max(1)) as usize;
             if is_store {
                 for a in addr..(addr + span).min(self.mem_ready.len()) {
-                    self.mem_ready[a] = drain;
+                    self.mem_ready.set(a, drain);
                 }
             }
         }
@@ -537,23 +572,52 @@ impl TimingModel {
         }
 
         self.instructions += 1;
-        IssueRecord {
-            issue: t,
-            complete,
-            drain,
-            wait,
-            cause,
+        (
+            IssueRecord {
+                issue: t,
+                complete,
+                drain,
+                wait,
+                cause,
+            },
+            IssueDetail {
+                fu,
+                slot_free: slot_free_at,
+                empty: empty_cycles,
+                advance,
+                count_issue,
+                mem_constraint: mem_ready_at,
+            },
+        )
+    }
+
+    /// Consumes the earliest-free slot of `fu` (the front of its sorted
+    /// free-time list) and re-inserts it freeing at `free_at`, preserving
+    /// the ascending order `issue_with_detail` relies on.
+    pub(crate) fn reserve_slot(&mut self, fu: usize, free_at: u64) {
+        let slots = &mut self.fu_slots[fu];
+        let mut i = 0;
+        while i + 1 < slots.len() && slots[i + 1] < free_at {
+            slots[i] = slots[i + 1];
+            i += 1;
         }
+        slots[i] = free_at;
     }
 
     /// Charges `wait` cycles to the static instruction that last wrote
     /// `reg` (no-op when producer tracking is off or the register was
     /// live-in).
-    fn charge_producer(&mut self, reg: Reg, wait: u64) {
+    pub(crate) fn charge_producer(&mut self, reg: Reg, wait: u64) {
+        self.charge_producer_dense(reg.dense_index(), wait);
+    }
+
+    /// [`charge_producer`](Self::charge_producer) by dense register index
+    /// (the trace cache records registers densely).
+    pub(crate) fn charge_producer_dense(&mut self, dense: usize, wait: u64) {
         if self.producer_bases.is_empty() {
             return;
         }
-        let packed = self.reg_writer[reg.dense_index()];
+        let packed = self.reg_writer[dense];
         if packed == NO_WRITER {
             return;
         }

@@ -92,6 +92,44 @@ fn simulate_allocates_nothing_per_instruction() {
 }
 
 #[test]
+fn block_cache_replay_allocates_nothing_once_warmed() {
+    // The block timing cache allocates while recording variants (cold
+    // traces only); once every hot trace is recorded, bulk replay must be
+    // allocation-free. The two programs record identical variants, so the
+    // 100× replay traffic of the long run must not change the count.
+    let short = counted_loop(1_000);
+    let long = counted_loop(100_000);
+    let config = presets::ideal_superscalar(4);
+    let cached = SimOptions::default();
+    assert!(cached.block_cache, "block cache is on by default");
+
+    simulate(&short, &config, cached).unwrap();
+
+    let (report_short, allocs_short) =
+        allocations_during(|| simulate(&short, &config, cached).unwrap());
+    let (report_long, allocs_long) =
+        allocations_during(|| simulate(&long, &config, cached).unwrap());
+
+    // Sanity: the replay path really served the long run's extra work.
+    let stats = report_long.block_cache_stats();
+    assert!(stats.hits > report_short.block_cache_stats().hits);
+    assert!(
+        stats.replayed_instructions > report_long.instructions() / 2,
+        "replay served too little of the run: {stats:?}"
+    );
+
+    assert_eq!(
+        allocs_short,
+        allocs_long,
+        "warmed block-cache replay allocated per dynamic instruction: \
+         {allocs_short} allocations for {} instructions vs \
+         {allocs_long} for {}",
+        report_short.instructions(),
+        report_long.instructions(),
+    );
+}
+
+#[test]
 fn sink_off_paths_allocate_nothing_per_instruction() {
     // Observability off must cost one branch, not an allocation: both the
     // timeline-off path (NullSink) and the metrics path (MetricsSink is a

@@ -48,6 +48,27 @@ pub struct IssueEvent {
     pub cause: Option<&'static str>,
 }
 
+/// The simulator's block timing cache answered a block visit.
+///
+/// Emitted once per replayed block (not per instruction): `hit: true` when
+/// a recorded variant was applied, `hit: false` when mid-block verification
+/// failed and the run fell back to the exact model. Block visits that run
+/// exact from the start (cold blocks, summary overflows) emit nothing —
+/// their instructions appear only as ordinary [`IssueEvent`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockReplayEvent {
+    /// Function index of the block's entry instruction.
+    pub func: u32,
+    /// Entry-instruction index within the function.
+    pub pc: u64,
+    /// Machine cycle at block entry.
+    pub cycle: u64,
+    /// Instructions replayed before the event was emitted.
+    pub instructions: u32,
+    /// Whether the replay ran to the end of the block.
+    pub hit: bool,
+}
+
 /// A telemetry consumer. All methods default to no-ops so sinks implement
 /// only what they care about.
 pub trait TraceSink {
@@ -58,6 +79,12 @@ pub trait TraceSink {
 
     /// A dynamic instruction issued.
     fn issue(&mut self, event: &IssueEvent) {
+        let _ = event;
+    }
+
+    /// The simulator's block timing cache replayed (or abandoned a replay
+    /// of) a block.
+    fn block_replay(&mut self, event: &BlockReplayEvent) {
         let _ = event;
     }
 }

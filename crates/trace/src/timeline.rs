@@ -21,7 +21,7 @@
 //! [`crate::parse`] enforces.
 
 use crate::json::{JsonObject, JsonValue};
-use crate::sink::{IssueEvent, PhaseRecord, TraceSink};
+use crate::sink::{BlockReplayEvent, IssueEvent, PhaseRecord, TraceSink};
 use std::io::{self, Write};
 
 /// Schema identifier of the timeline document.
@@ -193,6 +193,12 @@ impl<W: Write> TimelineSink<W> {
             self.lanes.len() as u64 + 1,
             "thread_name",
             "other",
+        );
+        self.meta(
+            PID_SIMULATE,
+            self.lanes.len() as u64 + 2,
+            "thread_name",
+            "block cache",
         );
     }
 
@@ -370,6 +376,35 @@ impl<W: Write> TraceSink for TimelineSink<W> {
             .field("args", args.build())
             .build();
         self.emit(&span);
+    }
+
+    fn block_replay(&mut self, event: &BlockReplayEvent) {
+        self.ensure_pipeline_meta();
+        // Instant marker on the dedicated "block cache" lane at the block's
+        // entry cycle — entry cycles are nondecreasing, so the lane keeps
+        // the validator's monotone-timestamp invariant.
+        let tid = self.lanes.len() as u64 + 2;
+        let name = if event.hit { "replay" } else { "fallback" };
+        let marker = JsonObject::new()
+            .field("ph", JsonValue::str("i"))
+            .field("pid", JsonValue::UInt(PID_SIMULATE))
+            .field("tid", JsonValue::UInt(tid))
+            .field("ts", JsonValue::UInt(event.cycle))
+            .field("s", JsonValue::str("t"))
+            .field("name", JsonValue::str(name))
+            .field(
+                "args",
+                JsonObject::new()
+                    .field("func", JsonValue::UInt(u64::from(event.func)))
+                    .field("pc", JsonValue::UInt(event.pc))
+                    .field(
+                        "instructions",
+                        JsonValue::UInt(u64::from(event.instructions)),
+                    )
+                    .build(),
+            )
+            .build();
+        self.emit(&marker);
     }
 }
 

@@ -912,6 +912,142 @@ fn cycle_account_conserves_and_is_deterministic() {
     }
 }
 
+/// The block timing cache is bit-exact, not approximate: with the cache
+/// on and off, every preset machine produces byte-identical reports —
+/// cycle account, machine cycles, instruction count, census, and
+/// critical-producer table — on real loop workloads (dense replay
+/// traffic), random scheduled regions, and torture-mutated source
+/// programs (which hit the fallback and overflow paths). Errors must
+/// also agree: a trapped or fuel-exhausted run traps identically.
+#[test]
+fn block_cache_is_bit_exact_on_all_presets() {
+    use supersym::isa::{Function, Instr, Program};
+    use supersym::sim::simulate;
+    use supersym_torture::mutate::mutate_source;
+
+    let machines = all_preset_machines();
+    let exec = ExecOptions {
+        memory_words: 1 << 16,
+        max_steps: 200_000,
+        ..ExecOptions::default()
+    };
+    let cached = SimOptions {
+        exec,
+        block_cache: true,
+    };
+    let exact = SimOptions {
+        exec,
+        block_cache: false,
+    };
+    let differ = |label: &str, machine: &supersym::machine::MachineConfig, program: &Program| {
+        let a = simulate(program, machine, cached);
+        let b = simulate(program, machine, exact);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a.cycle_account(),
+                    b.cycle_account(),
+                    "{label} on {}: cycle accounts diverge",
+                    machine.name()
+                );
+                assert_eq!(
+                    a.machine_cycles(),
+                    b.machine_cycles(),
+                    "{label} on {}: machine cycles diverge",
+                    machine.name()
+                );
+                assert_eq!(
+                    a.instructions(),
+                    b.instructions(),
+                    "{label} on {}: instruction counts diverge",
+                    machine.name()
+                );
+                assert_eq!(
+                    a.census(),
+                    b.census(),
+                    "{label} on {}: censuses diverge",
+                    machine.name()
+                );
+                assert_eq!(
+                    a.critical_producers(),
+                    b.critical_producers(),
+                    "{label} on {}: producer tables diverge",
+                    machine.name()
+                );
+                true
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "{label} on {}: errors diverge",
+                    machine.name()
+                );
+                false
+            }
+            (a, b) => panic!(
+                "{label} on {}: cached/exact outcomes diverge: {a:?} vs {b:?}",
+                machine.name()
+            ),
+        }
+    };
+
+    // Real loop workloads: nested loops, calls, vector code.
+    let workloads = [
+        ("linpack8", supersym::workloads::linpack(8).source),
+        ("livermore32", supersym::workloads::livermore(32, 1).source),
+        ("whet1", supersym::workloads::whet(1).source),
+    ];
+    let mut compared = 0_u32;
+    for machine in &machines {
+        for (label, source) in &workloads {
+            let program = supersym::compile(source, &CompileOptions::new(OptLevel::O4, machine))
+                .expect("paper workloads compile");
+            if differ(label, machine, &program) {
+                compared += 1;
+            }
+        }
+    }
+    assert_eq!(compared, 33, "every workload ran on every preset");
+
+    // Random scheduled regions (straight-line, single trace).
+    for seed in 300..316_u64 {
+        let mut rng = Rng::new(seed);
+        let len = 2 + rng.below(24) as usize;
+        let mut instrs = random_region(&mut rng, len);
+        instrs.push(Instr::Halt);
+        let mut program = Program::new();
+        let id = program.add_function(Function::new("region", instrs, vec![0]));
+        program.set_entry(id);
+        for machine in &machines {
+            let mut scheduled = program.clone();
+            supersym::codegen::schedule_program(&mut scheduled, machine);
+            differ(&format!("region{seed}"), machine, &scheduled);
+        }
+    }
+
+    // Torture-mutated sources: irregular control flow, traps, and
+    // fuel exhaustion. Only mutants that still compile are compared.
+    let mut rng = SplitMix64::new(0x0010_CACE);
+    let mut mutants_run = 0_u32;
+    for index in 0..48_u32 {
+        let source = mutate_source(&mut rng, &[]).to_text();
+        for machine in &machines {
+            let Ok(program) =
+                supersym::compile(&source, &CompileOptions::new(OptLevel::O4, machine))
+            else {
+                continue;
+            };
+            differ(&format!("mutant{index}"), machine, &program);
+            mutants_run += 1;
+        }
+    }
+    assert!(
+        mutants_run >= 11,
+        "mutant corpus barely compiled anywhere: {mutants_run} runs"
+    );
+}
+
 /// All paper presets pass the machine-description lint with no errors.
 #[test]
 fn paper_presets_pass_machine_lint() {
